@@ -1,0 +1,179 @@
+/* Portable reference implementation of the swATOP CPE runtime.
+ *
+ * Single-threaded and synchronous: one "CPE" (row 0, column 0) executes the
+ * kernel and DMA completes immediately. Good enough to compile, run and
+ * numerically check generated kernels off the real machine; performance
+ * semantics live in the OCaml simulator, not here.
+ *
+ * NOTE: generated kernels partition their DMA descriptors across the 8x8
+ * cluster via rid/cid, so running them on this single-CPE runtime covers
+ * only CPE (0,0)'s slice. The OCaml interpreter (Swatop.Interp) is the
+ * full-fidelity executor; this file exists so the emitted C is honest,
+ * compilable code rather than pseudo-code.
+ */
+
+#include "swatop_runtime.h"
+
+#include <string.h>
+
+int sw_row_id(void) { return 0; }
+int sw_col_id(void) { return 0; }
+
+void swDMA(float *main_mem, float *spm, size_t bytes, size_t block, size_t stride,
+           swMemcpyDirection dir, swReplyWord *reply) {
+  size_t count = block ? bytes / block : 0;
+  for (size_t i = 0; i < count; i++) {
+    float *m = (float *)((char *)main_mem + i * stride);
+    float *s = (float *)((char *)spm + i * block);
+    if (dir == SW_MEM_TO_SPM)
+      memcpy(s, m, block);
+    else
+      memcpy(m, s, block);
+  }
+  (*reply)++;
+}
+
+void swDMAWait(swReplyWord *reply) { *reply = 0; }
+
+void sw_spm_memset(float *spm, size_t elems) { memset(spm, 0, elems * sizeof(float)); }
+
+void sw_spm_copy(float *src, size_t src_ld, float *dst, size_t dst_ld, size_t rows,
+                 size_t row_elems) {
+  for (size_t r = 0; r < rows; r++)
+    memcpy(dst + r * dst_ld, src + r * src_ld, row_elems * sizeof(float));
+}
+
+/* ---- Winograd F(2x2, 3x3) transforms -------------------------------- */
+
+static void bt_d_b(const float d[16], float out[16]) {
+  /* B^T d B with B^T = [1 0 -1 0; 0 1 1 0; 0 -1 1 0; 0 1 0 -1] */
+  float t[16];
+  for (int c = 0; c < 4; c++) {
+    t[0 * 4 + c] = d[0 * 4 + c] - d[2 * 4 + c];
+    t[1 * 4 + c] = d[1 * 4 + c] + d[2 * 4 + c];
+    t[2 * 4 + c] = d[2 * 4 + c] - d[1 * 4 + c];
+    t[3 * 4 + c] = d[1 * 4 + c] - d[3 * 4 + c];
+  }
+  for (int r = 0; r < 4; r++) {
+    out[r * 4 + 0] = t[r * 4 + 0] - t[r * 4 + 2];
+    out[r * 4 + 1] = t[r * 4 + 1] + t[r * 4 + 2];
+    out[r * 4 + 2] = t[r * 4 + 2] - t[r * 4 + 1];
+    out[r * 4 + 3] = t[r * 4 + 1] - t[r * 4 + 3];
+  }
+}
+
+static void g_w_gt(const float g[9], float out[16]) {
+  /* G g G^T with G = [1 0 0; .5 .5 .5; .5 -.5 .5; 0 0 1] */
+  float t[12]; /* 4x3 */
+  for (int c = 0; c < 3; c++) {
+    t[0 * 3 + c] = g[0 * 3 + c];
+    t[1 * 3 + c] = 0.5f * (g[0 * 3 + c] + g[1 * 3 + c] + g[2 * 3 + c]);
+    t[2 * 3 + c] = 0.5f * (g[0 * 3 + c] - g[1 * 3 + c] + g[2 * 3 + c]);
+    t[3 * 3 + c] = g[2 * 3 + c];
+  }
+  for (int r = 0; r < 4; r++) {
+    out[r * 4 + 0] = t[r * 3 + 0];
+    out[r * 4 + 1] = 0.5f * (t[r * 3 + 0] + t[r * 3 + 1] + t[r * 3 + 2]);
+    out[r * 4 + 2] = 0.5f * (t[r * 3 + 0] - t[r * 3 + 1] + t[r * 3 + 2]);
+    out[r * 4 + 3] = t[r * 3 + 2];
+  }
+}
+
+static void at_m_a(const float m[16], float out[4]) {
+  /* A^T m A with A^T = [1 1 1 0; 0 1 -1 -1] */
+  float t[8]; /* 2x4 */
+  for (int c = 0; c < 4; c++) {
+    t[0 * 4 + c] = m[0 * 4 + c] + m[1 * 4 + c] + m[2 * 4 + c];
+    t[1 * 4 + c] = m[1 * 4 + c] - m[2 * 4 + c] - m[3 * 4 + c];
+  }
+  for (int r = 0; r < 2; r++) {
+    out[r * 2 + 0] = t[r * 4 + 0] + t[r * 4 + 1] + t[r * 4 + 2];
+    out[r * 2 + 1] = t[r * 4 + 1] - t[r * 4 + 2] - t[r * 4 + 3];
+  }
+}
+
+void sw_wino_input_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                             int src_ld) {
+  int tiles = tiles_r * tiles_c;
+  int plane_rows = tiles_r * 2 + 2;
+  for (int ch = 0; ch < chans; ch++) {
+    float *plane = src + (size_t)ch * plane_rows * src_ld;
+    for (int tr = 0; tr < tiles_r; tr++)
+      for (int tc = 0; tc < tiles_c; tc++) {
+        float d[16], v[16];
+        for (int r = 0; r < 4; r++)
+          for (int c = 0; c < 4; c++)
+            d[r * 4 + c] = plane[(tr * 2 + r) * src_ld + tc * 2 + c];
+        bt_d_b(d, v);
+        int col = tr * tiles_c + tc;
+        for (int xi = 0; xi < 16; xi++)
+          dst[((size_t)xi * chans + ch) * tiles + col] = v[xi];
+      }
+  }
+}
+
+void sw_wino_filter_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                              int src_ld) {
+  (void)tiles_r;
+  (void)tiles_c;
+  (void)src_ld;
+  for (int ch = 0; ch < chans; ch++) {
+    float u[16];
+    g_w_gt(src + (size_t)ch * 9, u);
+    for (int xi = 0; xi < 16; xi++)
+      dst[(size_t)xi * chans + ch] = u[xi];
+  }
+}
+
+void sw_wino_output_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                              int src_ld) {
+  (void)src_ld;
+  int tiles = tiles_r * tiles_c;
+  int out_cols = tiles_c * 2;
+  int out_rows = tiles_r * 2;
+  for (int ch = 0; ch < chans; ch++)
+    for (int tr = 0; tr < tiles_r; tr++)
+      for (int tc = 0; tc < tiles_c; tc++) {
+        float m[16], y[4];
+        int col = tr * tiles_c + tc;
+        for (int xi = 0; xi < 16; xi++)
+          m[xi] = src[((size_t)xi * chans + ch) * tiles + col];
+        at_m_a(m, y);
+        for (int r = 0; r < 2; r++)
+          for (int c = 0; c < 2; c++)
+            dst[(size_t)ch * out_rows * out_cols + (tr * 2 + r) * out_cols + tc * 2 + c] =
+                y[r * 2 + c];
+      }
+}
+
+/* ---- GEMM variants --------------------------------------------------- */
+
+static void gemm_generic(int a_row_major, int b_row_major, int m, int n, int k, float alpha,
+                         const float *a, int lda, const float *b, int ldb, float beta, float *c,
+                         int ldc) {
+  for (int i = 0; i < m; i++)
+    for (int j = 0; j < n; j++) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; p++) {
+        float av = a_row_major ? a[(size_t)i * lda + p] : a[(size_t)p * lda + i];
+        float bv = b_row_major ? b[(size_t)p * ldb + j] : b[(size_t)j * ldb + p];
+        acc += av * bv;
+      }
+      c[(size_t)i * ldc + j] = alpha * acc + beta * c[(size_t)i * ldc + j];
+    }
+}
+
+#define SWATOP_DEFINE_GEMM(name, arm, brm)                                               \
+  void name(int m, int n, int k, float alpha, float *a, int lda, float *b, int ldb,      \
+            float beta, float *c, int ldc) {                                             \
+    gemm_generic(arm, brm, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);                \
+  }
+
+SWATOP_DEFINE_GEMM(spm_gemm_arm_brm_vm, 1, 1)
+SWATOP_DEFINE_GEMM(spm_gemm_arm_brm_vn, 1, 1)
+SWATOP_DEFINE_GEMM(spm_gemm_arm_bcm_vm, 1, 0)
+SWATOP_DEFINE_GEMM(spm_gemm_arm_bcm_vn, 1, 0)
+SWATOP_DEFINE_GEMM(spm_gemm_acm_brm_vm, 0, 1)
+SWATOP_DEFINE_GEMM(spm_gemm_acm_brm_vn, 0, 1)
+SWATOP_DEFINE_GEMM(spm_gemm_acm_bcm_vm, 0, 0)
+SWATOP_DEFINE_GEMM(spm_gemm_acm_bcm_vn, 0, 0)

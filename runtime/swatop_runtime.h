@@ -1,0 +1,90 @@
+/* swATOP CPE runtime interface.
+ *
+ * The code generator (lib/core/c_emit.ml) emits one SPMD kernel per tuned
+ * operator against this interface. On the real SW26010 these symbols are
+ * provided by the athread runtime, the DMA intrinsics and the hand-written
+ * assembly GEMM kernels (xMath-style); swatop_runtime.c in this directory
+ * provides a portable single-threaded reference implementation so that
+ * generated kernels can be compiled and exercised anywhere.
+ *
+ * Conventions:
+ *  - every CPE of the 8x8 cluster runs the kernel body in lock-step;
+ *    sw_row_id()/sw_col_id() identify the executing CPE;
+ *  - SPM buffers live in the __thread_local pool declared by the generated
+ *    file (the attribute maps to the LDM section on the real toolchain and
+ *    to nothing in the reference build);
+ *  - swDMA describes one CPE's strided transfer: `count` blocks of `block`
+ *    bytes, the i-th block at main-memory offset i * stride from `main`,
+ *    packed contiguously at `spm`; completion is signalled through the
+ *    reply word, observed by swDMAWait.
+ */
+
+#ifndef SWATOP_RUNTIME_H
+#define SWATOP_RUNTIME_H
+
+#include <stddef.h>
+
+#ifdef __sw_64__ /* the real SW26010 toolchain */
+#define __thread_local __attribute__((section(".ldm")))
+#else
+#define __thread_local /* reference build: ordinary static storage */
+#endif
+
+typedef volatile long swReplyWord;
+
+typedef enum {
+  SW_MEM_TO_SPM = 0,
+  SW_SPM_TO_MEM = 1
+} swMemcpyDirection;
+
+/* CPE identity inside the 8x8 cluster. */
+int sw_row_id(void);
+int sw_col_id(void);
+
+/* Asynchronous strided DMA between main memory and the scratch pad
+ * (Sec. 4.1 of the paper). `bytes` is the total payload, `block` the
+ * contiguous block size and `stride` the distance between block starts on
+ * the main-memory side; the SPM side is packed. */
+void swDMA(float *main_mem, float *spm, size_t bytes, size_t block, size_t stride,
+           swMemcpyDirection dir, swReplyWord *reply);
+
+/* Block until every transfer accounted to the reply word has completed. */
+void swDMAWait(swReplyWord *reply);
+
+/* Zero `elems` floats of scratch-pad memory (vectorized on the CPE). */
+void sw_spm_memset(float *spm, size_t elems);
+
+/* Strided SPM-to-SPM repack: `rows` runs of `row_elems` floats, read at
+ * stride `src_ld` and written at stride `dst_ld`. */
+void sw_spm_copy(float *src, size_t src_ld, float *dst, size_t dst_ld, size_t rows,
+                 size_t row_elems);
+
+/* Winograd F(2x2, 3x3) transform batches over SPM-resident blocks; the
+ * layouts match lib/core/ir.mli's Transform node documentation. */
+void sw_wino_input_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                             int src_ld);
+void sw_wino_filter_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                              int src_ld);
+void sw_wino_output_transform(float *src, float *dst, int chans, int tiles_r, int tiles_c,
+                              int src_ld);
+
+/* The eight hand-optimized GEMM micro-kernel variants, CBLAS-like
+ * (Sec. 4.1): C += alpha * A * B + beta-scaled C with all operands resident
+ * in SPM. Variant naming: a<rm|cm> = A row/column major, b<rm|cm> likewise,
+ * v<m|n> = vectorized dimension. */
+#define SWATOP_DECLARE_GEMM(name)                                                        \
+  void name(int m, int n, int k, float alpha, float *a, int lda, float *b, int ldb,      \
+            float beta, float *c, int ldc)
+
+SWATOP_DECLARE_GEMM(spm_gemm_arm_brm_vm);
+SWATOP_DECLARE_GEMM(spm_gemm_arm_brm_vn);
+SWATOP_DECLARE_GEMM(spm_gemm_arm_bcm_vm);
+SWATOP_DECLARE_GEMM(spm_gemm_arm_bcm_vn);
+SWATOP_DECLARE_GEMM(spm_gemm_acm_brm_vm);
+SWATOP_DECLARE_GEMM(spm_gemm_acm_brm_vn);
+SWATOP_DECLARE_GEMM(spm_gemm_acm_bcm_vm);
+SWATOP_DECLARE_GEMM(spm_gemm_acm_bcm_vn);
+
+#undef SWATOP_DECLARE_GEMM
+
+#endif /* SWATOP_RUNTIME_H */
