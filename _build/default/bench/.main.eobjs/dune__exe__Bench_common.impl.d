@@ -1,0 +1,1 @@
+bench/bench_common.ml: Baselines Conv_explicit Conv_implicit Conv_winograd Lazy Option Prelude Printf String Sw26010 Swatop Swatop_ops Swtensor

@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Bench_common Conv_explicit Conv_implicit Conv_winograd Lazy List Primitives Printf Swatop Swatop_ops Swtensor

@@ -1,0 +1,1 @@
+bench/exp_conv_figs.ml: Bench_common List Prelude Printf Workloads

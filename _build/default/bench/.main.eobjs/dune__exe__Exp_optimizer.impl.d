@@ -1,0 +1,1 @@
+bench/exp_optimizer.ml: Bench_common Conv_implicit Lazy List Matmul Op_common Prelude Printf Swatop Swatop_ops Swtensor Workloads

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Baselines Bench_common Lazy List Matmul Prelude Printf Swatop Swatop_ops Workloads

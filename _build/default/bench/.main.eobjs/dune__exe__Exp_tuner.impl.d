@@ -1,0 +1,1 @@
+bench/exp_tuner.ml: Bench_common Conv_implicit Float Lazy List Prelude Printf Swatop Swatop_ops Swtensor Workloads

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common Exp_ablation Exp_conv_figs Exp_optimizer Exp_table1 Exp_table2 Exp_tuner List Micro Printf String Sw26010 Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_common Benchmark Conv_implicit Hashtbl Instance Lazy List Matmul Measure Primitives Printf Staged Sw26010 Swatop Swatop_ops Swtensor Test Time Toolkit

@@ -1,0 +1,124 @@
+(* Shared plumbing of the experiment harness. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+(* Effort level: Quick subsamples the sweeps for fast iteration; Standard is
+   the default reported run; Full removes all subsampling. *)
+type effort = Quick | Standard | Full
+
+let effort = ref Standard
+
+let effort_pick ~quick ~standard ~full =
+  match !effort with Quick -> quick | Standard -> standard | Full -> full
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let measure_seconds p = (Swatop.Interp.run ~numeric:false p).Swatop.Interp.seconds
+
+let peak = Sw26010.Config.peak_flops_cg
+
+type algo = Implicit | Winograd | Explicit
+
+let algo_name = function Implicit -> "Implicit" | Winograd -> "Winograd" | Explicit -> "Explicit"
+
+type tuned = {
+  desc : string;
+  seconds : float;
+  space_size : int;
+  report : Swatop.Tuner.report;
+  flops : float;  (** direct-convolution FLOPs: the efficiency denominator *)
+}
+
+let tune_implicit ?(top_k = 4) spec =
+  let t = Conv_implicit.problem spec in
+  let space = Conv_implicit.space t in
+  let o =
+    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+      ~build:(Conv_implicit.build t) ()
+  in
+  {
+    desc = Conv_implicit.describe o.best;
+    seconds = o.best_seconds;
+    space_size = o.report.space_size;
+    report = o.report;
+    flops = Conv_implicit.flops t;
+  }
+
+let tune_winograd ?(top_k = 4) spec =
+  let t = Conv_winograd.problem spec in
+  let space = Conv_winograd.space t in
+  let o =
+    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+      ~build:(Conv_winograd.build t) ()
+  in
+  {
+    desc = Conv_winograd.describe o.best;
+    seconds = o.best_seconds;
+    space_size = o.report.space_size;
+    report = o.report;
+    flops = Conv_winograd.flops t;
+  }
+
+let tune_explicit ?(top_k = 4) spec =
+  let t = Conv_explicit.problem spec in
+  let space = Conv_explicit.space t in
+  let o =
+    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+      ~build:(Conv_explicit.build t) ()
+  in
+  {
+    desc = Conv_explicit.describe o.best;
+    seconds = o.best_seconds;
+    space_size = o.report.space_size;
+    report = o.report;
+    flops = Conv_explicit.flops t;
+  }
+
+let tune_conv ?top_k algo spec =
+  match algo with
+  | Implicit -> tune_implicit ?top_k spec
+  | Winograd -> tune_winograd ?top_k spec
+  | Explicit -> tune_explicit ?top_k spec
+
+let conv_applicable algo spec =
+  match algo with
+  | Implicit -> Conv_implicit.applicable spec
+  | Winograd -> Conv_winograd.applicable spec
+  | Explicit -> Conv_explicit.applicable spec
+
+(* Manual baselines: simulated execution time, when one exists. *)
+let baseline_seconds algo spec =
+  match algo with
+  | Implicit ->
+    Option.map
+      (fun p -> measure_seconds (Swatop.Tuner.prepare p))
+      (Baselines.Swdnn.build (Conv_implicit.problem spec))
+  | Winograd ->
+    Some
+      (measure_seconds
+         (Swatop.Tuner.prepare (Baselines.Xmath.winograd_build (Conv_winograd.problem spec))))
+  | Explicit ->
+    Some
+      (measure_seconds
+         (Swatop.Tuner.prepare (Baselines.Xmath.explicit_build (Conv_explicit.problem spec))))
+
+let gflops flops seconds = flops /. seconds /. 1e9
+let efficiency flops seconds = flops /. seconds /. peak
+
+let pct x = 100.0 *. x
+
+let hms seconds =
+  let s = int_of_float seconds in
+  if s >= 3600 then Printf.sprintf "%dh %02dm" (s / 3600) (s mod 3600 / 60)
+  else if s >= 60 then Printf.sprintf "%dm %02ds" (s / 60) (s mod 60)
+  else Printf.sprintf "%.1fs" seconds
+
+let mean = Prelude.Floats.mean
+let geomean = Prelude.Floats.geomean

@@ -1,0 +1,97 @@
+(* Ablation benches for the design choices called out in DESIGN.md: each
+   fixes one schedule dimension and lets the tuner optimize the rest, so
+   the delta isolates that dimension's contribution. *)
+
+open Bench_common
+open Swatop_ops
+
+let tune_subspace t space =
+  match space with
+  | [] -> None
+  | _ ->
+    let o =
+      Swatop.Tuner.model_tune ~top_k:2 ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+        ~build:(Conv_implicit.build t) ()
+    in
+    Some o.best_seconds
+
+(* Restricting a schedule dimension to its best fixed value often costs
+   nothing (the tuner would have picked it); the interesting number is the
+   cost of hard-coding the *wrong* value — what a handcrafted library that
+   guessed badly would pay. Both are reported. *)
+let implicit_ablation name pred =
+  (* Skewed channel ratios and a batch-1 case: the shapes where each
+     schedule dimension can actually matter. *)
+  let specs =
+    [
+      Swtensor.Conv_spec.create ~b:32 ~ni:256 ~no:256 ~ro:64 ~co:64 ~kr:3 ~kc:3 ();
+      Swtensor.Conv_spec.create ~b:32 ~ni:512 ~no:64 ~ro:32 ~co:32 ~kr:3 ~kc:3 ();
+      Swtensor.Conv_spec.create ~b:32 ~ni:64 ~no:512 ~ro:32 ~co:32 ~kr:3 ~kc:3 ();
+      Swtensor.Conv_spec.create ~b:1 ~ni:128 ~no:128 ~ro:64 ~co:64 ~kr:3 ~kc:3 ();
+      Swtensor.Conv_spec.create ~b:128 ~ni:512 ~no:384 ~ro:32 ~co:32 ~kr:3 ~kc:3 ();
+    ]
+  in
+  let deltas =
+    List.filter_map
+      (fun spec ->
+        let t = Conv_implicit.problem spec in
+        let space = Conv_implicit.space t in
+        let full = tune_subspace t space in
+        let restricted = tune_subspace t (List.filter pred space) in
+        match (full, restricted) with
+        | Some f, Some r -> Some (r /. f)
+        | _ -> None)
+      specs
+  in
+  match deltas with
+  | [] -> Printf.printf "%-34s   (dimension always required)\n" name
+  | l -> Printf.printf "%-34s   %.2fx vs free choice (geomean)\n" name (geomean l)
+
+let implicit_ablation2 name preds =
+  let results = List.map (fun (label, pred) -> (label, pred)) preds in
+  ignore results;
+  List.iter (fun (label, pred) -> implicit_ablation (name ^ " = " ^ label) pred) preds
+
+let run () =
+  section "Ablations — cost of removing one schedule dimension (implicit CONV)";
+  Printf.printf "(tuner re-optimizes the remaining dimensions; > 1.00x means the\n";
+  Printf.printf " restriction costs performance, ~1.00x means the dimension is a\n";
+  Printf.printf " near-tie on these shapes and the tuner would recover either way)\n\n";
+  implicit_ablation2 "fix vectorization"
+    [
+      ("N", fun s -> s.Conv_implicit.vec = Primitives.Spm_gemm.Vec_n);
+      ("M", fun s -> s.Conv_implicit.vec = Primitives.Spm_gemm.Vec_m);
+    ];
+  implicit_ablation2 "fix weight layout"
+    [ ("OI", fun s -> s.Conv_implicit.w_oi); ("IO", fun s -> not s.Conv_implicit.w_oi) ];
+  implicit_ablation "fix loop order (ro.khw.ni)" (fun s ->
+      s.Conv_implicit.pixel_order = Conv_implicit.Ro_outer
+      && s.Conv_implicit.reduce_order = Conv_implicit.Taps_then_ni);
+  implicit_ablation "drop row-slab tiles (cols only)" (fun s ->
+      match s.Conv_implicit.tile with Conv_implicit.Col_tile _ -> true | Conv_implicit.Row_slab _ -> false);
+  subsection "Winograd batch fusion (Sec. 4.3.1 loop fusion)";
+  let spec = Swtensor.Conv_spec.create ~b:32 ~ni:128 ~no:128 ~ro:14 ~co:14 ~kr:3 ~kc:3 () in
+  let t = Conv_winograd.problem spec in
+  let o =
+    Swatop.Tuner.model_tune ~top_k:2 ~gemm_model:(Lazy.force gemm_model)
+      ~candidates:(Conv_winograd.space t) ~build:(Conv_winograd.build t) ()
+  in
+  let unfused =
+    measure_seconds
+      (Swatop.Tuner.prepare (Conv_winograd.build t { o.best with fuse_batch = false }))
+  in
+  Printf.printf "fused %.3fms vs unfused %.3fms: fusion is %.2fx faster\n" (o.best_seconds *. 1e3)
+    (unfused *. 1e3) (unfused /. o.best_seconds);
+  subsection "Explicit im2col structure";
+  let spec = Swtensor.Conv_spec.create ~b:32 ~ni:256 ~no:256 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+  let t = Conv_explicit.problem spec in
+  let o =
+    Swatop.Tuner.model_tune ~top_k:2 ~gemm_model:(Lazy.force gemm_model)
+      ~candidates:(Conv_explicit.space t) ~build:(Conv_explicit.build t) ()
+  in
+  let naive =
+    measure_seconds
+      (Swatop.Tuner.prepare (Conv_explicit.build t { o.best with slab_im2col = false }))
+  in
+  Printf.printf "slab %.3fms vs naive %.3fms: slab im2col is %.2fx faster\n"
+    (o.best_seconds *. 1e3) (naive *. 1e3) (naive /. o.best_seconds)

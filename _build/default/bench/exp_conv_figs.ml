@@ -1,0 +1,57 @@
+(* Figures 5, 6 and 7: per-layer speedup of swATOP-generated convolution
+   over the best manual implementation, on the conv layers of VGG16, ResNet
+   and YOLO, at batch sizes 1, 32 and 128. *)
+
+open Bench_common
+module N = Workloads.Networks
+
+let batches () = effort_pick ~quick:[ 32 ] ~standard:[ 1; 32; 128 ] ~full:[ 1; 32; 128 ]
+
+let layers_of algo net =
+  match algo with
+  | Implicit -> N.implicit_layers net
+  | Winograd -> N.winograd_layers net
+  | Explicit -> N.explicit_layers net
+
+let run_algo algo fig =
+  section
+    (Printf.sprintf "Fig. %d — %s CONV: swATOP vs %s on CNN layers" fig (algo_name algo)
+       (match algo with Implicit -> "swDNN" | _ -> "manual (xMath-based)"));
+  List.iter
+    (fun net ->
+      subsection net.N.net_name;
+      Printf.printf "%-10s %5s | %12s %9s %6s | %12s | %8s\n" "layer" "batch" "swATOP" "GFLOPS"
+        "eff%" "manual" "speedup";
+      List.iter
+        (fun batch ->
+          let speedups = ref [] in
+          let stride = effort_pick ~quick:3 ~standard:1 ~full:1 in
+          List.iter
+            (fun layer ->
+              let spec = N.conv_spec ~batch layer in
+              if conv_applicable algo spec then begin
+                let tuned = tune_conv algo spec in
+                let base = baseline_seconds algo spec in
+                let speedup_str, note =
+                  match base with
+                  | Some b ->
+                    speedups := (b /. tuned.seconds) :: !speedups;
+                    (Printf.sprintf "%8.2f" (b /. tuned.seconds), Printf.sprintf "%9.3fms" (b *. 1e3))
+                  | None -> ("     n/a", "      n/a")
+                in
+                Printf.printf "%-10s %5d | %10.3fms %9.1f %6.1f | %12s | %s\n" layer.N.l_name
+                  batch (tuned.seconds *. 1e3)
+                  (gflops tuned.flops tuned.seconds)
+                  (pct (efficiency tuned.flops tuned.seconds))
+                  note speedup_str
+              end)
+            (Prelude.Lists.take_every stride (layers_of algo net));
+          match !speedups with
+          | [] -> ()
+          | l -> Printf.printf "  -> batch %d average speedup: %.2fx (geomean %.2fx)\n" batch (mean l) (geomean l))
+        (batches ()))
+    N.all
+
+let fig5 () = run_algo Implicit 5
+let fig6 () = run_algo Winograd 6
+let fig7 () = run_algo Explicit 7

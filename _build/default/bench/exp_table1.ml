@@ -1,0 +1,85 @@
+(* Table 1 + Fig. 8: the 75-configuration versatility sweep (Listing 1) per
+   batch size — faster/slower counts and average speedups against the best
+   manual implementation, and the absolute throughput/efficiency of the
+   three convolution algorithms. *)
+
+open Bench_common
+
+type cell = { mutable faster : int; mutable slower : int; mutable gains : float list; mutable losses : float list }
+
+let cell () = { faster = 0; slower = 0; gains = []; losses = [] }
+
+let run () =
+  section "Table 1 — 225 parameter configurations (Listing 1): swATOP vs best manual";
+  let algos = [ Implicit; Explicit; Winograd ] in
+  let perf : (algo * int, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  let perf_of algo batch =
+    match Hashtbl.find_opt perf (algo, batch) with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace perf (algo, batch) r;
+      r
+  in
+  let stride = effort_pick ~quick:15 ~standard:3 ~full:1 in
+  Printf.printf "%-9s %6s | %7s %16s | %7s %16s | %6s\n" "algo" "batch" "faster" "avg gain" "slower"
+    "avg loss" "cases";
+  List.iter
+    (fun batch ->
+      let configs = Prelude.Lists.take_every stride (Workloads.Sweeps.listing1 ~batch) in
+      List.iter
+        (fun algo ->
+          let c = cell () in
+          List.iter
+            (fun spec ->
+              if conv_applicable algo spec then begin
+                let tuned = tune_conv algo spec in
+                let eff = efficiency tuned.flops tuned.seconds in
+                let r = perf_of algo batch in
+                r := eff :: !r;
+                match baseline_seconds algo spec with
+                | None -> ()
+                | Some base ->
+                  let ratio = base /. tuned.seconds in
+                  if ratio >= 1.0 then begin
+                    c.faster <- c.faster + 1;
+                    c.gains <- (ratio -. 1.0) :: c.gains
+                  end
+                  else begin
+                    c.slower <- c.slower + 1;
+                    c.losses <- (1.0 -. (tuned.seconds /. base)) :: c.losses
+                  end
+              end)
+            configs;
+          let avg = function [] -> 0.0 | l -> mean l in
+          let compared = c.faster + c.slower in
+          if compared > 0 then
+            Printf.printf "%-9s %6d | %7d %+15.1f%% | %7d %15.1f%% | %6d\n" (algo_name algo) batch
+              c.faster
+              (pct (avg c.gains))
+              c.slower
+              (-.pct (avg c.losses))
+              compared
+          else Printf.printf "%-9s %6d | %7s (no manual baseline at this batch)\n" (algo_name algo) batch "n/a")
+        algos)
+    Workloads.Sweeps.listing1_batches;
+  section "Fig. 8 — overall performance and efficiency over the Listing-1 sweep";
+  Printf.printf "%-9s %6s | %10s %8s | %10s %8s\n" "algo" "batch" "mean TF/s" "eff%" "best TF/s"
+    "eff%";
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun batch ->
+          match Hashtbl.find_opt perf (algo, batch) with
+          | None | Some { contents = [] } -> ()
+          | Some { contents = effs } ->
+            let best = List.fold_left Float.max 0.0 effs in
+            Printf.printf "%-9s %6d | %10.2f %8.1f | %10.2f %8.1f\n" (algo_name algo) batch
+              (mean effs *. peak /. 1e12)
+              (pct (mean effs))
+              (best *. peak /. 1e12)
+              (pct best))
+        Workloads.Sweeps.listing1_batches)
+    [ Implicit; Winograd; Explicit ];
+  Printf.printf
+    "\n(Efficiency counts direct-convolution FLOPs, so Winograd can exceed 100%% — Sec. 5.1.)\n"

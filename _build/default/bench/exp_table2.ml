@@ -1,0 +1,53 @@
+(* Table 2: matrix multiplication on the 559 shapes of Listing 2, swATOP vs
+   the xMath fixed schedule, split into aligned and unaligned shapes. *)
+
+open Bench_common
+open Swatop_ops
+
+type bucket = {
+  mutable faster : int;
+  mutable f_gain : float list;
+  mutable slower : int;
+  mutable s_loss : float list;
+}
+
+let bucket () = { faster = 0; f_gain = []; slower = 0; s_loss = [] }
+
+let tune_gemm ?(top_k = 4) t =
+  let space = Matmul.space t in
+  Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+    ~build:(Matmul.build t) ()
+
+let run_shapes label shapes =
+  let b = bucket () in
+  List.iter
+    (fun (m, n, k) ->
+      let t = Matmul.problem ~m ~n ~k in
+      let tuned = tune_gemm t in
+      let base = measure_seconds (Swatop.Tuner.prepare (Baselines.Xmath.gemm_build t)) in
+      let ratio = base /. tuned.best_seconds in
+      if ratio >= 1.0 then begin
+        b.faster <- b.faster + 1;
+        b.f_gain <- (ratio -. 1.0) :: b.f_gain
+      end
+      else begin
+        b.slower <- b.slower + 1;
+        b.s_loss <- (1.0 -. (tuned.best_seconds /. base)) :: b.s_loss
+      end)
+    shapes;
+  let avg = function [] -> 0.0 | l -> mean l in
+  Printf.printf "%-10s | faster %4d (avg %+6.1f%%) | slower %4d (avg %6.1f%%)\n" label b.faster
+    (pct (avg b.f_gain))
+    b.slower
+    (-.pct (avg b.s_loss))
+
+let run () =
+  section "Table 2 — matrix multiplication vs xMath (Listing 2)";
+  let stride = effort_pick ~quick:12 ~standard:3 ~full:1 in
+  let aligned = Prelude.Lists.take_every stride Workloads.Sweeps.listing2_aligned in
+  let unaligned = Prelude.Lists.take_every stride Workloads.Sweeps.listing2_unaligned in
+  if stride > 1 then
+    Printf.printf "(every %dth of the %d shapes; run with --full for all)\n" stride
+      (List.length Workloads.Sweeps.listing2);
+  run_shapes "Aligned" aligned;
+  run_shapes "Unaligned" unaligned

@@ -1,0 +1,90 @@
+(* Table 3 + Fig. 9: autotuner evaluation.
+
+   Table 3 compares tuning costs of the black-box brute-force tuner (which
+   executes every schedule of the space) against swATOP's performance-model
+   tuner on the implicit-convolution spaces of the three CNNs. Two costs are
+   reported per tuner: the SW26010 time the tuning would occupy (runs plus
+   per-candidate compilation, the quantity behind the paper's hours/days)
+   and the host wall-clock this reproduction actually spent.
+
+   Fig. 9 measures choice quality: the ratio of the true best schedule's
+   time to the model-picked schedule's time over the Listing-1 sweep. *)
+
+open Bench_common
+open Swatop_ops
+module N = Workloads.Networks
+
+let batch = 32
+
+let table3 () =
+  section "Table 3 — tuning time of Implicit CONV, black-box vs swATOP";
+  let sample = effort_pick ~quick:63 ~standard:17 ~full:1 in
+  if sample > 1 then
+    Printf.printf "(black-box measures every %dth candidate and extrapolates; --full runs all)\n"
+      sample;
+  Printf.printf "%-8s | %9s %9s | %18s %12s | %18s %12s | %9s\n" "network" "space" "avg" "bb hw time"
+    "bb wall" "swATOP hw" "swATOP wall" "speedup";
+  List.iter
+    (fun net ->
+      let layers = N.implicit_layers net in
+      let totals = ref (0, 0.0, 0.0, 0.0, 0.0) in
+      List.iter
+        (fun layer ->
+          let spec = N.conv_spec ~batch layer in
+          let t = Conv_implicit.problem spec in
+          let space = Conv_implicit.space t in
+          let bb =
+            Swatop.Tuner.blackbox_tune ~sample_every:sample ~candidates:space
+              ~build:(Conv_implicit.build t) ()
+          in
+          let mt =
+            Swatop.Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+              ~build:(Conv_implicit.build t) ()
+          in
+          let reps = float_of_int layer.N.repeat in
+          let sz, bh, bw, mh, mw = !totals in
+          totals :=
+            ( sz + (layer.N.repeat * List.length space),
+              bh +. (reps *. bb.report.hardware_seconds),
+              bw +. (reps *. bb.report.wall_seconds),
+              mh +. (reps *. mt.report.hardware_seconds),
+              mw +. (reps *. mt.report.wall_seconds) ))
+        layers;
+      let sz, bh, bw, mh, mw = !totals in
+      let n_layers = List.fold_left (fun acc l -> acc + l.N.repeat) 0 layers in
+      Printf.printf "%-8s | %9d %9.1f | %18s %12s | %18s %12s | %8.0fx\n" net.N.net_name sz
+        (float_of_int sz /. float_of_int n_layers)
+        (hms bh) (hms bw) (hms mh) (hms mw) (bh /. mh))
+    N.all;
+  Printf.printf
+    "\n(hw time: simulated SW26010 occupancy incl. %gs compile per candidate; wall: host CPU.)\n"
+    Swatop.Tuner.per_candidate_compile_seconds
+
+let fig9 () =
+  section "Fig. 9 — model-picked performance vs brute-force best (Listing 1, implicit)";
+  let stride = effort_pick ~quick:25 ~standard:15 ~full:1 in
+  let configs = Prelude.Lists.take_every stride (Workloads.Sweeps.listing1 ~batch) in
+  if stride > 1 then
+    Printf.printf "(every %dth of the 75 configurations; --full runs all)\n" stride;
+  let ratios =
+    List.map
+      (fun spec ->
+        let t = Conv_implicit.problem spec in
+        let space = Conv_implicit.space t in
+        let mt =
+          Swatop.Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:space
+            ~build:(Conv_implicit.build t) ()
+        in
+        let bb = Swatop.Tuner.blackbox_tune ~repetitions:1 ~candidates:space
+            ~build:(Conv_implicit.build t) ()
+        in
+        let ratio = bb.best_seconds /. mt.best_seconds in
+        Printf.printf "  %-46s ratio %.3f\n%!" (Swtensor.Conv_spec.to_string spec) ratio;
+        ratio)
+      configs
+  in
+  let worst = List.fold_left Float.min 1.0 ratios in
+  Printf.printf "average performance of model pick vs true best: %.1f%% (worst case %.1f%%)\n"
+    (pct (mean ratios)) (pct worst);
+  Printf.printf "average performance loss: %.1f%% (paper: < 2%% avg, < 8%% worst)\n"
+    (pct (1.0 -. mean ratios))

@@ -1,0 +1,68 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 5) on the simulated SW26010, plus ablations and
+   micro-benchmarks. See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+let experiments =
+  [
+    ("fig5", "Implicit CONV vs swDNN on CNN layers", Exp_conv_figs.fig5);
+    ("fig6", "Winograd CONV vs manual on CNN layers", Exp_conv_figs.fig6);
+    ("fig7", "Explicit CONV vs manual on CNN layers", Exp_conv_figs.fig7);
+    ("table1", "225-config versatility sweep (+ Fig 8)", Exp_table1.run);
+    ("table2", "GEMM vs xMath on 559 shapes", Exp_table2.run);
+    ("table3", "Tuning time, black-box vs swATOP", Exp_tuner.table3);
+    ("fig9", "Model pick vs brute-force best", Exp_tuner.fig9);
+    ("fig10", "Auto-prefetching vs baseline", Exp_optimizer.fig10);
+    ("fig11", "Lightweight vs traditional padding", Exp_optimizer.fig11);
+    ("ablation", "Schedule-dimension ablations", Exp_ablation.run);
+    ("micro", "Bechamel micro-benchmarks", Micro.run);
+  ]
+
+let usage () =
+  print_endline "usage: bench/main.exe [--quick|--full] [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (name, doc, _) -> Printf.printf "  %-9s %s\n" name doc) experiments;
+  print_endline "(no experiment argument = run everything)"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        match a with
+        | "--quick" ->
+          Bench_common.effort := Bench_common.Quick;
+          false
+        | "--full" ->
+          Bench_common.effort := Bench_common.Full;
+          false
+        | "--help" | "-h" ->
+          usage ();
+          exit 0
+        | _ -> true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun n ->
+          let n = if String.length n > 2 && String.sub n 0 2 = "--" then String.sub n 2 (String.length n - 2) else n in
+          match List.find_opt (fun (name, _, _) -> String.equal name n) experiments with
+          | Some e -> e
+          | None ->
+            usage ();
+            exit 1)
+        names
+  in
+  let t0 = Sys.time () in
+  Printf.printf "swATOP reproduction bench — simulated SW26010 core group (%.0f GFLOPS peak, %.1f GB/s DMA)\n"
+    (Sw26010.Config.peak_flops_cg /. 1e9)
+    (Sw26010.Config.dma_peak_bw /. 1e9);
+  Printf.printf "effort: %s\n"
+    (match !Bench_common.effort with
+    | Bench_common.Quick -> "quick (subsampled; use --full for everything)"
+    | Bench_common.Standard -> "standard (some sweeps subsampled; use --full for everything)"
+    | Bench_common.Full -> "full");
+  List.iter (fun (_, _, f) -> f ()) selected;
+  Printf.printf "\ntotal bench wall time: %s\n" (Bench_common.hms (Sys.time () -. t0))

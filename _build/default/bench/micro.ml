@@ -1,0 +1,108 @@
+(* Bechamel micro-benchmarks of the framework's hot paths — one per
+   table/figure driver plus the kernels they lean on. *)
+
+open Bechamel
+open Toolkit
+open Swatop_ops
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let spec_mid = Swtensor.Conv_spec.create ~b:32 ~ni:256 ~no:256 ~ro:28 ~co:28 ~kr:3 ~kc:3 ()
+
+let test_kernel_cycles =
+  let call =
+    Primitives.Spm_gemm.call
+      ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m }
+      ~m:128 ~n:256 ~k:64 ~lda:64 ~ldb:256 ~ldc:256
+  in
+  Test.make ~name:"spm_gemm cycle model" (Staged.stage (fun () -> Primitives.Spm_gemm.cycles call))
+
+let test_dma_cost =
+  let desc =
+    Sw26010.Dma.descriptor ~offset_bytes:4096 ~block_bytes:332 ~stride_bytes:2048 ~block_count:96
+  in
+  Test.make ~name:"dma transaction model (eq 1)"
+    (Staged.stage (fun () -> Sw26010.Dma.transaction_bytes desc))
+
+let test_eq2_fit = Test.make ~name:"eq-2 least-squares fit" (Staged.stage (fun () -> Swatop.Gemm_cost.fit ()))
+
+let test_space_enum =
+  let t = Conv_implicit.problem spec_mid in
+  Test.make ~name:"implicit space enumeration (table 1)"
+    (Staged.stage (fun () -> Conv_implicit.space t))
+
+let test_lowering =
+  let t = Conv_implicit.problem spec_mid in
+  let s = List.hd (Conv_implicit.space t) in
+  Test.make ~name:"lowering + optimizer passes"
+    (Staged.stage (fun () -> Swatop.Tuner.prepare (Conv_implicit.build t s)))
+
+let test_cost_model =
+  let t = Conv_implicit.problem spec_mid in
+  let s = List.hd (Conv_implicit.space t) in
+  let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+  Test.make ~name:"cost model estimate (fig 9)"
+    (Staged.stage (fun () -> Swatop.Cost_model.estimate ~gemm_model:(Lazy.force gemm_model) p))
+
+let test_interp =
+  let t = Matmul.problem ~m:256 ~n:256 ~k:256 in
+  let s = List.hd (Matmul.space t) in
+  let p = Swatop.Tuner.prepare (Matmul.build t s) in
+  Test.make ~name:"simulated execution, 256^3 gemm (table 2)"
+    (Staged.stage (fun () -> Swatop.Interp.run ~numeric:false p))
+
+let test_kernel_numeric =
+  let call =
+    Primitives.Spm_gemm.call
+      ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_n }
+      ~m:32 ~n:32 ~k:32 ~lda:32 ~ldb:32 ~ldc:32
+  in
+  let a = Array.make 1024 1.0 and b = Array.make 1024 1.0 and c = Array.make 1024 0.0 in
+  Test.make ~name:"spm_gemm numeric execution"
+    (Staged.stage (fun () -> Primitives.Spm_gemm.exec call ~a ~ao:0 ~b ~bo:0 ~c ~co:0))
+
+let test_wino_transform =
+  let tile = Array.init 16 float_of_int in
+  Test.make ~name:"winograd input transform (fig 6)"
+    (Staged.stage (fun () -> Swtensor.Winograd_ref.transform_input_tile tile))
+
+let test_codegen =
+  let t = Conv_implicit.problem spec_mid in
+  let s = List.hd (Conv_implicit.space t) in
+  let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+  Test.make ~name:"C code generation" (Staged.stage (fun () -> Swatop.C_emit.program_exn p))
+
+(* Simpler, deterministic presentation: run each test's staged function and
+   report ns/op via Bechamel's measurement machinery. *)
+let run () =
+  Bench_common.section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let tests =
+    Test.make_grouped ~name:"swatop"
+      [
+        test_kernel_cycles;
+        test_dma_cost;
+        test_space_enum;
+        test_lowering;
+        test_cost_model;
+        test_interp;
+        test_kernel_numeric;
+        test_wino_transform;
+        test_codegen;
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instance raw_results) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-44s %12.0f ns/op\n" name est
+          | _ -> ())
+        tbl)
+    results

@@ -1,0 +1,264 @@
+(* swATOP command-line interface: tune operators, inspect schedule spaces,
+   emit generated C and print the fitted kernel cost model.
+
+     dune exec bin/swatop_cli.exe -- tune gemm -m 2048 -n 2048 -k 2048
+     dune exec bin/swatop_cli.exe -- tune conv --algo winograd --ni 128 --no 128 --out 56 -b 32
+     dune exec bin/swatop_cli.exe -- codegen gemm -m 512 -n 512 -k 512
+     dune exec bin/swatop_cli.exe -- space conv --ni 64 --no 64 --out 28 -b 32
+     dune exec bin/swatop_cli.exe -- fit *)
+
+open Cmdliner
+open Swatop_ops
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+(* ------------------------------------------------------------------ *)
+(* Arguments. *)
+
+let dim name default doc = Arg.(value & opt int default & info [ name ] ~doc)
+let m_arg = dim "m" 1024 "GEMM M dimension"
+let n_arg = dim "n" 1024 "GEMM N dimension"
+let k_arg = dim "k" 1024 "GEMM K dimension"
+let ni_arg = dim "ni" 64 "input channels"
+let no_arg = dim "no" 64 "output channels"
+let out_arg = dim "out" 28 "output rows = cols"
+let kern_arg = dim "kernel" 3 "kernel rows = cols"
+let b_arg = Arg.(value & opt int 32 & info [ "b"; "batch" ] ~doc:"batch size")
+let topk_arg = Arg.(value & opt int 4 & info [ "top-k" ] ~doc:"measure the k best predictions")
+
+let algo_arg =
+  let algos = [ ("implicit", `Implicit); ("winograd", `Winograd); ("explicit", `Explicit) ] in
+  Arg.(value & opt (enum algos) `Implicit & info [ "algo" ] ~doc:"convolution algorithm")
+
+(* ------------------------------------------------------------------ *)
+(* Shared reporting. *)
+
+let report_outcome ~flops describe (o : _ Swatop.Tuner.outcome) =
+  Printf.printf "space size       : %d schedule strategies\n" o.report.space_size;
+  Printf.printf "tuning wall time : %.2f s host (%.1f s simulated machine)\n"
+    o.report.wall_seconds o.report.hardware_seconds;
+  Printf.printf "chosen schedule  : %s\n" (describe o.best);
+  let r = Swatop.Interp.run ~numeric:false o.best_program in
+  let gf = flops /. r.seconds /. 1e9 in
+  Printf.printf "simulated run    : %.3f ms, %.1f GFLOPS (%.1f%% of CG peak)\n" (r.seconds *. 1e3)
+    gf
+    (100.0 *. gf *. 1e9 /. Sw26010.Config.peak_flops_cg);
+  Printf.printf "  DMA busy %.3f ms | compute busy %.3f ms | %d GEMM calls\n"
+    (r.dma_busy_seconds *. 1e3) (r.compute_busy_seconds *. 1e3) r.gemm_calls
+
+let conv_spec ni no out kern b =
+  Swtensor.Conv_spec.create ~b ~ni ~no ~ro:out ~co:out ~kr:kern ~kc:kern ()
+
+(* ------------------------------------------------------------------ *)
+(* tune *)
+
+let tune_gemm m n k top_k =
+  let t = Matmul.problem ~m ~n ~k in
+  let o =
+    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model)
+      ~candidates:(Matmul.space t) ~build:(Matmul.build t) ()
+  in
+  Printf.printf "GEMM %d x %d x %d\n" m n k;
+  report_outcome ~flops:(Matmul.flops t) Matmul.describe o
+
+let tune_conv algo ni no out kern b top_k =
+  let spec = conv_spec ni no out kern b in
+  Printf.printf "CONV %s\n" (Swtensor.Conv_spec.to_string spec);
+  let gm = Lazy.force gemm_model in
+  match algo with
+  | `Implicit ->
+    let t = Conv_implicit.problem spec in
+    report_outcome ~flops:(Conv_implicit.flops t) Conv_implicit.describe
+      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_implicit.space t)
+         ~build:(Conv_implicit.build t) ())
+  | `Winograd ->
+    let t = Conv_winograd.problem spec in
+    report_outcome ~flops:(Conv_winograd.flops t) Conv_winograd.describe
+      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_winograd.space t)
+         ~build:(Conv_winograd.build t) ())
+  | `Explicit ->
+    let t = Conv_explicit.problem spec in
+    report_outcome ~flops:(Conv_explicit.flops t) Conv_explicit.describe
+      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_explicit.space t)
+         ~build:(Conv_explicit.build t) ())
+
+let tune_gemm_cmd =
+  Cmd.v (Cmd.info "gemm" ~doc:"tune a matrix multiplication")
+    Term.(const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg)
+
+let tune_conv_cmd =
+  Cmd.v (Cmd.info "conv" ~doc:"tune a convolution")
+    Term.(const tune_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ topk_arg)
+
+let tune_cmd = Cmd.group (Cmd.info "tune" ~doc:"autotune an operator") [ tune_gemm_cmd; tune_conv_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* codegen *)
+
+let codegen_gemm m n k =
+  let t = Matmul.problem ~m ~n ~k in
+  let o =
+    Swatop.Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:(Matmul.space t)
+      ~build:(Matmul.build t) ()
+  in
+  print_string (Swatop.C_emit.program_exn o.best_program)
+
+let codegen_conv algo ni no out kern b =
+  let spec = conv_spec ni no out kern b in
+  let gm = Lazy.force gemm_model in
+  let program =
+    match algo with
+    | `Implicit ->
+      let t = Conv_implicit.problem spec in
+      (Swatop.Tuner.model_tune ~gemm_model:gm ~candidates:(Conv_implicit.space t)
+         ~build:(Conv_implicit.build t) ())
+        .best_program
+    | `Winograd ->
+      let t = Conv_winograd.problem spec in
+      (Swatop.Tuner.model_tune ~gemm_model:gm ~candidates:(Conv_winograd.space t)
+         ~build:(Conv_winograd.build t) ())
+        .best_program
+    | `Explicit ->
+      let t = Conv_explicit.problem spec in
+      (Swatop.Tuner.model_tune ~gemm_model:gm ~candidates:(Conv_explicit.space t)
+         ~build:(Conv_explicit.build t) ())
+        .best_program
+  in
+  print_string (Swatop.C_emit.program_exn program)
+
+let codegen_cmd =
+  Cmd.group
+    (Cmd.info "codegen" ~doc:"emit the tuned operator's C source")
+    [
+      Cmd.v (Cmd.info "gemm" ~doc:"GEMM kernel") Term.(const codegen_gemm $ m_arg $ n_arg $ k_arg);
+      Cmd.v (Cmd.info "conv" ~doc:"convolution kernel")
+        Term.(const codegen_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* space *)
+
+let space_conv algo ni no out kern b =
+  let spec = conv_spec ni no out kern b in
+  let show name l describe =
+    Printf.printf "%s schedule space for %s: %d strategies\n" name
+      (Swtensor.Conv_spec.to_string spec) (List.length l);
+    List.iteri (fun i s -> if i < 20 then Printf.printf "  %s\n" (describe s)) l;
+    if List.length l > 20 then Printf.printf "  ... (%d more)\n" (List.length l - 20)
+  in
+  match algo with
+  | `Implicit ->
+    show "implicit" (Conv_implicit.space (Conv_implicit.problem spec)) Conv_implicit.describe
+  | `Winograd ->
+    show "winograd" (Conv_winograd.space (Conv_winograd.problem spec)) Conv_winograd.describe
+  | `Explicit ->
+    show "explicit" (Conv_explicit.space (Conv_explicit.problem spec)) Conv_explicit.describe
+
+let space_cmd =
+  Cmd.v
+    (Cmd.info "space" ~doc:"list a convolution's schedule space")
+    Term.(const space_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace + analyze *)
+
+let tuned_conv_program algo ni no out kern b =
+  let spec = conv_spec ni no out kern b in
+  match Swatop_ops.Dispatch.tune ~gemm_model:(Lazy.force gemm_model) algo spec with
+  | Some c -> c
+  | None ->
+    Printf.eprintf "algorithm not applicable to %s\n" (Swtensor.Conv_spec.to_string spec);
+    exit 1
+
+let algo_of = function
+  | `Implicit -> Swatop_ops.Dispatch.Implicit
+  | `Winograd -> Swatop_ops.Dispatch.Winograd
+  | `Explicit -> Swatop_ops.Dispatch.Explicit
+
+let trace_conv algo ni no out kern b out_file =
+  let c = tuned_conv_program (algo_of algo) ni no out kern b in
+  let tr = Swatop.Trace.create () in
+  let r = Swatop.Interp.run ~trace:tr ~numeric:false c.c_program in
+  let json = Swatop.Trace.to_chrome_json tr in
+  let oc = open_out out_file in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "schedule : %s\n" c.c_desc;
+  Printf.printf "run      : %.3f ms (%d events)\n" (r.Swatop.Interp.seconds *. 1e3)
+    (Swatop.Trace.event_count tr);
+  Printf.printf "trace    : %s (open in chrome://tracing or Perfetto)\n" out_file
+
+let trace_file_arg =
+  Arg.(value & opt string "trace.json" & info [ "o"; "output" ] ~doc:"trace output file")
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace" ~doc:"run a tuned convolution and dump a Chrome trace")
+    Term.(const trace_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ trace_file_arg)
+
+let analyze_conv algo ni no out kern b =
+  let c = tuned_conv_program (algo_of algo) ni no out kern b in
+  Printf.printf "schedule: %s\n\n" c.c_desc;
+  Format.printf "%a@." Swatop.Ir_analysis.pp (Swatop.Ir_analysis.analyze c.c_program)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"static traffic/work analysis of a tuned convolution")
+    Term.(const analyze_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg)
+
+(* ------------------------------------------------------------------ *)
+(* offline *)
+
+let offline net_name batch dir =
+  let net =
+    match
+      List.find_opt
+        (fun n -> String.lowercase_ascii n.Workloads.Networks.net_name = String.lowercase_ascii net_name)
+        Workloads.Networks.all
+    with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "unknown network %S (expected vgg16, resnet or yolo)\n" net_name;
+      exit 1
+  in
+  let compiled = Offline.compile_network ~gemm_model:(Lazy.force gemm_model) ~batch net in
+  Offline.write_directory ~dir compiled;
+  Printf.printf "%d kernels written to %s/ (see manifest.txt)\n" (List.length compiled) dir;
+  print_string (Offline.manifest compiled)
+
+let offline_cmd =
+  let net_arg =
+    Arg.(value & opt string "resnet" & info [ "net" ] ~doc:"network (vgg16 | resnet | yolo)")
+  in
+  let dir_arg = Arg.(value & opt string "kernels" & info [ "o"; "output" ] ~doc:"output directory") in
+  Cmd.v
+    (Cmd.info "offline" ~doc:"pre-generate tuned kernels for a whole network")
+    Term.(const offline $ net_arg $ b_arg $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fit *)
+
+let fit () =
+  let model = Lazy.force gemm_model in
+  Printf.printf "Eq.-2 linear model, fitted per kernel variant over %d samples\n"
+    (List.length Swatop.Gemm_cost.default_grid);
+  Printf.printf "features: [K; K*vd; K*od; vd*od; K*vd*od; 1] (per-CPE dims)\n\n";
+  List.iter
+    (fun v ->
+      let coef = Swatop.Gemm_cost.coefficients model v in
+      Printf.printf "%-22s:" (Primitives.Spm_gemm.variant_name v);
+      Array.iter (fun c -> Printf.printf " %10.4f" c) coef;
+      print_newline ())
+    Primitives.Spm_gemm.all_variants
+
+let fit_cmd = Cmd.v (Cmd.info "fit" ~doc:"print the fitted kernel cost model") Term.(const fit $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "swatop" ~version:"1.0.0" ~doc:"autotuned DL operators for the SW26010" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; offline_cmd; fit_cmd ]))

@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Array Conv_implicit Lazy Matmul Printf Swatop Swatop_ops Swtensor Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Matmul Primitives Printf String Sw26010 Swatop Swatop_ops Swtensor

@@ -1,0 +1,1 @@
+examples/resnet_conv.ml: Array Dispatch List Prelude Printf Swatop Swatop_ops Sys Workloads

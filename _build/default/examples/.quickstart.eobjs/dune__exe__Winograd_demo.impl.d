@@ -1,0 +1,1 @@
+examples/winograd_demo.ml: Conv_winograd List Printf String Swatop Swatop_ops Swtensor

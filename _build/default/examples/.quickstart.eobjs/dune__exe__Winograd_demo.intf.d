@@ -1,0 +1,1 @@
+examples/winograd_demo.mli:

@@ -1,0 +1,39 @@
+(* Emit the complete generated C for a tuned operator — what swATOP would
+   hand to the SW26010 cross compiler as the CPE kernel.
+
+     dune exec examples/codegen_demo.exe            (implicit conv)
+     dune exec examples/codegen_demo.exe gemm       (matrix multiplication) *)
+
+open Swatop_ops
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let tuned_gemm () =
+  let t = Matmul.problem ~m:512 ~n:512 ~k:512 in
+  let o =
+    Swatop.Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:(Matmul.space t)
+      ~build:(Matmul.build t) ()
+  in
+  (Matmul.describe o.best, o.best_program)
+
+let tuned_conv () =
+  let spec = Swtensor.Conv_spec.create ~b:32 ~ni:64 ~no:64 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+  let t = Conv_implicit.problem spec in
+  let o =
+    Swatop.Tuner.model_tune ~gemm_model:(Lazy.force gemm_model)
+      ~candidates:(Conv_implicit.space t) ~build:(Conv_implicit.build t) ()
+  in
+  (Conv_implicit.describe o.best, o.best_program)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "conv" in
+  let desc, program =
+    match which with
+    | "gemm" -> tuned_gemm ()
+    | "conv" -> tuned_conv ()
+    | other ->
+      Printf.eprintf "unknown operator %S (expected conv or gemm)\n" other;
+      exit 1
+  in
+  Printf.printf "/* tuned schedule: %s */\n" desc;
+  print_string (Swatop.C_emit.program_exn program)

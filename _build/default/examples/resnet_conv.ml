@@ -1,0 +1,38 @@
+(* Tune the distinct convolution layers of a ResNet with all three
+   tensorized algorithms and report which one an operator library should
+   dispatch to per layer — the workload the paper's introduction motivates.
+
+     dune exec examples/resnet_conv.exe [batch]        (default batch 32) *)
+
+open Swatop_ops
+module N = Workloads.Networks
+
+let () =
+  let batch = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 32 in
+  let gemm_model = Swatop.Gemm_cost.fit () in
+  Printf.printf "ResNet convolution layers, batch %d — per-algorithm tuned time (ms)\n\n" batch;
+  Printf.printf "%-10s %-18s | %10s %10s %10s | best\n" "layer" "shape" "implicit" "winograd"
+    "explicit";
+  List.iter
+    (fun (l : N.layer) ->
+      if l.ni >= 16 then begin
+        let spec = N.conv_spec ~batch l in
+        let results = Dispatch.all ~top_k:2 ~gemm_model spec in
+        let cell algo =
+          match List.assoc algo results with
+          | Some (c : Dispatch.choice) -> Printf.sprintf "%10.3f" (c.c_seconds *. 1e3)
+          | None -> Printf.sprintf "%10s" "-"
+        in
+        let best =
+          List.filter_map snd results
+          |> Prelude.Lists.min_float_by (fun (c : Dispatch.choice) -> c.c_seconds)
+        in
+        Printf.printf "%-10s %-18s | %s %s %s | %s\n%!" l.N.l_name
+          (Printf.sprintf "%dx%d @%d^2 k%d" l.ni l.no l.out l.k)
+          (cell Dispatch.Implicit) (cell Dispatch.Winograd) (cell Dispatch.Explicit)
+          (Dispatch.algo_name best.Dispatch.c_algo)
+      end)
+    N.resnet18.N.layers;
+  print_newline ();
+  Printf.printf "(swATOP dispatches each layer to its fastest tensorized algorithm;\n";
+  Printf.printf " the paper uses explicit GEMM only where the other two cannot apply.)\n"

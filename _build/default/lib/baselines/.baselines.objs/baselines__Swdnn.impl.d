@@ -1,0 +1,1 @@
+lib/baselines/swdnn.ml: Option Prelude Primitives Swatop_ops Swtensor

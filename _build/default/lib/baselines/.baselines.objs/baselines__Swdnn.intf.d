@@ -1,0 +1,1 @@
+lib/baselines/swdnn.mli: Swatop Swatop_ops Swtensor

@@ -1,0 +1,1 @@
+lib/baselines/xmath.ml: Primitives Swatop_ops

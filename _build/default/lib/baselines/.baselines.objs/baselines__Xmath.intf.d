@@ -1,0 +1,1 @@
+lib/baselines/xmath.mli: Swatop Swatop_ops

@@ -1,0 +1,29 @@
+module Ci = Swatop_ops.Conv_implicit
+
+let min_batch = 32
+
+let supported (spec : Swtensor.Conv_spec.t) = Ci.applicable spec && spec.b >= min_batch
+
+let strategy (spec : Swtensor.Conv_spec.t) =
+  if not (supported spec) then None
+  else
+    (* Fixed 32x64 channel blocking with a batch-scaled pixel segment: the
+       hand-written register blocking fuses output pixels into the GEMM N
+       dimension only up to N ~ 512, regardless of how well that fits the
+       layer at hand. *)
+    let fc = Prelude.Ints.clamp ~lo:1 ~hi:spec.co (512 / spec.b) in
+    Some
+      {
+        Ci.tile = Ci.Col_tile fc;
+        fi = min spec.ni 32;
+        fo = min spec.no 64;
+        pixel_order = Ci.Ro_outer;
+        reduce_order = Ci.Taps_then_ni;
+        w_oi = true;
+        vec = Primitives.Spm_gemm.Vec_n;
+        boundary = Swatop_ops.Op_common.Switch;
+        prefetch = true;
+      }
+
+let build t =
+  Option.map (fun s -> Ci.build t s) (strategy (t : Ci.t).Ci.spec)

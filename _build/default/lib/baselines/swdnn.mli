@@ -1,0 +1,23 @@
+(** Model of swDNN (Fang et al., IPDPS'17) — the best hand-optimized
+    implicit-convolution library on the SW26010, reimplemented as a fixed
+    schedule strategy executed by the same machinery as swATOP's candidates.
+
+    Documented characteristics captured here:
+    - a single pixel column per GEMM (the batch is the whole GEMM N
+      dimension), so small batches starve the kernel — and batch sizes
+      below 32 are not supported at all (Fig. 5's "no manually optimized
+      version" for batch 1);
+    - fixed channel blocking (32 input x 64 output channels per tile),
+      designed for the large convolutional layers of classic CNNs; layers
+      whose channel counts do not divide the blocks pay ragged-tile
+      penalties, and the input-channel panels are shallower than the
+      autotuner tends to pick;
+    - hand-written double buffering (prefetching is on). *)
+
+val supported : Swtensor.Conv_spec.t -> bool
+(** [batch >= 32] and the operator's own applicability conditions. *)
+
+val strategy : Swtensor.Conv_spec.t -> Swatop_ops.Conv_implicit.strategy option
+
+val build : Swatop_ops.Conv_implicit.t -> Swatop.Ir.program option
+(** The baseline program for a problem, or [None] when unsupported. *)

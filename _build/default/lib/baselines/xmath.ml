@@ -1,0 +1,65 @@
+module M = Swatop_ops.Matmul
+module Cw = Swatop_ops.Conv_winograd
+module Ce = Swatop_ops.Conv_explicit
+module Oc = Swatop_ops.Op_common
+
+let block = 256
+
+let clamp_block dim = min block dim
+
+let gemm_strategy (t : M.t) =
+  let fm = clamp_block t.M.m and fn = clamp_block t.M.n and fk = clamp_block t.M.k in
+  let aligned = t.M.m mod fm = 0 && t.M.n mod fn = 0 && t.M.k mod fk = 0 in
+  {
+    M.fm;
+    fn;
+    fk;
+    n_outer = false;
+    vec = Primitives.Spm_gemm.Vec_m;
+    boundary = (if aligned then Oc.Switch else Oc.Pad_full);
+    prefetch = true;
+  }
+
+let gemm_build t = M.build t (gemm_strategy t)
+
+let winograd_strategy (t : Cw.t) =
+  let spec = t.Cw.spec in
+  let btiles = spec.b * (spec.ro / 2) * (spec.co / 2) in
+  {
+    (* Straightforward hand-written transforms: small fixed channel/tile-row
+       blocks per DMA round trip (no per-layer tuning). *)
+    Cw.ti = min spec.ni 8;
+    tr = min (spec.ro / 2) 2;
+    t_o = min spec.no 8;
+    fm = clamp_block spec.no;
+    fn = min (btiles / (t.Cw.spec).b) block;
+    fk = clamp_block spec.ni;
+    vec = Primitives.Spm_gemm.Vec_m;
+    boundary = Oc.Switch;
+    prefetch = false;
+    gemm_prefetch = true;
+    fuse_batch = false;
+  }
+
+let winograd_build t = Cw.build t (winograd_strategy t)
+
+let explicit_strategy (t : Ce.t) =
+  let spec = t.Ce.spec in
+  let k_total = spec.ni * spec.kr * spec.kc in
+  let n_total = spec.b * spec.ro * spec.co in
+  {
+    (* The hand-written im2col also streams channel slabs, but with a fixed
+       small channel block and no pipelining across the phases. *)
+    Ce.pi = min spec.ni 4;
+    slab_im2col = true;
+    fm = clamp_block spec.no;
+    fn = min n_total block;
+    fk = clamp_block k_total;
+    n_outer = false;
+    vec = Primitives.Spm_gemm.Vec_m;
+    boundary = Oc.Switch;
+    prefetch = false;
+    gemm_prefetch = true;
+  }
+
+let explicit_build t = Ce.build t (explicit_strategy t)

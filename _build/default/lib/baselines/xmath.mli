@@ -1,0 +1,29 @@
+(** Model of xMath (Jiang et al., ICPP'17) — the hand-optimized BLAS library
+    of the Sunway TaihuLight, as the fixed schedules the paper compares
+    swATOP against for GEMM, Winograd convolution and explicit convolution.
+
+    Documented characteristics captured here:
+    - GEMM blocking hand-tuned for large, square, well-aligned matrices
+      (256-sized blocks, M-vectorized, double-buffered) — near-optimal on
+      its home turf, increasingly mismatched off it;
+    - unaligned shapes are handled by traditional zero-padding: whole
+      operands are copied into freshly allocated padded buffers (Fig. 11's
+      baseline);
+    - in the manual Winograd and explicit convolutions, each xMath GEMM is
+      a separate library call: double buffering lives inside the call, and
+      nothing overlaps across phases or across the 16 Winograd products. *)
+
+val gemm_strategy : Swatop_ops.Matmul.t -> Swatop_ops.Matmul.strategy
+
+val gemm_build : Swatop_ops.Matmul.t -> Swatop.Ir.program
+
+val winograd_strategy : Swatop_ops.Conv_winograd.t -> Swatop_ops.Conv_winograd.strategy
+(** The hand-assembled Winograd convolution: straightforward transforms and
+    16 separate xMath GEMM calls. *)
+
+val winograd_build : Swatop_ops.Conv_winograd.t -> Swatop.Ir.program
+
+val explicit_strategy : Swatop_ops.Conv_explicit.t -> Swatop_ops.Conv_explicit.strategy
+(** Manual explicit convolution: plain im2col followed by one xMath GEMM. *)
+
+val explicit_build : Swatop_ops.Conv_explicit.t -> Swatop.Ir.program

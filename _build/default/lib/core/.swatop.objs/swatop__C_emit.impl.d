@@ -1,0 +1,1 @@
+lib/core/c_emit.ml: Buffer Ir List Mem_plan Prelude Primitives Printf Stdlib String Sw26010

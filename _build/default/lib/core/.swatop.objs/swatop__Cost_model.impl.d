@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Array Float Gemm_cost Hashtbl Ir List Option Primitives Stdlib Sw26010

@@ -1,0 +1,1 @@
+lib/core/dma_inference.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/dsl.ml: List Option Prelude String

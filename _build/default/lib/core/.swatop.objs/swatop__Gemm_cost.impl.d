@@ -1,0 +1,1 @@
+lib/core/gemm_cost.ml: Array Float List Prelude Primitives Sw26010

@@ -1,0 +1,1 @@
+lib/core/gemm_cost.mli: Primitives

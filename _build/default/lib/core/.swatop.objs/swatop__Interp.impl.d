@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Float Hashtbl Ir List Primitives Printf Stdlib Sw26010 Swtensor Trace

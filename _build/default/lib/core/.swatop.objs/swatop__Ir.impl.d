@@ -1,0 +1,1 @@
+lib/core/ir.ml: List Primitives Stdlib String

@@ -1,0 +1,1 @@
+lib/core/ir_analysis.ml: Array Format Hashtbl Ir List Printf Stdlib String Sw26010

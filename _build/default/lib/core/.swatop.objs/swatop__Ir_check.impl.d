@@ -1,0 +1,1 @@
+lib/core/ir_check.ml: Ir List Option Printf Stdlib String Sw26010

@@ -1,0 +1,1 @@
+lib/core/ir_print.ml: Format Ir List Primitives Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/ir_print.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/core/mem_plan.ml: Ir List Sw26010

@@ -1,0 +1,1 @@
+lib/core/prefetch.ml: Ir Ir_print Ir_rewrite List Printf Stdlib String

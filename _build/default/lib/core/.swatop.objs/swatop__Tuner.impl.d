@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Cost_model Dma_inference Float Interp Ir Ir_check List Prefetch Prelude Printf String Sys

@@ -1,0 +1,21 @@
+(** Code generation (Sec. 4.7): lower an optimized IR program to the C
+    source of an SW26010 CPE kernel.
+
+    The emitted file targets the athread SPMD runtime: the whole CPE
+    cluster executes [<name>_cpe_kernel] in lock-step; per-CPE row/column
+    ids come from the runtime; SPM buffers live in one coalesced
+    [__thread_local] pool (per {!Mem_plan}); DMAs are issued with the
+    [swDMA]/[swDMAWait] primitives and GEMMs call the assembly kernels by
+    their variant names.
+
+    The output is compilable C in structure; without the proprietary
+    toolchain it serves as the inspectable, testable artifact of the
+    lowering (golden-file tested in the suite). *)
+
+val expr : Ir.expr -> string
+(** C rendering of an expression. *)
+
+val program : Ir.program -> (string, string) result
+(** Full translation unit, or an error from SPM planning. *)
+
+val program_exn : Ir.program -> string

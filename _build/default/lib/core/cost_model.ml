@@ -1,0 +1,275 @@
+open! Stdlib
+
+type estimate = { dma_seconds : float; compute_seconds : float; total_seconds : float }
+
+(* Costs accumulate into a mutable pair; loop sampling multiplies the middle
+   iteration's delta. *)
+type acc = { mutable dma : float; mutable compute : float }
+
+let sampled_cpes = [| (0, 0); (0, 1); (7, 7) |]
+let elem = Sw26010.Config.elem_bytes
+
+(* Slot-compiled expressions (same technique as the interpreter): the
+   estimator is evaluated hundreds of times per schedule space, so the walk
+   must not hash strings. *)
+type slots = { table : (string, int) Hashtbl.t; mutable next : int }
+
+let slots_create () =
+  let s = { table = Hashtbl.create 16; next = 0 } in
+  Hashtbl.replace s.table "rid" 0;
+  Hashtbl.replace s.table "cid" 1;
+  s.next <- 2;
+  s
+
+let slot_of s v =
+  match Hashtbl.find_opt s.table v with
+  | Some i -> i
+  | None ->
+    let i = s.next in
+    Hashtbl.replace s.table v i;
+    s.next <- i + 1;
+    i
+
+let rec compile_expr slots (e : Ir.expr) : int array -> int =
+  match e with
+  | Const i -> fun _ -> i
+  | Var v ->
+    let s = slot_of slots v in
+    fun env -> env.(s)
+  | Add (a, b) -> bin slots ( + ) a b
+  | Sub (a, b) -> bin slots ( - ) a b
+  | Mul (a, b) -> bin slots ( * ) a b
+  | Div (a, b) -> bin slots (fun x y -> x / y) a b
+  | Mod (a, b) -> bin slots (fun x y -> x mod y) a b
+  | Min (a, b) -> bin slots min a b
+  | Max (a, b) -> bin slots max a b
+
+and bin slots op a b =
+  let fa = compile_expr slots a and fb = compile_expr slots b in
+  fun env -> op (fa env) (fb env)
+
+let rec compile_cond slots (c : Ir.cond) : int array -> bool =
+  match c with
+  | Cmp (op, a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    let test : int -> int -> bool =
+      match op with Lt -> ( < ) | Le -> ( <= ) | Eq -> ( = ) | Ne -> ( <> )
+    in
+    fun env -> test (fa env) (fb env)
+  | And (a, b) ->
+    let fa = compile_cond slots a and fb = compile_cond slots b in
+    fun env -> fa env && fb env
+  | Or (a, b) ->
+    let fa = compile_cond slots a and fb = compile_cond slots b in
+    fun env -> fa env || fb env
+  | Not a ->
+    let fa = compile_cond slots a in
+    fun env -> not (fa env)
+
+let transform_tile_cycles = function
+  | Ir.Wino_input -> 26.0
+  | Ir.Wino_filter -> 30.0
+  | Ir.Wino_output -> 22.0
+
+let per_cpe_bw = Sw26010.Config.dma_peak_bw /. float_of_int Sw26010.Config.cpes_per_cg
+let memset_rate = float_of_int (4 * Sw26010.Config.cpes_per_cg)
+
+(* Iterators that can change a statement's *shape* (not just its addresses):
+   those appearing inside Min/Max (ragged tile extents), in If conditions,
+   or in loop bounds. Loops over any other iterator have iteration-
+   independent cost up to DRAM-transaction alignment, so one sampled
+   iteration represents them all. *)
+let boundary_sensitive_vars (p : Ir.program) =
+  let set = Hashtbl.create 16 in
+  let add e = List.iter (fun v -> Hashtbl.replace set v ()) (Ir.free_vars e) in
+  let rec scan_expr (e : Ir.expr) =
+    match e with
+    | Const _ | Var _ -> ()
+    | Min (a, b) | Max (a, b) ->
+      add a;
+      add b
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b) ->
+      scan_expr a;
+      scan_expr b
+  in
+  (* In conditions, only Min/Max subtrees mark sensitivity: a ragged-tile
+     guard compares a min() extent, while a bare [i + step < hi] prefetch
+     guard merely drops one transfer at the end of the nest — noise at the
+     scale the model works at. *)
+  let rec scan_cond (c : Ir.cond) =
+    match c with
+    | Cmp (_, a, b) ->
+      scan_expr a;
+      scan_expr b
+    | And (a, b) | Or (a, b) ->
+      scan_cond a;
+      scan_cond b
+    | Not a -> scan_cond a
+  in
+  let scan_stmt _ (s : Ir.stmt) =
+    (match s with
+    | If { cond; _ } -> scan_cond cond
+    | For { lo; hi; step; _ } ->
+      add lo;
+      add hi;
+      add step
+    | Dma { tag; region; spm_offset; spm_ld; per_cpe; _ } ->
+      List.iter scan_expr
+        [ tag; region.offset; region.rows; region.row_elems; region.row_stride; spm_offset; spm_ld ];
+      Option.iter
+        (fun (d : Ir.cpe_desc) ->
+          List.iter scan_expr [ d.d_offset; d.d_block; d.d_stride; d.d_count ])
+        per_cpe
+    | Gemm g ->
+      List.iter scan_expr
+        [ g.m; g.n; g.k; g.a.g_offset; g.a.g_ld; g.b.g_offset; g.b.g_ld; g.c.g_offset; g.c.g_ld ]
+    | Memset_spm { offset; elems; _ } ->
+      scan_expr offset;
+      scan_expr elems
+    | Spm_copy c ->
+      List.iter scan_expr
+        [ c.cp_src_offset; c.cp_src_ld; c.cp_dst_offset; c.cp_dst_ld; c.cp_rows; c.cp_row_elems ]
+    | Transform t ->
+      List.iter scan_expr
+        [ t.t_src_offset; t.t_dst_offset; t.t_chans; t.t_tiles_r; t.t_tiles_c; t.t_src_ld ]
+    | Seq _ | Dma_wait _ | Comment _ -> ());
+    ()
+  in
+  Ir.fold_stmt scan_stmt () p.body;
+  set
+
+let compile ~gemm_model (p : Ir.program) =
+  let slots = slots_create () in
+  let sensitive = boundary_sensitive_vars p in
+  let rec compile_stmt (s : Ir.stmt) : int array -> acc -> unit =
+    match s with
+    | Seq l ->
+      let fs = Array.of_list (List.map compile_stmt l) in
+      fun env acc -> Array.iter (fun f -> f env acc) fs
+    | If { cond; then_; else_ } ->
+      let fc = compile_cond slots cond in
+      let ft = compile_stmt then_ and fe = compile_stmt else_ in
+      fun env acc -> if fc env then ft env acc else fe env acc
+    | For { iter; lo; hi; step; body; _ } ->
+      let slot = slot_of slots iter in
+      let uniform = not (Hashtbl.mem sensitive iter) in
+      let flo = compile_expr slots lo
+      and fhi = compile_expr slots hi
+      and fstep = compile_expr slots step in
+      let fbody = compile_stmt body in
+      fun env acc ->
+        let lo = flo env and hi = fhi env and step = fstep env in
+        if step <= 0 then invalid_arg "Cost_model: non-positive step";
+        let trips = if hi <= lo then 0 else (hi - lo + step - 1) / step in
+        let at i =
+          env.(slot) <- i;
+          fbody env acc
+        in
+        if trips = 0 then ()
+        else if uniform then begin
+          (* The iterator never reaches a boundary expression: one middle
+             iteration represents them all. *)
+          let d0 = acc.dma and c0 = acc.compute in
+          at (lo + (trips / 2 * step));
+          let scale = float_of_int (trips - 1) in
+          acc.dma <- acc.dma +. (scale *. (acc.dma -. d0));
+          acc.compute <- acc.compute +. (scale *. (acc.compute -. c0))
+        end
+        else if trips <= 4 then
+          for t = 0 to trips - 1 do
+            at (lo + (t * step))
+          done
+        else begin
+          (* First, middle and last iterations evaluated; the interior is
+             extrapolated from the middle — this captures the boundary
+             min()/If effects that live at the edges of tiled loops. *)
+          at lo;
+          let d0 = acc.dma and c0 = acc.compute in
+          at (lo + (trips / 2 * step));
+          let dmid = acc.dma -. d0 and cmid = acc.compute -. c0 in
+          let scale = float_of_int (trips - 3) in
+          acc.dma <- acc.dma +. (scale *. dmid);
+          acc.compute <- acc.compute +. (scale *. cmid);
+          at (lo + ((trips - 1) * step))
+        end
+    | Dma d ->
+      let desc =
+        match d.per_cpe with
+        | Some desc -> desc
+        | None -> invalid_arg "Cost_model: DMA without per-CPE descriptor"
+      in
+      let f_off = compile_expr slots desc.d_offset
+      and f_block = compile_expr slots desc.d_block
+      and f_stride = compile_expr slots desc.d_stride
+      and f_count = compile_expr slots desc.d_count in
+      fun env acc ->
+        let worst = ref 0 in
+        Array.iter
+          (fun (r, c) ->
+            env.(0) <- r;
+            env.(1) <- c;
+            let dd =
+              Sw26010.Dma.descriptor
+                ~offset_bytes:(f_off env * elem)
+                ~block_bytes:(f_block env * elem)
+                ~stride_bytes:(max (f_stride env) (f_block env) * elem)
+                ~block_count:(f_count env)
+            in
+            worst := max !worst (Sw26010.Dma.transaction_bytes dd))
+          sampled_cpes;
+        if !worst > 0 then
+          acc.dma <-
+            acc.dma +. Sw26010.Config.dma_latency_s +. (float_of_int !worst /. per_cpe_bw)
+    | Dma_wait _ -> fun _ _ -> ()
+    | Gemm g ->
+      let fm = compile_expr slots g.m
+      and fn = compile_expr slots g.n
+      and fk = compile_expr slots g.k in
+      let fal = compile_expr slots g.a.g_ld
+      and fbl = compile_expr slots g.b.g_ld
+      and fcl = compile_expr slots g.c.g_ld in
+      fun env acc ->
+        let call =
+          Primitives.Spm_gemm.call ~variant:g.variant ~m:(fm env) ~n:(fn env) ~k:(fk env)
+            ~lda:(fal env) ~ldb:(fbl env) ~ldc:(fcl env)
+        in
+        acc.compute <- acc.compute +. Gemm_cost.predict_seconds gemm_model call
+    | Memset_spm { elems; _ } ->
+      let felems = compile_expr slots elems in
+      fun env acc ->
+        acc.compute <-
+          acc.compute +. Sw26010.Config.seconds_of_cycles (float_of_int (felems env) /. memset_rate)
+    | Spm_copy c ->
+      let frows = compile_expr slots c.cp_rows and felems = compile_expr slots c.cp_row_elems in
+      fun env acc ->
+        let n = frows env * felems env in
+        acc.compute <-
+          acc.compute +. Sw26010.Config.seconds_of_cycles (2.0 *. float_of_int n /. memset_rate)
+    | Transform t ->
+      let fchans = compile_expr slots t.t_chans
+      and ftr = compile_expr slots t.t_tiles_r
+      and ftc = compile_expr slots t.t_tiles_c in
+      let per_tile = transform_tile_cycles t.kind in
+      let is_filter = match t.kind with Ir.Wino_filter -> true | _ -> false in
+      fun env acc ->
+        let chans = fchans env in
+        let units = if is_filter then chans else chans * ftr env * ftc env in
+        acc.compute <-
+          acc.compute
+          +. Sw26010.Config.seconds_of_cycles
+               (float_of_int units *. per_tile /. float_of_int Sw26010.Config.cpes_per_cg)
+    | Comment _ -> fun _ _ -> ()
+  in
+  let compiled = compile_stmt p.body in
+  (compiled, slots)
+
+let estimate ~gemm_model (p : Ir.program) =
+  let compiled, slots = compile ~gemm_model p in
+  let env = Array.make (max 2 slots.next) 0 in
+  let acc = { dma = 0.0; compute = 0.0 } in
+  compiled env acc;
+  let total =
+    if p.overlapped then Float.max acc.dma acc.compute +. Sw26010.Config.dma_latency_s
+    else acc.dma +. acc.compute
+  in
+  { dma_seconds = acc.dma; compute_seconds = acc.compute; total_seconds = total }

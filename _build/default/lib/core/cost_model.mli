@@ -1,0 +1,24 @@
+(** The static whole-program performance model of Sec. 4.6.
+
+    The model walks an IR program *analytically*: loop bodies are evaluated
+    at the first, a middle and the last iteration, and the interior is
+    extrapolated; DMA nodes are charged by Eq. 1 (start-up latency plus
+    worst-CPE transaction bytes over the bandwidth share); GEMM nodes are
+    charged by the fitted Eq. 2 model; memsets and Winograd transforms by
+    their deterministic cycle formulas.
+
+    DMA time and compute time accumulate separately. For an overlapped
+    (double-buffered) program the total is [max(T_dma, T_compute)]; for a
+    non-overlapped one it is the sum — exactly the paper's combination rule.
+
+    Evaluating a candidate costs microseconds, versus the milliseconds of a
+    full simulated run: that gap is the tuning-time reduction of Table 3. *)
+
+type estimate = {
+  dma_seconds : float;
+  compute_seconds : float;
+  total_seconds : float;
+}
+
+val estimate : gemm_model:Gemm_cost.t -> Ir.program -> estimate
+(** Requires per-CPE DMA descriptors (run {!Dma_inference} first). *)

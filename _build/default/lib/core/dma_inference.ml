@@ -1,0 +1,52 @@
+open Ir
+
+let cpes = Const Sw26010.Config.cpes_per_cg
+let grid = Const Sw26010.Config.cpe_rows
+let cpe_id = (rid * Const Sw26010.Config.cpe_cols) + cid
+
+(* ceil(a / b) for expressions with constant-friendly simplification *)
+let ceil_div_e a b = (a + (b - Const 1)) / b
+
+let infer_desc (r : region) = function
+  | P_rows ->
+    (* Each CPE takes [ceil(rows/64)] consecutive row blocks; trailing CPEs
+       clip to what remains. *)
+    let per = ceil_div_e r.rows cpes in
+    {
+      d_offset = r.offset + (cpe_id * per * r.row_stride);
+      d_block = r.row_elems;
+      d_stride = r.row_stride;
+      d_count = emax (Const 0) (emin per (r.rows - (cpe_id * per)));
+    }
+  | P_cols ->
+    (* Each CPE takes a [ceil(row_elems/64)] slice of every row block. *)
+    let slice = ceil_div_e r.row_elems cpes in
+    {
+      d_offset = r.offset + (cpe_id * slice);
+      d_block = emax (Const 0) (emin slice (r.row_elems - (cpe_id * slice)));
+      d_stride = r.row_stride;
+      d_count = r.rows;
+    }
+  | P_grid ->
+    (* CPE (rid, cid) takes the (cid, rid) tile of the 8x8 grid over
+       (rows x row_elems) — the column id picks the block, the row id the
+       slice within a block, matching the worked example of Fig. 4:
+       offset = (cid*N/8)*M + rid*M/8 for a column-major M x N matrix. *)
+    let rows_per = ceil_div_e r.rows grid and cols_per = ceil_div_e r.row_elems grid in
+    {
+      d_offset = r.offset + (cid * rows_per * r.row_stride) + (rid * cols_per);
+      d_block = emax (Const 0) (emin cols_per (r.row_elems - (rid * cols_per)));
+      d_stride = r.row_stride;
+      d_count = emax (Const 0) (emin rows_per (r.rows - (cid * rows_per)));
+    }
+
+let apply (p : program) =
+  let body =
+    map_stmt
+      (function
+        | Dma ({ per_cpe = None; _ } as d) ->
+          Dma { d with per_cpe = Some (infer_desc d.region d.partition) }
+        | s -> s)
+      p.body
+  in
+  { p with body }

@@ -1,0 +1,18 @@
+(** DMA inference (Sec. 4.5.1): derive each CPE's strided descriptor from the
+    whole-CG transfer written by the scheduler.
+
+    The scheduler emits [Dma] nodes carrying only a CG-level region (base
+    offset, number of row blocks, elements per block, stride) plus a
+    partition hint; this pass fills in the [per_cpe] descriptor — offset,
+    block, stride and count expressions over the reserved [rid]/[cid]
+    variables — exactly as in the worked example of Fig. 4 (right):
+    for a column-major M x N matrix split on the 8x8 grid,
+    [block = M/8], [stride = M*7/8], [offset = (cid*N/8)*M + rid*M/8]. *)
+
+val infer_desc : Ir.region -> Ir.partition -> Ir.cpe_desc
+(** The per-CPE descriptor for one region. Ragged divisions are clipped per
+    CPE with [min]/[max] so the union of the 64 descriptors is exactly the
+    region. *)
+
+val apply : Ir.program -> Ir.program
+(** Fill [per_cpe] on every DMA node that lacks one. Idempotent. *)

@@ -1,0 +1,73 @@
+type axis = { axis_name : string; extent : int }
+
+let axis axis_name extent =
+  if extent <= 0 then invalid_arg "Dsl.axis: non-positive extent";
+  { axis_name; extent }
+
+type factor_var = { fv_name : string; fv_candidates : int list }
+
+let pow2_up_to limit =
+  let rec loop p acc = if p > limit then List.rev acc else loop (2 * p) (p :: acc) in
+  loop 1 []
+
+let factor_var ~name ~axis ?max_factor ?min_factor () =
+  let lo = Option.value min_factor ~default:1 in
+  let hi = Option.value max_factor ~default:axis.extent in
+  let in_range f = f >= lo && f <= hi in
+  let divisors = List.filter in_range (Prelude.Ints.divisors axis.extent) in
+  let candidates =
+    if List.length divisors >= 3 then divisors
+    else
+      List.sort_uniq compare
+        (divisors @ List.filter (fun f -> in_range f && f <= axis.extent) (pow2_up_to axis.extent))
+  in
+  if candidates = [] then invalid_arg ("Dsl.factor_var: empty candidate set for " ^ name);
+  { fv_name = name; fv_candidates = candidates }
+
+let factor_var_of_list ~name candidates =
+  if candidates = [] then invalid_arg "Dsl.factor_var_of_list: empty candidates";
+  { fv_name = name; fv_candidates = List.sort_uniq compare candidates }
+
+type choice_var = { cv_name : string; cv_arity : int }
+
+let choice_var ~name ~arity =
+  if arity <= 0 then invalid_arg "Dsl.choice_var: non-positive arity";
+  { cv_name = name; cv_arity = arity }
+
+type t = { factors : factor_var list; choices : choice_var list }
+
+let space ~factors ~choices =
+  let names =
+    List.map (fun f -> f.fv_name) factors @ List.map (fun c -> c.cv_name) choices
+  in
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | _ -> None
+  in
+  (match dup sorted with
+  | Some n -> invalid_arg ("Dsl.space: duplicate variable " ^ n)
+  | None -> ());
+  { factors; choices }
+
+type binding = (string * int) list
+
+let size t =
+  List.fold_left (fun acc f -> acc * List.length f.fv_candidates) 1 t.factors
+  * List.fold_left (fun acc c -> acc * c.cv_arity) 1 t.choices
+
+let enumerate t =
+  let dims =
+    List.map (fun f -> (f.fv_name, f.fv_candidates)) t.factors
+    @ List.map (fun c -> (c.cv_name, Prelude.Lists.range 0 c.cv_arity)) t.choices
+  in
+  List.fold_left
+    (fun acc (name, values) ->
+      List.concat_map (fun partial -> List.map (fun v -> (name, v) :: partial) values) acc)
+    [ [] ] dims
+  |> List.map List.rev
+
+let value binding name =
+  match List.assoc_opt name binding with
+  | Some v -> v
+  | None -> raise Not_found

@@ -1,0 +1,49 @@
+(** The tensorized-primitive DSL's schedule-space vocabulary (Sec. 4.2,
+    Fig. 4).
+
+    An operator module describes its computation — the schedule seed — in
+    plain OCaml and declares its schedule space with the variables here:
+
+    - {!factor_var} mirrors the DSL's [FactorVar]: a tiling factor for one
+      axis, whose candidate values swATOP traverses automatically;
+    - {!choice_var} covers the discrete decisions that need explicit
+      candidates — loop reorders (the paper notes permutations are too many
+      to enumerate implicitly), data layouts, vectorization dimension,
+      boundary policy.
+
+    {!enumerate} produces every point of the cartesian space as a
+    name-to-value binding; operator builders turn a binding into a concrete
+    schedule strategy and lower it to IR. *)
+
+type axis = { axis_name : string; extent : int }
+
+val axis : string -> int -> axis
+
+type factor_var = { fv_name : string; fv_candidates : int list }
+
+val factor_var : name:string -> axis:axis -> ?max_factor:int -> ?min_factor:int -> unit -> factor_var
+(** Candidates are the divisors of the axis extent within
+    [min_factor, max_factor] (defaults: 1 and the extent). If the extent has
+    fewer than three divisors in range (e.g. a prime extent), power-of-two
+    tile sizes in range are added — those produce ragged tiles the boundary
+    machinery must handle, exactly as in the paper. *)
+
+val factor_var_of_list : name:string -> int list -> factor_var
+
+type choice_var = { cv_name : string; cv_arity : int }
+
+val choice_var : name:string -> arity:int -> choice_var
+
+type t = { factors : factor_var list; choices : choice_var list }
+
+val space : factors:factor_var list -> choices:choice_var list -> t
+
+type binding = (string * int) list
+
+val size : t -> int
+(** Product of all candidate counts (before validity filtering). *)
+
+val enumerate : t -> binding list
+
+val value : binding -> string -> int
+(** Raises [Not_found] on an unknown variable name. *)

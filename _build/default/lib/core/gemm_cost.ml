@@ -1,0 +1,59 @@
+module G = Primitives.Spm_gemm
+
+type t = (string * float array) list
+
+let feature_count = 6
+
+(* Per-CPE tile extents: the model knows the operands are partitioned over
+   the 8x8 cluster (public architectural knowledge, same as Eq. 1's #CPE),
+   and which dimension the variant vectorizes — mirroring Eq. 2's
+   vecM-dependent terms. It does *not* know the kernel's register-blocking
+   granularities; their ceil() staircase is the model's residual error. *)
+let features ~variant ~m ~n ~k =
+  let mp = float_of_int (Prelude.Ints.ceil_div m Sw26010.Config.cpe_rows) in
+  let np = float_of_int (Prelude.Ints.ceil_div n Sw26010.Config.cpe_cols) in
+  let vd, od = match variant.G.vec with G.Vec_m -> (mp, np) | G.Vec_n -> (np, mp) in
+  let k = float_of_int k in
+  [| k; k *. vd; k *. od; vd *. od; k *. vd *. od; 1.0 |]
+
+let default_grid =
+  let ms = [ 8; 16; 32; 64; 96; 128; 192; 256; 384; 512 ] in
+  let ks = [ 8; 16; 32; 64; 128; 256 ] in
+  Prelude.Lists.cartesian3 ms ms ks
+
+let plain_call variant ~m ~n ~k =
+  let lda = match variant.G.a_major with G.Row_major -> k | G.Col_major -> m in
+  let ldb = match variant.G.b_major with G.Row_major -> n | G.Col_major -> k in
+  G.call ~variant ~m ~n ~k ~lda ~ldb ~ldc:n
+
+let fit ?(grid = default_grid) () =
+  let samples = Array.of_list grid in
+  let fit_variant variant =
+    let xs = Array.map (fun (m, n, k) -> features ~variant ~m ~n ~k) samples in
+    let ys = Array.map (fun (m, n, k) -> G.cycles (plain_call variant ~m ~n ~k)) samples in
+    (* Weight every sample by 1/true-cycles: the tuner ranks candidates, so
+       relative error matters uniformly across small and large calls. *)
+    let xs_w =
+      Array.mapi (fun i row -> Array.map (fun v -> v /. ys.(i)) row) xs
+    in
+    let ys_w = Array.map (fun _ -> 1.0) ys in
+    (G.variant_name variant, Prelude.Linsolve.least_squares xs_w ys_w)
+  in
+  List.map fit_variant G.all_variants
+
+let coefficients t variant = List.assoc (G.variant_name variant) t
+
+let predict_cycles t (call : G.call) =
+  let coef = coefficients t call.variant in
+  let f = features ~variant:call.variant ~m:call.m ~n:call.n ~k:call.k in
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> acc := !acc +. (c *. f.(i))) coef;
+  (* A linear fit can go (slightly) negative on tiny shapes; clamp to the
+     cheapest conceivable call. *)
+  Float.max !acc 1.0
+
+let predict_seconds t call = Sw26010.Config.seconds_of_cycles (predict_cycles t call)
+
+let relative_error t call =
+  let truth = G.cycles call in
+  (predict_cycles t call -. truth) /. truth

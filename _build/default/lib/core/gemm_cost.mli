@@ -1,0 +1,37 @@
+(** The autotuner's GEMM-primitive cost model (Eq. 2 of the paper).
+
+    The execution time of one [spm_gemm] call is, for a fixed kernel variant,
+    close to linear in its dimension parameters. Following Sec. 4.6, the
+    model is *fitted* — by least squares over timings of sample calls — not
+    read out of the kernel's internals, so it carries genuine approximation
+    error (the ceil-shaped register-blocking terms are not in its basis);
+    that error is what Fig. 9 measures downstream.
+
+    The feature basis generalises Eq. 2 slightly:
+    [K, K*M, K*N, M*N, K*M*N, 1], fitted per variant (the paper fits per
+    vectorization approach; per-variant subsumes that). *)
+
+type t
+
+val feature_count : int
+
+val features : variant:Primitives.Spm_gemm.variant -> m:int -> n:int -> k:int -> float array
+(** The per-variant feature vector. The basis knows the 8x8 cluster
+    partition and the variant's vectorized dimension (as Eq. 2 does via its
+    vecM terms) but not the kernel's register-blocking granularity. *)
+
+val default_grid : (int * int * int) list
+(** The (m, n, k) sample grid used by {!fit}: covers the tile sizes schedule
+    spaces actually generate. *)
+
+val fit : ?grid:(int * int * int) list -> unit -> t
+(** Time the kernel cycle model on the grid for every variant and solve the
+    normal equations. Deterministic. *)
+
+val coefficients : t -> Primitives.Spm_gemm.variant -> float array
+
+val predict_cycles : t -> Primitives.Spm_gemm.call -> float
+val predict_seconds : t -> Primitives.Spm_gemm.call -> float
+
+val relative_error : t -> Primitives.Spm_gemm.call -> float
+(** [(predicted - true) / true] cycles for one call. *)

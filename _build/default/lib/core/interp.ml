@@ -1,0 +1,486 @@
+open! Stdlib
+
+type fidelity = Exact_cpes | Sampled_cpes
+
+type result = {
+  seconds : float;
+  dma_busy_seconds : float;
+  compute_busy_seconds : float;
+  gemm_calls : int;
+  gemm_flops : float;
+  dma_payload_bytes : int;
+  dma_transaction_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variable slots: every loop iterator (plus rid/cid) gets an index in a
+   mutable int array, so expression evaluation allocates nothing. *)
+
+type slots = { table : (string, int) Hashtbl.t; mutable next : int }
+
+let slots_create () =
+  let s = { table = Hashtbl.create 16; next = 0 } in
+  List.iter
+    (fun v ->
+      Hashtbl.replace s.table v s.next;
+      s.next <- s.next + 1)
+    [ "rid"; "cid" ];
+  s
+
+let slot_of s v =
+  match Hashtbl.find_opt s.table v with
+  | Some i -> i
+  | None ->
+    let i = s.next in
+    Hashtbl.replace s.table v i;
+    s.next <- i + 1;
+    i
+
+let rid_slot = 0
+let cid_slot = 1
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation. *)
+
+let rec compile_expr slots (e : Ir.expr) : int array -> int =
+  match e with
+  | Const i -> fun _ -> i
+  | Var v ->
+    let s = slot_of slots v in
+    fun env -> env.(s)
+  | Add (a, b) -> bin slots ( + ) a b
+  | Sub (a, b) -> bin slots ( - ) a b
+  | Mul (a, b) -> bin slots ( * ) a b
+  | Div (a, b) -> bin slots (fun x y -> x / y) a b
+  | Mod (a, b) -> bin slots (fun x y -> x mod y) a b
+  | Min (a, b) -> bin slots min a b
+  | Max (a, b) -> bin slots max a b
+
+and bin slots op a b =
+  let fa = compile_expr slots a and fb = compile_expr slots b in
+  fun env -> op (fa env) (fb env)
+
+let rec compile_cond slots (c : Ir.cond) : int array -> bool =
+  match c with
+  | Cmp (op, a, b) ->
+    let fa = compile_expr slots a and fb = compile_expr slots b in
+    let test : int -> int -> bool =
+      match op with Lt -> ( < ) | Le -> ( <= ) | Eq -> ( = ) | Ne -> ( <> )
+    in
+    fun env -> test (fa env) (fb env)
+  | And (a, b) ->
+    let fa = compile_cond slots a and fb = compile_cond slots b in
+    fun env -> fa env && fb env
+  | Or (a, b) ->
+    let fa = compile_cond slots a and fb = compile_cond slots b in
+    fun env -> fa env || fb env
+  | Not a ->
+    let fa = compile_cond slots a in
+    fun env -> not (fa env)
+
+(* ------------------------------------------------------------------ *)
+(* Execution state. *)
+
+type state = {
+  cg : Sw26010.Core_group.t;
+  env : int array;
+  numeric : bool;
+  trace : Trace.t option;
+  buffers : (string, float array) Hashtbl.t;
+  mutable gemm_calls : int;
+  mutable gemm_flops : float;
+  mutable payload_bytes : int;
+  mutable transaction_bytes : int;
+}
+
+let buffer st name =
+  match Hashtbl.find_opt st.buffers name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Interp: buffer %s has no backing array" name)
+
+let elem = Sw26010.Config.elem_bytes
+
+(* DMA cost: evaluate the per-CPE descriptor for a set of (rid, cid) pairs
+   and charge the slowest CPE's transaction bytes (the collective completes
+   when the last CPE's engine drains). *)
+let sampled_cpes = [| (0, 0); (0, 1); (7, 7) |]
+
+let all_cpes =
+  Array.init Sw26010.Config.cpes_per_cg (fun i ->
+      (i / Sw26010.Config.cpe_cols, i mod Sw26010.Config.cpe_cols))
+
+let transform_tile_cycles = function
+  | Ir.Wino_input -> 26.0
+  | Ir.Wino_filter -> 30.0
+  | Ir.Wino_output -> 22.0
+
+(* ------------------------------------------------------------------ *)
+
+let compile ~fidelity (p : Ir.program) =
+  let slots = slots_create () in
+  let cpes = match fidelity with Exact_cpes -> all_cpes | Sampled_cpes -> sampled_cpes in
+  let buf_elems name =
+    match Ir.find_buf p name with
+    | Some b -> if b.double_buffered then 2 * b.cg_elems else b.cg_elems
+    | None -> invalid_arg (Printf.sprintf "Interp: undeclared buffer %s" name)
+  in
+  let rec compile_stmt (s : Ir.stmt) : state -> unit =
+    match s with
+    | Seq l ->
+      let fs = Array.of_list (List.map compile_stmt l) in
+      fun st -> Array.iter (fun f -> f st) fs
+    | For { iter; lo; hi; step; body; _ } ->
+      let slot = slot_of slots iter in
+      let flo = compile_expr slots lo
+      and fhi = compile_expr slots hi
+      and fstep = compile_expr slots step in
+      let fbody = compile_stmt body in
+      fun st ->
+        let hi = fhi st.env and step = fstep st.env in
+        if step <= 0 then invalid_arg "Interp: non-positive loop step";
+        let i = ref (flo st.env) in
+        while !i < hi do
+          st.env.(slot) <- !i;
+          fbody st;
+          i := !i + step
+        done
+    | If { cond; then_; else_ } ->
+      let fc = compile_cond slots cond in
+      let ft = compile_stmt then_ and fe = compile_stmt else_ in
+      fun st -> if fc st.env then ft st else fe st
+    | Dma { dir; main; spm; tag; region; spm_offset; spm_ld; per_cpe; _ } ->
+      let desc =
+        match per_cpe with
+        | Some d -> d
+        | None -> invalid_arg "Interp: DMA without per-CPE descriptor (run Dma_inference)"
+      in
+      let ftag = compile_expr slots tag in
+      let f_off = compile_expr slots desc.d_offset
+      and f_block = compile_expr slots desc.d_block
+      and f_stride = compile_expr slots desc.d_stride
+      and f_count = compile_expr slots desc.d_count in
+      let f_roff = compile_expr slots region.offset
+      and f_rows = compile_expr slots region.rows
+      and f_relems = compile_expr slots region.row_elems
+      and f_rstride = compile_expr slots region.row_stride in
+      let f_spm_off = compile_expr slots spm_offset in
+      let f_spm_ld = compile_expr slots spm_ld in
+      let spm_len = buf_elems spm in
+      (* Per-CPE one-entry caches: across loop iterations the descriptor
+         shape repeats and the transaction waste depends on the offset only
+         through its alignment phase. *)
+      let n_cpes = Array.length cpes in
+      let ck_phase = Array.make n_cpes min_int
+      and ck_block = Array.make n_cpes min_int
+      and ck_stride = Array.make n_cpes min_int
+      and ck_count = Array.make n_cpes min_int
+      and cv_txn = Array.make n_cpes 0
+      and cv_payload = Array.make n_cpes 0 in
+      fun st ->
+        (* Cost: worst transaction load among the (sampled) CPEs. *)
+        let worst_txn = ref 0 and total_payload = ref 0 in
+        Array.iteri
+          (fun i (r, c) ->
+            st.env.(rid_slot) <- r;
+            st.env.(cid_slot) <- c;
+            let off = f_off st.env * elem in
+            let block = f_block st.env * elem in
+            let stride = max (f_stride st.env) (f_block st.env) * elem in
+            let count = f_count st.env in
+            let phase = off mod Sw26010.Config.dram_transaction_bytes in
+            if
+              not
+                (ck_phase.(i) = phase && ck_block.(i) = block && ck_stride.(i) = stride
+               && ck_count.(i) = count)
+            then begin
+              let d =
+                Sw26010.Dma.descriptor ~offset_bytes:phase ~block_bytes:block
+                  ~stride_bytes:stride ~block_count:count
+              in
+              ck_phase.(i) <- phase;
+              ck_block.(i) <- block;
+              ck_stride.(i) <- stride;
+              ck_count.(i) <- count;
+              cv_txn.(i) <- Sw26010.Dma.transaction_bytes d;
+              cv_payload.(i) <- Sw26010.Dma.payload_bytes d
+            end;
+            worst_txn := max !worst_txn cv_txn.(i);
+            total_payload := !total_payload + cv_payload.(i))
+          cpes;
+        let ncpes = Array.length cpes in
+        (* Payload is extrapolated from the sampled CPEs; transactions are
+           charged as 64 x the worst sampled CPE (lock-step collective). *)
+        st.payload_bytes <-
+          st.payload_bytes + (!total_payload * Sw26010.Config.cpes_per_cg / ncpes);
+        st.transaction_bytes <- st.transaction_bytes + (!worst_txn * Sw26010.Config.cpes_per_cg);
+        let occupancy =
+          float_of_int !worst_txn
+          /. (Sw26010.Config.dma_peak_bw /. float_of_int Sw26010.Config.cpes_per_cg)
+        in
+        let latency = if !worst_txn = 0 then 0.0 else Sw26010.Config.dma_latency_s in
+        Sw26010.Core_group.issue_dma st.cg ~tag:(ftag st.env) ~occupancy ~latency;
+        (match st.trace with
+        | None -> ()
+        | Some tr ->
+          let stop = Sw26010.Core_group.engine_busy_until st.cg in
+          Trace.record tr
+            ~name:(Printf.sprintf "dma_%s %s" (match dir with Ir.Get -> "get" | Ir.Put -> "put") spm)
+            ~lane:Trace.Dma_engine ~start:(stop -. occupancy) ~stop);
+        if st.numeric then begin
+          let main_arr = buffer st main and spm_arr = buffer st spm in
+          let off = f_roff st.env
+          and rows = f_rows st.env
+          and row_elems = f_relems st.env
+          and row_stride = f_rstride st.env in
+          let spm_off = f_spm_off st.env in
+          let spm_ld = max (f_spm_ld st.env) row_elems in
+          if spm_off < 0 || (rows > 0 && spm_off + ((rows - 1) * spm_ld) + row_elems > spm_len) then
+            invalid_arg
+              (Printf.sprintf "Interp: SPM access out of bounds on %s (%d rows=%d ld=%d len=%d)" spm
+                 spm_off rows spm_ld spm_len);
+          for i = 0 to rows - 1 do
+            let m = off + (i * row_stride) and sp = spm_off + (i * spm_ld) in
+            match dir with
+            | Get -> Array.blit main_arr m spm_arr sp row_elems
+            | Put -> Array.blit spm_arr sp main_arr m row_elems
+          done
+        end
+    | Dma_wait { tag } ->
+      let ftag = compile_expr slots tag in
+      fun st -> Sw26010.Core_group.wait_dma st.cg ~tag:(ftag st.env)
+    | Gemm { variant; m; n; k; a; b; c } ->
+      let fm = compile_expr slots m and fn = compile_expr slots n and fk = compile_expr slots k in
+      let fao = compile_expr slots a.g_offset and fal = compile_expr slots a.g_ld in
+      let fbo = compile_expr slots b.g_offset and fbl = compile_expr slots b.g_ld in
+      let fco = compile_expr slots c.g_offset and fcl = compile_expr slots c.g_ld in
+      (* One-entry cache: identical calls repeat across the loop interior. *)
+      let ck = Array.make 6 min_int in
+      let cv_seconds = ref 0.0 and cv_flops = ref 0.0 in
+      fun st ->
+        let m = fm st.env and n = fn st.env and k = fk st.env in
+        let lda = fal st.env and ldb = fbl st.env and ldc = fcl st.env in
+        if
+          not
+            (ck.(0) = m && ck.(1) = n && ck.(2) = k && ck.(3) = lda && ck.(4) = ldb
+           && ck.(5) = ldc)
+        then begin
+          let call = Primitives.Spm_gemm.call ~variant ~m ~n ~k ~lda ~ldb ~ldc in
+          ck.(0) <- m;
+          ck.(1) <- n;
+          ck.(2) <- k;
+          ck.(3) <- lda;
+          ck.(4) <- ldb;
+          ck.(5) <- ldc;
+          cv_seconds := Primitives.Spm_gemm.seconds call;
+          cv_flops := Primitives.Spm_gemm.flops call
+        end;
+        st.gemm_calls <- st.gemm_calls + 1;
+        st.gemm_flops <- st.gemm_flops +. !cv_flops;
+        let t0 = Sw26010.Core_group.now st.cg in
+        Sw26010.Core_group.advance st.cg !cv_seconds;
+        (match st.trace with
+        | None -> ()
+        | Some tr ->
+          Trace.record tr
+            ~name:(Printf.sprintf "gemm %dx%dx%d" m n k)
+            ~lane:Trace.Cpe_cluster ~start:t0
+            ~stop:(Sw26010.Core_group.now st.cg));
+        if st.numeric then begin
+          let call = Primitives.Spm_gemm.call ~variant ~m ~n ~k ~lda ~ldb ~ldc in
+          Primitives.Spm_gemm.exec call ~a:(buffer st a.g_buf) ~ao:(fao st.env)
+            ~b:(buffer st b.g_buf) ~bo:(fbo st.env) ~c:(buffer st c.g_buf) ~co:(fco st.env)
+        end
+    | Memset_spm { buf; offset; elems } ->
+      let foff = compile_expr slots offset and felems = compile_expr slots elems in
+      fun st ->
+        let n = felems st.env in
+        (* Vector stores, 4 lanes/cycle, spread across the cluster. *)
+        let cycles =
+          float_of_int n /. float_of_int (4 * Sw26010.Config.cpes_per_cg)
+        in
+        let t0 = Sw26010.Core_group.now st.cg in
+        Sw26010.Core_group.advance_cycles st.cg cycles;
+        (match st.trace with
+        | None -> ()
+        | Some tr ->
+          Trace.record tr ~name:"memset" ~lane:Trace.Cpe_cluster ~start:t0
+            ~stop:(Sw26010.Core_group.now st.cg));
+        if st.numeric then begin
+          let arr = buffer st buf in
+          Array.fill arr (foff st.env) n 0.0
+        end
+    | Spm_copy c ->
+      let fso = compile_expr slots c.cp_src_offset
+      and fsl = compile_expr slots c.cp_src_ld
+      and fdo = compile_expr slots c.cp_dst_offset
+      and fdl = compile_expr slots c.cp_dst_ld
+      and frows = compile_expr slots c.cp_rows
+      and felems = compile_expr slots c.cp_row_elems in
+      fun st ->
+        let rows = frows st.env and row_elems = felems st.env in
+        (* Vector load + store per 4 elements, spread across the cluster. *)
+        let cycles =
+          2.0 *. float_of_int (rows * row_elems)
+          /. float_of_int (4 * Sw26010.Config.cpes_per_cg)
+        in
+        let t0 = Sw26010.Core_group.now st.cg in
+        Sw26010.Core_group.advance_cycles st.cg cycles;
+        (match st.trace with
+        | None -> ()
+        | Some tr ->
+          Trace.record tr ~name:"spm_copy" ~lane:Trace.Cpe_cluster ~start:t0
+            ~stop:(Sw26010.Core_group.now st.cg));
+        if st.numeric then begin
+          let src = buffer st c.cp_src and dst = buffer st c.cp_dst in
+          let so = fso st.env and sl = fsl st.env and d_o = fdo st.env and dl = fdl st.env in
+          for i = 0 to rows - 1 do
+            Array.blit src (so + (i * sl)) dst (d_o + (i * dl)) row_elems
+          done
+        end
+    | Transform t -> compile_transform t
+    | Comment _ -> fun _ -> ()
+  and compile_transform (t : Ir.transform) =
+    let fsrc_off = compile_expr slots t.t_src_offset
+    and fdst_off = compile_expr slots t.t_dst_offset
+    and fchans = compile_expr slots t.t_chans
+    and ftr = compile_expr slots t.t_tiles_r
+    and ftc = compile_expr slots t.t_tiles_c
+    and fld = compile_expr slots t.t_src_ld in
+    let per_tile = transform_tile_cycles t.kind in
+    fun st ->
+      let chans = fchans st.env
+      and tiles_r = ftr st.env
+      and tiles_c = ftc st.env
+      and src_ld = fld st.env in
+      let tiles = tiles_r * tiles_c in
+      let units = match t.kind with Ir.Wino_filter -> chans | _ -> chans * tiles in
+      let cycles = float_of_int units *. per_tile /. float_of_int Sw26010.Config.cpes_per_cg in
+      let t0 = Sw26010.Core_group.now st.cg in
+      Sw26010.Core_group.advance_cycles st.cg cycles;
+      (match st.trace with
+      | None -> ()
+      | Some tr ->
+        let name =
+          match t.kind with
+          | Ir.Wino_input -> "wino_input"
+          | Ir.Wino_filter -> "wino_filter"
+          | Ir.Wino_output -> "wino_output"
+        in
+        Trace.record tr ~name ~lane:Trace.Cpe_cluster ~start:t0
+          ~stop:(Sw26010.Core_group.now st.cg));
+      if st.numeric then begin
+        let src = buffer st t.t_src and dst = buffer st t.t_dst in
+        let src_off = fsrc_off st.env and dst_off = fdst_off st.env in
+        let xi_count = Swtensor.Winograd_ref.num_products in
+        match t.kind with
+        | Ir.Wino_input ->
+          (* src: chans planes of (tiles_r*2+2) rows x src_ld; dst: V panel
+             (16, chans, tiles). *)
+          let plane_rows = (tiles_r * 2) + 2 in
+          let tile = Array.make 16 0.0 in
+          for ch = 0 to chans - 1 do
+            let plane = src_off + (ch * plane_rows * src_ld) in
+            for tr = 0 to tiles_r - 1 do
+              for tc = 0 to tiles_c - 1 do
+                for r = 0 to 3 do
+                  for c = 0 to 3 do
+                    tile.((r * 4) + c) <- src.(plane + (((tr * 2) + r) * src_ld) + (tc * 2) + c)
+                  done
+                done;
+                let v = Swtensor.Winograd_ref.transform_input_tile tile in
+                let col = (tr * tiles_c) + tc in
+                for xi = 0 to xi_count - 1 do
+                  dst.(dst_off + (((xi * chans) + ch) * tiles) + col) <- v.(xi)
+                done
+              done
+            done
+          done
+        | Ir.Wino_filter ->
+          (* src: chans filters of 9 contiguous elements; dst: U panel
+             (16, chans). *)
+          let w = Array.make 9 0.0 in
+          for ch = 0 to chans - 1 do
+            Array.blit src (src_off + (ch * 9)) w 0 9;
+            let u = Swtensor.Winograd_ref.transform_filter w in
+            for xi = 0 to xi_count - 1 do
+              dst.(dst_off + (xi * chans) + ch) <- u.(xi)
+            done
+          done
+        | Ir.Wino_output ->
+          (* src: M panel (16, chans, tiles); dst: chans planes of
+             (tiles_r*2) x (tiles_c*2). *)
+          let m = Array.make 16 0.0 in
+          let out_rows = tiles_r * 2 and out_cols = tiles_c * 2 in
+          for ch = 0 to chans - 1 do
+            for tr = 0 to tiles_r - 1 do
+              for tc = 0 to tiles_c - 1 do
+                let col = (tr * tiles_c) + tc in
+                for xi = 0 to 15 do
+                  m.(xi) <- src.(src_off + (((xi * chans) + ch) * tiles) + col)
+                done;
+                let y = Swtensor.Winograd_ref.transform_output_tile m in
+                for r = 0 to 1 do
+                  for c = 0 to 1 do
+                    dst.(dst_off + (ch * out_rows * out_cols) + (((tr * 2) + r) * out_cols)
+                         + (tc * 2) + c)
+                    <- y.((r * 2) + c)
+                  done
+                done
+              done
+            done
+          done
+      end
+  in
+  let compiled = compile_stmt p.body in
+  (compiled, slots)
+
+let run ?(fidelity = Sampled_cpes) ?(bindings = []) ?trace ~numeric (p : Ir.program) =
+  let compiled, slots = compile ~fidelity p in
+  let buffers = Hashtbl.create 16 in
+  if numeric then begin
+    List.iter
+      (fun (b : Ir.buf) ->
+        match b.space with
+        | Spm ->
+          let n = if b.double_buffered then 2 * b.cg_elems else b.cg_elems in
+          Hashtbl.replace buffers b.buf_name (Array.make n 0.0)
+        | Main -> (
+          match List.assoc_opt b.buf_name bindings with
+          | Some arr ->
+            if Array.length arr <> b.cg_elems then
+              invalid_arg
+                (Printf.sprintf "Interp.run: buffer %s expects %d elements, got %d" b.buf_name
+                   b.cg_elems (Array.length arr));
+            Hashtbl.replace buffers b.buf_name arr
+          | None ->
+            invalid_arg (Printf.sprintf "Interp.run: missing binding for main buffer %s" b.buf_name)))
+      p.bufs
+  end;
+  let st =
+    {
+      cg = Sw26010.Core_group.create ();
+      env = Array.make (max 2 slots.next) 0;
+      numeric;
+      trace;
+      buffers;
+      gemm_calls = 0;
+      gemm_flops = 0.0;
+      payload_bytes = 0;
+      transaction_bytes = 0;
+    }
+  in
+  compiled st;
+  let drained =
+    Float.max (Sw26010.Core_group.now st.cg) (Sw26010.Core_group.engine_busy_until st.cg)
+  in
+  {
+    seconds = drained;
+    dma_busy_seconds = Sw26010.Core_group.dma_busy st.cg;
+    compute_busy_seconds = Sw26010.Core_group.compute_busy st.cg;
+    gemm_calls = st.gemm_calls;
+    gemm_flops = st.gemm_flops;
+    dma_payload_bytes = st.payload_bytes;
+    dma_transaction_bytes = st.transaction_bytes;
+  }
+
+let flops_per_second (r : result) = if r.seconds <= 0.0 then 0.0 else r.gemm_flops /. r.seconds

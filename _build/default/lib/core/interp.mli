@@ -1,0 +1,48 @@
+(** Simulated execution of IR programs on one SW26010 core group.
+
+    The interpreter is both the repository's "hardware": it plays the role
+    the real machine plays in the paper. It executes a program against a
+    discrete-event model — a single lock-step CPE clock plus an asynchronous
+    DMA engine — producing a simulated wall-clock time, and (optionally) the
+    exact numeric result by actually moving data and running the kernels.
+
+    Programs must have per-CPE DMA descriptors already inferred
+    (see {!Dma_inference}); running a program with a missing descriptor
+    raises [Invalid_argument].
+
+    Performance note: the program is compiled to closures once per [run], so
+    replaying thousands of schedule candidates (the black-box tuner) costs
+    interpretation of the loop nests only, not repeated AST dispatch. *)
+
+type fidelity =
+  | Exact_cpes  (** evaluate all 64 per-CPE descriptors of every DMA *)
+  | Sampled_cpes
+      (** evaluate three representative CPEs — (0,0), (0,1), (7,7) — and
+          charge the worst; three orders of magnitude cheaper, within a few
+          percent of exact on the partitions the schedulers emit *)
+
+type result = {
+  seconds : float;  (** simulated wall-clock, including DMA drain *)
+  dma_busy_seconds : float;  (** time the DMA engine spent transferring *)
+  compute_busy_seconds : float;  (** time the CPE pipelines spent computing *)
+  gemm_calls : int;
+  gemm_flops : float;  (** useful FLOPs retired by GEMM primitives *)
+  dma_payload_bytes : int;  (** useful bytes moved (one CPE's worth x 64) *)
+  dma_transaction_bytes : int;  (** bytes actually crossing the DRAM bus *)
+}
+
+val run :
+  ?fidelity:fidelity ->
+  ?bindings:(string * float array) list ->
+  ?trace:Trace.t ->
+  numeric:bool ->
+  Ir.program ->
+  result
+(** Execute the program. In numeric mode, [bindings] must provide a backing
+    array for every [Main] buffer (sized [cg_elems]); output buffers are
+    mutated in place. In cost-only mode ([numeric = false]) no data moves and
+    [bindings] is ignored. When [trace] is given, every timed event is
+    recorded into it (see {!Trace}). *)
+
+val flops_per_second : result -> float
+(** Achieved FLOP rate of the run, [gemm_flops / seconds]. *)

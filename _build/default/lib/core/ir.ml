@@ -1,0 +1,221 @@
+type expr =
+  | Const of int
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Mod of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+type cmp = Lt | Le | Eq | Ne
+type cond = Cmp of cmp * expr * expr | And of cond * cond | Or of cond * cond | Not of cond
+
+let int i = Const i
+let var v = Var v
+
+let rec simplify e =
+  let binop mk fold a b =
+    match (simplify a, simplify b) with
+    | Const x, Const y -> Const (fold x y)
+    | a', b' -> mk a' b'
+  in
+  match e with
+  | Const _ | Var _ -> e
+  | Add (a, b) -> begin
+    match binop (fun a b -> Add (a, b)) Stdlib.( + ) a b with
+    | Add (Const 0, x) | Add (x, Const 0) -> x
+    | e' -> e'
+  end
+  | Sub (a, b) -> begin
+    match binop (fun a b -> Sub (a, b)) Stdlib.( - ) a b with
+    | Sub (x, Const 0) -> x
+    | e' -> e'
+  end
+  | Mul (a, b) -> begin
+    match binop (fun a b -> Mul (a, b)) Stdlib.( * ) a b with
+    | Mul (Const 1, x) | Mul (x, Const 1) -> x
+    | Mul (Const 0, _) | Mul (_, Const 0) -> Const 0
+    | e' -> e'
+  end
+  | Div (a, b) -> begin
+    match binop (fun a b -> Div (a, b)) (fun x y -> x / y) a b with
+    | Div (x, Const 1) -> x
+    | e' -> e'
+  end
+  | Mod (a, b) -> binop (fun a b -> Mod (a, b)) (fun x y -> x mod y) a b
+  | Min (a, b) -> begin
+    match binop (fun a b -> Min (a, b)) Stdlib.min a b with
+    | Min (x, y) when x = y -> x
+    | e' -> e'
+  end
+  | Max (a, b) -> begin
+    match binop (fun a b -> Max (a, b)) Stdlib.max a b with
+    | Max (x, y) when x = y -> x
+    | e' -> e'
+  end
+
+let ( + ) a b = simplify (Add (a, b))
+let ( - ) a b = simplify (Sub (a, b))
+let ( * ) a b = simplify (Mul (a, b))
+let ( / ) a b = simplify (Div (a, b))
+let ( % ) a b = simplify (Mod (a, b))
+let emin a b = simplify (Min (a, b))
+let emax a b = simplify (Max (a, b))
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Ne, a, b)
+
+let rec subst bindings e =
+  let s = subst bindings in
+  match e with
+  | Const _ -> e
+  | Var v -> ( match List.assoc_opt v bindings with Some e' -> e' | None -> e)
+  | Add (a, b) -> simplify (Add (s a, s b))
+  | Sub (a, b) -> simplify (Sub (s a, s b))
+  | Mul (a, b) -> simplify (Mul (s a, s b))
+  | Div (a, b) -> simplify (Div (s a, s b))
+  | Mod (a, b) -> simplify (Mod (s a, s b))
+  | Min (a, b) -> simplify (Min (s a, s b))
+  | Max (a, b) -> simplify (Max (s a, s b))
+
+let rec subst_cond bindings c =
+  match c with
+  | Cmp (op, a, b) -> Cmp (op, subst bindings a, subst bindings b)
+  | And (a, b) -> And (subst_cond bindings a, subst_cond bindings b)
+  | Or (a, b) -> Or (subst_cond bindings a, subst_cond bindings b)
+  | Not a -> Not (subst_cond bindings a)
+
+let free_vars e =
+  let rec loop acc = function
+    | Const _ -> acc
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b) | Min (a, b) | Max (a, b) ->
+      loop (loop acc a) b
+  in
+  List.rev (loop [] e)
+
+let rid = Var "rid"
+let cid = Var "cid"
+
+type mem_space = Main | Spm
+
+type buf = {
+  buf_name : string;
+  space : mem_space;
+  cg_elems : int;
+  cpe_elems : int;
+  double_buffered : bool;
+}
+
+let main_buf ~name ~elems =
+  if Stdlib.(elems <= 0) then invalid_arg "Ir.main_buf: non-positive size";
+  { buf_name = name; space = Main; cg_elems = elems; cpe_elems = 0; double_buffered = false }
+
+let spm_buf ~name ~cg_elems ~cpe_elems =
+  if Stdlib.(cg_elems <= 0 || cpe_elems <= 0) then invalid_arg "Ir.spm_buf: non-positive size";
+  { buf_name = name; space = Spm; cg_elems; cpe_elems; double_buffered = false }
+
+type dir = Get | Put
+type region = { offset : expr; rows : expr; row_elems : expr; row_stride : expr }
+type partition = P_rows | P_cols | P_grid
+type cpe_desc = { d_offset : expr; d_block : expr; d_stride : expr; d_count : expr }
+type gemm_operand = { g_buf : string; g_offset : expr; g_ld : expr }
+type transform_kind = Wino_input | Wino_filter | Wino_output
+
+type stmt =
+  | Seq of stmt list
+  | For of for_loop
+  | If of { cond : cond; then_ : stmt; else_ : stmt }
+  | Dma of dma
+  | Dma_wait of { tag : expr }
+  | Gemm of gemm
+  | Memset_spm of { buf : string; offset : expr; elems : expr }
+  | Spm_copy of spm_copy
+  | Transform of transform
+  | Comment of string
+
+and for_loop = { iter : string; lo : expr; hi : expr; step : expr; body : stmt; prefetch : bool }
+
+and spm_copy = {
+  cp_src : string;
+  cp_src_offset : expr;
+  cp_src_ld : expr;
+  cp_dst : string;
+  cp_dst_offset : expr;
+  cp_dst_ld : expr;
+  cp_rows : expr;
+  cp_row_elems : expr;
+}
+
+and dma = {
+  dir : dir;
+  main : string;
+  spm : string;
+  tag : expr;
+  region : region;
+  spm_offset : expr;
+  spm_ld : expr;
+  partition : partition;
+  per_cpe : cpe_desc option;
+}
+
+and gemm = {
+  variant : Primitives.Spm_gemm.variant;
+  m : expr;
+  n : expr;
+  k : expr;
+  a : gemm_operand;
+  b : gemm_operand;
+  c : gemm_operand;
+}
+
+and transform = {
+  kind : transform_kind;
+  t_src : string;
+  t_src_offset : expr;
+  t_dst : string;
+  t_dst_offset : expr;
+  t_chans : expr;
+  t_tiles_r : expr;
+  t_tiles_c : expr;
+  t_src_ld : expr;
+}
+
+type program = { prog_name : string; bufs : buf list; body : stmt; overlapped : bool }
+
+let program ~name ~bufs body = { prog_name = name; bufs; body; overlapped = false }
+
+let seq stmts =
+  let flat =
+    List.concat_map (function Seq inner -> inner | s -> [ s ]) stmts
+    |> List.filter (function Seq [] -> false | _ -> true)
+  in
+  match flat with [ s ] -> s | l -> Seq l
+
+let for_ ?(prefetch = false) ~iter ~lo ~hi ?(step = Const 1) body =
+  For { iter; lo; hi; step; body; prefetch }
+
+let find_buf p name = List.find_opt (fun b -> String.equal b.buf_name name) p.bufs
+
+let rec map_stmt f s =
+  let s' =
+    match s with
+    | Seq l -> Seq (List.map (map_stmt f) l)
+    | For fl -> For { fl with body = map_stmt f fl.body }
+    | If { cond; then_; else_ } -> If { cond; then_ = map_stmt f then_; else_ = map_stmt f else_ }
+    | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> s
+  in
+  f s'
+
+let rec fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | Seq l -> List.fold_left (fold_stmt f) acc l
+  | For fl -> fold_stmt f acc fl.body
+  | If { then_; else_; _ } -> fold_stmt f (fold_stmt f acc then_) else_
+  | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> acc
+
+let count_nodes s = fold_stmt (fun n _ -> Stdlib.( + ) n 1) 0 s

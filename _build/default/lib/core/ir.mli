@@ -1,0 +1,199 @@
+(** The swATOP intermediate representation (Sec. 4.4).
+
+    A program is an abstract syntax tree of statement nodes — [For],
+    [If], [Dma], [Dma_wait], [Gemm], transform and memset nodes — over
+    integer expressions. Schedule strategies and IR optimizations are
+    realised by building and mutating this tree; the same tree is consumed
+    by the interpreter (simulated execution), the cost model (static
+    estimation) and the code generator (C emission).
+
+    Two reserved variables, ["rid"] and ["cid"], denote the executing CPE's
+    row and column inside the 8x8 cluster; they may appear only in per-CPE
+    DMA descriptors produced by DMA inference. *)
+
+(** {1 Expressions} *)
+
+type expr =
+  | Const of int
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr  (** floor division, divisor > 0 *)
+  | Mod of expr * expr
+  | Min of expr * expr
+  | Max of expr * expr
+
+type cmp = Lt | Le | Eq | Ne
+
+type cond = Cmp of cmp * expr * expr | And of cond * cond | Or of cond * cond | Not of cond
+
+val int : int -> expr
+val var : string -> expr
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val emin : expr -> expr -> expr
+val emax : expr -> expr -> expr
+val ( < ) : expr -> expr -> cond
+val ( <= ) : expr -> expr -> cond
+val ( = ) : expr -> expr -> cond
+val ( <> ) : expr -> expr -> cond
+
+val simplify : expr -> expr
+(** Constant folding and algebraic identities ([x*1], [x+0], ...). *)
+
+val subst : (string * expr) list -> expr -> expr
+val subst_cond : (string * expr) list -> cond -> cond
+val free_vars : expr -> string list
+
+val rid : expr
+val cid : expr
+
+(** {1 Buffers} *)
+
+type mem_space = Main | Spm
+
+type buf = {
+  buf_name : string;
+  space : mem_space;
+  cg_elems : int;  (** numeric backing size: total elements visible to the CG *)
+  cpe_elems : int;  (** per-CPE SPM footprint in elements (0 for main buffers) *)
+  double_buffered : bool;  (** set by the prefetching pass *)
+}
+
+val main_buf : name:string -> elems:int -> buf
+val spm_buf : name:string -> cg_elems:int -> cpe_elems:int -> buf
+
+(** {1 Statements} *)
+
+type dir = Get  (** main memory -> SPM *) | Put  (** SPM -> main memory *)
+
+(** A CG-level 2D region of a main-memory buffer: [rows] blocks of
+    [row_elems] contiguous elements, block [i] starting at element
+    [offset + i * row_stride]. The SPM image is packed (leading dimension
+    [row_elems]). *)
+type region = { offset : expr; rows : expr; row_elems : expr; row_stride : expr }
+
+(** How the 64 CPEs divide a region among themselves (Sec. 4.5.1). *)
+type partition =
+  | P_rows  (** each CPE takes [rows/64] consecutive blocks *)
+  | P_cols  (** each CPE takes a [row_elems/64] slice of every block *)
+  | P_grid  (** CPE (rid, cid) takes the (rid, cid) tile of the 8x8 grid *)
+
+(** Per-CPE strided descriptor inferred from a region; element units; may
+    reference [rid]/[cid]. *)
+type cpe_desc = { d_offset : expr; d_block : expr; d_stride : expr; d_count : expr }
+
+type gemm_operand = { g_buf : string; g_offset : expr; g_ld : expr }
+
+type transform_kind =
+  | Wino_input  (** scatter 4x4 tiles through B^T d B into the V panel *)
+  | Wino_filter  (** G g G^T into the U panel *)
+  | Wino_output  (** A^T m A from the M panel into the output tile buffer *)
+
+type stmt =
+  | Seq of stmt list
+  | For of for_loop
+  | If of { cond : cond; then_ : stmt; else_ : stmt }
+  | Dma of dma
+  | Dma_wait of { tag : expr }
+  | Gemm of gemm
+  | Memset_spm of { buf : string; offset : expr; elems : expr }
+  | Spm_copy of spm_copy
+  | Transform of transform
+  | Comment of string
+
+and for_loop = {
+  iter : string;
+  lo : expr;
+  hi : expr;  (** exclusive *)
+  step : expr;
+  body : stmt;
+  prefetch : bool;  (** request double-buffering of the DMAs in this loop *)
+}
+
+and dma = {
+  dir : dir;
+  main : string;
+  spm : string;
+  tag : expr;
+  region : region;
+  spm_offset : expr;
+  spm_ld : expr;
+      (** elements between consecutive region rows in the SPM image;
+          normally [region.row_elems], larger when a ragged boundary tile
+          lands inside a full-size (zero-padded) SPM tile *)
+  partition : partition;
+  per_cpe : cpe_desc option;  (** filled in by DMA inference *)
+}
+
+and gemm = {
+  variant : Primitives.Spm_gemm.variant;
+  m : expr;
+  n : expr;
+  k : expr;
+  a : gemm_operand;
+  b : gemm_operand;
+  c : gemm_operand;
+}
+
+(** A strided SPM-to-SPM repack executed by the CPEs with vector
+    loads/stores: [rows] runs of [row_elems] elements, read at stride
+    [src_ld] from [src], written at stride [dst_ld] to [dst]. Used to
+    repack gathered slabs (e.g. im2col windows) into primitive-friendly
+    tiles without a main-memory round trip. *)
+and spm_copy = {
+  cp_src : string;
+  cp_src_offset : expr;
+  cp_src_ld : expr;
+  cp_dst : string;
+  cp_dst_offset : expr;
+  cp_dst_ld : expr;
+  cp_rows : expr;
+  cp_row_elems : expr;
+}
+
+(** A Winograd transform over a grid of tiles held in SPM. For [Wino_input],
+    [src] is a raw [(chans, src_rows, src_ld)] image block and [dst] the
+    packed V panel [(16, chans, tiles)]; for [Wino_filter], [src] is
+    [(chans_out, chans_in, 3, 3)] and [dst] the U panel [(16, chans_out,
+    chans_in)]; for [Wino_output], [src] is the M panel [(16, chans,
+    tiles)] and [dst] a packed [(chans, tiles_r*2, tiles_c*2)] block. *)
+and transform = {
+  kind : transform_kind;
+  t_src : string;
+  t_src_offset : expr;
+  t_dst : string;
+  t_dst_offset : expr;
+  t_chans : expr;  (** channels (or no*ni pairs for filters) *)
+  t_tiles_r : expr;
+  t_tiles_c : expr;
+  t_src_ld : expr;  (** leading dimension of the raw image block *)
+}
+
+type program = {
+  prog_name : string;
+  bufs : buf list;
+  body : stmt;
+  overlapped : bool;  (** true once the prefetch pass has double-buffered *)
+}
+
+val program : name:string -> bufs:buf list -> stmt -> program
+
+val seq : stmt list -> stmt
+(** Flattens nested [Seq]s and drops empty ones. *)
+
+val for_ : ?prefetch:bool -> iter:string -> lo:expr -> hi:expr -> ?step:expr -> stmt -> stmt
+
+val find_buf : program -> string -> buf option
+
+val map_stmt : (stmt -> stmt) -> stmt -> stmt
+(** Bottom-up rewrite: children first, then the node itself. *)
+
+val fold_stmt : ('a -> stmt -> 'a) -> 'a -> stmt -> 'a
+(** Pre-order fold over every node. *)
+
+val count_nodes : stmt -> int

@@ -1,0 +1,189 @@
+open! Stdlib
+
+type buffer_traffic = {
+  bt_buffer : string;
+  bt_get_payload : int;
+  bt_get_transactions : int;
+  bt_put_payload : int;
+  bt_put_transactions : int;
+}
+
+type t = {
+  traffic : buffer_traffic list;
+  gemm_calls : int;
+  gemm_flops : float;
+  dma_count : int;
+  memset_elems : int;
+  copy_elems : int;
+  transform_units : int;
+}
+
+type state = {
+  env : (string, int) Hashtbl.t;
+  per_buffer : (string, int array) Hashtbl.t;
+      (** [get_payload; get_txn; put_payload; put_txn] *)
+  mutable gemm_calls : int;
+  mutable gemm_flops : float;
+  mutable dma_count : int;
+  mutable memset_elems : int;
+  mutable copy_elems : int;
+  mutable transform_units : int;
+}
+
+let elem = Sw26010.Config.elem_bytes
+
+let rec eval st (e : Ir.expr) =
+  match e with
+  | Const i -> i
+  | Var v -> (
+    match Hashtbl.find_opt st.env v with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Ir_analysis: unbound variable %s" v))
+  | Add (a, b) -> eval st a + eval st b
+  | Sub (a, b) -> eval st a - eval st b
+  | Mul (a, b) -> eval st a * eval st b
+  | Div (a, b) -> eval st a / eval st b
+  | Mod (a, b) -> eval st a mod eval st b
+  | Min (a, b) -> min (eval st a) (eval st b)
+  | Max (a, b) -> max (eval st a) (eval st b)
+
+let rec eval_cond st (c : Ir.cond) =
+  match c with
+  | Cmp (op, a, b) ->
+    let x = eval st a and y = eval st b in
+    (match op with Lt -> x < y | Le -> x <= y | Eq -> x = y | Ne -> x <> y)
+  | And (a, b) -> eval_cond st a && eval_cond st b
+  | Or (a, b) -> eval_cond st a || eval_cond st b
+  | Not a -> not (eval_cond st a)
+
+let slot st name =
+  match Hashtbl.find_opt st.per_buffer name with
+  | Some a -> a
+  | None ->
+    let a = Array.make 4 0 in
+    Hashtbl.replace st.per_buffer name a;
+    a
+
+(* Exact per-CPE accounting: every CPE's descriptor is evaluated. *)
+let record_dma st (d : Ir.dma) =
+  let desc =
+    match d.per_cpe with
+    | Some desc -> desc
+    | None -> invalid_arg "Ir_analysis: DMA without per-CPE descriptor (run Dma_inference)"
+  in
+  st.dma_count <- st.dma_count + 1;
+  let payload = ref 0 and txn = ref 0 in
+  for rid = 0 to Sw26010.Config.cpe_rows - 1 do
+    for cid = 0 to Sw26010.Config.cpe_cols - 1 do
+      Hashtbl.replace st.env "rid" rid;
+      Hashtbl.replace st.env "cid" cid;
+      let dd =
+        Sw26010.Dma.descriptor
+          ~offset_bytes:(eval st desc.d_offset * elem)
+          ~block_bytes:(eval st desc.d_block * elem)
+          ~stride_bytes:(max (eval st desc.d_stride) (eval st desc.d_block) * elem)
+          ~block_count:(eval st desc.d_count)
+      in
+      payload := !payload + Sw26010.Dma.payload_bytes dd;
+      txn := !txn + Sw26010.Dma.transaction_bytes dd
+    done
+  done;
+  let a = slot st d.main in
+  match d.dir with
+  | Ir.Get ->
+    a.(0) <- a.(0) + !payload;
+    a.(1) <- a.(1) + !txn
+  | Ir.Put ->
+    a.(2) <- a.(2) + !payload;
+    a.(3) <- a.(3) + !txn
+
+let analyze (p : Ir.program) =
+  let st =
+    {
+      env = Hashtbl.create 16;
+      per_buffer = Hashtbl.create 8;
+      gemm_calls = 0;
+      gemm_flops = 0.0;
+      dma_count = 0;
+      memset_elems = 0;
+      copy_elems = 0;
+      transform_units = 0;
+    }
+  in
+  let rec walk (s : Ir.stmt) =
+    match s with
+    | Seq l -> List.iter walk l
+    | If { cond; then_; else_ } -> if eval_cond st cond then walk then_ else walk else_
+    | For { iter; lo; hi; step; body; _ } ->
+      let lo = eval st lo and hi = eval st hi and step = eval st step in
+      if step <= 0 then invalid_arg "Ir_analysis: non-positive step";
+      let i = ref lo in
+      while !i < hi do
+        Hashtbl.replace st.env iter !i;
+        walk body;
+        i := !i + step
+      done;
+      Hashtbl.remove st.env iter
+    | Dma d -> record_dma st d
+    | Dma_wait _ | Comment _ -> ()
+    | Gemm g ->
+      st.gemm_calls <- st.gemm_calls + 1;
+      st.gemm_flops <-
+        st.gemm_flops
+        +. (2.0 *. float_of_int (eval st g.m) *. float_of_int (eval st g.n) *. float_of_int (eval st g.k))
+    | Memset_spm { elems; _ } -> st.memset_elems <- st.memset_elems + eval st elems
+    | Spm_copy c -> st.copy_elems <- st.copy_elems + (eval st c.cp_rows * eval st c.cp_row_elems)
+    | Transform t ->
+      let chans = eval st t.t_chans in
+      let units =
+        match t.kind with
+        | Ir.Wino_filter -> chans
+        | Ir.Wino_input | Ir.Wino_output -> chans * eval st t.t_tiles_r * eval st t.t_tiles_c
+      in
+      st.transform_units <- st.transform_units + units
+  in
+  walk p.body;
+  let traffic =
+    Hashtbl.fold
+      (fun name a acc ->
+        {
+          bt_buffer = name;
+          bt_get_payload = a.(0);
+          bt_get_transactions = a.(1);
+          bt_put_payload = a.(2);
+          bt_put_transactions = a.(3);
+        }
+        :: acc)
+      st.per_buffer []
+    |> List.sort (fun a b -> String.compare a.bt_buffer b.bt_buffer)
+  in
+  {
+    traffic;
+    gemm_calls = st.gemm_calls;
+    gemm_flops = st.gemm_flops;
+    dma_count = st.dma_count;
+    memset_elems = st.memset_elems;
+    copy_elems = st.copy_elems;
+    transform_units = st.transform_units;
+  }
+
+let total_get_payload t = List.fold_left (fun acc b -> acc + b.bt_get_payload) 0 t.traffic
+let total_put_payload t = List.fold_left (fun acc b -> acc + b.bt_put_payload) 0 t.traffic
+
+let arithmetic_intensity t =
+  let bytes =
+    List.fold_left (fun acc b -> acc + b.bt_get_transactions + b.bt_put_transactions) 0 t.traffic
+  in
+  if bytes = 0 then infinity else t.gemm_flops /. float_of_int bytes
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v>%d GEMM calls, %.4g FLOPs; %d DMA descriptors@," t.gemm_calls
+    t.gemm_flops t.dma_count;
+  Format.fprintf fmt "arithmetic intensity: %.2f FLOPs/byte@," (arithmetic_intensity t);
+  List.iter
+    (fun b ->
+      Format.fprintf fmt "%-12s get %8d KiB (bus %8d)  put %8d KiB (bus %8d)@," b.bt_buffer
+        (b.bt_get_payload / 1024) (b.bt_get_transactions / 1024) (b.bt_put_payload / 1024)
+        (b.bt_put_transactions / 1024))
+    t.traffic;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Static analysis of IR programs: traffic and work decomposition.
+
+    Walks a program the same way the cost model does (loops expanded
+    analytically) but instead of time it accumulates *what* the program
+    does: DMA payload and transaction bytes per main-memory buffer and
+    direction, GEMM call counts and FLOPs, memset/copy/transform volumes.
+    Used by the reporting tools to explain *why* a schedule wins — e.g. how
+    much input re-fetch a loop order causes — and tested against the
+    interpreter's own counters. *)
+
+type buffer_traffic = {
+  bt_buffer : string;
+  bt_get_payload : int;  (** bytes read from main memory (useful) *)
+  bt_get_transactions : int;  (** bytes crossing the DRAM bus, with waste *)
+  bt_put_payload : int;
+  bt_put_transactions : int;
+}
+
+type t = {
+  traffic : buffer_traffic list;  (** per main buffer, name order *)
+  gemm_calls : int;
+  gemm_flops : float;
+  dma_count : int;  (** DMA descriptors issued *)
+  memset_elems : int;
+  copy_elems : int;
+  transform_units : int;  (** tile-channel transform applications *)
+}
+
+val analyze : Ir.program -> t
+(** Requires per-CPE descriptors (run {!Dma_inference} first). Exact: every
+    loop iteration is visited. *)
+
+val total_get_payload : t -> int
+val total_put_payload : t -> int
+
+val arithmetic_intensity : t -> float
+(** GEMM FLOPs per DRAM-transaction byte — the roofline coordinate of the
+    schedule. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+open Ir
+open! Stdlib
+
+type error = { at : string; reason : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.at e.reason
+
+let spm_footprint_bytes (p : program) =
+  let requests =
+    List.filter_map
+      (fun b ->
+        match b.space with
+        | Main -> None
+        | Spm ->
+          Some
+            (Sw26010.Spm.request ~double_buffered:b.double_buffered ~name:b.buf_name
+               ~bytes:(b.cpe_elems * Sw26010.Config.elem_bytes) ()))
+      p.bufs
+  in
+  Sw26010.Spm.footprint requests
+
+let check (p : program) =
+  let errors = ref [] in
+  let fail at reason = errors := { at; reason } :: !errors in
+  (* Unique buffer names. *)
+  let names = List.map (fun b -> b.buf_name) p.bufs in
+  List.iter
+    (fun n ->
+      if List.length (List.filter (String.equal n) names) > 1 then
+        fail n "duplicate buffer declaration")
+    (List.sort_uniq String.compare names);
+  let lookup name = List.find_opt (fun b -> String.equal b.buf_name name) p.bufs in
+  let expect_space at name space =
+    match lookup name with
+    | None -> fail at (Printf.sprintf "undeclared buffer %s" name)
+    | Some b -> if Stdlib.(b.space <> space) then fail at (Printf.sprintf "buffer %s in wrong memory space" name)
+  in
+  (* Variable scoping. *)
+  let check_vars ~at ~bound ?(allow_cpe = false) e =
+    List.iter
+      (fun v ->
+        let is_cpe = String.equal v "rid" || String.equal v "cid" in
+        if not (List.mem v bound || (allow_cpe && is_cpe)) then
+          fail at (Printf.sprintf "unbound variable %s" v))
+      (free_vars e)
+  in
+  let rec check_cond_vars ~at ~bound = function
+    | Cmp (_, a, b) ->
+      check_vars ~at ~bound a;
+      check_vars ~at ~bound b
+    | And (a, b) | Or (a, b) ->
+      check_cond_vars ~at ~bound a;
+      check_cond_vars ~at ~bound b
+    | Not a -> check_cond_vars ~at ~bound a
+  in
+  let rec walk bound = function
+    | Seq l -> List.iter (walk bound) l
+    | For { iter; lo; hi; step; body; _ } ->
+      check_vars ~at:("for " ^ iter) ~bound lo;
+      check_vars ~at:("for " ^ iter) ~bound hi;
+      check_vars ~at:("for " ^ iter) ~bound step;
+      walk (iter :: bound) body
+    | If { cond; then_; else_ } ->
+      check_cond_vars ~at:"if" ~bound cond;
+      walk bound then_;
+      walk bound else_
+    | Dma { main; spm; tag; region; spm_offset; spm_ld; per_cpe; _ } ->
+      let at = Printf.sprintf "dma %s/%s" main spm in
+      expect_space at main Main;
+      expect_space at spm Spm;
+      List.iter (check_vars ~at ~bound)
+        [ tag; region.offset; region.rows; region.row_elems; region.row_stride; spm_offset; spm_ld ];
+      Option.iter
+        (fun d ->
+          List.iter (check_vars ~at ~bound ~allow_cpe:true) [ d.d_offset; d.d_block; d.d_stride; d.d_count ])
+        per_cpe
+    | Dma_wait { tag } -> check_vars ~at:"dma_wait" ~bound tag
+    | Gemm { m; n; k; a; b; c; _ } ->
+      let at = "gemm" in
+      List.iter (check_vars ~at ~bound) [ m; n; k ];
+      List.iter
+        (fun (op : gemm_operand) ->
+          expect_space at op.g_buf Spm;
+          check_vars ~at ~bound op.g_offset;
+          check_vars ~at ~bound op.g_ld)
+        [ a; b; c ]
+    | Memset_spm { buf; offset; elems } ->
+      expect_space "memset" buf Spm;
+      check_vars ~at:"memset" ~bound offset;
+      check_vars ~at:"memset" ~bound elems
+    | Spm_copy c ->
+      let at = "spm_copy" in
+      expect_space at c.cp_src Spm;
+      expect_space at c.cp_dst Spm;
+      List.iter (check_vars ~at ~bound)
+        [ c.cp_src_offset; c.cp_src_ld; c.cp_dst_offset; c.cp_dst_ld; c.cp_rows; c.cp_row_elems ]
+    | Transform t ->
+      let at = "transform" in
+      expect_space at t.t_src Spm;
+      expect_space at t.t_dst Spm;
+      List.iter (check_vars ~at ~bound)
+        [ t.t_src_offset; t.t_dst_offset; t.t_chans; t.t_tiles_r; t.t_tiles_c; t.t_src_ld ]
+    | Comment _ -> ()
+  in
+  walk [] p.body;
+  let footprint = spm_footprint_bytes p in
+  if Stdlib.(footprint > Sw26010.Config.spm_bytes) then
+    fail "spm"
+      (Printf.sprintf "per-CPE footprint %d bytes exceeds %d" footprint Sw26010.Config.spm_bytes);
+  match !errors with [] -> Ok () | l -> Error (List.rev l)

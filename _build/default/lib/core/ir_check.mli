@@ -1,0 +1,17 @@
+(** Structural validation of IR programs.
+
+    Checks performed:
+    - every buffer referenced by a statement is declared, with the right
+      memory space on each side of a DMA;
+    - every variable is bound by an enclosing loop (or is [rid]/[cid]
+      inside an inferred per-CPE descriptor);
+    - buffer names are unique;
+    - the per-CPE SPM footprint (including double buffering) fits in the
+      64 KB scratch pad — the capacity constraint that prunes schedule
+      spaces. *)
+
+type error = { at : string; reason : string }
+
+val check : Ir.program -> (unit, error list) result
+val spm_footprint_bytes : Ir.program -> int
+val error_to_string : error -> string

@@ -1,0 +1,106 @@
+open Ir
+open! Stdlib
+
+let rec expr_to_string = function
+  | Const i -> string_of_int i
+  | Var v -> v
+  | Add (a, b) -> binary "+" a b
+  | Sub (a, b) -> binary "-" a b
+  | Mul (a, b) -> binary "*" a b
+  | Div (a, b) -> binary "/" a b
+  | Mod (a, b) -> binary "%" a b
+  | Min (a, b) -> Printf.sprintf "min(%s, %s)" (expr_to_string a) (expr_to_string b)
+  | Max (a, b) -> Printf.sprintf "max(%s, %s)" (expr_to_string a) (expr_to_string b)
+
+and binary op a b = Printf.sprintf "(%s %s %s)" (expr_to_string a) op (expr_to_string b)
+
+let rec cond_to_string = function
+  | Cmp (op, a, b) ->
+    let sym = match op with Lt -> "<" | Le -> "<=" | Eq -> "==" | Ne -> "!=" in
+    Printf.sprintf "%s %s %s" (expr_to_string a) sym (expr_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (cond_to_string a) (cond_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (cond_to_string a) (cond_to_string b)
+  | Not a -> Printf.sprintf "!(%s)" (cond_to_string a)
+
+let dir_to_string = function Get -> "get" | Put -> "put"
+
+let partition_to_string = function P_rows -> "rows" | P_cols -> "cols" | P_grid -> "grid"
+
+let transform_kind_to_string = function
+  | Wino_input -> "wino_input"
+  | Wino_filter -> "wino_filter"
+  | Wino_output -> "wino_output"
+
+let buffer lines = String.concat "\n" lines
+
+let rec stmt_lines indent s =
+  let pad = String.make (indent * 2) ' ' in
+  let line fmt = Printf.ksprintf (fun str -> [ pad ^ str ]) fmt in
+  match s with
+  | Seq l -> List.concat_map (stmt_lines indent) l
+  | For { iter; lo; hi; step; body; prefetch } ->
+    line "for %s = %s to %s step %s%s {" iter (expr_to_string lo) (expr_to_string hi)
+      (expr_to_string step)
+      (if prefetch then " [prefetch]" else "")
+    @ stmt_lines (indent + 1) body
+    @ [ pad ^ "}" ]
+  | If { cond; then_; else_ } ->
+    let else_lines =
+      match else_ with
+      | Seq [] -> [ pad ^ "}" ]
+      | _ -> ((pad ^ "} else {") :: stmt_lines (indent + 1) else_) @ [ pad ^ "}" ]
+    in
+    line "if (%s) {" (cond_to_string cond) @ stmt_lines (indent + 1) then_ @ else_lines
+  | Dma { dir; main; spm; tag; region; spm_offset; spm_ld; partition; per_cpe } ->
+    let base =
+      Printf.sprintf
+        "dma_%s %s <-> %s[+%s ld=%s] tag=%s region(off=%s rows=%s row=%s stride=%s) part=%s"
+        (dir_to_string dir) main spm (expr_to_string spm_offset) (expr_to_string spm_ld)
+        (expr_to_string tag) (expr_to_string region.offset) (expr_to_string region.rows)
+        (expr_to_string region.row_elems) (expr_to_string region.row_stride)
+        (partition_to_string partition)
+    in
+    let cpe =
+      match per_cpe with
+      | None -> ""
+      | Some d ->
+        Printf.sprintf " cpe(off=%s block=%s stride=%s count=%s)" (expr_to_string d.d_offset)
+          (expr_to_string d.d_block) (expr_to_string d.d_stride) (expr_to_string d.d_count)
+    in
+    [ pad ^ base ^ cpe ]
+  | Dma_wait { tag } -> line "dma_wait tag=%s" (expr_to_string tag)
+  | Gemm { variant; m; n; k; a; b; c } ->
+    line "%s(m=%s n=%s k=%s, A=%s[+%s ld=%s], B=%s[+%s ld=%s], C=%s[+%s ld=%s])"
+      (Primitives.Spm_gemm.variant_name variant)
+      (expr_to_string m) (expr_to_string n) (expr_to_string k) a.g_buf (expr_to_string a.g_offset)
+      (expr_to_string a.g_ld) b.g_buf (expr_to_string b.g_offset) (expr_to_string b.g_ld) c.g_buf
+      (expr_to_string c.g_offset) (expr_to_string c.g_ld)
+  | Memset_spm { buf; offset; elems } ->
+    line "memset %s[+%s] elems=%s" buf (expr_to_string offset) (expr_to_string elems)
+  | Spm_copy c ->
+    line "spm_copy %s[+%s ld=%s] -> %s[+%s ld=%s] rows=%s row=%s" c.cp_src
+      (expr_to_string c.cp_src_offset) (expr_to_string c.cp_src_ld) c.cp_dst
+      (expr_to_string c.cp_dst_offset) (expr_to_string c.cp_dst_ld) (expr_to_string c.cp_rows)
+      (expr_to_string c.cp_row_elems)
+  | Transform t ->
+    line "%s %s[+%s] -> %s[+%s] chans=%s tiles=%sx%s src_ld=%s"
+      (transform_kind_to_string t.kind) t.t_src (expr_to_string t.t_src_offset) t.t_dst
+      (expr_to_string t.t_dst_offset) (expr_to_string t.t_chans) (expr_to_string t.t_tiles_r)
+      (expr_to_string t.t_tiles_c) (expr_to_string t.t_src_ld)
+  | Comment c -> line "// %s" c
+
+let stmt_to_string s = buffer (stmt_lines 0 s)
+
+let buf_to_string (b : buf) =
+  Printf.sprintf "%s %s: cg_elems=%d cpe_elems=%d%s"
+    (match b.space with Main -> "main" | Spm -> "spm")
+    b.buf_name b.cg_elems b.cpe_elems
+    (if b.double_buffered then " [double]" else "")
+
+let program_to_string p =
+  buffer
+    ((Printf.sprintf "program %s%s" p.prog_name (if p.overlapped then " [overlapped]" else "")
+     :: List.map (fun b -> "  buffer " ^ buf_to_string b) p.bufs)
+    @ stmt_lines 1 p.body)
+
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)

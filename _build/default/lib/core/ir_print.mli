@@ -1,0 +1,8 @@
+(** Human-readable rendering of IR programs, in the style of Fig. 4's lowered
+    IR listings. *)
+
+val expr_to_string : Ir.expr -> string
+val cond_to_string : Ir.cond -> string
+val stmt_to_string : Ir.stmt -> string
+val program_to_string : Ir.program -> string
+val pp_program : Format.formatter -> Ir.program -> unit

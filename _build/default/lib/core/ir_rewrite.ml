@@ -1,0 +1,149 @@
+open Ir
+open! Stdlib
+
+let map_region f (r : region) =
+  { offset = f r.offset; rows = f r.rows; row_elems = f r.row_elems; row_stride = f r.row_stride }
+
+let map_cpe_desc f (d : cpe_desc) =
+  { d_offset = f d.d_offset; d_block = f d.d_block; d_stride = f d.d_stride; d_count = f d.d_count }
+
+let map_operand f (o : gemm_operand) = { o with g_offset = f o.g_offset; g_ld = f o.g_ld }
+
+let rec map_exprs_cond f = function
+  | Cmp (op, a, b) -> Cmp (op, f a, f b)
+  | And (a, b) -> And (map_exprs_cond f a, map_exprs_cond f b)
+  | Or (a, b) -> Or (map_exprs_cond f a, map_exprs_cond f b)
+  | Not a -> Not (map_exprs_cond f a)
+
+let rec map_exprs_with ~shadow f s =
+  match s with
+  | Seq l -> Seq (List.map (map_exprs_with ~shadow f) l)
+  | For fl ->
+    let f' = shadow fl.iter f in
+    For
+      {
+        fl with
+        lo = f fl.lo;
+        hi = f fl.hi;
+        step = f fl.step;
+        body = map_exprs_with ~shadow f' fl.body;
+      }
+  | If { cond; then_; else_ } ->
+    If
+      {
+        cond = map_exprs_cond f cond;
+        then_ = map_exprs_with ~shadow f then_;
+        else_ = map_exprs_with ~shadow f else_;
+      }
+  | Dma d ->
+    Dma
+      {
+        d with
+        tag = f d.tag;
+        region = map_region f d.region;
+        spm_offset = f d.spm_offset;
+        spm_ld = f d.spm_ld;
+        per_cpe = Option.map (map_cpe_desc f) d.per_cpe;
+      }
+  | Dma_wait { tag } -> Dma_wait { tag = f tag }
+  | Gemm g ->
+    Gemm
+      {
+        g with
+        m = f g.m;
+        n = f g.n;
+        k = f g.k;
+        a = map_operand f g.a;
+        b = map_operand f g.b;
+        c = map_operand f g.c;
+      }
+  | Memset_spm { buf; offset; elems } -> Memset_spm { buf; offset = f offset; elems = f elems }
+  | Spm_copy c ->
+    Spm_copy
+      {
+        c with
+        cp_src_offset = f c.cp_src_offset;
+        cp_src_ld = f c.cp_src_ld;
+        cp_dst_offset = f c.cp_dst_offset;
+        cp_dst_ld = f c.cp_dst_ld;
+        cp_rows = f c.cp_rows;
+        cp_row_elems = f c.cp_row_elems;
+      }
+  | Transform t ->
+    Transform
+      {
+        t with
+        t_src_offset = f t.t_src_offset;
+        t_dst_offset = f t.t_dst_offset;
+        t_chans = f t.t_chans;
+        t_tiles_r = f t.t_tiles_r;
+        t_tiles_c = f t.t_tiles_c;
+        t_src_ld = f t.t_src_ld;
+      }
+  | Comment _ -> s
+
+let map_exprs f s = map_exprs_with ~shadow:(fun _ f -> f) f s
+
+let subst_stmt bindings s =
+  let rec go bindings s =
+    if bindings = [] then s
+    else
+      let f = subst bindings in
+      match s with
+      | For fl ->
+        let inner = List.filter (fun (v, _) -> not (String.equal v fl.iter)) bindings in
+        For
+          { fl with lo = f fl.lo; hi = f fl.hi; step = f fl.step; body = go inner fl.body }
+      | Seq l -> Seq (List.map (go bindings) l)
+      | If { cond; then_; else_ } ->
+        If { cond = subst_cond bindings cond; then_ = go bindings then_; else_ = go bindings else_ }
+      | _ -> map_exprs f s
+  in
+  go bindings s
+
+let is_empty = function Seq [] -> true | _ -> false
+
+(* The "fill" statements of a streaming body: the Get DMAs plus any memset
+   that zero-pads a buffer those Gets land in (lightweight boundary padding
+   must travel with its Get when the prefetch pass hoists it). *)
+let get_targets s =
+  fold_stmt
+    (fun acc n -> match n with Dma { dir = Get; spm; _ } -> spm :: acc | _ -> acc)
+    [] s
+  |> List.sort_uniq String.compare
+
+let gets_only s =
+  let targets = get_targets s in
+  let rec go s =
+    match s with
+    | Dma { dir = Get; _ } -> s
+    | Memset_spm { buf; _ } when List.mem buf targets -> s
+    | Seq l ->
+      let kept = List.filter (fun s -> not (is_empty s)) (List.map go l) in
+      seq kept
+    | If { cond; then_; else_ } ->
+      let t = go then_ and e = go else_ in
+      if is_empty t && is_empty e then Seq [] else If { cond; then_ = t; else_ = e }
+    | For _ | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ ->
+      Seq []
+  in
+  go s
+
+let drop_gets s =
+  let targets = get_targets s in
+  let rec go s =
+    match s with
+    | Dma { dir = Get; _ } -> Seq []
+    | Memset_spm { buf; _ } when List.mem buf targets -> Seq []
+    | Seq l ->
+      let kept = List.filter (fun s -> not (is_empty s)) (List.map go l) in
+      seq kept
+    | If { cond; then_; else_ } -> If { cond; then_ = go then_; else_ = go else_ }
+    | For fl -> For { fl with body = go fl.body }
+    | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> s
+  in
+  go s
+
+let collect_dmas s =
+  List.rev
+    (fold_stmt (fun acc s -> match s with Dma d -> d :: acc | _ -> acc) [] s)

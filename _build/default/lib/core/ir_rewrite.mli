@@ -1,0 +1,24 @@
+(** Structural rewriting helpers shared by the IR optimizer passes. *)
+
+val subst_stmt : (string * Ir.expr) list -> Ir.stmt -> Ir.stmt
+(** Substitute variables in every expression of a statement tree. Loop
+    iterators shadow: a binding for [i] does not propagate into a loop that
+    re-binds [i]. *)
+
+val gets_only : Ir.stmt -> Ir.stmt
+(** Keep only the body's "fill" statements: [Dma] nodes with direction
+    [Get], memsets that zero-pad a Get-target buffer (lightweight boundary
+    padding), and the [If] structure around them; everything else —
+    including nested loops — is dropped. Used to materialise prefetch
+    copies of a loop body. *)
+
+val drop_gets : Ir.stmt -> Ir.stmt
+(** The complement of [gets_only]: the body with its fill statements
+    removed. *)
+
+val collect_dmas : Ir.stmt -> Ir.dma list
+(** Every DMA node in the subtree, in pre-order. *)
+
+val map_exprs : (Ir.expr -> Ir.expr) -> Ir.stmt -> Ir.stmt
+(** Apply a function to every expression in the tree (without touching
+    structure). *)

@@ -1,0 +1,27 @@
+type t = { pool_bytes : int; offsets : (string * int) list }
+
+let plan (p : Ir.program) =
+  let requests =
+    List.filter_map
+      (fun (b : Ir.buf) ->
+        match b.space with
+        | Ir.Main -> None
+        | Ir.Spm ->
+          Some
+            (Sw26010.Spm.request ~double_buffered:b.double_buffered ~name:b.buf_name
+               ~bytes:(b.cpe_elems * Sw26010.Config.elem_bytes) ()))
+      p.bufs
+  in
+  match Sw26010.Spm.plan requests with
+  | Error e -> Error e
+  | Ok spm_plan ->
+    Ok
+      {
+        pool_bytes = spm_plan.used_bytes;
+        offsets = List.map (fun (s : Sw26010.Spm.slot) -> (s.slot_name, s.offset)) spm_plan.slots;
+      }
+
+let offset_of t name =
+  match List.assoc_opt name t.offsets with
+  | Some o -> o
+  | None -> invalid_arg ("Mem_plan.offset_of: unknown buffer " ^ name)

@@ -1,0 +1,11 @@
+(** SPM memory planning for code generation (Sec. 4.7): all SPM buffers of a
+    program are coalesced into one statically allocated region, each buffer
+    becoming an offset into the pool. *)
+
+type t = {
+  pool_bytes : int;
+  offsets : (string * int) list;  (** byte offset of each SPM buffer *)
+}
+
+val plan : Ir.program -> (t, string) result
+val offset_of : t -> string -> int

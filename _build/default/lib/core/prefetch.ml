@@ -1,0 +1,246 @@
+open Ir
+open! Stdlib
+
+let fail fmt = Printf.ksprintf invalid_arg ("Prefetch: " ^^ fmt)
+
+let has_get s =
+  fold_stmt (fun acc n -> acc || match n with Dma { dir = Get; _ } -> true | _ -> false) false s
+
+let is_empty = function Seq [] -> true | _ -> false
+
+(* Direct For children of a statement (not crossing other For nodes). *)
+let rec for_children s =
+  match s with
+  | For fl -> [ fl ]
+  | Seq l -> List.concat_map for_children l
+  | If { then_; else_; _ } -> for_children then_ @ for_children else_
+  | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> []
+
+(* The chain of loops from the marked loop down to the single level that
+   holds the Get DMAs, outermost first. *)
+let rec build_chain (fl : for_loop) acc =
+  let acc = fl :: acc in
+  let children = List.filter (fun f -> has_get (For f)) (for_children fl.body) in
+  let gets_here = not (is_empty (Ir_rewrite.gets_only fl.body)) in
+  match children with
+  | [] -> List.rev acc
+  | [ child ] ->
+    if gets_here then fail "gets at multiple loop levels in nest under %s" fl.iter;
+    if child.prefetch then fail "nested prefetch mark on loop %s" child.iter;
+    build_chain child acc
+  | _ :: _ :: _ -> fail "multiple streaming sub-loops under %s" fl.iter
+
+let const_of at = function
+  | Const i -> i
+  | e -> fail "%s bound %s is not a constant" at (Ir_print.expr_to_string e)
+
+type level = { l : for_loop; lo_c : int; hi_c : int; step_c : int; trips : int }
+
+let level_of (fl : for_loop) =
+  let lo_c = const_of ("loop " ^ fl.iter) fl.lo
+  and hi_c = const_of ("loop " ^ fl.iter) fl.hi
+  and step_c = const_of ("loop " ^ fl.iter) fl.step in
+  if step_c <= 0 then fail "loop %s has non-positive step" fl.iter;
+  { l = fl; lo_c; hi_c; step_c; trips = max 0 ((hi_c - lo_c + step_c - 1) / step_c) }
+
+(* Iteration counter of the first [depth] chain levels, as an expression
+   over their iterators; its parity selects a buffer's active half. A buffer
+   rotates at the deepest level whose body DMAs it, so its parity counts
+   only the levels above (and including) that one. *)
+let counter_to_depth levels depth =
+  let prefix = List.filteri (fun i _ -> i < depth) levels in
+  List.fold_left
+    (fun acc lv ->
+      let idx = Ir.((var lv.l.iter - int lv.lo_c) / int lv.step_c) in
+      Ir.((acc * int lv.trips) + idx))
+    (int 0) prefix
+
+(* Add [parity(buf) * cg_elems] to every reference to a double-buffered SPM
+   buffer, and retag DMAs/waits with that buffer's parity. [parity_of] maps
+   a buffer name to [Some (parity expr, cg_elems)] for double-buffered
+   buffers and [None] otherwise; [tag_buf] resolves a wait's constant tag to
+   the buffer it synchronises. *)
+let apply_parity ~parity_of ~tag_buf s =
+  let bump buf off =
+    match parity_of buf with None -> off | Some (parity, n) -> Ir.(off + (parity * int n))
+  in
+  let retag buf tag =
+    match parity_of buf with None -> tag | Some (parity, _) -> Ir.((int 2 * tag) + parity)
+  in
+  let rec go s =
+    match s with
+    | Seq l -> Seq (List.map go l)
+    | For fl -> For { fl with body = go fl.body }
+    | If { cond; then_; else_ } -> If { cond; then_ = go then_; else_ = go else_ }
+    | Dma d -> Dma { d with tag = retag d.spm d.tag; spm_offset = bump d.spm d.spm_offset }
+    | Dma_wait { tag } -> Dma_wait { tag = retag (tag_buf tag) tag }
+    | Gemm g ->
+      let op (o : gemm_operand) = { o with g_offset = bump o.g_buf o.g_offset } in
+      Gemm { g with a = op g.a; b = op g.b; c = op g.c }
+    | Memset_spm m -> Memset_spm { m with offset = bump m.buf m.offset }
+    | Spm_copy c ->
+      Spm_copy
+        {
+          c with
+          cp_src_offset = bump c.cp_src c.cp_src_offset;
+          cp_dst_offset = bump c.cp_dst c.cp_dst_offset;
+        }
+    | Transform t ->
+      Transform
+        { t with t_src_offset = bump t.t_src t.t_src_offset; t_dst_offset = bump t.t_dst t.t_dst_offset }
+    | Comment _ -> s
+  in
+  go s
+
+(* The nested if-then-else of Sec. 4.5.2: issue the template at the next
+   multi-index. [rev_levels] is the chain innermost-first; [bindings]
+   accumulates the iterator substitutions of already-exhausted levels. *)
+let rec next_iteration_gets rev_levels bindings template =
+  match rev_levels with
+  | [] -> Seq [] (* past the last nest iteration: nothing left to prefetch *)
+  | lv :: outer ->
+    let stepped = Ir.(var lv.l.iter + int lv.step_c) in
+    If
+      {
+        cond = Ir.(stepped < int lv.hi_c);
+        then_ = Ir_rewrite.subst_stmt ((lv.l.iter, stepped) :: bindings) template;
+        else_ = next_iteration_gets outer ((lv.l.iter, int lv.lo_c) :: bindings) template;
+      }
+
+(* Rebuild the chain bottom-up, substituting the transformed innermost body.
+   Chain loops are identified by iterator name, which builders keep unique
+   within a program. *)
+let rec rebuild levels new_inner_body =
+  match levels with
+  | [] -> assert false
+  | [ lv ] -> For { lv.l with body = new_inner_body; prefetch = false }
+  | lv :: (next :: _ as rest) ->
+    let child_stmt = rebuild rest new_inner_body in
+    let rec replace s =
+      match s with
+      | For f when String.equal f.iter next.l.iter -> child_stmt
+      | For f -> For { f with body = replace f.body }
+      | Seq l -> Seq (List.map replace l)
+      | If { cond; then_; else_ } -> If { cond; then_ = replace then_; else_ = replace else_ }
+      | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> s
+    in
+    For { lv.l with body = replace lv.l.body; prefetch = false }
+
+let transform_nest (bufs : buf list) (fl : for_loop) =
+  let chain = build_chain fl [] in
+  let levels = List.map level_of chain in
+  let depth = List.length levels in
+  (* Buffers to double-buffer: every SPM side of a DMA inside the nest. *)
+  let nest_dmas = Ir_rewrite.collect_dmas (For fl) in
+  let db_names = List.sort_uniq String.compare (List.map (fun (d : dma) -> d.spm) nest_dmas) in
+  let cg_elems name =
+    match List.find_opt (fun b -> String.equal b.buf_name name) bufs with
+    | Some b -> b.cg_elems
+    | None -> fail "DMA references undeclared buffer %s" name
+  in
+  (* Rotation depth of each buffer: the deepest chain level whose own body
+     (not counting the next chain loop's subtree) DMAs it. A C accumulator
+     put back at an outer level rotates with that outer loop, not with the
+     innermost streaming loop. *)
+  let rotation name =
+    let dmas_below j =
+      if j >= depth then []
+      else Ir_rewrite.collect_dmas (For (List.nth levels j).l)
+    in
+    let rec find j =
+      if j = 0 then fail "buffer %s not DMA'd in nest" name
+      else
+        let here = List.map (fun (d : dma) -> d.spm) (dmas_below (j - 1)) in
+        let deeper = List.map (fun (d : dma) -> d.spm) (dmas_below j) in
+        if List.mem name here && not (List.mem name deeper) then j else find (j - 1)
+    in
+    find depth
+  in
+  let parity_of =
+    let table =
+      List.map
+        (fun name ->
+          let parity = Ir.(counter_to_depth levels (rotation name) % int 2) in
+          (name, (parity, cg_elems name)))
+        db_names
+    in
+    fun name -> List.assoc_opt name table
+  in
+  (* Waits name only a reply-word tag; resolve constant tags back to the
+     buffer they synchronise so the wait picks up that buffer's parity. *)
+  let tag_buf =
+    let assoc =
+      List.filter_map
+        (fun (d : dma) -> match d.tag with Const t -> Some (t, d.spm) | _ -> None)
+        nest_dmas
+    in
+    List.iter
+      (fun (t, b) ->
+        List.iter
+          (fun (t', b') ->
+            if t = t' && not (String.equal b b') then
+              fail "tag %d used by buffers %s and %s" t b b')
+          assoc)
+      assoc;
+    fun tag ->
+      match tag with
+      | Const t -> (
+        match List.assoc_opt t assoc with
+        | Some b -> b
+        | None -> fail "wait on unknown tag %d" t)
+      | e -> fail "wait tag %s is not constant" (Ir_print.expr_to_string e)
+  in
+  (* Rewrite the whole nest with per-buffer parity first, then perform the
+     structural surgery on the rewritten tree. The parity expressions are
+     written in terms of the *current* iterators, so substituting the next
+     multi-index into the prefetch template turns them into the parity of
+     the next iteration for free. *)
+  let fl_rewritten =
+    match apply_parity ~parity_of ~tag_buf (For fl) with
+    | For f -> f
+    | _ -> assert false
+  in
+  let chain_r = build_chain fl_rewritten [] in
+  let inner_r = List.nth chain_r (depth - 1) in
+  let template = Ir_rewrite.gets_only inner_r.body in
+  if is_empty template then fail "marked nest under %s contains no Get DMA" fl.iter;
+  let rev_levels = List.rev levels in
+  let prefetch_block = next_iteration_gets rev_levels [] template in
+  let body' = Ir_rewrite.drop_gets inner_r.body in
+  let new_inner_body = seq [ prefetch_block; body' ] in
+  let levels_r =
+    List.map (fun (l : for_loop) -> { (level_of l) with l }) chain_r
+  in
+  let nest' = rebuild levels_r new_inner_body in
+  (* Initial fill: the Gets at the first multi-index (parity 0 falls out of
+     the substitution). *)
+  let first_bindings = List.map (fun lv -> (lv.l.iter, int lv.lo_c)) levels in
+  let initial_fill = Ir_rewrite.subst_stmt first_bindings template in
+  (seq [ Comment "prefetch: initial fill"; initial_fill; nest' ], db_names)
+
+let apply (p : program) =
+  let db_acc = ref [] in
+  let transformed = ref false in
+  let rec go s =
+    match s with
+    | For fl when fl.prefetch ->
+      let nest', db_names = transform_nest p.bufs fl in
+      db_acc := db_names @ !db_acc;
+      transformed := true;
+      nest'
+    | Seq l -> Seq (List.map go l)
+    | For fl -> For { fl with body = go fl.body }
+    | If { cond; then_; else_ } -> If { cond; then_ = go then_; else_ = go else_ }
+    | Dma _ | Dma_wait _ | Gemm _ | Memset_spm _ | Spm_copy _ | Transform _ | Comment _ -> s
+  in
+  let body = go p.body in
+  if not !transformed then p
+  else begin
+    let db = List.sort_uniq String.compare !db_acc in
+    let bufs =
+      List.map
+        (fun b -> if List.mem b.buf_name db then { b with double_buffered = true } else b)
+        p.bufs
+    in
+    { p with body; bufs; overlapped = true }
+  end

@@ -1,0 +1,27 @@
+(** Automatic memory-latency hiding by software prefetching (Sec. 4.5.2).
+
+    A schedule strategy marks the outermost loop of its streaming nest with
+    [prefetch = true]. For each marked nest this pass:
+
+    - double-buffers every SPM buffer touched by a DMA inside the nest
+      (doubling its backing store and SPM footprint);
+    - hoists an initial copy of the nest's [Get] DMAs in front of the nest,
+      evaluated at the first multi-index;
+    - rewrites the innermost streaming body to (1) issue the [Get]s of the
+      *next* multi-index — computed by the paper's nested if-then-else
+      next-iteration inference — into the other buffer half, (2) wait for
+      and compute on the current half, alternating halves by the parity of
+      the global iteration counter;
+    - retags DMAs and waits with the parity so reply words pair correctly.
+
+    Requirements on a marked nest (enforced, [Invalid_argument] otherwise):
+    the chain of loops from the marked loop down to the level containing the
+    [Get]s has constant bounds, and all [Get]s live at a single loop level.
+
+    The resulting program computes the same function; only its timeline
+    (and SPM footprint) changes — property-tested in the test suite. *)
+
+val apply : Ir.program -> Ir.program
+(** Transform every marked nest; returns the program with [overlapped]
+    set when at least one nest was transformed. Idempotent on programs
+    without marked loops. *)

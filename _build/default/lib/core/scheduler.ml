@@ -1,0 +1,33 @@
+type level = { lv_iter : string; lv_extent : int; lv_step : int }
+
+let level ~iter ~extent ~step =
+  if extent <= 0 || step <= 0 then invalid_arg "Scheduler.level: non-positive dimension";
+  { lv_iter = iter; lv_extent = extent; lv_step = step }
+
+let nest ?prefetch_at ~levels body =
+  List.fold_right
+    (fun lv acc ->
+      let prefetch =
+        match prefetch_at with Some it -> String.equal it lv.lv_iter | None -> false
+      in
+      Ir.for_ ~prefetch ~iter:lv.lv_iter ~lo:(Ir.int 0) ~hi:(Ir.int lv.lv_extent)
+        ~step:(Ir.int lv.lv_step) acc)
+    levels body
+
+let clipped ~extent ~step iter =
+  if extent mod step = 0 then Ir.int step else Ir.(emin (int step) (int extent - iter))
+
+let tile_extent lv = clipped ~extent:lv.lv_extent ~step:lv.lv_step (Ir.var lv.lv_iter)
+let trips lv = Prelude.Ints.ceil_div lv.lv_extent lv.lv_step
+
+let reorder ~order levels =
+  if List.length order <> List.length levels then
+    invalid_arg "Scheduler.reorder: order length mismatch";
+  List.map
+    (fun it ->
+      match List.find_opt (fun lv -> String.equal lv.lv_iter it) levels with
+      | Some lv -> lv
+      | None -> invalid_arg ("Scheduler.reorder: unknown iterator " ^ it))
+    order
+
+let divides_evenly lv = lv.lv_extent mod lv.lv_step = 0

@@ -1,0 +1,38 @@
+(** Loop-transformation helpers the operator builders use to turn a schedule
+    strategy into an IR loop nest (Sec. 4.3.1).
+
+    Splitting an axis of extent [total] by [factor] yields an outer loop
+    stepping by [factor] and an inner extent of [min(factor, total - iter)]
+    — the parameter-switching form of boundary processing. [nest] assembles
+    the reordered outer loops, carrying the prefetch mark. *)
+
+type level = {
+  lv_iter : string;
+  lv_extent : int;  (** axis extent *)
+  lv_step : int;  (** tile factor (loop steps by this) *)
+}
+
+val level : iter:string -> extent:int -> step:int -> level
+
+val nest : ?prefetch_at:string -> levels:level list -> Ir.stmt -> Ir.stmt
+(** Build the loop nest with [levels] ordered outermost first; the loop
+    whose iterator equals [prefetch_at] is marked for double buffering. *)
+
+val tile_extent : level -> Ir.expr
+(** [min(step, extent - iter)] — the current tile's (possibly ragged)
+    extent. *)
+
+val clipped : extent:int -> step:int -> Ir.expr -> Ir.expr
+(** [min(step, extent - iter)], statically folded to [step] when [step]
+    divides [extent] (no ragged tile can occur), which keeps aligned
+    schedules free of boundary expressions — both the generated code and
+    the cost model benefit. *)
+
+val trips : level -> int
+(** Number of iterations of the level's loop. *)
+
+val reorder : order:string list -> level list -> level list
+(** Permute levels to the given iterator order. Raises [Invalid_argument]
+    if [order] is not a permutation of the levels' iterators. *)
+
+val divides_evenly : level -> bool

@@ -1,0 +1,46 @@
+type lane = Cpe_cluster | Dma_engine
+type event = { ev_name : string; ev_lane : lane; ev_start : float; ev_end : float }
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t ~name ~lane ~start ~stop =
+  if stop < start then invalid_arg "Trace.record: negative duration";
+  t.rev_events <- { ev_name = name; ev_lane = lane; ev_start = start; ev_end = stop } :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+let event_count t = t.count
+
+let busy t lane =
+  List.fold_left
+    (fun acc e -> if e.ev_lane = lane then acc +. (e.ev_end -. e.ev_start) else acc)
+    0.0 t.rev_events
+
+let lane_tid = function Cpe_cluster -> 0 | Dma_engine -> 1
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> match c with '"' -> Buffer.add_string buf "\\\"" | '\\' -> Buffer.add_string buf "\\\\" | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"SW26010 core group\"}},";
+  Buffer.add_string buf
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"CPE cluster\"}},";
+  Buffer.add_string buf
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"DMA engine\"}}";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf ",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+           (escape e.ev_name) (lane_tid e.ev_lane) (e.ev_start *. 1e6)
+           ((e.ev_end -. e.ev_start) *. 1e6)))
+    (events t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Execution traces of simulated runs.
+
+    The interpreter can record every timed event — GEMM kernels, DMA
+    transfers (issue-to-completion), memsets, SPM copies, Winograd
+    transforms — with its simulated start/end times, on two lanes: the CPE
+    cluster and the DMA engine. Traces render to the Chrome trace-event JSON
+    format (chrome://tracing, Perfetto), which makes the simulator's overlap
+    behaviour directly inspectable. *)
+
+type lane = Cpe_cluster | Dma_engine
+
+type event = {
+  ev_name : string;
+  ev_lane : lane;
+  ev_start : float;  (** simulated seconds *)
+  ev_end : float;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> name:string -> lane:lane -> start:float -> stop:float -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val event_count : t -> int
+
+val busy : t -> lane -> float
+(** Total event duration on a lane (overlaps within the lane are summed,
+    not merged; lanes are sequential by construction). *)
+
+val to_chrome_json : t -> string
+(** Complete trace-event JSON ("traceEvents" array, microsecond
+    timestamps). *)

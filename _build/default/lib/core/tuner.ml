@@ -1,0 +1,103 @@
+type report = {
+  space_size : int;
+  evaluated : int;
+  wall_seconds : float;
+  hardware_seconds : float;
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_program : Ir.program;
+  best_seconds : float;
+  report : report;
+}
+
+let per_candidate_compile_seconds = 40.0
+
+let prepare p =
+  let p = Dma_inference.apply p in
+  let p = Prefetch.apply p in
+  match Ir_check.check p with
+  | Ok () -> p
+  | Error errs ->
+    invalid_arg
+      (Printf.sprintf "Tuner.prepare: invalid program %s: %s" p.prog_name
+         (String.concat "; " (List.map Ir_check.error_to_string errs)))
+
+let require_nonempty = function
+  | [] -> invalid_arg "Tuner: empty schedule space"
+  | l -> l
+
+let model_tune ?(top_k = 1) ~gemm_model ~candidates ~build () =
+  let candidates = require_nonempty candidates in
+  if top_k < 1 then invalid_arg "Tuner.model_tune: top_k must be positive";
+  let t0 = Sys.time () in
+  let scored =
+    List.map
+      (fun c ->
+        let p = prepare (build c) in
+        let e = Cost_model.estimate ~gemm_model p in
+        (c, p, e.total_seconds))
+      candidates
+  in
+  let ranked = List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) scored in
+  let finalists = List.filteri (fun i _ -> i < top_k) ranked in
+  (* The finalists are compiled and timed on the machine; with top_k = 1
+     that is just the winner's validation run. *)
+  let measured =
+    List.map (fun (c, p, _) -> (c, p, (Interp.run ~numeric:false p).seconds)) finalists
+  in
+  let best, best_program, best_seconds =
+    Prelude.Lists.min_float_by (fun (_, _, s) -> s) measured
+  in
+  let wall = Sys.time () -. t0 in
+  let finalist_hw =
+    Prelude.Lists.sum_float (fun (_, _, s) -> per_candidate_compile_seconds +. s) measured
+  in
+  {
+    best;
+    best_program;
+    best_seconds;
+    report =
+      {
+        space_size = List.length candidates;
+        evaluated = List.length candidates;
+        wall_seconds = wall;
+        hardware_seconds = finalist_hw;
+      };
+  }
+
+let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ~candidates ~build () =
+  let candidates = require_nonempty candidates in
+  if sample_every <= 0 then invalid_arg "Tuner.blackbox_tune: sample_every must be positive";
+  let measured_candidates = Prelude.Lists.take_every sample_every candidates in
+  let t0 = Sys.time () in
+  let scored =
+    List.map
+      (fun c ->
+        let p = prepare (build c) in
+        let r = Interp.run ~numeric:false p in
+        (c, p, r.seconds))
+      measured_candidates
+  in
+  let best, best_program, best_seconds =
+    Prelude.Lists.min_float_by (fun (_, _, s) -> s) scored
+  in
+  let wall = Sys.time () -. t0 in
+  let measured_hw =
+    Prelude.Lists.sum_float
+      (fun (_, _, s) -> (float_of_int repetitions *. s) +. per_candidate_compile_seconds)
+      scored
+  in
+  {
+    best;
+    best_program;
+    best_seconds;
+    report =
+      {
+        space_size = List.length candidates;
+        evaluated = List.length measured_candidates;
+        wall_seconds = wall;
+        hardware_seconds = measured_hw *. float_of_int sample_every;
+      };
+  }

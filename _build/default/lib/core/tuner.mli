@@ -1,0 +1,67 @@
+(** The two autotuners compared in Sec. 5.2.
+
+    Both receive an enumerated schedule space (a candidate list plus a
+    builder producing the optimized IR of each candidate) and return the
+    chosen candidate together with a tuning report.
+
+    - {!blackbox_tune} is the brute-force baseline: it *executes* every
+      candidate on the simulated machine (cost-only interpretation) and
+      keeps the fastest. Its [hardware_seconds] is the simulated machine
+      time such a tuning run occupies — repetitions of every candidate's
+      run plus a per-candidate code-generation/compilation overhead
+      (calibrated to the per-candidate throughput reported in Table 3).
+
+    - {!model_tune} is swATOP's performance-model-based tuner: it evaluates
+      the static cost model on every candidate and picks the predicted
+      best; only the winner is ever compiled and run. *)
+
+type report = {
+  space_size : int;
+  evaluated : int;  (** candidates actually measured/estimated *)
+  wall_seconds : float;  (** host CPU time spent inside the tuner *)
+  hardware_seconds : float;  (** simulated SW26010 time the tuning would occupy *)
+}
+
+type 'a outcome = {
+  best : 'a;
+  best_program : Ir.program;  (** fully lowered and optimized *)
+  best_seconds : float;  (** black-box: measured; model: predicted *)
+  report : report;
+}
+
+val per_candidate_compile_seconds : float
+(** Code generation + cross compilation + job launch per candidate on the
+    real system; calibrated against Table 3 (approximately 40 s per
+    candidate for the black-box tuner). *)
+
+val prepare : Ir.program -> Ir.program
+(** The IR-optimizer pipeline applied to every candidate before costing:
+    DMA inference, then prefetching, then structural validation. Raises
+    [Invalid_argument] with the validation report on a malformed program. *)
+
+val model_tune :
+  ?top_k:int ->
+  gemm_model:Gemm_cost.t ->
+  candidates:'a list ->
+  build:('a -> Ir.program) ->
+  unit ->
+  'a outcome
+(** Sec. 4's "pick best (or top k)": with [top_k > 1] the [top_k] best
+    predicted candidates are each run once on the (simulated) machine and
+    the measured winner kept; [hardware_seconds] accounts for those runs.
+    [best_seconds] is then the measured time of the winner. Default 1
+    (prediction only). Raises [Invalid_argument] on an empty candidate
+    list. *)
+
+val blackbox_tune :
+  ?repetitions:int ->
+  ?sample_every:int ->
+  candidates:'a list ->
+  build:('a -> Ir.program) ->
+  unit ->
+  'a outcome
+(** [sample_every] measures only every n-th candidate (default 1 = all) and
+    scales [hardware_seconds] accordingly — used to keep full-network
+    Table 3 reproductions tractable; the report's [evaluated] field records
+    the actual count. [repetitions] (default 3) models repeated timing runs
+    on real hardware. *)

@@ -1,0 +1,1 @@
+lib/ops/conv_implicit.ml: Array List Op_common Prelude Primitives Printf Stdlib Swatop Swtensor

@@ -1,0 +1,1 @@
+lib/ops/conv_implicit.mli: Op_common Primitives Swatop Swtensor

@@ -1,0 +1,1 @@
+lib/ops/conv_winograd.ml: Array List Op_common Prelude Primitives Printf Stdlib Sw26010 Swatop Swtensor

@@ -1,0 +1,1 @@
+lib/ops/conv_winograd.mli: Op_common Primitives Swatop Swtensor

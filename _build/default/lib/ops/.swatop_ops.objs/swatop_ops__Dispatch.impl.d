@@ -1,0 +1,1 @@
+lib/ops/dispatch.ml: Conv_explicit Conv_implicit Conv_winograd List Swatop

@@ -1,0 +1,1 @@
+lib/ops/dispatch.mli: Swatop Swtensor

@@ -1,0 +1,1 @@
+lib/ops/offline.ml: Buffer Dispatch Filename List Printf Swatop Swtensor Sys Workloads

@@ -1,0 +1,1 @@
+lib/ops/offline.mli: Dispatch Swatop Swtensor Workloads

@@ -1,0 +1,1 @@
+lib/ops/op_common.ml: Array List Option Prelude Primitives Printf Stdlib Sw26010 Swatop Swtensor

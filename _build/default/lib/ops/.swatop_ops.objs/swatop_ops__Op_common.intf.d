@@ -1,0 +1,1 @@
+lib/ops/op_common.mli: Primitives Swatop Swtensor

@@ -1,0 +1,317 @@
+module G = Primitives.Spm_gemm
+module Spec = Swtensor.Conv_spec
+
+type strategy = {
+  pi : int;
+  slab_im2col : bool;
+  fm : int;
+  fn : int;
+  fk : int;
+  n_outer : bool;
+  vec : G.vec_dim;
+  boundary : Op_common.boundary;
+  prefetch : bool;
+  gemm_prefetch : bool;
+}
+
+type t = { spec : Spec.t }
+
+let applicable (spec : Spec.t) = spec.stride = 1 && spec.pad = 0
+
+let problem spec =
+  if not (applicable spec) then invalid_arg "Conv_explicit.problem: requires stride=1, pad=0";
+  { spec }
+
+let flops t = Spec.flops t.spec
+let imul = Stdlib.( * )
+
+let describe s =
+  Printf.sprintf "explicit[%s fm=%d fn=%d fk=%d order=%s vec=%s boundary=%s%s]"
+    (if s.slab_im2col then Printf.sprintf "slab pi=%d" s.pi else "naive")
+    s.fm s.fn s.fk
+    (if s.n_outer then "NM" else "MN")
+    (match s.vec with G.Vec_m -> "M" | G.Vec_n -> "N")
+    (Op_common.boundary_to_string s.boundary)
+    (if s.prefetch then "" else " no-prefetch")
+
+(* ------------------------------------------------------------------ *)
+(* Schedule space. *)
+
+let cpe_of cg = Prelude.Ints.ceil_div cg Sw26010.Config.cpes_per_cg
+
+let spm_fits (spec : Spec.t) s =
+  let ri = Spec.ri spec and ci = Spec.ci spec in
+  let bufs =
+    [ cpe_of (imul s.pi (imul spec.ro spec.co)) ]
+    @ (if s.slab_im2col then [ cpe_of (imul s.pi (imul ri ci)) ] else [])
+    @ [
+        Op_common.cpe_grid_elems s.fm s.fk;
+        Op_common.cpe_grid_elems s.fk s.fn;
+        Op_common.cpe_grid_elems s.fm s.fn;
+      ]
+  in
+  Op_common.spm_budget_ok ~prefetch:s.prefetch bufs
+
+let divisor_candidates ?(lo = 1) ?(hi = max_int) n keep =
+  Prelude.Ints.divisors n
+  |> List.filter (fun d -> d >= lo && d <= hi)
+  |> Op_common.trim_candidates keep
+
+let space ?(prefetch = true) t =
+  let spec = t.spec in
+  let k_total = imul spec.ni (imul spec.kr spec.kc) in
+  let n_total = imul spec.b (imul spec.ro spec.co) in
+  let fms = divisor_candidates ~lo:(min spec.no 16) ~hi:256 spec.no 4 in
+  let fks = divisor_candidates ~lo:(min k_total 32) ~hi:512 k_total 4 in
+  let fns =
+    match List.filter (fun f -> f <= n_total) [ 128; 256; 512; 1024; 2048 ] with
+    | [] -> [ n_total ]
+    | l -> l
+  in
+  let pis =
+    Prelude.Ints.divisors spec.ni
+    |> List.filter (fun d -> d <= 16)
+    |> Op_common.trim_candidates 3
+  in
+  let strategies =
+    List.concat_map
+      (fun (fm, fn, fk) ->
+        let ragged = spec.no mod fm <> 0 || n_total mod fn <> 0 || k_total mod fk <> 0 in
+        let boundaries =
+          if ragged then [ Op_common.Switch; Op_common.Pad_light ] else [ Op_common.Switch ]
+        in
+        List.concat_map
+          (fun boundary ->
+            List.concat_map
+              (fun n_outer ->
+                List.concat_map
+                  (fun vec ->
+                    List.map
+                      (fun pi ->
+                        {
+                          pi;
+                          slab_im2col = true;
+                          fm;
+                          fn;
+                          fk;
+                          n_outer;
+                          vec;
+                          boundary;
+                          prefetch;
+                          gemm_prefetch = false;
+                        })
+                      pis)
+                  [ G.Vec_m; G.Vec_n ])
+              [ false; true ])
+          boundaries)
+      (Prelude.Lists.cartesian3 fms fns fks)
+  in
+  List.filter (spm_fits spec) strategies
+
+(* ------------------------------------------------------------------ *)
+(* Numeric harness. *)
+
+let bindings_for (t : t) s ~input ~weight =
+  ignore s;
+  let spec = t.spec in
+  if Swtensor.Tensor.shape input <> Spec.input_shape spec then
+    invalid_arg "Conv_explicit: input shape mismatch";
+  if Swtensor.Tensor.shape weight <> Spec.weight_shape spec then
+    invalid_arg "Conv_explicit: weight shape mismatch";
+  let k_total = imul spec.ni (imul spec.kr spec.kc) in
+  let n_total = imul spec.b (imul spec.ro spec.co) in
+  [
+    ("input", Op_common.pack_input_bchw spec input);
+    ("weight", Array.copy (Swtensor.Tensor.data weight));
+    ("col", Array.make (imul k_total n_total) 0.0);
+    ("outmat", Array.make (imul spec.no n_total) 0.0);
+  ]
+
+let unpack_output (t : t) bindings =
+  let spec = t.spec in
+  match List.assoc_opt "outmat" bindings with
+  | None -> invalid_arg "Conv_explicit.unpack_output: no outmat binding"
+  | Some arr ->
+    let n_total = imul spec.b (imul spec.ro spec.co) in
+    Swtensor.Tensor.of_fn (Spec.output_shape spec) (fun idx ->
+        match idx with
+        | [| cb; cno; r; c |] ->
+          arr.((cno * n_total) + (((cb * spec.ro) + r) * spec.co) + c)
+        | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering. *)
+
+open Swatop.Ir
+
+let tag_win = 30
+let tag_col = 31
+
+let build (t : t) s =
+  let ({ b; ni; no; ro; co; kr; kc; _ } : Spec.t) = t.spec in
+  let ri = Spec.ri t.spec and ci = Spec.ci t.spec in
+  let k_total = imul ni (imul kr kc) in
+  let n_total = imul b (imul ro co) in
+  let window = imul ro co in
+  let g =
+    {
+      Op_common.g_fm = s.fm;
+      g_fn = s.fn;
+      g_fk = s.fk;
+      g_vec = s.vec;
+      g_n_outer = s.n_outer;
+      g_pad_light = (match s.boundary with Op_common.Pad_light -> true | _ -> false);
+      g_prefetch = (s.prefetch || s.gemm_prefetch);
+      g_prefix = "e";
+      g_tag_base = 0;
+    }
+  in
+  let pi = if s.slab_im2col then s.pi else 1 in
+  let bufs =
+    [
+      main_buf ~name:"input" ~elems:(imul (imul b ni) (imul ri ci));
+      main_buf ~name:"weight" ~elems:(imul no k_total);
+      main_buf ~name:"col" ~elems:(imul k_total n_total);
+      main_buf ~name:"outmat" ~elems:(imul no n_total);
+      spm_buf ~name:"win_stage" ~cg_elems:(imul pi window) ~cpe_elems:(cpe_of (imul pi window));
+    ]
+    @ (if s.slab_im2col then
+         [
+           spm_buf ~name:"img_slab" ~cg_elems:(imul pi (imul ri ci))
+             ~cpe_elems:(cpe_of (imul pi (imul ri ci)));
+         ]
+       else [])
+    @ Op_common.gemm_tile_buffers g
+  in
+  (* Phase 1, naive form: one shifted ro x co window per (image, channel,
+     tap) streams through SPM into the column matrix — 9x redundant strided
+     reads of the input, the structure hand-written im2col code uses. *)
+  let naive_im2col =
+    let vb = var "xb" and vni = var "xni" and vkr = var "xkr" and vkc = var "xkc" in
+    let get =
+      Dma
+        {
+          dir = Get;
+          main = "input";
+          spm = "win_stage";
+          tag = int tag_win;
+          region =
+            {
+              offset = (((vb * int ni) + vni) * int (imul ri ci)) + (vkr * int ci) + vkc;
+              rows = int ro;
+              row_elems = int co;
+              row_stride = int ci;
+            };
+          spm_offset = int 0;
+          spm_ld = int co;
+          partition = P_rows;
+          per_cpe = None;
+        }
+    in
+    let put =
+      let row_idx = (vni * int (imul kr kc)) + (vkr * int kc) + vkc in
+      Dma
+        {
+          dir = Put;
+          main = "col";
+          spm = "win_stage";
+          tag = int tag_col;
+          region =
+            {
+              offset = (row_idx * int n_total) + (vb * int window);
+              rows = int 1;
+              row_elems = int window;
+              row_stride = int window;
+            };
+          spm_offset = int 0;
+          spm_ld = int window;
+          partition = P_cols;
+          per_cpe = None;
+        }
+    in
+    for_ ~prefetch:s.prefetch ~iter:"xb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+      (for_ ~iter:"xni" ~lo:(int 0) ~hi:(int ni) ~step:(int 1)
+         (for_ ~iter:"xkr" ~lo:(int 0) ~hi:(int kr) ~step:(int 1)
+            (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1)
+               (seq [ get; Dma_wait { tag = int tag_win }; put ]))))
+  in
+  (* Phase 1, slab form (swATOP): fetch a [pi]-channel image slab once,
+     repack each of the kr*kc shifted windows in SPM with vector copies,
+     and write packed column rows — the input is read once instead of
+     kr*kc times, and every transfer is large and contiguous. *)
+  let slab_im2col =
+    let vb = var "xb" and vnib = var "xnib" in
+    let vkr = var "xkr" and vkc = var "xkc" and vch = var "xch" in
+    let tpi = Swatop.Scheduler.clipped ~extent:ni ~step:pi vnib in
+    let get_slab =
+      Dma
+        {
+          dir = Get;
+          main = "input";
+          spm = "img_slab";
+          tag = int tag_win;
+          region =
+            {
+              offset = ((vb * int ni) + vnib) * int (imul ri ci);
+              rows = int 1;
+              row_elems = tpi * int (imul ri ci);
+              row_stride = int 1;
+            };
+          spm_offset = int 0;
+          spm_ld = tpi * int (imul ri ci);
+          partition = P_cols;
+          per_cpe = None;
+        }
+    in
+    let repack =
+      (* Per channel of the block: copy the (ro x co) window at shift
+         (kr, kc) into the packed stage. *)
+      for_ ~iter:"xch" ~lo:(int 0) ~hi:tpi ~step:(int 1)
+        (Spm_copy
+           {
+             cp_src = "img_slab";
+             cp_src_offset = (vch * int (imul ri ci)) + (vkr * int ci) + vkc;
+             cp_src_ld = int ci;
+             cp_dst = "win_stage";
+             cp_dst_offset = vch * int window;
+             cp_dst_ld = int co;
+             cp_rows = int ro;
+             cp_row_elems = int co;
+           })
+    in
+    let put =
+      let row0 = (vnib * int (imul kr kc)) + (vkr * int kc) + vkc in
+      Dma
+        {
+          dir = Put;
+          main = "col";
+          spm = "win_stage";
+          tag = int tag_col;
+          region =
+            {
+              offset = (row0 * int n_total) + (vb * int window);
+              rows = tpi;
+              row_elems = int window;
+              row_stride = int (imul (imul kr kc) n_total);
+            };
+          spm_offset = int 0;
+          spm_ld = int window;
+          partition = P_grid;
+          per_cpe = None;
+        }
+    in
+    let taps =
+      for_ ~iter:"xkr" ~lo:(int 0) ~hi:(int kr) ~step:(int 1)
+        (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1) (seq [ repack; put ]))
+    in
+    for_ ~prefetch:s.prefetch ~iter:"xb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+      (for_ ~iter:"xnib" ~lo:(int 0) ~hi:(int ni) ~step:(int pi)
+         (seq [ get_slab; Dma_wait { tag = int tag_win }; taps ]))
+  in
+  let phase_im2col = if s.slab_im2col then slab_im2col else naive_im2col in
+  let phase_gemm =
+    Op_common.gemm_nest g ~a_main:"weight" ~b_main:"col" ~c_main:"outmat" ~a_base:(int 0)
+      ~b_base:(int 0) ~c_base:(int 0) ~m:no ~n:n_total ~k:k_total
+  in
+  program ~name:"conv_explicit" ~bufs
+    (seq [ Comment "phase 1: im2col"; phase_im2col; Comment "phase 2: GEMM"; phase_gemm ])

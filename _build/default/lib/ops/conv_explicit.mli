@@ -1,0 +1,46 @@
+(** Explicit-GEMM convolution (Fig. 2 left): im2col expansion followed by one
+    large matrix multiplication.
+
+    Phase 1 materialises the column matrix [(ni*kr*kc, b*ro*co)] in main
+    memory: for every (batch image, input channel, filter tap) a shifted
+    [ro x co] window streams through SPM — a strided gather whose DRAM
+    transaction waste is the algorithm's fundamental overhead. Phase 2 is a
+    tiled GEMM of the [(no, ni*kr*kc)] weight matrix (the natural flattened
+    weight layout, no repacking) against the column matrix.
+
+    This is the fallback algorithm the paper applies when implicit and
+    Winograd convolution cannot be used; its average efficiency is the
+    lowest of the three. Requires [stride = 1] and [pad = 0]. *)
+
+type strategy = {
+  pi : int;  (** input-channel block of the slab im2col (1 = naive) *)
+  slab_im2col : bool;
+      (** stream [pi]-channel image slabs once and repack the nine shifted
+          windows in SPM ([Spm_copy]), instead of gathering one strided
+          window per (image, channel, tap) from main memory — the naive
+          structure hand-written code uses *)
+  fm : int;
+  fn : int;
+  fk : int;  (** GEMM tiles over (no, b*ro*co, ni*kr*kc) *)
+  n_outer : bool;
+  vec : Primitives.Spm_gemm.vec_dim;
+  boundary : Op_common.boundary;  (** [Switch] or [Pad_light] (GEMM phase) *)
+  prefetch : bool;  (** pipeline both phases *)
+  gemm_prefetch : bool;
+      (** double-buffer the GEMM phase only (a library GEMM call on a cold
+          im2col phase); ignored when [prefetch] is set *)
+}
+
+type t = private { spec : Swtensor.Conv_spec.t }
+
+val applicable : Swtensor.Conv_spec.t -> bool
+val problem : Swtensor.Conv_spec.t -> t
+val flops : t -> float
+val space : ?prefetch:bool -> t -> strategy list
+val build : t -> strategy -> Swatop.Ir.program
+val describe : strategy -> string
+
+val bindings_for :
+  t -> strategy -> input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list
+
+val unpack_output : t -> (string * float array) list -> Swtensor.Tensor.t

@@ -1,0 +1,440 @@
+module G = Primitives.Spm_gemm
+module Spec = Swtensor.Conv_spec
+
+type pixel_order = Ro_outer | Co_outer
+type reduce_order = Taps_then_ni | Ni_then_taps
+type tile_shape = Col_tile of int | Row_slab of int
+
+type strategy = {
+  tile : tile_shape;
+  fi : int;
+  fo : int;
+  pixel_order : pixel_order;
+  reduce_order : reduce_order;
+  w_oi : bool;
+  vec : G.vec_dim;
+  boundary : Op_common.boundary;
+  prefetch : bool;
+}
+
+type t = { spec : Spec.t }
+
+let applicable (spec : Spec.t) = spec.stride = 1 && spec.pad = 0
+
+let problem spec =
+  if not (applicable spec) then
+    invalid_arg "Conv_implicit.problem: requires stride=1, pad=0";
+  { spec }
+
+let flops t = Spec.flops t.spec
+
+let tile_to_string = function
+  | Col_tile fc -> Printf.sprintf "fc=%d" fc
+  | Row_slab fr -> Printf.sprintf "fr=%d" fr
+
+let describe s =
+  Printf.sprintf "implicit[%s fi=%d fo=%d %s %s w=%s vec=%s boundary=%s%s]" (tile_to_string s.tile)
+    s.fi s.fo
+    (match s.pixel_order with Ro_outer -> "ro-outer" | Co_outer -> "co-outer")
+    (match s.reduce_order with Taps_then_ni -> "khw.ni" | Ni_then_taps -> "ni.khw")
+    (if s.w_oi then "oi" else "io")
+    (match s.vec with G.Vec_m -> "M" | G.Vec_n -> "N")
+    (Op_common.boundary_to_string s.boundary)
+    (if s.prefetch then "" else " no-prefetch")
+
+(* ------------------------------------------------------------------ *)
+(* Schedule space. *)
+
+let imul = Stdlib.( * )
+
+(* Full GEMM N dimension of a strategy. *)
+let n_full (spec : Spec.t) s =
+  match s.tile with
+  | Col_tile fc -> imul fc spec.b
+  | Row_slab fr -> imul fr (imul (Spec.ci spec) spec.b)
+
+let spm_fits (spec : Spec.t) s =
+  let nb = n_full spec s in
+  Op_common.spm_budget_ok ~prefetch:s.prefetch
+    [
+      Op_common.cpe_grid_elems s.fo s.fi;
+      Op_common.cpe_grid_elems s.fi nb;
+      Op_common.cpe_grid_elems s.fo nb;
+    ]
+
+let channel_factors dim =
+  (* Blocks below 1/8 of the channel count multiply the reduction trip count
+     without ever winning; pruned by prior hardware knowledge (Sec. 4.6). *)
+  let lo = min dim (max 16 (Prelude.Ints.ceil_div dim 8)) in
+  let axis = Swatop.Dsl.axis "c" dim in
+  let fv = Swatop.Dsl.factor_var ~name:"f" ~axis ~min_factor:lo ~max_factor:(min dim 256) () in
+  Op_common.trim_candidates 3 fv.Swatop.Dsl.fv_candidates
+
+let tile_candidates (spec : Spec.t) =
+  (* Column tiles keep N = fc * b in a kernel-friendly range; row slabs are
+     added when the batch alone cannot provide a deep N dimension. *)
+  let max_f = Prelude.Ints.clamp ~lo:1 ~hi:spec.co (1024 / spec.b) in
+  let min_f = Prelude.Ints.clamp ~lo:1 ~hi:max_f (spec.co / 32) in
+  let axis = Swatop.Dsl.axis "co" spec.co in
+  let fv = Swatop.Dsl.factor_var ~name:"fc" ~axis ~min_factor:min_f ~max_factor:max_f () in
+  let cols =
+    List.map (fun fc -> Col_tile fc) (Op_common.trim_candidates 4 fv.Swatop.Dsl.fv_candidates)
+  in
+  let slabs =
+    if spec.b > 16 then []
+    else
+      let slab_n fr = imul fr (imul (Spec.ci spec) spec.b) in
+      List.filter (fun fr -> fr <= spec.ro && slab_n fr <= 4096) [ 1; 2; 4; 8 ]
+      |> List.map (fun fr -> Row_slab fr)
+  in
+  cols @ slabs
+
+let space ?(prefetch = true) t =
+  let spec = t.spec in
+  let tiles = tile_candidates spec
+  and fis = channel_factors spec.ni
+  and fos = channel_factors spec.no in
+  let combos = Prelude.Lists.cartesian3 tiles fis fos in
+  let strategies =
+    List.concat_map
+      (fun (tile, fi, fo) ->
+        let tile_ragged =
+          match tile with
+          | Col_tile fc -> spec.co mod fc <> 0
+          | Row_slab fr -> spec.ro mod fr <> 0
+        in
+        let ragged = tile_ragged || spec.ni mod fi <> 0 || spec.no mod fo <> 0 in
+        let boundaries =
+          if ragged then [ Op_common.Switch; Op_common.Pad_light ] else [ Op_common.Switch ]
+        in
+        (* Reorders need explicit candidates (Sec. 4.3.1): the three orders
+           that differ in data reuse, rather than the full permutation set. *)
+        let orders =
+          [ (Ro_outer, Taps_then_ni); (Co_outer, Taps_then_ni); (Ro_outer, Ni_then_taps) ]
+        in
+        List.concat_map
+          (fun boundary ->
+            List.concat_map
+              (fun (pixel_order, reduce_order) ->
+                List.concat_map
+                  (fun w_oi ->
+                    List.map
+                      (fun vec ->
+                        { tile; fi; fo; pixel_order; reduce_order; w_oi; vec; boundary; prefetch })
+                      [ G.Vec_m; G.Vec_n ])
+                  [ true; false ])
+              orders)
+          boundaries)
+      combos
+  in
+  List.filter (spm_fits spec) strategies
+
+(* ------------------------------------------------------------------ *)
+(* Numeric harness: pack logical tensors into the operator's layouts. *)
+
+(* Row-slab transfers read up to (kc-1)*b elements past the last channel
+   plane (tail halo of the final slab, discarded by the write-back); the
+   main-memory image is tail-padded accordingly, as a real allocation would
+   be. *)
+let input_elems (spec : Spec.t) =
+  imul (imul spec.ni (Spec.ri spec)) (imul (Spec.ci spec) spec.b)
+  + imul (spec.kc - 1) spec.b
+
+let pack_input (spec : Spec.t) input =
+  let ri = Spec.ri spec and ci = Spec.ci spec in
+  let arr = Array.make (input_elems spec) 0.0 in
+  for cni = 0 to spec.ni - 1 do
+    for r = 0 to ri - 1 do
+      for c = 0 to ci - 1 do
+        for cb = 0 to spec.b - 1 do
+          arr.((((((cni * ri) + r) * ci) + c) * spec.b) + cb)
+          <- Swtensor.Tensor.get input [| cb; cni; r; c |]
+        done
+      done
+    done
+  done;
+  arr
+
+let pack_weight (spec : Spec.t) ~w_oi weight =
+  let arr = Array.make (imul (imul spec.no spec.ni) (imul spec.kr spec.kc)) 0.0 in
+  for ckr = 0 to spec.kr - 1 do
+    for ckc = 0 to spec.kc - 1 do
+      let tap = (ckr * spec.kc) + ckc in
+      for cno = 0 to spec.no - 1 do
+        for cni = 0 to spec.ni - 1 do
+          let idx =
+            if w_oi then (((tap * spec.no) + cno) * spec.ni) + cni
+            else (((tap * spec.ni) + cni) * spec.no) + cno
+          in
+          arr.(idx) <- Swtensor.Tensor.get weight [| cno; cni; ckr; ckc |]
+        done
+      done
+    done
+  done;
+  arr
+
+let bindings_for (t : t) s ~input ~weight =
+  let spec = t.spec in
+  if Swtensor.Tensor.shape input <> Spec.input_shape spec then
+    invalid_arg "Conv_implicit: input shape mismatch";
+  if Swtensor.Tensor.shape weight <> Spec.weight_shape spec then
+    invalid_arg "Conv_implicit: weight shape mismatch";
+  [
+    ("input", pack_input spec input);
+    ("weight", pack_weight spec ~w_oi:s.w_oi weight);
+    ("output", Array.make (imul (imul spec.no spec.ro) (imul spec.co spec.b)) 0.0);
+  ]
+
+let unpack_output (t : t) bindings =
+  let spec = t.spec in
+  match List.assoc_opt "output" bindings with
+  | None -> invalid_arg "Conv_implicit.unpack_output: no output binding"
+  | Some arr ->
+    Swtensor.Tensor.of_fn (Spec.output_shape spec) (fun idx ->
+        match idx with
+        | [| cb; cno; r; c |] -> arr.((((((cno * spec.ro) + r) * spec.co) + c) * spec.b) + cb)
+        | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering. *)
+
+open Swatop.Ir
+
+let tag_w = 0
+let tag_di = 1
+let tag_do = 2
+
+let build (t : t) s =
+  let ({ b; ni; no; ro; co; kr; kc; _ } : Spec.t) = t.spec in
+  let ri = Spec.ri t.spec and ci = Spec.ci t.spec in
+  let pad_light = match s.boundary with Op_common.Pad_light -> true | _ -> false in
+  let nb_full = n_full t.spec s in
+  let bufs =
+    [
+      main_buf ~name:"input" ~elems:(input_elems t.spec);
+      main_buf ~name:"weight" ~elems:(imul (imul no ni) (imul kr kc));
+      main_buf ~name:"output" ~elems:(imul (imul no ro) (imul co b));
+      spm_buf ~name:"w_tile" ~cg_elems:(imul s.fo s.fi)
+        ~cpe_elems:(Op_common.cpe_grid_elems s.fo s.fi);
+      spm_buf ~name:"di_tile" ~cg_elems:(imul s.fi nb_full)
+        ~cpe_elems:(Op_common.cpe_grid_elems s.fi nb_full);
+      spm_buf ~name:"do_tile" ~cg_elems:(imul s.fo nb_full)
+        ~cpe_elems:(Op_common.cpe_grid_elems s.fo nb_full);
+    ]
+  in
+  let vro = var "ro" and vcob = var "cob" and vkr = var "kr" and vkc = var "kc" in
+  let vnib = var "nib" and vnob = var "nob" in
+  let tfi = Swatop.Scheduler.clipped ~extent:ni ~step:s.fi vnib in
+  let tfo = Swatop.Scheduler.clipped ~extent:no ~step:s.fo vnob in
+  (* GEMM N extent, D_i source region and D_o write-back depend on the tile
+     shape. *)
+  let tn, di_region, puts_do =
+    match s.tile with
+    | Col_tile fc ->
+      let tfc = Swatop.Scheduler.clipped ~extent:co ~step:fc vcob in
+      let tn = tfc * int b in
+      let row0 = vro + vkr and col0 = vcob + vkc in
+      let di_region =
+        {
+          offset = ((((vnib * int ri) + row0) * int ci) + col0) * int b;
+          rows = tfi;
+          row_elems = tn;
+          row_stride = int (imul ri (imul ci b));
+        }
+      in
+      let puts do_ld =
+        [
+          Dma
+            {
+              dir = Put;
+              main = "output";
+              spm = "do_tile";
+              tag = int tag_do;
+              region =
+                {
+                  offset = ((((vnob * int ro) + vro) * int co) + vcob) * int b;
+                  rows = tfo;
+                  row_elems = tn;
+                  row_stride = int (imul ro (imul co b));
+                };
+              spm_offset = int 0;
+              spm_ld = do_ld;
+              partition = P_grid;
+              per_cpe = None;
+            };
+        ]
+      in
+      (tn, di_region, puts)
+    | Row_slab fr ->
+      let tfr = Swatop.Scheduler.clipped ~extent:ro ~step:fr vro in
+      let tn = tfr * int (imul ci b) in
+      (* One contiguous slab per input channel: tfr full-width input rows
+         starting at row (ro + kr), shifted kc columns. The 2*b halo
+         columns per row are fetched, multiplied and discarded. *)
+      let di_region =
+        {
+          offset = ((((vnib * int ri) + (vro + vkr)) * int ci) + vkc) * int b;
+          rows = tfi;
+          row_elems = tn;
+          row_stride = int (imul ri (imul ci b));
+        }
+      in
+      (* Valid columns go back row by row; unrolled so all of do_tile's DMAs
+         sit at one loop level for the prefetch pass. *)
+      let puts do_ld =
+        List.init fr (fun dr ->
+            If
+              {
+                cond = Cmp (Lt, vro + int dr, int ro);
+                then_ =
+                  Dma
+                    {
+                      dir = Put;
+                      main = "output";
+                      spm = "do_tile";
+                      tag = int tag_do;
+                      region =
+                        {
+                          offset = ((vnob * int ro) + vro + int dr) * int (imul co b);
+                          rows = tfo;
+                          row_elems = int (imul co b);
+                          row_stride = int (imul ro (imul co b));
+                        };
+                      spm_offset = int (imul dr (imul ci b));
+                      spm_ld = do_ld;
+                      partition = P_grid;
+                      per_cpe = None;
+                    };
+                else_ = Seq [];
+              })
+      in
+      (tn, di_region, puts)
+  in
+  (* GEMM shapes: full under Pad_light, ragged under Switch. *)
+  let gm, gn, gk = if pad_light then (int s.fo, int nb_full, int s.fi) else (tfo, tn, tfi) in
+  let di_ld = if pad_light then int nb_full else tn in
+  let do_ld = di_ld in
+  let w_ld_oi = if pad_light then int s.fi else tfi in
+  let w_ld_io = if pad_light then int s.fo else tfo in
+  (* Weight tile DMA: layout [kr][kc][no][ni] (w_oi) gives a row-major
+     (no, ni) SPM image; [kr][kc][ni][no] gives a column-major one. *)
+  let get_w =
+    let tap = (vkr * int kc) + vkc in
+    let region =
+      if s.w_oi then
+        {
+          offset = (((tap * int no) + vnob) * int ni) + vnib;
+          rows = tfo;
+          row_elems = tfi;
+          row_stride = int ni;
+        }
+      else
+        {
+          offset = (((tap * int ni) + vnib) * int no) + vnob;
+          rows = tfi;
+          row_elems = tfo;
+          row_stride = int no;
+        }
+    in
+    Dma
+      {
+        dir = Get;
+        main = "weight";
+        spm = "w_tile";
+        tag = int tag_w;
+        region;
+        spm_offset = int 0;
+        spm_ld = (if s.w_oi then w_ld_oi else w_ld_io);
+        partition = P_grid;
+        per_cpe = None;
+      }
+  in
+  let get_di =
+    Dma
+      {
+        dir = Get;
+        main = "input";
+        spm = "di_tile";
+        tag = int tag_di;
+        region = di_region;
+        spm_offset = int 0;
+        spm_ld = di_ld;
+        partition = P_grid;
+        per_cpe = None;
+      }
+  in
+  let pad_w =
+    If
+      {
+        cond = Or (Cmp (Lt, tfo, int s.fo), Cmp (Lt, tfi, int s.fi));
+        then_ = Memset_spm { buf = "w_tile"; offset = int 0; elems = int (imul s.fo s.fi) };
+        else_ = Seq [];
+      }
+  in
+  let pad_di =
+    If
+      {
+        cond = Or (Cmp (Lt, tfi, int s.fi), Cmp (Lt, tn, int nb_full));
+        then_ = Memset_spm { buf = "di_tile"; offset = int 0; elems = int (imul s.fi nb_full) };
+        else_ = Seq [];
+      }
+  in
+  let variant =
+    { G.a_major = (if s.w_oi then G.Row_major else G.Col_major); b_major = G.Row_major; vec = s.vec }
+  in
+  let gemm =
+    Gemm
+      {
+        variant;
+        m = gm;
+        n = gn;
+        k = gk;
+        a = { g_buf = "w_tile"; g_offset = int 0; g_ld = (if s.w_oi then w_ld_oi else w_ld_io) };
+        b = { g_buf = "di_tile"; g_offset = int 0; g_ld = di_ld };
+        c = { g_buf = "do_tile"; g_offset = int 0; g_ld = do_ld };
+      }
+  in
+  let inner_body =
+    seq
+      ((if pad_light then [ pad_w; pad_di ] else [])
+      @ [ get_w; get_di; Dma_wait { tag = int tag_w }; Dma_wait { tag = int tag_di }; gemm ])
+  in
+  let reduce_levels =
+    let lkr = Swatop.Scheduler.level ~iter:"kr" ~extent:kr ~step:1
+    and lkc = Swatop.Scheduler.level ~iter:"kc" ~extent:kc ~step:1
+    and lni = Swatop.Scheduler.level ~iter:"nib" ~extent:ni ~step:s.fi in
+    match s.reduce_order with
+    | Taps_then_ni -> [ lkr; lkc; lni ]
+    | Ni_then_taps -> [ lni; lkr; lkc ]
+  in
+  let reduction = Swatop.Scheduler.nest ~levels:reduce_levels inner_body in
+  let memset_do =
+    Memset_spm
+      {
+        buf = "do_tile";
+        offset = int 0;
+        elems = (if pad_light then int (imul s.fo nb_full) else tfo * tn);
+      }
+  in
+  let tile_body = seq ([ memset_do; reduction ] @ puts_do do_ld) in
+  let outer_levels =
+    let lno = Swatop.Scheduler.level ~iter:"nob" ~extent:no ~step:s.fo in
+    match s.tile with
+    | Col_tile fc ->
+      let lro = Swatop.Scheduler.level ~iter:"ro" ~extent:ro ~step:1
+      and lco = Swatop.Scheduler.level ~iter:"cob" ~extent:co ~step:fc in
+      (match s.pixel_order with
+      | Ro_outer -> [ lro; lco; lno ]
+      | Co_outer -> [ lco; lro; lno ])
+    | Row_slab fr ->
+      (* Whole rows: the column loop is degenerate but kept so iterator
+         scoping stays uniform across tile shapes. *)
+      let lro = Swatop.Scheduler.level ~iter:"ro" ~extent:ro ~step:fr
+      and lco = Swatop.Scheduler.level ~iter:"cob" ~extent:co ~step:co in
+      [ lro; lco; lno ]
+  in
+  let prefetch_at =
+    if s.prefetch then Some (List.hd outer_levels).Swatop.Scheduler.lv_iter else None
+  in
+  let body = Swatop.Scheduler.nest ?prefetch_at ~levels:outer_levels tile_body in
+  program ~name:"conv_implicit" ~bufs body

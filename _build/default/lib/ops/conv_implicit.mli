@@ -1,0 +1,58 @@
+(** Implicit-GEMM convolution (Fig. 2 right, Alg. 2): direct convolution
+    whose inner loops are replaced by GEMM primitives.
+
+    For each output row [ro], output-column tile [cob] and filter tap
+    [(kr, kc)], a GEMM accumulates
+    [D_o(no, fc*b) += W(no, ni) * D_i(ni, fc*b)] over input-channel blocks:
+    the M dimension is the output-channel block, the N dimension fuses the
+    column tile with the whole batch, and K is the input-channel block.
+
+    Tensors use the channel-major CHWB layout ([ni][ri][ci][b]), which makes
+    one DMA row per input channel fetch a [fc*b]-long contiguous pixel run —
+    this is what lets a batch-1 inference still present a large GEMM N
+    dimension (via [fc]), the capability gap Fig. 5 highlights over swDNN.
+
+    Requires [stride = 1] and [pad = 0] (workload tables fold padding into
+    effective output extents). *)
+
+type pixel_order = Ro_outer | Co_outer
+type reduce_order = Taps_then_ni | Ni_then_taps
+
+(** Shape of the output-pixel tile that forms the GEMM N dimension.
+
+    - [Col_tile fc]: a run of [fc] columns of one output row; [N = fc * b].
+      Works with any batch, and large batches make N big on their own.
+    - [Row_slab fr]: [fr] whole output rows, streamed as one contiguous
+      input slab including the halo columns; [N = fr * ci * b]. The GEMM
+      computes (and discards) the [2 * b] halo columns per row, buying a
+      large N even at batch 1 — the schedule that closes Fig. 5's
+      batch-1 gap. *)
+type tile_shape = Col_tile of int | Row_slab of int
+
+type strategy = {
+  tile : tile_shape;
+  fi : int;  (** input-channel block (K) *)
+  fo : int;  (** output-channel block (M) *)
+  pixel_order : pixel_order;
+  reduce_order : reduce_order;
+  w_oi : bool;  (** weights stored [kr][kc][no][ni] (true) or [kr][kc][ni][no] *)
+  vec : Primitives.Spm_gemm.vec_dim;
+  boundary : Op_common.boundary;  (** [Switch] or [Pad_light] *)
+  prefetch : bool;
+}
+
+type t = private { spec : Swtensor.Conv_spec.t }
+
+val problem : Swtensor.Conv_spec.t -> t
+(** Raises [Invalid_argument] unless [stride = 1], [pad = 0]. *)
+
+val applicable : Swtensor.Conv_spec.t -> bool
+val flops : t -> float
+val space : ?prefetch:bool -> t -> strategy list
+val build : t -> strategy -> Swatop.Ir.program
+val describe : strategy -> string
+
+val bindings_for :
+  t -> strategy -> input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list
+
+val unpack_output : t -> (string * float array) list -> Swtensor.Tensor.t

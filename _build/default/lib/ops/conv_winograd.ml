@@ -1,0 +1,453 @@
+module G = Primitives.Spm_gemm
+module Spec = Swtensor.Conv_spec
+module W = Swtensor.Winograd_ref
+
+type strategy = {
+  ti : int;
+  tr : int;
+  t_o : int;
+  fm : int;
+  fn : int;
+  fk : int;
+  vec : G.vec_dim;
+  boundary : Op_common.boundary;
+  prefetch : bool;
+  gemm_prefetch : bool;
+  fuse_batch : bool;
+}
+
+type t = { spec : Spec.t }
+
+let applicable (spec : Spec.t) =
+  W.applicable spec && spec.pad = 0 && spec.ro mod 2 = 0 && spec.co mod 2 = 0
+
+let problem spec =
+  if not (applicable spec) then
+    invalid_arg "Conv_winograd.problem: requires stride=1, pad=0, 3x3, even output";
+  { spec }
+
+let flops t = Spec.flops t.spec
+
+let imul = Stdlib.( * )
+
+let tiles_per_image t = imul (t.spec.ro / 2) (t.spec.co / 2)
+
+let gemm_flops t =
+  let btiles = imul t.spec.b (tiles_per_image t) in
+  2.0 *. 16.0 *. float_of_int t.spec.no *. float_of_int t.spec.ni *. float_of_int btiles
+
+let describe s =
+  Printf.sprintf "winograd[ti=%d tr=%d to=%d fm=%d fn=%d fk=%d vec=%s boundary=%s%s]" s.ti s.tr
+    s.t_o s.fm s.fn s.fk
+    (match s.vec with G.Vec_m -> "M" | G.Vec_n -> "N")
+    (Op_common.boundary_to_string s.boundary)
+    (if s.prefetch then "" else " no-prefetch")
+
+(* ------------------------------------------------------------------ *)
+(* Schedule space. *)
+
+let cpe_of cg = Prelude.Ints.ceil_div cg Sw26010.Config.cpes_per_cg
+
+let spm_fits (spec : Spec.t) s =
+  let ci = Spec.ci spec in
+  let tcimg = spec.co / 2 in
+  (* All streaming buffers end up double-buffered under prefetch. *)
+  Op_common.spm_budget_ok ~prefetch:(s.prefetch || s.gemm_prefetch)
+    [
+      cpe_of (imul (imul s.t_o spec.ni) 9);
+      cpe_of (imul 16 (imul s.t_o spec.ni));
+      cpe_of (imul s.ti (imul (Stdlib.( + ) (imul 2 s.tr) 2) ci));
+      cpe_of (imul 16 (imul s.ti (imul s.tr tcimg)));
+      cpe_of (imul 16 (imul s.t_o (imul s.tr tcimg)));
+      cpe_of (imul s.t_o (imul (imul 2 s.tr) spec.co));
+      Op_common.cpe_grid_elems s.fm s.fk;
+      Op_common.cpe_grid_elems s.fk s.fn;
+      Op_common.cpe_grid_elems s.fm s.fn;
+    ]
+
+let divisor_candidates ?(lo = 1) ?(hi = max_int) n keep =
+  Prelude.Ints.divisors n
+  |> List.filter (fun d -> d >= lo && d <= hi)
+  |> Op_common.trim_candidates keep
+
+let space ?(prefetch = true) t =
+  let spec = t.spec in
+  let trimg = spec.ro / 2 in
+  let btiles = imul spec.b (tiles_per_image t) in
+  let tis = divisor_candidates ~lo:(min spec.ni 8) ~hi:64 spec.ni 3 in
+  let trs = divisor_candidates ~hi:8 trimg 3 in
+  let tos = divisor_candidates ~lo:(min spec.no 4) ~hi:32 spec.no 2 in
+  let fms = divisor_candidates ~lo:(min spec.no 16) ~hi:256 spec.no 3 in
+  let fks = divisor_candidates ~lo:(min spec.ni 16) ~hi:256 spec.ni 3 in
+  let fns =
+    List.filter (fun f -> f <= btiles) [ 128; 256; 512; 1024 ] |> fun l ->
+    if l = [] then [ btiles ] else l
+  in
+  let combos =
+    Prelude.Lists.cartesian3 (Prelude.Lists.cartesian3 tis trs tos)
+      (Prelude.Lists.cartesian3 fms fns fks)
+      [ G.Vec_m; G.Vec_n ]
+  in
+  let strategies =
+    List.concat_map
+      (fun ((ti, tr, t_o), (fm, fn, fk), vec) ->
+        let ragged = spec.no mod fm <> 0 || btiles mod fn <> 0 || spec.ni mod fk <> 0 in
+        let boundaries =
+          if ragged then [ Op_common.Switch; Op_common.Pad_light ] else [ Op_common.Switch ]
+        in
+        List.map
+          (fun boundary ->
+            {
+              ti;
+              tr;
+              t_o;
+              fm;
+              fn;
+              fk;
+              vec;
+              boundary;
+              prefetch;
+              gemm_prefetch = false;
+              fuse_batch = true;
+            })
+          boundaries)
+      combos
+  in
+  List.filter (spm_fits spec) strategies
+
+(* ------------------------------------------------------------------ *)
+(* Numeric harness (BCHW packing). *)
+
+let bindings_for (t : t) s ~input ~weight =
+  ignore s;
+  let spec = t.spec in
+  if Swtensor.Tensor.shape input <> Spec.input_shape spec then
+    invalid_arg "Conv_winograd: input shape mismatch";
+  if Swtensor.Tensor.shape weight <> Spec.weight_shape spec then
+    invalid_arg "Conv_winograd: weight shape mismatch";
+  let btiles = imul spec.b (tiles_per_image t) in
+  [
+    ("input", Op_common.pack_input_bchw spec input);
+    ("weight", Array.copy (Swtensor.Tensor.data weight));
+    ("u_panel", Array.make (imul 16 (imul spec.no spec.ni)) 0.0);
+    ("v_panel", Array.make (imul 16 (imul spec.ni btiles)) 0.0);
+    ("m_panel", Array.make (imul 16 (imul spec.no btiles)) 0.0);
+    ("output", Array.make (imul (imul spec.b spec.no) (imul spec.ro spec.co)) 0.0);
+  ]
+
+let unpack_output (t : t) bindings =
+  let spec = t.spec in
+  match List.assoc_opt "output" bindings with
+  | None -> invalid_arg "Conv_winograd.unpack_output: no output binding"
+  | Some arr ->
+    Swtensor.Tensor.of_fn (Spec.output_shape spec) (fun idx ->
+        match idx with
+        | [| cb; cno; r; c |] ->
+          arr.((((((cb * spec.no) + cno) * spec.ro) + r) * spec.co) + c)
+        | _ -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering. *)
+
+open Swatop.Ir
+
+let idiv = Stdlib.( / )
+
+let tag_wf = 20
+let tag_uf = 21
+let tag_wi = 22
+let tag_vi = 23
+let tag_mo = 24
+let tag_out = 25
+
+let unrolled_16 f = seq (List.init 16 f)
+
+let build (t : t) s =
+  let ({ b; ni; no; ro; co; _ } : Spec.t) = t.spec in
+  let ri = Spec.ri t.spec and ci = Spec.ci t.spec in
+  let trimg = idiv ro 2 and tcimg = idiv co 2 in
+  let tiles = imul trimg tcimg in
+  let btiles = imul b tiles in
+  let bufs =
+    [
+      main_buf ~name:"input" ~elems:(imul (imul b ni) (imul ri ci));
+      main_buf ~name:"weight" ~elems:(imul (imul no ni) 9);
+      main_buf ~name:"u_panel" ~elems:(imul 16 (imul no ni));
+      main_buf ~name:"v_panel" ~elems:(imul 16 (imul ni btiles));
+      main_buf ~name:"m_panel" ~elems:(imul 16 (imul no btiles));
+      main_buf ~name:"output" ~elems:(imul (imul b no) (imul ro co));
+      spm_buf ~name:"wf_raw" ~cg_elems:(imul (imul s.t_o ni) 9)
+        ~cpe_elems:(cpe_of (imul (imul s.t_o ni) 9));
+      spm_buf ~name:"wf_u" ~cg_elems:(imul 16 (imul s.t_o ni))
+        ~cpe_elems:(cpe_of (imul 16 (imul s.t_o ni)));
+      spm_buf ~name:"wi_raw"
+        ~cg_elems:(imul s.ti (imul (Stdlib.( + ) (imul 2 s.tr) 2) ci))
+        ~cpe_elems:(cpe_of (imul s.ti (imul (Stdlib.( + ) (imul 2 s.tr) 2) ci)));
+      spm_buf ~name:"wi_v"
+        ~cg_elems:(imul 16 (imul s.ti (imul s.tr tcimg)))
+        ~cpe_elems:(cpe_of (imul 16 (imul s.ti (imul s.tr tcimg))));
+      spm_buf ~name:"wo_m"
+        ~cg_elems:(imul 16 (imul s.t_o (imul s.tr tcimg)))
+        ~cpe_elems:(cpe_of (imul 16 (imul s.t_o (imul s.tr tcimg))));
+      spm_buf ~name:"wo_out"
+        ~cg_elems:(imul s.t_o (imul (imul 2 s.tr) co))
+        ~cpe_elems:(cpe_of (imul s.t_o (imul (imul 2 s.tr) co)));
+    ]
+  in
+  let g =
+    {
+      Op_common.g_fm = s.fm;
+      g_fn = s.fn;
+      g_fk = s.fk;
+      g_vec = s.vec;
+      g_n_outer = false;
+      g_pad_light = (match s.boundary with Op_common.Pad_light -> true | _ -> false);
+      g_prefetch = (s.gemm_prefetch && not s.prefetch);
+      g_prefix = "g";
+      g_tag_base = 0;
+    }
+  in
+  let bufs = bufs @ Op_common.gemm_tile_buffers g in
+  (* Phase 1: filter transform. *)
+  let phase_filter =
+    let vno = var "wf_no" in
+    let tfo = Swatop.Scheduler.clipped ~extent:no ~step:s.t_o vno in
+    let chans = tfo * int ni in
+    let get =
+      Dma
+        {
+          dir = Get;
+          main = "weight";
+          spm = "wf_raw";
+          tag = int tag_wf;
+          region =
+            {
+              offset = vno * int (imul ni 9);
+              rows = int 1;
+              row_elems = chans * int 9;
+              row_stride = int 1;
+            };
+          spm_offset = int 0;
+          spm_ld = chans * int 9;
+          partition = P_cols;
+          per_cpe = None;
+        }
+    in
+    let transform =
+      Transform
+        {
+          kind = Wino_filter;
+          t_src = "wf_raw";
+          t_src_offset = int 0;
+          t_dst = "wf_u";
+          t_dst_offset = int 0;
+          t_chans = chans;
+          t_tiles_r = int 1;
+          t_tiles_c = int 1;
+          t_src_ld = int 3;
+        }
+    in
+    let puts =
+      unrolled_16 (fun xi ->
+          Dma
+            {
+              dir = Put;
+              main = "u_panel";
+              spm = "wf_u";
+              tag = int tag_uf;
+              region =
+                {
+                  offset = int (imul xi (imul no ni)) + (vno * int ni);
+                  rows = int 1;
+                  row_elems = chans;
+                  row_stride = int 1;
+                };
+              spm_offset = int xi * chans;
+              spm_ld = chans;
+              partition = P_cols;
+              per_cpe = None;
+            })
+    in
+    for_ ~prefetch:s.prefetch ~iter:"wf_no" ~lo:(int 0) ~hi:(int no) ~step:(int s.t_o)
+      (seq [ get; Dma_wait { tag = int tag_wf }; transform; puts; Dma_wait { tag = int tag_uf } ])
+  in
+  (* Phase 2: input transform. *)
+  let phase_input =
+    let vb = var "wi_b" and vni = var "wi_ni" and vtr = var "wi_tr" in
+    let tfi = Swatop.Scheduler.clipped ~extent:ni ~step:s.ti vni in
+    let ttr = Swatop.Scheduler.clipped ~extent:trimg ~step:s.tr vtr in
+    let tt = ttr * int tcimg in
+    let get =
+      Dma
+        {
+          dir = Get;
+          main = "input";
+          spm = "wi_raw";
+          tag = int tag_wi;
+          region =
+            {
+              offset = (((vb * int ni) + vni) * int (imul ri ci)) + (vtr * int (imul 2 ci));
+              rows = tfi;
+              row_elems = ((ttr * int 2) + int 2) * int ci;
+              row_stride = int (imul ri ci);
+            };
+          spm_offset = int 0;
+          spm_ld = ((ttr * int 2) + int 2) * int ci;
+          partition = P_grid;
+          per_cpe = None;
+        }
+    in
+    let transform =
+      Transform
+        {
+          kind = Wino_input;
+          t_src = "wi_raw";
+          t_src_offset = int 0;
+          t_dst = "wi_v";
+          t_dst_offset = int 0;
+          t_chans = tfi;
+          t_tiles_r = ttr;
+          t_tiles_c = int tcimg;
+          t_src_ld = int ci;
+        }
+    in
+    let puts =
+      unrolled_16 (fun xi ->
+          Dma
+            {
+              dir = Put;
+              main = "v_panel";
+              spm = "wi_v";
+              tag = int tag_vi;
+              region =
+                {
+                  offset =
+                    ((int xi * int ni) + vni) * int btiles
+                    + (vb * int tiles) + (vtr * int tcimg);
+                  rows = tfi;
+                  row_elems = tt;
+                  row_stride = int btiles;
+                };
+              spm_offset = int xi * (tfi * tt);
+              spm_ld = tt;
+              partition = P_grid;
+              per_cpe = None;
+            })
+    in
+    for_ ~prefetch:s.prefetch ~iter:"wi_b" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+      (for_ ~iter:"wi_ni" ~lo:(int 0) ~hi:(int ni) ~step:(int s.ti)
+         (for_ ~iter:"wi_tr" ~lo:(int 0) ~hi:(int trimg) ~step:(int s.tr)
+            (seq
+               [ get; Dma_wait { tag = int tag_wi }; transform; puts;
+                 Dma_wait { tag = int tag_vi } ])))
+  in
+  (* Phase 3: the 16 product GEMMs. Fused, the whole batch forms one GEMM N
+     dimension and the xi loop joins the double-buffering pipeline; unfused
+     (the manual baseline), every image runs its own 16 GEMMs against
+     strided slices of the panels. *)
+  let phase_gemm =
+    let vxi = var "xg" in
+    if s.fuse_batch then
+      let nest =
+        Op_common.gemm_nest g ~a_main:"u_panel" ~b_main:"v_panel" ~c_main:"m_panel"
+          ~a_base:(vxi * int (imul no ni))
+          ~b_base:(vxi * int (imul ni btiles))
+          ~c_base:(vxi * int (imul no btiles))
+          ~m:no ~n:btiles ~k:ni
+      in
+      for_ ~prefetch:s.prefetch ~iter:"xg" ~lo:(int 0) ~hi:(int 16) ~step:(int 1) nest
+    else begin
+      let vb = var "gb" in
+      let g = { g with g_fn = min g.Op_common.g_fn tiles } in
+      let nest =
+        Op_common.gemm_nest ~b_row_stride:btiles ~c_row_stride:btiles g ~a_main:"u_panel"
+          ~b_main:"v_panel" ~c_main:"m_panel"
+          ~a_base:(vxi * int (imul no ni))
+          ~b_base:((vxi * int (imul ni btiles)) + (vb * int tiles))
+          ~c_base:((vxi * int (imul no btiles)) + (vb * int tiles))
+          ~m:no ~n:tiles ~k:ni
+      in
+      for_ ~prefetch:s.prefetch ~iter:"gb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+        (for_ ~iter:"xg" ~lo:(int 0) ~hi:(int 16) ~step:(int 1) nest)
+    end
+  in
+  (* Phase 4: output transform. *)
+  let phase_output =
+    let vb = var "wo_b" and vno = var "wo_no" and vtr = var "wo_tr" in
+    let tfo = Swatop.Scheduler.clipped ~extent:no ~step:s.t_o vno in
+    let ttr = Swatop.Scheduler.clipped ~extent:trimg ~step:s.tr vtr in
+    let tt = ttr * int tcimg in
+    let gets =
+      unrolled_16 (fun xi ->
+          Dma
+            {
+              dir = Get;
+              main = "m_panel";
+              spm = "wo_m";
+              tag = int tag_mo;
+              region =
+                {
+                  offset =
+                    ((int xi * int no) + vno) * int btiles
+                    + (vb * int tiles) + (vtr * int tcimg);
+                  rows = tfo;
+                  row_elems = tt;
+                  row_stride = int btiles;
+                };
+              spm_offset = int xi * (tfo * tt);
+              spm_ld = tt;
+              partition = P_grid;
+              per_cpe = None;
+            })
+    in
+    let transform =
+      Transform
+        {
+          kind = Wino_output;
+          t_src = "wo_m";
+          t_src_offset = int 0;
+          t_dst = "wo_out";
+          t_dst_offset = int 0;
+          t_chans = tfo;
+          t_tiles_r = ttr;
+          t_tiles_c = int tcimg;
+          t_src_ld = int tcimg;
+        }
+    in
+    let put =
+      Dma
+        {
+          dir = Put;
+          main = "output";
+          spm = "wo_out";
+          tag = int tag_out;
+          region =
+            {
+              offset = (((vb * int no) + vno) * int (imul ro co)) + (vtr * int (imul 2 co));
+              rows = tfo;
+              row_elems = ttr * int (imul 2 co);
+              row_stride = int (imul ro co);
+            };
+          spm_offset = int 0;
+          spm_ld = ttr * int (imul 2 co);
+          partition = P_grid;
+          per_cpe = None;
+        }
+    in
+    for_ ~prefetch:s.prefetch ~iter:"wo_b" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+      (for_ ~iter:"wo_no" ~lo:(int 0) ~hi:(int no) ~step:(int s.t_o)
+         (for_ ~iter:"wo_tr" ~lo:(int 0) ~hi:(int trimg) ~step:(int s.tr)
+            (seq [ gets; Dma_wait { tag = int tag_mo }; transform; put ])))
+  in
+  program ~name:"conv_winograd" ~bufs
+    (seq
+       [
+         Comment "phase 1: filter transform";
+         phase_filter;
+         Comment "phase 2: input transform";
+         phase_input;
+         Comment "phase 3: 16 batched GEMMs";
+         phase_gemm;
+         Comment "phase 4: output transform";
+         phase_output;
+       ])

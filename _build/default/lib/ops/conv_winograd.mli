@@ -1,0 +1,63 @@
+(** Winograd convolution F(2x2, 3x3) (Fig. 2 middle).
+
+    Four phases, all expressed in IR and running on the simulated core
+    group:
+
+    + filter transform — weights stream through SPM, [G g G^T] per filter,
+      producing the U panel [(16, no, ni)] in main memory;
+    + input transform — image rows (with halo) stream through SPM,
+      [B^T d B] per 4x4 tile, producing the V panel
+      [(16, ni, b*tiles)];
+    + 16 batched GEMMs — [M[xi] = U[xi] * V[xi]], each a tiled
+      {!Op_common.gemm_nest} with the xi loop in the double-buffering
+      pipeline (the loop-fusion analogue of Sec. 4.3.1: the 16 products
+      stream through one pipelined nest instead of 16 cold kernels);
+    + output transform — [A^T m A] per tile, scattered back to the packed
+      output.
+
+    Input and output use the BCHW layout; tile blocks cover whole rows of
+    tiles so every transfer is a single strided DMA region. Requires
+    [stride = 1], [pad = 0], 3x3 kernels and even output extents. *)
+
+type strategy = {
+  ti : int;  (** input-channel block of the input transform *)
+  tr : int;  (** tile-row block of the input/output transforms *)
+  t_o : int;  (** output-channel block of filter/output transforms *)
+  fm : int;  (** GEMM tile over no *)
+  fn : int;  (** GEMM tile over b*tiles *)
+  fk : int;  (** GEMM tile over ni *)
+  vec : Primitives.Spm_gemm.vec_dim;
+  boundary : Op_common.boundary;  (** [Switch] or [Pad_light] (GEMM phase) *)
+  prefetch : bool;  (** pipeline whole phases, including across the 16 GEMMs *)
+  gemm_prefetch : bool;
+      (** double-buffer inside each product GEMM only — the behaviour of 16
+          separate library GEMM calls; ignored when [prefetch] is set *)
+  fuse_batch : bool;
+      (** batch the element-wise products of all images into single GEMMs
+          (N = b*tiles) — the loop-fusion transformation of Sec. 4.3.1,
+          since the per-image products share the same transformed filter;
+          when false, each image gets its own 16 GEMMs (N = tiles), as the
+          hand-assembled baseline does *)
+}
+
+type t = private { spec : Swtensor.Conv_spec.t }
+
+val applicable : Swtensor.Conv_spec.t -> bool
+val problem : Swtensor.Conv_spec.t -> t
+
+val flops : t -> float
+(** Direct-convolution FLOPs (the paper's efficiency denominator — which is
+    why Winograd "efficiency" can exceed 100%). *)
+
+val gemm_flops : t -> float
+(** FLOPs the 16 product GEMMs actually execute. *)
+
+val tiles_per_image : t -> int
+val space : ?prefetch:bool -> t -> strategy list
+val build : t -> strategy -> Swatop.Ir.program
+val describe : strategy -> string
+
+val bindings_for :
+  t -> strategy -> input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list
+
+val unpack_output : t -> (string * float array) list -> Swtensor.Tensor.t

@@ -1,0 +1,59 @@
+type algo = Implicit | Winograd | Explicit
+
+let algo_name = function Implicit -> "implicit" | Winograd -> "winograd" | Explicit -> "explicit"
+
+type choice = {
+  c_algo : algo;
+  c_desc : string;
+  c_seconds : float;
+  c_program : Swatop.Ir.program;
+  c_space : int;
+}
+
+let applicable algo spec =
+  match algo with
+  | Implicit -> Conv_implicit.applicable spec
+  | Winograd -> Conv_winograd.applicable spec
+  | Explicit -> Conv_explicit.applicable spec
+
+let tune ?(top_k = 4) ~gemm_model algo spec =
+  if not (applicable algo spec) then None
+  else
+    let outcome_to_choice describe (o : _ Swatop.Tuner.outcome) =
+      {
+        c_algo = algo;
+        c_desc = describe o.Swatop.Tuner.best;
+        c_seconds = o.best_seconds;
+        c_program = o.best_program;
+        c_space = o.report.space_size;
+      }
+    in
+    match algo with
+    | Implicit ->
+      let t = Conv_implicit.problem spec in
+      Some
+        (outcome_to_choice Conv_implicit.describe
+           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_implicit.space t)
+              ~build:(Conv_implicit.build t) ()))
+    | Winograd ->
+      let t = Conv_winograd.problem spec in
+      Some
+        (outcome_to_choice Conv_winograd.describe
+           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_winograd.space t)
+              ~build:(Conv_winograd.build t) ()))
+    | Explicit ->
+      let t = Conv_explicit.problem spec in
+      Some
+        (outcome_to_choice Conv_explicit.describe
+           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_explicit.space t)
+              ~build:(Conv_explicit.build t) ()))
+
+let all ?top_k ~gemm_model spec =
+  List.map (fun algo -> (algo, tune ?top_k ~gemm_model algo spec)) [ Implicit; Winograd; Explicit ]
+
+let best ?top_k ~gemm_model spec =
+  let choices = List.filter_map snd (all ?top_k ~gemm_model spec) in
+  match choices with
+  | [] -> invalid_arg "Dispatch.best: no tensorized algorithm applies"
+  | first :: rest ->
+    List.fold_left (fun acc c -> if c.c_seconds < acc.c_seconds then c else acc) first rest

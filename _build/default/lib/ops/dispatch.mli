@@ -1,0 +1,39 @@
+(** Per-layer algorithm dispatch — the operator-library entry point.
+
+    swATOP "can be used as an offline compiler by pre-generating
+    near-optimal executable code" (Sec. 4): a framework hands over one
+    convolution problem, every applicable tensorized algorithm is tuned,
+    and the fastest wins. The paper's own dispatch rule — explicit GEMM
+    only where the other two cannot be applied — emerges from the timing
+    comparison rather than being hard-coded. *)
+
+type algo = Implicit | Winograd | Explicit
+
+val algo_name : algo -> string
+
+type choice = {
+  c_algo : algo;
+  c_desc : string;  (** the winning schedule, rendered *)
+  c_seconds : float;  (** simulated execution time of the winner *)
+  c_program : Swatop.Ir.program;  (** lowered and optimized, ready for codegen *)
+  c_space : int;  (** schedule-space size the tuner searched *)
+}
+
+val applicable : algo -> Swtensor.Conv_spec.t -> bool
+
+val tune :
+  ?top_k:int -> gemm_model:Swatop.Gemm_cost.t -> algo -> Swtensor.Conv_spec.t -> choice option
+(** Tune one algorithm; [None] when it does not apply to the problem. *)
+
+val best :
+  ?top_k:int -> gemm_model:Swatop.Gemm_cost.t -> Swtensor.Conv_spec.t -> choice
+(** Tune all applicable algorithms and return the fastest. Raises
+    [Invalid_argument] if none applies (stride or padding outside the
+    tensorized operators' domain). *)
+
+val all :
+  ?top_k:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  Swtensor.Conv_spec.t ->
+  (algo * choice option) list
+(** Every algorithm's outcome, in [Implicit; Winograd; Explicit] order. *)

@@ -1,0 +1,208 @@
+module G = Primitives.Spm_gemm
+
+type strategy = {
+  fm : int;
+  fn : int;
+  fk : int;
+  n_outer : bool;
+  vec : G.vec_dim;
+  boundary : Op_common.boundary;
+  prefetch : bool;
+}
+
+type t = { m : int; n : int; k : int }
+
+let problem ~m ~n ~k =
+  if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Matmul.problem: non-positive dimension";
+  { m; n; k }
+
+let flops t = 2.0 *. float_of_int t.m *. float_of_int t.n *. float_of_int t.k
+
+let aligned t s = t.m mod s.fm = 0 && t.n mod s.fn = 0 && t.k mod s.fk = 0
+
+let describe s =
+  Printf.sprintf "matmul[fm=%d fn=%d fk=%d order=%s vec=%s boundary=%s%s]" s.fm s.fn s.fk
+    (if s.n_outer then "NM" else "MN")
+    (match s.vec with G.Vec_m -> "M" | G.Vec_n -> "N")
+    (Op_common.boundary_to_string s.boundary)
+    (if s.prefetch then "" else " no-prefetch")
+
+(* ------------------------------------------------------------------ *)
+(* Schedule space. *)
+
+let stage_chunk_elems = 32768
+
+let spm_fits s =
+  let stage =
+    (* staging buffer of the Pad_full prologues *)
+    match s.boundary with
+    | Op_common.Pad_full -> [ Prelude.Ints.ceil_div stage_chunk_elems Sw26010.Config.cpes_per_cg ]
+    | Op_common.Switch | Op_common.Pad_light -> []
+  in
+  Op_common.spm_budget_ok ~prefetch:s.prefetch
+    ([
+       Op_common.cpe_grid_elems s.fm s.fk;
+       Op_common.cpe_grid_elems s.fk s.fn;
+       Op_common.cpe_grid_elems s.fm s.fn;
+     ]
+    @ stage)
+
+(* Tile-factor candidates embody the "prior knowledge of the hardware"
+   pruning of Sec. 4.6: tiles below ~1/32 of the dimension (or 8 elements)
+   under-fill the 8x8 CPE grid and drown in per-call overhead, so they are
+   never competitive and are excluded up front. Power-of-two tiles are
+   always included even when they do not divide the dimension — ragged
+   tiles are exactly what the boundary-processing machinery (Sec. 4.5.3)
+   exists for, and the Listing-2 "unaligned" shapes must exercise it. *)
+let factor_candidates dim =
+  let axis = Swatop.Dsl.axis "d" dim in
+  let lo = min dim (max 8 (Prelude.Ints.ceil_div dim 32)) in
+  let hi = min dim 512 in
+  let fv = Swatop.Dsl.factor_var ~name:"f" ~axis ~min_factor:lo ~max_factor:hi () in
+  let pow2 = List.filter (fun f -> f >= lo && f <= hi) [ 64; 128; 256; 512 ] in
+  (* Trim the divisors first so the power-of-two (possibly ragged) tiles
+     always survive into the space. *)
+  List.sort_uniq compare (Op_common.trim_candidates 4 fv.Swatop.Dsl.fv_candidates @ pow2)
+
+let space ?(prefetch = true) t =
+  let fms = factor_candidates t.m
+  and fns = factor_candidates t.n
+  and fks = factor_candidates t.k in
+  let ragged fm fn fk = t.m mod fm <> 0 || t.n mod fn <> 0 || t.k mod fk <> 0 in
+  let strategies =
+    List.concat_map
+      (fun (fm, fn, fk) ->
+        let boundaries =
+          if ragged fm fn fk then [ Op_common.Switch; Op_common.Pad_light; Op_common.Pad_full ]
+          else [ Op_common.Switch ]
+        in
+        List.concat_map
+          (fun boundary ->
+            List.concat_map
+              (fun n_outer ->
+                List.map
+                  (fun vec -> { fm; fn; fk; n_outer; vec; boundary; prefetch })
+                  [ G.Vec_m; G.Vec_n ])
+              [ false; true ])
+          boundaries)
+      (Prelude.Lists.cartesian3 fms fns fks)
+  in
+  List.filter spm_fits strategies
+
+(* ------------------------------------------------------------------ *)
+(* Lowering. *)
+
+open Swatop.Ir
+
+let imul = Stdlib.( * )
+let idiv = Stdlib.( / )
+let tag_stage = 12
+
+let nest_of_strategy s prefetch =
+  {
+    Op_common.g_fm = s.fm;
+    g_fn = s.fn;
+    g_fk = s.fk;
+    g_vec = s.vec;
+    g_n_outer = s.n_outer;
+    g_pad_light = (match s.boundary with Op_common.Pad_light -> true | _ -> false);
+    g_prefetch = prefetch;
+    g_prefix = "";
+    g_tag_base = 0;
+  }
+
+let build (t : t) s =
+  match s.boundary with
+  | Op_common.Switch | Op_common.Pad_light ->
+    let g = nest_of_strategy s s.prefetch in
+    let bufs =
+      [
+        main_buf ~name:"A" ~elems:(imul t.m t.k);
+        main_buf ~name:"B" ~elems:(imul t.k t.n);
+        main_buf ~name:"C" ~elems:(imul t.m t.n);
+      ]
+      @ Op_common.gemm_tile_buffers g
+    in
+    program ~name:"matmul" ~bufs
+      (Op_common.gemm_nest g ~a_main:"A" ~b_main:"B" ~c_main:"C" ~a_base:(int 0) ~b_base:(int 0)
+         ~c_base:(int 0) ~m:t.m ~n:t.n ~k:t.k)
+  | Op_common.Pad_full ->
+    let mp = Prelude.Ints.align_up t.m s.fm
+    and np = Prelude.Ints.align_up t.n s.fn
+    and kp = Prelude.Ints.align_up t.k s.fk in
+    let chunk ld = max 1 (idiv stage_chunk_elems ld) in
+    let stage_cpe = Prelude.Ints.ceil_div stage_chunk_elems Sw26010.Config.cpes_per_cg in
+    let g = nest_of_strategy { s with boundary = Op_common.Switch } s.prefetch in
+    let bufs =
+      [
+        main_buf ~name:"A" ~elems:(imul t.m t.k);
+        main_buf ~name:"B" ~elems:(imul t.k t.n);
+        main_buf ~name:"C" ~elems:(imul t.m t.n);
+        main_buf ~name:"A_pad" ~elems:(imul mp kp);
+        main_buf ~name:"B_pad" ~elems:(imul kp np);
+        main_buf ~name:"C_pad" ~elems:(imul mp np);
+        spm_buf ~name:"stage" ~cg_elems:stage_chunk_elems ~cpe_elems:stage_cpe;
+      ]
+      @ Op_common.gemm_tile_buffers g
+    in
+    let prologue =
+      seq
+        [
+          Comment "traditional padding: copy A and B into padded buffers";
+          Op_common.padded_copy ~iter:"ipa" ~tag:tag_stage ~src:"A" ~dst:"A_pad" ~rows:t.m
+            ~cols:t.k ~dst_ld:kp ~stage:"stage" ~chunk_rows:(chunk kp);
+          Op_common.padded_copy ~iter:"ipb" ~tag:tag_stage ~src:"B" ~dst:"B_pad" ~rows:t.k
+            ~cols:t.n ~dst_ld:np ~stage:"stage" ~chunk_rows:(chunk np);
+        ]
+    in
+    let epilogue =
+      seq
+        [
+          Comment "traditional padding: crop C back";
+          Op_common.cropped_copy ~iter:"ipc" ~tag:tag_stage ~src:"C_pad" ~src_ld:np ~dst:"C"
+            ~rows:t.m ~cols:t.n ~stage:"stage" ~chunk_rows:(chunk np);
+        ]
+    in
+    let nest =
+      Op_common.gemm_nest g ~a_main:"A_pad" ~b_main:"B_pad" ~c_main:"C_pad" ~a_base:(int 0)
+        ~b_base:(int 0) ~c_base:(int 0) ~m:mp ~n:np ~k:kp
+    in
+    program ~name:"matmul_padded" ~bufs (seq [ prologue; nest; epilogue ])
+
+(* ------------------------------------------------------------------ *)
+(* Numeric harness. *)
+
+let check_operands (t : t) ~a ~b =
+  let sa = Swtensor.Tensor.shape a and sb = Swtensor.Tensor.shape b in
+  if Stdlib.(sa <> [| t.m; t.k |]) || Stdlib.(sb <> [| t.k; t.n |]) then
+    invalid_arg "Matmul: operand shape mismatch"
+
+let pack (t : t) ~a ~b =
+  check_operands t ~a ~b;
+  [
+    ("A", Array.copy (Swtensor.Tensor.data a));
+    ("B", Array.copy (Swtensor.Tensor.data b));
+    ("C", Array.make (imul t.m t.n) 0.0);
+  ]
+
+let bindings_for (t : t) s ~a ~b =
+  let base = pack t ~a ~b in
+  match s.boundary with
+  | Op_common.Switch | Op_common.Pad_light -> base
+  | Op_common.Pad_full ->
+    let mp = Prelude.Ints.align_up t.m s.fm
+    and np = Prelude.Ints.align_up t.n s.fn
+    and kp = Prelude.Ints.align_up t.k s.fk in
+    base
+    @ [
+        ("A_pad", Array.make (imul mp kp) 0.0);
+        ("B_pad", Array.make (imul kp np) 0.0);
+        ("C_pad", Array.make (imul mp np) 0.0);
+      ]
+
+let unpack_c (t : t) bindings =
+  match List.assoc_opt "C" bindings with
+  | Some c -> Swtensor.Tensor.of_array (Swtensor.Shape.of_list [ t.m; t.n ]) c
+  | None -> invalid_arg "Matmul.unpack_c: no C binding"
+
+let reference ~a ~b = Swtensor.Gemm_ref.matmul a b

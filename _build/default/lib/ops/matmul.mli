@@ -1,0 +1,50 @@
+(** The tensorized matrix-multiplication operator: [C = A * B] with
+    single-precision row-major operands in main memory.
+
+    The schedule seed is the canonical three-loop tiling: tiles of A
+    ([fm x fk]), B ([fk x fn]) and an SPM-resident C accumulator
+    ([fm x fn]) stream through the scratch pad while [spm_gemm] primitives
+    accumulate. The schedule space spans the tile factors, the order of the
+    two independent tile loops, the vectorization dimension and the
+    boundary policy; prefetching (double buffering) is applied to every
+    strategy unless explicitly disabled (the Fig. 10 ablation). *)
+
+type strategy = {
+  fm : int;
+  fn : int;
+  fk : int;
+  n_outer : bool;  (** iterate N tiles in the outer loop (reorder choice) *)
+  vec : Primitives.Spm_gemm.vec_dim;
+  boundary : Op_common.boundary;
+  prefetch : bool;
+}
+
+type t = private { m : int; n : int; k : int }
+
+val problem : m:int -> n:int -> k:int -> t
+val flops : t -> float
+val aligned : t -> strategy -> bool
+(** No ragged tiles under this strategy's factors. *)
+
+val space : ?prefetch:bool -> t -> strategy list
+(** Enumerate the schedule space: tile-factor candidates per dimension, both
+    loop orders, both vectorization dimensions, and every applicable
+    boundary policy; strategies whose (double-buffered) SPM footprint
+    exceeds the 64 KB scratch pad are pruned. *)
+
+val build : t -> strategy -> Swatop.Ir.program
+(** Lower one strategy to IR (before the optimizer passes). *)
+
+val describe : strategy -> string
+
+val pack :
+  t -> a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -> (string * float array) list
+(** Main-memory bindings for {!Swatop.Interp.run}: the operands plus a
+    zeroed result buffer (and padded auxiliaries when the strategy needs
+    them — pass the same strategy to {!bindings_for}). *)
+
+val bindings_for : t -> strategy -> a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -> (string * float array) list
+
+val unpack_c : t -> (string * float array) list -> Swtensor.Tensor.t
+
+val reference : a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -> Swtensor.Tensor.t

@@ -1,0 +1,53 @@
+type compiled_layer = {
+  cl_name : string;
+  cl_spec : Swtensor.Conv_spec.t;
+  cl_choice : Dispatch.choice;
+  cl_source : string;
+  cl_kernel_symbol : string;
+}
+
+let compile_layer ?top_k ~gemm_model ~name spec =
+  let choice = Dispatch.best ?top_k ~gemm_model spec in
+  let program = { choice.Dispatch.c_program with prog_name = name } in
+  {
+    cl_name = name;
+    cl_spec = spec;
+    cl_choice = choice;
+    cl_source = Swatop.C_emit.program_exn program;
+    cl_kernel_symbol = name ^ "_cpe_kernel";
+  }
+
+let compile_network ?top_k ~gemm_model ~batch (net : Workloads.Networks.network) =
+  let layers =
+    List.filter (fun (l : Workloads.Networks.layer) -> l.ni >= 16) net.layers
+  in
+  List.map
+    (fun (l : Workloads.Networks.layer) ->
+      compile_layer ?top_k ~gemm_model ~name:l.l_name (Workloads.Networks.conv_spec ~batch l))
+    layers
+
+let manifest layers =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# layer | algorithm | schedule | simulated ms | kernel symbol\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s | %s | %s | %.4f | %s\n" l.cl_name
+           (Dispatch.algo_name l.cl_choice.Dispatch.c_algo)
+           l.cl_choice.Dispatch.c_desc
+           (l.cl_choice.Dispatch.c_seconds *. 1e3)
+           l.cl_kernel_symbol))
+    layers;
+  Buffer.contents buf
+
+let write_directory ~dir layers =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun l ->
+      let oc = open_out (Filename.concat dir (l.cl_name ^ ".c")) in
+      output_string oc l.cl_source;
+      close_out oc)
+    layers;
+  let oc = open_out (Filename.concat dir "manifest.txt") in
+  output_string oc (manifest layers);
+  close_out oc

@@ -1,0 +1,42 @@
+(** The offline-compiler usage mode (Sec. 4): "swATOP can be used as an
+    offline compiler by pre-generating near-optimal executable code".
+
+    Given the convolution layers of a network and a batch size, every layer
+    is dispatched to its fastest tensorized algorithm and the winning
+    schedule's C source is emitted, together with a manifest recording the
+    chosen schedule and its predicted performance — the artifact a
+    framework like swCaffe would link against. *)
+
+type compiled_layer = {
+  cl_name : string;
+  cl_spec : Swtensor.Conv_spec.t;
+  cl_choice : Dispatch.choice;
+  cl_source : string;  (** the generated C translation unit *)
+  cl_kernel_symbol : string;  (** entry point inside [cl_source] *)
+}
+
+val compile_layer :
+  ?top_k:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  name:string ->
+  Swtensor.Conv_spec.t ->
+  compiled_layer
+(** Raises [Invalid_argument] when no tensorized algorithm applies. *)
+
+val compile_network :
+  ?top_k:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  batch:int ->
+  Workloads.Networks.network ->
+  compiled_layer list
+(** Every layer with at least 16 input channels (the others fall outside
+    the tensorized operators' profitable domain, as in the paper's layer
+    selection). Layers sharing a shape are compiled once. *)
+
+val manifest : compiled_layer list -> string
+(** Human- and machine-readable summary: one line per layer with the
+    algorithm, schedule, simulated time and kernel symbol. *)
+
+val write_directory : dir:string -> compiled_layer list -> unit
+(** Write [<layer>.c] files plus [manifest.txt] into [dir] (created if
+    missing). *)

@@ -1,0 +1,290 @@
+type boundary = Switch | Pad_light | Pad_full
+
+let boundary_to_string = function
+  | Switch -> "switch"
+  | Pad_light -> "pad-light"
+  | Pad_full -> "pad-full"
+
+let boundary_of_index = function
+  | 0 -> Switch
+  | 1 -> Pad_light
+  | 2 -> Pad_full
+  | i -> invalid_arg (Printf.sprintf "Op_common.boundary_of_index: %d" i)
+
+let trim_candidates n l =
+  let len = List.length l in
+  if len <= n then l
+  else begin
+    let arr = Array.of_list l in
+    let picks =
+      List.init n (fun i -> arr.(i * (len - 1) / (max 1 (n - 1))))
+    in
+    List.sort_uniq compare picks
+  end
+
+let cpe_grid_elems rows cols =
+  Prelude.Ints.ceil_div rows Sw26010.Config.cpe_rows
+  * Prelude.Ints.ceil_div cols Sw26010.Config.cpe_cols
+
+let spm_budget_ok ~prefetch cpe_elems =
+  let requests =
+    List.mapi
+      (fun i elems ->
+        Sw26010.Spm.request ~double_buffered:prefetch
+          ~name:(string_of_int i)
+          ~bytes:(elems * Sw26010.Config.elem_bytes) ())
+      cpe_elems
+  in
+  Sw26010.Spm.fits requests
+
+let pack_input_bchw (spec : Swtensor.Conv_spec.t) input =
+  let ri = Swtensor.Conv_spec.ri spec and ci = Swtensor.Conv_spec.ci spec in
+  let arr = Array.make (spec.b * spec.ni * ri * ci) 0.0 in
+  for cb = 0 to spec.b - 1 do
+    for cni = 0 to spec.ni - 1 do
+      for r = 0 to ri - 1 do
+        for c = 0 to ci - 1 do
+          arr.((((((cb * spec.ni) + cni) * ri) + r) * ci) + c)
+          <- Swtensor.Tensor.get input [| cb; cni; r; c |]
+        done
+      done
+    done
+  done;
+  arr
+
+open Swatop.Ir
+
+let imul = Stdlib.( * )
+
+type gemm_nest = {
+  g_fm : int;
+  g_fn : int;
+  g_fk : int;
+  g_vec : Primitives.Spm_gemm.vec_dim;
+  g_n_outer : bool;
+  g_pad_light : bool;
+  g_prefetch : bool;
+  g_prefix : string;
+  g_tag_base : int;
+}
+
+let gemm_tile_bytes ~fm ~fn ~fk =
+  imul Sw26010.Config.elem_bytes
+    (Stdlib.( + ) (Stdlib.( + ) (cpe_grid_elems fm fk) (cpe_grid_elems fk fn)) (cpe_grid_elems fm fn))
+
+let gemm_tile_buffers g =
+  [
+    spm_buf
+      ~name:(g.g_prefix ^ "a_tile")
+      ~cg_elems:(imul g.g_fm g.g_fk) ~cpe_elems:(cpe_grid_elems g.g_fm g.g_fk);
+    spm_buf
+      ~name:(g.g_prefix ^ "b_tile")
+      ~cg_elems:(imul g.g_fk g.g_fn) ~cpe_elems:(cpe_grid_elems g.g_fk g.g_fn);
+    spm_buf
+      ~name:(g.g_prefix ^ "c_tile")
+      ~cg_elems:(imul g.g_fm g.g_fn) ~cpe_elems:(cpe_grid_elems g.g_fm g.g_fn);
+  ]
+
+let gemm_nest ?a_row_stride ?b_row_stride ?c_row_stride g ~a_main ~b_main ~c_main ~a_base
+    ~b_base ~c_base ~m ~n ~k =
+  let a_stride = Option.value a_row_stride ~default:k in
+  let b_stride = Option.value b_row_stride ~default:n in
+  let c_stride = Option.value c_row_stride ~default:n in
+  let fm, fn, fk = (g.g_fm, g.g_fn, g.g_fk) in
+  let pad_light = g.g_pad_light in
+  let name suffix = g.g_prefix ^ suffix in
+  let im = var (name "im") and in_ = var (name "in") and ik = var (name "ik") in
+  let tm = Swatop.Scheduler.clipped ~extent:m ~step:fm im
+  and tn = Swatop.Scheduler.clipped ~extent:n ~step:fn in_
+  and tk = Swatop.Scheduler.clipped ~extent:k ~step:fk ik in
+  let gm, gn, gk = if pad_light then (int fm, int fn, int fk) else (tm, tn, tk) in
+  let a_ld = if pad_light then int fk else tk in
+  let bc_ld = if pad_light then int fn else tn in
+  let tag_a = imul 2 g.g_tag_base
+  and tag_b = Stdlib.( + ) (imul 2 g.g_tag_base) 2 in
+  let tag_c = Stdlib.( + ) (imul 2 g.g_tag_base) 4 in
+  let get_a =
+    Dma
+      {
+        dir = Get;
+        main = a_main;
+        spm = name "a_tile";
+        tag = int tag_a;
+        region =
+          { offset = a_base + (im * int a_stride) + ik; rows = tm; row_elems = tk;
+            row_stride = int a_stride };
+        spm_offset = int 0;
+        spm_ld = a_ld;
+        partition = P_grid;
+        per_cpe = None;
+      }
+  in
+  let get_b =
+    Dma
+      {
+        dir = Get;
+        main = b_main;
+        spm = name "b_tile";
+        tag = int tag_b;
+        region =
+          { offset = b_base + (ik * int b_stride) + in_; rows = tk; row_elems = tn;
+            row_stride = int b_stride };
+        spm_offset = int 0;
+        spm_ld = bc_ld;
+        partition = P_grid;
+        per_cpe = None;
+      }
+  in
+  let ragged_a = Or (Cmp (Lt, tm, int fm), Cmp (Lt, tk, int fk)) in
+  let ragged_b = Or (Cmp (Lt, tk, int fk), Cmp (Lt, tn, int fn)) in
+  let pad cond buf elems =
+    If { cond; then_ = Memset_spm { buf; offset = int 0; elems = int elems }; else_ = Seq [] }
+  in
+  let variant =
+    {
+      Primitives.Spm_gemm.a_major = Primitives.Spm_gemm.Row_major;
+      b_major = Primitives.Spm_gemm.Row_major;
+      vec = g.g_vec;
+    }
+  in
+  let gemm =
+    Gemm
+      {
+        variant;
+        m = gm;
+        n = gn;
+        k = gk;
+        a = { g_buf = name "a_tile"; g_offset = int 0; g_ld = a_ld };
+        b = { g_buf = name "b_tile"; g_offset = int 0; g_ld = bc_ld };
+        c = { g_buf = name "c_tile"; g_offset = int 0; g_ld = bc_ld };
+      }
+  in
+  let ik_body =
+    seq
+      ((if pad_light then
+          [ pad ragged_a (name "a_tile") (imul fm fk); pad ragged_b (name "b_tile") (imul fk fn) ]
+        else [])
+      @ [ get_a; get_b; Dma_wait { tag = int tag_a }; Dma_wait { tag = int tag_b }; gemm ])
+  in
+  let ik_loop = for_ ~iter:(name "ik") ~lo:(int 0) ~hi:(int k) ~step:(int fk) ik_body in
+  let memset_c =
+    Memset_spm
+      {
+        buf = name "c_tile";
+        offset = int 0;
+        elems = (if pad_light then int (imul fm fn) else tm * tn);
+      }
+  in
+  let put_c =
+    Dma
+      {
+        dir = Put;
+        main = c_main;
+        spm = name "c_tile";
+        tag = int tag_c;
+        region =
+          { offset = c_base + (im * int c_stride) + in_; rows = tm; row_elems = tn;
+            row_stride = int c_stride };
+        spm_offset = int 0;
+        spm_ld = bc_ld;
+        partition = P_grid;
+        per_cpe = None;
+      }
+  in
+  let tile_body = seq [ memset_c; ik_loop; put_c ] in
+  let levels =
+    let lm = Swatop.Scheduler.level ~iter:(name "im") ~extent:m ~step:fm
+    and ln = Swatop.Scheduler.level ~iter:(name "in") ~extent:n ~step:fn in
+    if g.g_n_outer then [ ln; lm ] else [ lm; ln ]
+  in
+  let prefetch_at =
+    if g.g_prefetch then Some (List.hd levels).Swatop.Scheduler.lv_iter else None
+  in
+  Swatop.Scheduler.nest ?prefetch_at ~levels tile_body
+
+let padded_copy ~iter ~tag ~src ~dst ~rows ~cols ~dst_ld ~stage ~chunk_rows =
+  if cols > dst_ld then invalid_arg "Op_common.padded_copy: cols > dst_ld";
+  let rcnt = emin (int chunk_rows) (int rows - var iter) in
+  let body =
+    seq
+      [
+        Memset_spm { buf = stage; offset = int 0; elems = int chunk_rows * int dst_ld };
+        Dma
+          {
+            dir = Get;
+            main = src;
+            spm = stage;
+            tag = int tag;
+            region =
+              { offset = var iter * int cols; rows = rcnt; row_elems = int cols; row_stride = int cols };
+            spm_offset = int 0;
+            spm_ld = int dst_ld;
+            partition = P_rows;
+            per_cpe = None;
+          };
+        Dma_wait { tag = int tag };
+        Dma
+          {
+            dir = Put;
+            main = dst;
+            spm = stage;
+            tag = int tag;
+            region =
+              {
+                offset = var iter * int dst_ld;
+                rows = rcnt;
+                row_elems = int dst_ld;
+                row_stride = int dst_ld;
+              };
+            spm_offset = int 0;
+            spm_ld = int dst_ld;
+            partition = P_rows;
+            per_cpe = None;
+          };
+        Dma_wait { tag = int tag };
+      ]
+  in
+  for_ ~iter ~lo:(int 0) ~hi:(int rows) ~step:(int chunk_rows) body
+
+let cropped_copy ~iter ~tag ~src ~src_ld ~dst ~rows ~cols ~stage ~chunk_rows =
+  if cols > src_ld then invalid_arg "Op_common.cropped_copy: cols > src_ld";
+  let rcnt = emin (int chunk_rows) (int rows - var iter) in
+  let body =
+    seq
+      [
+        Dma
+          {
+            dir = Get;
+            main = src;
+            spm = stage;
+            tag = int tag;
+            region =
+              {
+                offset = var iter * int src_ld;
+                rows = rcnt;
+                row_elems = int cols;
+                row_stride = int src_ld;
+              };
+            spm_offset = int 0;
+            spm_ld = int cols;
+            partition = P_rows;
+            per_cpe = None;
+          };
+        Dma_wait { tag = int tag };
+        Dma
+          {
+            dir = Put;
+            main = dst;
+            spm = stage;
+            tag = int tag;
+            region =
+              { offset = var iter * int cols; rows = rcnt; row_elems = int cols; row_stride = int cols };
+            spm_offset = int 0;
+            spm_ld = int cols;
+            partition = P_rows;
+            per_cpe = None;
+          };
+        Dma_wait { tag = int tag };
+      ]
+  in
+  for_ ~iter ~lo:(int 0) ~hi:(int rows) ~step:(int chunk_rows) body

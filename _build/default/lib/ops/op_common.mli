@@ -1,0 +1,114 @@
+(** Pieces shared by the operator builders. *)
+
+(** Boundary-processing policy (Sec. 4.5.3).
+
+    - [Switch]: call the DMA and GEMM primitives with ragged (smaller)
+      parameters at the boundary — the "switch to new parameters" strategy;
+    - [Pad_light]: lightweight zero-padding — zero only the SPM staging
+      tiles that receive ragged boundary data, then run full-size
+      primitives;
+    - [Pad_full]: traditional zero-padding — copy whole operands into
+      freshly allocated padded main-memory buffers through the device (and
+      crop results back), then run perfectly aligned primitives. *)
+type boundary = Switch | Pad_light | Pad_full
+
+val boundary_to_string : boundary -> string
+val boundary_of_index : int -> boundary
+
+val trim_candidates : int -> int list -> int list
+(** Keep at most [n] values, evenly spread, always keeping the extremes. *)
+
+val cpe_grid_elems : int -> int -> int
+(** Per-CPE SPM elements of a 2D tile split across the 8x8 grid. *)
+
+val spm_budget_ok : prefetch:bool -> int list -> bool
+(** Whether buffers with the given per-CPE element counts fit the 64 KB
+    scratch pad, using the same per-buffer alignment and double-buffering
+    rules as the SPM planner — the validity predicate of every schedule
+    space. *)
+
+val pack_input_bchw : Swtensor.Conv_spec.t -> Swtensor.Tensor.t -> float array
+(** Flatten a logical [(b, ni, ri, ci)] input tensor into the BCHW main-
+    memory image used by the Winograd and explicit operators. *)
+
+(** A tiled [C += A * B] loop nest over row-major main-memory panels — the
+    shared skeleton of the matmul operator, the Winograd batched GEMMs and
+    the explicit-convolution GEMM.
+
+    [a_base]/[b_base]/[c_base] are element offsets of the panels inside
+    their buffers (e.g. the xi-th Winograd product panel); [m]/[n]/[k] are
+    the panel extents, with leading dimensions [k]/[n]/[n]. Iterator names
+    and DMA tags are prefixed/offset so several nests can coexist in one
+    program. When [pad_light] is false, ragged tiles switch primitive
+    parameters; when true, they are zero-padded in SPM.
+
+    The nest expects SPM tile buffers named [<prefix>a_tile],
+    [<prefix>b_tile], [<prefix>c_tile] sized [fm*fk], [fk*fn], [fm*fn]
+    (CG elements). [tile_buffers] declares them. *)
+type gemm_nest = {
+  g_fm : int;
+  g_fn : int;
+  g_fk : int;
+  g_vec : Primitives.Spm_gemm.vec_dim;
+  g_n_outer : bool;
+  g_pad_light : bool;
+  g_prefetch : bool;  (** mark the outer tile loop for double buffering *)
+  g_prefix : string;  (** iterator / buffer / tag namespace *)
+  g_tag_base : int;
+}
+
+val gemm_tile_buffers : gemm_nest -> Swatop.Ir.buf list
+
+val gemm_tile_bytes : fm:int -> fn:int -> fk:int -> int
+(** Per-CPE bytes of the three tiles (before double buffering). *)
+
+val gemm_nest :
+  ?a_row_stride:int ->
+  ?b_row_stride:int ->
+  ?c_row_stride:int ->
+  gemm_nest ->
+  a_main:string ->
+  b_main:string ->
+  c_main:string ->
+  a_base:Swatop.Ir.expr ->
+  b_base:Swatop.Ir.expr ->
+  c_base:Swatop.Ir.expr ->
+  m:int ->
+  n:int ->
+  k:int ->
+  Swatop.Ir.stmt
+(** Row strides of the main-memory panels default to the packed case
+    ([k]/[n]/[n]); pass them explicitly when a panel is a strided slice of
+    a larger matrix (e.g. one image's columns of a batched Winograd
+    panel). *)
+
+(** Device-side copy of a [rows x cols] row-major main-memory matrix into
+    the top-left of a [dst_ld]-wide padded buffer (zero tail columns), done
+    chunk-wise through an SPM staging buffer — the traditional-padding
+    prologue. The staging buffer must hold [chunk_rows * dst_ld] elements
+    CG-wide. *)
+val padded_copy :
+  iter:string ->
+  tag:int ->
+  src:string ->
+  dst:string ->
+  rows:int ->
+  cols:int ->
+  dst_ld:int ->
+  stage:string ->
+  chunk_rows:int ->
+  Swatop.Ir.stmt
+
+(** Device-side crop: copy the top-left [rows x cols] of a [src_ld]-wide
+    padded buffer into a packed [cols]-wide destination. *)
+val cropped_copy :
+  iter:string ->
+  tag:int ->
+  src:string ->
+  src_ld:int ->
+  dst:string ->
+  rows:int ->
+  cols:int ->
+  stage:string ->
+  chunk_rows:int ->
+  Swatop.Ir.stmt

@@ -1,0 +1,133 @@
+module Ints = struct
+  let ceil_div a b =
+    assert (b > 0 && a >= 0);
+    (a + b - 1) / b
+
+  let align_up x a = ceil_div x a * a
+  let align_down x a = x / a * a
+  let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+  let pow b e =
+    assert (e >= 0);
+    let rec loop acc e = if e = 0 then acc else loop (acc * b) (e - 1) in
+    loop 1 e
+
+  let divisors n =
+    assert (n > 0);
+    let rec loop d acc = if d > n then List.rev acc else loop (d + 1) (if n mod d = 0 then d :: acc else acc) in
+    loop 1 []
+end
+
+module Lists = struct
+  let range lo hi =
+    let rec loop i acc = if i < lo then acc else loop (i - 1) (i :: acc) in
+    loop (hi - 1) []
+
+  let cartesian2 xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+  let cartesian3 xs ys zs =
+    List.concat_map (fun x -> List.concat_map (fun y -> List.map (fun z -> (x, y, z)) zs) ys) xs
+
+  let take_every n l =
+    assert (n > 0);
+    List.filteri (fun i _ -> i mod n = 0) l
+
+  let sum_float f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l
+
+  let extremum_by better f = function
+    | [] -> invalid_arg "extremum_by: empty list"
+    | x :: rest ->
+      let pick (bx, bv) y =
+        let v = f y in
+        if better v bv then (y, v) else (bx, bv)
+      in
+      fst (List.fold_left pick (x, f x) rest)
+
+  let max_float_by f l = extremum_by ( > ) f l
+  let min_float_by f l = extremum_by ( < ) f l
+
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> not (y == x)) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+end
+
+module Floats = struct
+  let approx_equal ?(eps = 1e-5) a b =
+    let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+    Float.abs (a -. b) <= (eps *. scale)
+
+  let mean = function
+    | [] -> invalid_arg "mean: empty list"
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+  let geomean = function
+    | [] -> invalid_arg "geomean: empty list"
+    | l ->
+      let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 l in
+      exp (log_sum /. float_of_int (List.length l))
+end
+
+module Linsolve = struct
+  let solve a b =
+    let n = Array.length b in
+    assert (Array.length a = n);
+    let a = Array.map Array.copy a and b = Array.copy b in
+    for col = 0 to n - 1 do
+      (* Partial pivoting: bring the largest remaining entry to the diagonal. *)
+      let pivot = ref col in
+      for row = col + 1 to n - 1 do
+        if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+      done;
+      if Float.abs a.(!pivot).(col) < 1e-12 then failwith "Linsolve.solve: singular system";
+      if !pivot <> col then begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tb = b.(col) in
+        b.(col) <- b.(!pivot);
+        b.(!pivot) <- tb
+      end;
+      for row = col + 1 to n - 1 do
+        let factor = a.(row).(col) /. a.(col).(col) in
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      done
+    done;
+    let x = Array.make n 0.0 in
+    for row = n - 1 downto 0 do
+      let s = ref b.(row) in
+      for k = row + 1 to n - 1 do
+        s := !s -. (a.(row).(k) *. x.(k))
+      done;
+      x.(row) <- !s /. a.(row).(row)
+    done;
+    x
+
+  let least_squares x y =
+    let rows = Array.length x in
+    assert (rows = Array.length y && rows > 0);
+    let cols = Array.length x.(0) in
+    let xtx = Array.make_matrix cols cols 0.0 in
+    let xty = Array.make cols 0.0 in
+    for r = 0 to rows - 1 do
+      for i = 0 to cols - 1 do
+        xty.(i) <- xty.(i) +. (x.(r).(i) *. y.(r));
+        for j = 0 to cols - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (x.(r).(i) *. x.(r).(j))
+        done
+      done
+    done;
+    (* Tikhonov damping keeps the normal equations solvable when a feature
+       column is (numerically) constant across the sample set. *)
+    for i = 0 to cols - 1 do
+      xtx.(i).(i) <- xtx.(i).(i) +. 1e-9
+    done;
+    solve xtx xty
+end

@@ -1,0 +1,63 @@
+(** Small shared utilities used across the swATOP reproduction.
+
+    Everything here is dependency-free and deterministic. *)
+
+(** Integer helpers. *)
+module Ints : sig
+  val ceil_div : int -> int -> int
+  (** [ceil_div a b] is [a / b] rounded towards positive infinity.
+      Requires [b > 0] and [a >= 0]. *)
+
+  val align_up : int -> int -> int
+  (** [align_up x a] is the smallest multiple of [a] that is [>= x]. *)
+
+  val align_down : int -> int -> int
+  (** [align_down x a] is the largest multiple of [a] that is [<= x]. *)
+
+  val clamp : lo:int -> hi:int -> int -> int
+
+  val pow : int -> int -> int
+  (** [pow b e] for [e >= 0]. *)
+
+  val divisors : int -> int list
+  (** All positive divisors of [n], ascending. Requires [n > 0]. *)
+end
+
+(** List helpers. *)
+module Lists : sig
+  val range : int -> int -> int list
+  (** [range lo hi] is [lo; lo+1; ...; hi-1]. *)
+
+  val cartesian2 : 'a list -> 'b list -> ('a * 'b) list
+  val cartesian3 : 'a list -> 'b list -> 'c list -> ('a * 'b * 'c) list
+
+  val take_every : int -> 'a list -> 'a list
+  (** [take_every n l] keeps elements at indices [0; n; 2n; ...]. *)
+
+  val sum_float : ('a -> float) -> 'a list -> float
+  val max_float_by : ('a -> float) -> 'a list -> 'a
+  val min_float_by : ('a -> float) -> 'a list -> 'a
+
+  val permutations : 'a list -> 'a list list
+  (** All permutations; intended for short lists only. *)
+end
+
+(** Float helpers. *)
+module Floats : sig
+  val approx_equal : ?eps:float -> float -> float -> bool
+  (** Relative-tolerance comparison, [eps] defaults to [1e-5]. *)
+
+  val mean : float list -> float
+  val geomean : float list -> float
+end
+
+(** Dense least-squares fitting of small linear models. *)
+module Linsolve : sig
+  val solve : float array array -> float array -> float array
+  (** [solve a b] solves [a x = b] by Gaussian elimination with partial
+      pivoting. Raises [Failure] if the system is singular. *)
+
+  val least_squares : float array array -> float array -> float array
+  (** [least_squares x y] returns coefficients [c] minimising
+      [||x c - y||^2] via the normal equations. Rows of [x] are samples. *)
+end

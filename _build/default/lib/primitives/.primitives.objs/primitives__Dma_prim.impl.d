@@ -1,0 +1,1 @@
+lib/primitives/dma_prim.ml: Array Float Sw26010

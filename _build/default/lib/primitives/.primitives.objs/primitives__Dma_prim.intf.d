@@ -1,0 +1,1 @@
+lib/primitives/dma_prim.mli: Sw26010

@@ -1,0 +1,1 @@
+lib/primitives/spm_gemm.ml: Array List Prelude Printf String Sw26010

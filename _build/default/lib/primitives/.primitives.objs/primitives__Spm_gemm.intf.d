@@ -1,0 +1,1 @@
+lib/primitives/spm_gemm.mli:

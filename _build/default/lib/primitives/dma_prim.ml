@@ -1,0 +1,26 @@
+type payload = { main : float array; main_offset : int; spm : float array; spm_offset : int }
+
+let elem = Sw26010.Config.elem_bytes
+
+let copy_payload ~(dir : Sw26010.Dma.direction) ~(desc : Sw26010.Dma.descriptor) p =
+  if desc.block_bytes mod elem <> 0 || desc.stride_bytes mod elem <> 0 then
+    invalid_arg "Dma_prim: descriptor not element-aligned";
+  let block_elems = desc.block_bytes / elem in
+  let stride_elems = desc.stride_bytes / elem in
+  for i = 0 to desc.block_count - 1 do
+    let main_at = p.main_offset + (i * stride_elems) in
+    let spm_at = p.spm_offset + (i * block_elems) in
+    match dir with
+    | Sw26010.Dma.Mem_to_spm -> Array.blit p.main main_at p.spm spm_at block_elems
+    | Sw26010.Dma.Spm_to_mem -> Array.blit p.spm spm_at p.main main_at block_elems
+  done
+
+let time ~desc = Sw26010.Dma.time_uniform_cg desc
+
+let issue cg ~dir ~desc ~tag ?payload () =
+  (match payload with Some p -> copy_payload ~dir ~desc p | None -> ());
+  let occupancy = time ~desc -. Sw26010.Config.dma_latency_s in
+  Sw26010.Core_group.issue_dma cg ~tag ~occupancy:(Float.max 0.0 occupancy)
+    ~latency:Sw26010.Config.dma_latency_s
+
+let wait cg ~tag = Sw26010.Core_group.wait_dma cg ~tag

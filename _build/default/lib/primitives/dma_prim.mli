@@ -1,0 +1,35 @@
+(** The tensorized DMA primitives: [swDMA] / [swDMAWait] of Sec. 4.1.
+
+    A transfer moves data between a main-memory buffer and an SPM buffer
+    through the core group's asynchronous DMA engine; completion is observed
+    by waiting on a reply word (modelled as an integer tag). Timing follows
+    the transaction-level model of [Sw26010.Dma]; the payload copy itself is
+    optional so the tuners can replay programs in cost-only mode. *)
+
+type payload = {
+  main : float array;  (** main-memory backing store *)
+  main_offset : int;  (** element offset of the first block *)
+  spm : float array;  (** CG-level SPM backing store *)
+  spm_offset : int;
+}
+
+val issue :
+  Sw26010.Core_group.t ->
+  dir:Sw26010.Dma.direction ->
+  desc:Sw26010.Dma.descriptor ->
+  tag:int ->
+  ?payload:payload ->
+  unit ->
+  unit
+(** Launch an asynchronous CG-collective transfer described (per CPE) by
+    [desc]. When [payload] is given, [block_count * block_bytes] worth of
+    elements are copied immediately (the program is race-free by
+    construction: every read of the data is preceded by [wait]).
+
+    Note [desc] carries *bytes*; payload offsets are in elements, and the
+    SPM side is always contiguous. *)
+
+val wait : Sw26010.Core_group.t -> tag:int -> unit
+
+val time : desc:Sw26010.Dma.descriptor -> float
+(** Simulated duration of the transfer (Eq. 1). *)

@@ -1,0 +1,141 @@
+type major = Row_major | Col_major
+type vec_dim = Vec_m | Vec_n
+type variant = { a_major : major; b_major : major; vec : vec_dim }
+
+let all_variants =
+  let majors = [ Row_major; Col_major ] and vecs = [ Vec_m; Vec_n ] in
+  List.concat_map
+    (fun a_major ->
+      List.concat_map (fun b_major -> List.map (fun vec -> { a_major; b_major; vec }) vecs) majors)
+    majors
+
+let major_tag prefix = function Row_major -> prefix ^ "rm" | Col_major -> prefix ^ "cm"
+let vec_tag = function Vec_m -> "vm" | Vec_n -> "vn"
+
+let variant_name v =
+  Printf.sprintf "spm_gemm_%s_%s_%s" (major_tag "a" v.a_major) (major_tag "b" v.b_major)
+    (vec_tag v.vec)
+
+let variant_of_name name = List.find_opt (fun v -> String.equal (variant_name v) name) all_variants
+
+type call = { variant : variant; m : int; n : int; k : int; lda : int; ldb : int; ldc : int }
+
+let call ~variant ~m ~n ~k ~lda ~ldb ~ldc =
+  if m <= 0 || n <= 0 || k <= 0 then invalid_arg "Spm_gemm.call: non-positive dimension";
+  let min_lda = match variant.a_major with Row_major -> k | Col_major -> m in
+  let min_ldb = match variant.b_major with Row_major -> n | Col_major -> k in
+  if lda < min_lda then invalid_arg "Spm_gemm.call: lda too small";
+  if ldb < min_ldb then invalid_arg "Spm_gemm.call: ldb too small";
+  if ldc < n then invalid_arg "Spm_gemm.call: ldc too small";
+  { variant; m; n; k; lda; ldb; ldc }
+
+let exec { variant; m; n; k; lda; ldb; ldc } ~a ~ao ~b ~bo ~c ~co =
+  let a_at i p =
+    match variant.a_major with
+    | Row_major -> a.(ao + (i * lda) + p)
+    | Col_major -> a.(ao + (p * lda) + i)
+  in
+  let b_at p j =
+    match variant.b_major with
+    | Row_major -> b.(bo + (p * ldb) + j)
+    | Col_major -> b.(bo + (j * ldb) + p)
+  in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (a_at i p *. b_at p j)
+      done;
+      let idx = co + (i * ldc) + j in
+      c.(idx) <- c.(idx) +. !acc
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cycle model.
+
+   Per-CPE tile: mp x np with k panels. The register block covers 16
+   elements along the vectorized dimension (4 vector registers of 4 lanes)
+   and 4 along the other, i.e. 16 C vectors pinned in registers.
+
+   Innermost loop (over k): 16 vmads on P0; A/B vector loads and register-
+   communication loads on P1 (4 vector loads along the vectorized dimension
+   + 4 broadcast-extend loads along the other). P0 dominates: 16 cycles per
+   k step, as in the paper's appendix.
+
+   Per register block: C tile load/store (32 P1 ops), address arithmetic,
+   pipeline refill, plus one register-communication pattern switch.
+
+   Per call: kernel entry/exit, reply-word synchronisation, and the initial
+   communication pattern set-up.
+
+   Non-row-major C is free (C never moves); operand majors that disagree
+   with the broadcast direction pay a small extra load per k step because
+   the remote tile arrives transposed with respect to the vector lanes. *)
+
+let reg_block_vec = 16
+let reg_block_other = 4
+
+let block_overhead_cycles ~transposed_operands =
+  let base =
+    Sw26010.Pipeline.(
+      cycles (block ~flexible_ops:10 ~raw_stalls:6 ~p0_ops:0 ~p1_ops:32 ()))
+  in
+  base + Sw26010.Regcomm.switch_cycles + (8 * transposed_operands)
+
+let call_overhead_cycles = 420.0
+
+let partition_dims { variant; m; n; _ } =
+  let mp = Prelude.Ints.ceil_div m Sw26010.Config.cpe_rows in
+  let np = Prelude.Ints.ceil_div n Sw26010.Config.cpe_cols in
+  match variant.vec with Vec_m -> (mp, np) | Vec_n -> (np, mp)
+
+(* A kernel variant natively streams A along rows when A is column major
+   (the broadcast bus carries a column of A), and B along columns when B is
+   row major; the mismatched combinations shuffle lanes, costing extra P1
+   work per register block. *)
+let transposed_operands { variant; _ } =
+  let a_penalty = match (variant.vec, variant.a_major) with
+    | Vec_m, Col_major | Vec_n, Row_major -> 0
+    | Vec_m, Row_major | Vec_n, Col_major -> 1
+  in
+  let b_penalty = match (variant.vec, variant.b_major) with
+    | Vec_m, Row_major | Vec_n, Col_major -> 0
+    | Vec_m, Col_major | Vec_n, Row_major -> 1
+  in
+  a_penalty + b_penalty
+
+let cycles ({ k; _ } as call) =
+  let vdim, odim = partition_dims call in
+  let vblocks = Prelude.Ints.ceil_div vdim reg_block_vec in
+  let oblocks = Prelude.Ints.ceil_div odim reg_block_other in
+  let blocks = vblocks * oblocks in
+  (* Innermost work per k step: one vmad per (vector group, other element)
+     pair on P0, against vector loads plus broadcast loads on P1. Full
+     register blocks hit the 16-vmads-in-16-cycles schedule; remainder
+     blocks take the kernel's shorter masked path, so the cost is
+     proportional to the vectors actually touched. *)
+  let vec_groups = Prelude.Ints.ceil_div vdim Sw26010.Config.vector_lanes in
+  let p0 = vec_groups * odim in
+  let p1 = vec_groups + odim + 2 in
+  let inner_per_k = max p0 p1 in
+  let overhead = block_overhead_cycles ~transposed_operands:(transposed_operands call) in
+  (float_of_int k *. float_of_int inner_per_k)
+  +. (float_of_int blocks *. float_of_int overhead)
+  +. call_overhead_cycles
+
+let seconds call = Sw26010.Config.seconds_of_cycles (cycles call)
+let flops { m; n; k; _ } = 2.0 *. float_of_int m *. float_of_int n *. float_of_int k
+
+let efficiency call =
+  flops call /. (seconds call *. Sw26010.Config.peak_flops_cg)
+
+(* Operands are partitioned into 64 pieces across the 8x8 grid (Fig. 12);
+   ragged dimensions round up to the grid. *)
+let grid_piece rows cols =
+  Prelude.Ints.ceil_div rows Sw26010.Config.cpe_rows
+  * Prelude.Ints.ceil_div cols Sw26010.Config.cpe_cols
+
+let spm_elems_a ({ m; k; _ } : call) = grid_piece m k
+let spm_elems_b ({ k; n; _ } : call) = grid_piece k n
+let spm_elems_c ({ m; n; _ } : call) = grid_piece m n

@@ -1,0 +1,72 @@
+(** The tensorized GEMM primitive: [C += A * B] with all operands resident in
+    SPM, distributed over the 8x8 CPE cluster.
+
+    This models the paper's hand-written assembly micro-kernels (Appendix,
+    Sec. 9): matrices partitioned 8x8 across the cluster, remote tiles
+    fetched by register communication, 4x4 register blocking over 4-wide
+    vectors, and a dual-pipeline schedule that retires 16 vmads in 16 cycles
+    with no read-after-write stalls in the innermost loop.
+
+    Eight variants exist: A row/column major x B row/column major x
+    vectorize-M / vectorize-N. All variants compute the same function; they
+    differ in cost (and in which layouts they accept without repacking).
+
+    The module provides both the numeric execution (exact result, used by the
+    IR interpreter in numeric mode) and the cycle model (used for simulated
+    timing and as the ground truth the autotuner's Eq. 2 linear model is
+    fitted against). *)
+
+type major = Row_major | Col_major
+type vec_dim = Vec_m | Vec_n
+
+type variant = { a_major : major; b_major : major; vec : vec_dim }
+
+val all_variants : variant list
+(** The eight template-generated kernels. *)
+
+val variant_name : variant -> string
+(** Stable identifier, e.g. ["spm_gemm_arm_brm_vm"]; used by the code
+    generator to reference the assembly kernel. *)
+
+val variant_of_name : string -> variant option
+
+(** Call-site description. [a] is logically (m, k) stored with leading
+    dimension [lda] under [a_major] ([lda >= k] for row major, [>= m] for
+    column major); [b] is (k, n) likewise; [c] is (m, n) row-major with
+    [ldc >= n]. *)
+type call = {
+  variant : variant;
+  m : int;
+  n : int;
+  k : int;
+  lda : int;
+  ldb : int;
+  ldc : int;
+}
+
+val call :
+  variant:variant -> m:int -> n:int -> k:int -> lda:int -> ldb:int -> ldc:int -> call
+(** Validates dimensions and leading dimensions. *)
+
+val exec :
+  call -> a:float array -> ao:int -> b:float array -> bo:int -> c:float array -> co:int -> unit
+(** Numeric [C += A * B]; [ao]/[bo]/[co] are element offsets of each operand
+    inside its SPM buffer. *)
+
+val cycles : call -> float
+(** Per-CPE cycle count of the collective kernel (all CPEs run in lockstep,
+    so this is also the cluster's wall-clock in cycles). *)
+
+val seconds : call -> float
+
+val flops : call -> float
+(** Useful FLOPs of the call (whole cluster). *)
+
+val efficiency : call -> float
+(** [flops / (seconds * peak)]. *)
+
+val spm_elems_a : call -> int
+val spm_elems_b : call -> int
+val spm_elems_c : call -> int
+(** Per-CPE SPM footprint (elements) of each operand tile, including the
+    padding the 8x8 partition imposes on ragged dimensions. *)

@@ -1,0 +1,1 @@
+lib/sw26010/core_group.ml: Config Dma

@@ -1,0 +1,60 @@
+(** Architectural constants of one SW26010 core group (CG).
+
+    Values follow the paper (Sec. 2) and the public benchmarking literature it
+    cites (Xu et al., IPDPSW'17): 8x8 compute processing elements (CPEs), each
+    with a 64 KB software-managed scratch-pad memory (SPM), a DMA engine that
+    moves data between main memory and SPM in 128-byte DRAM transactions, a
+    low-latency register-communication mesh, and two in-order instruction
+    pipelines per CPE. *)
+
+val cpe_rows : int
+val cpe_cols : int
+
+val cpes_per_cg : int
+(** [cpe_rows * cpe_cols = 64]. *)
+
+val freq_hz : float
+(** CPE clock frequency: 1.45 GHz. *)
+
+val vector_lanes : int
+(** Single-precision lanes per 256-bit vector register, as used by the
+    paper's FLOP accounting (loads of "four floating-point data"). *)
+
+val flops_per_vmad : int
+(** FLOPs retired by one vectorized multiply-and-accumulate. *)
+
+val peak_flops_cpe : float
+val peak_flops_cg : float
+(** Aggregate peak of the CPE cluster; ~742 GFLOPS, i.e. one quarter of the
+    chip's 3.06 TFLOPS headline minus the MPE contribution. *)
+
+val spm_bytes : int
+(** Per-CPE scratch-pad capacity: 64 KB. *)
+
+val elem_bytes : int
+(** Bytes per single-precision element. *)
+
+val dram_transaction_bytes : int
+(** Granularity of main-memory access: even a 1-byte touch moves a whole
+    128-byte transaction (Sec. 4.6). *)
+
+val dma_peak_bw : float
+(** Theoretical peak main-memory bandwidth available to one CG (bytes/s);
+    the PEAK_BW term of Eq. (1). *)
+
+val dma_latency_s : float
+(** DMA start-up latency, the T_latency term of Eq. (1). *)
+
+val glgs_bw : float
+(** Global load/store bandwidth (bytes/s); ~15x slower than DMA, which is why
+    all bulk transfers go through the DMA engine. *)
+
+val regcomm_bw : float
+(** Aggregate register-communication bandwidth of the 8x8 mesh (bytes/s). *)
+
+val regcomm_switch_cycles : int
+(** Latency (cycles) to switch the register-communication pattern between
+    row-broadcast and column-broadcast phases of the GEMM primitive. *)
+
+val seconds_of_cycles : float -> float
+val cycles_of_seconds : float -> float

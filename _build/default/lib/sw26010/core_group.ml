@@ -1,0 +1,33 @@
+type t = {
+  engine : Dma.Engine.t;
+  mutable clock : float;
+  mutable dma_time : float;
+  mutable compute_time : float;
+}
+
+let create () = { engine = Dma.Engine.create (); clock = 0.0; dma_time = 0.0; compute_time = 0.0 }
+
+let reset t =
+  Dma.Engine.reset t.engine;
+  t.clock <- 0.0;
+  t.dma_time <- 0.0;
+  t.compute_time <- 0.0
+
+let now t = t.clock
+
+let advance t dt =
+  assert (dt >= 0.0);
+  t.clock <- t.clock +. dt;
+  t.compute_time <- t.compute_time +. dt
+
+let advance_cycles t cycles = advance t (Config.seconds_of_cycles cycles)
+
+let issue_dma t ~tag ~occupancy ~latency =
+  assert (occupancy >= 0.0 && latency >= 0.0);
+  t.dma_time <- t.dma_time +. occupancy;
+  Dma.Engine.issue t.engine ~now:t.clock ~tag ~occupancy ~latency
+
+let wait_dma t ~tag = t.clock <- Dma.Engine.wait t.engine ~now:t.clock ~tag
+let engine_busy_until t = Dma.Engine.busy_until t.engine
+let dma_busy t = t.dma_time
+let compute_busy t = t.compute_time

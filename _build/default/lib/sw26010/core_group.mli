@@ -1,0 +1,35 @@
+(** Simulated state of one core group during program execution.
+
+    The interpreter drives a single simulated clock (the CPE cluster executes
+    the same SPMD program in lockstep, as all generated kernels do) and one
+    DMA engine timeline shared by the collective transfers. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val now : t -> float
+(** Current simulated time, seconds. *)
+
+val advance : t -> float -> unit
+(** Spend [dt] seconds of CPE compute time. *)
+
+val advance_cycles : t -> float -> unit
+
+val issue_dma : t -> tag:int -> occupancy:float -> latency:float -> unit
+(** Launch an asynchronous collective DMA: the engine transmits for
+    [occupancy] seconds and the reply word fires [latency] later. *)
+
+val wait_dma : t -> tag:int -> unit
+(** Block until the tagged transfer(s) complete. *)
+
+val dma_busy : t -> float
+(** Simulated seconds the DMA engine has been transferring so far. *)
+
+val engine_busy_until : t -> float
+(** Simulated time at which the DMA engine drains (for end-of-program
+    accounting of fire-and-forget transfers). *)
+
+val compute_busy : t -> float
+(** Simulated seconds the CPE pipelines have been computing so far. *)

@@ -1,0 +1,111 @@
+type direction = Mem_to_spm | Spm_to_mem
+
+type descriptor = {
+  offset_bytes : int;
+  block_bytes : int;
+  stride_bytes : int;
+  block_count : int;
+}
+
+let descriptor ~offset_bytes ~block_bytes ~stride_bytes ~block_count =
+  if offset_bytes < 0 || block_bytes < 0 || block_count < 0 then
+    invalid_arg "Dma.descriptor: negative field";
+  if block_count > 1 && stride_bytes < block_bytes then
+    invalid_arg "Dma.descriptor: overlapping stride";
+  { offset_bytes; block_bytes; stride_bytes; block_count }
+
+let contiguous ~offset_bytes ~bytes =
+  descriptor ~offset_bytes ~block_bytes:bytes ~stride_bytes:bytes ~block_count:1
+
+let payload_bytes d = d.block_bytes * d.block_count
+
+let block_transaction_bytes ~start ~bytes =
+  if bytes = 0 then 0
+  else
+    let t = Config.dram_transaction_bytes in
+    Prelude.Ints.align_up (start + bytes) t - Prelude.Ints.align_down start t
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let transaction_bytes d =
+  if d.block_count = 0 || d.block_bytes = 0 then 0
+  else begin
+    (* The per-block waste depends only on (offset + i*stride) mod 128,
+       which cycles with period 128/gcd(stride,128): sum one period and
+       multiply instead of walking every block. *)
+    let t = Config.dram_transaction_bytes in
+    let phase = d.stride_bytes mod t in
+    let period = if phase = 0 then 1 else t / gcd t phase in
+    let period = Prelude.Ints.clamp ~lo:1 ~hi:d.block_count period in
+    let sum_range count =
+      let total = ref 0 in
+      for i = 0 to count - 1 do
+        let start = d.offset_bytes + (i * d.stride_bytes) in
+        total := !total + block_transaction_bytes ~start ~bytes:d.block_bytes
+      done;
+      !total
+    in
+    let full = d.block_count / period and rem = d.block_count mod period in
+    if full <= 1 then sum_range d.block_count
+    else (full * sum_range period) + sum_range rem
+  end
+
+let waste_bytes d = transaction_bytes d - payload_bytes d
+
+let efficiency d =
+  let tx = transaction_bytes d in
+  if tx = 0 then 1.0 else float_of_int (payload_bytes d) /. float_of_int tx
+
+let per_cpe_bw = Config.dma_peak_bw /. float_of_int Config.cpes_per_cg
+
+let time_one_cpe d =
+  if payload_bytes d = 0 then 0.0
+  else Config.dma_latency_s +. (float_of_int (transaction_bytes d) /. per_cpe_bw)
+
+let time_cg descs =
+  let slowest = Array.fold_left (fun acc d -> max acc (transaction_bytes d)) 0 descs in
+  if slowest = 0 then 0.0
+  else Config.dma_latency_s +. (float_of_int slowest /. per_cpe_bw)
+
+let time_uniform_cg d = time_one_cpe d
+
+module Engine = struct
+  (* Reply words are small integer tags; completions live in a growable
+     array (neg_infinity = no outstanding transfer) because issue/wait sit
+     on the interpreter's innermost path. *)
+  type t = { mutable free_at : float; mutable pending : float array }
+
+  let create () = { free_at = 0.0; pending = Array.make 16 neg_infinity }
+
+  let reset t =
+    t.free_at <- 0.0;
+    Array.fill t.pending 0 (Array.length t.pending) neg_infinity
+
+  let ensure t tag =
+    if tag >= Array.length t.pending then begin
+      let bigger = Array.make (max (tag + 1) (2 * Array.length t.pending)) neg_infinity in
+      Array.blit t.pending 0 bigger 0 (Array.length t.pending);
+      t.pending <- bigger
+    end
+
+  let issue t ~now ~tag ~occupancy ~latency =
+    if tag < 0 then invalid_arg "Dma.Engine.issue: negative tag";
+    ensure t tag;
+    let start = Float.max now t.free_at in
+    t.free_at <- start +. occupancy;
+    let completion = start +. occupancy +. latency in
+    if completion > t.pending.(tag) then t.pending.(tag) <- completion
+
+  let wait t ~now ~tag =
+    if tag < 0 || tag >= Array.length t.pending then now
+    else begin
+      let completion = t.pending.(tag) in
+      if completion = neg_infinity then now
+      else begin
+        t.pending.(tag) <- neg_infinity;
+        Float.max now completion
+      end
+    end
+
+  let busy_until t = t.free_at
+end

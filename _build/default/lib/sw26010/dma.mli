@@ -1,0 +1,74 @@
+(** DMA engine model: strided descriptors, DRAM-transaction cost accounting
+    (Eq. 1 of the paper) and an asynchronous-completion engine used by the
+    discrete-event interpreter.
+
+    A descriptor describes one CPE's view of a transfer: [block_count]
+    contiguous blocks of [block_bytes], the i-th block starting at main-memory
+    offset [offset_bytes + i * stride_bytes]. [stride_bytes = block_bytes]
+    degenerates to a fully contiguous transfer. Main memory is reached in
+    128-byte DRAM transactions, so each block additionally moves the waste
+    padded on its left and right transaction boundaries. *)
+
+type direction = Mem_to_spm | Spm_to_mem
+
+type descriptor = {
+  offset_bytes : int;
+  block_bytes : int;
+  stride_bytes : int;
+  block_count : int;
+}
+
+val descriptor :
+  offset_bytes:int -> block_bytes:int -> stride_bytes:int -> block_count:int -> descriptor
+(** Validates the shape: sizes non-negative, [stride_bytes >= block_bytes]
+    when [block_count > 1]. *)
+
+val contiguous : offset_bytes:int -> bytes:int -> descriptor
+
+val payload_bytes : descriptor -> int
+(** Useful bytes requested. *)
+
+val waste_bytes : descriptor -> int
+(** Bytes moved solely because of 128-byte transaction alignment, i.e. the
+    sum of the per-block left/right padding of Eq. (1). *)
+
+val transaction_bytes : descriptor -> int
+(** [payload_bytes + waste_bytes]. *)
+
+val efficiency : descriptor -> float
+(** [payload / transaction] in (0, 1]. *)
+
+val time_one_cpe : descriptor -> float
+(** Eq. (1) for a single CPE participating in a 64-CPE collective transfer:
+    start-up latency plus transaction bytes over the per-CPE bandwidth share
+    [PEAK_BW / 64]. *)
+
+val time_cg : descriptor array -> float
+(** Completion time of a CG-collective DMA where CPE [i] executes
+    [descs.(i)]: the latency plus the slowest CPE's transmission term. *)
+
+val time_uniform_cg : descriptor -> float
+(** [time_cg] when all 64 CPEs execute descriptors of identical shape. *)
+
+(** Asynchronous engine: transfers issued on one CPE's DMA engine serialize;
+    completion of a tagged transfer is observed by [wait]. *)
+module Engine : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+
+  val issue : t -> now:float -> tag:int -> occupancy:float -> latency:float -> unit
+  (** Enqueue a transfer at simulated time [now]. The engine is busy for
+      [occupancy] (the transmission term); the reply word fires [latency]
+      later (start-up delay) — back-to-back transfers pipeline their
+      latencies, as real descriptor queues do. Several outstanding
+      transfers may share a tag (reply-word semantics): [wait] returns the
+      completion time of the last of them. *)
+
+  val wait : t -> now:float -> tag:int -> float
+  (** Time at which the caller resumes: [max now (completion tag)]. Returns
+      [now] for a tag with no outstanding transfer. The tag is consumed. *)
+
+  val busy_until : t -> float
+end

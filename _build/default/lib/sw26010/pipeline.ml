@@ -1,0 +1,21 @@
+type block = { p0_ops : int; p1_ops : int; flexible_ops : int; raw_stalls : int }
+
+let block ?(flexible_ops = 0) ?(raw_stalls = 0) ~p0_ops ~p1_ops () =
+  if p0_ops < 0 || p1_ops < 0 || flexible_ops < 0 || raw_stalls < 0 then
+    invalid_arg "Pipeline.block: negative count";
+  { p0_ops; p1_ops; flexible_ops; raw_stalls }
+
+let cycles b =
+  let hi = max b.p0_ops b.p1_ops and lo = min b.p0_ops b.p1_ops in
+  let slack = hi - lo in
+  (* Flexible ops first fill the shorter pipeline's slack for free, then the
+     remainder is split evenly across both pipelines. *)
+  let overflow = max 0 (b.flexible_ops - slack) in
+  hi + Prelude.Ints.ceil_div overflow 2 + b.raw_stalls
+
+let utilization b =
+  let c = cycles b in
+  if c = 0 then 1.0
+  else
+    let useful = b.p0_ops + b.p1_ops + b.flexible_ops in
+    Float.min 1.0 (float_of_int useful /. float_of_int (2 * c))

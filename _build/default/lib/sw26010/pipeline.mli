@@ -1,0 +1,25 @@
+(** Dual-pipeline issue model of a CPE.
+
+    P0 issues floating-point (scalar and vector) operations, P1 issues
+    memory operations; both issue integer scalar operations. An instruction
+    sequence that balances the two pipelines and avoids read-after-write
+    hazards retires one instruction per pipeline per cycle — the property the
+    paper's hand-written GEMM kernels achieve ("16 vmad operations in 16
+    cycles"). The model reports the cycle count of a straight-line block from
+    its per-pipeline instruction counts and an explicit stall estimate. *)
+
+type block = {
+  p0_ops : int;  (** floating-point / vector arithmetic instructions *)
+  p1_ops : int;  (** memory (load/store) instructions *)
+  flexible_ops : int;  (** integer scalar ops, schedulable on either pipeline *)
+  raw_stalls : int;  (** cycles lost to unhidden read-after-write hazards *)
+}
+
+val block : ?flexible_ops:int -> ?raw_stalls:int -> p0_ops:int -> p1_ops:int -> unit -> block
+
+val cycles : block -> int
+(** Issue cycles of the block: the flexible ops fill whichever pipeline has
+    slack, then the longer pipeline plus stalls bounds the block. *)
+
+val utilization : block -> float
+(** Fraction of issue slots doing useful work, in (0, 1]. *)

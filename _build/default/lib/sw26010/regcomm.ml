@@ -1,0 +1,12 @@
+type pattern = Row_broadcast | Col_broadcast
+
+let per_cpe_bw = Config.regcomm_bw /. float_of_int Config.cpes_per_cg
+
+let broadcast_cycles ~bytes =
+  if bytes = 0 then 0.0
+  else float_of_int bytes /. per_cpe_bw *. Config.freq_hz
+
+let switch_cycles = Config.regcomm_switch_cycles
+
+let phase_cycles ~switches ~bytes_per_cpe =
+  broadcast_cycles ~bytes:bytes_per_cpe +. float_of_int (switches * switch_cycles)

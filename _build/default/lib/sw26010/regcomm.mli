@@ -1,0 +1,21 @@
+(** Register-communication model of the 8x8 CPE mesh.
+
+    The mesh lets a CPE broadcast a vector register to the other seven CPEs of
+    its row or column in a handful of cycles, which is what makes the
+    cluster-wide GEMM primitive possible: each CPE holds 1/64 of A, B and C,
+    and assembles remote A-rows / B-columns on the fly. The model charges a
+    throughput term against the aggregate mesh bandwidth plus a fixed pattern
+    switch penalty whenever the kernel alternates row/column phases. *)
+
+type pattern = Row_broadcast | Col_broadcast
+
+val broadcast_cycles : bytes:int -> float
+(** Cycles to broadcast [bytes] from one CPE to its row or column, assuming
+    the mesh's aggregate bandwidth is evenly divided among the 64 CPEs. *)
+
+val switch_cycles : int
+(** Penalty for changing between row and column patterns. *)
+
+val phase_cycles : switches:int -> bytes_per_cpe:int -> float
+(** Total communication cycles of a kernel phase that broadcasts
+    [bytes_per_cpe] from every CPE and switches patterns [switches] times. *)

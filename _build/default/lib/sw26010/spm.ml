@@ -1,0 +1,36 @@
+type request = { name : string; bytes : int; double_buffered : bool }
+type slot = { slot_name : string; offset : int; slot_bytes : int }
+type plan = { slots : slot list; used_bytes : int; capacity : int }
+
+let alignment = 64
+
+let request ?(double_buffered = false) ~name ~bytes () =
+  if bytes < 0 then invalid_arg "Spm.request: negative size";
+  { name; bytes; double_buffered }
+
+let slot_bytes r =
+  let b = Prelude.Ints.align_up r.bytes alignment in
+  if r.double_buffered then 2 * b else b
+
+let footprint reqs = List.fold_left (fun acc r -> acc + slot_bytes r) 0 reqs
+let fits ?(capacity = Config.spm_bytes) reqs = footprint reqs <= capacity
+
+let plan ?(capacity = Config.spm_bytes) reqs =
+  let names = List.map (fun r -> r.name) reqs in
+  let dup = List.exists (fun n -> List.length (List.filter (String.equal n) names) > 1) names in
+  if dup then Error "Spm.plan: duplicate buffer names"
+  else begin
+    let offset = ref 0 in
+    let alloc r =
+      let s = { slot_name = r.name; offset = !offset; slot_bytes = slot_bytes r } in
+      offset := !offset + s.slot_bytes;
+      s
+    in
+    let slots = List.map alloc reqs in
+    if !offset > capacity then
+      Error
+        (Printf.sprintf "Spm.plan: %d bytes requested, %d available" !offset capacity)
+    else Ok { slots; used_bytes = !offset; capacity }
+  end
+
+let find_slot p name = List.find_opt (fun s -> String.equal s.slot_name name) p.slots

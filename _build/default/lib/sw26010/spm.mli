@@ -1,0 +1,38 @@
+(** Per-CPE scratch-pad memory (SPM) allocation planning.
+
+    The SPM is a user-controlled 64 KB fast memory: every byte a schedule
+    wants resident must be placed explicitly. The planner assigns
+    non-overlapping offsets to named buffers (mirroring the coalesced-region
+    allocation performed by the paper's code generator) and reports capacity
+    violations, which is the dominant validity constraint when enumerating
+    schedule spaces. *)
+
+type request = {
+  name : string;
+  bytes : int;  (** per-CPE footprint *)
+  double_buffered : bool;
+      (** doubles the footprint; set by the prefetching optimization *)
+}
+
+type slot = { slot_name : string; offset : int; slot_bytes : int }
+
+type plan = private {
+  slots : slot list;
+  used_bytes : int;
+  capacity : int;
+}
+
+val request : ?double_buffered:bool -> name:string -> bytes:int -> unit -> request
+
+val footprint : request list -> int
+(** Total per-CPE bytes the requests occupy, including double buffering and
+    per-buffer alignment. *)
+
+val fits : ?capacity:int -> request list -> bool
+
+val plan : ?capacity:int -> request list -> (plan, string) result
+(** Lay the buffers out back-to-back (64-byte aligned, matching vector-load
+    alignment requirements). [Error] carries a human-readable diagnosis when
+    the capacity is exceeded or names collide. *)
+
+val find_slot : plan -> string -> slot option

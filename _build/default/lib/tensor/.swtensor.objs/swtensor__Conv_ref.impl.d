@@ -1,0 +1,1 @@
+lib/tensor/conv_ref.ml: Conv_spec Shape Tensor

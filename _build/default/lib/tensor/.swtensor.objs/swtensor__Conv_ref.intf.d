@@ -1,0 +1,1 @@
+lib/tensor/conv_ref.mli: Conv_spec Tensor

@@ -1,0 +1,1 @@
+lib/tensor/conv_spec.mli: Shape

@@ -1,0 +1,1 @@
+lib/tensor/gemm_ref.ml: Array Shape Tensor

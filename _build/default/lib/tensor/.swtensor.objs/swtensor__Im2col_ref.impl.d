@@ -1,0 +1,1 @@
+lib/tensor/im2col_ref.ml: Conv_spec Gemm_ref Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/im2col_ref.mli: Conv_spec Tensor

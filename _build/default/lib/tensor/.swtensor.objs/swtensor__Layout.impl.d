@@ -1,0 +1,1 @@
+lib/tensor/layout.ml: Array List Prelude Shape String

@@ -1,0 +1,1 @@
+lib/tensor/winograd_ref.ml: Array Conv_spec Gemm_ref Prelude Shape Tensor

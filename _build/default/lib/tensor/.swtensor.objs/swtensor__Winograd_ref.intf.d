@@ -1,0 +1,1 @@
+lib/tensor/winograd_ref.mli: Conv_spec Tensor

@@ -1,0 +1,31 @@
+let forward spec ~input ~weight =
+  if not (Shape.equal (Tensor.shape input) (Conv_spec.input_shape spec)) then
+    invalid_arg "Conv_ref.forward: input shape mismatch";
+  if not (Shape.equal (Tensor.shape weight) (Conv_spec.weight_shape spec)) then
+    invalid_arg "Conv_ref.forward: weight shape mismatch";
+  let { Conv_spec.b; ni; no; ro; co; kr; kc; stride; pad } = spec in
+  let ri = Conv_spec.ri spec and ci = Conv_spec.ci spec in
+  let output = Tensor.create (Conv_spec.output_shape spec) in
+  for cb = 0 to b - 1 do
+    for cno = 0 to no - 1 do
+      for cro = 0 to ro - 1 do
+        for cco = 0 to co - 1 do
+          let acc = ref 0.0 in
+          for cni = 0 to ni - 1 do
+            for ckr = 0 to kr - 1 do
+              for ckc = 0 to kc - 1 do
+                let r = (cro * stride) + ckr - pad and c = (cco * stride) + ckc - pad in
+                if r >= 0 && r < ri && c >= 0 && c < ci then
+                  acc :=
+                    !acc
+                    +. Tensor.get input [| cb; cni; r; c |]
+                       *. Tensor.get weight [| cno; cni; ckr; ckc |]
+              done
+            done
+          done;
+          Tensor.set output [| cb; cno; cro; cco |] !acc
+        done
+      done
+    done
+  done;
+  output

@@ -1,0 +1,7 @@
+(** Reference direct convolution (Alg. 1 of the paper): the 7-deep MAC loop
+    nest, supporting stride and zero padding. Numeric oracle for all three
+    tensorized convolution algorithms. *)
+
+val forward : Conv_spec.t -> input:Tensor.t -> weight:Tensor.t -> Tensor.t
+(** [input] has shape [(b, ni, ri, ci)], [weight] [(no, ni, kr, kc)]; the
+    result has shape [(b, no, ro, co)]. *)

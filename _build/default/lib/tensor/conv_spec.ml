@@ -1,0 +1,37 @@
+type t = {
+  b : int;
+  ni : int;
+  no : int;
+  ro : int;
+  co : int;
+  kr : int;
+  kc : int;
+  stride : int;
+  pad : int;
+}
+
+let create ?(stride = 1) ?(pad = 0) ~b ~ni ~no ~ro ~co ~kr ~kc () =
+  let positive = [ b; ni; no; ro; co; kr; kc; stride ] in
+  if List.exists (fun d -> d <= 0) positive || pad < 0 then
+    invalid_arg "Conv_spec.create: non-positive dimension";
+  let spec = { b; ni; no; ro; co; kr; kc; stride; pad } in
+  (* The derived input extent must be positive once padding is removed. *)
+  if ((spec.ro - 1) * stride) + kr - (2 * pad) <= 0 then
+    invalid_arg "Conv_spec.create: padding exceeds input extent";
+  if ((spec.co - 1) * stride) + kc - (2 * pad) <= 0 then
+    invalid_arg "Conv_spec.create: padding exceeds input extent";
+  spec
+
+let ri t = ((t.ro - 1) * t.stride) + t.kr - (2 * t.pad)
+let ci t = ((t.co - 1) * t.stride) + t.kc - (2 * t.pad)
+let input_shape t = Shape.of_list [ t.b; t.ni; ri t; ci t ]
+let weight_shape t = Shape.of_list [ t.no; t.ni; t.kr; t.kc ]
+let output_shape t = Shape.of_list [ t.b; t.no; t.ro; t.co ]
+
+let flops t =
+  2.0 *. float_of_int t.b *. float_of_int t.no *. float_of_int t.ro *. float_of_int t.co
+  *. float_of_int t.ni *. float_of_int t.kr *. float_of_int t.kc
+
+let to_string t =
+  Printf.sprintf "conv(b=%d ni=%d no=%d ro=%d co=%d k=%dx%d s=%d p=%d)" t.b t.ni t.no t.ro t.co
+    t.kr t.kc t.stride t.pad

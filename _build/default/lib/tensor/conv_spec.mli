@@ -1,0 +1,39 @@
+(** Convolution problem description shared by reference implementations,
+    tensorized operators and workload tables.
+
+    Axis naming follows the paper: batch [b], input channels [ni], output
+    channels [no], output rows/cols [ro]/[co], kernel rows/cols [kr]/[kc].
+    Input extents are derived: [ri = (ro-1)*stride + kr - 2*pad]. *)
+
+type t = private {
+  b : int;
+  ni : int;
+  no : int;
+  ro : int;
+  co : int;
+  kr : int;
+  kc : int;
+  stride : int;
+  pad : int;
+}
+
+val create :
+  ?stride:int -> ?pad:int -> b:int -> ni:int -> no:int -> ro:int -> co:int -> kr:int -> kc:int -> unit -> t
+
+val ri : t -> int
+val ci : t -> int
+
+val input_shape : t -> Shape.t
+(** Logical [(b, ni, ri, ci)]. *)
+
+val weight_shape : t -> Shape.t
+(** Logical [(no, ni, kr, kc)]. *)
+
+val output_shape : t -> Shape.t
+(** Logical [(b, no, ro, co)]. *)
+
+val flops : t -> float
+(** Multiply-add FLOPs of a direct convolution (2 per MAC) — the paper's
+    denominator for all efficiency numbers, including Winograd's. *)
+
+val to_string : t -> string

@@ -1,0 +1,22 @@
+let gemm ?(alpha = 1.0) ?(beta = 1.0) ~m ~n ~k ~a ~lda ~b ~ldb ~c ~ldc () =
+  if m < 0 || n < 0 || k < 0 then invalid_arg "Gemm_ref.gemm: negative dimension";
+  if lda < k || ldb < n || ldc < n then invalid_arg "Gemm_ref.gemm: leading dimension too small";
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc := !acc +. (a.((i * lda) + p) *. b.((p * ldb) + j))
+      done;
+      let idx = (i * ldc) + j in
+      c.(idx) <- (alpha *. !acc) +. (beta *. c.(idx))
+    done
+  done
+
+let matmul x y =
+  match (Tensor.shape x, Tensor.shape y) with
+  | [| m; k |], [| k'; n |] when k = k' ->
+    let out = Tensor.create (Shape.of_list [ m; n ]) in
+    gemm ~beta:0.0 ~m ~n ~k ~a:(Tensor.data x) ~lda:k ~b:(Tensor.data y) ~ldb:n
+      ~c:(Tensor.data out) ~ldc:n ();
+    out
+  | _ -> invalid_arg "Gemm_ref.matmul: incompatible shapes"

@@ -1,0 +1,22 @@
+(** Reference matrix multiplication — the numeric oracle for every GEMM
+    primitive and tensorized operator in the repository. *)
+
+val gemm :
+  ?alpha:float ->
+  ?beta:float ->
+  m:int ->
+  n:int ->
+  k:int ->
+  a:float array ->
+  lda:int ->
+  b:float array ->
+  ldb:int ->
+  c:float array ->
+  ldc:int ->
+  unit ->
+  unit
+(** [C <- alpha * A * B + beta * C] on row-major buffers: [A] is m-by-k with
+    leading dimension [lda], [B] k-by-n with [ldb], [C] m-by-n with [ldc]. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** Tensor-level product of a (m, k) and a (k, n) tensor. *)

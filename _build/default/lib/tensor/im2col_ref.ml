@@ -1,0 +1,49 @@
+let expand spec ~input =
+  let { Conv_spec.b; ni; ro; co; kr; kc; stride; pad; _ } = spec in
+  let ri = Conv_spec.ri spec and ci = Conv_spec.ci spec in
+  let rows = ni * kr * kc and cols = b * ro * co in
+  let out = Tensor.create (Shape.of_list [ rows; cols ]) in
+  for cb = 0 to b - 1 do
+    for cro = 0 to ro - 1 do
+      for cco = 0 to co - 1 do
+        let col = (((cb * ro) + cro) * co) + cco in
+        for cni = 0 to ni - 1 do
+          for ckr = 0 to kr - 1 do
+            for ckc = 0 to kc - 1 do
+              let row = (((cni * kr) + ckr) * kc) + ckc in
+              let r = (cro * stride) + ckr - pad and c = (cco * stride) + ckc - pad in
+              let v =
+                if r >= 0 && r < ri && c >= 0 && c < ci then Tensor.get input [| cb; cni; r; c |]
+                else 0.0
+              in
+              Tensor.set out [| row; col |] v
+            done
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let weight_matrix spec ~weight =
+  let { Conv_spec.no; ni; kr; kc; _ } = spec in
+  Tensor.of_array (Shape.of_list [ no; ni * kr * kc ]) (Tensor.data weight)
+
+let forward spec ~input ~weight =
+  let columns = expand spec ~input in
+  let w = weight_matrix spec ~weight in
+  let product = Gemm_ref.matmul w columns in
+  (* product is (no, b*ro*co); transpose the batch axis out to (b, no, ro, co). *)
+  let { Conv_spec.b; no; ro; co; _ } = spec in
+  let out = Tensor.create (Conv_spec.output_shape spec) in
+  for cb = 0 to b - 1 do
+    for cno = 0 to no - 1 do
+      for cro = 0 to ro - 1 do
+        for cco = 0 to co - 1 do
+          let col = (((cb * ro) + cro) * co) + cco in
+          Tensor.set out [| cb; cno; cro; cco |] (Tensor.get product [| cno; col |])
+        done
+      done
+    done
+  done;
+  out

@@ -1,0 +1,13 @@
+(** Reference explicit-GEMM convolution: the im2col expansion plus one matrix
+    multiplication (Fig. 2, left). *)
+
+val expand : Conv_spec.t -> input:Tensor.t -> Tensor.t
+(** Column matrix of shape [(ni*kr*kc, b*ro*co)]: column [(cb*ro + cro)*co +
+    cco] holds the receptive field of output pixel [(cb, cro, cco)], rows
+    ordered [(cni, ckr, ckc)]. Out-of-range (padded) positions are zero. *)
+
+val weight_matrix : Conv_spec.t -> weight:Tensor.t -> Tensor.t
+(** Weight reshaped to [(no, ni*kr*kc)]. *)
+
+val forward : Conv_spec.t -> input:Tensor.t -> weight:Tensor.t -> Tensor.t
+(** Convolution by [weight_matrix * expand], reshaped to [(b, no, ro, co)]. *)

@@ -1,0 +1,57 @@
+type t = { perm : int array }
+
+let is_permutation p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    p
+
+let create ~perm =
+  if not (is_permutation perm) then invalid_arg "Layout.create: not a permutation";
+  { perm = Array.copy perm }
+
+let identity n = { perm = Array.init n (fun i -> i) }
+let rank t = Array.length t.perm
+let perm t = Array.copy t.perm
+
+let physical_shape t shape =
+  if Array.length shape <> rank t then invalid_arg "Layout.physical_shape: rank mismatch";
+  Array.map (fun axis -> shape.(axis)) t.perm
+
+let strides t shape =
+  let phys = physical_shape t shape in
+  let phys_strides = Shape.strides phys in
+  let logical = Array.make (rank t) 0 in
+  Array.iteri (fun pos axis -> logical.(axis) <- phys_strides.(pos)) t.perm;
+  logical
+
+let offset t shape idx =
+  let st = strides t shape in
+  if Array.length idx <> Array.length st then invalid_arg "Layout.offset: rank mismatch";
+  let acc = ref 0 in
+  for i = 0 to Array.length idx - 1 do
+    if idx.(i) < 0 || idx.(i) >= shape.(i) then invalid_arg "Layout.offset: out of bounds";
+    acc := !acc + (idx.(i) * st.(i))
+  done;
+  !acc
+
+let innermost_axis t = t.perm.(rank t - 1)
+
+let axis_position t axis =
+  let rec find pos = if t.perm.(pos) = axis then pos else find (pos + 1) in
+  find 0
+
+let to_string ~axis_names t =
+  String.concat "" (Array.to_list (Array.map (fun axis -> axis_names.(axis)) t.perm))
+
+let equal a b = a.perm = b.perm
+
+let all n =
+  let axes = Prelude.Lists.range 0 n in
+  List.map (fun p -> { perm = Array.of_list p }) (Prelude.Lists.permutations axes)

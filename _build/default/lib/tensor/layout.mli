@@ -1,0 +1,38 @@
+(** Data-layout descriptors: a layout is a permutation of a tensor's logical
+    axes giving their order in memory, outermost first.
+
+    Layout is a first-class schedule decision in swATOP (Sec. 4.3.2): it
+    determines the contiguous-block size and stride of every DMA transfer and
+    the leading dimension handed to GEMM primitives. *)
+
+type t
+
+val create : perm:int array -> t
+(** [perm.(k)] is the logical axis stored at memory position [k] (position 0
+    outermost). Must be a permutation of [0 .. rank-1]. *)
+
+val identity : int -> t
+val rank : t -> int
+val perm : t -> int array
+
+val physical_shape : t -> Shape.t -> Shape.t
+(** Extents reordered into memory order. *)
+
+val strides : t -> Shape.t -> int array
+(** Stride (in elements) of each *logical* axis under this layout. *)
+
+val offset : t -> Shape.t -> int array -> int
+(** Linear element offset of a logical multi-index. *)
+
+val innermost_axis : t -> int
+(** The logical axis that is contiguous in memory. *)
+
+val axis_position : t -> int -> int
+(** Memory position of a logical axis (0 = outermost). *)
+
+val to_string : axis_names:string array -> t -> string
+(** e.g. [to_string ~axis_names:[|"N";"C";"H";"W"|]] prints ["CHWN"]. *)
+
+val equal : t -> t -> bool
+val all : int -> t list
+(** Every layout of the given rank. Intended for small ranks. *)

@@ -1,0 +1,41 @@
+type t = int array
+
+let of_list l =
+  let s = Array.of_list l in
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Shape.of_list: non-positive extent") s;
+  s
+
+let numel s = Array.fold_left ( * ) 1 s
+let rank = Array.length
+
+let strides s =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let linear_index s idx =
+  if Array.length idx <> Array.length s then invalid_arg "Shape.linear_index: rank mismatch";
+  let st = strides s in
+  let acc = ref 0 in
+  for i = 0 to Array.length s - 1 do
+    if idx.(i) < 0 || idx.(i) >= s.(i) then invalid_arg "Shape.linear_index: out of bounds";
+    acc := !acc + (idx.(i) * st.(i))
+  done;
+  !acc
+
+let unflatten s lin =
+  if lin < 0 || lin >= numel s then invalid_arg "Shape.unflatten: out of bounds";
+  let st = strides s in
+  Array.mapi (fun i stride -> lin / stride mod s.(i)) st
+
+let equal a b = a = b
+let to_string s = "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let conv_output ~input ~kernel ~stride ~pad =
+  if stride <= 0 then invalid_arg "Shape.conv_output: stride";
+  let span = input + (2 * pad) - kernel in
+  if span < 0 then invalid_arg "Shape.conv_output: kernel larger than padded input";
+  (span / stride) + 1

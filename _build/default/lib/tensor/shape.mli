@@ -1,0 +1,24 @@
+(** Tensor shape arithmetic. A shape lists dimension extents outermost
+    first. *)
+
+type t = int array
+
+val of_list : int list -> t
+val numel : t -> int
+val rank : t -> int
+
+val strides : t -> int array
+(** Row-major strides: the innermost dimension has stride 1. *)
+
+val linear_index : t -> int array -> int
+(** Flatten a multi-index under row-major order; bounds-checked. *)
+
+val unflatten : t -> int -> int array
+(** Inverse of [linear_index]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val conv_output : input:int -> kernel:int -> stride:int -> pad:int -> int
+(** Output extent of a convolution along one axis:
+    [(input + 2*pad - kernel) / stride + 1]. *)

@@ -1,0 +1,68 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape = { shape = Array.copy shape; data = Array.make (Shape.numel shape) 0.0 }
+
+let of_fn shape f =
+  let t = create shape in
+  let n = Shape.numel shape in
+  for lin = 0 to n - 1 do
+    t.data.(lin) <- f (Shape.unflatten shape lin)
+  done;
+  t
+
+let of_array shape data =
+  if Array.length data <> Shape.numel shape then invalid_arg "Tensor.of_array: size mismatch";
+  { shape = Array.copy shape; data = Array.copy data }
+
+let random ?(seed = 42) shape =
+  let state = Random.State.make [| seed; Shape.numel shape |] in
+  let t = create shape in
+  for lin = 0 to Array.length t.data - 1 do
+    t.data.(lin) <- Random.State.float state 2.0 -. 1.0
+  done;
+  t
+
+let shape t = Array.copy t.shape
+let numel t = Array.length t.data
+let get t idx = t.data.(Shape.linear_index t.shape idx)
+let set t idx v = t.data.(Shape.linear_index t.shape idx) <- v
+let get_lin t lin = t.data.(lin)
+let set_lin t lin v = t.data.(lin) <- v
+let data t = t.data
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.map2: shape mismatch";
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.max_abs_diff: shape mismatch";
+  let worst = ref 0.0 in
+  for i = 0 to Array.length a.data - 1 do
+    worst := Float.max !worst (Float.abs (a.data.(i) -. b.data.(i)))
+  done;
+  !worst
+
+let approx_equal ?(tol = 1e-4) a b =
+  let magnitude = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 1.0 a.data in
+  max_abs_diff a b <= (tol *. magnitude)
+
+let relayout ~src_layout ~dst_layout t =
+  let out = create t.shape in
+  let n = numel t in
+  for logical = 0 to n - 1 do
+    let idx = Shape.unflatten t.shape logical in
+    let src = Layout.offset src_layout t.shape idx in
+    let dst = Layout.offset dst_layout t.shape idx in
+    out.data.(dst) <- t.data.(src)
+  done;
+  out
+
+let pp fmt t =
+  Format.fprintf fmt "tensor%s" (Shape.to_string t.shape);
+  if numel t <= 16 then begin
+    Format.fprintf fmt " [";
+    Array.iteri (fun i v -> Format.fprintf fmt "%s%.4g" (if i = 0 then "" else "; ") v) t.data;
+    Format.fprintf fmt "]"
+  end

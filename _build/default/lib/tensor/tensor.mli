@@ -1,0 +1,44 @@
+(** Dense single-precision-semantics tensors stored row-major.
+
+    Values are held as OCaml floats; the simulator's numeric fidelity target
+    is algorithmic equivalence, not bit-level float32 rounding, so all
+    comparisons in tests use relative tolerances. *)
+
+type t
+
+val create : Shape.t -> t
+(** Zero-filled. *)
+
+val of_fn : Shape.t -> (int array -> float) -> t
+val of_array : Shape.t -> float array -> t
+
+val random : ?seed:int -> Shape.t -> t
+(** Deterministic pseudo-random values in [-1, 1). *)
+
+val shape : t -> Shape.t
+val numel : t -> int
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val get_lin : t -> int -> float
+val set_lin : t -> int -> float -> unit
+
+val data : t -> float array
+(** The backing store (shared, not copied). *)
+
+val copy : t -> t
+val fill : t -> float -> unit
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val max_abs_diff : t -> t -> float
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Relative to the largest magnitude present; [tol] defaults to [1e-4]. *)
+
+val relayout : src_layout:Layout.t -> dst_layout:Layout.t -> t -> t
+(** Reorder the physical storage of a tensor whose logical shape stays
+    fixed. [src_layout]/[dst_layout] describe how the flat data maps to the
+    logical index space before and after. *)
+
+val pp : Format.formatter -> t -> unit

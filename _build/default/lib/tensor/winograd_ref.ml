@@ -1,0 +1,115 @@
+let tile_m = 2
+let tile_a = 4
+let num_products = tile_a * tile_a
+
+let applicable (spec : Conv_spec.t) = spec.stride = 1 && spec.kr = 3 && spec.kc = 3
+let tiles_along extent = Prelude.Ints.ceil_div extent tile_m
+
+(* Transform matrices of F(2x2, 3x3), row-major. *)
+let bt = [| 1.; 0.; -1.; 0.; 0.; 1.; 1.; 0.; 0.; -1.; 1.; 0.; 0.; 1.; 0.; -1. |] (* 4x4 *)
+let g = [| 1.; 0.; 0.; 0.5; 0.5; 0.5; 0.5; -0.5; 0.5; 0.; 0.; 1. |] (* 4x3 *)
+let at = [| 1.; 1.; 1.; 0.; 0.; 1.; -1.; -1. |] (* 2x4 *)
+
+(* out(m,n) = x(m,k) * y(k,n), all row-major flat arrays. *)
+let matmul ~m ~n ~k x y =
+  let out = Array.make (m * n) 0.0 in
+  Gemm_ref.gemm ~beta:0.0 ~m ~n ~k ~a:x ~lda:k ~b:y ~ldb:n ~c:out ~ldc:n ();
+  out
+
+let transpose ~rows ~cols x = Array.init (rows * cols) (fun i -> x.((i mod rows * cols) + (i / rows)))
+
+let transform_input_tile d =
+  if Array.length d <> 16 then invalid_arg "Winograd_ref.transform_input_tile: need 4x4";
+  let btd = matmul ~m:4 ~n:4 ~k:4 bt d in
+  matmul ~m:4 ~n:4 ~k:4 btd (transpose ~rows:4 ~cols:4 bt)
+
+let transform_filter w =
+  if Array.length w <> 9 then invalid_arg "Winograd_ref.transform_filter: need 3x3";
+  let gw = matmul ~m:4 ~n:3 ~k:3 g w in
+  matmul ~m:4 ~n:4 ~k:3 gw (transpose ~rows:4 ~cols:3 g)
+
+let transform_output_tile m =
+  if Array.length m <> 16 then invalid_arg "Winograd_ref.transform_output_tile: need 4x4";
+  let atm = matmul ~m:2 ~n:4 ~k:4 at m in
+  matmul ~m:2 ~n:2 ~k:4 atm (transpose ~rows:2 ~cols:4 at)
+
+let gather_tile spec ~input ~cb ~cni ~row0 ~col0 =
+  let ri = Conv_spec.ri spec and ci = Conv_spec.ci spec in
+  let tile = Array.make (tile_a * tile_a) 0.0 in
+  for r = 0 to tile_a - 1 do
+    for c = 0 to tile_a - 1 do
+      let ir = row0 + r and ic = col0 + c in
+      if ir >= 0 && ir < ri && ic >= 0 && ic < ci then
+        tile.((r * tile_a) + c) <- Tensor.get input [| cb; cni; ir; ic |]
+    done
+  done;
+  tile
+
+let input_matrix (spec : Conv_spec.t) ~input =
+  if not (applicable spec) then invalid_arg "Winograd_ref.input_matrix: inapplicable spec";
+  let tr = tiles_along spec.ro and tc = tiles_along spec.co in
+  let cols = spec.b * tr * tc in
+  let v = Tensor.create (Shape.of_list [ num_products; spec.ni; cols ]) in
+  for cb = 0 to spec.b - 1 do
+    for ct_r = 0 to tr - 1 do
+      for ct_c = 0 to tc - 1 do
+        let col = (((cb * tr) + ct_r) * tc) + ct_c in
+        let row0 = (ct_r * tile_m) - spec.pad and col0 = (ct_c * tile_m) - spec.pad in
+        for cni = 0 to spec.ni - 1 do
+          let tile = gather_tile spec ~input ~cb ~cni ~row0 ~col0 in
+          let t = transform_input_tile tile in
+          for xi = 0 to num_products - 1 do
+            Tensor.set v [| xi; cni; col |] t.(xi)
+          done
+        done
+      done
+    done
+  done;
+  v
+
+let filter_matrix (spec : Conv_spec.t) ~weight =
+  if not (applicable spec) then invalid_arg "Winograd_ref.filter_matrix: inapplicable spec";
+  let u = Tensor.create (Shape.of_list [ num_products; spec.no; spec.ni ]) in
+  for cno = 0 to spec.no - 1 do
+    for cni = 0 to spec.ni - 1 do
+      let w = Array.init 9 (fun i -> Tensor.get weight [| cno; cni; i / 3; i mod 3 |]) in
+      let t = transform_filter w in
+      for xi = 0 to num_products - 1 do
+        Tensor.set u [| xi; cno; cni |] t.(xi)
+      done
+    done
+  done;
+  u
+
+let forward (spec : Conv_spec.t) ~input ~weight =
+  if not (applicable spec) then invalid_arg "Winograd_ref.forward: inapplicable spec";
+  let v = input_matrix spec ~input and u = filter_matrix spec ~weight in
+  let tr = tiles_along spec.ro and tc = tiles_along spec.co in
+  let cols = spec.b * tr * tc in
+  (* 16 batched GEMMs: M[xi] = U[xi] (no x ni)  *  V[xi] (ni x cols). *)
+  let products =
+    Array.init num_products (fun xi ->
+        let a = Array.init (spec.no * spec.ni) (fun i -> Tensor.get u [| xi; i / spec.ni; i mod spec.ni |]) in
+        let b = Array.init (spec.ni * cols) (fun i -> Tensor.get v [| xi; i / cols; i mod cols |]) in
+        matmul ~m:spec.no ~n:cols ~k:spec.ni a b)
+  in
+  let out = Tensor.create (Conv_spec.output_shape spec) in
+  for cb = 0 to spec.b - 1 do
+    for ct_r = 0 to tr - 1 do
+      for ct_c = 0 to tc - 1 do
+        let col = (((cb * tr) + ct_r) * tc) + ct_c in
+        for cno = 0 to spec.no - 1 do
+          let m = Array.init num_products (fun xi -> products.(xi).((cno * cols) + col)) in
+          let y = transform_output_tile m in
+          for r = 0 to tile_m - 1 do
+            for c = 0 to tile_m - 1 do
+              let oro = (ct_r * tile_m) + r and oco = (ct_c * tile_m) + c in
+              if oro < spec.ro && oco < spec.co then
+                Tensor.set out [| cb; cno; oro; oco |] y.((r * tile_m) + c)
+            done
+          done
+        done
+      done
+    done
+  done;
+  out

@@ -1,0 +1,41 @@
+(** Reference Winograd convolution F(2x2, 3x3) (Lavin & Gray), the minimal
+    filtering algorithm used by the paper's Winograd CONV (Fig. 2, middle):
+    4x4 input tiles, 3x3 filters, 2x2 output tiles, and 16 element-wise
+    products that batch into 16 GEMMs of shape [no x ni x (b*tiles)].
+
+    Requires [stride = 1] and [kr = kc = 3]; padding is supported through
+    zero-extension during the tile gather. *)
+
+val tile_m : int
+(** Output tile extent (2). *)
+
+val tile_a : int
+(** Input tile extent (4); [tile_a = tile_m + 3 - 1]. *)
+
+val num_products : int
+(** [tile_a * tile_a = 16] element-wise GEMMs. *)
+
+val applicable : Conv_spec.t -> bool
+
+val tiles_along : int -> int
+(** Number of output tiles covering an extent. *)
+
+val transform_input_tile : float array -> float array
+(** [B^T d B] for a row-major 4x4 tile; returns a fresh 16-element array. *)
+
+val transform_filter : float array -> float array
+(** [G g G^T] for a row-major 3x3 filter; returns a 16-element array. *)
+
+val transform_output_tile : float array -> float array
+(** [A^T m A] for a row-major 4x4 product tile; returns a 4-element (2x2)
+    array. *)
+
+val input_matrix : Conv_spec.t -> input:Tensor.t -> Tensor.t
+(** Shape [(16, ni, b*tiles)]: V in Lavin-Gray notation. *)
+
+val filter_matrix : Conv_spec.t -> weight:Tensor.t -> Tensor.t
+(** Shape [(16, no, ni)]: U in Lavin-Gray notation. *)
+
+val forward : Conv_spec.t -> input:Tensor.t -> weight:Tensor.t -> Tensor.t
+(** Full Winograd convolution; matches [Conv_ref.forward] on applicable
+    specs. *)

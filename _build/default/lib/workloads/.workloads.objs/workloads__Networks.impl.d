@@ -1,0 +1,1 @@
+lib/workloads/networks.ml: List String Swtensor

@@ -1,0 +1,1 @@
+lib/workloads/sweeps.ml: List Prelude Swtensor

@@ -1,0 +1,1 @@
+lib/workloads/sweeps.mli: Swtensor

@@ -1,0 +1,72 @@
+type layer = { l_name : string; ni : int; no : int; out : int; k : int; repeat : int }
+type network = { net_name : string; layers : layer list }
+
+let layer ?(repeat = 1) ?(k = 3) l_name ni no out = { l_name; ni; no; out; k; repeat }
+
+let vgg16 =
+  {
+    net_name = "VGG16";
+    layers =
+      [
+        layer "conv1_1" 3 64 224;
+        layer "conv1_2" 64 64 224;
+        layer "conv2_1" 64 128 112;
+        layer "conv2_2" 128 128 112;
+        layer "conv3_1" 128 256 56;
+        layer "conv3_2" 256 256 56 ~repeat:2;
+        layer "conv4_1" 256 512 28;
+        layer "conv4_2" 512 512 28 ~repeat:2;
+        layer "conv5_x" 512 512 14 ~repeat:3;
+      ];
+  }
+
+let resnet18 =
+  {
+    net_name = "ResNet";
+    layers =
+      [
+        layer "conv1" 3 64 112 ~k:7;
+        layer "conv2_x" 64 64 56 ~repeat:4;
+        layer "conv3_1" 64 128 28;
+        layer "conv3_x" 128 128 28 ~repeat:3;
+        layer "conv4_1" 128 256 14;
+        layer "conv4_x" 256 256 14 ~repeat:3;
+        layer "conv5_1" 256 512 7;
+        layer "conv5_x" 512 512 7 ~repeat:3;
+      ];
+  }
+
+let yolov2 =
+  {
+    net_name = "Yolo";
+    layers =
+      [
+        layer "conv1" 3 32 208;
+        layer "conv2" 32 64 104;
+        layer "conv3" 64 128 52;
+        layer "conv4" 128 64 52 ~k:1;
+        layer "conv5" 64 128 52;
+        layer "conv6" 128 256 26;
+        layer "conv7" 256 128 26 ~k:1;
+        layer "conv8" 128 256 26;
+        layer "conv9" 256 512 13;
+        layer "conv10" 512 256 13 ~k:1;
+        layer "conv11" 256 512 13;
+        layer "conv12" 512 1024 13 ~repeat:2;
+      ];
+  }
+
+let all = [ vgg16; resnet18; yolov2 ]
+
+let conv_spec ~batch l =
+  Swtensor.Conv_spec.create ~b:batch ~ni:l.ni ~no:l.no ~ro:l.out ~co:l.out ~kr:l.k ~kc:l.k ()
+
+let not_first net l =
+  match net.layers with [] -> true | first :: _ -> not (String.equal first.l_name l.l_name)
+
+let implicit_layers net = List.filter (fun l -> not_first net l && l.ni >= 16) net.layers
+
+let winograd_layers net =
+  List.filter (fun l -> l.k = 3 && l.out mod 2 = 0 && l.ni >= 16) net.layers
+
+let explicit_layers net = List.filter (fun l -> not_first net l && l.ni >= 16) net.layers

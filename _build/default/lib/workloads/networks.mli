@@ -1,0 +1,41 @@
+(** Convolution-layer tables of the three CNNs evaluated in Sec. 5.1 —
+    VGG16, a ResNet, and YOLO — and their mapping to benchmark problems.
+
+    Layers are recorded by output geometry and channel counts; square
+    spatial extents and square kernels throughout. Stride-2 layers are
+    represented by equivalent stride-1 problems at their output resolution:
+    the implicit/Winograd/explicit GEMM dimensions depend only on output
+    pixels and channels, so the compute structure — which is what the
+    schedules tune — is preserved exactly; only the input halo volume
+    differs. The padded 3x3 layers' padding is likewise folded into the
+    effective input extent. Both substitutions are documented in
+    DESIGN.md. *)
+
+type layer = {
+  l_name : string;
+  ni : int;  (** input channels *)
+  no : int;  (** output channels *)
+  out : int;  (** output rows = cols *)
+  k : int;  (** kernel rows = cols *)
+  repeat : int;  (** number of identical layers in the network *)
+}
+
+type network = { net_name : string; layers : layer list }
+
+val vgg16 : network
+val resnet18 : network
+val yolov2 : network
+val all : network list
+
+val conv_spec : batch:int -> layer -> Swtensor.Conv_spec.t
+(** The stride-1, pad-0 problem for a layer at a given batch size. *)
+
+val implicit_layers : network -> layer list
+(** Layers the implicit algorithm is benchmarked on: the paper excludes
+    each network's first layer (input channels too small). *)
+
+val winograd_layers : network -> layer list
+(** 3x3 layers with even output extents and at least 16 input channels. *)
+
+val explicit_layers : network -> layer list
+(** Same exclusion rule as [implicit_layers]. *)

@@ -1,0 +1,26 @@
+let channels = [ 64; 128; 256; 384; 512 ]
+let outputs = [ 32; 64; 128 ]
+
+let listing1 ~batch =
+  List.concat_map
+    (fun ni ->
+      List.concat_map
+        (fun no ->
+          List.map
+            (fun ro ->
+              Swtensor.Conv_spec.create ~b:batch ~ni ~no ~ro ~co:ro ~kr:3 ~kc:3 ())
+            outputs)
+        channels)
+    channels
+
+let listing1_batches = [ 1; 32; 128 ]
+
+let listing2_aligned =
+  let dims = [ 256; 512; 768; 1024; 2048; 4096; 8192 ] in
+  Prelude.Lists.cartesian3 dims dims dims
+
+let listing2_unaligned =
+  let dims = [ 200; 500; 1000; 2000; 4000; 8000 ] in
+  Prelude.Lists.cartesian3 dims dims dims
+
+let listing2 = listing2_aligned @ listing2_unaligned

@@ -1,0 +1,24 @@
+(** The synthetic parameter sweeps of Sec. 5.1 (Listings 1 and 2).
+
+    Listing 1 (convolution versatility): the paper's script draws
+    [Ni, No] from [{64, 128, 256, 384, 512}] and a square output extent
+    [Ro]; Table 1 reports 75 configurations per batch size. The script as
+    printed (Ni >= No, Ro in {32, 64, 128, 256}) yields 60, so we
+    reconstruct the 75 as all 25 channel pairs times [Ro in {32, 64, 128}]
+    — same ranges, same spirit, exactly 75 cases (noted in
+    EXPERIMENTS.md).
+
+    Listing 2 (matrix multiplication): 343 aligned shapes from
+    [{256, 512, 768, 1024, 2048, 4096, 8192}^3] and 216 unaligned shapes
+    from [{200, 500, 1000, 2000, 4000, 8000}^3] — 559 in total, verbatim
+    from the paper. *)
+
+val listing1 : batch:int -> Swtensor.Conv_spec.t list
+(** 75 conv configurations (3x3 kernels, stride 1). *)
+
+val listing1_batches : int list
+(** The three batch sizes of Table 1: [1; 32; 128]. *)
+
+val listing2_aligned : (int * int * int) list
+val listing2_unaligned : (int * int * int) list
+val listing2 : (int * int * int) list

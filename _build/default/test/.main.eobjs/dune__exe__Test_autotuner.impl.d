@@ -1,0 +1,1 @@
+test/test_autotuner.ml: Alcotest Conv_implicit Cost_model Float Gemm_cost Interp Ir Lazy List Matmul Prelude Primitives Printf Sw26010 Swatop Swatop_ops Swtensor Tuner

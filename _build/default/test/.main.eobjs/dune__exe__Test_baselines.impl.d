@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Conv_explicit Conv_implicit Conv_winograd List Matmul Op_common Option Printf Swatop Swatop_ops Swtensor Workloads

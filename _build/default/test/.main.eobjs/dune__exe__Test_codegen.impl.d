@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest C_emit Conv_explicit Conv_winograd Ir_print List Matmul Mem_plan Op_common Primitives String Sw26010 Swatop Swatop_ops Swtensor Tuner

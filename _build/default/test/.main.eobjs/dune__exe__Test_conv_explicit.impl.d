@@ -1,0 +1,1 @@
+test/test_conv_explicit.ml: Alcotest Conv_explicit List Op_common Primitives Swatop Swatop_ops Swtensor

@@ -1,0 +1,1 @@
+test/test_conv_implicit.ml: Alcotest Conv_implicit List Op_common Primitives Swatop Swatop_ops Swtensor

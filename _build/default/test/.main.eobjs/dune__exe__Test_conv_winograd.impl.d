@@ -1,0 +1,1 @@
+test/test_conv_winograd.ml: Alcotest Conv_winograd List Op_common Primitives Swatop Swatop_ops Swtensor

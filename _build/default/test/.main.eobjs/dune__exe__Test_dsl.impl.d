@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Dsl Ir List Scheduler Swatop

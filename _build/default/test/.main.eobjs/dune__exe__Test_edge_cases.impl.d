@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Baselines Conv_explicit Conv_implicit Conv_winograd Dispatch Lazy List Matmul Op_common Prelude Primitives Printf Swatop Swatop_ops Swtensor Workloads

@@ -1,0 +1,1 @@
+test/test_generated_c.ml: Alcotest C_emit Dispatch Filename Gemm_cost List Matmul Option Printf Swatop Swatop_ops Swtensor Sys Tuner

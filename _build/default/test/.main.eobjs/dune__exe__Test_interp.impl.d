@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Interp Ir Prelude Primitives Printf Sw26010 Swatop Tuner

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Dma_inference Format Hashtbl Ir Ir_check Ir_print List QCheck2 QCheck_alcotest Sw26010 Swatop

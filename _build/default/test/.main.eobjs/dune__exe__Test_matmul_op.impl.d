@@ -1,0 +1,1 @@
+test/test_matmul_op.ml: Alcotest List Matmul Op_common Primitives Printf Swatop Swatop_ops Swtensor

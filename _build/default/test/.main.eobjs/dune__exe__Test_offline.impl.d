@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Filename Lazy List Offline Printf String Swatop Swatop_ops Swtensor Sys Workloads

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Conv_implicit Dma_inference Interp Ir Ir_print List Matmul Op_common Prefetch Primitives QCheck2 QCheck_alcotest Swatop Swatop_ops Swtensor Tuner

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array List Prelude Primitives Printf QCheck2 QCheck_alcotest Random Swtensor

@@ -1,0 +1,1 @@
+test/test_sw26010.ml: Alcotest List Option Prelude QCheck2 QCheck_alcotest Sw26010

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Hashtbl List Prelude QCheck2 QCheck_alcotest Swtensor

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Dispatch Float Gemm_cost Interp Ir_analysis Lazy List Matmul Op_common Prelude Primitives String Swatop Swatop_ops Swtensor Trace Tuner

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "swatop"
+    [
+      ("prelude", Test_prelude.suite);
+      ("sw26010", Test_sw26010.suite);
+      ("tensor", Test_tensor.suite);
+      ("ir", Test_ir.suite);
+      ("dsl-scheduler", Test_dsl.suite);
+      ("interp", Test_interp.suite);
+      ("primitives", Test_primitives.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("autotuner", Test_autotuner.suite);
+      ("codegen", Test_codegen.suite);
+      ("generated-c", Test_generated_c.suite);
+      ("baselines", Test_baselines.suite);
+      ("tools", Test_tools.suite);
+      ("offline", Test_offline.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("matmul-op", Test_matmul_op.suite);
+      ("conv-implicit", Test_conv_implicit.suite);
+      ("conv-winograd", Test_conv_winograd.suite);
+      ("conv-explicit", Test_conv_explicit.suite);
+    ]

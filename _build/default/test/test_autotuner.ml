@@ -1,0 +1,141 @@
+(* The autotuner stack: Eq.-2 fitting quality, the static cost model's
+   agreement with simulated execution, and the two tuners' contracts. *)
+
+open Swatop
+open Swatop_ops
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let fit_suite =
+  [
+    Alcotest.test_case "fit error is small on the sample grid" `Quick (fun () ->
+        let model = Lazy.force gemm_model in
+        let errs = ref [] in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun (m, n, k) ->
+                let lda =
+                  match (v : Primitives.Spm_gemm.variant).a_major with
+                  | Primitives.Spm_gemm.Row_major -> k
+                  | Primitives.Spm_gemm.Col_major -> m
+                in
+                let ldb =
+                  match v.b_major with
+                  | Primitives.Spm_gemm.Row_major -> n
+                  | Primitives.Spm_gemm.Col_major -> k
+                in
+                let call = Primitives.Spm_gemm.call ~variant:v ~m ~n ~k ~lda ~ldb ~ldc:n in
+                errs := Float.abs (Gemm_cost.relative_error model call) :: !errs)
+              Gemm_cost.default_grid)
+          Primitives.Spm_gemm.all_variants;
+        let mean = Prelude.Floats.mean !errs in
+        (* The linear basis cannot follow the register-block staircase at
+           tiny shapes, but on average it must be a usable predictor. *)
+        Alcotest.(check bool) (Printf.sprintf "mean |err| %.3f < 0.15" mean) true (mean < 0.15));
+    Alcotest.test_case "fit is accurate on mid-size kernel calls" `Quick (fun () ->
+        let model = Lazy.force gemm_model in
+        List.iter
+          (fun (m, n, k) ->
+            let call =
+              Primitives.Spm_gemm.call
+                ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m }
+                ~m ~n ~k ~lda:k ~ldb:n ~ldc:n
+            in
+            let e = Float.abs (Gemm_cost.relative_error model call) in
+            if e > 0.2 then Alcotest.failf "error %.3f at %dx%dx%d" e m n k)
+          [ (128, 128, 64); (256, 256, 128); (64, 512, 128); (384, 128, 64) ]);
+    Alcotest.test_case "prediction is deterministic" `Quick (fun () ->
+        let a = Gemm_cost.fit () and b = Gemm_cost.fit () in
+        List.iter
+          (fun v ->
+            Alcotest.(check bool) "same coefficients" true
+              (Gemm_cost.coefficients a v = Gemm_cost.coefficients b v))
+          Primitives.Spm_gemm.all_variants);
+  ]
+
+(* Cost model vs simulated execution: the model is an approximation, but it
+   must stay within a factor that preserves rankings. *)
+let model_agreement_suite =
+  let check_program name p =
+    let p = Tuner.prepare p in
+    let est = Cost_model.estimate ~gemm_model:(Lazy.force gemm_model) p in
+    let r = Interp.run ~numeric:false p in
+    let ratio = est.Cost_model.total_seconds /. r.Interp.seconds in
+    if ratio < 0.5 || ratio > 2.0 then
+      Alcotest.failf "%s: model %.3g vs simulated %.3g (ratio %.2f)" name
+        est.Cost_model.total_seconds r.Interp.seconds ratio
+  in
+  [
+    Alcotest.test_case "within 2x on assorted matmuls" `Quick (fun () ->
+        List.iter
+          (fun (m, n, k) ->
+            let t = Matmul.problem ~m ~n ~k in
+            List.iteri
+              (fun i s -> check_program (Printf.sprintf "matmul %dx%dx%d #%d" m n k i) (Matmul.build t s))
+              (Prelude.Lists.take_every 40 (Matmul.space t)))
+          [ (256, 256, 256); (500, 200, 300) ]);
+    Alcotest.test_case "within 2x on an implicit conv space sample" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:4 ~ni:32 ~no:48 ~ro:14 ~co:14 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        List.iteri
+          (fun i s -> check_program (Printf.sprintf "conv #%d" i) (Conv_implicit.build t s))
+          (Prelude.Lists.take_every 30 (Conv_implicit.space t)));
+    Alcotest.test_case "overlap rule: total is max of parts plus latency" `Quick (fun () ->
+        let t = Matmul.problem ~m:128 ~n:128 ~k:128 in
+        let s = List.hd (Matmul.space t) in
+        let p = Tuner.prepare (Matmul.build t s) in
+        let e = Cost_model.estimate ~gemm_model:(Lazy.force gemm_model) p in
+        Alcotest.(check bool) "overlapped" true p.Ir.overlapped;
+        Alcotest.(check (float 1e-12)) "max rule"
+          (Float.max e.Cost_model.dma_seconds e.Cost_model.compute_seconds
+          +. Sw26010.Config.dma_latency_s)
+          e.Cost_model.total_seconds);
+  ]
+
+let tuner_suite =
+  [
+    Alcotest.test_case "black-box returns the measured minimum" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+        let space = Matmul.space t in
+        let o = Tuner.blackbox_tune ~candidates:space ~build:(Matmul.build t) () in
+        let all =
+          List.map (fun s -> (Interp.run ~numeric:false (Tuner.prepare (Matmul.build t s))).seconds) space
+        in
+        let true_min = List.fold_left Float.min infinity all in
+        Alcotest.(check bool) "min" true (Prelude.Floats.approx_equal o.best_seconds true_min));
+    Alcotest.test_case "top-k never worse than top-1" `Quick (fun () ->
+        let t = Matmul.problem ~m:200 ~n:120 ~k:80 in
+        let space = Matmul.space t in
+        let gm = Lazy.force gemm_model in
+        let one = Tuner.model_tune ~gemm_model:gm ~candidates:space ~build:(Matmul.build t) () in
+        let four = Tuner.model_tune ~top_k:4 ~gemm_model:gm ~candidates:space ~build:(Matmul.build t) () in
+        Alcotest.(check bool) "<=" true (four.best_seconds <= one.best_seconds +. 1e-12));
+    Alcotest.test_case "model pick close to brute-force best" `Quick (fun () ->
+        let t = Matmul.problem ~m:256 ~n:256 ~k:256 in
+        let space = Matmul.space t in
+        let gm = Lazy.force gemm_model in
+        let mt = Tuner.model_tune ~gemm_model:gm ~candidates:space ~build:(Matmul.build t) () in
+        let bb = Tuner.blackbox_tune ~candidates:space ~build:(Matmul.build t) () in
+        let ratio = bb.best_seconds /. mt.best_seconds in
+        Alcotest.(check bool) (Printf.sprintf "ratio %.3f > 0.8" ratio) true (ratio > 0.8));
+    Alcotest.test_case "sampled black-box extrapolates hardware time" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+        let space = Matmul.space t in
+        let full = Tuner.blackbox_tune ~candidates:space ~build:(Matmul.build t) () in
+        let sampled = Tuner.blackbox_tune ~sample_every:4 ~candidates:space ~build:(Matmul.build t) () in
+        Alcotest.(check bool) "fewer evaluated" true (sampled.report.evaluated < full.report.evaluated);
+        let ratio = sampled.report.hardware_seconds /. full.report.hardware_seconds in
+        Alcotest.(check bool) (Printf.sprintf "extrapolation ratio %.2f" ratio) true
+          (ratio > 0.7 && ratio < 1.4));
+    Alcotest.test_case "empty space rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:[]
+                  ~build:(fun _ -> assert false) ());
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite = fit_suite @ model_agreement_suite @ tuner_suite

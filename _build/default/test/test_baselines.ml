@@ -1,0 +1,140 @@
+(* The manual-baseline models: supported ranges, validity of the fixed
+   strategies, and the qualitative relationships the paper's comparisons
+   rest on. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let measure p = (Swatop.Interp.run ~numeric:false (Swatop.Tuner.prepare p)).Swatop.Interp.seconds
+
+let swdnn_suite =
+  [
+    Alcotest.test_case "no implementation below batch 32" `Quick (fun () ->
+        let spec = Spec.create ~b:1 ~ni:64 ~no:64 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+        Alcotest.(check bool) "unsupported" false (Baselines.Swdnn.supported spec);
+        Alcotest.(check bool) "no strategy" true (Baselines.Swdnn.strategy spec = None));
+    Alcotest.test_case "fixed strategy is buildable and runs" `Quick (fun () ->
+        let spec = Spec.create ~b:32 ~ni:128 ~no:128 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+        match Baselines.Swdnn.build (Conv_implicit.problem spec) with
+        | None -> Alcotest.fail "should be supported"
+        | Some p -> Alcotest.(check bool) "runs" true (measure p > 0.0));
+    Alcotest.test_case "computes the correct convolution" `Quick (fun () ->
+        let spec = Spec.create ~b:32 ~ni:16 ~no:8 ~ro:6 ~co:6 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        let s = Option.get (Baselines.Swdnn.strategy spec) in
+        let input = Swtensor.Tensor.random ~seed:1 (Spec.input_shape spec) in
+        let weight = Swtensor.Tensor.random ~seed:2 (Spec.weight_shape spec) in
+        let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+        let bindings = Conv_implicit.bindings_for t s ~input ~weight in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        let got = Conv_implicit.unpack_output t bindings in
+        let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+        Alcotest.(check bool) "correct" true (Swtensor.Tensor.approx_equal expected got));
+    Alcotest.test_case "autotuned schedule beats the fixed one" `Quick (fun () ->
+        let spec = Spec.create ~b:32 ~ni:256 ~no:256 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        let base = measure (Option.get (Baselines.Swdnn.build t)) in
+        let o =
+          Swatop.Tuner.model_tune ~top_k:4 ~gemm_model:(Swatop.Gemm_cost.fit ())
+            ~candidates:(Conv_implicit.space t) ~build:(Conv_implicit.build t) ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "swATOP %.3gms <= swDNN %.3gms" (o.best_seconds *. 1e3) (base *. 1e3))
+          true (o.best_seconds <= base));
+  ]
+
+let xmath_suite =
+  [
+    Alcotest.test_case "gemm strategy is aligned-switch on its home turf" `Quick (fun () ->
+        let t = Matmul.problem ~m:2048 ~n:2048 ~k:2048 in
+        let s = Baselines.Xmath.gemm_strategy t in
+        Alcotest.(check bool) "switch" true (s.Matmul.boundary = Op_common.Switch));
+    Alcotest.test_case "gemm strategy pads traditionally when unaligned" `Quick (fun () ->
+        let t = Matmul.problem ~m:2000 ~n:2000 ~k:2000 in
+        let s = Baselines.Xmath.gemm_strategy t in
+        Alcotest.(check bool) "pad-full" true (s.Matmul.boundary = Op_common.Pad_full));
+    Alcotest.test_case "gemm baseline computes the right product" `Quick (fun () ->
+        let t = Matmul.problem ~m:50 ~n:30 ~k:20 in
+        let s = Baselines.Xmath.gemm_strategy t in
+        let a = Swtensor.Tensor.random ~seed:1 (Swtensor.Shape.of_list [ 50; 20 ]) in
+        let b = Swtensor.Tensor.random ~seed:2 (Swtensor.Shape.of_list [ 20; 30 ]) in
+        let p = Swatop.Tuner.prepare (Matmul.build t s) in
+        let bindings = Matmul.bindings_for t s ~a ~b in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check bool) "correct" true
+          (Swtensor.Tensor.approx_equal (Matmul.reference ~a ~b) (Matmul.unpack_c t bindings)));
+    Alcotest.test_case "near-optimal on large aligned square GEMM" `Quick (fun () ->
+        let t = Matmul.problem ~m:2048 ~n:2048 ~k:2048 in
+        let base = measure (Baselines.Xmath.gemm_build t) in
+        let bb = Swatop.Tuner.blackbox_tune ~sample_every:4 ~candidates:(Matmul.space t)
+            ~build:(Matmul.build t) ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "within 15%% of best (%.3g vs %.3g)" base bb.best_seconds)
+          true
+          (base <= bb.best_seconds *. 1.15));
+    Alcotest.test_case "manual winograd and explicit build and run" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:8 ~no:8 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        Alcotest.(check bool) "wino" true
+          (measure (Baselines.Xmath.winograd_build (Conv_winograd.problem spec)) > 0.0);
+        Alcotest.(check bool) "explicit" true
+          (measure (Baselines.Xmath.explicit_build (Conv_explicit.problem spec)) > 0.0));
+    Alcotest.test_case "manual winograd is numerically correct" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:6 ~no:10 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        let t = Conv_winograd.problem spec in
+        let s = Baselines.Xmath.winograd_strategy t in
+        let input = Swtensor.Tensor.random ~seed:3 (Spec.input_shape spec) in
+        let weight = Swtensor.Tensor.random ~seed:4 (Spec.weight_shape spec) in
+        let p = Swatop.Tuner.prepare (Conv_winograd.build t s) in
+        let bindings = Conv_winograd.bindings_for t s ~input ~weight in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check bool) "correct" true
+          (Swtensor.Tensor.approx_equal ~tol:1e-3
+             (Swtensor.Conv_ref.forward spec ~input ~weight)
+             (Conv_winograd.unpack_output t bindings)));
+  ]
+
+let workloads_suite =
+  [
+    Alcotest.test_case "Listing 1 has exactly 75 configurations per batch" `Quick (fun () ->
+        List.iter
+          (fun b ->
+            Alcotest.(check int) "75" 75 (List.length (Workloads.Sweeps.listing1 ~batch:b)))
+          Workloads.Sweeps.listing1_batches);
+    Alcotest.test_case "Listing 2 has 343 aligned + 216 unaligned = 559" `Quick (fun () ->
+        Alcotest.(check int) "aligned" 343 (List.length Workloads.Sweeps.listing2_aligned);
+        Alcotest.(check int) "unaligned" 216 (List.length Workloads.Sweeps.listing2_unaligned);
+        Alcotest.(check int) "total" 559 (List.length Workloads.Sweeps.listing2));
+    Alcotest.test_case "network tables are well-formed" `Quick (fun () ->
+        List.iter
+          (fun net ->
+            Alcotest.(check bool)
+              (net.Workloads.Networks.net_name ^ " non-empty")
+              true
+              (List.length net.Workloads.Networks.layers > 5);
+            List.iter
+              (fun (l : Workloads.Networks.layer) ->
+                ignore (Workloads.Networks.conv_spec ~batch:1 l);
+                Alcotest.(check bool) "repeat >= 1" true (l.repeat >= 1))
+              net.Workloads.Networks.layers)
+          Workloads.Networks.all);
+    Alcotest.test_case "first layers excluded from implicit benchmarking" `Quick (fun () ->
+        List.iter
+          (fun net ->
+            let included = Workloads.Networks.implicit_layers net in
+            let first = List.hd net.Workloads.Networks.layers in
+            Alcotest.(check bool) "first excluded" false
+              (List.exists (fun (l : Workloads.Networks.layer) -> l.l_name = first.l_name) included))
+          Workloads.Networks.all);
+    Alcotest.test_case "winograd layers are 3x3 with even outputs" `Quick (fun () ->
+        List.iter
+          (fun net ->
+            List.iter
+              (fun (l : Workloads.Networks.layer) ->
+                Alcotest.(check int) "k" 3 l.k;
+                Alcotest.(check int) "even" 0 (l.out mod 2))
+              (Workloads.Networks.winograd_layers net))
+          Workloads.Networks.all);
+  ]
+
+let suite = swdnn_suite @ xmath_suite @ workloads_suite

@@ -1,0 +1,109 @@
+(* The code generator: structural expectations on the emitted C and the SPM
+   memory plan. *)
+
+open Swatop
+open Swatop_ops
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = if i + m > n then false else String.sub s i m = sub || loop (i + 1) in
+  m = 0 || loop 0
+
+let tuned_matmul () =
+  let t = Matmul.problem ~m:96 ~n:64 ~k:40 in
+  let s =
+    {
+      Matmul.fm = 32;
+      fn = 32;
+      fk = 8;
+      n_outer = false;
+      vec = Primitives.Spm_gemm.Vec_m;
+      boundary = Op_common.Switch;
+      prefetch = true;
+    }
+  in
+  Tuner.prepare (Matmul.build t s)
+
+let suite =
+  [
+    Alcotest.test_case "emits a complete kernel with runtime calls" `Quick (fun () ->
+        let src = C_emit.program_exn (tuned_matmul ()) in
+        List.iter
+          (fun needle ->
+            if not (contains src needle) then Alcotest.failf "missing %S in generated C" needle)
+          [
+            "#include \"swatop_runtime.h\"";
+            "void matmul_cpe_kernel(float *A, float *B, float *C)";
+            "swDMA(";
+            "swDMAWait(";
+            "spm_gemm_arm_brm_vm(";
+            "sw_spm_memset(";
+            "__thread_local float spm_pool_f";
+            "const int rid = sw_row_id();";
+            "for (int ";
+          ]);
+    Alcotest.test_case "declares each used kernel variant exactly once" `Quick (fun () ->
+        let src = C_emit.program_exn (tuned_matmul ()) in
+        let occurrences needle =
+          let n = String.length src and m = String.length needle in
+          let count = ref 0 in
+          for i = 0 to n - m do
+            if String.sub src i m = needle then incr count
+          done;
+          !count
+        in
+        Alcotest.(check int) "one extern" 1 (occurrences "extern void spm_gemm_arm_brm_vm"));
+    Alcotest.test_case "SPM plan coalesces the double-buffered tiles" `Quick (fun () ->
+        let p = tuned_matmul () in
+        match Mem_plan.plan p with
+        | Error e -> Alcotest.fail e
+        | Ok plan ->
+          Alcotest.(check int) "three buffers" 3 (List.length plan.Mem_plan.offsets);
+          Alcotest.(check bool) "pool within SPM" true
+            (plan.Mem_plan.pool_bytes <= Sw26010.Config.spm_bytes);
+          (* a_tile is double-buffered: its slot is twice the aligned
+             per-CPE footprint (4 elems -> 64-byte aligned, two halves) *)
+          let a = Mem_plan.offset_of plan "a_tile" in
+          let b = Mem_plan.offset_of plan "b_tile" in
+          Alcotest.(check int) "slot spans both halves" 128 (b - a));
+    Alcotest.test_case "un-inferred DMA is rejected" `Quick (fun () ->
+        let t = Matmul.problem ~m:16 ~n:16 ~k:16 in
+        let s =
+          {
+            Matmul.fm = 8;
+            fn = 8;
+            fk = 8;
+            n_outer = false;
+            vec = Primitives.Spm_gemm.Vec_m;
+            boundary = Op_common.Switch;
+            prefetch = false;
+          }
+        in
+        let raw = Matmul.build t s in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (C_emit.program_exn raw);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "winograd program emits transform calls" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:1 ~ni:4 ~no:4 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        let t = Conv_winograd.problem spec in
+        let s = List.hd (Conv_winograd.space t) in
+        let src = C_emit.program_exn (Tuner.prepare (Conv_winograd.build t s)) in
+        List.iter
+          (fun needle ->
+            if not (contains src needle) then Alcotest.failf "missing %S" needle)
+          [ "sw_wino_input_transform("; "sw_wino_filter_transform("; "sw_wino_output_transform(" ]);
+    Alcotest.test_case "explicit slab program emits SPM copies" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:1 ~ni:4 ~no:8 ~ro:6 ~co:6 ~kr:3 ~kc:3 () in
+        let t = Conv_explicit.problem spec in
+        let s = { (List.hd (Conv_explicit.space t)) with Conv_explicit.slab_im2col = true } in
+        let src = C_emit.program_exn (Tuner.prepare (Conv_explicit.build t s)) in
+        Alcotest.(check bool) "sw_spm_copy" true (contains src "sw_spm_copy("));
+    Alcotest.test_case "IR pretty printer shows the schedule structure" `Quick (fun () ->
+        let p = tuned_matmul () in
+        let txt = Ir_print.program_to_string p in
+        List.iter
+          (fun needle -> if not (contains txt needle) then Alcotest.failf "missing %S" needle)
+          [ "program matmul [overlapped]"; "buffer spm a_tile"; "dma_get"; "dma_put"; "spm_gemm" ]);
+  ]

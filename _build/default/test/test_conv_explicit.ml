@@ -1,0 +1,93 @@
+(* Explicit-GEMM (im2col) convolution end-to-end checks. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let run t s ~input ~weight =
+  let p = Swatop.Tuner.prepare (Conv_explicit.build t s) in
+  let bindings = Conv_explicit.bindings_for t s ~input ~weight in
+  let r = Swatop.Interp.run ~bindings ~numeric:true p in
+  (Conv_explicit.unpack_output t bindings, r)
+
+let small_spec ?(b = 2) ?(ni = 5) ?(no = 9) ?(ro = 6) ?(co = 7) () =
+  Spec.create ~b ~ni ~no ~ro ~co ~kr:3 ~kc:3 ()
+
+let check_strategy spec s =
+  let t = Conv_explicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:61 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:62 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let got, r = run t s ~input ~weight in
+  if not (Swtensor.Tensor.approx_equal expected got) then
+    Alcotest.failf "strategy %s wrong (max diff %g)" (Conv_explicit.describe s)
+      (Swtensor.Tensor.max_abs_diff expected got);
+  Alcotest.(check bool) "positive time" true (r.Swatop.Interp.seconds > 0.0)
+
+let base =
+  {
+    Conv_explicit.pi = 2;
+    slab_im2col = true;
+    fm = 4;
+    fn = 16;
+    fk = 9;
+    n_outer = false;
+    vec = Primitives.Spm_gemm.Vec_n;
+    boundary = Op_common.Switch;
+    prefetch = false;
+    gemm_prefetch = false;
+  }
+
+let test_base () = check_strategy (small_spec ()) base
+let test_prefetch () = check_strategy (small_spec ()) { base with prefetch = true }
+
+let test_pad_light () =
+  check_strategy (small_spec ()) { base with boundary = Op_common.Pad_light; prefetch = true }
+
+let test_batch1 () = check_strategy (small_spec ~b:1 ()) { base with prefetch = true }
+
+let test_naive_im2col () =
+  check_strategy (small_spec ()) { base with slab_im2col = false; gemm_prefetch = true }
+
+let test_naive_prefetch () =
+  check_strategy (small_spec ()) { base with slab_im2col = false; prefetch = true }
+
+let test_slab_ragged_channels () =
+  (* pi=2 does not divide ni=5: ragged channel slabs. *)
+  check_strategy (small_spec ~ni:5 ()) { base with pi = 2; prefetch = true }
+
+let test_im2col_reference () =
+  (* The reference im2col agrees with direct convolution too. *)
+  let spec = small_spec () in
+  let input = Swtensor.Tensor.random ~seed:71 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:72 (Spec.weight_shape spec) in
+  let direct = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let ex = Swtensor.Im2col_ref.forward spec ~input ~weight in
+  Alcotest.(check bool) "im2col_ref = conv_ref" true (Swtensor.Tensor.approx_equal direct ex)
+
+let test_whole_space () =
+  let spec = small_spec ~b:1 ~ni:4 ~no:6 ~ro:5 ~co:6 () in
+  let t = Conv_explicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:81 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:82 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let space = Conv_explicit.space t in
+  Alcotest.(check bool) "space non-trivial" true (List.length space >= 4);
+  List.iter
+    (fun s ->
+      let got, _ = run t s ~input ~weight in
+      if not (Swtensor.Tensor.approx_equal expected got) then
+        Alcotest.failf "strategy %s wrong" (Conv_explicit.describe s))
+    space
+
+let suite =
+  [
+    Alcotest.test_case "im2col reference agrees with direct" `Quick test_im2col_reference;
+    Alcotest.test_case "base strategy" `Quick test_base;
+    Alcotest.test_case "prefetch" `Quick test_prefetch;
+    Alcotest.test_case "pad-light boundary" `Quick test_pad_light;
+    Alcotest.test_case "batch 1" `Quick test_batch1;
+    Alcotest.test_case "naive im2col (manual structure)" `Quick test_naive_im2col;
+    Alcotest.test_case "naive im2col + pipeline" `Quick test_naive_prefetch;
+    Alcotest.test_case "slab im2col, ragged channels" `Quick test_slab_ragged_channels;
+    Alcotest.test_case "whole space numerically correct" `Slow test_whole_space;
+  ]

@@ -1,0 +1,115 @@
+(* Implicit-GEMM convolution: every strategy must reproduce the direct
+   convolution reference through the full pipeline. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let run t s ~input ~weight =
+  let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+  let bindings = Conv_implicit.bindings_for t s ~input ~weight in
+  let r = Swatop.Interp.run ~bindings ~numeric:true p in
+  (Conv_implicit.unpack_output t bindings, r)
+
+let small_spec ?(b = 2) ?(ni = 8) ?(no = 12) ?(ro = 6) ?(co = 10) () =
+  Spec.create ~b ~ni ~no ~ro ~co ~kr:3 ~kc:3 ()
+
+let check_strategy spec s =
+  let t = Conv_implicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:11 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:12 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let got, r = run t s ~input ~weight in
+  if not (Swtensor.Tensor.approx_equal expected got) then
+    Alcotest.failf "strategy %s wrong (max diff %g)" (Conv_implicit.describe s)
+      (Swtensor.Tensor.max_abs_diff expected got);
+  Alcotest.(check bool) "positive time" true (r.Swatop.Interp.seconds > 0.0)
+
+let base =
+  {
+    Conv_implicit.tile = Conv_implicit.Col_tile 4;
+    fi = 8;
+    fo = 8;
+    pixel_order = Conv_implicit.Ro_outer;
+    reduce_order = Conv_implicit.Taps_then_ni;
+    w_oi = true;
+    vec = Primitives.Spm_gemm.Vec_n;
+    boundary = Op_common.Switch;
+    prefetch = false;
+  }
+
+let test_base () = check_strategy (small_spec ()) base
+let test_prefetch () = check_strategy (small_spec ()) { base with prefetch = true }
+let test_pad_light () =
+  check_strategy (small_spec ()) { base with boundary = Op_common.Pad_light; prefetch = true }
+
+let test_w_io () = check_strategy (small_spec ()) { base with w_oi = false; prefetch = true }
+
+let test_batch1 () =
+  check_strategy (small_spec ~b:1 ()) { base with tile = Conv_implicit.Col_tile 5; prefetch = true }
+
+let test_row_slab () =
+  check_strategy (small_spec ~b:1 ()) { base with tile = Conv_implicit.Row_slab 2; prefetch = true }
+
+let test_row_slab_ragged () =
+  (* fr=4 does not divide ro=6: ragged slabs, and batch > 1. *)
+  check_strategy (small_spec ~b:2 ()) { base with tile = Conv_implicit.Row_slab 4; prefetch = true }
+
+let test_row_slab_pad_light () =
+  check_strategy (small_spec ~b:1 ())
+    { base with tile = Conv_implicit.Row_slab 4; boundary = Op_common.Pad_light; prefetch = true }
+
+let test_asymmetric_kernel () =
+  (* kr <> kc: e.g. a 1x3 separable-style filter *)
+  let spec = Spec.create ~b:2 ~ni:6 ~no:6 ~ro:6 ~co:6 ~kr:1 ~kc:3 () in
+  check_strategy spec { base with prefetch = true }
+
+let test_tall_kernel () =
+  let spec = Spec.create ~b:1 ~ni:4 ~no:6 ~ro:5 ~co:7 ~kr:5 ~kc:1 () in
+  check_strategy spec { base with prefetch = true }
+
+let test_ragged_channels () =
+  (* ni=10, no=14 don't divide the blocks: exercises ragged channel tiles. *)
+  check_strategy (small_spec ~ni:10 ~no:14 ()) { base with prefetch = true }
+
+let test_whole_space () =
+  let spec = small_spec ~b:1 ~ni:6 ~no:10 ~ro:5 ~co:7 () in
+  let t = Conv_implicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:21 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:22 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let space = Conv_implicit.space t in
+  Alcotest.(check bool) "space non-trivial" true (List.length space > 8);
+  List.iter
+    (fun s ->
+      let got, _ = run t s ~input ~weight in
+      if not (Swtensor.Tensor.approx_equal expected got) then
+        Alcotest.failf "strategy %s wrong" (Conv_implicit.describe s))
+    space
+
+let test_reduce_orders () =
+  List.iter
+    (fun reduce_order -> check_strategy (small_spec ()) { base with reduce_order; prefetch = true })
+    [ Conv_implicit.Taps_then_ni; Conv_implicit.Ni_then_taps ]
+
+let test_pixel_orders () =
+  List.iter
+    (fun pixel_order -> check_strategy (small_spec ()) { base with pixel_order; prefetch = true })
+    [ Conv_implicit.Ro_outer; Conv_implicit.Co_outer ]
+
+let suite =
+  [
+    Alcotest.test_case "base strategy" `Quick test_base;
+    Alcotest.test_case "prefetch" `Quick test_prefetch;
+    Alcotest.test_case "pad-light boundary" `Quick test_pad_light;
+    Alcotest.test_case "column-major weights" `Quick test_w_io;
+    Alcotest.test_case "batch 1 (inference)" `Quick test_batch1;
+    Alcotest.test_case "row slab" `Quick test_row_slab;
+    Alcotest.test_case "row slab, ragged" `Quick test_row_slab_ragged;
+    Alcotest.test_case "row slab, pad-light" `Quick test_row_slab_pad_light;
+    Alcotest.test_case "asymmetric kernel 1x3" `Quick test_asymmetric_kernel;
+    Alcotest.test_case "asymmetric kernel 5x1" `Quick test_tall_kernel;
+    Alcotest.test_case "ragged channel blocks" `Quick test_ragged_channels;
+    Alcotest.test_case "reduce orders" `Quick test_reduce_orders;
+    Alcotest.test_case "pixel orders" `Quick test_pixel_orders;
+    Alcotest.test_case "whole space numerically correct" `Slow test_whole_space;
+  ]

@@ -1,0 +1,97 @@
+(* Winograd convolution: the four-phase pipeline must reproduce the direct
+   convolution reference. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let run t s ~input ~weight =
+  let p = Swatop.Tuner.prepare (Conv_winograd.build t s) in
+  let bindings = Conv_winograd.bindings_for t s ~input ~weight in
+  let r = Swatop.Interp.run ~bindings ~numeric:true p in
+  (Conv_winograd.unpack_output t bindings, r)
+
+let small_spec ?(b = 2) ?(ni = 6) ?(no = 8) ?(ro = 8) ?(co = 12) () =
+  Spec.create ~b ~ni ~no ~ro ~co ~kr:3 ~kc:3 ()
+
+let check_strategy spec s =
+  let t = Conv_winograd.problem spec in
+  let input = Swtensor.Tensor.random ~seed:31 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:32 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let got, r = run t s ~input ~weight in
+  if not (Swtensor.Tensor.approx_equal ~tol:1e-3 expected got) then
+    Alcotest.failf "strategy %s wrong (max diff %g)" (Conv_winograd.describe s)
+      (Swtensor.Tensor.max_abs_diff expected got);
+  Alcotest.(check bool) "positive time" true (r.Swatop.Interp.seconds > 0.0)
+
+let base =
+  {
+    Conv_winograd.ti = 3;
+    tr = 2;
+    t_o = 4;
+    fm = 4;
+    fn = 16;
+    fk = 3;
+    vec = Primitives.Spm_gemm.Vec_n;
+    boundary = Op_common.Switch;
+    prefetch = false;
+    gemm_prefetch = false;
+    fuse_batch = true;
+  }
+
+let test_base () = check_strategy (small_spec ()) base
+let test_prefetch () = check_strategy (small_spec ()) { base with prefetch = true }
+
+let test_pad_light () =
+  check_strategy (small_spec ()) { base with boundary = Op_common.Pad_light; prefetch = true }
+
+let test_batch1 () = check_strategy (small_spec ~b:1 ()) { base with prefetch = true }
+
+let test_unfused_batch () =
+  check_strategy (small_spec ())
+    { base with fuse_batch = false; gemm_prefetch = true; prefetch = false }
+
+let test_unfused_prefetch () =
+  check_strategy (small_spec ()) { base with fuse_batch = false; prefetch = true }
+
+let test_ragged_blocks () =
+  (* ti=4 does not divide ni=6; tr=3 does not divide trimg=4. *)
+  check_strategy (small_spec ()) { base with ti = 4; tr = 3; t_o = 3; prefetch = true }
+
+let test_reference_agrees () =
+  (* Sanity: the Winograd reference itself matches direct convolution. *)
+  let spec = small_spec () in
+  let input = Swtensor.Tensor.random ~seed:41 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:42 (Spec.weight_shape spec) in
+  let direct = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let wino = Swtensor.Winograd_ref.forward spec ~input ~weight in
+  Alcotest.(check bool) "winograd_ref = conv_ref" true
+    (Swtensor.Tensor.approx_equal ~tol:1e-3 direct wino)
+
+let test_whole_space () =
+  let spec = small_spec ~b:1 ~ni:6 ~no:8 ~ro:8 ~co:12 () in
+  let t = Conv_winograd.problem spec in
+  let input = Swtensor.Tensor.random ~seed:51 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:52 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let space = Conv_winograd.space t in
+  Alcotest.(check bool) "space non-trivial" true (List.length space > 4);
+  List.iter
+    (fun s ->
+      let got, _ = run t s ~input ~weight in
+      if not (Swtensor.Tensor.approx_equal ~tol:1e-3 expected got) then
+        Alcotest.failf "strategy %s wrong" (Conv_winograd.describe s))
+    space
+
+let suite =
+  [
+    Alcotest.test_case "winograd reference agrees with direct" `Quick test_reference_agrees;
+    Alcotest.test_case "base strategy" `Quick test_base;
+    Alcotest.test_case "prefetch" `Quick test_prefetch;
+    Alcotest.test_case "pad-light boundary" `Quick test_pad_light;
+    Alcotest.test_case "batch 1" `Quick test_batch1;
+    Alcotest.test_case "ragged transform blocks" `Quick test_ragged_blocks;
+    Alcotest.test_case "unfused batch (manual structure)" `Quick test_unfused_batch;
+    Alcotest.test_case "unfused batch + pipeline" `Quick test_unfused_prefetch;
+    Alcotest.test_case "whole space numerically correct" `Slow test_whole_space;
+  ]

@@ -1,0 +1,90 @@
+(* The DSL's schedule-space vocabulary and the scheduler's loop helpers. *)
+
+open Swatop
+
+let dsl_suite =
+  [
+    Alcotest.test_case "factor_var candidates are divisors in range" `Quick (fun () ->
+        let fv = Dsl.factor_var ~name:"f" ~axis:(Dsl.axis "x" 24) ~min_factor:2 ~max_factor:12 () in
+        Alcotest.(check (list int)) "divisors" [ 2; 3; 4; 6; 8; 12 ] fv.Dsl.fv_candidates);
+    Alcotest.test_case "prime extents fall back to power-of-two tiles" `Quick (fun () ->
+        let fv = Dsl.factor_var ~name:"f" ~axis:(Dsl.axis "x" 13) () in
+        Alcotest.(check bool) "has non-divisors" true
+          (List.exists (fun f -> 13 mod f <> 0) fv.Dsl.fv_candidates));
+    Alcotest.test_case "space size and enumeration agree" `Quick (fun () ->
+        let space =
+          Dsl.space
+            ~factors:
+              [
+                Dsl.factor_var ~name:"fm" ~axis:(Dsl.axis "m" 12) ();
+                Dsl.factor_var ~name:"fn" ~axis:(Dsl.axis "n" 8) ();
+              ]
+            ~choices:[ Dsl.choice_var ~name:"vec" ~arity:2 ]
+        in
+        let bindings = Dsl.enumerate space in
+        Alcotest.(check int) "size" (Dsl.size space) (List.length bindings);
+        (* each binding assigns every variable *)
+        List.iter
+          (fun b ->
+            List.iter
+              (fun v -> ignore (Dsl.value b v))
+              [ "fm"; "fn"; "vec" ])
+          bindings;
+        (* all bindings distinct *)
+        Alcotest.(check int) "distinct" (List.length bindings)
+          (List.length (List.sort_uniq compare bindings)));
+    Alcotest.test_case "duplicate variables rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Dsl.space
+                  ~factors:[ Dsl.factor_var ~name:"x" ~axis:(Dsl.axis "a" 4) () ]
+                  ~choices:[ Dsl.choice_var ~name:"x" ~arity:2 ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "unknown variable raises Not_found" `Quick (fun () ->
+        let b = List.hd (Dsl.enumerate (Dsl.space ~factors:[] ~choices:[ Dsl.choice_var ~name:"c" ~arity:1 ])) in
+        Alcotest.check_raises "missing" Not_found (fun () -> ignore (Dsl.value b "ghost")));
+  ]
+
+let scheduler_suite =
+  [
+    Alcotest.test_case "nest builds loops outermost first" `Quick (fun () ->
+        let levels =
+          [
+            Scheduler.level ~iter:"i" ~extent:8 ~step:2;
+            Scheduler.level ~iter:"j" ~extent:4 ~step:1;
+          ]
+        in
+        match Scheduler.nest ~prefetch_at:"i" ~levels (Ir.Comment "body") with
+        | Ir.For { iter = "i"; prefetch = true; body = Ir.For { iter = "j"; prefetch = false; _ }; _ } ->
+          ()
+        | _ -> Alcotest.fail "wrong nest shape");
+    Alcotest.test_case "clipped folds when the factor divides" `Quick (fun () ->
+        Alcotest.(check bool) "const" true
+          (Scheduler.clipped ~extent:32 ~step:8 (Ir.var "i") = Ir.int 8);
+        match Scheduler.clipped ~extent:30 ~step:8 (Ir.var "i") with
+        | Ir.Min _ -> ()
+        | _ -> Alcotest.fail "expected min() for ragged extent");
+    Alcotest.test_case "tile_extent evaluates correctly at the boundary" `Quick (fun () ->
+        let lv = Scheduler.level ~iter:"i" ~extent:30 ~step:8 in
+        let e = Scheduler.tile_extent lv in
+        Alcotest.(check bool) "interior" true (Ir.subst [ ("i", Ir.int 8) ] e = Ir.int 8);
+        Alcotest.(check bool) "edge" true (Ir.subst [ ("i", Ir.int 24) ] e = Ir.int 6));
+    Alcotest.test_case "trips" `Quick (fun () ->
+        Alcotest.(check int) "ceil" 4 (Scheduler.trips (Scheduler.level ~iter:"i" ~extent:30 ~step:8)));
+    Alcotest.test_case "reorder permutes and validates" `Quick (fun () ->
+        let levels =
+          [ Scheduler.level ~iter:"a" ~extent:2 ~step:1; Scheduler.level ~iter:"b" ~extent:2 ~step:1 ]
+        in
+        let r = Scheduler.reorder ~order:[ "b"; "a" ] levels in
+        Alcotest.(check (list string)) "order" [ "b"; "a" ]
+          (List.map (fun l -> l.Scheduler.lv_iter) r);
+        Alcotest.(check bool) "unknown raises" true
+          (try
+             ignore (Scheduler.reorder ~order:[ "b"; "z" ] levels);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let suite = dsl_suite @ scheduler_suite

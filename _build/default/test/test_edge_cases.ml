@@ -1,0 +1,176 @@
+(* Edge cases and failure injection across the stack: degenerate problem
+   shapes, invalid specifications, and the boundary machinery on the
+   paper's "unaligned" shapes. *)
+
+open Swatop_ops
+module Spec = Swtensor.Conv_spec
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let spec_suite =
+  [
+    Alcotest.test_case "conv spec rejects bad dimensions" `Quick (fun () ->
+        let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+        Alcotest.(check bool) "zero channel" true
+          (bad (fun () -> Spec.create ~b:1 ~ni:0 ~no:1 ~ro:4 ~co:4 ~kr:3 ~kc:3 ()));
+        Alcotest.(check bool) "negative pad" true
+          (bad (fun () -> Spec.create ~b:1 ~ni:1 ~no:1 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~pad:(-1) ()));
+        Alcotest.(check bool) "pad swallows input" true
+          (bad (fun () -> Spec.create ~b:1 ~ni:1 ~no:1 ~ro:1 ~co:1 ~kr:1 ~kc:1 ~pad:3 ())));
+    Alcotest.test_case "operators reject out-of-domain specs" `Quick (fun () ->
+        let strided = Spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
+        Alcotest.(check bool) "implicit" false (Conv_implicit.applicable strided);
+        Alcotest.(check bool) "winograd" false (Conv_winograd.applicable strided);
+        Alcotest.(check bool) "explicit" false (Conv_explicit.applicable strided);
+        let k5 = Spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:5 ~kc:5 () in
+        Alcotest.(check bool) "winograd needs 3x3" false (Conv_winograd.applicable k5);
+        Alcotest.(check bool) "implicit takes 5x5" true (Conv_implicit.applicable k5));
+    Alcotest.test_case "1x1 convolution works end to end" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:6 ~no:8 ~ro:5 ~co:5 ~kr:1 ~kc:1 () in
+        let t = Conv_implicit.problem spec in
+        let s = List.hd (Conv_implicit.space t) in
+        let input = Swtensor.Tensor.random ~seed:1 (Spec.input_shape spec) in
+        let weight = Swtensor.Tensor.random ~seed:2 (Spec.weight_shape spec) in
+        let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+        let bindings = Conv_implicit.bindings_for t s ~input ~weight in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check bool) "correct" true
+          (Swtensor.Tensor.approx_equal
+             (Swtensor.Conv_ref.forward spec ~input ~weight)
+             (Conv_implicit.unpack_output t bindings)));
+    Alcotest.test_case "degenerate 1x1 spatial output" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:4 ~no:4 ~ro:1 ~co:1 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        let s = List.hd (Conv_implicit.space t) in
+        let input = Swtensor.Tensor.random ~seed:3 (Spec.input_shape spec) in
+        let weight = Swtensor.Tensor.random ~seed:4 (Spec.weight_shape spec) in
+        let p = Swatop.Tuner.prepare (Conv_implicit.build t s) in
+        let bindings = Conv_implicit.bindings_for t s ~input ~weight in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check bool) "correct" true
+          (Swtensor.Tensor.approx_equal
+             (Swtensor.Conv_ref.forward spec ~input ~weight)
+             (Conv_implicit.unpack_output t bindings)));
+  ]
+
+let boundary_suite =
+  [
+    Alcotest.test_case "unaligned GEMM spaces include boundary policies" `Quick (fun () ->
+        let t = Matmul.problem ~m:500 ~n:500 ~k:500 in
+        let space = Matmul.space t in
+        let has p = List.exists (fun (s : Matmul.strategy) -> s.boundary = p) space in
+        Alcotest.(check bool) "switch" true (has Op_common.Switch);
+        Alcotest.(check bool) "pad-light" true (has Op_common.Pad_light);
+        Alcotest.(check bool) "pad-full" true (has Op_common.Pad_full));
+    Alcotest.test_case "paper's unaligned shapes get ragged candidates" `Quick (fun () ->
+        List.iter
+          (fun dim ->
+            let t = Matmul.problem ~m:dim ~n:dim ~k:dim in
+            let ragged =
+              List.exists
+                (fun (s : Matmul.strategy) ->
+                  dim mod s.fm <> 0 || dim mod s.fn <> 0 || dim mod s.fk <> 0)
+                (Matmul.space t)
+            in
+            Alcotest.(check bool) (Printf.sprintf "%d has ragged tiles" dim) true ragged)
+          [ 200; 500; 1000; 2000; 4000; 8000 ]);
+    Alcotest.test_case "pad-light numerics on a pow2-tiled unaligned GEMM" `Quick (fun () ->
+        let t = Matmul.problem ~m:50 ~n:50 ~k:50 in
+        let s =
+          {
+            Matmul.fm = 32;
+            fn = 32;
+            fk = 32;
+            n_outer = false;
+            vec = Primitives.Spm_gemm.Vec_m;
+            boundary = Op_common.Pad_light;
+            prefetch = true;
+          }
+        in
+        let a = Swtensor.Tensor.random ~seed:5 (Swtensor.Shape.of_list [ 50; 50 ]) in
+        let b = Swtensor.Tensor.random ~seed:6 (Swtensor.Shape.of_list [ 50; 50 ]) in
+        let p = Swatop.Tuner.prepare (Matmul.build t s) in
+        let bindings = Matmul.bindings_for t s ~a ~b in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check bool) "correct" true
+          (Swtensor.Tensor.approx_equal (Matmul.reference ~a ~b) (Matmul.unpack_c t bindings)));
+    Alcotest.test_case "boundary policies cost differently on ragged shapes" `Quick (fun () ->
+        let t = Matmul.problem ~m:200 ~n:200 ~k:200 in
+        let s =
+          {
+            Matmul.fm = 128;
+            fn = 128;
+            fk = 128;
+            n_outer = false;
+            vec = Primitives.Spm_gemm.Vec_m;
+            boundary = Op_common.Switch;
+            prefetch = true;
+          }
+        in
+        let time boundary =
+          (Swatop.Interp.run ~numeric:false (Swatop.Tuner.prepare (Matmul.build t { s with boundary })))
+            .Swatop.Interp.seconds
+        in
+        let sw = time Op_common.Switch
+        and light = time Op_common.Pad_light
+        and full = time Op_common.Pad_full in
+        (* traditional padding must be the most expensive of the three here *)
+        Alcotest.(check bool)
+          (Printf.sprintf "full %.3g worst (sw %.3g light %.3g)" full sw light)
+          true
+          (full > sw && full > light));
+  ]
+
+let capacity_suite =
+  [
+    Alcotest.test_case "every space strategy survives the full pipeline" `Slow (fun () ->
+        (* SPM validity as enumerated must agree with the checker after the
+           optimizer passes (double buffering, staging buffers). *)
+        List.iter
+          (fun (m, n, k) ->
+            let t = Matmul.problem ~m ~n ~k in
+            List.iter
+              (fun s -> ignore (Swatop.Tuner.prepare (Matmul.build t s)))
+              (Matmul.space t))
+          [ (2000, 2000, 2000); (500, 500, 500) ]);
+  ]
+
+let misc_suite =
+  [
+    Alcotest.test_case "matmul degenerate 1x1x1" `Quick (fun () ->
+        let t = Matmul.problem ~m:1 ~n:1 ~k:1 in
+        let s = List.hd (Matmul.space t) in
+        let a = Swtensor.Tensor.of_array (Swtensor.Shape.of_list [ 1; 1 ]) [| 3.0 |] in
+        let b = Swtensor.Tensor.of_array (Swtensor.Shape.of_list [ 1; 1 ]) [| 4.0 |] in
+        let p = Swatop.Tuner.prepare (Matmul.build t s) in
+        let bindings = Matmul.bindings_for t s ~a ~b in
+        ignore (Swatop.Interp.run ~bindings ~numeric:true p);
+        Alcotest.(check (float 1e-9)) "3*4" 12.0
+          (Swtensor.Tensor.get (Matmul.unpack_c t bindings) [| 0; 0 |]));
+    Alcotest.test_case "every sweep spec builds a valid implicit space" `Slow (fun () ->
+        List.iter
+          (fun spec ->
+            let t = Conv_implicit.problem spec in
+            let space = Conv_implicit.space t in
+            Alcotest.(check bool)
+              (Spec.to_string spec ^ " space non-empty")
+              true (space <> []);
+            (* the first and last strategies pass the full pipeline *)
+            List.iter
+              (fun s -> ignore (Swatop.Tuner.prepare (Conv_implicit.build t s)))
+              [ List.hd space; List.nth space (List.length space - 1) ])
+          (Prelude.Lists.take_every 9 (Workloads.Sweeps.listing1 ~batch:32)));
+    Alcotest.test_case "swdnn fixed strategy is inside swATOP's search domain" `Quick (fun () ->
+        (* same machinery, same validity rules: the baseline must pass the
+           same structural checks as any candidate *)
+        let spec = Spec.create ~b:32 ~ni:128 ~no:128 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+        match Baselines.Swdnn.build (Conv_implicit.problem spec) with
+        | None -> Alcotest.fail "supported spec"
+        | Some p -> ignore (Swatop.Tuner.prepare p));
+    Alcotest.test_case "dispatch across the tuned ops agrees with direct conv" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:8 ~no:8 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        let choice = Dispatch.best ~top_k:1 ~gemm_model:(Lazy.force gemm_model) spec in
+        Alcotest.(check bool) "positive" true (choice.Dispatch.c_seconds > 0.0))
+  ]
+
+let suite = spec_suite @ boundary_suite @ capacity_suite @ misc_suite

@@ -1,0 +1,75 @@
+(* The generated C must be real, compilable C: every emitted kernel is
+   syntax- and type-checked against runtime/swatop_runtime.h with the host
+   C compiler, and the portable runtime itself must compile. Skipped when
+   no C compiler is available. *)
+
+open Swatop
+open Swatop_ops
+
+let runtime_dir =
+  (* tests run from _build/default/test; the runtime sits in the source
+     tree, which dune exposes two levels up *)
+  let candidates = [ "../../../runtime"; "runtime"; "../runtime" ] in
+  List.find_opt (fun d -> Sys.file_exists (Filename.concat d "swatop_runtime.h")) candidates
+
+let gcc_available = Sys.command "gcc --version > /dev/null 2>&1" = 0
+
+let syntax_check source =
+  match runtime_dir with
+  | None -> Alcotest.fail "runtime directory not found"
+  | Some dir ->
+    let file = Filename.temp_file "swatop_kernel" ".c" in
+    let oc = open_out file in
+    output_string oc source;
+    close_out oc;
+    let cmd =
+      Printf.sprintf "gcc -std=c99 -Wall -Werror -fsyntax-only -I %s %s 2> %s.log"
+        (Filename.quote dir) (Filename.quote file) (Filename.quote file)
+    in
+    let rc = Sys.command cmd in
+    if rc <> 0 then begin
+      let ic = open_in (file ^ ".log") in
+      let log = really_input_string ic (min 2000 (in_channel_length ic)) in
+      close_in ic;
+      Alcotest.failf "gcc rejected generated code:\n%s" log
+    end;
+    Sys.remove file
+
+let programs () =
+  let gm = Gemm_cost.fit () in
+  let gemm =
+    let t = Matmul.problem ~m:200 ~n:120 ~k:96 in
+    (Tuner.model_tune ~gemm_model:gm ~candidates:(Matmul.space t) ~build:(Matmul.build t) ())
+      .best_program
+  in
+  let spec = Swtensor.Conv_spec.create ~b:4 ~ni:16 ~no:16 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+  let conv_of algo =
+    (Option.get (Dispatch.tune ~top_k:1 ~gemm_model:gm algo spec)).Dispatch.c_program
+  in
+  [
+    ("gemm", gemm);
+    ("implicit", conv_of Dispatch.Implicit);
+    ("winograd", conv_of Dispatch.Winograd);
+    ("explicit", conv_of Dispatch.Explicit);
+  ]
+
+let suite =
+  if not gcc_available then
+    [ Alcotest.test_case "skipped (no gcc)" `Quick (fun () -> ()) ]
+  else
+    [
+      Alcotest.test_case "portable runtime compiles" `Quick (fun () ->
+          match runtime_dir with
+          | None -> Alcotest.fail "runtime directory not found"
+          | Some dir ->
+            let obj = Filename.temp_file "swatop_runtime" ".o" in
+            let cmd =
+              Printf.sprintf "gcc -std=c99 -Wall -Werror -c %s -I %s -o %s"
+                (Filename.quote (Filename.concat dir "swatop_runtime.c"))
+                (Filename.quote dir) (Filename.quote obj)
+            in
+            Alcotest.(check int) "gcc" 0 (Sys.command cmd);
+            Sys.remove obj);
+      Alcotest.test_case "every operator's generated kernel passes gcc" `Quick (fun () ->
+          List.iter (fun (_, p) -> syntax_check (C_emit.program_exn p)) (programs ()));
+    ]

@@ -1,0 +1,201 @@
+(* Interpreter semantics beyond what the operator suites cover: timing
+   composition, fidelity modes, numeric bounds checking, and the hand-built
+   programs that pin the discrete-event behaviour down. *)
+
+open Swatop
+
+let main = Ir.main_buf ~name:"m" ~elems:4096
+let spm = Ir.spm_buf ~name:"s" ~cg_elems:1024 ~cpe_elems:16
+
+let get ?(tag = 0) ?(offset = Ir.int 0) ?(rows = 16) ?(elems = 64) () =
+  Ir.Dma
+    {
+      dir = Ir.Get;
+      main = "m";
+      spm = "s";
+      tag = Ir.int tag;
+      region =
+        { offset; rows = Ir.int rows; row_elems = Ir.int elems; row_stride = Ir.int elems };
+      spm_offset = Ir.int 0;
+      spm_ld = Ir.int elems;
+      partition = Ir.P_rows;
+      per_cpe = None;
+    }
+
+let prog body = Tuner.prepare (Ir.program ~name:"t" ~bufs:[ main; spm ] body)
+
+let run ?fidelity body = Interp.run ?fidelity ~numeric:false (prog body)
+
+let gemm m n k =
+  Ir.Gemm
+    {
+      variant = { a_major = Row_major; b_major = Row_major; vec = Vec_m };
+      m = Ir.int m;
+      n = Ir.int n;
+      k = Ir.int k;
+      a = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int k };
+      b = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int n };
+      c = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int n };
+    }
+
+let timing_suite =
+  [
+    Alcotest.test_case "unwaited DMA still drains into total time" `Quick (fun () ->
+        let r = run (get ()) in
+        Alcotest.(check bool) "positive" true (r.Interp.seconds > 0.0);
+        Alcotest.(check bool) "equals dma busy + latency" true
+          (Prelude.Floats.approx_equal r.Interp.seconds
+             (r.Interp.dma_busy_seconds +. Sw26010.Config.dma_latency_s)));
+    Alcotest.test_case "waited DMA then compute serializes" `Quick (fun () ->
+        let body = Ir.seq [ get (); Ir.Dma_wait { tag = Ir.int 0 }; gemm 16 16 16 ] in
+        let r = run body in
+        Alcotest.(check bool) "sum" true
+          (Prelude.Floats.approx_equal r.Interp.seconds
+             (r.Interp.dma_busy_seconds +. Sw26010.Config.dma_latency_s
+            +. r.Interp.compute_busy_seconds)));
+    Alcotest.test_case "unwaited DMA overlaps compute" `Quick (fun () ->
+        let body = Ir.seq [ get (); gemm 64 64 64 ] in
+        let r = run body in
+        Alcotest.(check bool) "less than sum" true
+          (r.Interp.seconds < r.Interp.dma_busy_seconds +. r.Interp.compute_busy_seconds));
+    Alcotest.test_case "gemm time matches the kernel model" `Quick (fun () ->
+        let r = run (gemm 32 48 16) in
+        let call =
+          Primitives.Spm_gemm.call
+            ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m }
+            ~m:32 ~n:48 ~k:16 ~lda:16 ~ldb:48 ~ldc:48
+        in
+        Alcotest.(check bool) "seconds" true
+          (Prelude.Floats.approx_equal r.Interp.seconds (Primitives.Spm_gemm.seconds call));
+        Alcotest.(check int) "one call" 1 r.Interp.gemm_calls;
+        Alcotest.(check bool) "flops" true
+          (Prelude.Floats.approx_equal r.Interp.gemm_flops (2.0 *. 32. *. 48. *. 16.)));
+    Alcotest.test_case "sampled fidelity close to exact on grid partitions" `Quick (fun () ->
+        let body =
+          Ir.seq [ get ~rows:16 ~elems:64 (); Ir.Dma_wait { tag = Ir.int 0 } ]
+        in
+        let exact = run ~fidelity:Interp.Exact_cpes body in
+        let sampled = run ~fidelity:Interp.Sampled_cpes body in
+        let ratio = sampled.Interp.seconds /. exact.Interp.seconds in
+        Alcotest.(check bool) (Printf.sprintf "ratio %.3f" ratio) true (ratio >= 0.99 && ratio < 1.3));
+    Alcotest.test_case "memoized gemm cache survives changing dims" `Quick (fun () ->
+        (* loop body alternates between two call shapes via min() *)
+        let body =
+          Ir.for_ ~iter:"i" ~lo:(Ir.int 0) ~hi:(Ir.int 10)
+            (Ir.Gemm
+               {
+                 variant = { a_major = Row_major; b_major = Row_major; vec = Vec_m };
+                 m = Ir.(emin (int 16) (int 160 - (var "i" * int 16)));
+                 n = Ir.int 16;
+                 k = Ir.int 16;
+                 a = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int 16 };
+                 b = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int 16 };
+                 c = { g_buf = "s"; g_offset = Ir.int 0; g_ld = Ir.int 16 };
+               })
+        in
+        let r = run body in
+        Alcotest.(check int) "ten calls" 10 r.Interp.gemm_calls;
+        (* all iterations have m = 16 (the min never binds below 16) *)
+        Alcotest.(check bool) "flops" true
+          (Prelude.Floats.approx_equal r.Interp.gemm_flops (10.0 *. 2.0 *. 16. *. 16. *. 16.)));
+  ]
+
+let numeric_suite =
+  [
+    Alcotest.test_case "missing binding rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Interp.run ~numeric:true (prog (get ())));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "wrong binding size rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Interp.run ~bindings:[ ("m", Array.make 7 0.0) ] ~numeric:true (prog (get ())));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "SPM out-of-bounds access rejected" `Quick (fun () ->
+        let body = get ~rows:16 ~elems:256 () (* 4096 elems > 1024 SPM backing *) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Interp.run ~bindings:[ ("m", Array.make 4096 0.0) ] ~numeric:true (prog body));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "get/put round trip preserves data" `Quick (fun () ->
+        let put =
+          Ir.Dma
+            {
+              dir = Ir.Put;
+              main = "m";
+              spm = "s";
+              tag = Ir.int 1;
+              region =
+                {
+                  offset = Ir.int 2048;
+                  rows = Ir.int 8;
+                  row_elems = Ir.int 64;
+                  row_stride = Ir.int 64;
+                };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 64;
+              partition = Ir.P_rows;
+              per_cpe = None;
+            }
+        in
+        let body =
+          Ir.seq [ get ~rows:8 ~elems:64 (); Ir.Dma_wait { tag = Ir.int 0 }; put ]
+        in
+        let arr = Array.init 4096 float_of_int in
+        ignore (Interp.run ~bindings:[ ("m", arr) ] ~numeric:true (prog body));
+        for i = 0 to 511 do
+          Alcotest.(check (float 0.0)) "copied" (float_of_int i) arr.(2048 + i)
+        done);
+    Alcotest.test_case "strided SPM landing (spm_ld)" `Quick (fun () ->
+        (* gather 8 rows of 4 elems into an SPM image with ld 8, then put the
+           packed image back; holes stay zero *)
+        let g =
+          Ir.Dma
+            {
+              dir = Ir.Get;
+              main = "m";
+              spm = "s";
+              tag = Ir.int 0;
+              region =
+                { offset = Ir.int 0; rows = Ir.int 8; row_elems = Ir.int 4; row_stride = Ir.int 4 };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 8;
+              partition = Ir.P_rows;
+              per_cpe = None;
+            }
+        in
+        let put =
+          Ir.Dma
+            {
+              dir = Ir.Put;
+              main = "m";
+              spm = "s";
+              tag = Ir.int 1;
+              region =
+                {
+                  offset = Ir.int 1024;
+                  rows = Ir.int 1;
+                  row_elems = Ir.int 64;
+                  row_stride = Ir.int 64;
+                };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 64;
+              partition = Ir.P_cols;
+              per_cpe = None;
+            }
+        in
+        let body = Ir.seq [ g; Ir.Dma_wait { tag = Ir.int 0 }; put ] in
+        let arr = Array.init 4096 (fun i -> if i < 32 then 1.0 else 0.0) in
+        ignore (Interp.run ~bindings:[ ("m", arr) ] ~numeric:true (prog body));
+        (* row r landed at SPM offset 8r: positions 0-3 hold data, 4-7 zero *)
+        Alcotest.(check (float 0.0)) "data" 1.0 arr.(1024);
+        Alcotest.(check (float 0.0)) "hole" 0.0 arr.(1024 + 4));
+  ]
+
+let suite = timing_suite @ numeric_suite

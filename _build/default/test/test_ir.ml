@@ -1,0 +1,235 @@
+(* IR: expression algebra, substitution, printing, structural checking and
+   DMA inference. *)
+
+open Swatop
+
+let e_test = Alcotest.testable (fun fmt e -> Format.pp_print_string fmt (Ir_print.expr_to_string e)) ( = )
+
+(* A random expression generator over a fixed variable set. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let var_names = [ "i"; "j"; "k" ] in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then oneof [ map Ir.int (int_range 0 20); map Ir.var (oneofl var_names) ]
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               map2 (fun a b -> Ir.(a + b)) sub sub;
+               map2 (fun a b -> Ir.(a - b)) sub sub;
+               map2 (fun a b -> Ir.(a * b)) sub sub;
+               map2 (fun a b -> Ir.(emin a b)) sub sub;
+               map2 (fun a b -> Ir.(emax a b)) sub sub;
+               map2 (fun a b -> Ir.(a / Ir.emax b (Ir.int 1))) sub sub;
+               map2 (fun a b -> Ir.(a % Ir.emax b (Ir.int 1))) sub sub;
+             ])
+
+let rec eval env (e : Ir.expr) =
+  match e with
+  | Const i -> i
+  | Var v -> List.assoc v env
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) -> eval env a / eval env b
+  | Mod (a, b) -> eval env a mod eval env b
+  | Min (a, b) -> min (eval env a) (eval env b)
+  | Max (a, b) -> max (eval env a) (eval env b)
+
+let prop_simplify_preserves =
+  QCheck2.Test.make ~name:"simplify preserves evaluation" ~count:300 expr_gen (fun e ->
+      let env = [ ("i", 3); ("j", 7); ("k", 11) ] in
+      eval env e = eval env (Ir.simplify e))
+
+let prop_subst_is_eval =
+  QCheck2.Test.make ~name:"substituting constants fully folds" ~count:300 expr_gen (fun e ->
+      let env = [ ("i", 3); ("j", 7); ("k", 11) ] in
+      let bindings = List.map (fun (v, x) -> (v, Ir.int x)) env in
+      match Ir.subst bindings e with Const c -> c = eval env e | _ -> false)
+
+let expr_suite =
+  [
+    Alcotest.test_case "algebraic identities" `Quick (fun () ->
+        Alcotest.check e_test "x+0" (Ir.var "x") Ir.(var "x" + int 0);
+        Alcotest.check e_test "x*1" (Ir.var "x") Ir.(var "x" * int 1);
+        Alcotest.check e_test "x*0" (Ir.int 0) Ir.(var "x" * int 0);
+        Alcotest.check e_test "const fold" (Ir.int 7) Ir.(int 3 + int 4);
+        Alcotest.check e_test "min self" (Ir.var "x") (Ir.emin (Ir.var "x") (Ir.var "x")));
+    Alcotest.test_case "free_vars" `Quick (fun () ->
+        Alcotest.(check (list string)) "i,j" [ "i"; "j" ] (Ir.free_vars Ir.(var "i" + (var "j" * var "i"))));
+    Alcotest.test_case "printing round-trips structure" `Quick (fun () ->
+        Alcotest.(check string) "pretty" "((i + 1) * min(j, 4))"
+          (Ir_print.expr_to_string Ir.(Mul (Add (Var "i", Const 1), Min (Var "j", Const 4)))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural checking. *)
+
+let tiny_program body bufs = Ir.program ~name:"t" ~bufs body
+
+let check_suite =
+  let main = Ir.main_buf ~name:"m" ~elems:1024 in
+  let spm = Ir.spm_buf ~name:"s" ~cg_elems:64 ~cpe_elems:16 in
+  let dma ?(main_name = "m") ?(spm_name = "s") () =
+    Ir.Dma
+      {
+        dir = Ir.Get;
+        main = main_name;
+        spm = spm_name;
+        tag = Ir.int 0;
+        region = { offset = Ir.int 0; rows = Ir.int 4; row_elems = Ir.int 16; row_stride = Ir.int 16 };
+        spm_offset = Ir.int 0;
+        spm_ld = Ir.int 16;
+        partition = Ir.P_rows;
+        per_cpe = None;
+      }
+  in
+  [
+    Alcotest.test_case "valid program passes" `Quick (fun () ->
+        match Ir_check.check (tiny_program (dma ()) [ main; spm ]) with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "unexpected: %s" (Ir_check.error_to_string (List.hd es)));
+    Alcotest.test_case "undeclared buffer caught" `Quick (fun () ->
+        match Ir_check.check (tiny_program (dma ~main_name:"nope" ()) [ main; spm ]) with
+        | Ok () -> Alcotest.fail "missed undeclared buffer"
+        | Error _ -> ());
+    Alcotest.test_case "wrong memory space caught" `Quick (fun () ->
+        match Ir_check.check (tiny_program (dma ~main_name:"s" ~spm_name:"m" ()) [ main; spm ]) with
+        | Ok () -> Alcotest.fail "missed space mismatch"
+        | Error _ -> ());
+    Alcotest.test_case "unbound variable caught" `Quick (fun () ->
+        let body = Ir.Memset_spm { buf = "s"; offset = Ir.var "ghost"; elems = Ir.int 1 } in
+        match Ir_check.check (tiny_program body [ main; spm ]) with
+        | Ok () -> Alcotest.fail "missed unbound variable"
+        | Error _ -> ());
+    Alcotest.test_case "loop binds its iterator" `Quick (fun () ->
+        let body =
+          Ir.for_ ~iter:"i" ~lo:(Ir.int 0) ~hi:(Ir.int 4)
+            (Ir.Memset_spm { buf = "s"; offset = Ir.var "i"; elems = Ir.int 1 })
+        in
+        match Ir_check.check (tiny_program body [ main; spm ]) with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "unexpected: %s" (Ir_check.error_to_string (List.hd es)));
+    Alcotest.test_case "SPM capacity violation caught" `Quick (fun () ->
+        let fat = Ir.spm_buf ~name:"s" ~cg_elems:64 ~cpe_elems:(Sw26010.Config.spm_bytes / 2) in
+        match Ir_check.check (tiny_program (Ir.Seq []) [ main; fat ]) with
+        | Ok () -> Alcotest.fail "missed capacity violation"
+        | Error _ -> ());
+    Alcotest.test_case "duplicate buffers caught" `Quick (fun () ->
+        match Ir_check.check (tiny_program (Ir.Seq []) [ main; main ]) with
+        | Ok () -> Alcotest.fail "missed duplicate"
+        | Error _ -> ());
+    Alcotest.test_case "rid/cid only allowed in per-CPE descriptors" `Quick (fun () ->
+        let body = Ir.Memset_spm { buf = "s"; offset = Ir.rid; elems = Ir.int 1 } in
+        (match Ir_check.check (tiny_program body [ main; spm ]) with
+        | Ok () -> Alcotest.fail "rid leaked"
+        | Error _ -> ());
+        let inferred = Dma_inference.apply (tiny_program (dma ()) [ main; spm ]) in
+        match Ir_check.check inferred with
+        | Ok () -> ()
+        | Error es -> Alcotest.failf "per-CPE rid rejected: %s" (Ir_check.error_to_string (List.hd es)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* DMA inference: the 64 per-CPE descriptors partition the region. *)
+
+let eval_desc (d : Ir.cpe_desc) ~rid ~cid =
+  let env = [ ("rid", rid); ("cid", cid) ] in
+  (eval env d.d_offset, eval env d.d_block, eval env d.d_stride, eval env d.d_count)
+
+let covered_elements region partition =
+  let desc = Dma_inference.infer_desc region partition in
+  let elems = Hashtbl.create 64 in
+  for rid = 0 to 7 do
+    for cid = 0 to 7 do
+      let offset, block, stride, count = eval_desc desc ~rid ~cid in
+      for i = 0 to count - 1 do
+        for j = 0 to block - 1 do
+          let addr = offset + (i * stride) + j in
+          if Hashtbl.mem elems addr then Alcotest.failf "element %d covered twice" addr;
+          Hashtbl.replace elems addr ()
+        done
+      done
+    done
+  done;
+  elems
+
+let region_elements (r : Ir.region) =
+  let env = [] in
+  let offset = eval env r.offset
+  and rows = eval env r.rows
+  and row_elems = eval env r.row_elems
+  and stride = eval env r.row_stride in
+  let elems = Hashtbl.create 64 in
+  for i = 0 to rows - 1 do
+    for j = 0 to row_elems - 1 do
+      Hashtbl.replace elems (offset + (i * stride) + j) ()
+    done
+  done;
+  elems
+
+let same_table a b =
+  Hashtbl.length a = Hashtbl.length b && Hashtbl.fold (fun k () acc -> acc && Hashtbl.mem b k) a true
+
+let prop_inference_partitions =
+  let gen =
+    QCheck2.Gen.(
+      tup4 (int_bound 50) (int_range 1 40) (int_range 1 40) (int_bound 30)
+      |> map (fun (offset, rows, row_elems, extra) ->
+             {
+               Ir.offset = Ir.int offset;
+               rows = Ir.int rows;
+               row_elems = Ir.int row_elems;
+               row_stride = Ir.int (row_elems + extra);
+             }))
+  in
+  QCheck2.Test.make ~name:"per-CPE descriptors tile the region exactly" ~count:100 gen
+    (fun region ->
+      List.for_all
+        (fun partition -> same_table (covered_elements region partition) (region_elements region))
+        [ Ir.P_rows; Ir.P_cols; Ir.P_grid ])
+
+let inference_suite =
+  [
+    Alcotest.test_case "Fig. 4 worked example (grid on column-major matrix)" `Quick (fun () ->
+        (* A column-major M x N matrix, M = N = 64: the whole matrix as a
+           region of N columns of M elements. CPE (rid, cid) must read
+           block = M/8 at offset (cid*N/8)*M + rid*M/8 with stride M. *)
+        let m = 64 and n = 64 in
+        let region =
+          { Ir.offset = Ir.int 0; rows = Ir.int n; row_elems = Ir.int m; row_stride = Ir.int m }
+        in
+        let desc = Dma_inference.infer_desc region Ir.P_grid in
+        let offset, block, stride, count = eval_desc desc ~rid:3 ~cid:5 in
+        Alcotest.(check int) "offset" ((5 * (n / 8) * m) + (3 * (m / 8))) offset;
+        Alcotest.(check int) "block" (m / 8) block;
+        Alcotest.(check int) "stride" m stride;
+        Alcotest.(check int) "count" (n / 8) count);
+    Alcotest.test_case "apply is idempotent" `Quick (fun () ->
+        let main = Ir.main_buf ~name:"m" ~elems:4096 in
+        let spm = Ir.spm_buf ~name:"s" ~cg_elems:256 ~cpe_elems:8 in
+        let body =
+          Ir.Dma
+            {
+              dir = Ir.Get;
+              main = "m";
+              spm = "s";
+              tag = Ir.int 0;
+              region =
+                { offset = Ir.int 0; rows = Ir.int 16; row_elems = Ir.int 16; row_stride = Ir.int 17 };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 16;
+              partition = Ir.P_grid;
+              per_cpe = None;
+            }
+        in
+        let p1 = Dma_inference.apply (tiny_program body [ main; spm ]) in
+        let p2 = Dma_inference.apply p1 in
+        Alcotest.(check string) "stable" (Ir_print.program_to_string p1) (Ir_print.program_to_string p2));
+  ]
+
+let suite =
+  expr_suite @ check_suite @ inference_suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_simplify_preserves; prop_subst_is_eval; prop_inference_partitions ]

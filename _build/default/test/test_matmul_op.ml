@@ -1,0 +1,106 @@
+(* End-to-end checks of the matmul operator: every strategy must compute the
+   exact reference product through the full pipeline (lowering, DMA
+   inference, prefetching, simulated execution). *)
+
+open Swatop_ops
+
+let run_strategy t s ~a ~b =
+  let p = Swatop.Tuner.prepare (Matmul.build t s) in
+  let bindings = Matmul.bindings_for t s ~a ~b in
+  let r = Swatop.Interp.run ~bindings ~numeric:true p in
+  (Matmul.unpack_c t bindings, r)
+
+let check_strategy ?(m = 24) ?(n = 20) ?(k = 28) s_mk =
+  let t = Matmul.problem ~m ~n ~k in
+  let a = Swtensor.Tensor.random ~seed:1 (Swtensor.Shape.of_list [ m; k ]) in
+  let b = Swtensor.Tensor.random ~seed:2 (Swtensor.Shape.of_list [ k; n ]) in
+  let expected = Matmul.reference ~a ~b in
+  let s = s_mk t in
+  let got, r = run_strategy t s ~a ~b in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s matches reference" (Matmul.describe s))
+    true
+    (Swtensor.Tensor.approx_equal expected got);
+  Alcotest.(check bool) "positive simulated time" true (r.Swatop.Interp.seconds > 0.0)
+
+let base fm fn fk t =
+  ignore t;
+  {
+    Matmul.fm;
+    fn;
+    fk;
+    n_outer = false;
+    vec = Primitives.Spm_gemm.Vec_m;
+    boundary = Op_common.Switch;
+    prefetch = false;
+  }
+
+let test_aligned_noprefetch () = check_strategy ~m:32 ~n:32 ~k:32 (base 16 16 16)
+let test_aligned_prefetch () =
+  check_strategy ~m:32 ~n:32 ~k:32 (fun t -> { (base 16 16 16 t) with prefetch = true })
+
+let test_ragged_switch () = check_strategy (base 16 16 16)
+let test_ragged_switch_prefetch () =
+  check_strategy (fun t -> { (base 16 16 16 t) with prefetch = true })
+
+let test_ragged_pad_light () =
+  check_strategy (fun t -> { (base 16 16 16 t) with boundary = Op_common.Pad_light })
+
+let test_ragged_pad_light_prefetch () =
+  check_strategy (fun t ->
+      { (base 16 16 16 t) with boundary = Op_common.Pad_light; prefetch = true })
+
+let test_ragged_pad_full () =
+  check_strategy (fun t -> { (base 16 16 16 t) with boundary = Op_common.Pad_full })
+
+let test_ragged_pad_full_prefetch () =
+  check_strategy (fun t ->
+      { (base 16 16 16 t) with boundary = Op_common.Pad_full; prefetch = true })
+
+let test_n_outer_vec_n () =
+  check_strategy (fun t ->
+      { (base 20 16 12 t) with n_outer = true; vec = Primitives.Spm_gemm.Vec_n; prefetch = true })
+
+(* Every strategy in a small problem's space computes the right answer. *)
+let test_whole_space () =
+  let t = Matmul.problem ~m:24 ~n:16 ~k:40 in
+  let a = Swtensor.Tensor.random ~seed:5 (Swtensor.Shape.of_list [ 24; 40 ]) in
+  let b = Swtensor.Tensor.random ~seed:6 (Swtensor.Shape.of_list [ 40; 16 ]) in
+  let expected = Matmul.reference ~a ~b in
+  let space = Matmul.space t in
+  Alcotest.(check bool) "space is non-trivial" true (List.length space > 8);
+  List.iter
+    (fun s ->
+      let got, _ = run_strategy t s ~a ~b in
+      if not (Swtensor.Tensor.approx_equal expected got) then
+        Alcotest.failf "strategy %s computes a wrong result" (Matmul.describe s))
+    space
+
+(* Prefetching must never change results, and should not be slower. *)
+let test_prefetch_speeds_up () =
+  let t = Matmul.problem ~m:128 ~n:128 ~k:128 in
+  let s = base 32 32 32 t in
+  let p_off = Swatop.Tuner.prepare (Matmul.build t s) in
+  let p_on = Swatop.Tuner.prepare (Matmul.build t { s with prefetch = true }) in
+  let r_off = Swatop.Interp.run ~numeric:false p_off in
+  let r_on = Swatop.Interp.run ~numeric:false p_on in
+  Alcotest.(check bool) "prefetch marked overlapped" true p_on.Swatop.Ir.overlapped;
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetch not slower (%.3g vs %.3g)" r_on.seconds r_off.seconds)
+    true
+    (r_on.Swatop.Interp.seconds <= r_off.Swatop.Interp.seconds *. 1.001)
+
+let suite =
+  [
+    Alcotest.test_case "aligned, no prefetch" `Quick test_aligned_noprefetch;
+    Alcotest.test_case "aligned, prefetch" `Quick test_aligned_prefetch;
+    Alcotest.test_case "ragged, switch" `Quick test_ragged_switch;
+    Alcotest.test_case "ragged, switch + prefetch" `Quick test_ragged_switch_prefetch;
+    Alcotest.test_case "ragged, pad-light" `Quick test_ragged_pad_light;
+    Alcotest.test_case "ragged, pad-light + prefetch" `Quick test_ragged_pad_light_prefetch;
+    Alcotest.test_case "ragged, pad-full" `Quick test_ragged_pad_full;
+    Alcotest.test_case "ragged, pad-full + prefetch" `Quick test_ragged_pad_full_prefetch;
+    Alcotest.test_case "N-outer, vec-N" `Quick test_n_outer_vec_n;
+    Alcotest.test_case "whole space numerically correct" `Slow test_whole_space;
+    Alcotest.test_case "prefetch overlaps DMA" `Quick test_prefetch_speeds_up;
+  ]

@@ -1,0 +1,90 @@
+(* The offline-compiler mode: pre-generated kernels and manifest. *)
+
+open Swatop_ops
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let tiny_net =
+  {
+    Workloads.Networks.net_name = "tiny";
+    layers =
+      [
+        { Workloads.Networks.l_name = "first"; ni = 3; no = 16; out = 8; k = 3; repeat = 1 };
+        { Workloads.Networks.l_name = "mid"; ni = 16; no = 16; out = 8; k = 3; repeat = 1 };
+        { Workloads.Networks.l_name = "point"; ni = 16; no = 32; out = 8; k = 1; repeat = 1 };
+      ];
+  }
+
+let suite =
+  [
+    Alcotest.test_case "compile_network emits one kernel per eligible layer" `Quick (fun () ->
+        let compiled =
+          Offline.compile_network ~top_k:1 ~gemm_model:(Lazy.force gemm_model) ~batch:2 tiny_net
+        in
+        Alcotest.(check (list string)) "eligible layers" [ "mid"; "point" ]
+          (List.map (fun l -> l.Offline.cl_name) compiled);
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) "has source" true (String.length l.Offline.cl_source > 200);
+            Alcotest.(check string) "symbol" (l.Offline.cl_name ^ "_cpe_kernel")
+              l.Offline.cl_kernel_symbol)
+          compiled);
+    Alcotest.test_case "manifest lists every kernel" `Quick (fun () ->
+        let compiled =
+          Offline.compile_network ~top_k:1 ~gemm_model:(Lazy.force gemm_model) ~batch:2 tiny_net
+        in
+        let m = Offline.manifest compiled in
+        List.iter
+          (fun l ->
+            let contains sub =
+              let n = String.length m and k = String.length sub in
+              let rec loop i = i + k <= n && (String.sub m i k = sub || loop (i + 1)) in
+              loop 0
+            in
+            Alcotest.(check bool) ("mentions " ^ l.Offline.cl_name) true
+              (contains l.Offline.cl_kernel_symbol))
+          compiled);
+    Alcotest.test_case "write_directory produces the files" `Quick (fun () ->
+        let dir = Filename.concat (Filename.get_temp_dir_name ()) "swatop_offline_test" in
+        let compiled =
+          Offline.compile_network ~top_k:1 ~gemm_model:(Lazy.force gemm_model) ~batch:2 tiny_net
+        in
+        Offline.write_directory ~dir compiled;
+        Alcotest.(check bool) "manifest" true (Sys.file_exists (Filename.concat dir "manifest.txt"));
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) (l.Offline.cl_name ^ ".c") true
+              (Sys.file_exists (Filename.concat dir (l.Offline.cl_name ^ ".c"))))
+          compiled);
+    Alcotest.test_case "emitted kernels pass the C compiler" `Quick (fun () ->
+        if Sys.command "gcc --version > /dev/null 2>&1" <> 0 then ()
+        else begin
+          let dir = Filename.concat (Filename.get_temp_dir_name ()) "swatop_offline_gcc" in
+          let compiled =
+            Offline.compile_network ~top_k:1 ~gemm_model:(Lazy.force gemm_model) ~batch:2 tiny_net
+          in
+          Offline.write_directory ~dir compiled;
+          let runtime =
+            List.find Sys.file_exists
+              [ "../../../runtime/swatop_runtime.h"; "runtime/swatop_runtime.h" ]
+            |> Filename.dirname
+          in
+          List.iter
+            (fun l ->
+              let f = Filename.concat dir (l.Offline.cl_name ^ ".c") in
+              let cmd =
+                Printf.sprintf "gcc -std=c99 -Wall -Werror -fsyntax-only -I %s %s"
+                  (Filename.quote runtime) (Filename.quote f)
+              in
+              Alcotest.(check int) (l.Offline.cl_name ^ " compiles") 0 (Sys.command cmd))
+            compiled
+        end);
+    Alcotest.test_case "inapplicable problems are rejected" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Offline.compile_layer ~gemm_model:(Lazy.force gemm_model) ~name:"x" spec);
+             false
+           with Invalid_argument _ -> true));
+  ]

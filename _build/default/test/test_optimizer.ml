@@ -1,0 +1,176 @@
+(* The IR optimizer passes: prefetch structure and semantics-preservation,
+   over real operator programs. *)
+
+open Swatop
+open Swatop_ops
+
+let count_if pred stmt = Ir.fold_stmt (fun acc s -> if pred s then acc + 1 else acc) 0 stmt
+
+let matmul_program ~prefetch =
+  let t = Matmul.problem ~m:24 ~n:16 ~k:40 in
+  let s =
+    {
+      Matmul.fm = 8;
+      fn = 8;
+      fk = 8;
+      n_outer = false;
+      vec = Primitives.Spm_gemm.Vec_m;
+      boundary = Op_common.Switch;
+      prefetch;
+    }
+  in
+  (t, s, Dma_inference.apply (Matmul.build t s))
+
+let structure_suite =
+  [
+    Alcotest.test_case "pass double-buffers the streamed SPM buffers" `Quick (fun () ->
+        let _, _, p = matmul_program ~prefetch:true in
+        let p' = Prefetch.apply p in
+        Alcotest.(check bool) "overlapped" true p'.Ir.overlapped;
+        List.iter
+          (fun name ->
+            match Ir.find_buf p' name with
+            | Some b -> Alcotest.(check bool) (name ^ " doubled") true b.Ir.double_buffered
+            | None -> Alcotest.fail ("missing buffer " ^ name))
+          [ "a_tile"; "b_tile"; "c_tile" ]);
+    Alcotest.test_case "no marked loop means no change" `Quick (fun () ->
+        let _, _, p = matmul_program ~prefetch:false in
+        let p' = Prefetch.apply p in
+        Alcotest.(check bool) "not overlapped" false p'.Ir.overlapped;
+        Alcotest.(check string) "body untouched"
+          (Ir_print.program_to_string p) (Ir_print.program_to_string p'));
+    Alcotest.test_case "initial fill precedes the nest" `Quick (fun () ->
+        let _, _, p = matmul_program ~prefetch:true in
+        let p' = Prefetch.apply p in
+        (match p'.Ir.body with
+        | Ir.Seq (Ir.Comment c :: fill :: _) ->
+          Alcotest.(check string) "comment" "prefetch: initial fill" c;
+          Alcotest.(check bool) "fill has gets" true
+            (count_if (function Ir.Dma { dir = Ir.Get; _ } -> true | _ -> false) fill > 0)
+        | _ -> Alcotest.fail "missing initial fill"));
+    Alcotest.test_case "marked loops are consumed (idempotent)" `Quick (fun () ->
+        let _, _, p = matmul_program ~prefetch:true in
+        let p' = Prefetch.apply p in
+        let marked =
+          count_if (function Ir.For { prefetch = true; _ } -> true | _ -> false) p'.Ir.body
+        in
+        Alcotest.(check int) "no marks left" 0 marked;
+        let p'' = Prefetch.apply p' in
+        Alcotest.(check string) "second apply is identity"
+          (Ir_print.program_to_string p') (Ir_print.program_to_string p''));
+    Alcotest.test_case "next-iteration inference emits the if-chain" `Quick (fun () ->
+        let _, _, p = matmul_program ~prefetch:true in
+        let p' = Prefetch.apply p in
+        (* chain depth 2 (im, in): the innermost body starts with a 2-level
+           conditional prefetch block *)
+        let ifs = count_if (function Ir.If _ -> true | _ -> false) p'.Ir.body in
+        Alcotest.(check bool) "conditionals present" true (ifs >= 2));
+    Alcotest.test_case "malformed nests are rejected" `Quick (fun () ->
+        (* a marked loop with no Get DMA below *)
+        let spm = Ir.spm_buf ~name:"s" ~cg_elems:16 ~cpe_elems:4 in
+        let body =
+          Ir.for_ ~prefetch:true ~iter:"i" ~lo:(Ir.int 0) ~hi:(Ir.int 4)
+            (Ir.Memset_spm { buf = "s"; offset = Ir.int 0; elems = Ir.int 4 })
+        in
+        let p = Ir.program ~name:"bad" ~bufs:[ spm ] body in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Prefetch.apply p);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "non-constant chain bounds are rejected" `Quick (fun () ->
+        let main = Ir.main_buf ~name:"m" ~elems:64 in
+        let spm = Ir.spm_buf ~name:"s" ~cg_elems:16 ~cpe_elems:4 in
+        let get =
+          Ir.Dma
+            {
+              dir = Ir.Get;
+              main = "m";
+              spm = "s";
+              tag = Ir.int 0;
+              region =
+                { offset = Ir.var "i"; rows = Ir.int 1; row_elems = Ir.int 4; row_stride = Ir.int 4 };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 4;
+              partition = Ir.P_cols;
+              per_cpe = None;
+            }
+        in
+        let inner = Ir.for_ ~iter:"i" ~lo:(Ir.int 0) ~hi:(Ir.var "n") get in
+        let body = Ir.for_ ~prefetch:true ~iter:"n" ~lo:(Ir.int 1) ~hi:(Ir.int 3) inner in
+        let p = Dma_inference.apply (Ir.program ~name:"dyn" ~bufs:[ main; spm ] body) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Prefetch.apply p);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* Semantics preservation, the heart of the pass: on every operator the
+   prefetched program must produce bit-identical results and never be
+   slower. Matmul/conv suites already check result equality per strategy;
+   here we property-test across random shapes. *)
+let prop_prefetch_preserves_matmul =
+  QCheck2.Test.make ~name:"prefetch preserves matmul results and never hurts" ~count:30
+    QCheck2.Gen.(tup3 (int_range 4 40) (int_range 4 40) (int_range 4 40))
+    (fun (m, n, k) ->
+      let t = Matmul.problem ~m ~n ~k in
+      let s =
+        {
+          Matmul.fm = 8;
+          fn = 8;
+          fk = 8;
+          n_outer = false;
+          vec = Primitives.Spm_gemm.Vec_n;
+          boundary = Op_common.Pad_light;
+          prefetch = false;
+        }
+      in
+      let a = Swtensor.Tensor.random ~seed:m (Swtensor.Shape.of_list [ m; k ]) in
+      let b = Swtensor.Tensor.random ~seed:n (Swtensor.Shape.of_list [ k; n ]) in
+      let run s =
+        let p = Tuner.prepare (Matmul.build t s) in
+        let bindings = Matmul.bindings_for t s ~a ~b in
+        let r = Interp.run ~bindings ~numeric:true p in
+        (Matmul.unpack_c t bindings, r.Interp.seconds)
+      in
+      let c_off, t_off = run s in
+      let c_on, t_on = run { s with prefetch = true } in
+      Swtensor.Tensor.approx_equal c_off c_on && t_on <= t_off *. 1.0001)
+
+let prop_prefetch_preserves_implicit_conv =
+  QCheck2.Test.make ~name:"prefetch preserves implicit conv (incl. row slabs)" ~count:15
+    QCheck2.Gen.(
+      tup4 (int_range 1 3) (int_range 4 10) (int_range 4 12) (int_range 4 9))
+    (fun (b, ni, no, ro) ->
+      let spec = Swtensor.Conv_spec.create ~b ~ni ~no ~ro ~co:(ro + 1) ~kr:3 ~kc:3 () in
+      let t = Conv_implicit.problem spec in
+      let input = Swtensor.Tensor.random ~seed:ni (Swtensor.Conv_spec.input_shape spec) in
+      let weight = Swtensor.Tensor.random ~seed:no (Swtensor.Conv_spec.weight_shape spec) in
+      let s =
+        {
+          Conv_implicit.tile = Conv_implicit.Row_slab 2;
+          fi = 4;
+          fo = 4;
+          pixel_order = Conv_implicit.Ro_outer;
+          reduce_order = Conv_implicit.Taps_then_ni;
+          w_oi = true;
+          vec = Primitives.Spm_gemm.Vec_n;
+          boundary = Op_common.Switch;
+          prefetch = false;
+        }
+      in
+      let run s =
+        let p = Tuner.prepare (Conv_implicit.build t s) in
+        let bindings = Conv_implicit.bindings_for t s ~input ~weight in
+        let r = Interp.run ~bindings ~numeric:true p in
+        (Conv_implicit.unpack_output t bindings, r.Interp.seconds)
+      in
+      let off, t_off = run s in
+      let on_, t_on = run { s with prefetch = true } in
+      Swtensor.Tensor.approx_equal off on_ && t_on <= t_off *. 1.0001)
+
+let suite =
+  structure_suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_prefetch_preserves_matmul; prop_prefetch_preserves_implicit_conv ]

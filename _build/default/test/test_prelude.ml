@@ -1,0 +1,96 @@
+(* Unit and property tests of the shared utilities. *)
+
+let ints_suite =
+  let open Prelude.Ints in
+  [
+    Alcotest.test_case "ceil_div basics" `Quick (fun () ->
+        Alcotest.(check int) "7/2" 4 (ceil_div 7 2);
+        Alcotest.(check int) "8/2" 4 (ceil_div 8 2);
+        Alcotest.(check int) "0/5" 0 (ceil_div 0 5);
+        Alcotest.(check int) "1/5" 1 (ceil_div 1 5));
+    Alcotest.test_case "align up/down" `Quick (fun () ->
+        Alcotest.(check int) "up 129->256" 256 (align_up 129 128);
+        Alcotest.(check int) "up 128->128" 128 (align_up 128 128);
+        Alcotest.(check int) "down 129->128" 128 (align_down 129 128);
+        Alcotest.(check int) "down 127->0" 0 (align_down 127 128));
+    Alcotest.test_case "clamp" `Quick (fun () ->
+        Alcotest.(check int) "below" 3 (clamp ~lo:3 ~hi:9 1);
+        Alcotest.(check int) "above" 9 (clamp ~lo:3 ~hi:9 99);
+        Alcotest.(check int) "inside" 5 (clamp ~lo:3 ~hi:9 5));
+    Alcotest.test_case "divisors" `Quick (fun () ->
+        Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (divisors 12);
+        Alcotest.(check (list int)) "1" [ 1 ] (divisors 1);
+        Alcotest.(check (list int)) "13" [ 1; 13 ] (divisors 13));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        Alcotest.(check int) "2^10" 1024 (pow 2 10);
+        Alcotest.(check int) "x^0" 1 (pow 7 0));
+  ]
+
+let prop_ceil_div =
+  QCheck2.Test.make ~name:"ceil_div is the least sufficient multiple" ~count:500
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 500))
+    (fun (a, b) ->
+      let q = Prelude.Ints.ceil_div a b in
+      (q * b) >= a && (q - 1) * b < a)
+
+let prop_divisors =
+  QCheck2.Test.make ~name:"divisors divide and cover" ~count:200
+    QCheck2.Gen.(int_range 1 2000)
+    (fun n ->
+      let ds = Prelude.Ints.divisors n in
+      List.for_all (fun d -> n mod d = 0) ds
+      && List.length ds
+         = List.length (List.filter (fun d -> n mod d = 0) (Prelude.Lists.range 1 (n + 1))))
+
+let lists_suite =
+  let open Prelude.Lists in
+  [
+    Alcotest.test_case "range" `Quick (fun () ->
+        Alcotest.(check (list int)) "0..4" [ 0; 1; 2; 3 ] (range 0 4);
+        Alcotest.(check (list int)) "empty" [] (range 3 3));
+    Alcotest.test_case "cartesian" `Quick (fun () ->
+        Alcotest.(check int) "2x3" 6 (List.length (cartesian2 [ 1; 2 ] [ 1; 2; 3 ]));
+        Alcotest.(check int) "2x3x4" 24 (List.length (cartesian3 [ 1; 2 ] [ 1; 2; 3 ] [ 1; 2; 3; 4 ])));
+    Alcotest.test_case "take_every" `Quick (fun () ->
+        Alcotest.(check (list int)) "every 2nd" [ 0; 2; 4 ] (take_every 2 [ 0; 1; 2; 3; 4 ]);
+        Alcotest.(check (list int)) "every 1st" [ 1; 2 ] (take_every 1 [ 1; 2 ]));
+    Alcotest.test_case "extrema" `Quick (fun () ->
+        Alcotest.(check int) "min" 3 (min_float_by float_of_int [ 9; 3; 7 ]);
+        Alcotest.(check int) "max" 9 (max_float_by float_of_int [ 9; 3; 7 ]));
+    Alcotest.test_case "permutations" `Quick (fun () ->
+        Alcotest.(check int) "3! = 6" 6 (List.length (permutations [ 1; 2; 3 ])));
+  ]
+
+let linsolve_suite =
+  [
+    Alcotest.test_case "solve 2x2" `Quick (fun () ->
+        let x = Prelude.Linsolve.solve [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] [| 5.0; 10.0 |] in
+        Alcotest.(check bool) "x0" true (Prelude.Floats.approx_equal x.(0) 1.0);
+        Alcotest.(check bool) "x1" true (Prelude.Floats.approx_equal x.(1) 3.0));
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        Alcotest.check_raises "singular" (Failure "Linsolve.solve: singular system") (fun () ->
+            ignore (Prelude.Linsolve.solve [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 2.0 |])));
+    Alcotest.test_case "least squares recovers exact linear data" `Quick (fun () ->
+        (* y = 3a + 2b + 1 *)
+        let xs = [| [| 1.; 0.; 1. |]; [| 0.; 1.; 1. |]; [| 2.; 3.; 1. |]; [| 5.; 1.; 1. |] |] in
+        let ys = Array.map (fun r -> (3. *. r.(0)) +. (2. *. r.(1)) +. r.(2)) xs in
+        let c = Prelude.Linsolve.least_squares xs ys in
+        List.iter2
+          (fun got want ->
+            Alcotest.(check bool)
+              (Printf.sprintf "coef %g" want)
+              true
+              (Prelude.Floats.approx_equal ~eps:1e-3 got want))
+          (Array.to_list c) [ 3.0; 2.0; 1.0 ]);
+  ]
+
+let floats_suite =
+  [
+    Alcotest.test_case "mean / geomean" `Quick (fun () ->
+        Alcotest.(check bool) "mean" true (Prelude.Floats.approx_equal 2.0 (Prelude.Floats.mean [ 1.; 2.; 3. ]));
+        Alcotest.(check bool) "geomean" true (Prelude.Floats.approx_equal 2.0 (Prelude.Floats.geomean [ 1.; 4. ])));
+  ]
+
+let suite =
+  ints_suite @ lists_suite @ linsolve_suite @ floats_suite
+  @ List.map QCheck_alcotest.to_alcotest [ prop_ceil_div; prop_divisors ]

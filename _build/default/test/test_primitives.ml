@@ -1,0 +1,141 @@
+(* The tensorized GEMM micro-kernel: numeric equivalence with the reference,
+   cycle-model properties, and the eight variants. *)
+
+module G = Primitives.Spm_gemm
+
+let flat_random seed n =
+  let st = Random.State.make [| seed |] in
+  Array.init n (fun _ -> Random.State.float st 2.0 -. 1.0)
+
+let reference_result ~m ~n ~k a b =
+  let c = Array.make (m * n) 0.0 in
+  Swtensor.Gemm_ref.gemm ~beta:0.0 ~m ~n ~k ~a ~lda:k ~b ~ldb:n ~c ~ldc:n ();
+  c
+
+let transpose ~rows ~cols x = Array.init (rows * cols) (fun i -> x.((i mod rows * cols) + (i / rows)))
+
+let variant_suite =
+  [
+    Alcotest.test_case "eight variants, stable names" `Quick (fun () ->
+        Alcotest.(check int) "8" 8 (List.length G.all_variants);
+        List.iter
+          (fun v ->
+            match G.variant_of_name (G.variant_name v) with
+            | Some v' -> Alcotest.(check bool) "round trip" true (v = v')
+            | None -> Alcotest.fail "name did not round trip")
+          G.all_variants);
+    Alcotest.test_case "every variant computes the same product" `Quick (fun () ->
+        let m = 9 and n = 7 and k = 5 in
+        let a = flat_random 1 (m * k) and b = flat_random 2 (k * n) in
+        let expected = reference_result ~m ~n ~k a b in
+        List.iter
+          (fun (v : G.variant) ->
+            let a_stored, lda =
+              match v.a_major with G.Row_major -> (a, k) | G.Col_major -> (transpose ~rows:m ~cols:k a, m)
+            in
+            let b_stored, ldb =
+              match v.b_major with G.Row_major -> (b, n) | G.Col_major -> (transpose ~rows:k ~cols:n b, k)
+            in
+            let c = Array.make (m * n) 0.0 in
+            let call = G.call ~variant:v ~m ~n ~k ~lda ~ldb ~ldc:n in
+            G.exec call ~a:a_stored ~ao:0 ~b:b_stored ~bo:0 ~c ~co:0;
+            Array.iteri
+              (fun i x ->
+                if not (Prelude.Floats.approx_equal x expected.(i)) then
+                  Alcotest.failf "%s wrong at %d" (G.variant_name v) i)
+              c)
+          G.all_variants);
+    Alcotest.test_case "exec accumulates into C" `Quick (fun () ->
+        let call =
+          G.call ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m } ~m:2 ~n:2 ~k:2
+            ~lda:2 ~ldb:2 ~ldc:2
+        in
+        let a = [| 1.; 0.; 0.; 1. |] and b = [| 1.; 2.; 3.; 4. |] in
+        let c = [| 10.; 10.; 10.; 10. |] in
+        G.exec call ~a ~ao:0 ~b ~bo:0 ~c ~co:0;
+        Alcotest.(check (float 1e-9)) "c00" 11.0 c.(0));
+    Alcotest.test_case "offsets address into larger buffers" `Quick (fun () ->
+        let call =
+          G.call ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_n } ~m:2 ~n:2 ~k:2
+            ~lda:4 ~ldb:4 ~ldc:4
+        in
+        let a = Array.make 32 0.0 and b = Array.make 32 0.0 and c = Array.make 32 0.0 in
+        a.(8) <- 2.0;
+        (* a[0][0] at offset 8 *)
+        b.(16) <- 3.0;
+        G.exec call ~a ~ao:8 ~b ~bo:16 ~c ~co:4;
+        Alcotest.(check (float 1e-9)) "c at offset" 6.0 c.(4));
+    Alcotest.test_case "invalid call rejected" `Quick (fun () ->
+        Alcotest.(check bool) "lda < k" true
+          (try
+             ignore
+               (G.call ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m } ~m:4 ~n:4
+                  ~k:8 ~lda:4 ~ldb:4 ~ldc:4);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let cycles_suite =
+  let call ?(vec = G.Vec_m) m n k =
+    G.call ~variant:{ a_major = Row_major; b_major = Row_major; vec } ~m ~n ~k ~lda:k ~ldb:n ~ldc:n
+  in
+  [
+    Alcotest.test_case "cycles grow monotonically with k" `Quick (fun () ->
+        Alcotest.(check bool) "k" true (G.cycles (call 64 64 128) > G.cycles (call 64 64 64)));
+    Alcotest.test_case "large balanced call approaches peak" `Quick (fun () ->
+        let c = call 512 512 256 in
+        Alcotest.(check bool)
+          (Printf.sprintf "eff %.2f > 0.9" (G.efficiency c))
+          true
+          (G.efficiency c > 0.9));
+    Alcotest.test_case "tiny call dominated by overhead" `Quick (fun () ->
+        Alcotest.(check bool) "eff < 0.2" true (G.efficiency (call 8 8 8) < 0.2));
+    Alcotest.test_case "efficiency never exceeds 1" `Quick (fun () ->
+        List.iter
+          (fun (m, n, k) ->
+            let c = call m n k in
+            if G.efficiency c > 1.0 then Alcotest.failf "eff > 1 at %dx%dx%d" m n k)
+          [ (8, 8, 8); (64, 64, 64); (128, 512, 256); (512, 512, 512); (1000, 1000, 100) ]);
+    Alcotest.test_case "vectorization dimension changes cost" `Quick (fun () ->
+        (* deep M, shallow N: vectorizing M packs lanes better *)
+        let vm = G.cycles (call ~vec:G.Vec_m 512 16 64) in
+        let vn = G.cycles (call ~vec:G.Vec_n 512 16 64) in
+        Alcotest.(check bool) "vec-M cheaper" true (vm < vn));
+    Alcotest.test_case "SPM footprints cover the 8x8 partition" `Quick (fun () ->
+        let c = call 65 17 9 in
+        Alcotest.(check int) "a" (9 * 2) (G.spm_elems_a c);
+        Alcotest.(check int) "b" (2 * 3) (G.spm_elems_b c);
+        Alcotest.(check int) "c" (9 * 3) (G.spm_elems_c c));
+  ]
+
+let prop_exec_matches_reference =
+  QCheck2.Test.make ~name:"kernel numeric execution matches reference GEMM" ~count:60
+    QCheck2.Gen.(tup4 (int_range 1 12) (int_range 1 12) (int_range 1 12) (int_bound 7))
+    (fun (m, n, k, variant_idx) ->
+      let v = List.nth G.all_variants variant_idx in
+      let a = flat_random 3 (m * k) and b = flat_random 4 (k * n) in
+      let a_stored, lda =
+        match v.a_major with G.Row_major -> (a, k) | G.Col_major -> (transpose ~rows:m ~cols:k a, m)
+      in
+      let b_stored, ldb =
+        match v.b_major with G.Row_major -> (b, n) | G.Col_major -> (transpose ~rows:k ~cols:n b, k)
+      in
+      let c = Array.make (m * n) 0.0 in
+      G.exec (G.call ~variant:v ~m ~n ~k ~lda ~ldb ~ldc:n) ~a:a_stored ~ao:0 ~b:b_stored ~bo:0 ~c
+        ~co:0;
+      let expected = reference_result ~m ~n ~k a b in
+      Array.for_all2 (fun x y -> Prelude.Floats.approx_equal x y) c expected)
+
+let prop_cycles_monotone_in_volume =
+  QCheck2.Test.make ~name:"doubling every dimension increases cycles" ~count:100
+    QCheck2.Gen.(tup3 (int_range 1 128) (int_range 1 128) (int_range 1 128))
+    (fun (m, n, k) ->
+      let call m n k =
+        G.call ~variant:{ a_major = Row_major; b_major = Row_major; vec = Vec_m } ~m ~n ~k ~lda:k
+          ~ldb:n ~ldc:n
+      in
+      G.cycles (call (2 * m) (2 * n) (2 * k)) > G.cycles (call m n k))
+
+let suite =
+  variant_suite @ cycles_suite
+  @ List.map QCheck_alcotest.to_alcotest [ prop_exec_matches_reference; prop_cycles_monotone_in_volume ]

@@ -1,0 +1,176 @@
+(* The hardware models: SPM planner, DMA transaction accounting (Eq. 1),
+   async engine semantics, register communication and the pipeline model. *)
+
+module D = Sw26010.Dma
+module S = Sw26010.Spm
+
+let spm_suite =
+  [
+    Alcotest.test_case "plan lays buffers without overlap" `Quick (fun () ->
+        let reqs =
+          [
+            S.request ~name:"a" ~bytes:100 ();
+            S.request ~name:"b" ~bytes:64 ();
+            S.request ~double_buffered:true ~name:"c" ~bytes:32 ();
+          ]
+        in
+        match S.plan reqs with
+        | Error e -> Alcotest.fail e
+        | Ok plan ->
+          Alcotest.(check int) "used" (128 + 64 + 128) plan.S.used_bytes;
+          let a = Option.get (S.find_slot plan "a") in
+          let b = Option.get (S.find_slot plan "b") in
+          Alcotest.(check bool) "no overlap" true (b.S.offset >= a.S.offset + a.S.slot_bytes));
+    Alcotest.test_case "capacity enforced" `Quick (fun () ->
+        let reqs = [ S.request ~name:"big" ~bytes:(Sw26010.Config.spm_bytes + 1) () ] in
+        Alcotest.(check bool) "over" false (S.fits reqs);
+        match S.plan reqs with
+        | Ok _ -> Alcotest.fail "should not fit"
+        | Error _ -> ());
+    Alcotest.test_case "duplicate names rejected" `Quick (fun () ->
+        match S.plan [ S.request ~name:"x" ~bytes:4 (); S.request ~name:"x" ~bytes:4 () ] with
+        | Ok _ -> Alcotest.fail "duplicates accepted"
+        | Error _ -> ());
+    Alcotest.test_case "double buffering doubles the footprint" `Quick (fun () ->
+        let once = S.footprint [ S.request ~name:"t" ~bytes:1000 () ] in
+        let twice = S.footprint [ S.request ~double_buffered:true ~name:"t" ~bytes:1000 () ] in
+        Alcotest.(check int) "2x" (2 * once) twice);
+  ]
+
+let dma_suite =
+  [
+    Alcotest.test_case "aligned contiguous transfer has no waste" `Quick (fun () ->
+        let d = D.contiguous ~offset_bytes:0 ~bytes:1024 in
+        Alcotest.(check int) "payload" 1024 (D.payload_bytes d);
+        Alcotest.(check int) "waste" 0 (D.waste_bytes d));
+    Alcotest.test_case "misaligned block pays both boundaries" `Quick (fun () ->
+        (* 4 bytes at offset 126 straddles two 128-byte transactions. *)
+        let d = D.contiguous ~offset_bytes:126 ~bytes:4 in
+        Alcotest.(check int) "transactions" 256 (D.transaction_bytes d));
+    Alcotest.test_case "strided blocks accumulate waste per block" `Quick (fun () ->
+        let d = D.descriptor ~offset_bytes:0 ~block_bytes:4 ~stride_bytes:512 ~block_count:10 in
+        (* each 4-byte touch moves a full 128-byte transaction *)
+        Alcotest.(check int) "transactions" 1280 (D.transaction_bytes d);
+        Alcotest.(check bool) "efficiency" true (D.efficiency d < 0.04));
+    Alcotest.test_case "Eq. 1: latency plus transmission" `Quick (fun () ->
+        let d = D.contiguous ~offset_bytes:0 ~bytes:(128 * 64) in
+        let per_cpe_bw = Sw26010.Config.dma_peak_bw /. 64.0 in
+        let expect = Sw26010.Config.dma_latency_s +. (float_of_int (128 * 64) /. per_cpe_bw) in
+        Alcotest.(check bool) "time" true (Prelude.Floats.approx_equal expect (D.time_one_cpe d)));
+    Alcotest.test_case "empty transfer is free" `Quick (fun () ->
+        let d = D.descriptor ~offset_bytes:64 ~block_bytes:0 ~stride_bytes:0 ~block_count:5 in
+        Alcotest.(check (float 0.0)) "zero" 0.0 (D.time_one_cpe d));
+    Alcotest.test_case "invalid descriptors rejected" `Quick (fun () ->
+        Alcotest.(check bool) "overlap" true
+          (try
+             ignore (D.descriptor ~offset_bytes:0 ~block_bytes:64 ~stride_bytes:32 ~block_count:2);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+(* The periodic fast path of transaction_bytes must agree with the direct
+   per-block sum. *)
+let prop_transaction_periodic =
+  let gen =
+    QCheck2.Gen.(
+      map
+        (fun (offset, block, extra, count) -> (offset * 4, block * 4, (block * 4) + (extra * 4), count))
+        (tup4 (int_bound 200) (int_range 1 300) (int_bound 100) (int_range 1 300)))
+  in
+  QCheck2.Test.make ~name:"transaction_bytes matches per-block sum" ~count:500 gen
+    (fun (offset_bytes, block_bytes, stride_bytes, block_count) ->
+      let d = D.descriptor ~offset_bytes ~block_bytes ~stride_bytes ~block_count in
+      let direct = ref 0 in
+      let t = Sw26010.Config.dram_transaction_bytes in
+      for i = 0 to block_count - 1 do
+        let start = offset_bytes + (i * stride_bytes) in
+        direct :=
+          !direct + (Prelude.Ints.align_up (start + block_bytes) t - Prelude.Ints.align_down start t)
+      done;
+      D.transaction_bytes d = !direct)
+
+let prop_waste_nonneg =
+  let gen =
+    QCheck2.Gen.(
+      map
+        (fun (o, b, e, c) -> (o * 4, b * 4, (b * 4) + (e * 4), c))
+        (tup4 (int_bound 64) (int_range 1 200) (int_bound 64) (int_range 1 100)))
+  in
+  QCheck2.Test.make ~name:"waste is non-negative, bounded by 2 transactions/block" ~count:500 gen
+    (fun (offset_bytes, block_bytes, stride_bytes, block_count) ->
+      let d = D.descriptor ~offset_bytes ~block_bytes ~stride_bytes ~block_count in
+      let w = D.waste_bytes d in
+      w >= 0 && w <= block_count * 2 * Sw26010.Config.dram_transaction_bytes)
+
+let engine_suite =
+  [
+    Alcotest.test_case "engine serializes occupancy, pipelines latency" `Quick (fun () ->
+        let e = D.Engine.create () in
+        D.Engine.issue e ~now:0.0 ~tag:1 ~occupancy:1.0 ~latency:0.5;
+        D.Engine.issue e ~now:0.0 ~tag:2 ~occupancy:1.0 ~latency:0.5;
+        (* second transmits 1..2, reply 0.5 later *)
+        Alcotest.(check (float 1e-9)) "second completes at 2.5" 2.5 (D.Engine.wait e ~now:0.0 ~tag:2));
+    Alcotest.test_case "wait returns now for unknown tags" `Quick (fun () ->
+        let e = D.Engine.create () in
+        Alcotest.(check (float 0.0)) "now" 5.0 (D.Engine.wait e ~now:5.0 ~tag:3));
+    Alcotest.test_case "reply word accumulates same-tag transfers" `Quick (fun () ->
+        let e = D.Engine.create () in
+        D.Engine.issue e ~now:0.0 ~tag:7 ~occupancy:1.0 ~latency:0.0;
+        D.Engine.issue e ~now:0.0 ~tag:7 ~occupancy:2.0 ~latency:0.0;
+        Alcotest.(check (float 1e-9)) "last completion" 3.0 (D.Engine.wait e ~now:0.0 ~tag:7);
+        Alcotest.(check (float 0.0)) "consumed" 0.0 (D.Engine.wait e ~now:0.0 ~tag:7));
+    Alcotest.test_case "wait never travels back in time" `Quick (fun () ->
+        let e = D.Engine.create () in
+        D.Engine.issue e ~now:0.0 ~tag:1 ~occupancy:0.5 ~latency:0.0;
+        Alcotest.(check (float 0.0)) "max(now, completion)" 9.0 (D.Engine.wait e ~now:9.0 ~tag:1));
+    Alcotest.test_case "large tags grow the table" `Quick (fun () ->
+        let e = D.Engine.create () in
+        D.Engine.issue e ~now:0.0 ~tag:1000 ~occupancy:1.0 ~latency:0.0;
+        Alcotest.(check (float 1e-9)) "completes" 1.0 (D.Engine.wait e ~now:0.0 ~tag:1000));
+  ]
+
+let pipeline_suite =
+  let open Sw26010.Pipeline in
+  [
+    Alcotest.test_case "balanced block issues one per pipe per cycle" `Quick (fun () ->
+        Alcotest.(check int) "16/16" 16 (cycles (block ~p0_ops:16 ~p1_ops:16 ())));
+    Alcotest.test_case "flexible ops fill slack first" `Quick (fun () ->
+        Alcotest.(check int) "slack absorbs" 16 (cycles (block ~flexible_ops:8 ~p0_ops:16 ~p1_ops:8 ())));
+    Alcotest.test_case "overflow splits across pipes" `Quick (fun () ->
+        Alcotest.(check int) "16+((10-0)/2)" 21 (cycles (block ~flexible_ops:10 ~p0_ops:16 ~p1_ops:16 ())));
+    Alcotest.test_case "stalls add up" `Quick (fun () ->
+        Alcotest.(check int) "raw" 20 (cycles (block ~raw_stalls:4 ~p0_ops:16 ~p1_ops:8 ())));
+    Alcotest.test_case "utilization bounded" `Quick (fun () ->
+        let b = block ~p0_ops:16 ~p1_ops:16 () in
+        Alcotest.(check (float 1e-9)) "full" 1.0 (utilization b));
+  ]
+
+let regcomm_suite =
+  [
+    Alcotest.test_case "broadcast cost scales with bytes" `Quick (fun () ->
+        let one = Sw26010.Regcomm.broadcast_cycles ~bytes:1024 in
+        let two = Sw26010.Regcomm.broadcast_cycles ~bytes:2048 in
+        Alcotest.(check bool) "2x" true (Prelude.Floats.approx_equal (2.0 *. one) two));
+    Alcotest.test_case "phase adds switch latency" `Quick (fun () ->
+        let base = Sw26010.Regcomm.phase_cycles ~switches:0 ~bytes_per_cpe:512 in
+        let sw = Sw26010.Regcomm.phase_cycles ~switches:3 ~bytes_per_cpe:512 in
+        Alcotest.(check (float 1e-6)) "3 switches"
+          (float_of_int (3 * Sw26010.Regcomm.switch_cycles))
+          (sw -. base));
+  ]
+
+let core_group_suite =
+  [
+    Alcotest.test_case "clock advances and drains DMA" `Quick (fun () ->
+        let cg = Sw26010.Core_group.create () in
+        Sw26010.Core_group.issue_dma cg ~tag:0 ~occupancy:2.0 ~latency:0.0;
+        Sw26010.Core_group.advance cg 0.5;
+        Alcotest.(check (float 1e-9)) "compute time" 0.5 (Sw26010.Core_group.compute_busy cg);
+        Sw26010.Core_group.wait_dma cg ~tag:0;
+        Alcotest.(check (float 1e-9)) "waited to completion" 2.0 (Sw26010.Core_group.now cg);
+        Alcotest.(check (float 1e-9)) "dma busy" 2.0 (Sw26010.Core_group.dma_busy cg));
+  ]
+
+let suite =
+  spm_suite @ dma_suite @ engine_suite @ pipeline_suite @ regcomm_suite @ core_group_suite
+  @ List.map QCheck_alcotest.to_alcotest [ prop_transaction_periodic; prop_waste_nonneg ]

@@ -1,0 +1,205 @@
+(* Tensor substrate: shapes, layouts, dense tensors and the reference
+   operators that act as numeric oracles. *)
+
+module T = Swtensor.Tensor
+module Sh = Swtensor.Shape
+module L = Swtensor.Layout
+
+let shape_suite =
+  [
+    Alcotest.test_case "numel / strides" `Quick (fun () ->
+        let s = Sh.of_list [ 2; 3; 4 ] in
+        Alcotest.(check int) "numel" 24 (Sh.numel s);
+        Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Sh.strides s));
+    Alcotest.test_case "linear_index round trip" `Quick (fun () ->
+        let s = Sh.of_list [ 3; 5; 7 ] in
+        for lin = 0 to Sh.numel s - 1 do
+          Alcotest.(check int) "round trip" lin (Sh.linear_index s (Sh.unflatten s lin))
+        done);
+    Alcotest.test_case "bounds checked" `Quick (fun () ->
+        let s = Sh.of_list [ 2; 2 ] in
+        Alcotest.(check bool) "oob" true
+          (try
+             ignore (Sh.linear_index s [| 2; 0 |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "conv_output" `Quick (fun () ->
+        Alcotest.(check int) "stride 1 pad 0" 26 (Sh.conv_output ~input:28 ~kernel:3 ~stride:1 ~pad:0);
+        Alcotest.(check int) "stride 2 pad 1" 14 (Sh.conv_output ~input:28 ~kernel:3 ~stride:2 ~pad:1));
+  ]
+
+let layout_suite =
+  [
+    Alcotest.test_case "identity strides are row-major" `Quick (fun () ->
+        let l = L.identity 3 in
+        Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (L.strides l (Sh.of_list [ 2; 3; 4 ])));
+    Alcotest.test_case "permuted layout" `Quick (fun () ->
+        (* store as (axis1, axis0): axis 0 becomes innermost *)
+        let l = L.create ~perm:[| 1; 0 |] in
+        let s = Sh.of_list [ 4; 6 ] in
+        Alcotest.(check (array int)) "strides" [| 1; 4 |] (L.strides l s);
+        Alcotest.(check int) "offset (2,3)" (2 + (3 * 4)) (L.offset l s [| 2; 3 |]);
+        Alcotest.(check int) "innermost" 0 (L.innermost_axis l));
+    Alcotest.test_case "all layouts of rank 3" `Quick (fun () ->
+        Alcotest.(check int) "3!" 6 (List.length (L.all 3)));
+    Alcotest.test_case "non-permutation rejected" `Quick (fun () ->
+        Alcotest.(check bool) "reject" true
+          (try
+             ignore (L.create ~perm:[| 0; 0 |]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "to_string" `Quick (fun () ->
+        let l = L.create ~perm:[| 1; 2; 3; 0 |] in
+        Alcotest.(check string) "CHWB" "CHWB" (L.to_string ~axis_names:[| "B"; "C"; "H"; "W" |] l));
+  ]
+
+let prop_layout_bijective =
+  QCheck2.Test.make ~name:"layout offsets are a bijection" ~count:100
+    QCheck2.Gen.(tup3 (int_range 1 5) (int_range 1 5) (int_range 1 5))
+    (fun (a, b, c) ->
+      let s = Sh.of_list [ a; b; c ] in
+      List.for_all
+        (fun l ->
+          let seen = Hashtbl.create 16 in
+          let ok = ref true in
+          for lin = 0 to Sh.numel s - 1 do
+            let off = L.offset l s (Sh.unflatten s lin) in
+            if Hashtbl.mem seen off || off < 0 || off >= Sh.numel s then ok := false;
+            Hashtbl.replace seen off ()
+          done;
+          !ok)
+        (L.all 3))
+
+let tensor_suite =
+  [
+    Alcotest.test_case "of_fn / get agree" `Quick (fun () ->
+        let t = T.of_fn (Sh.of_list [ 3; 4 ]) (fun i -> float_of_int ((i.(0) * 10) + i.(1))) in
+        Alcotest.(check (float 0.0)) "(2,3)" 23.0 (T.get t [| 2; 3 |]));
+    Alcotest.test_case "random is deterministic per seed" `Quick (fun () ->
+        let a = T.random ~seed:5 (Sh.of_list [ 8; 8 ]) in
+        let b = T.random ~seed:5 (Sh.of_list [ 8; 8 ]) in
+        let c = T.random ~seed:6 (Sh.of_list [ 8; 8 ]) in
+        Alcotest.(check bool) "same seed" true (T.approx_equal a b);
+        Alcotest.(check bool) "diff seed" false (T.approx_equal a c));
+    Alcotest.test_case "relayout permutes the storage" `Quick (fun () ->
+        let s = Sh.of_list [ 2; 3 ] in
+        let t = T.of_fn s (fun i -> float_of_int ((i.(0) * 3) + i.(1))) in
+        let transposed_layout = L.create ~perm:[| 1; 0 |] in
+        let r = T.relayout ~src_layout:(L.identity 2) ~dst_layout:transposed_layout t in
+        (* logical (1,2) is stored at transposed offset 2*2+1 = 5 *)
+        Alcotest.(check (float 0.0)) "value" 5.0 (T.get_lin r ((2 * 2) + 1)));
+    Alcotest.test_case "max_abs_diff" `Quick (fun () ->
+        let a = T.of_array (Sh.of_list [ 2 ]) [| 1.0; 2.0 |] in
+        let b = T.of_array (Sh.of_list [ 2 ]) [| 1.5; 2.0 |] in
+        Alcotest.(check (float 1e-9)) "0.5" 0.5 (T.max_abs_diff a b));
+  ]
+
+(* Reference operators against brute-force definitions. *)
+let gemm_ref_suite =
+  [
+    Alcotest.test_case "gemm with alpha/beta and leading dims" `Quick (fun () ->
+        let a = [| 1.; 2.; 0.; 3.; 4.; 0. |] (* 2x2 with lda=3 *) in
+        let b = [| 5.; 6.; 7.; 8. |] in
+        let c = [| 100.; 100.; 100.; 100. |] in
+        Swtensor.Gemm_ref.gemm ~alpha:2.0 ~beta:1.0 ~m:2 ~n:2 ~k:2 ~a ~lda:3 ~b ~ldb:2 ~c ~ldc:2 ();
+        Alcotest.(check (float 1e-9)) "c00" (100. +. (2. *. ((1. *. 5.) +. (2. *. 7.)))) c.(0));
+    Alcotest.test_case "matmul identity" `Quick (fun () ->
+        let n = 5 in
+        let id = T.of_fn (Sh.of_list [ n; n ]) (fun i -> if i.(0) = i.(1) then 1.0 else 0.0) in
+        let x = T.random ~seed:3 (Sh.of_list [ n; n ]) in
+        Alcotest.(check bool) "x * I = x" true (T.approx_equal x (Swtensor.Gemm_ref.matmul x id)));
+  ]
+
+let prop_matmul_linear =
+  QCheck2.Test.make ~name:"matmul is linear in A" ~count:50
+    QCheck2.Gen.(tup3 (int_range 1 6) (int_range 1 6) (int_range 1 6))
+    (fun (m, n, k) ->
+      let a1 = T.random ~seed:1 (Sh.of_list [ m; k ]) in
+      let a2 = T.random ~seed:2 (Sh.of_list [ m; k ]) in
+      let b = T.random ~seed:3 (Sh.of_list [ k; n ]) in
+      let sum = T.map2 ( +. ) a1 a2 in
+      let lhs = Swtensor.Gemm_ref.matmul sum b in
+      let rhs = T.map2 ( +. ) (Swtensor.Gemm_ref.matmul a1 b) (Swtensor.Gemm_ref.matmul a2 b) in
+      T.approx_equal lhs rhs)
+
+let conv_spec ?(b = 2) ?(ni = 3) ?(no = 4) ?(ro = 5) ?(co = 6) ?(k = 3) ?(stride = 1) ?(pad = 0) () =
+  Swtensor.Conv_spec.create ~b ~ni ~no ~ro ~co ~kr:k ~kc:k ~stride ~pad ()
+
+let conv_ref_suite =
+  [
+    Alcotest.test_case "1x1 kernel is a per-pixel matmul" `Quick (fun () ->
+        let spec = conv_spec ~k:1 () in
+        let input = T.random ~seed:1 (Swtensor.Conv_spec.input_shape spec) in
+        let weight = T.random ~seed:2 (Swtensor.Conv_spec.weight_shape spec) in
+        let out = Swtensor.Conv_ref.forward spec ~input ~weight in
+        (* spot check one output element *)
+        let acc = ref 0.0 in
+        for cni = 0 to 2 do
+          acc := !acc +. (T.get input [| 1; cni; 2; 3 |] *. T.get weight [| 2; cni; 0; 0 |])
+        done;
+        Alcotest.(check bool) "spot" true
+          (Prelude.Floats.approx_equal !acc (T.get out [| 1; 2; 2; 3 |])));
+    Alcotest.test_case "stride and padding geometry" `Quick (fun () ->
+        let spec = conv_spec ~ro:4 ~co:4 ~stride:2 ~pad:1 () in
+        Alcotest.(check int) "ri" ((3 * 2) + 3 - 2) (Swtensor.Conv_spec.ri spec);
+        let input = T.random ~seed:1 (Swtensor.Conv_spec.input_shape spec) in
+        let weight = T.random ~seed:2 (Swtensor.Conv_spec.weight_shape spec) in
+        ignore (Swtensor.Conv_ref.forward spec ~input ~weight));
+    Alcotest.test_case "flops" `Quick (fun () ->
+        let spec = conv_spec () in
+        Alcotest.(check (float 1.0))
+          "2*b*no*ro*co*ni*k*k"
+          (2.0 *. 2. *. 4. *. 5. *. 6. *. 3. *. 9.)
+          (Swtensor.Conv_spec.flops spec));
+  ]
+
+let prop_im2col_equals_direct =
+  QCheck2.Test.make ~name:"im2col reference equals direct convolution" ~count:25
+    QCheck2.Gen.(tup4 (int_range 1 3) (int_range 1 4) (int_range 1 4) (int_range 2 6))
+    (fun (b, ni, no, ro) ->
+      let spec = conv_spec ~b ~ni ~no ~ro ~co:(ro + 1) () in
+      let input = T.random ~seed:11 (Swtensor.Conv_spec.input_shape spec) in
+      let weight = T.random ~seed:12 (Swtensor.Conv_spec.weight_shape spec) in
+      T.approx_equal
+        (Swtensor.Conv_ref.forward spec ~input ~weight)
+        (Swtensor.Im2col_ref.forward spec ~input ~weight))
+
+let prop_winograd_equals_direct =
+  QCheck2.Test.make ~name:"winograd reference equals direct convolution" ~count:25
+    QCheck2.Gen.(tup4 (int_range 1 3) (int_range 1 4) (int_range 1 4) (int_range 1 4))
+    (fun (b, ni, no, half_ro) ->
+      let ro = 2 * half_ro in
+      let spec = conv_spec ~b ~ni ~no ~ro ~co:(ro + 2) () in
+      let input = T.random ~seed:21 (Swtensor.Conv_spec.input_shape spec) in
+      let weight = T.random ~seed:22 (Swtensor.Conv_spec.weight_shape spec) in
+      T.approx_equal ~tol:1e-3
+        (Swtensor.Conv_ref.forward spec ~input ~weight)
+        (Swtensor.Winograd_ref.forward spec ~input ~weight))
+
+let winograd_unit_suite =
+  [
+    Alcotest.test_case "constant filter on constant tile" `Quick (fun () ->
+        (* all-ones 3x3 filter over an all-ones 4x4 tile: every output is 9 *)
+        let d = Array.make 16 1.0 and g = Array.make 9 1.0 in
+        let v = Swtensor.Winograd_ref.transform_input_tile d in
+        let u = Swtensor.Winograd_ref.transform_filter g in
+        let m = Array.init 16 (fun i -> v.(i) *. u.(i)) in
+        let y = Swtensor.Winograd_ref.transform_output_tile m in
+        Array.iter
+          (fun x -> Alcotest.(check bool) "9" true (Prelude.Floats.approx_equal x 9.0))
+          y);
+    Alcotest.test_case "odd output extents are not applicable" `Quick (fun () ->
+        let spec = conv_spec ~ro:5 ~co:6 () in
+        Alcotest.(check bool) "wino ref handles odd via clipping" true
+          (let input = T.random ~seed:1 (Swtensor.Conv_spec.input_shape spec) in
+           let weight = T.random ~seed:2 (Swtensor.Conv_spec.weight_shape spec) in
+           T.approx_equal ~tol:1e-3
+             (Swtensor.Conv_ref.forward spec ~input ~weight)
+             (Swtensor.Winograd_ref.forward spec ~input ~weight)));
+  ]
+
+let suite =
+  shape_suite @ layout_suite @ tensor_suite @ gemm_ref_suite @ conv_ref_suite
+  @ winograd_unit_suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_layout_bijective; prop_matmul_linear; prop_im2col_equals_direct; prop_winograd_equals_direct ]

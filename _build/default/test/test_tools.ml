@@ -1,0 +1,153 @@
+(* The observability and dispatch layers: execution traces, static program
+   analysis, and per-layer algorithm selection. *)
+
+open Swatop
+open Swatop_ops
+
+let tuned_matmul ?(prefetch = true) () =
+  let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+  let s =
+    {
+      Matmul.fm = 16;
+      fn = 16;
+      fk = 16;
+      n_outer = false;
+      vec = Primitives.Spm_gemm.Vec_m;
+      boundary = Op_common.Switch;
+      prefetch;
+    }
+  in
+  (t, Tuner.prepare (Matmul.build t s))
+
+let trace_suite =
+  [
+    Alcotest.test_case "trace records both lanes within the run window" `Quick (fun () ->
+        let _, p = tuned_matmul () in
+        let tr = Trace.create () in
+        let r = Interp.run ~trace:tr ~numeric:false p in
+        Alcotest.(check bool) "events recorded" true (Trace.event_count tr > 10);
+        List.iter
+          (fun (e : Trace.event) ->
+            if e.ev_start < 0.0 || e.ev_end > r.Interp.seconds +. 1e-12 then
+              Alcotest.failf "event %s outside run window" e.ev_name)
+          (Trace.events tr));
+    Alcotest.test_case "lane busy times match the run's counters" `Quick (fun () ->
+        let _, p = tuned_matmul () in
+        let tr = Trace.create () in
+        let r = Interp.run ~trace:tr ~numeric:false p in
+        Alcotest.(check bool) "dma busy" true
+          (Prelude.Floats.approx_equal ~eps:1e-6 (Trace.busy tr Trace.Dma_engine)
+             r.Interp.dma_busy_seconds);
+        Alcotest.(check bool) "compute busy" true
+          (Prelude.Floats.approx_equal ~eps:1e-6 (Trace.busy tr Trace.Cpe_cluster)
+             r.Interp.compute_busy_seconds));
+    Alcotest.test_case "overlap visible: lanes overlap when prefetching" `Quick (fun () ->
+        let _, p = tuned_matmul ~prefetch:true () in
+        let tr = Trace.create () in
+        let r = Interp.run ~trace:tr ~numeric:false p in
+        let total_busy = Trace.busy tr Trace.Dma_engine +. Trace.busy tr Trace.Cpe_cluster in
+        Alcotest.(check bool) "sum of busy exceeds wall (overlap)" true
+          (total_busy > r.Interp.seconds));
+    Alcotest.test_case "chrome JSON is well-formed enough" `Quick (fun () ->
+        let _, p = tuned_matmul () in
+        let tr = Trace.create () in
+        ignore (Interp.run ~trace:tr ~numeric:false p);
+        let json = Trace.to_chrome_json tr in
+        Alcotest.(check bool) "starts" true (String.length json > 2 && json.[0] = '{');
+        Alcotest.(check bool) "has traceEvents" true
+          (String.length json > 20 && String.sub json 1 13 = "\"traceEvents\"");
+        (* crude balance check *)
+        let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
+        Alcotest.(check int) "balanced braces" (count '{') (count '}');
+        Alcotest.(check int) "balanced brackets" (count '[') (count ']'));
+    Alcotest.test_case "negative duration rejected" `Quick (fun () ->
+        let tr = Trace.create () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Trace.record tr ~name:"x" ~lane:Trace.Cpe_cluster ~start:1.0 ~stop:0.5;
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let analysis_suite =
+  [
+    Alcotest.test_case "analysis agrees with the interpreter's counters" `Quick (fun () ->
+        let _, p = tuned_matmul () in
+        let a = Ir_analysis.analyze p in
+        let r = Interp.run ~fidelity:Interp.Exact_cpes ~numeric:false p in
+        Alcotest.(check int) "gemm calls" r.Interp.gemm_calls a.Ir_analysis.gemm_calls;
+        Alcotest.(check bool) "gemm flops" true
+          (Prelude.Floats.approx_equal r.Interp.gemm_flops a.Ir_analysis.gemm_flops);
+        (* payload bytes: interpreter sums per-CPE payloads of all 64 CPEs *)
+        let payload =
+          Ir_analysis.total_get_payload a + Ir_analysis.total_put_payload a
+        in
+        Alcotest.(check int) "payload bytes" r.Interp.dma_payload_bytes payload);
+    Alcotest.test_case "matmul traffic decomposition is exact" `Quick (fun () ->
+        (* aligned 64x48x32 with 16^3 tiles, MN order: A re-read per N tile
+           (3x), B per M tile (4x), C written once *)
+        let _, p = tuned_matmul () in
+        let a = Ir_analysis.analyze p in
+        let find name =
+          List.find (fun b -> b.Ir_analysis.bt_buffer = name) a.Ir_analysis.traffic
+        in
+        Alcotest.(check int) "A read 3x" (3 * 64 * 32 * 4) (find "A").Ir_analysis.bt_get_payload;
+        Alcotest.(check int) "B read 4x" (4 * 32 * 48 * 4) (find "B").Ir_analysis.bt_get_payload;
+        Alcotest.(check int) "C written once" (64 * 48 * 4) (find "C").Ir_analysis.bt_put_payload;
+        Alcotest.(check int) "C never read" 0 (find "C").Ir_analysis.bt_get_payload);
+    Alcotest.test_case "arithmetic intensity is positive and finite" `Quick (fun () ->
+        let _, p = tuned_matmul () in
+        let a = Ir_analysis.analyze p in
+        let ai = Ir_analysis.arithmetic_intensity a in
+        Alcotest.(check bool) "finite" true (Float.is_finite ai && ai > 0.0));
+    Alcotest.test_case "tile-size ablation shows the re-fetch factor" `Quick (fun () ->
+        (* A is re-read once per N tile: doubling fn halves A's traffic *)
+        let t = Matmul.problem ~m:128 ~n:32 ~k:32 in
+        let s =
+          {
+            Matmul.fm = 16;
+            fn = 16;
+            fk = 32;
+            n_outer = false;
+            vec = Primitives.Spm_gemm.Vec_m;
+            boundary = Op_common.Switch;
+            prefetch = false;
+          }
+        in
+        let a_traffic s =
+          let a = Ir_analysis.analyze (Tuner.prepare (Matmul.build t s)) in
+          (List.find (fun b -> b.Ir_analysis.bt_buffer = "A") a.Ir_analysis.traffic)
+            .Ir_analysis.bt_get_payload
+        in
+        let narrow = a_traffic s and wide = a_traffic { s with fn = 32 } in
+        Alcotest.(check int) "halved" narrow (2 * wide));
+  ]
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let dispatch_suite =
+  [
+    Alcotest.test_case "winograd wins a 3x3 layer, implicit a 1x1 layer" `Quick (fun () ->
+        let spec3 = Swtensor.Conv_spec.create ~b:8 ~ni:32 ~no:32 ~ro:16 ~co:16 ~kr:3 ~kc:3 () in
+        let best3 = Dispatch.best ~gemm_model:(Lazy.force gemm_model) spec3 in
+        Alcotest.(check bool) "3x3 not explicit" true (best3.Dispatch.c_algo <> Dispatch.Explicit);
+        let spec1 = Swtensor.Conv_spec.create ~b:8 ~ni:32 ~no:32 ~ro:16 ~co:16 ~kr:1 ~kc:1 () in
+        let all1 = Dispatch.all ~gemm_model:(Lazy.force gemm_model) spec1 in
+        Alcotest.(check bool) "winograd inapplicable on 1x1" true
+          (List.assoc Dispatch.Winograd all1 = None));
+    Alcotest.test_case "best is the minimum of all" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:4 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let gm = Lazy.force gemm_model in
+        let best = Dispatch.best ~gemm_model:gm spec in
+        List.iter
+          (function
+            | _, Some (c : Dispatch.choice) ->
+              Alcotest.(check bool) "<=" true (best.Dispatch.c_seconds <= c.c_seconds +. 1e-12)
+            | _, None -> ())
+          (Dispatch.all ~gemm_model:gm spec));
+    Alcotest.test_case "odd extents rule out winograd" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:8 ~no:8 ~ro:7 ~co:7 ~kr:3 ~kc:3 () in
+        Alcotest.(check bool) "not applicable" false (Dispatch.applicable Dispatch.Winograd spec));
+  ]
+
+let suite = trace_suite @ analysis_suite @ dispatch_suite
