@@ -1,0 +1,21 @@
+# Convenience targets for CI and local development.
+
+.PHONY: all build test check bench-quick clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The tier-1 gate: everything compiles and every test passes.
+check:
+	dune build @all && dune runtest
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

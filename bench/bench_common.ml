@@ -36,13 +36,31 @@ type tuned = {
   flops : float;  (** direct-convolution FLOPs: the efficiency denominator *)
 }
 
+(* Optional persistent schedule cache shared by every tuning call of a bench
+   run (set from the harness's --schedule-cache flag). *)
+let schedule_cache : Swatop.Schedule_cache.t option ref = ref None
+
+(* When set (--tuner-report), every tuning call prints its observability
+   line: pruning, cache behaviour, per-phase wall time, parallel speedup. *)
+let verbose_tuner = ref false
+
+let report_summary (r : Swatop.Tuner.report) =
+  Printf.sprintf
+    "space %d | evaluated %d | pruned %d | cache %s | jobs %d | wall %.2fs (score %.2f, measure \
+     %.2f) | speedup %.1fx"
+    r.space_size r.evaluated r.pruned
+    (if r.cache_hit then "hit" else "miss")
+    r.jobs r.wall_seconds r.score_seconds r.measure_seconds
+    (r.cpu_seconds /. Float.max r.wall_seconds 1e-9)
+
+let print_report r = if !verbose_tuner then Printf.printf "  [tuner] %s\n%!" (report_summary r)
+
 let tune_implicit ?(top_k = 4) spec =
   let t = Conv_implicit.problem spec in
-  let space = Conv_implicit.space t in
   let o =
-    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
-      ~build:(Conv_implicit.build t) ()
+    Conv_implicit.tune ?cache:!schedule_cache ~top_k ~gemm_model:(Lazy.force gemm_model) t
   in
+  print_report o.report;
   {
     desc = Conv_implicit.describe o.best;
     seconds = o.best_seconds;
@@ -53,11 +71,10 @@ let tune_implicit ?(top_k = 4) spec =
 
 let tune_winograd ?(top_k = 4) spec =
   let t = Conv_winograd.problem spec in
-  let space = Conv_winograd.space t in
   let o =
-    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
-      ~build:(Conv_winograd.build t) ()
+    Conv_winograd.tune ?cache:!schedule_cache ~top_k ~gemm_model:(Lazy.force gemm_model) t
   in
+  print_report o.report;
   {
     desc = Conv_winograd.describe o.best;
     seconds = o.best_seconds;
@@ -68,11 +85,10 @@ let tune_winograd ?(top_k = 4) spec =
 
 let tune_explicit ?(top_k = 4) spec =
   let t = Conv_explicit.problem spec in
-  let space = Conv_explicit.space t in
   let o =
-    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model) ~candidates:space
-      ~build:(Conv_explicit.build t) ()
+    Conv_explicit.tune ?cache:!schedule_cache ~top_k ~gemm_model:(Lazy.force gemm_model) t
   in
+  print_report o.report;
   {
     desc = Conv_explicit.describe o.best;
     seconds = o.best_seconds;

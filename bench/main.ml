@@ -18,13 +18,21 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: bench/main.exe [--quick|--full] [experiment ...]";
+  print_endline
+    "usage: bench/main.exe [--quick|--full] [--tuner-report] [--jobs=N] [--schedule-cache=FILE] \
+     [experiment ...]";
   print_endline "experiments:";
   List.iter (fun (name, doc, _) -> Printf.printf "  %-9s %s\n" name doc) experiments;
   print_endline "(no experiment argument = run everything)"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let opt_value a prefix =
+    if String.length a > String.length prefix && String.sub a 0 (String.length prefix) = prefix
+    then Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+    else None
+  in
+  let cache_path = ref None in
   let args =
     List.filter
       (fun a ->
@@ -35,9 +43,25 @@ let () =
         | "--full" ->
           Bench_common.effort := Bench_common.Full;
           false
+        | "--tuner-report" ->
+          Bench_common.verbose_tuner := true;
+          false
         | "--help" | "-h" ->
           usage ();
           exit 0
+        | a when Option.is_some (opt_value a "--jobs=") -> (
+          match int_of_string_opt (Option.get (opt_value a "--jobs=")) with
+          | Some j when j >= 1 ->
+            Prelude.Parallel.set_jobs (Some j);
+            false
+          | _ ->
+            usage ();
+            exit 1)
+        | a when Option.is_some (opt_value a "--schedule-cache=") ->
+          let path = Option.get (opt_value a "--schedule-cache=") in
+          Bench_common.schedule_cache := Some (Swatop.Schedule_cache.load path);
+          cache_path := Some path;
+          false
         | _ -> true)
       args
   in
@@ -55,7 +79,8 @@ let () =
             exit 1)
         names
   in
-  let t0 = Sys.time () in
+  (* Wall clock, not Sys.time: CPU time double-counts parallel tuning. *)
+  let t0 = Prelude.Clock.wall () in
   Printf.printf "swATOP reproduction bench — simulated SW26010 core group (%.0f GFLOPS peak, %.1f GB/s DMA)\n"
     (Sw26010.Config.peak_flops_cg /. 1e9)
     (Sw26010.Config.dma_peak_bw /. 1e9);
@@ -65,4 +90,13 @@ let () =
     | Bench_common.Standard -> "standard (some sweeps subsampled; use --full for everything)"
     | Bench_common.Full -> "full");
   List.iter (fun (_, _, f) -> f ()) selected;
-  Printf.printf "\ntotal bench wall time: %s\n" (Bench_common.hms (Sys.time () -. t0))
+  (match (!cache_path, !Bench_common.schedule_cache) with
+  | Some path, Some cache ->
+    Swatop.Schedule_cache.save path cache;
+    Printf.printf "\nschedule cache: %d entries, %d hits, %d misses (%s)\n"
+      (Swatop.Schedule_cache.size cache)
+      (Swatop.Schedule_cache.hits cache)
+      (Swatop.Schedule_cache.misses cache)
+      path
+  | _ -> ());
+  Printf.printf "\ntotal bench wall time: %s\n" (Bench_common.hms (Prelude.Clock.wall () -. t0))

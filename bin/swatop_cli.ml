@@ -30,13 +30,54 @@ let algo_arg =
   let algos = [ ("implicit", `Implicit); ("winograd", `Winograd); ("explicit", `Explicit) ] in
   Arg.(value & opt (enum algos) `Implicit & info [ "algo" ] ~doc:"convolution algorithm")
 
+let jobs_arg =
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive job count, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt (some positive) None
+    & info [ "jobs"; "j" ]
+        ~doc:"Domain-pool width for parallel tuning (default: \\$(b,SWATOP_JOBS) or the core count)")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schedule-cache" ]
+        ~doc:"persistent best-schedule cache file; created on first use, reused on later runs")
+
+(* Applies the --jobs override, runs [f] with the loaded schedule cache (if
+   any), and persists the cache afterwards. *)
+let with_tuning_env jobs cache_path f =
+  Prelude.Parallel.set_jobs jobs;
+  match cache_path with
+  | None -> f None
+  | Some path ->
+    let cache = Swatop.Schedule_cache.load path in
+    Fun.protect ~finally:(fun () -> Swatop.Schedule_cache.save path cache) (fun () -> f (Some cache))
+
 (* ------------------------------------------------------------------ *)
 (* Shared reporting. *)
 
 let report_outcome ~flops describe (o : _ Swatop.Tuner.outcome) =
-  Printf.printf "space size       : %d schedule strategies\n" o.report.space_size;
-  Printf.printf "tuning wall time : %.2f s host (%.1f s simulated machine)\n"
-    o.report.wall_seconds o.report.hardware_seconds;
+  let r = o.Swatop.Tuner.report in
+  Printf.printf "space size       : %d schedule strategies\n" r.space_size;
+  if r.cache_hit then Printf.printf "schedule cache   : hit (tuning skipped)\n"
+  else
+    Printf.printf "search           : %d estimated | %d pruned by DMA bound | %d jobs\n"
+      r.evaluated r.pruned r.jobs;
+  Printf.printf "tuning wall time : %.2f s host (%.1f s simulated machine)\n" r.wall_seconds
+    r.hardware_seconds;
+  if not r.cache_hit then
+    Printf.printf "  score %.2f s | measure %.2f s | cpu %.2f s (speedup %.1fx)\n" r.score_seconds
+      r.measure_seconds r.cpu_seconds
+      (r.cpu_seconds /. Float.max r.wall_seconds 1e-9);
   Printf.printf "chosen schedule  : %s\n" (describe o.best);
   let r = Swatop.Interp.run ~numeric:false o.best_program in
   let gf = flops /. r.seconds /. 1e9 in
@@ -52,43 +93,41 @@ let conv_spec ni no out kern b =
 (* ------------------------------------------------------------------ *)
 (* tune *)
 
-let tune_gemm m n k top_k =
-  let t = Matmul.problem ~m ~n ~k in
-  let o =
-    Swatop.Tuner.model_tune ~top_k ~gemm_model:(Lazy.force gemm_model)
-      ~candidates:(Matmul.space t) ~build:(Matmul.build t) ()
-  in
-  Printf.printf "GEMM %d x %d x %d\n" m n k;
-  report_outcome ~flops:(Matmul.flops t) Matmul.describe o
+let tune_gemm m n k top_k jobs cache_path =
+  with_tuning_env jobs cache_path (fun cache ->
+      let t = Matmul.problem ~m ~n ~k in
+      let o = Matmul.tune ?cache ~top_k ~gemm_model:(Lazy.force gemm_model) t in
+      Printf.printf "GEMM %d x %d x %d\n" m n k;
+      report_outcome ~flops:(Matmul.flops t) Matmul.describe o)
 
-let tune_conv algo ni no out kern b top_k =
-  let spec = conv_spec ni no out kern b in
-  Printf.printf "CONV %s\n" (Swtensor.Conv_spec.to_string spec);
-  let gm = Lazy.force gemm_model in
-  match algo with
-  | `Implicit ->
-    let t = Conv_implicit.problem spec in
-    report_outcome ~flops:(Conv_implicit.flops t) Conv_implicit.describe
-      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_implicit.space t)
-         ~build:(Conv_implicit.build t) ())
-  | `Winograd ->
-    let t = Conv_winograd.problem spec in
-    report_outcome ~flops:(Conv_winograd.flops t) Conv_winograd.describe
-      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_winograd.space t)
-         ~build:(Conv_winograd.build t) ())
-  | `Explicit ->
-    let t = Conv_explicit.problem spec in
-    report_outcome ~flops:(Conv_explicit.flops t) Conv_explicit.describe
-      (Swatop.Tuner.model_tune ~top_k ~gemm_model:gm ~candidates:(Conv_explicit.space t)
-         ~build:(Conv_explicit.build t) ())
+let tune_conv algo ni no out kern b top_k jobs cache_path =
+  with_tuning_env jobs cache_path (fun cache ->
+      let spec = conv_spec ni no out kern b in
+      Printf.printf "CONV %s\n" (Swtensor.Conv_spec.to_string spec);
+      let gm = Lazy.force gemm_model in
+      match algo with
+      | `Implicit ->
+        let t = Conv_implicit.problem spec in
+        report_outcome ~flops:(Conv_implicit.flops t) Conv_implicit.describe
+          (Conv_implicit.tune ?cache ~top_k ~gemm_model:gm t)
+      | `Winograd ->
+        let t = Conv_winograd.problem spec in
+        report_outcome ~flops:(Conv_winograd.flops t) Conv_winograd.describe
+          (Conv_winograd.tune ?cache ~top_k ~gemm_model:gm t)
+      | `Explicit ->
+        let t = Conv_explicit.problem spec in
+        report_outcome ~flops:(Conv_explicit.flops t) Conv_explicit.describe
+          (Conv_explicit.tune ?cache ~top_k ~gemm_model:gm t))
 
 let tune_gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"tune a matrix multiplication")
-    Term.(const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg)
+    Term.(const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg $ jobs_arg $ cache_arg)
 
 let tune_conv_cmd =
   Cmd.v (Cmd.info "conv" ~doc:"tune a convolution")
-    Term.(const tune_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ topk_arg)
+    Term.(
+      const tune_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ topk_arg
+      $ jobs_arg $ cache_arg)
 
 let tune_cmd = Cmd.group (Cmd.info "tune" ~doc:"autotune an operator") [ tune_gemm_cmd; tune_conv_cmd ]
 

@@ -221,19 +221,24 @@ let compile ~gemm_model (p : Ir.program) =
           acc.dma <-
             acc.dma +. Sw26010.Config.dma_latency_s +. (float_of_int !worst /. per_cpe_bw)
     | Dma_wait _ -> fun _ _ -> ()
-    | Gemm g ->
-      let fm = compile_expr slots g.m
-      and fn = compile_expr slots g.n
-      and fk = compile_expr slots g.k in
-      let fal = compile_expr slots g.a.g_ld
-      and fbl = compile_expr slots g.b.g_ld
-      and fcl = compile_expr slots g.c.g_ld in
-      fun env acc ->
-        let call =
-          Primitives.Spm_gemm.call ~variant:g.variant ~m:(fm env) ~n:(fn env) ~k:(fk env)
-            ~lda:(fal env) ~ldb:(fbl env) ~ldc:(fcl env)
-        in
-        acc.compute <- acc.compute +. Gemm_cost.predict_seconds gemm_model call
+    | Gemm g -> (
+      match gemm_model with
+      | None ->
+        (* DMA-only walk: compute nodes contribute nothing to the bound. *)
+        fun _ _ -> ()
+      | Some gemm_model ->
+        let fm = compile_expr slots g.m
+        and fn = compile_expr slots g.n
+        and fk = compile_expr slots g.k in
+        let fal = compile_expr slots g.a.g_ld
+        and fbl = compile_expr slots g.b.g_ld
+        and fcl = compile_expr slots g.c.g_ld in
+        fun env acc ->
+          let call =
+            Primitives.Spm_gemm.call ~variant:g.variant ~m:(fm env) ~n:(fn env) ~k:(fk env)
+              ~lda:(fal env) ~ldb:(fbl env) ~ldc:(fcl env)
+          in
+          acc.compute <- acc.compute +. Gemm_cost.predict_seconds gemm_model call)
     | Memset_spm { elems; _ } ->
       let felems = compile_expr slots elems in
       fun env acc ->
@@ -263,13 +268,24 @@ let compile ~gemm_model (p : Ir.program) =
   let compiled = compile_stmt p.body in
   (compiled, slots)
 
-let estimate ~gemm_model (p : Ir.program) =
+let walk ~gemm_model (p : Ir.program) =
   let compiled, slots = compile ~gemm_model p in
   let env = Array.make (max 2 slots.next) 0 in
   let acc = { dma = 0.0; compute = 0.0 } in
   compiled env acc;
+  acc
+
+let estimate ~gemm_model (p : Ir.program) =
+  let acc = walk ~gemm_model:(Some gemm_model) p in
   let total =
     if p.overlapped then Float.max acc.dma acc.compute +. Sw26010.Config.dma_latency_s
     else acc.dma +. acc.compute
   in
   { dma_seconds = acc.dma; compute_seconds = acc.compute; total_seconds = total }
+
+let dma_lower_bound (p : Ir.program) =
+  let acc = walk ~gemm_model:None p in
+  (* Admissible under both combination rules: overlapped totals are
+     [max(dma, compute) + latency >= dma + latency]; non-overlapped totals
+     are [dma + compute >= dma]. *)
+  if p.overlapped then acc.dma +. Sw26010.Config.dma_latency_s else acc.dma

@@ -22,3 +22,12 @@ type estimate = {
 
 val estimate : gemm_model:Gemm_cost.t -> Ir.program -> estimate
 (** Requires per-CPE DMA descriptors (run {!Dma_inference} first). *)
+
+val dma_lower_bound : Ir.program -> float
+(** An admissible lower bound on [estimate].[total_seconds]: only the DMA
+    term (plus the start-up latency of an overlapped program) is walked, so
+    it never exceeds the full estimate and costs a fraction of it — no GEMM
+    model evaluation at all. The tuner uses it to prune candidates whose
+    bound already exceeds the running top-k threshold before paying for the
+    full estimate and the structural {!Ir_check}. Same precondition as
+    {!estimate}. *)

@@ -1,0 +1,121 @@
+let version_line = "swatop-schedule-cache v1"
+
+type entry = {
+  fingerprint : int;
+  space_size : int;
+  index : int;
+  seconds : float;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable dirty : bool;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; dirty = false; hits = 0; misses = 0 }
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let key ~op ~dims =
+  if String.contains op ' ' || String.contains op '\t' then
+    invalid_arg "Schedule_cache.key: operator name contains whitespace";
+  Printf.sprintf "%s:%s" op (String.concat "x" (List.map string_of_int dims))
+
+(* FNV-1a over the candidate descriptions (offset basis truncated to OCaml's
+   63-bit native int). [Hashtbl.hash] is unusable here: it truncates deep
+   structures, and a fingerprint that ignores part of the space would serve
+   stale winners. *)
+let fingerprint descriptions =
+  let h = ref 0x4bf29ce484222325 in
+  let feed c = h := (!h lxor Char.code c) * 0x100000001b3 in
+  List.iter
+    (fun s ->
+      String.iter feed s;
+      feed '\n')
+    descriptions;
+  !h land max_int
+
+let find t ~key:k ~fingerprint:fp ~space_size =
+  match Hashtbl.find_opt t.table k with
+  | Some e when e.fingerprint = fp && e.space_size = space_size ->
+    t.hits <- t.hits + 1;
+    Some e
+  | _ ->
+    t.misses <- t.misses + 1;
+    None
+
+let remember t ~key:k entry =
+  (match Hashtbl.find_opt t.table k with
+  | Some old when old = entry -> ()
+  | _ ->
+    Hashtbl.replace t.table k entry;
+    t.dirty <- true);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a versioned line-oriented text file, one entry per line.
+   Unknown versions and malformed lines are ignored rather than fatal — a
+   cold cache is always a correct cache. *)
+
+let load path =
+  let t = create () in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> ()
+        | header when String.trim header <> version_line -> ()
+        | _ ->
+          let rec loop () =
+            match input_line ic with
+            | exception End_of_file -> ()
+            | line ->
+              (match String.split_on_char '\t' line with
+              | [ k; fp; sz; idx; secs ] -> (
+                match
+                  ( int_of_string_opt fp,
+                    int_of_string_opt sz,
+                    int_of_string_opt idx,
+                    float_of_string_opt secs )
+                with
+                | Some fingerprint, Some space_size, Some index, Some seconds
+                  when index >= 0 && index < space_size ->
+                  Hashtbl.replace t.table k { fingerprint; space_size; index; seconds }
+                | _ -> ())
+              | _ -> ());
+              loop ()
+          in
+          loop ()));
+  t
+
+let save path t =
+  if t.dirty then begin
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc version_line;
+        output_char oc '\n';
+        let lines =
+          Hashtbl.fold
+            (fun k e acc ->
+              Printf.sprintf "%s\t%d\t%d\t%d\t%.17g" k e.fingerprint e.space_size e.index
+                e.seconds
+              :: acc)
+            t.table []
+        in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (List.sort compare lines));
+    Sys.rename tmp path;
+    t.dirty <- false
+  end

@@ -1,0 +1,52 @@
+(** Persistent best-schedule store — the reproduction's TopHub.
+
+    Tuning the same workload twice is pure waste: the schedule spaces are
+    enumerated deterministically, so the winner of a previous run is still
+    the winner as long as the space has not changed. Each cache entry maps a
+    key ([operator name] + workload dimensions) to the winning candidate's
+    {e index} in the enumerated space, guarded by a fingerprint of every
+    candidate's description and the space size. If the space-generation code
+    changes — different candidates, different order, different count — the
+    fingerprint no longer matches and the entry is ignored, so a stale cache
+    can cost a re-tune but never a wrong schedule.
+
+    The on-disk format is a versioned line-oriented text file; unknown
+    versions and malformed lines load as an empty/partial cache rather than
+    an error. Lookup statistics ({!hits}/{!misses}) feed the tuning
+    reports. *)
+
+type entry = {
+  fingerprint : int;  (** {!fingerprint} of the space this entry was tuned on *)
+  space_size : int;
+  index : int;  (** winner's index in the enumerated candidate list *)
+  seconds : float;  (** best_seconds recorded when the entry was tuned *)
+}
+
+type t
+
+val create : unit -> t
+
+val load : string -> t
+(** Missing, unreadable, or version-mismatched files yield an empty cache. *)
+
+val save : string -> t -> unit
+(** Writes atomically (temp file + rename), and only when entries changed
+    since [load]/the last [save]. *)
+
+val key : op:string -> dims:int list -> string
+(** E.g. [key ~op:"matmul" ~dims:[512; 512; 512]] = ["matmul:512x512x512"].
+    Raises [Invalid_argument] if [op] contains whitespace. *)
+
+val fingerprint : string list -> int
+(** Order-sensitive FNV-1a hash of the candidates' [describe] strings;
+    non-negative so it round-trips through the text format. *)
+
+val find : t -> key:string -> fingerprint:int -> space_size:int -> entry option
+(** [None] (a recorded miss) when the key is absent {e or} the stored entry
+    was tuned on a different space. *)
+
+val remember : t -> key:string -> entry -> unit
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,12 +1,19 @@
 type report = {
   space_size : int;
   evaluated : int;
+  pruned : int;
+  cache_hit : bool;
+  jobs : int;
   wall_seconds : float;
+  cpu_seconds : float;
+  score_seconds : float;
+  measure_seconds : float;
   hardware_seconds : float;
 }
 
 type 'a outcome = {
   best : 'a;
+  best_index : int;
   best_program : Ir.program;
   best_seconds : float;
   report : report;
@@ -14,90 +21,199 @@ type 'a outcome = {
 
 let per_candidate_compile_seconds = 40.0
 
-let prepare p =
-  let p = Dma_inference.apply p in
-  let p = Prefetch.apply p in
+let optimize p = Prefetch.apply (Dma_inference.apply p)
+
+let checked p =
   match Ir_check.check p with
   | Ok () -> p
   | Error errs ->
     invalid_arg
-      (Printf.sprintf "Tuner.prepare: invalid program %s: %s" p.prog_name
+      (Printf.sprintf "Tuner.prepare: invalid program %s: %s" p.Ir.prog_name
          (String.concat "; " (List.map Ir_check.error_to_string errs)))
+
+let prepare p = checked (optimize p)
 
 let require_nonempty = function
   | [] -> invalid_arg "Tuner: empty schedule space"
   | l -> l
 
-let model_tune ?(top_k = 1) ~gemm_model ~candidates ~build () =
+let effective_jobs jobs = match jobs with Some j -> max 1 j | None -> Prelude.Parallel.jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Bounded top-k selection.
+
+   Entries are kept ascending by (seconds, index); the lexicographic index
+   tie-break makes the selected set independent of both evaluation order and
+   chunking, so parallel runs return exactly the sequential result. Only the
+   k best programs are ever retained — the rest of the space's IR is dropped
+   as soon as it has been scored, instead of materializing every prepared
+   program for one global sort. *)
+
+module Topk = struct
+  type 'a entry = { k_index : int; k_cand : 'a; k_program : Ir.program; k_seconds : float }
+
+  type 'a t = { cap : int; mutable entries : 'a entry list; mutable count : int }
+
+  let create cap = { cap; entries = []; count = 0 }
+
+  let precedes a b =
+    a.k_seconds < b.k_seconds || (a.k_seconds = b.k_seconds && a.k_index < b.k_index)
+
+  (* +infinity until the selection is full: nothing may be pruned before k
+     candidates have been fully estimated. *)
+  let threshold t =
+    if t.count < t.cap then infinity
+    else (List.nth t.entries (t.count - 1)).k_seconds
+
+  let insert t e =
+    let rec ins = function
+      | [] -> [ e ]
+      | x :: rest -> if precedes e x then e :: x :: rest else x :: ins rest
+    in
+    let entries = ins t.entries in
+    if t.count < t.cap then begin
+      t.entries <- entries;
+      t.count <- t.count + 1
+    end
+    else t.entries <- List.filteri (fun i _ -> i < t.cap) entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Model-based tuner (Sec. 4.6) with branch-and-bound pruning. *)
+
+let model_tune ?(top_k = 1) ?(prune = true) ?jobs ~gemm_model ~candidates ~build () =
   let candidates = require_nonempty candidates in
   if top_k < 1 then invalid_arg "Tuner.model_tune: top_k must be positive";
-  let t0 = Sys.time () in
-  let scored =
-    List.map
-      (fun c ->
-        let p = prepare (build c) in
-        let e = Cost_model.estimate ~gemm_model p in
-        (c, p, e.total_seconds))
-      candidates
+  let arr = Array.of_list candidates in
+  let wall0 = Prelude.Clock.wall () and cpu0 = Sys.time () in
+  (* Each chunk runs an ordered sequential scan with its own running top-k:
+     the DMA-bytes-only bound is admissible, so a candidate is skipped only
+     when its bound strictly exceeds the chunk's k-th best full estimate —
+     such a candidate cannot enter the top-k, and the full estimate plus the
+     structural Ir_check are never paid for it. *)
+  let score base chunk =
+    let tk = Topk.create top_k in
+    let pruned = ref 0 in
+    Array.iteri
+      (fun j c ->
+        let p = optimize (build c) in
+        if prune && Cost_model.dma_lower_bound p > Topk.threshold tk then incr pruned
+        else begin
+          let p = checked p in
+          let e = Cost_model.estimate ~gemm_model p in
+          Topk.insert tk
+            { Topk.k_index = base + j; k_cand = c; k_program = p; k_seconds = e.total_seconds }
+        end)
+      chunk;
+    (tk.Topk.entries, !pruned)
   in
-  let ranked = List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) scored in
-  let finalists = List.filteri (fun i _ -> i < top_k) ranked in
+  let chunk_results = Prelude.Parallel.map_chunks ?jobs ~f:score arr in
+  let merged = Topk.create top_k in
+  List.iter (fun (entries, _) -> List.iter (Topk.insert merged) entries) chunk_results;
+  let pruned = List.fold_left (fun acc (_, p) -> acc + p) 0 chunk_results in
+  let wall_scored = Prelude.Clock.wall () in
   (* The finalists are compiled and timed on the machine; with top_k = 1
      that is just the winner's validation run. *)
   let measured =
-    List.map (fun (c, p, _) -> (c, p, (Interp.run ~numeric:false p).seconds)) finalists
+    List.map
+      (fun (e : _ Topk.entry) -> (e, (Interp.run ~numeric:false e.k_program).seconds))
+      merged.Topk.entries
   in
-  let best, best_program, best_seconds =
-    Prelude.Lists.min_float_by (fun (_, _, s) -> s) measured
+  let best_entry, best_seconds =
+    match measured with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left (fun (be, bs) (e, s) -> if s < bs then (e, s) else (be, bs)) first rest
   in
-  let wall = Sys.time () -. t0 in
+  let wall1 = Prelude.Clock.wall () in
   let finalist_hw =
-    Prelude.Lists.sum_float (fun (_, _, s) -> per_candidate_compile_seconds +. s) measured
+    Prelude.Lists.sum_float (fun (_, s) -> per_candidate_compile_seconds +. s) measured
   in
+  let space_size = Array.length arr in
   {
-    best;
-    best_program;
+    best = best_entry.Topk.k_cand;
+    best_index = best_entry.Topk.k_index;
+    best_program = best_entry.Topk.k_program;
     best_seconds;
     report =
       {
-        space_size = List.length candidates;
-        evaluated = List.length candidates;
-        wall_seconds = wall;
+        space_size;
+        evaluated = space_size - pruned;
+        pruned;
+        cache_hit = false;
+        jobs = effective_jobs jobs;
+        wall_seconds = wall1 -. wall0;
+        cpu_seconds = Sys.time () -. cpu0;
+        score_seconds = wall_scored -. wall0;
+        measure_seconds = wall1 -. wall_scored;
         hardware_seconds = finalist_hw;
       };
   }
 
-let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ~candidates ~build () =
+(* ------------------------------------------------------------------ *)
+(* Brute-force baseline (Sec. 5.2). *)
+
+let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~build () =
   let candidates = require_nonempty candidates in
   if sample_every <= 0 then invalid_arg "Tuner.blackbox_tune: sample_every must be positive";
-  let measured_candidates = Prelude.Lists.take_every sample_every candidates in
-  let t0 = Sys.time () in
-  let scored =
-    List.map
-      (fun c ->
+  let measured_candidates = Array.of_list (Prelude.Lists.take_every sample_every candidates) in
+  let wall0 = Prelude.Clock.wall () and cpu0 = Sys.time () in
+  (* Per-candidate simulated times land in a shared array at disjoint
+     indices; the hardware-time sum below then folds it sequentially, so the
+     report is bit-identical whatever the job count. *)
+  let seconds = Array.make (Array.length measured_candidates) 0.0 in
+  let measure base chunk =
+    let best = ref None in
+    Array.iteri
+      (fun j c ->
         let p = prepare (build c) in
-        let r = Interp.run ~numeric:false p in
-        (c, p, r.seconds))
-      measured_candidates
+        let s = (Interp.run ~numeric:false p).seconds in
+        seconds.(base + j) <- s;
+        match !best with
+        | Some (_, _, bs) when bs <= s -> ()
+        | _ -> best := Some (base + j, p, s))
+      chunk;
+    !best
   in
-  let best, best_program, best_seconds =
-    Prelude.Lists.min_float_by (fun (_, _, s) -> s) scored
+  let chunk_best = Prelude.Parallel.map_chunks ?jobs ~f:measure measured_candidates in
+  let best_index, best_program, best_seconds =
+    match
+      List.fold_left
+        (fun acc b ->
+          match (acc, b) with
+          | None, b -> b
+          | acc, None -> acc
+          | Some (_, _, bs), Some (_, _, s) when bs <= s -> acc
+          | _, b -> b)
+        None chunk_best
+    with
+    | Some b -> b
+    | None -> assert false
   in
-  let wall = Sys.time () -. t0 in
+  let wall1 = Prelude.Clock.wall () in
   let measured_hw =
-    Prelude.Lists.sum_float
-      (fun (_, _, s) -> (float_of_int repetitions *. s) +. per_candidate_compile_seconds)
-      scored
+    Array.fold_left
+      (fun acc s -> acc +. (float_of_int repetitions *. s) +. per_candidate_compile_seconds)
+      0.0 seconds
   in
   {
-    best;
+    best = measured_candidates.(best_index);
+    (* Index into the original candidate list: take_every keeps every
+       [sample_every]-th element starting at 0. *)
+    best_index = best_index * sample_every;
     best_program;
     best_seconds;
     report =
       {
         space_size = List.length candidates;
-        evaluated = List.length measured_candidates;
-        wall_seconds = wall;
+        evaluated = Array.length measured_candidates;
+        pruned = 0;
+        cache_hit = false;
+        jobs = effective_jobs jobs;
+        wall_seconds = wall1 -. wall0;
+        cpu_seconds = Sys.time () -. cpu0;
+        score_seconds = wall1 -. wall0;
+        measure_seconds = 0.0;
         hardware_seconds = measured_hw *. float_of_int sample_every;
       };
   }

@@ -1,4 +1,5 @@
-(** The two autotuners compared in Sec. 5.2.
+(** The two autotuners compared in Sec. 5.2, as a parallel, pruning tuning
+    engine.
 
     Both receive an enumerated schedule space (a candidate list plus a
     builder producing the optimized IR of each candidate) and return the
@@ -13,19 +14,37 @@
 
     - {!model_tune} is swATOP's performance-model-based tuner: it evaluates
       the static cost model on every candidate and picks the predicted
-      best; only the winner is ever compiled and run. *)
+      best; only the winners are ever compiled and run. Candidates whose
+      admissible DMA-bytes-only lower bound ({!Cost_model.dma_lower_bound})
+      already exceeds the running top-k threshold are pruned before the full
+      estimate and the structural check — branch-and-bound that never
+      changes the selected top-k.
+
+    Candidate scoring fans out over the {!Prelude.Parallel} Domain pool
+    (controlled by [?jobs], the [SWATOP_JOBS] environment variable, or the
+    core count). Selection tie-breaks on candidate index, so the outcome is
+    identical whatever the job count; with one job the walk is plainly
+    sequential. Only a bounded top-k of prepared programs is retained at any
+    moment — the schedule space's IR is no longer materialized wholesale. *)
 
 type report = {
   space_size : int;
-  evaluated : int;  (** candidates actually measured/estimated *)
-  wall_seconds : float;  (** host CPU time spent inside the tuner *)
+  evaluated : int;  (** candidates fully measured/estimated (excludes pruned) *)
+  pruned : int;  (** candidates skipped by the lower-bound test *)
+  cache_hit : bool;  (** served from a {!Schedule_cache} instead of tuned *)
+  jobs : int;  (** Domain-pool width the run was scored with *)
+  wall_seconds : float;  (** host monotonic wall clock inside the tuner *)
+  cpu_seconds : float;  (** host process CPU time; cpu/wall ≈ parallel speedup *)
+  score_seconds : float;  (** wall seconds of the scoring/estimation phase *)
+  measure_seconds : float;  (** wall seconds measuring the finalists *)
   hardware_seconds : float;  (** simulated SW26010 time the tuning would occupy *)
 }
 
 type 'a outcome = {
   best : 'a;
+  best_index : int;  (** index of [best] in the candidate list *)
   best_program : Ir.program;  (** fully lowered and optimized *)
-  best_seconds : float;  (** black-box: measured; model: predicted *)
+  best_seconds : float;  (** black-box: measured; model: measured winner *)
   report : report;
 }
 
@@ -41,21 +60,25 @@ val prepare : Ir.program -> Ir.program
 
 val model_tune :
   ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
   gemm_model:Gemm_cost.t ->
   candidates:'a list ->
   build:('a -> Ir.program) ->
   unit ->
   'a outcome
-(** Sec. 4's "pick best (or top k)": with [top_k > 1] the [top_k] best
-    predicted candidates are each run once on the (simulated) machine and
-    the measured winner kept; [hardware_seconds] accounts for those runs.
-    [best_seconds] is then the measured time of the winner. Default 1
-    (prediction only). Raises [Invalid_argument] on an empty candidate
-    list. *)
+(** Sec. 4's "pick best (or top k)": the [top_k] best predicted candidates
+    (default 1) are each run once on the (simulated) machine and the
+    measured winner kept; [hardware_seconds] accounts for those runs.
+    [prune] (default true) enables the lower-bound branch-and-bound; it is
+    sound — the returned top-k is provably identical either way — and exists
+    as a switch only for A/B measurement. Raises [Invalid_argument] on an
+    empty candidate list. *)
 
 val blackbox_tune :
   ?repetitions:int ->
   ?sample_every:int ->
+  ?jobs:int ->
   candidates:'a list ->
   build:('a -> Ir.program) ->
   unit ->
@@ -64,4 +87,5 @@ val blackbox_tune :
     scales [hardware_seconds] accordingly — used to keep full-network
     Table 3 reproductions tractable; the report's [evaluated] field records
     the actual count. [repetitions] (default 3) models repeated timing runs
-    on real hardware. *)
+    on real hardware. [best_index] refers to the original candidate list
+    even when sampling. *)

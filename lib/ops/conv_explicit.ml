@@ -315,3 +315,12 @@ let build (t : t) s =
   in
   program ~name:"conv_explicit" ~bufs
     (seq [ Comment "phase 1: im2col"; phase_im2col; Comment "phase 2: GEMM"; phase_gemm ])
+
+(* ------------------------------------------------------------------ *)
+(* Tuning entry point. *)
+
+let tune ?cache ?top_k ?prune ?jobs ~gemm_model t =
+  let s = t.spec in
+  Op_common.cached_model_tune ?cache ?top_k ?prune ?jobs ~op:"conv_explicit"
+    ~dims:[ s.Spec.b; s.ni; s.no; s.ro; s.co; s.kr; s.kc; s.stride; s.pad ]
+    ~gemm_model ~describe ~candidates:(space t) ~build:(build t) ()

@@ -438,3 +438,12 @@ let build (t : t) s =
   in
   let body = Swatop.Scheduler.nest ?prefetch_at ~levels:outer_levels tile_body in
   program ~name:"conv_implicit" ~bufs body
+
+(* ------------------------------------------------------------------ *)
+(* Tuning entry point. *)
+
+let tune ?cache ?top_k ?prune ?jobs ~gemm_model t =
+  let s = t.spec in
+  Op_common.cached_model_tune ?cache ?top_k ?prune ?jobs ~op:"conv_implicit"
+    ~dims:[ s.Spec.b; s.ni; s.no; s.ro; s.co; s.kr; s.kc; s.stride; s.pad ]
+    ~gemm_model ~describe ~candidates:(space t) ~build:(build t) ()

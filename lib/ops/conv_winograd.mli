@@ -61,3 +61,14 @@ val bindings_for :
   t -> strategy -> input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list
 
 val unpack_output : t -> (string * float array) list -> Swtensor.Tensor.t
+
+val tune :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  t ->
+  strategy Swatop.Tuner.outcome
+(** Enumerates {!space} and tunes it via {!Op_common.cached_model_tune},
+    keyed by the full workload dimensions. *)

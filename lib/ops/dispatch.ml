@@ -16,7 +16,7 @@ let applicable algo spec =
   | Winograd -> Conv_winograd.applicable spec
   | Explicit -> Conv_explicit.applicable spec
 
-let tune ?(top_k = 4) ~gemm_model algo spec =
+let tune ?cache ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
   if not (applicable algo spec) then None
   else
     let outcome_to_choice describe (o : _ Swatop.Tuner.outcome) =
@@ -30,29 +30,28 @@ let tune ?(top_k = 4) ~gemm_model algo spec =
     in
     match algo with
     | Implicit ->
-      let t = Conv_implicit.problem spec in
       Some
         (outcome_to_choice Conv_implicit.describe
-           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_implicit.space t)
-              ~build:(Conv_implicit.build t) ()))
+           (Conv_implicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model
+              (Conv_implicit.problem spec)))
     | Winograd ->
-      let t = Conv_winograd.problem spec in
       Some
         (outcome_to_choice Conv_winograd.describe
-           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_winograd.space t)
-              ~build:(Conv_winograd.build t) ()))
+           (Conv_winograd.tune ?cache ~top_k ?prune ?jobs ~gemm_model
+              (Conv_winograd.problem spec)))
     | Explicit ->
-      let t = Conv_explicit.problem spec in
       Some
         (outcome_to_choice Conv_explicit.describe
-           (Swatop.Tuner.model_tune ~top_k ~gemm_model ~candidates:(Conv_explicit.space t)
-              ~build:(Conv_explicit.build t) ()))
+           (Conv_explicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model
+              (Conv_explicit.problem spec)))
 
-let all ?top_k ~gemm_model spec =
-  List.map (fun algo -> (algo, tune ?top_k ~gemm_model algo spec)) [ Implicit; Winograd; Explicit ]
+let all ?cache ?top_k ?prune ?jobs ~gemm_model spec =
+  List.map
+    (fun algo -> (algo, tune ?cache ?top_k ?prune ?jobs ~gemm_model algo spec))
+    [ Implicit; Winograd; Explicit ]
 
-let best ?top_k ~gemm_model spec =
-  let choices = List.filter_map snd (all ?top_k ~gemm_model spec) in
+let best ?cache ?top_k ?prune ?jobs ~gemm_model spec =
+  let choices = List.filter_map snd (all ?cache ?top_k ?prune ?jobs ~gemm_model spec) in
   match choices with
   | [] -> invalid_arg "Dispatch.best: no tensorized algorithm applies"
   | first :: rest ->

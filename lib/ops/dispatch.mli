@@ -22,17 +22,35 @@ type choice = {
 val applicable : algo -> Swtensor.Conv_spec.t -> bool
 
 val tune :
-  ?top_k:int -> gemm_model:Swatop.Gemm_cost.t -> algo -> Swtensor.Conv_spec.t -> choice option
-(** Tune one algorithm; [None] when it does not apply to the problem. *)
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  algo ->
+  Swtensor.Conv_spec.t ->
+  choice option
+(** Tune one algorithm; [None] when it does not apply to the problem. With
+    [?cache], warm entries short-circuit re-tuning (see
+    {!Op_common.cached_model_tune}). *)
 
 val best :
-  ?top_k:int -> gemm_model:Swatop.Gemm_cost.t -> Swtensor.Conv_spec.t -> choice
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  Swtensor.Conv_spec.t ->
+  choice
 (** Tune all applicable algorithms and return the fastest. Raises
     [Invalid_argument] if none applies (stride or padding outside the
     tensorized operators' domain). *)
 
 val all :
+  ?cache:Swatop.Schedule_cache.t ->
   ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   (algo * choice option) list

@@ -48,3 +48,14 @@ val bindings_for : t -> strategy -> a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -
 val unpack_c : t -> (string * float array) list -> Swtensor.Tensor.t
 
 val reference : a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -> Swtensor.Tensor.t
+
+val tune :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  t ->
+  strategy Swatop.Tuner.outcome
+(** Enumerates {!space} and tunes it via {!Op_common.cached_model_tune},
+    keyed by [m]x[n]x[k]. *)

@@ -288,3 +288,58 @@ let cropped_copy ~iter ~tag ~src ~src_ld ~dst ~rows ~cols ~stage ~chunk_rows =
       ]
   in
   for_ ~iter ~lo:(int 0) ~hi:(int rows) ~step:(int chunk_rows) body
+
+(* ------------------------------------------------------------------ *)
+(* Cached tuning: every op entry point funnels through here so that warm
+   schedule caches short-circuit re-tuning uniformly. *)
+
+let cache_outcome ~space_size ~jobs entry candidates build =
+  let wall0 = Prelude.Clock.wall () and cpu0 = Sys.time () in
+  let c = List.nth candidates entry.Swatop.Schedule_cache.index in
+  let p = Swatop.Tuner.prepare (build c) in
+  let wall1 = Prelude.Clock.wall () in
+  {
+    Swatop.Tuner.best = c;
+    best_index = entry.Swatop.Schedule_cache.index;
+    best_program = p;
+    best_seconds = entry.Swatop.Schedule_cache.seconds;
+    report =
+      {
+        space_size;
+        evaluated = 0;
+        pruned = 0;
+        cache_hit = true;
+        jobs;
+        wall_seconds = wall1 -. wall0;
+        cpu_seconds = Sys.time () -. cpu0;
+        score_seconds = 0.0;
+        measure_seconds = 0.0;
+        (* The winner is already known: no simulated-machine time at all. *)
+        hardware_seconds = 0.0;
+      };
+  }
+
+let cached_model_tune ?cache ?top_k ?prune ?jobs ~op ~dims ~gemm_model ~describe ~candidates
+    ~build () =
+  match cache with
+  | None -> Swatop.Tuner.model_tune ?top_k ?prune ?jobs ~gemm_model ~candidates ~build ()
+  | Some cache -> (
+    let candidates = match candidates with [] -> invalid_arg "Tuner: empty schedule space" | l -> l in
+    let key = Swatop.Schedule_cache.key ~op ~dims in
+    let fingerprint = Swatop.Schedule_cache.fingerprint (List.map describe candidates) in
+    let space_size = List.length candidates in
+    match Swatop.Schedule_cache.find cache ~key ~fingerprint ~space_size with
+    | Some entry ->
+      cache_outcome ~space_size
+        ~jobs:(match jobs with Some j -> max 1 j | None -> Prelude.Parallel.jobs ())
+        entry candidates build
+    | None ->
+      let o = Swatop.Tuner.model_tune ?top_k ?prune ?jobs ~gemm_model ~candidates ~build () in
+      Swatop.Schedule_cache.remember cache ~key
+        {
+          Swatop.Schedule_cache.fingerprint;
+          space_size;
+          index = o.Swatop.Tuner.best_index;
+          seconds = o.Swatop.Tuner.best_seconds;
+        };
+      o)

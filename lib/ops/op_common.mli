@@ -112,3 +112,23 @@ val cropped_copy :
   stage:string ->
   chunk_rows:int ->
   Swatop.Ir.stmt
+
+val cached_model_tune :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  op:string ->
+  dims:int list ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  describe:('a -> string) ->
+  candidates:'a list ->
+  build:('a -> Swatop.Ir.program) ->
+  unit ->
+  'a Swatop.Tuner.outcome
+(** {!Swatop.Tuner.model_tune} behind a {!Swatop.Schedule_cache}: on a warm
+    hit (same operator, workload dims, and space fingerprint) the stored
+    winner is rebuilt and prepared directly — no scoring, no measurement —
+    and the report carries [cache_hit = true] with zero simulated hardware
+    time. On a miss the tuner runs normally and its winner is remembered.
+    With [?cache] absent this is exactly [model_tune]. *)

@@ -1,0 +1,199 @@
+(* A fixed pool of worker domains shared by every parallel region in the
+   process. Workers are spawned lazily on the first parallel call, grown up
+   to the requested job count, and joined from an [at_exit] hook.
+
+   Work is submitted in contiguous chunks so that callers can run an ordered
+   sequential fold inside each chunk and merge the per-chunk results
+   deterministically: every combinator here returns results in chunk order,
+   independent of scheduling, so a parallel run is bit-compatible with a
+   sequential one wherever the caller's merge is. *)
+
+let max_jobs = 128
+
+let override = Atomic.make None
+
+let env_jobs () =
+  match Sys.getenv_opt "SWATOP_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (min n max_jobs)
+    | _ -> None)
+
+let jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+    match env_jobs () with
+    | Some n -> n
+    | None -> max 1 (min max_jobs (Domain.recommended_domain_count ())))
+
+let set_jobs = function
+  | Some n when n < 1 -> invalid_arg "Parallel.set_jobs: jobs must be positive"
+  | Some n -> Atomic.set override (Some (min n max_jobs))
+  | None -> Atomic.set override None
+
+(* ------------------------------------------------------------------ *)
+(* The pool. *)
+
+type pool = {
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable size : int;
+  mutable domains : unit Domain.t list;
+}
+
+let pool =
+  {
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    tasks = Queue.create ();
+    stop = false;
+    size = 0;
+    domains = [];
+  }
+
+let worker () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      if pool.stop then None
+      else
+        match Queue.take_opt pool.tasks with
+        | Some t -> Some t
+        | None ->
+          Condition.wait pool.has_work pool.mutex;
+          next ()
+    in
+    let task = next () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some task ->
+      task ();
+      loop ()
+  in
+  loop ()
+
+let shutdown () =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.has_work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- [];
+  pool.size <- 0;
+  pool.stop <- false
+
+let ensure_workers n =
+  Mutex.lock pool.mutex;
+  let register_exit = pool.size = 0 && n > 0 in
+  while pool.size < n do
+    pool.domains <- Domain.spawn worker :: pool.domains;
+    pool.size <- pool.size + 1
+  done;
+  Mutex.unlock pool.mutex;
+  if register_exit then at_exit shutdown
+
+(* Runs every closure on the pool and blocks until all have finished. The
+   first exception (in submission order of completion) is re-raised in the
+   caller once the batch has drained. *)
+let run_batch (fns : (unit -> unit) array) =
+  let n = Array.length fns in
+  if n > 0 then begin
+    let batch_mutex = Mutex.create () in
+    let finished = Condition.create () in
+    let remaining = ref n in
+    let first_exn = ref None in
+    let wrap fn () =
+      (try fn ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock batch_mutex;
+         if Option.is_none !first_exn then first_exn := Some (e, bt);
+         Mutex.unlock batch_mutex);
+      Mutex.lock batch_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.signal finished;
+      Mutex.unlock batch_mutex
+    in
+    Mutex.lock pool.mutex;
+    Array.iter (fun fn -> Queue.add (wrap fn) pool.tasks) fns;
+    Condition.broadcast pool.has_work;
+    Mutex.unlock pool.mutex;
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait finished batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    match !first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunked combinators. *)
+
+(* Contiguous balanced chunks: the first [n mod chunks] chunks get one extra
+   element, preserving order. *)
+let chunk_bounds n chunks =
+  let chunks = max 1 (min n chunks) in
+  let base = n / chunks and extra = n mod chunks in
+  List.init chunks (fun i ->
+      let start = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (start, len))
+
+let map_chunks ?jobs:requested ~f arr =
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let j = match requested with Some j -> max 1 j | None -> jobs () in
+    (* Nested parallel regions (a worker calling back in) would deadlock the
+       fixed pool; they degrade to sequential instead. *)
+    if j <= 1 || n <= 1 || not (Domain.is_main_domain ()) then [ f 0 arr ]
+    else begin
+      ensure_workers j;
+      (* A few chunks per worker keeps the tail balanced without shredding
+         the caller's per-chunk fold state. *)
+      let bounds = chunk_bounds n (j * 4) in
+      let results = Array.make (List.length bounds) None in
+      let tasks =
+        List.mapi
+          (fun i (start, len) () -> results.(i) <- Some (f start (Array.sub arr start len)))
+          bounds
+      in
+      run_batch (Array.of_list tasks);
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> invalid_arg "Parallel.map_chunks: lost chunk")
+           results)
+    end
+  end
+
+let parallel_map ?jobs f l =
+  let arr = Array.of_list l in
+  map_chunks ?jobs ~f:(fun _ chunk -> Array.to_list (Array.map f chunk)) arr |> List.concat
+
+let parallel_min_by ?jobs f l =
+  if l = [] then invalid_arg "Parallel.parallel_min_by: empty list";
+  let arr = Array.of_list l in
+  let chunk_best _start chunk =
+    let best = ref chunk.(0) and best_v = ref (f chunk.(0)) in
+    for i = 1 to Array.length chunk - 1 do
+      let v = f chunk.(i) in
+      if v < !best_v then begin
+        best := chunk.(i);
+        best_v := v
+      end
+    done;
+    (!best, !best_v)
+  in
+  match map_chunks ?jobs ~f:chunk_best arr with
+  | [] -> assert false
+  | (x0, v0) :: rest ->
+    (* Strict [<] at both levels: the earliest occurrence wins ties, exactly
+       as a sequential left-to-right scan would. *)
+    fst (List.fold_left (fun (bx, bv) (x, v) -> if v < bv then (x, v) else (bx, bv)) (x0, v0) rest)

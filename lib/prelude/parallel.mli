@@ -1,0 +1,35 @@
+(** A fixed Domain pool with chunked, deterministic parallel combinators.
+
+    Worker domains are spawned lazily on the first parallel call and live for
+    the rest of the process (joined via [at_exit]). Every combinator returns
+    its results in input order, so a parallel run merges to the same value as
+    a sequential one; parallelism only changes wall-clock time.
+
+    The job count resolves, in priority order, to: the {!set_jobs} override,
+    the [SWATOP_JOBS] environment variable, then
+    [Domain.recommended_domain_count ()]. With one job — or when called from
+    inside a worker domain, where re-entering the fixed pool could deadlock —
+    everything degrades to a plain sequential fold. *)
+
+val jobs : unit -> int
+(** The job count parallel regions will use by default (always [>= 1]). *)
+
+val set_jobs : int option -> unit
+(** Process-wide override of the job count (e.g. from a [--jobs] CLI flag);
+    [None] restores the [SWATOP_JOBS] / hardware default. Raises
+    [Invalid_argument] on a non-positive count. *)
+
+val map_chunks : ?jobs:int -> f:(int -> 'a array -> 'b) -> 'a array -> 'b list
+(** [map_chunks ~f arr] splits [arr] into contiguous balanced chunks, applies
+    [f start_index chunk] to each on the pool, and returns the per-chunk
+    results in chunk order. [f] runs sequentially within a chunk, so it can
+    carry an ordered local fold (e.g. a running top-k) that the caller then
+    merges deterministically. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map]. *)
+
+val parallel_min_by : ?jobs:int -> ('a -> float) -> 'a list -> 'a
+(** The element minimising [f], earliest occurrence winning ties — identical
+    to [Prelude.Lists.min_float_by] run sequentially. Raises
+    [Invalid_argument] on an empty list. *)

@@ -56,6 +56,14 @@ module Lists = struct
         l
 end
 
+module Clock = struct
+  (* [Sys.time] is process CPU time: it over-counts under Domain parallelism
+     (every busy domain's cycles accumulate) and under-counts sleeps. Tuning
+     reports therefore time phases on this monotonic-enough wall clock and
+     keep [Sys.time] only for the cpu/wall speedup ratio. *)
+  let wall () = Unix.gettimeofday ()
+end
+
 module Floats = struct
   let approx_equal ?(eps = 1e-5) a b =
     let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
@@ -131,3 +139,5 @@ module Linsolve = struct
     done;
     solve xtx xty
 end
+
+module Parallel = Parallel

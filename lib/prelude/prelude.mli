@@ -1,6 +1,8 @@
 (** Small shared utilities used across the swATOP reproduction.
 
-    Everything here is dependency-free and deterministic. *)
+    Everything here is deterministic; the only external dependencies are
+    [Unix] (for the wall clock) and the OCaml 5 Domain runtime (for the
+    {!Parallel} pool). *)
 
 (** Integer helpers. *)
 module Ints : sig
@@ -42,6 +44,14 @@ module Lists : sig
   (** All permutations; intended for short lists only. *)
 end
 
+(** Wall-clock timing. *)
+module Clock : sig
+  val wall : unit -> float
+  (** Wall-clock seconds since the epoch ([Unix.gettimeofday]). Use this —
+      never [Sys.time], which reports process CPU time and silently inflates
+      under Domain parallelism — to time tuning phases. *)
+end
+
 (** Float helpers. *)
 module Floats : sig
   val approx_equal : ?eps:float -> float -> float -> bool
@@ -61,3 +71,6 @@ module Linsolve : sig
   (** [least_squares x y] returns coefficients [c] minimising
       [||x c - y||^2] via the normal equations. Rows of [x] are samples. *)
 end
+
+(** Re-export of the Domain-pool combinators (see [parallel.mli]). *)
+module Parallel = Parallel

@@ -48,15 +48,40 @@ let approx_equal ?(tol = 1e-4) a b =
   let magnitude = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 1.0 a.data in
   max_abs_diff a b <= (tol *. magnitude)
 
+(* Layout-transform hot path (hit once per element on every conv bench):
+   both layouts' strides are computed once and the logical index walks as an
+   in-place odometer with incremental offset updates — no per-element
+   [Shape.unflatten] allocation, no per-element stride recomputation. *)
 let relayout ~src_layout ~dst_layout t =
   let out = create t.shape in
-  let n = numel t in
-  for logical = 0 to n - 1 do
-    let idx = Shape.unflatten t.shape logical in
-    let src = Layout.offset src_layout t.shape idx in
-    let dst = Layout.offset dst_layout t.shape idx in
-    out.data.(dst) <- t.data.(src)
-  done;
+  let rank = Array.length t.shape in
+  if rank = 0 then out.data.(0) <- t.data.(0)
+  else begin
+    let src_st = Layout.strides src_layout t.shape in
+    let dst_st = Layout.strides dst_layout t.shape in
+    let idx = Array.make rank 0 in
+    let src = ref 0 and dst = ref 0 in
+    for _ = 0 to numel t - 1 do
+      out.data.(!dst) <- t.data.(!src);
+      let d = ref (rank - 1) in
+      let carrying = ref true in
+      while !carrying && !d >= 0 do
+        let i = !d in
+        if idx.(i) + 1 < t.shape.(i) then begin
+          idx.(i) <- idx.(i) + 1;
+          src := !src + src_st.(i);
+          dst := !dst + dst_st.(i);
+          carrying := false
+        end
+        else begin
+          src := !src - (idx.(i) * src_st.(i));
+          dst := !dst - (idx.(i) * dst_st.(i));
+          idx.(i) <- 0;
+          decr d
+        end
+      done
+    done
+  end;
   out
 
 let pp fmt t =

@@ -10,6 +10,7 @@ let () =
       ("primitives", Test_primitives.suite);
       ("optimizer", Test_optimizer.suite);
       ("autotuner", Test_autotuner.suite);
+      ("parallel-tuner", Test_parallel_tuner.suite);
       ("codegen", Test_codegen.suite);
       ("generated-c", Test_generated_c.suite);
       ("baselines", Test_baselines.suite);

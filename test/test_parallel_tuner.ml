@@ -1,0 +1,188 @@
+(* The parallel tuning engine: Domain-pool combinators, parallel/sequential
+   equivalence, branch-and-bound pruning soundness, and the persistent
+   schedule cache. *)
+
+open Swatop
+open Swatop_ops
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let parallel_suite =
+  [
+    Alcotest.test_case "parallel_map preserves order and values" `Quick (fun () ->
+        let l = Prelude.Lists.range 0 237 in
+        Alcotest.(check (list int))
+          "jobs=4" (List.map (fun x -> (x * 7) - 3) l)
+          (Prelude.Parallel.parallel_map ~jobs:4 (fun x -> (x * 7) - 3) l);
+        Alcotest.(check (list int))
+          "jobs=1" (List.map succ l)
+          (Prelude.Parallel.parallel_map ~jobs:1 succ l));
+    Alcotest.test_case "parallel_min_by matches sequential, earliest tie wins" `Quick (fun () ->
+        let l = [ 5.0; 2.0; 9.0; 2.0; 7.0 ] in
+        let seq = Prelude.Lists.min_float_by Fun.id l in
+        List.iter
+          (fun jobs ->
+            let par = Prelude.Parallel.parallel_min_by ~jobs Fun.id l in
+            Alcotest.(check (float 0.0)) (Printf.sprintf "jobs=%d" jobs) seq par)
+          [ 1; 2; 4; 8 ];
+        (* Earliest of the tied minima: distinguishable via physical identity. *)
+        let a = ref 1.0 and b = ref 1.0 in
+        let picked = Prelude.Parallel.parallel_min_by ~jobs:4 ( ! ) [ a; b ] in
+        Alcotest.(check bool) "first tied ref" true (picked == a));
+    Alcotest.test_case "map_chunks covers every element exactly once" `Quick (fun () ->
+        let arr = Array.init 101 Fun.id in
+        let chunks = Prelude.Parallel.map_chunks ~jobs:4 ~f:(fun start c -> (start, c)) arr in
+        let flattened = List.concat_map (fun (_, c) -> Array.to_list c) chunks in
+        Alcotest.(check (list int)) "coverage" (Array.to_list arr) flattened;
+        List.iter
+          (fun (start, c) ->
+            Array.iteri
+              (fun j x -> Alcotest.(check int) "start+j" (start + j) x)
+              c)
+          chunks);
+    Alcotest.test_case "exceptions propagate out of the pool" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Prelude.Parallel.parallel_map ~jobs:4
+                  (fun x -> if x = 13 then failwith "boom" else x)
+                  (Prelude.Lists.range 0 50));
+             false
+           with Failure _ -> true));
+  ]
+
+let equivalence_suite =
+  [
+    Alcotest.test_case "model_tune: parallel equals sequential" `Quick (fun () ->
+        let t = Matmul.problem ~m:200 ~n:120 ~k:80 in
+        let space = Matmul.space t in
+        let gm = Lazy.force gemm_model in
+        let tune jobs =
+          Tuner.model_tune ~top_k:3 ~jobs ~gemm_model:gm ~candidates:space
+            ~build:(Matmul.build t) ()
+        in
+        let seq = tune 1 and par = tune 4 in
+        Alcotest.(check int) "best_index" seq.best_index par.best_index;
+        Alcotest.(check bool) "best" true (seq.best = par.best);
+        Alcotest.(check (float 0.0)) "best_seconds" seq.best_seconds par.best_seconds;
+        Alcotest.(check int) "space_size" seq.report.space_size par.report.space_size;
+        Alcotest.(check int) "jobs recorded" 4 par.report.jobs);
+    Alcotest.test_case "blackbox_tune: parallel equals sequential" `Quick (fun () ->
+        let t = Matmul.problem ~m:96 ~n:96 ~k:96 in
+        let space = Matmul.space t in
+        let tune jobs = Tuner.blackbox_tune ~jobs ~candidates:space ~build:(Matmul.build t) () in
+        let seq = tune 1 and par = tune 4 in
+        Alcotest.(check int) "best_index" seq.best_index par.best_index;
+        Alcotest.(check bool) "best" true (seq.best = par.best);
+        Alcotest.(check (float 0.0)) "best_seconds" seq.best_seconds par.best_seconds;
+        Alcotest.(check int) "space_size" seq.report.space_size par.report.space_size;
+        Alcotest.(check (float 0.0)) "hardware_seconds bit-identical"
+          seq.report.hardware_seconds par.report.hardware_seconds);
+  ]
+
+let pruning_suite =
+  let same_top1 name candidates build =
+    let gm = Lazy.force gemm_model in
+    let off = Tuner.model_tune ~prune:false ~gemm_model:gm ~candidates ~build () in
+    let on = Tuner.model_tune ~prune:true ~gemm_model:gm ~candidates ~build () in
+    Alcotest.(check int) (name ^ ": unpruned run prunes nothing") 0 off.report.pruned;
+    Alcotest.(check int) (name ^ ": same top-1 index") off.best_index on.best_index;
+    Alcotest.(check (float 0.0)) (name ^ ": same seconds") off.best_seconds on.best_seconds;
+    Alcotest.(check int)
+      (name ^ ": evaluated+pruned covers the space")
+      on.report.space_size
+      (on.report.evaluated + on.report.pruned);
+    on.report.pruned
+  in
+  [
+    Alcotest.test_case "pruning never changes the top-1 (matmul)" `Quick (fun () ->
+        let t = Matmul.problem ~m:256 ~n:256 ~k:256 in
+        ignore (same_top1 "matmul" (Matmul.space t) (Matmul.build t)));
+    Alcotest.test_case "pruning fires and preserves the top-1 (conv)" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:4 ~ni:32 ~no:48 ~ro:14 ~co:14 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        let pruned = same_top1 "conv" (Conv_implicit.space t) (Conv_implicit.build t) in
+        Alcotest.(check bool) (Printf.sprintf "pruned %d > 0" pruned) true (pruned > 0));
+    Alcotest.test_case "pruning preserves the whole top-k" `Quick (fun () ->
+        let t = Matmul.problem ~m:200 ~n:120 ~k:80 in
+        let gm = Lazy.force gemm_model in
+        let tune prune =
+          Tuner.model_tune ~top_k:4 ~prune ~gemm_model:gm ~candidates:(Matmul.space t)
+            ~build:(Matmul.build t) ()
+        in
+        let off = tune false and on = tune true in
+        Alcotest.(check int) "same winner" off.best_index on.best_index;
+        Alcotest.(check (float 0.0)) "same seconds" off.best_seconds on.best_seconds);
+  ]
+
+let cache_suite =
+  let tmp_path () = Filename.temp_file "swatop_schedule_cache" ".txt" in
+  [
+    Alcotest.test_case "warm cache round-trips and short-circuits re-tuning" `Quick (fun () ->
+        let path = tmp_path () in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            let gm = Lazy.force gemm_model in
+            let t = Matmul.problem ~m:200 ~n:120 ~k:80 in
+            let cache = Schedule_cache.create () in
+            let cold = Matmul.tune ~cache ~gemm_model:gm t in
+            Alcotest.(check bool) "cold is a miss" false cold.report.cache_hit;
+            Alcotest.(check int) "one miss" 1 (Schedule_cache.misses cache);
+            Schedule_cache.save path cache;
+            let reloaded = Schedule_cache.load path in
+            Alcotest.(check int) "one entry" 1 (Schedule_cache.size reloaded);
+            let warm = Matmul.tune ~cache:reloaded ~gemm_model:gm t in
+            Alcotest.(check bool) "warm is a hit" true warm.report.cache_hit;
+            Alcotest.(check int) "nothing evaluated" 0 warm.report.evaluated;
+            Alcotest.(check (float 0.0)) "no simulated hardware time" 0.0
+              warm.report.hardware_seconds;
+            Alcotest.(check int) "same winner" cold.best_index warm.best_index;
+            Alcotest.(check bool) "same strategy" true (cold.best = warm.best);
+            Alcotest.(check (float 0.0)) "same seconds" cold.best_seconds warm.best_seconds;
+            (* The served program must be the real prepared winner. *)
+            Alcotest.(check (float 1e-12))
+              "same simulated runtime"
+              (Interp.run ~numeric:false cold.best_program).seconds
+              (Interp.run ~numeric:false warm.best_program).seconds));
+    Alcotest.test_case "fingerprint mismatch forces a re-tune" `Quick (fun () ->
+        let cache = Schedule_cache.create () in
+        let key = Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ] in
+        Schedule_cache.remember cache ~key
+          { Schedule_cache.fingerprint = 42; space_size = 10; index = 3; seconds = 1.0 };
+        Alcotest.(check bool) "matching space found" true
+          (Schedule_cache.find cache ~key ~fingerprint:42 ~space_size:10 <> None);
+        Alcotest.(check bool) "changed fingerprint rejected" true
+          (Schedule_cache.find cache ~key ~fingerprint:43 ~space_size:10 = None);
+        Alcotest.(check bool) "changed space size rejected" true
+          (Schedule_cache.find cache ~key ~fingerprint:42 ~space_size:11 = None));
+    Alcotest.test_case "corrupt or versionless files load as empty" `Quick (fun () ->
+        let path = tmp_path () in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "not a schedule cache\ngarbage\tlines\n";
+            close_out oc;
+            Alcotest.(check int) "empty" 0 (Schedule_cache.size (Schedule_cache.load path)));
+        Alcotest.(check int) "missing file loads empty" 0
+          (Schedule_cache.size (Schedule_cache.load "/nonexistent/swatop.cache")));
+    Alcotest.test_case "fingerprint is order-sensitive" `Quick (fun () ->
+        let a = Schedule_cache.fingerprint [ "x"; "y" ] in
+        let b = Schedule_cache.fingerprint [ "y"; "x" ] in
+        let c = Schedule_cache.fingerprint [ "xy" ] in
+        Alcotest.(check bool) "permutation differs" true (a <> b);
+        Alcotest.(check bool) "concatenation differs" true (a <> c);
+        Alcotest.(check bool) "non-negative" true (a >= 0 && b >= 0 && c >= 0));
+  ]
+
+let clock_suite =
+  [
+    Alcotest.test_case "wall clock is monotonic across busy work" `Quick (fun () ->
+        let t0 = Prelude.Clock.wall () in
+        ignore (Sys.opaque_identity (Array.init 100_000 Fun.id));
+        let t1 = Prelude.Clock.wall () in
+        Alcotest.(check bool) "non-decreasing" true (t1 >= t0));
+  ]
+
+let suite = parallel_suite @ equivalence_suite @ pruning_suite @ cache_suite @ clock_suite
