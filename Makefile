@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test check bench-quick clean
+.PHONY: all build test lint check bench-quick clean
 
 all: build
 
@@ -10,9 +10,19 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: everything compiles and every test passes.
+# Run the IR dataflow/bounds verifier over whole schedule spaces of small
+# example workloads (one per operator family). Exits non-zero if any
+# candidate schedule trips a diagnostic.
+lint:
+	dune exec bin/swatop_cli.exe -- lint gemm -m 96 -n 80 -k 48
+	dune exec bin/swatop_cli.exe -- lint conv --algo implicit --ni 16 --no 16 --out 12 -b 4
+	dune exec bin/swatop_cli.exe -- lint conv --algo winograd --ni 16 --no 16 --out 12 -b 2
+	dune exec bin/swatop_cli.exe -- lint conv --algo explicit --ni 8 --no 8 --out 8 -b 2
+
+# The tier-1 gate: everything compiles, every test passes, and the example
+# schedule spaces lint clean.
 check:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) lint
 
 bench-quick:
 	dune exec bench/main.exe -- --quick

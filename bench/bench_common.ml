@@ -45,13 +45,21 @@ let schedule_cache : Swatop.Schedule_cache.t option ref = ref None
 let verbose_tuner = ref false
 
 let report_summary (r : Swatop.Tuner.report) =
+  let rejected =
+    if r.verify_rejected = [] then ""
+    else
+      Printf.sprintf " | rejected %s"
+        (String.concat ","
+           (List.map (fun (c, n) -> Printf.sprintf "%s:%d" c n) r.verify_rejected))
+  in
   Printf.sprintf
     "space %d | evaluated %d | pruned %d | cache %s | jobs %d | wall %.2fs (score %.2f, measure \
-     %.2f) | speedup %.1fx"
+     %.2f) | speedup %.1fx%s"
     r.space_size r.evaluated r.pruned
     (if r.cache_hit then "hit" else "miss")
     r.jobs r.wall_seconds r.score_seconds r.measure_seconds
     (r.cpu_seconds /. Float.max r.wall_seconds 1e-9)
+    rejected
 
 let print_report r = if !verbose_tuner then Printf.printf "  [tuner] %s\n%!" (report_summary r)
 

@@ -72,6 +72,10 @@ let report_outcome ~flops describe (o : _ Swatop.Tuner.outcome) =
   else
     Printf.printf "search           : %d estimated | %d pruned by DMA bound | %d jobs\n"
       r.evaluated r.pruned r.jobs;
+  if r.verify_rejected <> [] then
+    Printf.printf "verifier rejects : %s\n"
+      (String.concat ", "
+         (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) r.verify_rejected));
   Printf.printf "tuning wall time : %.2f s host (%.1f s simulated machine)\n" r.wall_seconds
     r.hardware_seconds;
   if not r.cache_hit then
@@ -246,6 +250,94 @@ let analyze_cmd =
     Term.(const analyze_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint *)
+
+(* Runs the whole optimizer pipeline (DMA inference + prefetch) on every
+   candidate of a schedule space and reports structural-check errors and
+   Ir_verify diagnostics. Exit status 1 if any candidate fails. *)
+let lint_space what space build describe =
+  let total = List.length space in
+  Printf.printf "linting %s: %d candidate schedules\n" what total;
+  let failed = ref 0 in
+  let counts = ref [] in
+  let add code =
+    counts :=
+      (code, 1 + Option.value ~default:0 (List.assoc_opt code !counts))
+      :: List.remove_assoc code !counts
+  in
+  List.iter
+    (fun s ->
+      let p = Swatop.Tuner.optimize (build s) in
+      let structural = match Swatop.Ir_check.check p with Ok () -> [] | Error es -> es in
+      let diags = Swatop.Ir_verify.verify p in
+      List.iter (fun (d : Swatop.Ir_verify.diagnostic) -> add d.code) diags;
+      let errs = Swatop.Ir_verify.errors diags in
+      if structural <> [] || errs <> [] then begin
+        incr failed;
+        Printf.printf "FAIL %s\n" (describe s);
+        List.iter
+          (fun e -> Printf.printf "  check: %s\n" (Swatop.Ir_check.error_to_string e))
+          structural;
+        List.iter (fun d -> Printf.printf "  %s\n" (Swatop.Ir_verify.to_string d)) errs
+      end)
+    space;
+  (match List.sort (fun (a, _) (b, _) -> String.compare a b) !counts with
+  | [] -> ()
+  | hist ->
+    Printf.printf "diagnostics: %s\n"
+      (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) hist)));
+  if !failed = 0 then Printf.printf "OK: all %d candidates verified clean\n" total
+  else begin
+    Printf.printf "FAILED: %d of %d candidates have verifier errors\n" !failed total;
+    exit 1
+  end
+
+let lint_gemm m n k =
+  let t = Matmul.problem ~m ~n ~k in
+  lint_space
+    (Printf.sprintf "gemm %dx%dx%d" m n k)
+    (Matmul.space t) (Matmul.build t) Matmul.describe
+
+let lint_conv algo ni no out kern b =
+  let spec = conv_spec ni no out kern b in
+  let what name = Printf.sprintf "%s conv %s" name (Swtensor.Conv_spec.to_string spec) in
+  let require applicable name =
+    if not applicable then begin
+      Printf.eprintf "%s not applicable to %s\n" name (Swtensor.Conv_spec.to_string spec);
+      exit 1
+    end
+  in
+  match algo with
+  | `Implicit ->
+    require (Conv_implicit.applicable spec) "implicit";
+    let t = Conv_implicit.problem spec in
+    lint_space (what "implicit") (Conv_implicit.space t) (Conv_implicit.build t)
+      Conv_implicit.describe
+  | `Winograd ->
+    require (Conv_winograd.applicable spec) "winograd";
+    let t = Conv_winograd.problem spec in
+    lint_space (what "winograd") (Conv_winograd.space t) (Conv_winograd.build t)
+      Conv_winograd.describe
+  | `Explicit ->
+    require (Conv_explicit.applicable spec) "explicit";
+    let t = Conv_explicit.problem spec in
+    lint_space (what "explicit") (Conv_explicit.space t) (Conv_explicit.build t)
+      Conv_explicit.describe
+
+let lint_cmd =
+  Cmd.group
+    (Cmd.info "lint"
+       ~doc:"verify every candidate of a schedule space with the IR dataflow/bounds analyses")
+    [
+      Cmd.v
+        (Cmd.info "gemm" ~doc:"lint a GEMM schedule space")
+        Term.(const lint_gemm $ m_arg $ n_arg $ k_arg);
+      Cmd.v
+        (Cmd.info "conv" ~doc:"lint a convolution schedule space")
+        Term.(const lint_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* offline *)
 
 let offline net_name batch dir =
@@ -300,4 +392,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; offline_cmd; fit_cmd ]))
+          [ tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd; fit_cmd ]))

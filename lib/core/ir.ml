@@ -39,12 +39,19 @@ let rec simplify e =
     | Mul (Const 0, _) | Mul (_, Const 0) -> Const 0
     | e' -> e'
   end
+  (* A Const 0 denominator is left unfolded rather than raising
+     Division_by_zero mid-simplification; Ir_verify reports it. *)
   | Div (a, b) -> begin
-    match binop (fun a b -> Div (a, b)) (fun x y -> x / y) a b with
-    | Div (x, Const 1) -> x
-    | e' -> e'
+    match (simplify a, simplify b) with
+    | Const x, Const y when y <> 0 -> Const (x / y)
+    | x', Const 1 -> x'
+    | a', b' -> Div (a', b')
   end
-  | Mod (a, b) -> binop (fun a b -> Mod (a, b)) (fun x y -> x mod y) a b
+  | Mod (a, b) -> begin
+    match (simplify a, simplify b) with
+    | Const x, Const y when y <> 0 -> Const (x mod y)
+    | a', b' -> Mod (a', b')
+  end
   | Min (a, b) -> begin
     match binop (fun a b -> Min (a, b)) Stdlib.min a b with
     | Min (x, y) when x = y -> x
@@ -97,8 +104,13 @@ let free_vars e =
   in
   List.rev (loop [] e)
 
+let to_const = function Const i -> Some i | _ -> None
 let rid = Var "rid"
 let cid = Var "cid"
+let is_cpe_var v = String.equal v "rid" || String.equal v "cid"
+
+(* Inclusive range of both [rid] and [cid]; the CPE grid is square. *)
+let cpe_id_range = (0, Stdlib.( - ) Sw26010.Config.cpe_rows 1)
 
 type mem_space = Main | Spm
 
@@ -197,6 +209,12 @@ let seq stmts =
 
 let for_ ?(prefetch = false) ~iter ~lo ~hi ?(step = Const 1) body =
   For { iter; lo; hi; step; body; prefetch }
+
+let loop_iter_range (fl : for_loop) =
+  match (fl.lo, fl.hi, fl.step) with
+  | Const lo, Const hi, Const step when Stdlib.(step > 0 && hi > lo) ->
+    Some Stdlib.(lo, lo + ((hi - 1 - lo) / step * step))
+  | _ -> None
 
 let find_buf p name = List.find_opt (fun b -> String.equal b.buf_name name) p.bufs
 

@@ -43,7 +43,12 @@ val ( = ) : expr -> expr -> cond
 val ( <> ) : expr -> expr -> cond
 
 val simplify : expr -> expr
-(** Constant folding and algebraic identities ([x*1], [x+0], ...). *)
+(** Constant folding and algebraic identities ([x*1], [x+0], ...). A
+    [Div]/[Mod] whose denominator folds to [Const 0] is left unfolded —
+    never raises; {!Ir_verify} reports it as a diagnostic. *)
+
+val to_const : expr -> int option
+(** [Some i] iff the expression is literally [Const i]. *)
 
 val subst : (string * expr) list -> expr -> expr
 val subst_cond : (string * expr) list -> cond -> cond
@@ -51,6 +56,14 @@ val free_vars : expr -> string list
 
 val rid : expr
 val cid : expr
+
+val is_cpe_var : string -> bool
+(** True for the two reserved per-CPE variables, ["rid"] and ["cid"]. *)
+
+val cpe_id_range : int * int
+(** Inclusive value range of both {!rid} and {!cid} — [(0, 7)] on the
+    SW26010's square 8x8 CPE grid. Range metadata for static analyses
+    ({!Ir_verify}) and for DMA inference, which must agree on it. *)
 
 (** {1 Buffers} *)
 
@@ -187,6 +200,11 @@ val seq : stmt list -> stmt
 (** Flattens nested [Seq]s and drops empty ones. *)
 
 val for_ : ?prefetch:bool -> iter:string -> lo:expr -> hi:expr -> ?step:expr -> stmt -> stmt
+
+val loop_iter_range : for_loop -> (int * int) option
+(** Inclusive range [(lo, last)] of the iterator values a loop with
+    constant bounds actually takes ([None] for symbolic bounds, a
+    non-positive step, or an empty loop). *)
 
 val find_buf : program -> string -> buf option
 

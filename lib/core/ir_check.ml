@@ -5,19 +5,7 @@ type error = { at : string; reason : string }
 
 let error_to_string e = Printf.sprintf "%s: %s" e.at e.reason
 
-let spm_footprint_bytes (p : program) =
-  let requests =
-    List.filter_map
-      (fun b ->
-        match b.space with
-        | Main -> None
-        | Spm ->
-          Some
-            (Sw26010.Spm.request ~double_buffered:b.double_buffered ~name:b.buf_name
-               ~bytes:(b.cpe_elems * Sw26010.Config.elem_bytes) ()))
-      p.bufs
-  in
-  Sw26010.Spm.footprint requests
+let spm_footprint_bytes (p : program) = Sw26010.Spm.footprint (Mem_plan.requests p)
 
 let check (p : program) =
   let errors = ref [] in
@@ -39,8 +27,7 @@ let check (p : program) =
   let check_vars ~at ~bound ?(allow_cpe = false) e =
     List.iter
       (fun v ->
-        let is_cpe = String.equal v "rid" || String.equal v "cid" in
-        if not (List.mem v bound || (allow_cpe && is_cpe)) then
+        if not (List.mem v bound || (allow_cpe && is_cpe_var v)) then
           fail at (Printf.sprintf "unbound variable %s" v))
       (free_vars e)
   in

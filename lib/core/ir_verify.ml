@@ -1,0 +1,658 @@
+open! Stdlib
+
+type severity = Error | Warning
+
+type diagnostic = { code : string; severity : severity; path : string; message : string }
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let to_string d =
+  Printf.sprintf "%s %s at %s: %s" d.code (severity_label d.severity) d.path d.message
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let is_clean ds = errors ds = []
+
+let code_counts ds =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      Hashtbl.replace tbl d.code (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d.code)))
+    ds;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let registry =
+  [
+    ("SWA001", Error, "SPM access overlaps an in-flight DMA get (missing dma_wait)");
+    ("SWA002", Error, "dma_wait with no matching in-flight transfer");
+    ("SWA003", Error, "DMA get double-issued into an in-flight SPM interval");
+    ("SWA004", Error, "dma_wait tag parity mismatch against its double-buffer sibling");
+    ("SWA005", Warning, "DMA get still in flight at end of program");
+    ("SWA010", Error, "DMA region out of main-buffer bounds");
+    ("SWA011", Error, "per-CPE DMA descriptor out of main-buffer bounds");
+    ("SWA012", Error, "DMA SPM image out of SPM-buffer bounds");
+    ("SWA013", Error, "GEMM operand access out of bounds");
+    ("SWA014", Error, "spm_copy access out of bounds");
+    ("SWA015", Error, "transform access out of bounds");
+    ("SWA016", Error, "memset out of bounds");
+    ("SWA020", Error, "division or modulo by zero");
+    ("SWA021", Warning, "divisor interval contains zero");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interval domain with saturating arithmetic. In practice almost every
+   interval is a singleton (loop sampling keeps iterators concrete); the
+   widened cases only arise from symbolic loop bounds, which no current
+   builder produces. *)
+
+module Itv = struct
+  type t = { lo : int; hi : int }
+
+  let big = 1 lsl 50
+  let sat x = if x > big then big else if x < -big then -big else x
+  let const n = { lo = sat n; hi = sat n }
+  let make lo hi = { lo = sat lo; hi = sat hi }
+  let zero = const 0
+  let one = const 1
+  let to_const i = if i.lo = i.hi then Some i.lo else None
+  let add a b = make (a.lo + b.lo) (a.hi + b.hi)
+  let sub a b = make (a.lo - b.hi) (a.hi - b.lo)
+
+  let mul_cap a b =
+    if a = 0 || b = 0 then 0
+    else
+      let p = a * b in
+      if p / b = a then sat p else if a > 0 = (b > 0) then big else -big
+
+  let mul a b =
+    let p1 = mul_cap a.lo b.lo
+    and p2 = mul_cap a.lo b.hi
+    and p3 = mul_cap a.hi b.lo
+    and p4 = mul_cap a.hi b.hi in
+    { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+  let contains_zero b = b.lo <= 0 && 0 <= b.hi
+
+  (* Extremes of a truncating quotient occur at divisor endpoints or at the
+     divisors nearest zero. The all-zero divisor case is the caller's to
+     diagnose. *)
+  let div a b =
+    let ds = List.filter (fun d -> d <> 0 && b.lo <= d && d <= b.hi) [ b.lo; b.hi; -1; 1 ] in
+    if ds = [] then zero
+    else
+      let qs = List.concat_map (fun d -> [ a.lo / d; a.hi / d ]) ds in
+      make (List.fold_left min max_int qs) (List.fold_left max min_int qs)
+
+  let rem a b =
+    let m = max (abs b.lo) (abs b.hi) in
+    if m = 0 then zero
+    else
+      match (to_const a, to_const b) with
+      | Some x, Some y -> const (x mod y)
+      | _ -> if a.lo >= 0 then make 0 (min a.hi (m - 1)) else make (-(m - 1)) (m - 1)
+
+  let imin a b = { lo = min a.lo b.lo; hi = min a.hi b.hi }
+  let imax a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* An in-flight DMA transfer: [t_lo, t_hi) is the SPM element interval of
+   its image inside buffer [t_buf]. *)
+type transfer = { t_dir : Ir.dir; t_buf : string; t_lo : int; t_hi : int; t_tag : int; t_path : string }
+
+type ctx = {
+  env : Itv.t array;
+  mutable inflight : transfer list;
+  mutable quiet : bool;  (** suppress hazard diagnostics (state known imprecise) *)
+  mutable imprecise : bool;
+  mutable diags : diagnostic list;  (** reversed *)
+  seen : (string * string, unit) Hashtbl.t;
+}
+
+let report ctx ~code ~severity ~path message =
+  if not (Hashtbl.mem ctx.seen (code, path)) then begin
+    Hashtbl.add ctx.seen (code, path) ();
+    ctx.diags <- { code; severity; path; message } :: ctx.diags
+  end
+
+let hazard ctx ~code ~path message = if not ctx.quiet then report ctx ~code ~severity:Error ~path message
+
+(* Definite bounds violations only: a wide interval reports when even its
+   best case is out of range, so imprecision can never manufacture a
+   failure. [stop] is the exclusive end of the accessed element range. *)
+let check_bounds ctx ~code ~path ~what ~buf ~cap (start : Itv.t) (stop : Itv.t) =
+  if start.Itv.hi < 0 then
+    report ctx ~code ~severity:Error ~path
+      (Printf.sprintf "%s: negative offset %d into %s" what start.Itv.hi buf)
+  else if stop.Itv.lo > cap then
+    report ctx ~code ~severity:Error ~path
+      (Printf.sprintf "%s: access through element %d exceeds %s (%d elements)" what stop.Itv.lo buf
+         cap)
+
+let overlaps ~lo ~hi tr = lo < tr.t_hi && tr.t_lo < hi
+
+(* A compute statement reading or writing [buf[lo, hi)] while a get into an
+   overlapping interval is in flight has raced ahead of its dma_wait. Only
+   checked when the interval is concrete — widened state never accuses. *)
+let check_conflict ctx ~path ~what ~buf (start : Itv.t) (stop : Itv.t) =
+  match (Itv.to_const start, Itv.to_const stop) with
+  | Some lo, Some hi when hi > lo ->
+    List.iter
+      (fun tr ->
+        if tr.t_dir = Ir.Get && String.equal tr.t_buf buf && overlaps ~lo ~hi tr then
+          hazard ctx ~code:"SWA001" ~path
+            (Printf.sprintf
+               "%s accesses %s[%d,%d) while get tag %d (issued at %s) is in flight — missing \
+                dma_wait"
+               what buf lo hi tr.t_tag tr.t_path))
+      ctx.inflight
+  | _ -> ()
+
+let canon_state l = List.sort compare l
+
+(* ------------------------------------------------------------------ *)
+
+type cenv = {
+  slots : (string, int) Hashtbl.t;
+  bufs : (string, Ir.buf) Hashtbl.t;
+  rid_slot : int;
+  cid_slot : int;
+}
+
+let slot_of ce v =
+  match Hashtbl.find_opt ce.slots v with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length ce.slots in
+    Hashtbl.add ce.slots v i;
+    i
+
+let buf_of ce name = Hashtbl.find_opt ce.bufs name
+let main_cap ce name =
+  match buf_of ce name with Some b when b.Ir.space = Ir.Main -> Some b.Ir.cg_elems | _ -> None
+
+let spm_cap ce name =
+  match buf_of ce name with
+  | Some b when b.Ir.space = Ir.Spm ->
+    Some (if b.Ir.double_buffered then 2 * b.Ir.cg_elems else b.Ir.cg_elems)
+  | _ -> None
+
+let rec compile_expr ce ~path (e : Ir.expr) : ctx -> Itv.t =
+  let bin op a b =
+    let fa = compile_expr ce ~path a and fb = compile_expr ce ~path b in
+    fun ctx -> op (fa ctx) (fb ctx)
+  in
+  match e with
+  | Ir.Const i ->
+    let v = Itv.const i in
+    fun _ -> v
+  | Ir.Var v ->
+    let s = slot_of ce v in
+    fun ctx -> ctx.env.(s)
+  | Ir.Add (a, b) -> bin Itv.add a b
+  | Ir.Sub (a, b) -> bin Itv.sub a b
+  | Ir.Mul (a, b) -> bin Itv.mul a b
+  | Ir.Min (a, b) -> bin Itv.imin a b
+  | Ir.Max (a, b) -> bin Itv.imax a b
+  | Ir.Div (a, b) ->
+    let fa = compile_expr ce ~path a and fb = compile_expr ce ~path b in
+    fun ctx ->
+      let bi = fb ctx in
+      if Itv.to_const bi = Some 0 then begin
+        report ctx ~code:"SWA020" ~severity:Error ~path "division by zero";
+        Itv.zero
+      end
+      else begin
+        if Itv.contains_zero bi then
+          report ctx ~code:"SWA021" ~severity:Warning ~path "divisor interval contains zero";
+        Itv.div (fa ctx) bi
+      end
+  | Ir.Mod (a, b) ->
+    let fa = compile_expr ce ~path a and fb = compile_expr ce ~path b in
+    fun ctx ->
+      let bi = fb ctx in
+      if Itv.to_const bi = Some 0 then begin
+        report ctx ~code:"SWA020" ~severity:Error ~path "modulo by zero";
+        Itv.zero
+      end
+      else begin
+        if Itv.contains_zero bi then
+          report ctx ~code:"SWA021" ~severity:Warning ~path "divisor interval contains zero";
+        Itv.rem (fa ctx) bi
+      end
+
+type tri = True | False | Unknown
+
+let tri_not = function True -> False | False -> True | Unknown -> Unknown
+
+let rec compile_cond ce ~path (c : Ir.cond) : ctx -> tri =
+  match c with
+  | Ir.Cmp (op, a, b) ->
+    let fa = compile_expr ce ~path a and fb = compile_expr ce ~path b in
+    let cmp : Ir.cmp -> Itv.t -> Itv.t -> tri = function
+      | Ir.Lt -> fun x y -> if x.Itv.hi < y.Itv.lo then True else if x.Itv.lo >= y.Itv.hi then False else Unknown
+      | Ir.Le -> fun x y -> if x.Itv.hi <= y.Itv.lo then True else if x.Itv.lo > y.Itv.hi then False else Unknown
+      | Ir.Eq ->
+        fun x y ->
+          if x.Itv.lo = x.Itv.hi && y.Itv.lo = y.Itv.hi && x.Itv.lo = y.Itv.lo then True
+          else if x.Itv.hi < y.Itv.lo || y.Itv.hi < x.Itv.lo then False
+          else Unknown
+      | Ir.Ne ->
+        fun x y ->
+          if x.Itv.hi < y.Itv.lo || y.Itv.hi < x.Itv.lo then True
+          else if x.Itv.lo = x.Itv.hi && y.Itv.lo = y.Itv.hi && x.Itv.lo = y.Itv.lo then False
+          else Unknown
+    in
+    let f = cmp op in
+    fun ctx -> f (fa ctx) (fb ctx)
+  | Ir.And (a, b) ->
+    let fa = compile_cond ce ~path a and fb = compile_cond ce ~path b in
+    fun ctx -> (
+      match (fa ctx, fb ctx) with
+      | False, _ | _, False -> False
+      | True, True -> True
+      | _ -> Unknown)
+  | Ir.Or (a, b) ->
+    let fa = compile_cond ce ~path a and fb = compile_cond ce ~path b in
+    fun ctx -> (
+      match (fa ctx, fb ctx) with
+      | True, _ | _, True -> True
+      | False, False -> False
+      | _ -> Unknown)
+  | Ir.Not a ->
+    let fa = compile_cond ce ~path a in
+    fun ctx -> tri_not (fa ctx)
+
+(* Clamp an extent interval to >= 1 for "last element" arithmetic; callers
+   gate on the extent possibly being positive first. *)
+let at_least_one i = Itv.imax i Itv.one
+
+(* Loop sampling: run everything when short; otherwise run a head window,
+   detect the period of the in-flight state (1 for steady loops, 2 for
+   double-buffered rotation), and jump to phase-aligned final iterations so
+   ragged last tiles are still checked exactly. If no period is found the
+   tail runs with hazard diagnostics quieted — the carried state would be
+   wrong, but bounds checks remain valid. *)
+let max_full_trips = 8
+let head_trips = 4
+
+let run_loop ctx ~slot ~lo ~step ~trips ~(body : ctx -> unit) =
+  let run i =
+    ctx.env.(slot) <- Itv.const (lo + (i * step));
+    body ctx
+  in
+  if trips <= max_full_trips then
+    for i = 0 to trips - 1 do
+      run i
+    done
+  else begin
+    let snaps = Array.make (head_trips + 1) [] in
+    for i = 0 to head_trips - 1 do
+      snaps.(i) <- canon_state ctx.inflight;
+      run i
+    done;
+    snaps.(head_trips) <- canon_state ctx.inflight;
+    let period =
+      if snaps.(head_trips) = snaps.(head_trips - 1) then Some 1
+      else if snaps.(head_trips) = snaps.(head_trips - 2) then Some 2
+      else None
+    in
+    let start, quiet_tail =
+      match period with
+      | Some p ->
+        let s = trips - 2 in
+        ((if (s - head_trips) mod p = 0 then s else s - 1), false)
+      | None ->
+        ctx.imprecise <- true;
+        (trips - 2, true)
+    in
+    let was = ctx.quiet in
+    if quiet_tail then ctx.quiet <- true;
+    for i = start to trips - 1 do
+      run i
+    done;
+    ctx.quiet <- was
+  end
+
+let grid_last = snd Ir.cpe_id_range
+
+let rec compile_stmt ce ~path (s : Ir.stmt) : ctx -> unit =
+  match s with
+  | Ir.Comment _ -> fun _ -> ()
+  | Ir.Seq l ->
+    let fs = List.mapi (fun i s -> compile_stmt ce ~path:(Printf.sprintf "%s[%d]" path i) s) l in
+    fun ctx -> List.iter (fun f -> f ctx) fs
+  | Ir.For fl ->
+    let flo = compile_expr ce ~path fl.lo
+    and fhi = compile_expr ce ~path fl.hi
+    and fstep = compile_expr ce ~path fl.step in
+    let slot = slot_of ce fl.iter in
+    let fbody = compile_stmt ce ~path:(path ^ "/for " ^ fl.iter) fl.body in
+    fun ctx -> (
+      let lo_i = flo ctx and hi_i = fhi ctx and step_i = fstep ctx in
+      match (Itv.to_const lo_i, Itv.to_const hi_i, Itv.to_const step_i) with
+      | Some lo, Some hi, Some step when step > 0 ->
+        let trips = if hi <= lo then 0 else (hi - lo + step - 1) / step in
+        if trips > 0 then run_loop ctx ~slot ~lo ~step ~trips ~body:fbody
+      | _ ->
+        (* Symbolic bounds: widen the iterator and walk the body once. *)
+        ctx.imprecise <- true;
+        ctx.env.(slot) <- Itv.make lo_i.Itv.lo (max lo_i.Itv.lo (hi_i.Itv.hi - 1));
+        let was = ctx.quiet in
+        ctx.quiet <- true;
+        fbody ctx;
+        ctx.quiet <- was)
+  | Ir.If { cond; then_; else_ } ->
+    let fc = compile_cond ce ~path cond in
+    let ft = compile_stmt ce ~path:(path ^ "/if-then") then_
+    and fe = compile_stmt ce ~path:(path ^ "/if-else") else_ in
+    fun ctx -> (
+      match fc ctx with
+      | True -> ft ctx
+      | False -> fe ctx
+      | Unknown ->
+        ctx.imprecise <- true;
+        let was = ctx.quiet in
+        ctx.quiet <- true;
+        let saved = ctx.inflight in
+        ft ctx;
+        let after_then = ctx.inflight in
+        ctx.inflight <- saved;
+        fe ctx;
+        ctx.inflight <- List.sort_uniq compare (after_then @ ctx.inflight);
+        ctx.quiet <- was)
+  | Ir.Dma d -> compile_dma ce ~path d
+  | Ir.Dma_wait { tag } ->
+    let path = path ^ "/dma_wait" in
+    let ftag = compile_expr ce ~path tag in
+    fun ctx -> (
+      match Itv.to_const (ftag ctx) with
+      | None -> ctx.imprecise <- true
+      | Some t -> (
+        let matches, rest = List.partition (fun tr -> tr.t_tag = t) ctx.inflight in
+        match matches with
+        | _ :: _ -> ctx.inflight <- rest
+        | [] ->
+          if List.exists (fun tr -> tr.t_tag = t lxor 1) ctx.inflight then
+            hazard ctx ~code:"SWA004" ~path
+              (Printf.sprintf
+                 "wait on tag %d matches no in-flight transfer, but sibling tag %d is in flight \
+                  — double-buffer parity mismatch"
+                 t (t lxor 1))
+          else
+            hazard ctx ~code:"SWA002" ~path
+              (Printf.sprintf "wait on tag %d with no matching DMA issue" t)))
+  | Ir.Gemm g -> compile_gemm ce ~path g
+  | Ir.Memset_spm { buf; offset; elems } ->
+    let path = path ^ "/memset " ^ buf in
+    let foff = compile_expr ce ~path offset and felems = compile_expr ce ~path elems in
+    let cap = spm_cap ce buf in
+    fun ctx ->
+      let off = foff ctx and el = felems ctx in
+      if el.Itv.hi > 0 then begin
+        let stop = Itv.add off (at_least_one el) in
+        Option.iter
+          (fun cap -> check_bounds ctx ~code:"SWA016" ~path ~what:"memset" ~buf ~cap off stop)
+          cap;
+        check_conflict ctx ~path ~what:"memset" ~buf off stop
+      end
+  | Ir.Spm_copy c ->
+    let path = Printf.sprintf "%s/spm_copy %s->%s" path c.cp_src c.cp_dst in
+    let fso = compile_expr ce ~path c.cp_src_offset
+    and fsl = compile_expr ce ~path c.cp_src_ld
+    and fdo = compile_expr ce ~path c.cp_dst_offset
+    and fdl = compile_expr ce ~path c.cp_dst_ld
+    and frows = compile_expr ce ~path c.cp_rows
+    and felems = compile_expr ce ~path c.cp_row_elems in
+    let src_cap = spm_cap ce c.cp_src and dst_cap = spm_cap ce c.cp_dst in
+    fun ctx ->
+      let rows = frows ctx and elems = felems ctx in
+      if rows.Itv.hi > 0 && elems.Itv.hi > 0 then begin
+        let rows1 = at_least_one rows and elems1 = at_least_one elems in
+        let span ld = Itv.add (Itv.mul (Itv.sub rows1 Itv.one) ld) elems1 in
+        let so = fso ctx and d_o = fdo ctx in
+        let src_stop = Itv.add so (span (fsl ctx)) and dst_stop = Itv.add d_o (span (fdl ctx)) in
+        Option.iter
+          (fun cap ->
+            check_bounds ctx ~code:"SWA014" ~path ~what:"spm_copy source" ~buf:c.cp_src ~cap so
+              src_stop)
+          src_cap;
+        Option.iter
+          (fun cap ->
+            check_bounds ctx ~code:"SWA014" ~path ~what:"spm_copy destination" ~buf:c.cp_dst ~cap
+              d_o dst_stop)
+          dst_cap;
+        check_conflict ctx ~path ~what:"spm_copy source" ~buf:c.cp_src so src_stop;
+        check_conflict ctx ~path ~what:"spm_copy destination" ~buf:c.cp_dst d_o dst_stop
+      end
+  | Ir.Transform t -> compile_transform ce ~path t
+
+and compile_dma ce ~path (d : Ir.dma) =
+  let path =
+    Printf.sprintf "%s/dma(%s %s)" path
+      (match d.dir with Ir.Get -> "get" | Ir.Put -> "put")
+      (match d.dir with Ir.Get -> d.main ^ "->" ^ d.spm | Ir.Put -> d.spm ^ "->" ^ d.main)
+  in
+  let foff = compile_expr ce ~path d.region.offset
+  and frows = compile_expr ce ~path d.region.rows
+  and frelems = compile_expr ce ~path d.region.row_elems
+  and frstride = compile_expr ce ~path d.region.row_stride
+  and fspm_off = compile_expr ce ~path d.spm_offset
+  and fspm_ld = compile_expr ce ~path d.spm_ld
+  and ftag = compile_expr ce ~path d.tag in
+  let fdesc =
+    Option.map
+      (fun (c : Ir.cpe_desc) ->
+        ( compile_expr ce ~path c.d_offset,
+          compile_expr ce ~path c.d_block,
+          compile_expr ce ~path c.d_stride,
+          compile_expr ce ~path c.d_count ))
+      d.per_cpe
+  in
+  let mcap = main_cap ce d.main and scap = spm_cap ce d.spm in
+  fun ctx ->
+    let off = foff ctx and rows = frows ctx and relems = frelems ctx in
+    let spm_off = fspm_off ctx in
+    let active = rows.Itv.hi > 0 && relems.Itv.hi > 0 in
+    let spm_stop =
+      if not active then spm_off
+      else
+        let rows1 = at_least_one rows and relems1 = at_least_one relems in
+        let ld_eff = Itv.imax (fspm_ld ctx) relems1 in
+        Itv.add spm_off (Itv.add (Itv.mul (Itv.sub rows1 Itv.one) ld_eff) relems1)
+    in
+    if active then begin
+      (* CG-level region against the main buffer *)
+      Option.iter
+        (fun cap ->
+          let rows1 = at_least_one rows and relems1 = at_least_one relems in
+          let stop = Itv.add off (Itv.add (Itv.mul (Itv.sub rows1 Itv.one) (frstride ctx)) relems1) in
+          check_bounds ctx ~code:"SWA010" ~path ~what:"region" ~buf:d.main ~cap off stop)
+        mcap;
+      (* inferred per-CPE descriptors, every grid position *)
+      (match (fdesc, mcap) with
+      | Some (fdoff, fdblock, fdstride, fdcount), Some cap ->
+        for r = 0 to grid_last do
+          for c = 0 to grid_last do
+            ctx.env.(ce.rid_slot) <- Itv.const r;
+            ctx.env.(ce.cid_slot) <- Itv.const c;
+            let cnt = fdcount ctx and blk = fdblock ctx in
+            (* trailing CPEs legitimately get a clipped-to-zero share *)
+            if cnt.Itv.hi > 0 && blk.Itv.hi > 0 then begin
+              let doff = fdoff ctx in
+              let cnt1 = at_least_one cnt and blk1 = at_least_one blk in
+              let stride' = Itv.imax (fdstride ctx) blk1 in
+              let stop = Itv.add doff (Itv.add (Itv.mul (Itv.sub cnt1 Itv.one) stride') blk1) in
+              check_bounds ctx ~code:"SWA011" ~path
+                ~what:(Printf.sprintf "per-CPE descriptor (rid %d, cid %d)" r c)
+                ~buf:d.main ~cap doff stop
+            end
+          done
+        done
+      | _ -> ());
+      (* SPM image against the (possibly double-buffered) SPM buffer *)
+      Option.iter
+        (fun cap ->
+          check_bounds ctx ~code:"SWA012" ~path ~what:"SPM image" ~buf:d.spm ~cap spm_off spm_stop)
+        scap
+    end;
+    (* hazard bookkeeping *)
+    match (Itv.to_const (ftag ctx), Itv.to_const spm_off, Itv.to_const spm_stop) with
+    | Some tag, Some lo, Some hi when active ->
+      if d.dir = Ir.Get then
+        List.iter
+          (fun tr ->
+            if tr.t_dir = Ir.Get && String.equal tr.t_buf d.spm && overlaps ~lo ~hi tr then
+              hazard ctx ~code:"SWA003" ~path
+                (Printf.sprintf
+                   "get into %s[%d,%d) overlaps in-flight get tag %d (issued at %s) — \
+                    double-issue into the same half"
+                   d.spm lo hi tr.t_tag tr.t_path))
+          ctx.inflight;
+      let fresh = { t_dir = d.dir; t_buf = d.spm; t_lo = lo; t_hi = hi; t_tag = tag; t_path = path } in
+      (* set-replace: reissuing the identical transfer (same direction,
+         buffer, interval, tag) supersedes its stale record, keeping the
+         state finite for fire-and-forget puts *)
+      ctx.inflight <-
+        fresh
+        :: List.filter
+             (fun tr ->
+               not
+                 (tr.t_dir = fresh.t_dir && String.equal tr.t_buf fresh.t_buf
+                && tr.t_lo = fresh.t_lo && tr.t_hi = fresh.t_hi && tr.t_tag = fresh.t_tag))
+             ctx.inflight
+    | _ -> if active then ctx.imprecise <- true
+
+and compile_gemm ce ~path (g : Ir.gemm) =
+  let path = path ^ "/gemm" in
+  let fm = compile_expr ce ~path g.m
+  and fn = compile_expr ce ~path g.n
+  and fk = compile_expr ce ~path g.k in
+  let operand (op : Ir.gemm_operand) =
+    (compile_expr ce ~path op.g_offset, compile_expr ce ~path op.g_ld, op.g_buf, spm_cap ce op.g_buf)
+  in
+  let a = operand g.a and b = operand g.b and c = operand g.c in
+  let a_major = g.variant.Primitives.Spm_gemm.a_major
+  and b_major = g.variant.Primitives.Spm_gemm.b_major in
+  fun ctx ->
+    let m = fm ctx and n = fn ctx and k = fk ctx in
+    if m.Itv.hi <= 0 || n.Itv.hi <= 0 || k.Itv.hi <= 0 then
+      report ctx ~code:"SWA013" ~severity:Error ~path "non-positive GEMM dimension"
+    else begin
+      let m1 = at_least_one m and n1 = at_least_one n and k1 = at_least_one k in
+      (* rows/cols of each operand's stored footprint under its majorness *)
+      let check what (foff, fld, buf, cap) ~rows ~cols =
+        let off = foff ctx and ld = fld ctx in
+        if ld.Itv.hi < cols.Itv.lo then
+          report ctx ~code:"SWA013" ~severity:Error ~path
+            (Printf.sprintf "%s leading dimension %d smaller than row extent %d" what ld.Itv.hi
+               cols.Itv.lo);
+        let stop = Itv.add off (Itv.add (Itv.mul (Itv.sub rows Itv.one) ld) cols) in
+        Option.iter
+          (fun cap -> check_bounds ctx ~code:"SWA013" ~path ~what ~buf ~cap off stop)
+          cap;
+        check_conflict ctx ~path ~what ~buf off stop
+      in
+      (match a_major with
+      | Primitives.Spm_gemm.Row_major -> check "operand A" a ~rows:m1 ~cols:k1
+      | Primitives.Spm_gemm.Col_major -> check "operand A" a ~rows:k1 ~cols:m1);
+      (match b_major with
+      | Primitives.Spm_gemm.Row_major -> check "operand B" b ~rows:k1 ~cols:n1
+      | Primitives.Spm_gemm.Col_major -> check "operand B" b ~rows:n1 ~cols:k1);
+      check "operand C" c ~rows:m1 ~cols:n1
+    end
+
+and compile_transform ce ~path (t : Ir.transform) =
+  let kind_name =
+    match t.kind with
+    | Ir.Wino_input -> "wino_input"
+    | Ir.Wino_filter -> "wino_filter"
+    | Ir.Wino_output -> "wino_output"
+  in
+  let path = Printf.sprintf "%s/transform(%s %s->%s)" path kind_name t.t_src t.t_dst in
+  let fsrc_off = compile_expr ce ~path t.t_src_offset
+  and fdst_off = compile_expr ce ~path t.t_dst_offset
+  and fchans = compile_expr ce ~path t.t_chans
+  and ftr = compile_expr ce ~path t.t_tiles_r
+  and ftc = compile_expr ce ~path t.t_tiles_c
+  and fld = compile_expr ce ~path t.t_src_ld in
+  let src_cap = spm_cap ce t.t_src and dst_cap = spm_cap ce t.t_dst in
+  fun ctx ->
+    let chans = fchans ctx and tiles_r = ftr ctx and tiles_c = ftc ctx in
+    let applicable =
+      match t.kind with
+      | Ir.Wino_filter -> chans.Itv.hi > 0
+      | Ir.Wino_input | Ir.Wino_output -> chans.Itv.hi > 0 && tiles_r.Itv.hi > 0 && tiles_c.Itv.hi > 0
+    in
+    if applicable then begin
+      let ch1 = at_least_one chans
+      and tr1 = at_least_one tiles_r
+      and tc1 = at_least_one tiles_c in
+      let tiles = Itv.mul tr1 tc1 in
+      let i n = Itv.const n in
+      let src_off = fsrc_off ctx and dst_off = fdst_off ctx in
+      (* exact footprints of the interpreter's transform numerics *)
+      let src_span, dst_span =
+        match t.kind with
+        | Ir.Wino_input ->
+          let ld = fld ctx in
+          let plane_rows = Itv.add (Itv.mul tr1 (i 2)) (i 2) in
+          (* last read: plane (chans-1), row 2*tiles_r+1, column 2*tiles_c+1 *)
+          ( Itv.add
+              (Itv.mul (Itv.sub ch1 Itv.one) (Itv.mul plane_rows ld))
+              (Itv.add (Itv.mul (Itv.add (Itv.mul tr1 (i 2)) Itv.one) ld)
+                 (Itv.add (Itv.mul tc1 (i 2)) (i 2))),
+            Itv.mul (i 16) (Itv.mul ch1 tiles) )
+        | Ir.Wino_filter -> (Itv.mul (i 9) ch1, Itv.mul (i 16) ch1)
+        | Ir.Wino_output -> (Itv.mul (i 16) (Itv.mul ch1 tiles), Itv.mul (i 4) (Itv.mul ch1 tiles))
+      in
+      let src_stop = Itv.add src_off src_span and dst_stop = Itv.add dst_off dst_span in
+      Option.iter
+        (fun cap ->
+          check_bounds ctx ~code:"SWA015" ~path ~what:(kind_name ^ " source") ~buf:t.t_src ~cap
+            src_off src_stop)
+        src_cap;
+      Option.iter
+        (fun cap ->
+          check_bounds ctx ~code:"SWA015" ~path ~what:(kind_name ^ " destination") ~buf:t.t_dst
+            ~cap dst_off dst_stop)
+        dst_cap;
+      check_conflict ctx ~path ~what:(kind_name ^ " source") ~buf:t.t_src src_off src_stop;
+      check_conflict ctx ~path ~what:(kind_name ^ " destination") ~buf:t.t_dst dst_off dst_stop
+    end
+
+(* ------------------------------------------------------------------ *)
+
+let verify (p : Ir.program) =
+  let ce =
+    {
+      slots = Hashtbl.create 16;
+      bufs = Hashtbl.create 16;
+      rid_slot = 0;
+      cid_slot = 0;
+    }
+  in
+  let ce = { ce with rid_slot = slot_of ce "rid"; cid_slot = slot_of ce "cid" } in
+  List.iter (fun (b : Ir.buf) -> Hashtbl.replace ce.bufs b.Ir.buf_name b) p.bufs;
+  let compiled = compile_stmt ce ~path:"body" p.body in
+  let ctx =
+    {
+      env = Array.make (max 1 (Hashtbl.length ce.slots)) Itv.zero;
+      inflight = [];
+      quiet = false;
+      imprecise = false;
+      diags = [];
+      seen = Hashtbl.create 16;
+    }
+  in
+  compiled ctx;
+  if not ctx.imprecise then
+    List.iter
+      (fun tr ->
+        if tr.t_dir = Ir.Get then
+          report ctx ~code:"SWA005" ~severity:Warning ~path:tr.t_path
+            (Printf.sprintf "get tag %d into %s still in flight at end of program" tr.t_tag
+               tr.t_buf))
+      ctx.inflight;
+  List.rev ctx.diags

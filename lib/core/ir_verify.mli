@@ -1,0 +1,67 @@
+(** Static verification of optimized IR programs: DMA dataflow/hazard
+    analysis and bounds analysis, reported through structured diagnostics.
+
+    [Ir_check] validates scoping and declarations; this module checks the
+    *semantics* the IR optimizer is trusted with. Two analyses run over the
+    program:
+
+    {2 DMA dataflow / hazard analysis}
+
+    Tracks the set of in-flight DMA transfers — each a [(direction, SPM
+    buffer, SPM element interval, tag)] record — through [Seq]/[For]/[If].
+    A compute statement touching an SPM interval still covered by an
+    in-flight [Get] means a missing [Dma_wait] (SWA001); a [Get] issued
+    into an interval already covered by an in-flight [Get] is a
+    double-issue (SWA003); a wait whose tag matches nothing is reported as
+    either a parity mismatch against its double-buffering sibling tag
+    (SWA004) or a plain unmatched wait (SWA002). [Put] transfers snapshot
+    their source at issue (both the simulator and the generated runtime
+    drain the engine in order), so they participate only in tag
+    bookkeeping, never in conflicts — fire-and-forget stores of results
+    are idiomatic in this IR.
+
+    {2 Bounds analysis}
+
+    Every expression is evaluated in an interval domain with saturating
+    arithmetic. Loops with constant bounds are sampled concretely — all
+    iterations when short, otherwise a head window plus, once the
+    in-flight state is detected periodic, the phase-aligned final
+    iterations — so iterator-correlated expressions (ragged tile extents
+    like [min (fm, m - im)]) stay exact instead of being widened apart.
+    [rid]/[cid] are enumerated over the full grid ({!Ir.cpe_id_range}).
+    The analysis proves each DMA region fits its [Main] buffer (SWA010),
+    each inferred per-CPE descriptor stays inside it (SWA011), each SPM
+    image fits [cg_elems] (doubled when double-buffered) (SWA012), and
+    every [Gemm]/[Spm_copy]/[Transform]/[Memset_spm] operand access is in
+    range (SWA013-SWA016). Division or modulo by (possibly) zero is
+    SWA020/SWA021.
+
+    The tuner rejects any candidate with error-severity diagnostics; the
+    CLI exposes the same analyses as [swatop lint]. *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  code : string;  (** stable code, e.g. ["SWA001"] *)
+  severity : severity;
+  path : string;  (** structural IR path, e.g. ["body[2]/for im/dma(get A->a_tile)"] *)
+  message : string;
+}
+
+val verify : Ir.program -> diagnostic list
+(** Runs both analyses over an optimized program (after DMA inference /
+    prefetching; statements gated on information the optimizer has not
+    produced yet, e.g. per-CPE descriptors, are skipped). Diagnostics are
+    deduplicated per (code, path) and returned in program order. *)
+
+val errors : diagnostic list -> diagnostic list
+val is_clean : diagnostic list -> bool
+(** No error-severity diagnostics (warnings allowed). *)
+
+val code_counts : diagnostic list -> (string * int) list
+(** Occurrences per code, sorted by code. *)
+
+val to_string : diagnostic -> string
+
+val registry : (string * severity * string) list
+(** All diagnostic codes with their severity and a one-line summary. *)

@@ -1,18 +1,18 @@
 type t = { pool_bytes : int; offsets : (string * int) list }
 
+let requests (p : Ir.program) =
+  List.filter_map
+    (fun (b : Ir.buf) ->
+      match b.space with
+      | Ir.Main -> None
+      | Ir.Spm ->
+        Some
+          (Sw26010.Spm.request ~double_buffered:b.double_buffered ~name:b.buf_name
+             ~bytes:(b.cpe_elems * Sw26010.Config.elem_bytes) ()))
+    p.bufs
+
 let plan (p : Ir.program) =
-  let requests =
-    List.filter_map
-      (fun (b : Ir.buf) ->
-        match b.space with
-        | Ir.Main -> None
-        | Ir.Spm ->
-          Some
-            (Sw26010.Spm.request ~double_buffered:b.double_buffered ~name:b.buf_name
-               ~bytes:(b.cpe_elems * Sw26010.Config.elem_bytes) ()))
-      p.bufs
-  in
-  match Sw26010.Spm.plan requests with
+  match Sw26010.Spm.plan (requests p) with
   | Error e -> Error e
   | Ok spm_plan ->
     Ok

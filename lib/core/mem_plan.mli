@@ -7,5 +7,10 @@ type t = {
   offsets : (string * int) list;  (** byte offset of each SPM buffer *)
 }
 
+val requests : Ir.program -> Sw26010.Spm.request list
+(** The allocation request for each SPM buffer of the program — the single
+    source of truth shared by {!plan} and [Ir_check.spm_footprint_bytes],
+    so the capacity check and the allocator can never diverge. *)
+
 val plan : Ir.program -> (t, string) result
 val offset_of : t -> string -> int

@@ -30,9 +30,10 @@ let rec build_chain (fl : for_loop) acc =
     build_chain child acc
   | _ :: _ :: _ -> fail "multiple streaming sub-loops under %s" fl.iter
 
-let const_of at = function
-  | Const i -> i
-  | e -> fail "%s bound %s is not a constant" at (Ir_print.expr_to_string e)
+let const_of at e =
+  match Ir.to_const e with
+  | Some i -> i
+  | None -> fail "%s bound %s is not a constant" at (Ir_print.expr_to_string e)
 
 type level = { l : for_loop; lo_c : int; hi_c : int; step_c : int; trips : int }
 

@@ -2,6 +2,7 @@ type report = {
   space_size : int;
   evaluated : int;
   pruned : int;
+  verify_rejected : (string * int) list;
   cache_hit : bool;
   jobs : int;
   wall_seconds : float;
@@ -38,6 +39,26 @@ let require_nonempty = function
   | l -> l
 
 let effective_jobs jobs = match jobs with Some j -> max 1 j | None -> Prelude.Parallel.jobs ()
+
+(* Per-code counts of verifier rejections. A rejected candidate counts once
+   per distinct code it tripped; summing per-chunk counts keeps the totals
+   independent of chunking and evaluation order. *)
+let rejection_codes diags =
+  List.sort_uniq String.compare (List.map (fun d -> d.Ir_verify.code) diags)
+
+let merge_rejections acc counts =
+  List.fold_left
+    (fun acc (c, n) ->
+      let m = Option.value ~default:0 (List.assoc_opt c acc) in
+      (c, m + n) :: List.remove_assoc c acc)
+    acc counts
+
+let add_rejections acc codes = merge_rejections acc (List.map (fun c -> (c, 1)) codes)
+
+let sorted_rejections l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let rejections_summary l =
+  String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) (sorted_rejections l))
 
 (* ------------------------------------------------------------------ *)
 (* Bounded top-k selection.
@@ -94,23 +115,34 @@ let model_tune ?(top_k = 1) ?(prune = true) ?jobs ~gemm_model ~candidates ~build
   let score base chunk =
     let tk = Topk.create top_k in
     let pruned = ref 0 in
+    let rejected = ref [] in
     Array.iteri
       (fun j c ->
         let p = optimize (build c) in
         if prune && Cost_model.dma_lower_bound p > Topk.threshold tk then incr pruned
         else begin
           let p = checked p in
-          let e = Cost_model.estimate ~gemm_model p in
-          Topk.insert tk
-            { Topk.k_index = base + j; k_cand = c; k_program = p; k_seconds = e.total_seconds }
+          match Ir_verify.errors (Ir_verify.verify p) with
+          | _ :: _ as errs -> rejected := add_rejections !rejected (rejection_codes errs)
+          | [] ->
+            let e = Cost_model.estimate ~gemm_model p in
+            Topk.insert tk
+              { Topk.k_index = base + j; k_cand = c; k_program = p; k_seconds = e.total_seconds }
         end)
       chunk;
-    (tk.Topk.entries, !pruned)
+    (tk.Topk.entries, !pruned, !rejected)
   in
   let chunk_results = Prelude.Parallel.map_chunks ?jobs ~f:score arr in
   let merged = Topk.create top_k in
-  List.iter (fun (entries, _) -> List.iter (Topk.insert merged) entries) chunk_results;
-  let pruned = List.fold_left (fun acc (_, p) -> acc + p) 0 chunk_results in
+  List.iter (fun (entries, _, _) -> List.iter (Topk.insert merged) entries) chunk_results;
+  let pruned = List.fold_left (fun acc (_, p, _) -> acc + p) 0 chunk_results in
+  let verify_rejected =
+    sorted_rejections (List.fold_left (fun acc (_, _, rs) -> merge_rejections acc rs) [] chunk_results)
+  in
+  if merged.Topk.entries = [] then
+    invalid_arg
+      (Printf.sprintf "Tuner.model_tune: every candidate rejected by the IR verifier (%s)"
+         (rejections_summary verify_rejected));
   let wall_scored = Prelude.Clock.wall () in
   (* The finalists are compiled and timed on the machine; with top_k = 1
      that is just the winner's validation run. *)
@@ -140,6 +172,7 @@ let model_tune ?(top_k = 1) ?(prune = true) ?jobs ~gemm_model ~candidates ~build
         space_size;
         evaluated = space_size - pruned;
         pruned;
+        verify_rejected;
         cache_hit = false;
         jobs = effective_jobs jobs;
         wall_seconds = wall1 -. wall0;
@@ -162,40 +195,57 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
      indices; the hardware-time sum below then folds it sequentially, so the
      report is bit-identical whatever the job count. *)
   let seconds = Array.make (Array.length measured_candidates) 0.0 in
+  (* Rejected candidates are never compiled or run, so they must not
+     contribute compile overhead to the hardware-time account either. *)
+  let skipped = Array.make (Array.length measured_candidates) false in
   let measure base chunk =
     let best = ref None in
+    let rejected = ref [] in
     Array.iteri
       (fun j c ->
         let p = prepare (build c) in
-        let s = (Interp.run ~numeric:false p).seconds in
-        seconds.(base + j) <- s;
-        match !best with
-        | Some (_, _, bs) when bs <= s -> ()
-        | _ -> best := Some (base + j, p, s))
+        match Ir_verify.errors (Ir_verify.verify p) with
+        | _ :: _ as errs ->
+          skipped.(base + j) <- true;
+          rejected := add_rejections !rejected (rejection_codes errs)
+        | [] -> (
+          let s = (Interp.run ~numeric:false p).seconds in
+          seconds.(base + j) <- s;
+          match !best with
+          | Some (_, _, bs) when bs <= s -> ()
+          | _ -> best := Some (base + j, p, s)))
       chunk;
-    !best
+    (!best, !rejected)
   in
-  let chunk_best = Prelude.Parallel.map_chunks ?jobs ~f:measure measured_candidates in
+  let chunk_results = Prelude.Parallel.map_chunks ?jobs ~f:measure measured_candidates in
+  let verify_rejected =
+    sorted_rejections (List.fold_left (fun acc (_, rs) -> merge_rejections acc rs) [] chunk_results)
+  in
   let best_index, best_program, best_seconds =
     match
       List.fold_left
-        (fun acc b ->
+        (fun acc (b, _) ->
           match (acc, b) with
           | None, b -> b
           | acc, None -> acc
           | Some (_, _, bs), Some (_, _, s) when bs <= s -> acc
           | _, b -> b)
-        None chunk_best
+        None chunk_results
     with
     | Some b -> b
-    | None -> assert false
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tuner.blackbox_tune: every candidate rejected by the IR verifier (%s)"
+           (rejections_summary verify_rejected))
   in
   let wall1 = Prelude.Clock.wall () in
-  let measured_hw =
-    Array.fold_left
-      (fun acc s -> acc +. (float_of_int repetitions *. s) +. per_candidate_compile_seconds)
-      0.0 seconds
-  in
+  let measured_hw = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      if not skipped.(i) then
+        measured_hw := !measured_hw +. (float_of_int repetitions *. s) +. per_candidate_compile_seconds)
+    seconds;
+  let measured_hw = !measured_hw in
   {
     best = measured_candidates.(best_index);
     (* Index into the original candidate list: take_every keeps every
@@ -208,6 +258,7 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
         space_size = List.length candidates;
         evaluated = Array.length measured_candidates;
         pruned = 0;
+        verify_rejected;
         cache_hit = false;
         jobs = effective_jobs jobs;
         wall_seconds = wall1 -. wall0;

@@ -31,6 +31,12 @@ type report = {
   space_size : int;
   evaluated : int;  (** candidates fully measured/estimated (excludes pruned) *)
   pruned : int;  (** candidates skipped by the lower-bound test *)
+  verify_rejected : (string * int) list;
+      (** candidates rejected by {!Ir_verify} before costing, counted per
+          diagnostic code (sorted by code; a candidate tripping several
+          codes counts once under each). Rejected candidates are part of
+          [evaluated] — they were examined, just never selected. Empty on
+          healthy schedule spaces. *)
   cache_hit : bool;  (** served from a {!Schedule_cache} instead of tuned *)
   jobs : int;  (** Domain-pool width the run was scored with *)
   wall_seconds : float;  (** host monotonic wall clock inside the tuner *)
@@ -53,6 +59,12 @@ val per_candidate_compile_seconds : float
     real system; calibrated against Table 3 (approximately 40 s per
     candidate for the black-box tuner). *)
 
+val optimize : Ir.program -> Ir.program
+(** The IR-optimizer passes alone — DMA inference, then prefetching —
+    without the structural validation of {!prepare}. Used by the [lint]
+    pipeline, which wants to report {!Ir_check} errors as diagnostics
+    rather than have them raised. *)
+
 val prepare : Ir.program -> Ir.program
 (** The IR-optimizer pipeline applied to every candidate before costing:
     DMA inference, then prefetching, then structural validation. Raises
@@ -72,8 +84,11 @@ val model_tune :
     measured winner kept; [hardware_seconds] accounts for those runs.
     [prune] (default true) enables the lower-bound branch-and-bound; it is
     sound — the returned top-k is provably identical either way — and exists
-    as a switch only for A/B measurement. Raises [Invalid_argument] on an
-    empty candidate list. *)
+    as a switch only for A/B measurement. Every surviving candidate is
+    passed through {!Ir_verify}; candidates with error diagnostics are
+    rejected (counted in the report's [verify_rejected]) and can never win.
+    Raises [Invalid_argument] on an empty candidate list, or when the
+    verifier rejects the entire space. *)
 
 val blackbox_tune :
   ?repetitions:int ->

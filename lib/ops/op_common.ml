@@ -308,6 +308,7 @@ let cache_outcome ~space_size ~jobs entry candidates build =
         space_size;
         evaluated = 0;
         pruned = 0;
+        verify_rejected = [];
         cache_hit = true;
         jobs;
         wall_seconds = wall1 -. wall0;

@@ -5,6 +5,7 @@ let () =
       ("sw26010", Test_sw26010.suite);
       ("tensor", Test_tensor.suite);
       ("ir", Test_ir.suite);
+      ("ir-verify", Test_ir_verify.suite);
       ("dsl-scheduler", Test_dsl.suite);
       ("interp", Test_interp.suite);
       ("primitives", Test_primitives.suite);

@@ -56,6 +56,19 @@ let expr_suite =
         Alcotest.check e_test "x*0" (Ir.int 0) Ir.(var "x" * int 0);
         Alcotest.check e_test "const fold" (Ir.int 7) Ir.(int 3 + int 4);
         Alcotest.check e_test "min self" (Ir.var "x") (Ir.emin (Ir.var "x") (Ir.var "x")));
+    Alcotest.test_case "division by constant zero is left unfolded" `Quick (fun () ->
+        (* simplify must never raise mid-pipeline; Ir_verify diagnoses the
+           division instead (SWA020). *)
+        Alcotest.check e_test "div" (Ir.Div (Ir.var "x", Ir.Const 0)) Ir.(var "x" / int 0);
+        Alcotest.check e_test "mod" (Ir.Mod (Ir.Const 5, Ir.Const 0)) Ir.(int 5 % int 0);
+        Alcotest.check e_test "nested"
+          (Ir.Div (Ir.Const 7, Ir.Const 0))
+          (Ir.simplify (Ir.Div (Ir.Const 7, Ir.Sub (Ir.Const 3, Ir.Const 3))));
+        (* substitution folds through simplify: a denominator that becomes
+           zero must survive it too *)
+        Alcotest.check e_test "subst"
+          (Ir.Div (Ir.Const 9, Ir.Const 0))
+          (Ir.subst [ ("d", Ir.int 0) ] (Ir.Div (Ir.Const 9, Ir.Var "d"))));
     Alcotest.test_case "free_vars" `Quick (fun () ->
         Alcotest.(check (list string)) "i,j" [ "i"; "j" ] (Ir.free_vars Ir.(var "i" + (var "j" * var "i"))));
     Alcotest.test_case "printing round-trips structure" `Quick (fun () ->
@@ -120,6 +133,25 @@ let check_suite =
         match Ir_check.check (tiny_program (Ir.Seq []) [ main; main ]) with
         | Ok () -> Alcotest.fail "missed duplicate"
         | Error _ -> ());
+    Alcotest.test_case "capacity check and memory planner share one footprint" `Quick (fun () ->
+        (* Both sides are built from Mem_plan.requests; a program that just
+           fits must both pass the check and plan successfully, and the
+           planned pool can never exceed the checked footprint. *)
+        let a = Ir.spm_buf ~name:"a" ~cg_elems:64 ~cpe_elems:4096 in
+        let b = Ir.spm_buf ~name:"b" ~cg_elems:64 ~cpe_elems:8192 in
+        let p = tiny_program (Ir.Seq []) [ main; a; b ] in
+        let footprint = Ir_check.spm_footprint_bytes p in
+        Alcotest.(check int) "footprint" ((4096 + 8192) * Sw26010.Config.elem_bytes) footprint;
+        (match (Ir_check.check p, Mem_plan.plan p) with
+        | Ok (), Ok plan ->
+          Alcotest.(check bool) "pool within footprint" true (plan.Mem_plan.pool_bytes <= footprint)
+        | Error es, _ -> Alcotest.failf "check: %s" (Ir_check.error_to_string (List.hd es))
+        | _, Error e -> Alcotest.failf "plan: %s" e);
+        (* ...and a program that does not fit must fail both ways. *)
+        let fat = Ir.spm_buf ~name:"fat" ~cg_elems:64 ~cpe_elems:(Sw26010.Config.spm_bytes / 2) in
+        let too_big = tiny_program (Ir.Seq []) [ main; a; fat ] in
+        Alcotest.(check bool) "check rejects" true (Result.is_error (Ir_check.check too_big));
+        Alcotest.(check bool) "plan rejects" true (Result.is_error (Mem_plan.plan too_big)));
     Alcotest.test_case "rid/cid only allowed in per-CPE descriptors" `Quick (fun () ->
         let body = Ir.Memset_spm { buf = "s"; offset = Ir.rid; elems = Ir.int 1 } in
         (match Ir_check.check (tiny_program body [ main; spm ]) with

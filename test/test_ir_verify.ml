@@ -1,0 +1,308 @@
+(* The IR verifier: hazard/bounds analyses must accept every real schedule
+   the ops produce, and a mutation harness checks that seeded defects are
+   caught with the right diagnostic code. *)
+
+open Swatop
+open Swatop_ops
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let show_diags ds = String.concat "\n" (List.map Ir_verify.to_string ds)
+
+let assert_clean what p =
+  let ds = Ir_verify.verify p in
+  match Ir_verify.errors ds with
+  | [] -> ()
+  | _ -> Alcotest.failf "%s: unexpected verifier errors:\n%s" what (show_diags ds)
+
+let has_error code ds =
+  List.exists (fun (d : Ir_verify.diagnostic) -> d.code = code && d.severity = Ir_verify.Error) ds
+
+let assert_flags what code p =
+  let ds = Ir_verify.verify p in
+  if not (has_error code ds) then
+    Alcotest.failf "%s: expected %s, got:\n%s" what code
+      (if ds = [] then "(no diagnostics)" else show_diags ds)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let matmul_strategy ?(fm = 16) ?(fn = 16) ?(fk = 16) ?(boundary = Op_common.Switch)
+    ?(prefetch = true) () =
+  { Matmul.fm; fn; fk; n_outer = false; vec = Primitives.Spm_gemm.Vec_m; boundary; prefetch }
+
+let prepared_matmul ?(m = 64) ?(n = 48) ?(k = 32) ?boundary ?prefetch () =
+  let t = Matmul.problem ~m ~n ~k in
+  Tuner.prepare (Matmul.build t (matmul_strategy ?boundary ?prefetch ()))
+
+let check_space what space build describe =
+  List.iter (fun s -> assert_clean (what ^ ": " ^ describe s) (Tuner.prepare (build s))) space
+
+(* ------------------------------------------------------------------ *)
+(* Every real schedule is clean *)
+
+let clean_suite =
+  [
+    Alcotest.test_case "aligned matmul, with and without prefetch" `Quick (fun () ->
+        assert_clean "prefetch" (prepared_matmul ~prefetch:true ());
+        assert_clean "no prefetch" (prepared_matmul ~prefetch:false ()));
+    Alcotest.test_case "ragged matmul, all boundary policies x prefetch" `Quick (fun () ->
+        List.iter
+          (fun boundary ->
+            List.iter
+              (fun prefetch ->
+                assert_clean "ragged 100x60x52"
+                  (prepared_matmul ~m:100 ~n:60 ~k:52 ~boundary ~prefetch ()))
+              [ true; false ])
+          [ Op_common.Switch; Op_common.Pad_light; Op_common.Pad_full ]);
+    Alcotest.test_case "whole matmul space 96x80x48" `Quick (fun () ->
+        let t = Matmul.problem ~m:96 ~n:80 ~k:48 in
+        check_space "matmul" (Matmul.space t) (Matmul.build t) Matmul.describe);
+    Alcotest.test_case "whole implicit-conv space" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:4 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        check_space "implicit" (Conv_implicit.space t) (Conv_implicit.build t)
+          Conv_implicit.describe);
+    Alcotest.test_case "whole winograd space" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let t = Conv_winograd.problem spec in
+        check_space "winograd" (Conv_winograd.space t) (Conv_winograd.build t)
+          Conv_winograd.describe);
+    Alcotest.test_case "whole explicit-conv space" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:8 ~no:8 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        let t = Conv_explicit.problem spec in
+        check_space "explicit" (Conv_explicit.space t) (Conv_explicit.build t)
+          Conv_explicit.describe);
+    Alcotest.test_case "fig5-style VGG layer, subsampled space" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:8 ~ni:64 ~no:64 ~ro:28 ~co:28 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        check_space "vgg implicit"
+          (Prelude.Lists.take_every 5 (Conv_implicit.space t))
+          (Conv_implicit.build t) Conv_implicit.describe);
+    Alcotest.test_case "unwaited get is a warning, not an error" `Quick (fun () ->
+        let bufs = [ Ir.main_buf ~name:"X" ~elems:64; Ir.spm_buf ~name:"x" ~cg_elems:64 ~cpe_elems:1 ] in
+        let get =
+          Ir.Dma
+            {
+              dir = Ir.Get;
+              main = "X";
+              spm = "x";
+              tag = Ir.int 0;
+              region =
+                { offset = Ir.int 0; rows = Ir.int 1; row_elems = Ir.int 64; row_stride = Ir.int 64 };
+              spm_offset = Ir.int 0;
+              spm_ld = Ir.int 64;
+              partition = Ir.P_rows;
+              per_cpe = None;
+            }
+        in
+        let p = Ir.program ~name:"unwaited" ~bufs get in
+        let ds = Ir_verify.verify p in
+        Alcotest.(check bool) "clean of errors" true (Ir_verify.is_clean ds);
+        Alcotest.(check bool) "SWA005 warning present" true
+          (List.exists (fun (d : Ir_verify.diagnostic) -> d.code = "SWA005") ds));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutation harness: seed one defect into a real tuned program and check
+   the diagnostic code. *)
+
+let mutate_first what pred f (p : Ir.program) =
+  let fired = ref false in
+  let body =
+    Ir.map_stmt
+      (fun s ->
+        if (not !fired) && pred s then begin
+          fired := true;
+          f s
+        end
+        else s)
+      p.Ir.body
+  in
+  if not !fired then Alcotest.failf "%s: mutation found no statement to seed" what;
+  { p with Ir.body }
+
+let is_get = function Ir.Dma { dir = Ir.Get; _ } -> true | _ -> false
+
+let on_get f = function Ir.Dma ({ dir = Ir.Get; _ } as d) -> f d | s -> s
+
+let big = Ir.int 1_000_000
+
+let drop_wait p =
+  mutate_first "drop wait" (function Ir.Dma_wait _ -> true | _ -> false) (fun _ -> Ir.Seq []) p
+
+let flip_parity p =
+  mutate_first "flip parity" is_get
+    (on_get (fun d -> Ir.Dma { d with tag = Ir.(d.tag + (int 1 - (int 2 * (d.tag % int 2)))) }))
+    p
+
+let oversize_region p =
+  mutate_first "oversize region" is_get
+    (on_get (fun d ->
+         Ir.Dma { d with Ir.region = { d.Ir.region with Ir.offset = Ir.(d.Ir.region.Ir.offset + big) } }))
+    p
+
+let oversize_per_cpe p =
+  mutate_first "oversize per-cpe" is_get
+    (on_get (fun d ->
+         match d.Ir.per_cpe with
+         | None -> Ir.Dma d
+         | Some c -> Ir.Dma { d with Ir.per_cpe = Some { c with Ir.d_offset = Ir.(c.Ir.d_offset + big) } }))
+    p
+
+let oversize_spm p =
+  mutate_first "oversize spm" is_get
+    (on_get (fun d -> Ir.Dma { d with Ir.spm_offset = Ir.(d.Ir.spm_offset + big) }))
+    p
+
+let oversize_gemm p =
+  mutate_first "oversize gemm"
+    (function Ir.Gemm _ -> true | _ -> false)
+    (function
+      | Ir.Gemm g -> Ir.Gemm { g with Ir.a = { g.Ir.a with Ir.g_offset = Ir.(g.Ir.a.Ir.g_offset + big) } }
+      | s -> s)
+    p
+
+let oversize_memset p =
+  mutate_first "oversize memset"
+    (function Ir.Memset_spm _ -> true | _ -> false)
+    (function
+      | Ir.Memset_spm { buf; offset; elems } ->
+        Ir.Memset_spm { buf; offset; elems = Ir.(elems + big) }
+      | s -> s)
+    p
+
+let div_by_zero p =
+  mutate_first "div by zero"
+    (function Ir.Gemm _ -> true | _ -> false)
+    (function Ir.Gemm g -> Ir.Gemm { g with Ir.m = Ir.Div (g.Ir.m, Ir.Const 0) } | s -> s)
+    p
+
+let double_issue p =
+  mutate_first "double issue" is_get (fun s -> Ir.Seq [ s; s ]) p
+
+let extra_wait (p : Ir.program) =
+  { p with Ir.body = Ir.Seq [ p.Ir.body; Ir.Dma_wait { tag = Ir.int 999 } ] }
+
+let mutation_suite =
+  [
+    Alcotest.test_case "dropped dma_wait -> SWA001" `Quick (fun () ->
+        assert_flags "drop wait" "SWA001" (drop_wait (prepared_matmul ())));
+    Alcotest.test_case "flipped parity tag -> SWA004" `Quick (fun () ->
+        assert_flags "flip parity" "SWA004" (flip_parity (prepared_matmul ())));
+    Alcotest.test_case "out-of-bounds region -> SWA010" `Quick (fun () ->
+        assert_flags "oversize region" "SWA010" (oversize_region (prepared_matmul ())));
+    Alcotest.test_case "out-of-bounds per-CPE descriptor -> SWA011" `Quick (fun () ->
+        let ds = Ir_verify.verify (oversize_per_cpe (prepared_matmul ())) in
+        Alcotest.(check bool) "SWA011" true (has_error "SWA011" ds);
+        Alcotest.(check bool) "no SWA010 (region itself is fine)" false (has_error "SWA010" ds));
+    Alcotest.test_case "out-of-bounds SPM image -> SWA012" `Quick (fun () ->
+        assert_flags "oversize spm" "SWA012" (oversize_spm (prepared_matmul ())));
+    Alcotest.test_case "out-of-bounds GEMM operand -> SWA013" `Quick (fun () ->
+        assert_flags "oversize gemm" "SWA013" (oversize_gemm (prepared_matmul ())));
+    Alcotest.test_case "out-of-bounds memset -> SWA016" `Quick (fun () ->
+        assert_flags "oversize memset" "SWA016" (oversize_memset (prepared_matmul ())));
+    Alcotest.test_case "division by zero -> SWA020" `Quick (fun () ->
+        assert_flags "div by zero" "SWA020" (div_by_zero (prepared_matmul ())));
+    Alcotest.test_case "wait with no issue -> SWA002" `Quick (fun () ->
+        assert_flags "extra wait" "SWA002" (extra_wait (prepared_matmul ())));
+    Alcotest.test_case "double-issued get -> SWA003" `Quick (fun () ->
+        assert_flags "double issue" "SWA003" (double_issue (prepared_matmul ())));
+    Alcotest.test_case "spm_copy overflow -> SWA014" `Quick (fun () ->
+        let bufs =
+          [
+            Ir.spm_buf ~name:"src" ~cg_elems:64 ~cpe_elems:1;
+            Ir.spm_buf ~name:"dst" ~cg_elems:64 ~cpe_elems:1;
+          ]
+        in
+        let copy =
+          Ir.Spm_copy
+            {
+              cp_src = "src";
+              cp_src_offset = Ir.int 0;
+              cp_src_ld = Ir.int 64;
+              cp_dst = "dst";
+              cp_dst_offset = Ir.int 0;
+              cp_dst_ld = Ir.int 32;
+              cp_rows = Ir.int 2;
+              cp_row_elems = Ir.int 32;
+            }
+        in
+        assert_flags "spm_copy" "SWA014" (Ir.program ~name:"copy_oob" ~bufs copy));
+    Alcotest.test_case "transform overflow -> SWA015" `Quick (fun () ->
+        let bufs =
+          [
+            Ir.spm_buf ~name:"raw" ~cg_elems:64 ~cpe_elems:1;
+            Ir.spm_buf ~name:"u" ~cg_elems:256 ~cpe_elems:1;
+          ]
+        in
+        let tf =
+          Ir.Transform
+            {
+              kind = Ir.Wino_filter;
+              t_src = "raw";
+              t_src_offset = Ir.int 0;
+              t_dst = "u";
+              t_dst_offset = Ir.int 0;
+              t_chans = Ir.int 8;
+              t_tiles_r = Ir.int 1;
+              t_tiles_c = Ir.int 1;
+              t_src_ld = Ir.int 9;
+            }
+        in
+        (* 8 filters of 9 elements need 72 > 64 source elements *)
+        assert_flags "transform" "SWA015" (Ir.program ~name:"tf_oob" ~bufs tf));
+    Alcotest.test_case "the four canonical mutations get distinct codes" `Quick (fun () ->
+        let codes = [ "SWA001"; "SWA004"; "SWA010"; "SWA020" ] in
+        Alcotest.(check int) "distinct" (List.length codes)
+          (List.length (List.sort_uniq String.compare codes));
+        List.iter2
+          (fun code mutate -> assert_flags code code (mutate (prepared_matmul ())))
+          codes
+          [ drop_wait; flip_parity; oversize_region; div_by_zero ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tuner integration *)
+
+let tuner_suite =
+  [
+    Alcotest.test_case "rejected candidates are counted and cannot win" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+        let s = matmul_strategy () in
+        let build = function
+          | `Good -> Matmul.build t s
+          | `Bad -> extra_wait (Matmul.build t s)
+        in
+        let o =
+          Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:[ `Bad; `Good ] ~build
+            ()
+        in
+        Alcotest.(check bool) "good candidate wins" true (o.Tuner.best = `Good);
+        Alcotest.(check int) "winner index" 1 o.Tuner.best_index;
+        Alcotest.(check (list (pair string int)))
+          "rejection counts" [ ("SWA002", 1) ] o.Tuner.report.Tuner.verify_rejected);
+    Alcotest.test_case "an all-rejected space raises" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+        let build `Bad = extra_wait (Matmul.build t (matmul_strategy ())) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore
+               (Tuner.model_tune ~gemm_model:(Lazy.force gemm_model) ~candidates:[ `Bad; `Bad ]
+                  ~build ());
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "blackbox tuner also rejects" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+        let s = matmul_strategy () in
+        let build = function
+          | `Good -> Matmul.build t s
+          | `Bad -> extra_wait (Matmul.build t s)
+        in
+        let o = Tuner.blackbox_tune ~candidates:[ `Bad; `Good ] ~build () in
+        Alcotest.(check bool) "good candidate wins" true (o.Tuner.best = `Good);
+        Alcotest.(check (list (pair string int)))
+          "rejection counts" [ ("SWA002", 1) ] o.Tuner.report.Tuner.verify_rejected);
+  ]
+
+let suite = clean_suite @ mutation_suite @ tuner_suite
