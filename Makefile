@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint check bench-quick clean
+.PHONY: all build test lint check net-smoke bench-quick clean
 
 all: build
 
@@ -19,10 +19,15 @@ lint:
 	dune exec bin/swatop_cli.exe -- lint conv --algo winograd --ni 16 --no 16 --out 12 -b 2
 	dune exec bin/swatop_cli.exe -- lint conv --algo explicit --ni 8 --no 8 --out 8 -b 2
 
-# The tier-1 gate: everything compiles, every test passes, and the example
-# schedule spaces lint clean.
+# The whole graph pipeline on the tiny 3-layer network: tune every layer,
+# propagate layouts, plan the arena and execute end to end (cost-only).
+net-smoke:
+	dune exec bin/swatop_cli.exe -- net smoke
+
+# The tier-1 gate: everything compiles, every test passes, the example
+# schedule spaces lint clean, and the network runtime smoke-runs.
 check:
-	dune build @all && dune runtest && $(MAKE) lint
+	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) net-smoke
 
 bench-quick:
 	dune exec bench/main.exe -- --quick

@@ -1,0 +1,38 @@
+(* Whole-network end-to-end execution through the graph runtime: per-layer
+   and total simulated time, layout relayouts eliminated by the propagation
+   pass, and the activation-arena footprint.
+
+   Effort scaling (one core group, sequential tuner): Quick runs the tiny
+   smoke network only; Standard adds ResNet; Full runs all three Sec. 5.1
+   networks. The --schedule-cache flag is honored — warm caches make the
+   whole-network compiles cheap re-runs. *)
+
+open Bench_common
+module G = Swatop_graph.Graph_ir
+module C = Swatop_graph.Graph_compile
+module E = Swatop_graph.Graph_exec
+
+let networks () =
+  let named n = G.of_network ~batch:1 n in
+  effort_pick
+    ~quick:[ G.smoke ~batch:4 ]
+    ~standard:[ G.smoke ~batch:4; named Workloads.Networks.resnet18 ]
+    ~full:
+      [
+        G.smoke ~batch:4;
+        named Workloads.Networks.resnet18;
+        named Workloads.Networks.vgg16;
+        named Workloads.Networks.yolov2;
+      ]
+
+let run () =
+  section "Network runtime: compile + layout propagation + arena + execution";
+  List.iter
+    (fun g ->
+      subsection (Printf.sprintf "%s (batch %d)" g.G.g_name g.G.batch);
+      let plan =
+        C.compile ?cache:!schedule_cache ~top_k:1 ~gemm_model:(Lazy.force gemm_model) g
+      in
+      let report = E.run plan in
+      print_string (E.to_text report))
+    (networks ())

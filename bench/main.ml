@@ -14,6 +14,7 @@ let experiments =
     ("fig10", "Auto-prefetching vs baseline", Exp_optimizer.fig10);
     ("fig11", "Lightweight vs traditional padding", Exp_optimizer.fig11);
     ("ablation", "Schedule-dimension ablations", Exp_ablation.run);
+    ("network", "Whole-network compile + end-to-end execution", Exp_network.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -367,6 +367,63 @@ let offline_cmd =
     Term.(const offline $ net_arg $ b_arg $ dir_arg)
 
 (* ------------------------------------------------------------------ *)
+(* net *)
+
+let find_graph net_name batch =
+  match String.lowercase_ascii net_name with
+  | "smoke" -> Swatop_graph.Graph_ir.smoke ~batch
+  | s ->
+    let canonical =
+      match s with
+      | "vgg16" | "vgg" -> "vgg16"
+      | "resnet18" | "resnet" -> "resnet"
+      | "yolov2" | "yolo" -> "yolo"
+      | s -> s
+    in
+    (match
+       List.find_opt
+         (fun n -> String.lowercase_ascii n.Workloads.Networks.net_name = canonical)
+         Workloads.Networks.all
+     with
+    | Some n -> Swatop_graph.Graph_ir.of_network ~batch n
+    | None ->
+      Printf.eprintf "unknown network %S (expected vgg16, resnet18, yolov2 or smoke)\n" net_name;
+      exit 1)
+
+let net_run net_name batch json numeric jobs cache_path =
+  with_tuning_env jobs cache_path (fun cache ->
+      let g = find_graph net_name batch in
+      let plan =
+        Swatop_graph.Graph_compile.compile ?cache ~gemm_model:(Lazy.force gemm_model) g
+      in
+      let report = Swatop_graph.Graph_exec.run ~numeric plan in
+      print_endline
+        (if json then Swatop_graph.Graph_exec.to_json report
+         else Swatop_graph.Graph_exec.to_text report))
+
+let net_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NETWORK" ~doc:"vgg16, resnet18, yolov2 or smoke")
+  in
+  let batch_arg = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"batch size") in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable report") in
+  let numeric_arg =
+    Arg.(
+      value & flag
+      & info [ "numeric" ]
+          ~doc:"execute with real data and check every layer against the host reference")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "compile a whole network (tune every layer, propagate layouts, plan the activation \
+          arena) and execute it end to end on the simulator")
+    Term.(const net_run $ name_arg $ batch_arg $ json_arg $ numeric_arg $ jobs_arg $ cache_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fit *)
 
 let fit () =
@@ -392,4 +449,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd; fit_cmd ]))
+          [
+            tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd;
+            net_cmd; fit_cmd;
+          ]))

@@ -434,6 +434,14 @@ let compile ~fidelity (p : Ir.program) =
   let compiled = compile_stmt p.body in
   (compiled, slots)
 
+let alloc_bindings (p : Ir.program) =
+  List.filter_map
+    (fun (b : Ir.buf) ->
+      match b.space with
+      | Ir.Main -> Some (b.buf_name, Array.make b.cg_elems 0.0)
+      | Ir.Spm -> None)
+    p.bufs
+
 let run ?(fidelity = Sampled_cpes) ?(bindings = []) ?trace ~numeric (p : Ir.program) =
   let compiled, slots = compile ~fidelity p in
   let buffers = Hashtbl.create 16 in

@@ -31,6 +31,13 @@ type result = {
   dma_transaction_bytes : int;  (** bytes actually crossing the DRAM bus *)
 }
 
+val alloc_bindings : Ir.program -> (string * float array) list
+(** Zeroed backing arrays, one per [Main] buffer of the program, each sized
+    exactly [cg_elems] — the bindings a numeric {!run} demands. Callers fill
+    (or overwrite the entries for) input buffers and hand the list to [run];
+    the hand-rolled [Array.make] boilerplate this replaces lives on only in
+    tests that deliberately bind wrong sizes. *)
+
 val run :
   ?fidelity:fidelity ->
   ?bindings:(string * float array) list ->

@@ -1,0 +1,296 @@
+module Dispatch = Swatop_ops.Dispatch
+module Matmul = Swatop_ops.Matmul
+
+type impl = {
+  im_algo : string;
+  im_desc : string;
+  im_space : int;
+  im_seconds : float;
+  im_program : Swatop.Ir.program;
+  im_in_layout : Graph_layout.act_layout;
+  im_out_layout : Graph_layout.act_layout;
+  im_in_buf : string;
+  im_out_buf : string;
+  im_weight_buf : string;
+  im_in_elems : int;
+  im_out_elems : int;
+  im_weight_shape : Swtensor.Shape.t;
+  im_bindings : weight:Swtensor.Tensor.t -> (string * float array) list;
+  im_unpack : (string * float array) list -> Swtensor.Tensor.t;
+  im_reference : input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> Swtensor.Tensor.t;
+}
+
+type copy_step = { cs_spec : Graph_layout.t; cs_program : Swatop.Ir.program; cs_seconds : float }
+
+type step =
+  | Layer of { st_node : Graph_ir.node; st_impl : impl }
+  | Copy of copy_step
+
+type plan = {
+  p_graph : Graph_ir.t;
+  p_steps : step list;
+  p_input_layout : Graph_layout.act_layout;  (** always BCHW (canonical) *)
+  p_input_elems : int;
+  p_naive_relayouts : int;
+  p_used_relayouts : int;
+  p_adapters : int;
+  p_tune_wall : float;
+}
+
+let buf_elems (p : Swatop.Ir.program) name =
+  match List.find_opt (fun (b : Swatop.Ir.buf) -> String.equal b.buf_name name) p.bufs with
+  | Some b -> b.cg_elems
+  | None -> invalid_arg (Printf.sprintf "Graph_compile: program has no buffer %s" name)
+
+let zeros4 (s : Graph_ir.shape4) =
+  Swtensor.Tensor.create (Swtensor.Shape.of_list [ s.sb; s.sc; s.sh; s.sw ])
+
+(* ------------------------------------------------------------------ *)
+(* Per-node implementations: every applicable algorithm becomes a layout
+   option for the propagation pass — keeping the slower algorithms around
+   is what lets the DP trade a relayout against re-dispatching a layer
+   under the neighbor's layout. *)
+
+let conv_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) spec =
+  Dispatch.all ?cache ?top_k ?prune ?jobs ~gemm_model spec
+  |> List.filter_map (fun (algo, choice) ->
+         Option.map
+           (fun (c : Dispatch.choice) ->
+             {
+               im_algo = Dispatch.algo_name algo;
+               im_desc = c.c_desc;
+               im_space = c.c_space;
+               im_seconds = c.c_seconds;
+               im_program = c.c_program;
+               im_in_layout = Graph_layout.algo_in algo;
+               im_out_layout = Graph_layout.algo_out algo;
+               im_in_buf = Dispatch.input_buffer algo;
+               im_out_buf = Dispatch.output_buffer algo;
+               im_weight_buf = "weight";
+               im_in_elems = buf_elems c.c_program (Dispatch.input_buffer algo);
+               im_out_elems = buf_elems c.c_program (Dispatch.output_buffer algo);
+               im_weight_shape = Swtensor.Conv_spec.weight_shape spec;
+               im_bindings =
+                 (fun ~weight -> c.c_bindings_for ~input:(zeros4 n.Graph_ir.in_shape) ~weight);
+               im_unpack = c.c_unpack;
+               im_reference =
+                 (fun ~input ~weight -> Swtensor.Conv_ref.forward spec ~input ~weight);
+             })
+           choice)
+
+let dense_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) ~d_in ~d_out =
+  let b = n.Graph_ir.in_shape.Graph_ir.sb in
+  let t = Matmul.problem ~m:b ~n:d_out ~k:d_in in
+  let o = Matmul.tune ?cache ?top_k ?prune ?jobs ~gemm_model t in
+  let best = o.Swatop.Tuner.best in
+  let program = o.best_program in
+  let flatten_a input =
+    (* (b, c, h, w) row-major is exactly the (b, c*h*w) operand. *)
+    Swtensor.Tensor.of_array
+      (Swtensor.Shape.of_list [ b; d_in ])
+      (Array.copy (Swtensor.Tensor.data input))
+  in
+  [
+    {
+      im_algo = "gemm";
+      im_desc = Matmul.describe best;
+      im_space = o.report.space_size;
+      im_seconds = o.best_seconds;
+      im_program = program;
+      im_in_layout = Graph_layout.BCHW;
+      im_out_layout = Graph_layout.BCHW;
+      im_in_buf = "A";
+      im_out_buf = "C";
+      im_weight_buf = "B";
+      im_in_elems = buf_elems program "A";
+      im_out_elems = buf_elems program "C";
+      im_weight_shape = Swtensor.Shape.of_list [ d_in; d_out ];
+      im_bindings =
+        (fun ~weight ->
+          Matmul.bindings_for t best ~a:(Swtensor.Tensor.create (Swtensor.Shape.of_list [ b; d_in ]))
+            ~b:weight);
+      im_unpack =
+        (fun bindings ->
+          let c = Matmul.unpack_c t bindings in
+          Swtensor.Tensor.of_fn
+            (Swtensor.Shape.of_list [ b; d_out; 1; 1 ])
+            (fun idx ->
+              match idx with
+              | [| cb; cn; _; _ |] -> Swtensor.Tensor.get c [| cb; cn |]
+              | _ -> assert false));
+      im_reference =
+        (fun ~input ~weight ->
+          let a = flatten_a input in
+          let c = Matmul.reference ~a ~b:weight in
+          Swtensor.Tensor.of_fn
+            (Swtensor.Shape.of_list [ b; d_out; 1; 1 ])
+            (fun idx ->
+              match idx with
+              | [| cb; cn; _; _ |] -> Swtensor.Tensor.get c [| cb; cn |]
+              | _ -> assert false));
+    }
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let op_key (n : Graph_ir.node) =
+  match n.Graph_ir.op with
+  | Graph_ir.Conv spec -> "conv:" ^ Swtensor.Conv_spec.to_string spec
+  | Graph_ir.Dense { d_in; d_out } ->
+    Printf.sprintf "dense:%d:%d:%d" n.Graph_ir.in_shape.Graph_ir.sb d_in d_out
+
+let node_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) =
+  match n.Graph_ir.op with
+  | Graph_ir.Conv spec -> conv_impls ?cache ?top_k ?prune ?jobs ~gemm_model n spec
+  | Graph_ir.Dense { d_in; d_out } ->
+    dense_impls ?cache ?top_k ?prune ?jobs ~gemm_model n ~d_in ~d_out
+
+(* ------------------------------------------------------------------ *)
+(* Edge costs: an inter-layer copy is built, optimized and costed through
+   the same simulator as the operators; results are memoized by the copy
+   descriptor (networks repeat shapes heavily). *)
+
+let edge_cache : (string, copy_step option) Hashtbl.t = Hashtbl.create 64
+
+let edge_key (spec : Graph_layout.t) =
+  Printf.sprintf "%s|%d|%d" (Graph_layout.describe spec) spec.cp_src_elems spec.cp_dst_elems
+
+let edge_step spec =
+  if Graph_layout.identity spec then None
+  else
+    let key = edge_key spec in
+    match Hashtbl.find_opt edge_cache key with
+    | Some s -> s
+    | None ->
+      let program = Swatop.Tuner.prepare (Graph_layout.build spec) in
+      let r = Swatop.Interp.run ~numeric:false program in
+      let s = Some { cs_spec = spec; cs_program = program; cs_seconds = r.Swatop.Interp.seconds } in
+      Hashtbl.replace edge_cache key s;
+      s
+
+let edge_seconds = function None -> 0.0 | Some cs -> cs.cs_seconds
+
+(* ------------------------------------------------------------------ *)
+
+let compile ?cache ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
+  let wall0 = Prelude.Clock.wall () in
+  let nodes = Array.of_list g.Graph_ir.nodes in
+  if Array.length nodes = 0 then invalid_arg "Graph_compile.compile: empty graph";
+  (* Tune each distinct operator once. Without a schedule cache the
+     distinct problems tune in parallel (the cache's hashtable is not
+     domain-safe, so cached runs tune sequentially and rely on warm
+     entries instead). *)
+  let keys = Array.map op_key nodes in
+  let distinct =
+    Array.to_list (Array.mapi (fun i k -> (k, i)) keys)
+    |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+  in
+  let tuned =
+    let tune_one (_, i) = node_impls ?cache ?top_k ?prune ?jobs ~gemm_model nodes.(i) in
+    match cache with
+    | None -> Prelude.Parallel.parallel_map ?jobs tune_one distinct
+    | Some _ -> List.map tune_one distinct
+  in
+  let impls_by_key = Hashtbl.create 16 in
+  List.iter2 (fun (k, _) impls -> Hashtbl.replace impls_by_key k impls) distinct tuned;
+  let opts =
+    Array.map
+      (fun k ->
+        match Hashtbl.find impls_by_key k with
+        | [] -> invalid_arg "Graph_compile: no applicable implementation"
+        | l -> Array.of_list l)
+      keys
+  in
+  (* Layout propagation: shortest path through the layered option graph.
+     dp.(i).(j) = best cost of executing nodes 0..i with node i using
+     option j, including every inter-layer copy on the way. *)
+  let n = Array.length nodes in
+  let input_elems = Graph_ir.shape4_elems nodes.(0).Graph_ir.in_shape in
+  let in_edge j =
+    let im = opts.(0).(j) in
+    edge_step
+      (Graph_layout.create ~src_layout:Graph_layout.BCHW ~dst_layout:im.im_in_layout
+         ~src_shape:nodes.(0).Graph_ir.in_shape ~dst_shape:nodes.(0).Graph_ir.in_shape
+         ~src_elems:input_elems ~dst_elems:im.im_in_elems)
+  in
+  let edge i k j =
+    (* copy between node i (option k) and node i+1 (option j) *)
+    let a = opts.(i).(k) and b = opts.(i + 1).(j) in
+    edge_step
+      (Graph_layout.create ~src_layout:a.im_out_layout ~dst_layout:b.im_in_layout
+         ~src_shape:nodes.(i).Graph_ir.out_shape ~dst_shape:nodes.(i + 1).Graph_ir.in_shape
+         ~src_elems:a.im_out_elems ~dst_elems:b.im_in_elems)
+  in
+  let dp = Array.map (fun o -> Array.make (Array.length o) infinity) opts in
+  let back = Array.map (fun o -> Array.make (Array.length o) (-1)) opts in
+  Array.iteri
+    (fun j im -> dp.(0).(j) <- edge_seconds (in_edge j) +. im.im_seconds)
+    opts.(0);
+  for i = 1 to n - 1 do
+    Array.iteri
+      (fun j im ->
+        Array.iteri
+          (fun k _ ->
+            let c = dp.(i - 1).(k) +. edge_seconds (edge (i - 1) k j) +. im.im_seconds in
+            if c < dp.(i).(j) then begin
+              dp.(i).(j) <- c;
+              back.(i).(j) <- k
+            end)
+          opts.(i - 1))
+      opts.(i)
+  done;
+  (* Recover the chosen option per node. *)
+  let chosen = Array.make n 0 in
+  let bestj = ref 0 in
+  Array.iteri (fun j c -> if c < dp.(n - 1).(!bestj) then bestj := j) dp.(n - 1);
+  chosen.(n - 1) <- !bestj;
+  for i = n - 1 downto 1 do
+    chosen.(i - 1) <- back.(i).(chosen.(i))
+  done;
+  (* Materialize the step list with the copies the plan actually needs. *)
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  (match in_edge chosen.(0) with None -> () | Some cs -> push (Copy cs));
+  for i = 0 to n - 1 do
+    push (Layer { st_node = nodes.(i); st_impl = opts.(i).(chosen.(i)) });
+    if i < n - 1 then
+      match edge i chosen.(i) chosen.(i + 1) with None -> () | Some cs -> push (Copy cs)
+  done;
+  let steps = List.rev !steps in
+  (* Relayouts-eliminated accounting: the naive baseline executes every
+     layer's independently-fastest algorithm with canonical-BCHW
+     activations between layers (the TVM-style NCHW runtime), converting
+     on entry and exit wherever the winner's layout differs. *)
+  let naive =
+    Array.to_list
+      (Array.mapi
+         (fun i o ->
+           let best = Array.fold_left (fun a im -> if im.im_seconds < a.im_seconds then im else a) o.(0) o in
+           let node = nodes.(i) in
+           (if Graph_layout.equivalent node.Graph_ir.in_shape best.im_in_layout Graph_layout.BCHW
+            then 0
+            else 1)
+           + (if Graph_layout.equivalent node.Graph_ir.out_shape best.im_out_layout Graph_layout.BCHW
+              then 0
+              else 1))
+         opts)
+    |> List.fold_left ( + ) 0
+  in
+  let used, adapters =
+    List.fold_left
+      (fun (r, a) s ->
+        match s with
+        | Layer _ -> (r, a)
+        | Copy cs -> if Graph_layout.shape_adapting cs.cs_spec then (r, a + 1) else (r + 1, a))
+      (0, 0) steps
+  in
+  {
+    p_graph = g;
+    p_steps = steps;
+    p_input_layout = Graph_layout.BCHW;
+    p_input_elems = input_elems;
+    p_naive_relayouts = naive;
+    p_used_relayouts = used;
+    p_adapters = adapters;
+    p_tune_wall = Prelude.Clock.wall () -. wall0;
+  }

@@ -1,0 +1,69 @@
+(** Whole-network compilation: tune every layer, propagate activation
+    layouts across the chain, and emit an executable step list.
+
+    Each node is tuned through {!Swatop_ops.Dispatch} (conv) or
+    {!Swatop_ops.Matmul} (dense); *every* applicable algorithm is kept as a
+    candidate, because the fastest isolated kernel is not always the
+    fastest in context — a slightly slower implementation that agrees with
+    its neighbor's layout can beat the winner plus a relayout copy. Layout
+    assignment is a shortest path through the layered option graph, with
+    inter-layer copies (relayouts and spatial-seam adapters) built as IR
+    programs and costed through the same simulator as the operators. *)
+
+type impl = {
+  im_algo : string;
+  im_desc : string;  (** winning schedule, rendered *)
+  im_space : int;  (** schedule-space size searched *)
+  im_seconds : float;  (** simulated seconds of the winner *)
+  im_program : Swatop.Ir.program;  (** prepared (lowered + optimized) *)
+  im_in_layout : Graph_layout.act_layout;
+  im_out_layout : Graph_layout.act_layout;
+  im_in_buf : string;  (** main-memory buffer the layer reads *)
+  im_out_buf : string;  (** main-memory buffer the layer writes *)
+  im_weight_buf : string;
+  im_in_elems : int;  (** physical size of [im_in_buf] (may carry a halo tail) *)
+  im_out_elems : int;
+  im_weight_shape : Swtensor.Shape.t;
+  im_bindings : weight:Swtensor.Tensor.t -> (string * float array) list;
+      (** numeric bindings with a zero input; the executor overwrites the
+          [im_in_buf] entry with the live activation *)
+  im_unpack : (string * float array) list -> Swtensor.Tensor.t;
+      (** logical (b,c,h,w) output tensor after a numeric run *)
+  im_reference : input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> Swtensor.Tensor.t;
+      (** host-side oracle on logical tensors *)
+}
+
+type copy_step = {
+  cs_spec : Graph_layout.t;
+  cs_program : Swatop.Ir.program;  (** prepared; buffers "src"/"dst" *)
+  cs_seconds : float;
+}
+
+type step =
+  | Layer of { st_node : Graph_ir.node; st_impl : impl }
+  | Copy of copy_step
+
+type plan = {
+  p_graph : Graph_ir.t;
+  p_steps : step list;  (** execution order; copies interleaved *)
+  p_input_layout : Graph_layout.act_layout;  (** canonical BCHW *)
+  p_input_elems : int;
+  p_naive_relayouts : int;
+      (** copies a canonical-BCHW runtime would need around each layer's
+          independently-fastest kernel *)
+  p_used_relayouts : int;  (** pure layout copies the plan kept *)
+  p_adapters : int;  (** spatial-seam copies (crop / halo embed) *)
+  p_tune_wall : float;  (** host wall seconds spent compiling *)
+}
+
+val compile :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  Graph_ir.t ->
+  plan
+(** Tune (distinct problems once; in parallel unless [?cache] is given —
+    the cache's hashtable is not domain-safe), assign layouts, and emit the
+    step list. *)

@@ -1,0 +1,240 @@
+type layer_report = {
+  lr_name : string;
+  lr_kind : string;  (** "implicit" | "winograd" | "explicit" | "gemm" | "relayout" | "adapter" *)
+  lr_desc : string;
+  lr_seconds : float;
+  lr_flops : float;
+  lr_dma_seconds : float;
+  lr_compute_seconds : float;
+  lr_max_err : float option;  (** numeric mode only *)
+}
+
+type report = {
+  r_graph_name : string;
+  r_batch : int;
+  r_layers : layer_report list;
+  r_seconds : float;
+  r_flops : float;
+  r_flops_per_second : float;
+  r_dma_seconds : float;
+  r_compute_seconds : float;
+  r_relayouts_naive : int;
+  r_relayouts_used : int;
+  r_relayouts_eliminated : int;
+  r_adapters : int;
+  r_arena : Graph_plan.arena;
+  r_tune_wall : float;
+  r_max_err : float option;  (** worst layer-by-layer deviation (numeric mode) *)
+}
+
+let max_diff a b =
+  let da = Swtensor.Tensor.data a and db = Swtensor.Tensor.data b in
+  if Array.length da <> Array.length db then invalid_arg "Graph_exec: shape mismatch vs reference";
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. db.(i)))) da;
+  !m
+
+let shape_of (s : Graph_ir.shape4) =
+  Swtensor.Shape.of_list [ s.Graph_ir.sb; s.Graph_ir.sc; s.Graph_ir.sh; s.Graph_ir.sw ]
+
+let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
+  let g = plan.Graph_compile.p_graph in
+  let arena = Graph_plan.plan plan in
+  let input_t = Swtensor.Tensor.random ~seed (shape_of (Graph_ir.input_shape g)) in
+  (* [cur] is the live activation in the producer's physical layout; [ref_t]
+     is its logical (b,c,h,w) value computed by the host-side oracles. *)
+  let cur =
+    ref
+      (if numeric then
+         Graph_layout.pack ~layout:plan.Graph_compile.p_input_layout
+           ~shape:(Graph_ir.input_shape g) ~elems:plan.Graph_compile.p_input_elems input_t
+       else [||])
+  in
+  let ref_t = ref input_t in
+  let layers =
+    List.map
+      (fun (s : Graph_compile.step) ->
+        match s with
+        | Graph_compile.Copy cs ->
+          let spec = cs.Graph_compile.cs_spec in
+          let kind = if Graph_layout.shape_adapting spec then "adapter" else "relayout" in
+          let err =
+            if numeric then begin
+              let dst = Array.make spec.Graph_layout.cp_dst_elems 0.0 in
+              let bindings = [ ("src", !cur); ("dst", dst) ] in
+              ignore (Swatop.Interp.run ~numeric:true ~bindings cs.Graph_compile.cs_program);
+              cur := dst;
+              ref_t := Graph_layout.adapt_tensor spec !ref_t;
+              let got =
+                Graph_layout.unpack ~layout:spec.Graph_layout.cp_dst_layout
+                  ~shape:spec.Graph_layout.cp_dst_shape !cur
+              in
+              Some (max_diff got !ref_t)
+            end
+            else None
+          in
+          let r = Swatop.Interp.run ~numeric:false cs.Graph_compile.cs_program in
+          {
+            lr_name = Graph_layout.describe spec;
+            lr_kind = kind;
+            lr_desc = "";
+            lr_seconds = r.Swatop.Interp.seconds;
+            lr_flops = 0.0;
+            lr_dma_seconds = r.Swatop.Interp.dma_busy_seconds;
+            lr_compute_seconds = r.Swatop.Interp.compute_busy_seconds;
+            lr_max_err = err;
+          }
+        | Graph_compile.Layer { st_node; st_impl } ->
+          let err =
+            if numeric then begin
+              let weight =
+                Swtensor.Tensor.random ~seed:(seed + 1000 + st_node.Graph_ir.id)
+                  st_impl.Graph_compile.im_weight_shape
+              in
+              let bindings = st_impl.Graph_compile.im_bindings ~weight in
+              let bindings =
+                (st_impl.Graph_compile.im_in_buf, !cur)
+                :: List.remove_assoc st_impl.Graph_compile.im_in_buf bindings
+              in
+              ignore
+                (Swatop.Interp.run ~numeric:true ~bindings st_impl.Graph_compile.im_program);
+              cur := List.assoc st_impl.Graph_compile.im_out_buf bindings;
+              let got = st_impl.Graph_compile.im_unpack bindings in
+              ref_t := st_impl.Graph_compile.im_reference ~input:!ref_t ~weight;
+              Some (max_diff got !ref_t)
+            end
+            else None
+          in
+          let r = Swatop.Interp.run ~numeric:false st_impl.Graph_compile.im_program in
+          {
+            lr_name = st_node.Graph_ir.node_name;
+            lr_kind = st_impl.Graph_compile.im_algo;
+            lr_desc = st_impl.Graph_compile.im_desc;
+            lr_seconds = r.Swatop.Interp.seconds;
+            lr_flops = Graph_ir.node_flops st_node;
+            lr_dma_seconds = r.Swatop.Interp.dma_busy_seconds;
+            lr_compute_seconds = r.Swatop.Interp.compute_busy_seconds;
+            lr_max_err = err;
+          })
+      plan.Graph_compile.p_steps
+  in
+  let total f = List.fold_left (fun acc l -> acc +. f l) 0.0 layers in
+  let seconds = total (fun l -> l.lr_seconds) in
+  let flops = Graph_ir.flops g in
+  let max_err =
+    if numeric then
+      Some (List.fold_left (fun m l -> match l.lr_max_err with Some e -> Float.max m e | None -> m) 0.0 layers)
+    else None
+  in
+  {
+    r_graph_name = g.Graph_ir.g_name;
+    r_batch = g.Graph_ir.batch;
+    r_layers = layers;
+    r_seconds = seconds;
+    r_flops = flops;
+    r_flops_per_second = (if seconds > 0.0 then flops /. seconds else 0.0);
+    r_dma_seconds = total (fun l -> l.lr_dma_seconds);
+    r_compute_seconds = total (fun l -> l.lr_compute_seconds);
+    r_relayouts_naive = plan.Graph_compile.p_naive_relayouts;
+    r_relayouts_used = plan.Graph_compile.p_used_relayouts;
+    r_relayouts_eliminated =
+      max 0 (plan.Graph_compile.p_naive_relayouts - plan.Graph_compile.p_used_relayouts);
+    r_adapters = plan.Graph_compile.p_adapters;
+    r_arena = arena;
+    r_tune_wall = plan.Graph_compile.p_tune_wall;
+    r_max_err = max_err;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "network %s (batch %d): %d steps\n" r.r_graph_name r.r_batch
+       (List.length r.r_layers));
+  Buffer.add_string b
+    (Printf.sprintf "  %-16s %-9s %12s %12s %10s %10s\n" "layer" "algo" "seconds" "gflops" "dma_s"
+       "compute_s");
+  List.iter
+    (fun l ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-16s %-9s %12.3e %12.2f %10.3e %10.3e%s\n" l.lr_name l.lr_kind
+           l.lr_seconds
+           (if l.lr_seconds > 0.0 then l.lr_flops /. l.lr_seconds /. 1e9 else 0.0)
+           l.lr_dma_seconds l.lr_compute_seconds
+           (match l.lr_max_err with Some e -> Printf.sprintf "  err %.2e" e | None -> "")))
+    r.r_layers;
+  Buffer.add_string b
+    (Printf.sprintf "  total: %.3e s  %.2f GFLOP/s  (dma %.3e s, compute %.3e s)\n" r.r_seconds
+       (r.r_flops_per_second /. 1e9) r.r_dma_seconds r.r_compute_seconds);
+  Buffer.add_string b
+    (Printf.sprintf "  relayouts: naive %d, used %d, eliminated %d; adapters %d\n"
+       r.r_relayouts_naive r.r_relayouts_used r.r_relayouts_eliminated r.r_adapters);
+  Buffer.add_string b
+    (Printf.sprintf "  arena: peak %d bytes, extent %d bytes, naive %d bytes (%.1f%% saved)\n"
+       r.r_arena.Graph_plan.ar_peak_bytes r.r_arena.Graph_plan.ar_bytes
+       r.r_arena.Graph_plan.ar_naive_bytes
+       (100.0
+       *. (1.0
+          -. (float_of_int r.r_arena.Graph_plan.ar_bytes
+             /. float_of_int (max 1 r.r_arena.Graph_plan.ar_naive_bytes)))));
+  (match r.r_max_err with
+  | Some e -> Buffer.add_string b (Printf.sprintf "  numeric: max layer error %.3e\n" e)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf "  tuning wall: %.2f s\n" r.r_tune_wall);
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"network\": \"%s\",\n" (json_escape r.r_graph_name));
+  Buffer.add_string b (Printf.sprintf "  \"batch\": %d,\n" r.r_batch);
+  Buffer.add_string b "  \"layers\": [\n";
+  let n = List.length r.r_layers in
+  List.iteri
+    (fun i l ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"algo\": \"%s\", \"desc\": \"%s\", \"seconds\": %.9e, \
+            \"flops\": %.9e, \"dma_seconds\": %.9e, \"compute_seconds\": %.9e%s}%s\n"
+           (json_escape l.lr_name) (json_escape l.lr_kind) (json_escape l.lr_desc) l.lr_seconds
+           l.lr_flops l.lr_dma_seconds l.lr_compute_seconds
+           (match l.lr_max_err with
+           | Some e -> Printf.sprintf ", \"max_err\": %.9e" e
+           | None -> "")
+           (if i < n - 1 then "," else "")))
+    r.r_layers;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b (Printf.sprintf "  \"seconds\": %.9e,\n" r.r_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"flops\": %.9e,\n" r.r_flops);
+  Buffer.add_string b (Printf.sprintf "  \"flops_per_second\": %.9e,\n" r.r_flops_per_second);
+  Buffer.add_string b (Printf.sprintf "  \"dma_seconds\": %.9e,\n" r.r_dma_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"compute_seconds\": %.9e,\n" r.r_compute_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"relayouts_naive\": %d,\n" r.r_relayouts_naive);
+  Buffer.add_string b (Printf.sprintf "  \"relayouts_used\": %d,\n" r.r_relayouts_used);
+  Buffer.add_string b
+    (Printf.sprintf "  \"relayouts_eliminated\": %d,\n" r.r_relayouts_eliminated);
+  Buffer.add_string b (Printf.sprintf "  \"adapters\": %d,\n" r.r_adapters);
+  Buffer.add_string b (Printf.sprintf "  \"arena_peak_bytes\": %d,\n" r.r_arena.Graph_plan.ar_peak_bytes);
+  Buffer.add_string b (Printf.sprintf "  \"arena_bytes\": %d,\n" r.r_arena.Graph_plan.ar_bytes);
+  Buffer.add_string b
+    (Printf.sprintf "  \"arena_naive_bytes\": %d,\n" r.r_arena.Graph_plan.ar_naive_bytes);
+  (match r.r_max_err with
+  | Some e -> Buffer.add_string b (Printf.sprintf "  \"max_err\": %.9e,\n" e)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf "  \"tune_wall_seconds\": %.3f\n" r.r_tune_wall);
+  Buffer.add_string b "}";
+  Buffer.contents b

@@ -1,0 +1,44 @@
+(** End-to-end execution of a compiled network plan through the SW26010
+    simulator, with a per-layer and whole-network report.
+
+    Cost mode replays every step's prepared program through the
+    discrete-event interpreter for simulated seconds and DMA/compute busy
+    splits. Numeric mode additionally threads a real activation through
+    the chain — each layer (and each relayout/adapter copy) is checked
+    against a host-side reference immediately, so a wrong answer is
+    pinned to the step that produced it. *)
+
+type layer_report = {
+  lr_name : string;
+  lr_kind : string;  (** algorithm, or ["relayout"] / ["adapter"] for copies *)
+  lr_desc : string;  (** winning schedule (empty for copies) *)
+  lr_seconds : float;
+  lr_flops : float;  (** 0 for copies *)
+  lr_dma_seconds : float;
+  lr_compute_seconds : float;
+  lr_max_err : float option;  (** vs the layer-by-layer reference; numeric mode only *)
+}
+
+type report = {
+  r_graph_name : string;
+  r_batch : int;
+  r_layers : layer_report list;
+  r_seconds : float;  (** whole-network simulated time *)
+  r_flops : float;
+  r_flops_per_second : float;
+  r_dma_seconds : float;
+  r_compute_seconds : float;
+  r_relayouts_naive : int;
+  r_relayouts_used : int;
+  r_relayouts_eliminated : int;
+  r_adapters : int;
+  r_arena : Graph_plan.arena;
+  r_tune_wall : float;
+  r_max_err : float option;
+}
+
+val run : ?numeric:bool -> ?seed:int -> Graph_compile.plan -> report
+(** Execute the plan ([numeric] defaults to [false]: cost-only). *)
+
+val to_text : report -> string
+val to_json : report -> string

@@ -1,0 +1,141 @@
+type shape4 = { sb : int; sc : int; sh : int; sw : int }
+
+let shape4_elems s = s.sb * s.sc * s.sh * s.sw
+let shape4_to_string s = Printf.sprintf "(%d,%d,%d,%d)" s.sb s.sc s.sh s.sw
+
+type op =
+  | Conv of Swtensor.Conv_spec.t
+  | Dense of { d_in : int; d_out : int }
+
+type node = { id : int; node_name : string; op : op; in_shape : shape4; out_shape : shape4 }
+
+type t = { g_name : string; batch : int; nodes : node list }
+
+let node_flops n =
+  match n.op with
+  | Conv spec -> Swtensor.Conv_spec.flops spec
+  | Dense { d_in; d_out } -> 2.0 *. float_of_int (n.in_shape.sb * d_in * d_out)
+
+let flops g = List.fold_left (fun acc n -> acc +. node_flops n) 0.0 g.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Builder: a chain is grown one layer at a time; channel continuity is
+   enforced, spatial extents may disagree (the compiler inserts halo-embed
+   or crop adapters between layers, mirroring the stride-2/pooling
+   substitutions of the workload tables). *)
+
+let empty ~name ~batch =
+  if batch < 1 then invalid_arg "Graph_ir.empty: batch must be positive";
+  { g_name = name; batch; nodes = [] }
+
+let out_channels (n : node) = n.out_shape.sc
+
+let check_chain g ~ni =
+  match g.nodes with
+  | [] -> ()
+  | last :: _ ->
+    if out_channels last <> ni then
+      invalid_arg
+        (Printf.sprintf "Graph_ir: layer consumes %d channels but %s produces %d" ni
+           last.node_name (out_channels last))
+
+let conv ?name ?(stride = 1) ?(pad = 0) ~ni ~no ~out ~k g =
+  check_chain g ~ni;
+  let spec =
+    Swtensor.Conv_spec.create ~b:g.batch ~ni ~no ~ro:out ~co:out ~kr:k ~kc:k ~stride ~pad ()
+  in
+  let id = List.length g.nodes in
+  let node_name = match name with Some n -> n | None -> Printf.sprintf "conv%d" id in
+  let n =
+    {
+      id;
+      node_name;
+      op = Conv spec;
+      in_shape =
+        { sb = g.batch; sc = ni; sh = Swtensor.Conv_spec.ri spec; sw = Swtensor.Conv_spec.ci spec };
+      out_shape = { sb = g.batch; sc = no; sh = out; sw = out };
+    }
+  in
+  { g with nodes = n :: g.nodes }
+
+let dense ?name ~d_out g =
+  let d_in =
+    match g.nodes with
+    | [] -> invalid_arg "Graph_ir.dense: needs a producer layer"
+    | last :: _ -> last.out_shape.sc * last.out_shape.sh * last.out_shape.sw
+  in
+  let id = List.length g.nodes in
+  let node_name = match name with Some n -> n | None -> Printf.sprintf "dense%d" id in
+  let n =
+    {
+      id;
+      node_name;
+      op = Dense { d_in; d_out };
+      (* A dense layer flattens the whole activation: logically it consumes
+         the producer's (b, c, h, w) block as a (b, c*h*w) matrix. *)
+      in_shape =
+        (match g.nodes with
+        | last :: _ -> last.out_shape
+        | [] -> assert false);
+      out_shape = { sb = g.batch; sc = d_out; sh = 1; sw = 1 };
+    }
+  in
+  { g with nodes = n :: g.nodes }
+
+let finish g =
+  match g.nodes with
+  | [] -> invalid_arg "Graph_ir.finish: empty graph"
+  | _ -> { g with nodes = List.rev g.nodes }
+
+(* ------------------------------------------------------------------ *)
+(* Front ends. *)
+
+let of_network ~batch (net : Workloads.Networks.network) =
+  let g = empty ~name:net.Workloads.Networks.net_name ~batch in
+  let g =
+    List.fold_left
+      (fun g (l : Workloads.Networks.layer) ->
+        let add i g =
+          let name = if l.repeat = 1 then l.l_name else Printf.sprintf "%s.%d" l.l_name (i + 1) in
+          (* Repeated table entries always satisfy ni = no, so every
+             instance chains with the layer's declared channel counts. *)
+          conv ~name ~ni:(if i = 0 then l.ni else l.no) ~no:l.no ~out:l.out ~k:l.k g
+        in
+        let rec go i g = if i >= l.repeat then g else go (i + 1) (add i g) in
+        go 0 g)
+      g net.Workloads.Networks.layers
+  in
+  finish g
+
+let smoke ~batch =
+  (* The 3-layer smoke network: small enough for numeric execution, yet it
+     exercises conv->conv halo embedding, a 1x1 layer, and a GEMM node. *)
+  empty ~name:"smoke" ~batch
+  |> conv ~name:"c1" ~ni:4 ~no:8 ~out:8 ~k:3
+  |> conv ~name:"c2" ~ni:8 ~no:8 ~out:8 ~k:1
+  |> dense ~name:"fc" ~d_out:10
+  |> finish
+
+let input_shape g =
+  match g.nodes with [] -> invalid_arg "Graph_ir.input_shape: empty" | n :: _ -> n.in_shape
+
+let output_shape g =
+  match List.rev g.nodes with
+  | [] -> invalid_arg "Graph_ir.output_shape: empty"
+  | n :: _ -> n.out_shape
+
+let to_string g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%s (batch %d)\n" g.g_name g.batch);
+  List.iter
+    (fun n ->
+      let kind =
+        match n.op with
+        | Conv spec -> Printf.sprintf "conv %s" (Swtensor.Conv_spec.to_string spec)
+        | Dense { d_in; d_out } -> Printf.sprintf "dense %d -> %d" d_in d_out
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-12s %s %s -> %s\n" n.node_name kind (shape4_to_string n.in_shape)
+           (shape4_to_string n.out_shape)))
+    g.nodes;
+  Buffer.contents b

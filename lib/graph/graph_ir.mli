@@ -1,0 +1,58 @@
+(** Network-level intermediate representation: a model is a chain of
+    convolution / GEMM (dense) nodes over 4-D activations.
+
+    The graph records *logical* activation shapes only — physical layouts
+    are a compilation decision (see {!Graph_layout} and {!Graph_compile}),
+    exactly as in the paper's framing where layout is a schedule knob, not
+    a model property. Spatial extents of adjacent layers may disagree: the
+    workload tables substitute stride-2 and padded layers by stride-1
+    problems at the output resolution, so a consumer may expect a slightly
+    larger (halo) or much smaller (pooled) input than its producer emits.
+    The compiler materializes those seams as explicit adapter copies. *)
+
+type shape4 = { sb : int; sc : int; sh : int; sw : int }
+(** Logical activation extents: batch, channels, rows, cols. *)
+
+val shape4_elems : shape4 -> int
+val shape4_to_string : shape4 -> string
+
+type op =
+  | Conv of Swtensor.Conv_spec.t
+  | Dense of { d_in : int; d_out : int }
+      (** a fully-connected layer: the producer's activation flattened to a
+          [(batch, d_in)] matrix times a [(d_in, d_out)] weight *)
+
+type node = {
+  id : int;  (** position in the chain, 0-based *)
+  node_name : string;
+  op : op;
+  in_shape : shape4;
+  out_shape : shape4;
+}
+
+type t = { g_name : string; batch : int; nodes : node list }
+(** [nodes] in execution order; node [i] feeds node [i+1]. *)
+
+val node_flops : node -> float
+val flops : t -> float
+val input_shape : t -> shape4
+val output_shape : t -> shape4
+val to_string : t -> string
+
+(** {2 Builder} — grow a chain layer by layer; raises [Invalid_argument]
+    on channel mismatches. *)
+
+val empty : name:string -> batch:int -> t
+val conv : ?name:string -> ?stride:int -> ?pad:int -> ni:int -> no:int -> out:int -> k:int -> t -> t
+val dense : ?name:string -> d_out:int -> t -> t
+val finish : t -> t
+(** Seal the chain (reverses into execution order). *)
+
+(** {2 Front ends} *)
+
+val of_network : batch:int -> Workloads.Networks.network -> t
+(** Expand a Sec. 5.1 workload table (repeats unrolled) into a chain. *)
+
+val smoke : batch:int -> t
+(** Tiny 3-layer network (two convs + a dense head) used by [make
+    net-smoke] and the numeric end-to-end tests. *)

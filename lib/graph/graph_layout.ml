@@ -1,0 +1,281 @@
+module Shape4 = struct
+  type t = Graph_ir.shape4
+
+  let to_shape (s : t) = Swtensor.Shape.of_list [ s.sb; s.sc; s.sh; s.sw ]
+  let extent (s : t) = function 0 -> s.sb | 1 -> s.sc | 2 -> s.sh | 3 -> s.sw | _ -> invalid_arg "axis"
+end
+
+type act_layout = BCHW | CHWB | CBHW
+
+let all = [ BCHW; CHWB; CBHW ]
+let to_string = function BCHW -> "BCHW" | CHWB -> "CHWB" | CBHW -> "CBHW"
+
+let to_layout = function
+  | BCHW -> Swtensor.Layout.identity 4
+  | CHWB -> Swtensor.Layout.create ~perm:[| 1; 2; 3; 0 |]
+  | CBHW -> Swtensor.Layout.create ~perm:[| 1; 0; 2; 3 |]
+
+let strides l (s : Graph_ir.shape4) = Swtensor.Layout.strides (to_layout l) (Shape4.to_shape s)
+
+(* Strides with extent-1 axes neutralized: two layouts that only permute
+   degenerate axes address memory identically (e.g. CHWB = CBHW at
+   batch 1). *)
+let effective_strides l (s : Graph_ir.shape4) =
+  Array.mapi (fun i v -> if Shape4.extent s i = 1 then 0 else v) (strides l s)
+
+let equivalent (s : Graph_ir.shape4) a b = effective_strides a s = effective_strides b s
+
+(* Per-algorithm activation layouts — fixed by each operator's packing. *)
+let algo_in = function
+  | Swatop_ops.Dispatch.Implicit -> CHWB
+  | Swatop_ops.Dispatch.Winograd -> BCHW
+  | Swatop_ops.Dispatch.Explicit -> BCHW
+
+let algo_out = function
+  | Swatop_ops.Dispatch.Implicit -> CHWB
+  | Swatop_ops.Dispatch.Winograd -> BCHW
+  | Swatop_ops.Dispatch.Explicit -> CBHW
+
+(* ------------------------------------------------------------------ *)
+(* Inter-layer copies: one program relayouts and/or spatially adapts an
+   activation. The overlap window (centered crop or embed) of every
+   (batch, channel) plane streams through SPM; non-unit innermost strides
+   degrade to per-row gathers, exactly like the explicit operator's
+   strided im2col. Destination elements outside the window keep the
+   allocation's zeros — halo embedding therefore *is* zero padding. *)
+
+type t = {
+  cp_src_layout : act_layout;
+  cp_dst_layout : act_layout;
+  cp_src_shape : Graph_ir.shape4;
+  cp_dst_shape : Graph_ir.shape4;
+  cp_src_elems : int;  (** physical buffer size, >= logical elems *)
+  cp_dst_elems : int;
+}
+
+let create ~src_layout ~dst_layout ~src_shape ~dst_shape ~src_elems ~dst_elems =
+  let (s : Graph_ir.shape4) = src_shape and (d : Graph_ir.shape4) = dst_shape in
+  if s.sb <> d.sb || s.sc <> d.sc then
+    invalid_arg "Graph_layout.create: batch/channel extents must agree";
+  if src_elems < Graph_ir.shape4_elems s then invalid_arg "Graph_layout.create: src_elems too small";
+  if dst_elems < Graph_ir.shape4_elems d then invalid_arg "Graph_layout.create: dst_elems too small";
+  {
+    cp_src_layout = src_layout;
+    cp_dst_layout = dst_layout;
+    cp_src_shape = src_shape;
+    cp_dst_shape = dst_shape;
+    cp_src_elems = src_elems;
+    cp_dst_elems = dst_elems;
+  }
+
+let same_shape (a : Graph_ir.shape4) (b : Graph_ir.shape4) =
+  a.sb = b.sb && a.sc = b.sc && a.sh = b.sh && a.sw = b.sw
+
+(* No copy needed at all: the producer's buffer can be handed to the
+   consumer as-is. *)
+let identity t =
+  same_shape t.cp_src_shape t.cp_dst_shape
+  && t.cp_src_elems = t.cp_dst_elems
+  && equivalent t.cp_src_shape t.cp_src_layout t.cp_dst_layout
+
+(* Pure layout disagreement (shapes agree, only the permutation differs)
+   versus a spatial adapter seam (halo embed / crop). *)
+let shape_adapting t = not (same_shape t.cp_src_shape t.cp_dst_shape)
+
+let overlap t =
+  let s = t.cp_src_shape and d = t.cp_dst_shape in
+  let hc = min s.Graph_ir.sh d.Graph_ir.sh and wc = min s.Graph_ir.sw d.Graph_ir.sw in
+  let soh = (s.Graph_ir.sh - hc) / 2 and sow = (s.Graph_ir.sw - wc) / 2 in
+  let doh = (d.Graph_ir.sh - hc) / 2 and dow = (d.Graph_ir.sw - wc) / 2 in
+  (hc, wc, soh, sow, doh, dow)
+
+let describe t =
+  Printf.sprintf "%s%s -> %s%s%s" (to_string t.cp_src_layout)
+    (Graph_ir.shape4_to_string t.cp_src_shape)
+    (to_string t.cp_dst_layout)
+    (Graph_ir.shape4_to_string t.cp_dst_shape)
+    (if shape_adapting t then " (adapt)" else "")
+
+let tag_cp = 40
+let imul = Stdlib.( * )
+
+let build t =
+  let s4 = t.cp_src_shape and d4 = t.cp_dst_shape in
+  let hc, wc, soh, sow, doh, dow = overlap t in
+  let ss = strides t.cp_src_layout s4 and ds = strides t.cp_dst_layout d4 in
+  let s_h = ss.(2) and s_w = ss.(3) and d_h = ds.(2) and d_w = ds.(3) in
+  let chunk = max 1 (min hc (16384 / max 1 wc)) in
+  let stage_elems = imul chunk wc in
+  let open Swatop.Ir in
+  let bufs =
+    [
+      main_buf ~name:"src" ~elems:t.cp_src_elems;
+      main_buf ~name:"dst" ~elems:t.cp_dst_elems;
+      spm_buf ~name:"stage" ~cg_elems:stage_elems
+        ~cpe_elems:(Prelude.Ints.ceil_div stage_elems Sw26010.Config.cpes_per_cg);
+    ]
+  in
+  let vb = var "rb" and vc = var "rc" and vr = var "rr" in
+  let rcnt = emin (int chunk) (int hc - vr) in
+  let src_base = (vb * int ss.(0)) + (vc * int ss.(1)) in
+  let dst_base = (vb * int ds.(0)) + (vc * int ds.(1)) in
+  (* Get phase: the window rows land packed in SPM at pitch wc. *)
+  let get_phase =
+    if Int.equal s_w 1 then
+      Dma
+        {
+          dir = Get;
+          main = "src";
+          spm = "stage";
+          tag = int tag_cp;
+          region =
+            {
+              offset = src_base + ((int soh + vr) * int s_h) + int (imul sow s_w);
+              rows = rcnt;
+              row_elems = int wc;
+              row_stride = int s_h;
+            };
+          spm_offset = int 0;
+          spm_ld = int wc;
+          partition = P_rows;
+          per_cpe = None;
+        }
+    else
+      (* Non-contiguous source rows: one gather of wc single-element blocks
+         per window row; disjoint SPM intervals, one shared tag. *)
+      let vg = var "rg" in
+      for_ ~iter:"rg" ~lo:(int 0) ~hi:rcnt ~step:(int 1)
+        (Dma
+           {
+             dir = Get;
+             main = "src";
+             spm = "stage";
+             tag = int tag_cp;
+             region =
+               {
+                 offset = src_base + ((int soh + vr + vg) * int s_h) + int (imul sow s_w);
+                 rows = int wc;
+                 row_elems = int 1;
+                 row_stride = int s_w;
+               };
+             spm_offset = vg * int wc;
+             spm_ld = int 1;
+             partition = P_rows;
+             per_cpe = None;
+           })
+  in
+  let put_phase =
+    if Int.equal d_w 1 then
+      Dma
+        {
+          dir = Put;
+          main = "dst";
+          spm = "stage";
+          tag = int tag_cp;
+          region =
+            {
+              offset = dst_base + ((int doh + vr) * int d_h) + int (imul dow d_w);
+              rows = rcnt;
+              row_elems = int wc;
+              row_stride = int d_h;
+            };
+          spm_offset = int 0;
+          spm_ld = int wc;
+          partition = P_rows;
+          per_cpe = None;
+        }
+    else
+      let vp = var "rp" in
+      for_ ~iter:"rp" ~lo:(int 0) ~hi:rcnt ~step:(int 1)
+        (Dma
+           {
+             dir = Put;
+             main = "dst";
+             spm = "stage";
+             tag = int tag_cp;
+             region =
+               {
+                 offset = dst_base + ((int doh + vr + vp) * int d_h) + int (imul dow d_w);
+                 rows = int wc;
+                 row_elems = int 1;
+                 row_stride = int d_w;
+               };
+             spm_offset = vp * int wc;
+             spm_ld = int 1;
+             partition = P_rows;
+             per_cpe = None;
+           })
+  in
+  let body =
+    seq [ get_phase; Dma_wait { tag = int tag_cp }; put_phase; Dma_wait { tag = int tag_cp } ]
+  in
+  let nest =
+    for_ ~iter:"rb" ~lo:(int 0) ~hi:(int s4.Graph_ir.sb) ~step:(int 1)
+      (for_ ~iter:"rc" ~lo:(int 0) ~hi:(int s4.Graph_ir.sc) ~step:(int 1)
+         (for_ ~iter:"rr" ~lo:(int 0) ~hi:(int hc) ~step:(int chunk) body))
+  in
+  program ~name:"relayout" ~bufs nest
+
+(* ------------------------------------------------------------------ *)
+(* Host-side references (test oracles and the layer-by-layer numeric
+   check). *)
+
+(* Packed array -> packed array, same semantics as the IR program. *)
+let apply_ref t src =
+  if Array.length src <> t.cp_src_elems then invalid_arg "Graph_layout.apply_ref: src size";
+  let dst = Array.make t.cp_dst_elems 0.0 in
+  let s4 = t.cp_src_shape in
+  let hc, wc, soh, sow, doh, dow = overlap t in
+  let ss = strides t.cp_src_layout s4 and ds = strides t.cp_dst_layout t.cp_dst_shape in
+  for b = 0 to s4.Graph_ir.sb - 1 do
+    for c = 0 to s4.Graph_ir.sc - 1 do
+      for r = 0 to hc - 1 do
+        for w = 0 to wc - 1 do
+          dst.((b * ds.(0)) + (c * ds.(1)) + ((doh + r) * ds.(2)) + ((dow + w) * ds.(3))) <-
+            src.((b * ss.(0)) + (c * ss.(1)) + ((soh + r) * ss.(2)) + ((sow + w) * ss.(3)))
+        done
+      done
+    done
+  done;
+  dst
+
+(* Logical (b,c,h,w) tensor -> logically adapted tensor: centered crop /
+   zero-embed, layout-free. Used by the reference execution path. *)
+let adapt_tensor t tensor =
+  let d4 = t.cp_dst_shape in
+  let hc, wc, soh, sow, doh, dow = overlap t in
+  Swtensor.Tensor.of_fn (Shape4.to_shape d4) (fun idx ->
+      match idx with
+      | [| b; c; r; w |] ->
+        let r' = r - doh and w' = w - dow in
+        if r' >= 0 && r' < hc && w' >= 0 && w' < wc then
+          Swtensor.Tensor.get tensor [| b; c; soh + r'; sow + w' |]
+        else 0.0
+      | _ -> assert false)
+
+(* Pack a logical activation tensor into a physical buffer. *)
+let pack ~layout ~(shape : Graph_ir.shape4) ~elems tensor =
+  if not (Swtensor.Shape.equal (Swtensor.Tensor.shape tensor) (Shape4.to_shape shape)) then
+    invalid_arg "Graph_layout.pack: tensor shape mismatch";
+  if elems < Graph_ir.shape4_elems shape then invalid_arg "Graph_layout.pack: buffer too small";
+  let arr = Array.make elems 0.0 in
+  let st = strides layout shape in
+  for b = 0 to shape.Graph_ir.sb - 1 do
+    for c = 0 to shape.Graph_ir.sc - 1 do
+      for r = 0 to shape.Graph_ir.sh - 1 do
+        for w = 0 to shape.Graph_ir.sw - 1 do
+          arr.((b * st.(0)) + (c * st.(1)) + (r * st.(2)) + (w * st.(3))) <-
+            Swtensor.Tensor.get tensor [| b; c; r; w |]
+        done
+      done
+    done
+  done;
+  arr
+
+(* Recover the logical tensor from a physical buffer. *)
+let unpack ~layout ~(shape : Graph_ir.shape4) arr =
+  let st = strides layout shape in
+  Swtensor.Tensor.of_fn (Shape4.to_shape shape) (fun idx ->
+      match idx with
+      | [| b; c; r; w |] -> arr.((b * st.(0)) + (c * st.(1)) + (r * st.(2)) + (w * st.(3)))
+      | _ -> assert false)

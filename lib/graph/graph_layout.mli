@@ -1,0 +1,75 @@
+(** Physical activation layouts and inter-layer copy (relayout / adapter)
+    programs.
+
+    Each tensorized operator fixes the layout of the activation it reads
+    and writes (implicit: CHWB both ways; Winograd: BCHW; explicit GEMM:
+    BCHW in, CBHW out; dense/GEMM: BCHW). When adjacent layers' tuned
+    winners disagree — or when the workload tables' stride-2/padding
+    substitutions leave a spatial seam (a halo to embed or a pooled extent
+    to crop) — the graph compiler materializes the seam as an explicit IR
+    copy program, costed through the same simulator as the operators. *)
+
+type act_layout = BCHW | CHWB | CBHW
+(** Memory order of the logical (batch, channel, row, col) axes,
+    outermost first. *)
+
+val all : act_layout list
+val to_string : act_layout -> string
+val to_layout : act_layout -> Swtensor.Layout.t
+val strides : act_layout -> Graph_ir.shape4 -> int array
+(** Per-logical-axis element strides [ [|sb; sc; sh; sw|] ]. *)
+
+val equivalent : Graph_ir.shape4 -> act_layout -> act_layout -> bool
+(** Layouts that address this shape identically (extent-1 axes are free:
+    CHWB and CBHW coincide at batch 1). *)
+
+val algo_in : Swatop_ops.Dispatch.algo -> act_layout
+val algo_out : Swatop_ops.Dispatch.algo -> act_layout
+
+(** {2 Copy programs} *)
+
+type t = {
+  cp_src_layout : act_layout;
+  cp_dst_layout : act_layout;
+  cp_src_shape : Graph_ir.shape4;
+  cp_dst_shape : Graph_ir.shape4;  (** batch/channels equal; extents may differ *)
+  cp_src_elems : int;  (** physical buffer sizes (>= logical; the implicit
+                           operator's input carries a DMA halo tail) *)
+  cp_dst_elems : int;
+}
+
+val create :
+  src_layout:act_layout ->
+  dst_layout:act_layout ->
+  src_shape:Graph_ir.shape4 ->
+  dst_shape:Graph_ir.shape4 ->
+  src_elems:int ->
+  dst_elems:int ->
+  t
+
+val identity : t -> bool
+(** The producer's buffer can be handed over untouched. *)
+
+val shape_adapting : t -> bool
+(** True when the copy bridges a spatial seam (crop or halo embed), not
+    just a permutation. *)
+
+val describe : t -> string
+
+val build : t -> Swatop.Ir.program
+(** Lower to IR ("src"/"dst" main buffers); run {!Swatop.Tuner.prepare}
+    before interpreting. Destination elements outside the copied window
+    keep their previous contents — with zeroed allocations, halo embedding
+    is zero padding. *)
+
+(** {2 Host-side references} *)
+
+val apply_ref : t -> float array -> float array
+(** Oracle for {!build}: packed source buffer to packed destination. *)
+
+val adapt_tensor : t -> Swtensor.Tensor.t -> Swtensor.Tensor.t
+(** Logical effect on the (b,c,h,w) tensor: centered crop / zero-embed.
+    Layout-free — used by the layer-by-layer reference executor. *)
+
+val pack : layout:act_layout -> shape:Graph_ir.shape4 -> elems:int -> Swtensor.Tensor.t -> float array
+val unpack : layout:act_layout -> shape:Graph_ir.shape4 -> float array -> Swtensor.Tensor.t

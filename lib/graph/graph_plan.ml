@@ -1,0 +1,148 @@
+type alloc = {
+  al_name : string;
+  al_bytes : int;
+  al_first : int;  (** step index that defines the value *)
+  al_last : int;  (** last step index that reads it *)
+  al_offset : int;  (** byte offset inside the arena *)
+}
+
+type arena = {
+  ar_allocs : alloc list;
+  ar_bytes : int;  (** arena extent = max (offset + size) *)
+  ar_peak_bytes : int;  (** max over time of simultaneously-live bytes *)
+  ar_naive_bytes : int;  (** every value in its own buffer *)
+}
+
+let bytes_of_elems e = 4 * e
+
+let overlap_life a b = a.al_first <= b.al_last && b.al_first <= a.al_last
+
+(* ------------------------------------------------------------------ *)
+(* Collect the activation values and per-layer scratch of a compiled plan.
+   Weights are excluded: they are model parameters, resident for the whole
+   run, and would drown the activation signal the arena is about to
+   exploit. *)
+
+let step_out_elems (s : Graph_compile.step) =
+  match s with
+  | Graph_compile.Layer { st_impl; _ } -> st_impl.Graph_compile.im_out_elems
+  | Graph_compile.Copy cs -> cs.Graph_compile.cs_spec.Graph_layout.cp_dst_elems
+
+let step_name (s : Graph_compile.step) =
+  match s with
+  | Graph_compile.Layer { st_node; _ } -> st_node.Graph_ir.node_name
+  | Graph_compile.Copy cs -> Graph_layout.describe cs.Graph_compile.cs_spec
+
+let scratch_allocs i (s : Graph_compile.step) =
+  match s with
+  | Graph_compile.Copy _ -> []
+  | Graph_compile.Layer { st_node; st_impl } ->
+    let keep = [ st_impl.im_in_buf; st_impl.im_out_buf; st_impl.im_weight_buf ] in
+    List.filter_map
+      (fun (b : Swatop.Ir.buf) ->
+        match b.space with
+        | Swatop.Ir.Spm -> None
+        | Swatop.Ir.Main ->
+          if List.exists (String.equal b.buf_name) keep then None
+          else
+            Some
+              {
+                al_name = Printf.sprintf "%s/%s" st_node.Graph_ir.node_name b.buf_name;
+                al_bytes = bytes_of_elems b.cg_elems;
+                al_first = i;
+                al_last = i;
+                al_offset = 0;
+              })
+      st_impl.im_program.bufs
+
+let collect (p : Graph_compile.plan) =
+  let steps = Array.of_list p.Graph_compile.p_steps in
+  let n = Array.length steps in
+  let input =
+    {
+      al_name = "input";
+      al_bytes = bytes_of_elems p.Graph_compile.p_input_elems;
+      al_first = 0;
+      al_last = 0;
+      al_offset = 0;
+    }
+  in
+  let outs =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           {
+             al_name = step_name s ^ ":out";
+             al_bytes = bytes_of_elems (step_out_elems s);
+             al_first = i;
+             (* consumed by the next step; the network output stays live at
+                the final step only *)
+             al_last = (if i < n - 1 then i + 1 else i);
+             al_offset = 0;
+           })
+         steps)
+  in
+  let scratch = List.concat (Array.to_list (Array.mapi scratch_allocs steps)) in
+  input :: (outs @ scratch)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy best-fit: place big blocks first; each block lands at the lowest
+   offset where it clears every already-placed, lifetime-conflicting
+   block. *)
+
+let place allocs =
+  let order =
+    List.stable_sort (fun a b -> compare (b.al_bytes, a.al_first) (a.al_bytes, b.al_first)) allocs
+  in
+  let placed = ref [] in
+  let place_one a =
+    let conflicts = List.filter (overlap_life a) !placed in
+    let candidates =
+      0 :: List.map (fun c -> c.al_offset + c.al_bytes) conflicts |> List.sort_uniq compare
+    in
+    let fits off =
+      List.for_all
+        (fun c -> off + a.al_bytes <= c.al_offset || c.al_offset + c.al_bytes <= off)
+        conflicts
+    in
+    let off = List.find fits candidates in
+    let a = { a with al_offset = off } in
+    placed := a :: !placed;
+    a
+  in
+  List.map place_one order
+
+let plan (p : Graph_compile.plan) =
+  let allocs = place (collect p) in
+  let ar_bytes = List.fold_left (fun m a -> max m (a.al_offset + a.al_bytes)) 0 allocs in
+  let ar_naive_bytes = List.fold_left (fun s a -> s + a.al_bytes) 0 allocs in
+  let last_step = List.fold_left (fun m a -> max m a.al_last) 0 allocs in
+  let ar_peak_bytes =
+    let peak = ref 0 in
+    for t = 0 to last_step do
+      let live =
+        List.fold_left
+          (fun s a -> if a.al_first <= t && t <= a.al_last then s + a.al_bytes else s)
+          0 allocs
+      in
+      if live > !peak then peak := live
+    done;
+    !peak
+  in
+  { ar_allocs = allocs; ar_bytes; ar_peak_bytes; ar_naive_bytes }
+
+let check arena =
+  (* Geometric validity: lifetime-overlapping blocks must not intersect in
+     the arena's address space. *)
+  let rec go = function
+    | [] -> true
+    | a :: rest ->
+      List.for_all
+        (fun b ->
+          (not (overlap_life a b))
+          || a.al_offset + a.al_bytes <= b.al_offset
+          || b.al_offset + b.al_bytes <= a.al_offset)
+        rest
+      && go rest
+  in
+  go arena.ar_allocs

@@ -1,0 +1,29 @@
+(** Activation memory planning: interval liveness over the compiled step
+    list, then greedy best-fit packing into a single main-memory arena.
+
+    Values are the network input, every step's output, and each layer's
+    internal main-memory scratch (im2col matrices, padded-input staging…).
+    Weights are excluded — they are whole-run-resident parameters. The
+    arena is a static address assignment; the numeric executor still runs
+    on separate OCaml arrays (they cannot alias), so the plan is validated
+    geometrically: no two lifetime-overlapping blocks intersect. *)
+
+type alloc = {
+  al_name : string;
+  al_bytes : int;
+  al_first : int;  (** step index that defines the value *)
+  al_last : int;  (** last step index that reads it *)
+  al_offset : int;  (** assigned byte offset inside the arena *)
+}
+
+type arena = {
+  ar_allocs : alloc list;
+  ar_bytes : int;  (** arena extent = max (offset + size) *)
+  ar_peak_bytes : int;  (** max simultaneously-live bytes (lower bound) *)
+  ar_naive_bytes : int;  (** sum of all blocks: one buffer per value *)
+}
+
+val plan : Graph_compile.plan -> arena
+
+val check : arena -> bool
+(** No two lifetime-overlapping blocks intersect in address space. *)

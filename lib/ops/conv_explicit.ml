@@ -16,11 +16,13 @@ type strategy = {
 
 type t = { spec : Spec.t }
 
-let applicable (spec : Spec.t) = spec.stride = 1 && spec.pad = 0
+(* Explicit GEMM is the guaranteed fallback (the paper's rule: explicit
+   where the tensorized operators cannot apply). Strided and padded
+   problems lower through a generalized im2col: padding is materialized
+   into an "inpad" staging buffer and stride becomes a gather. *)
+let applicable (_ : Spec.t) = true
 
-let problem spec =
-  if not (applicable spec) then invalid_arg "Conv_explicit.problem: requires stride=1, pad=0";
-  { spec }
+let problem spec = { spec }
 
 let flops t = Spec.flops t.spec
 let imul = Stdlib.( * )
@@ -39,26 +41,33 @@ let describe s =
 
 let cpe_of cg = Prelude.Ints.ceil_div cg Sw26010.Config.cpes_per_cg
 
+(* Row chunk of the padding pre-phase: how many unpadded input rows are
+   staged through SPM per transfer when embedding into the padded image. *)
+let pad_chunk_rows (spec : Spec.t) =
+  let ci = Spec.ci spec in
+  max 1 (min (Spec.ri spec) (2048 / ci))
+
 let spm_fits (spec : Spec.t) s =
   let ri = Spec.ri spec and ci = Spec.ci spec in
+  let stage_pi = if s.slab_im2col then s.pi else 1 in
   let bufs =
-    [ cpe_of (imul s.pi (imul spec.ro spec.co)) ]
+    [ cpe_of (imul stage_pi (imul spec.ro spec.co)) ]
     @ (if s.slab_im2col then [ cpe_of (imul s.pi (imul ri ci)) ] else [])
+    @ (if spec.pad > 0 then [ cpe_of (imul (pad_chunk_rows spec) ci) ] else [])
     @ [
         Op_common.cpe_grid_elems s.fm s.fk;
         Op_common.cpe_grid_elems s.fk s.fn;
         Op_common.cpe_grid_elems s.fm s.fn;
       ]
   in
-  Op_common.spm_budget_ok ~prefetch:s.prefetch bufs
+  Op_common.spm_budget_ok ~prefetch:(s.prefetch || s.gemm_prefetch) bufs
 
 let divisor_candidates ?(lo = 1) ?(hi = max_int) n keep =
   Prelude.Ints.divisors n
   |> List.filter (fun d -> d >= lo && d <= hi)
   |> Op_common.trim_candidates keep
 
-let space ?(prefetch = true) t =
-  let spec = t.spec in
+let gemm_shapes (spec : Spec.t) =
   let k_total = imul spec.ni (imul spec.kr spec.kc) in
   let n_total = imul spec.b (imul spec.ro spec.co) in
   let fms = divisor_candidates ~lo:(min spec.no 16) ~hi:256 spec.no 4 in
@@ -68,10 +77,18 @@ let space ?(prefetch = true) t =
     | [] -> [ n_total ]
     | l -> l
   in
+  (k_total, n_total, fms, fns, fks)
+
+let space ?(prefetch = true) t =
+  let spec = t.spec in
+  let k_total, n_total, fms, fns, fks = gemm_shapes spec in
+  let tensorizable = spec.stride = 1 && spec.pad = 0 in
   let pis =
-    Prelude.Ints.divisors spec.ni
-    |> List.filter (fun d -> d <= 16)
-    |> Op_common.trim_candidates 3
+    if tensorizable then
+      Prelude.Ints.divisors spec.ni
+      |> List.filter (fun d -> d <= 16)
+      |> Op_common.trim_candidates 3
+    else [ 1 ]
   in
   let strategies =
     List.concat_map
@@ -88,18 +105,35 @@ let space ?(prefetch = true) t =
                   (fun vec ->
                     List.map
                       (fun pi ->
-                        {
-                          pi;
-                          slab_im2col = true;
-                          fm;
-                          fn;
-                          fk;
-                          n_outer;
-                          vec;
-                          boundary;
-                          prefetch;
-                          gemm_prefetch = false;
-                        })
+                        if tensorizable then
+                          {
+                            pi;
+                            slab_im2col = true;
+                            fm;
+                            fn;
+                            fk;
+                            n_outer;
+                            vec;
+                            boundary;
+                            prefetch;
+                            gemm_prefetch = false;
+                          }
+                        else
+                          (* General (strided/padded) fallback: naive gather
+                             im2col, no slab, no im2col prefetch — the GEMM
+                             phase still double-buffers. *)
+                          {
+                            pi;
+                            slab_im2col = false;
+                            fm;
+                            fn;
+                            fk;
+                            n_outer;
+                            vec;
+                            boundary;
+                            prefetch = false;
+                            gemm_prefetch = prefetch;
+                          })
                       pis)
                   [ G.Vec_m; G.Vec_n ])
               [ false; true ])
@@ -120,12 +154,19 @@ let bindings_for (t : t) s ~input ~weight =
     invalid_arg "Conv_explicit: weight shape mismatch";
   let k_total = imul spec.ni (imul spec.kr spec.kc) in
   let n_total = imul spec.b (imul spec.ro spec.co) in
+  let padded =
+    if spec.pad = 0 then []
+    else
+      let rp = Spec.ri spec + imul 2 spec.pad and cp = Spec.ci spec + imul 2 spec.pad in
+      [ ("inpad", Array.make (imul (imul spec.b spec.ni) (imul rp cp)) 0.0) ]
+  in
   [
     ("input", Op_common.pack_input_bchw spec input);
     ("weight", Array.copy (Swtensor.Tensor.data weight));
     ("col", Array.make (imul k_total n_total) 0.0);
     ("outmat", Array.make (imul spec.no n_total) 0.0);
   ]
+  @ padded
 
 let unpack_output (t : t) bindings =
   let spec = t.spec in
@@ -146,10 +187,14 @@ open Swatop.Ir
 
 let tag_win = 30
 let tag_col = 31
+let tag_pad = 32
 
 let build (t : t) s =
-  let ({ b; ni; no; ro; co; kr; kc; _ } : Spec.t) = t.spec in
+  let ({ b; ni; no; ro; co; kr; kc; stride; pad } : Spec.t) = t.spec in
   let ri = Spec.ri t.spec and ci = Spec.ci t.spec in
+  (* Padded input extents; identical to (ri, ci) when pad = 0. *)
+  let rp = Stdlib.( + ) ri (imul 2 pad) and cp = Stdlib.( + ) ci (imul 2 pad) in
+  let im2col_src = if pad > 0 then "inpad" else "input" in
   let k_total = imul ni (imul kr kc) in
   let n_total = imul b (imul ro co) in
   let window = imul ro co in
@@ -175,6 +220,13 @@ let build (t : t) s =
       main_buf ~name:"outmat" ~elems:(imul no n_total);
       spm_buf ~name:"win_stage" ~cg_elems:(imul pi window) ~cpe_elems:(cpe_of (imul pi window));
     ]
+    @ (if pad > 0 then
+         let chunk = pad_chunk_rows t.spec in
+         [
+           main_buf ~name:"inpad" ~elems:(imul (imul b ni) (imul rp cp));
+           spm_buf ~name:"pad_stage" ~cg_elems:(imul chunk ci) ~cpe_elems:(cpe_of (imul chunk ci));
+         ]
+       else [])
     @ (if s.slab_im2col then
          [
            spm_buf ~name:"img_slab" ~cg_elems:(imul pi (imul ri ci))
@@ -183,30 +235,120 @@ let build (t : t) s =
        else [])
     @ Op_common.gemm_tile_buffers g
   in
+  (* Phase 0 (pad > 0 only): embed the unpadded image into the zeroed
+     "inpad" buffer, one row chunk at a time through SPM. The borders are
+     never written, so they keep the allocation's zeros. *)
+  let phase_pad =
+    if Int.equal pad 0 then []
+    else
+      let chunk = pad_chunk_rows t.spec in
+      let vb = var "xpb" and vn = var "xpn" and vr = var "xpr" in
+      let rcnt = emin (int chunk) (int ri - vr) in
+      let get =
+        Dma
+          {
+            dir = Get;
+            main = "input";
+            spm = "pad_stage";
+            tag = int tag_pad;
+            region =
+              {
+                offset = ((((vb * int ni) + vn) * int ri) + vr) * int ci;
+                rows = rcnt;
+                row_elems = int ci;
+                row_stride = int ci;
+              };
+            spm_offset = int 0;
+            spm_ld = int ci;
+            partition = P_rows;
+            per_cpe = None;
+          }
+      in
+      let put =
+        Dma
+          {
+            dir = Put;
+            main = "inpad";
+            spm = "pad_stage";
+            tag = int tag_pad;
+            region =
+              {
+                offset = (((((vb * int ni) + vn) * int rp) + int pad + vr) * int cp) + int pad;
+                rows = rcnt;
+                row_elems = int ci;
+                row_stride = int cp;
+              };
+            spm_offset = int 0;
+            spm_ld = int ci;
+            partition = P_rows;
+            per_cpe = None;
+          }
+      in
+      [
+        Comment "phase 0: pad embed";
+        for_ ~iter:"xpb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
+          (for_ ~iter:"xpn" ~lo:(int 0) ~hi:(int ni) ~step:(int 1)
+             (for_ ~iter:"xpr" ~lo:(int 0) ~hi:(int ri) ~step:(int chunk)
+                (seq
+                   [
+                     get;
+                     Dma_wait { tag = int tag_pad };
+                     put;
+                     Dma_wait { tag = int tag_pad };
+                   ])));
+      ]
+  in
   (* Phase 1, naive form: one shifted ro x co window per (image, channel,
      tap) streams through SPM into the column matrix — 9x redundant strided
-     reads of the input, the structure hand-written im2col code uses. *)
+     reads of the input, the structure hand-written im2col code uses. With
+     stride > 1 the window is no longer row-contiguous, so each output row
+     becomes a gather of co single-element blocks. *)
   let naive_im2col =
     let vb = var "xb" and vni = var "xni" and vkr = var "xkr" and vkc = var "xkc" in
-    let get =
-      Dma
-        {
-          dir = Get;
-          main = "input";
-          spm = "win_stage";
-          tag = int tag_win;
-          region =
-            {
-              offset = (((vb * int ni) + vni) * int (imul ri ci)) + (vkr * int ci) + vkc;
-              rows = int ro;
-              row_elems = int co;
-              row_stride = int ci;
-            };
-          spm_offset = int 0;
-          spm_ld = int co;
-          partition = P_rows;
-          per_cpe = None;
-        }
+    let plane = ((vb * int ni) + vni) * int (imul rp cp) in
+    let get_window =
+      if Int.equal stride 1 then
+        Dma
+          {
+            dir = Get;
+            main = im2col_src;
+            spm = "win_stage";
+            tag = int tag_win;
+            region =
+              {
+                offset = plane + (vkr * int cp) + vkc;
+                rows = int ro;
+                row_elems = int co;
+                row_stride = int cp;
+              };
+            spm_offset = int 0;
+            spm_ld = int co;
+            partition = P_rows;
+            per_cpe = None;
+          }
+      else
+        (* One strided gather per output row; all gets share the tag and
+           land in disjoint SPM intervals, drained by one wait. *)
+        let vr = var "xr" in
+        for_ ~iter:"xr" ~lo:(int 0) ~hi:(int ro) ~step:(int 1)
+          (Dma
+             {
+               dir = Get;
+               main = im2col_src;
+               spm = "win_stage";
+               tag = int tag_win;
+               region =
+                 {
+                   offset = plane + (((vr * int stride) + vkr) * int cp) + vkc;
+                   rows = int co;
+                   row_elems = int 1;
+                   row_stride = int stride;
+                 };
+               spm_offset = vr * int co;
+               spm_ld = int 1;
+               partition = P_rows;
+               per_cpe = None;
+             })
     in
     let put =
       let row_idx = (vni * int (imul kr kc)) + (vkr * int kc) + vkc in
@@ -233,7 +375,7 @@ let build (t : t) s =
       (for_ ~iter:"xni" ~lo:(int 0) ~hi:(int ni) ~step:(int 1)
          (for_ ~iter:"xkr" ~lo:(int 0) ~hi:(int kr) ~step:(int 1)
             (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1)
-               (seq [ get; Dma_wait { tag = int tag_win }; put ]))))
+               (seq [ get_window; Dma_wait { tag = int tag_win }; put ]))))
   in
   (* Phase 1, slab form (swATOP): fetch a [pi]-channel image slab once,
      repack each of the kr*kc shifted windows in SPM with vector copies,
@@ -314,7 +456,9 @@ let build (t : t) s =
       ~b_base:(int 0) ~c_base:(int 0) ~m:no ~n:n_total ~k:k_total
   in
   program ~name:"conv_explicit" ~bufs
-    (seq [ Comment "phase 1: im2col"; phase_im2col; Comment "phase 2: GEMM"; phase_gemm ])
+    (seq
+       (phase_pad
+       @ [ Comment "phase 1: im2col"; phase_im2col; Comment "phase 2: GEMM"; phase_gemm ]))
 
 (* ------------------------------------------------------------------ *)
 (* Tuning entry point. *)

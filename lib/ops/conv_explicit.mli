@@ -10,7 +10,11 @@
 
     This is the fallback algorithm the paper applies when implicit and
     Winograd convolution cannot be used; its average efficiency is the
-    lowest of the three. Requires [stride = 1] and [pad = 0]. *)
+    lowest of the three. It is the *guaranteed* fallback: every valid
+    [Conv_spec] is accepted. Strided/padded problems lower through a
+    generalized naive im2col — padding is first embedded into a zeroed
+    "inpad" main buffer (phase 0), and [stride > 1] turns each output row
+    of a window into a gather of single-element blocks. *)
 
 type strategy = {
   pi : int;  (** input-channel block of the slab im2col (1 = naive) *)
@@ -34,6 +38,8 @@ type strategy = {
 type t = private { spec : Swtensor.Conv_spec.t }
 
 val applicable : Swtensor.Conv_spec.t -> bool
+(** Always [true] — explicit GEMM handles any valid [Conv_spec]. *)
+
 val problem : Swtensor.Conv_spec.t -> t
 val flops : t -> float
 val space : ?prefetch:bool -> t -> strategy list

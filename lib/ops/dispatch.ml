@@ -8,6 +8,9 @@ type choice = {
   c_seconds : float;
   c_program : Swatop.Ir.program;
   c_space : int;
+  c_bindings_for :
+    input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list;
+  c_unpack : (string * float array) list -> Swtensor.Tensor.t;
 }
 
 let applicable algo spec =
@@ -16,43 +19,59 @@ let applicable algo spec =
   | Winograd -> Conv_winograd.applicable spec
   | Explicit -> Conv_explicit.applicable spec
 
+let input_buffer = function Implicit -> "input" | Winograd -> "input" | Explicit -> "input"
+let output_buffer = function Implicit -> "output" | Winograd -> "output" | Explicit -> "outmat"
+
 let tune ?cache ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
   if not (applicable algo spec) then None
   else
-    let outcome_to_choice describe (o : _ Swatop.Tuner.outcome) =
+    let outcome_to_choice describe bindings_for unpack (o : _ Swatop.Tuner.outcome) =
       {
         c_algo = algo;
         c_desc = describe o.Swatop.Tuner.best;
         c_seconds = o.best_seconds;
         c_program = o.best_program;
         c_space = o.report.space_size;
+        c_bindings_for = bindings_for o.Swatop.Tuner.best;
+        c_unpack = unpack;
       }
     in
     match algo with
     | Implicit ->
+      let t = Conv_implicit.problem spec in
       Some
         (outcome_to_choice Conv_implicit.describe
-           (Conv_implicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model
-              (Conv_implicit.problem spec)))
+           (fun s ~input ~weight -> Conv_implicit.bindings_for t s ~input ~weight)
+           (Conv_implicit.unpack_output t)
+           (Conv_implicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
     | Winograd ->
+      let t = Conv_winograd.problem spec in
       Some
         (outcome_to_choice Conv_winograd.describe
-           (Conv_winograd.tune ?cache ~top_k ?prune ?jobs ~gemm_model
-              (Conv_winograd.problem spec)))
+           (fun s ~input ~weight -> Conv_winograd.bindings_for t s ~input ~weight)
+           (Conv_winograd.unpack_output t)
+           (Conv_winograd.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
     | Explicit ->
+      let t = Conv_explicit.problem spec in
       Some
         (outcome_to_choice Conv_explicit.describe
-           (Conv_explicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model
-              (Conv_explicit.problem spec)))
+           (fun s ~input ~weight -> Conv_explicit.bindings_for t s ~input ~weight)
+           (Conv_explicit.unpack_output t)
+           (Conv_explicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
 
 let all ?cache ?top_k ?prune ?jobs ~gemm_model spec =
   List.map
     (fun algo -> (algo, tune ?cache ?top_k ?prune ?jobs ~gemm_model algo spec))
     [ Implicit; Winograd; Explicit ]
 
-let best ?cache ?top_k ?prune ?jobs ~gemm_model spec =
+let best_opt ?cache ?top_k ?prune ?jobs ~gemm_model spec =
   let choices = List.filter_map snd (all ?cache ?top_k ?prune ?jobs ~gemm_model spec) in
   match choices with
-  | [] -> invalid_arg "Dispatch.best: no tensorized algorithm applies"
+  | [] -> None
   | first :: rest ->
-    List.fold_left (fun acc c -> if c.c_seconds < acc.c_seconds then c else acc) first rest
+    Some (List.fold_left (fun acc c -> if c.c_seconds < acc.c_seconds then c else acc) first rest)
+
+let best ?cache ?top_k ?prune ?jobs ~gemm_model spec =
+  match best_opt ?cache ?top_k ?prune ?jobs ~gemm_model spec with
+  | Some c -> c
+  | None -> invalid_arg "Dispatch.best: no tensorized algorithm applies"

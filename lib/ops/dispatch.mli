@@ -17,9 +17,25 @@ type choice = {
   c_seconds : float;  (** simulated execution time of the winner *)
   c_program : Swatop.Ir.program;  (** lowered and optimized, ready for codegen *)
   c_space : int;  (** schedule-space size the tuner searched *)
+  c_bindings_for :
+    input:Swtensor.Tensor.t -> weight:Swtensor.Tensor.t -> (string * float array) list;
+      (** numeric backing arrays for the winning program, packed to the
+          winner's layouts (captures the winning strategy) *)
+  c_unpack : (string * float array) list -> Swtensor.Tensor.t;
+      (** recover the logical [(b, no, ro, co)] output tensor from the
+          bindings after a numeric run *)
 }
 
 val applicable : algo -> Swtensor.Conv_spec.t -> bool
+(** [Explicit] applies to every valid [Conv_spec] — it is the guaranteed
+    fallback (the paper's rule: explicit GEMM where the tensorized
+    operators cannot be applied). *)
+
+val input_buffer : algo -> string
+(** Name of the [Main] buffer a numeric run reads the packed input from. *)
+
+val output_buffer : algo -> string
+(** Name of the [Main] buffer a numeric run leaves the packed output in. *)
 
 val tune :
   ?cache:Swatop.Schedule_cache.t ->
@@ -42,9 +58,19 @@ val best :
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   choice
-(** Tune all applicable algorithms and return the fastest. Raises
-    [Invalid_argument] if none applies (stride or padding outside the
-    tensorized operators' domain). *)
+(** Tune all applicable algorithms and return the fastest. Since explicit
+    GEMM applies everywhere, this succeeds for every valid [Conv_spec];
+    [Invalid_argument] is reserved for the (unreachable) empty case. *)
+
+val best_opt :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  Swtensor.Conv_spec.t ->
+  choice option
+(** Like {!best} but [None] instead of raising when no algorithm applies. *)
 
 val all :
   ?cache:Swatop.Schedule_cache.t ->

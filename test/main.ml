@@ -22,4 +22,6 @@ let () =
       ("conv-implicit", Test_conv_implicit.suite);
       ("conv-winograd", Test_conv_winograd.suite);
       ("conv-explicit", Test_conv_explicit.suite);
+      ("schedule-cache", Test_schedule_cache.suite);
+      ("graph", Test_graph.suite);
     ]

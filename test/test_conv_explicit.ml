@@ -64,6 +64,60 @@ let test_im2col_reference () =
   let ex = Swtensor.Im2col_ref.forward spec ~input ~weight in
   Alcotest.(check bool) "im2col_ref = conv_ref" true (Swtensor.Tensor.approx_equal direct ex)
 
+let test_strided_space () =
+  (* stride=2 pad=1: the generalized fallback space (gather im2col +
+     pad embed) must be numerically exact across every candidate. *)
+  let spec = Spec.create ~b:2 ~ni:3 ~no:6 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
+  let t = Conv_explicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:91 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:92 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let space = Conv_explicit.space t in
+  Alcotest.(check bool) "space non-empty" true (space <> []);
+  List.iter
+    (fun (s : Conv_explicit.strategy) ->
+      Alcotest.(check bool) "fallback is naive" false s.slab_im2col;
+      let got, _ = run t s ~input ~weight in
+      if not (Swtensor.Tensor.approx_equal expected got) then
+        Alcotest.failf "strategy %s wrong" (Conv_explicit.describe s))
+    space
+
+let test_pad_only () =
+  (* stride=1 pad=1 exercises the pad-embed phase with the contiguous
+     window gets. *)
+  let spec = Spec.create ~b:1 ~ni:4 ~no:5 ~ro:6 ~co:6 ~kr:3 ~kc:3 ~pad:1 () in
+  let t = Conv_explicit.problem spec in
+  let input = Swtensor.Tensor.random ~seed:93 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:94 (Spec.weight_shape spec) in
+  let expected = Swtensor.Conv_ref.forward spec ~input ~weight in
+  let got, _ = run t (List.hd (Conv_explicit.space t)) ~input ~weight in
+  Alcotest.(check bool) "correct" true (Swtensor.Tensor.approx_equal expected got)
+
+let test_vgg_conv1_1 () =
+  (* VGG16's first layer (ni=3) must now dispatch — the whole-network
+     runtime depends on it. Tune at a reduced output extent to keep the
+     test fast; channels and kernel match conv1_1 exactly. *)
+  let l = List.hd Workloads.Networks.vgg16.Workloads.Networks.layers in
+  Alcotest.(check string) "conv1_1" "conv1_1" l.Workloads.Networks.l_name;
+  let spec =
+    Spec.create ~b:1 ~ni:l.Workloads.Networks.ni ~no:l.Workloads.Networks.no ~ro:8 ~co:8
+      ~kr:l.Workloads.Networks.k ~kc:l.Workloads.Networks.k ()
+  in
+  let gemm_model = Swatop.Gemm_cost.fit () in
+  let choice = Dispatch.best ~top_k:1 ~gemm_model spec in
+  Alcotest.(check bool) "dispatches" true (choice.Dispatch.c_seconds > 0.0);
+  (match Dispatch.best_opt ~top_k:1 ~gemm_model spec with
+  | None -> Alcotest.fail "best_opt must succeed where best does"
+  | Some c -> Alcotest.(check bool) "same algo" true (c.Dispatch.c_algo = choice.Dispatch.c_algo));
+  let input = Swtensor.Tensor.random ~seed:95 (Spec.input_shape spec) in
+  let weight = Swtensor.Tensor.random ~seed:96 (Spec.weight_shape spec) in
+  let bindings = choice.Dispatch.c_bindings_for ~input ~weight in
+  ignore (Swatop.Interp.run ~bindings ~numeric:true choice.Dispatch.c_program);
+  Alcotest.(check bool) "numerically exact" true
+    (Swtensor.Tensor.approx_equal
+       (Swtensor.Conv_ref.forward spec ~input ~weight)
+       (choice.Dispatch.c_unpack bindings))
+
 let test_whole_space () =
   let spec = small_spec ~b:1 ~ni:4 ~no:6 ~ro:5 ~co:6 () in
   let t = Conv_explicit.problem spec in
@@ -89,5 +143,8 @@ let suite =
     Alcotest.test_case "naive im2col (manual structure)" `Quick test_naive_im2col;
     Alcotest.test_case "naive im2col + pipeline" `Quick test_naive_prefetch;
     Alcotest.test_case "slab im2col, ragged channels" `Quick test_slab_ragged_channels;
+    Alcotest.test_case "strided+padded fallback space correct" `Quick test_strided_space;
+    Alcotest.test_case "padding-only fallback correct" `Quick test_pad_only;
+    Alcotest.test_case "vgg16 conv1_1 dispatches via fallback" `Quick test_vgg_conv1_1;
     Alcotest.test_case "whole space numerically correct" `Slow test_whole_space;
   ]

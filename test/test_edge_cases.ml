@@ -21,10 +21,26 @@ let spec_suite =
         let strided = Spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
         Alcotest.(check bool) "implicit" false (Conv_implicit.applicable strided);
         Alcotest.(check bool) "winograd" false (Conv_winograd.applicable strided);
-        Alcotest.(check bool) "explicit" false (Conv_explicit.applicable strided);
+        (* explicit GEMM is the guaranteed fallback: it takes everything *)
+        Alcotest.(check bool) "explicit" true (Conv_explicit.applicable strided);
         let k5 = Spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:5 ~kc:5 () in
         Alcotest.(check bool) "winograd needs 3x3" false (Conv_winograd.applicable k5);
         Alcotest.(check bool) "implicit takes 5x5" true (Conv_implicit.applicable k5));
+    Alcotest.test_case "strided padded conv falls back to explicit numerically" `Quick (fun () ->
+        let spec = Spec.create ~b:2 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
+        let input = Swtensor.Tensor.random ~seed:11 (Spec.input_shape spec) in
+        let weight = Swtensor.Tensor.random ~seed:12 (Spec.weight_shape spec) in
+        match Dispatch.best_opt ~top_k:1 ~gemm_model:(Lazy.force gemm_model) spec with
+        | None -> Alcotest.fail "explicit fallback must apply"
+        | Some choice ->
+          Alcotest.(check bool) "explicit won (only applicable)" true
+            (choice.Dispatch.c_algo = Dispatch.Explicit);
+          let bindings = choice.Dispatch.c_bindings_for ~input ~weight in
+          ignore (Swatop.Interp.run ~bindings ~numeric:true choice.Dispatch.c_program);
+          Alcotest.(check bool) "matches direct conv" true
+            (Swtensor.Tensor.approx_equal
+               (Swtensor.Conv_ref.forward spec ~input ~weight)
+               (choice.Dispatch.c_unpack bindings)));
     Alcotest.test_case "1x1 convolution works end to end" `Quick (fun () ->
         let spec = Spec.create ~b:2 ~ni:6 ~no:8 ~ro:5 ~co:5 ~kr:1 ~kc:1 () in
         let t = Conv_implicit.problem spec in

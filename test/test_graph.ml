@@ -1,0 +1,146 @@
+(* The network-level runtime: graph IR builder, layout copies, whole-model
+   compilation, arena planning and end-to-end numeric execution. *)
+
+module G = Swatop_graph.Graph_ir
+module L = Swatop_graph.Graph_layout
+module C = Swatop_graph.Graph_compile
+module P = Swatop_graph.Graph_plan
+module E = Swatop_graph.Graph_exec
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+let compile g = C.compile ~top_k:1 ~gemm_model:(Lazy.force gemm_model) g
+
+let shape4 sb sc sh sw = { G.sb; sc; sh; sw }
+
+let run_copy spec src =
+  let program = Swatop.Tuner.prepare (L.build spec) in
+  let dst = Array.make spec.L.cp_dst_elems 0.0 in
+  ignore (Swatop.Interp.run ~numeric:true ~bindings:[ ("src", src); ("dst", dst) ] program);
+  dst
+
+let check_copy name spec =
+  let src =
+    Array.init spec.L.cp_src_elems (fun i -> float_of_int ((i * 7 mod 23) + 1))
+  in
+  let got = run_copy spec src in
+  let want = L.apply_ref spec src in
+  Alcotest.(check (array (float 1e-9))) name want got
+
+(* A graph whose producers and consumers disagree spatially: c2 wants a
+   10x10 input (halo embed around c1's 8x8), c3 wants 4x4 (crop). *)
+let seam_graph ~batch =
+  G.empty ~name:"seam" ~batch
+  |> G.conv ~name:"c1" ~ni:2 ~no:4 ~out:8 ~k:3
+  |> G.conv ~name:"c2" ~ni:4 ~no:4 ~out:8 ~k:3
+  |> G.conv ~name:"c3" ~ni:4 ~no:4 ~out:4 ~k:1
+  |> G.finish
+
+let suite =
+  [
+    Alcotest.test_case "of_network expands repeats and chains channels" `Quick (fun () ->
+        let g = G.of_network ~batch:2 Workloads.Networks.vgg16 in
+        Alcotest.(check int) "13 conv layers" 13 (List.length g.G.nodes);
+        List.iteri
+          (fun i (n : G.node) -> Alcotest.(check int) "ids in order" i n.G.id)
+          g.G.nodes;
+        (* every consumer's channel count matches its producer *)
+        ignore
+          (List.fold_left
+             (fun prev (n : G.node) ->
+               (match prev with
+               | Some (p : G.node) ->
+                 Alcotest.(check int) ("channels into " ^ n.G.node_name) p.G.out_shape.G.sc
+                   n.G.in_shape.G.sc
+               | None -> ());
+               Some n)
+             None g.G.nodes);
+        (* repeated entries get numbered instances *)
+        Alcotest.(check bool) "conv5_x.3 present" true
+          (List.exists (fun (n : G.node) -> n.G.node_name = "conv5_x.3") g.G.nodes));
+    Alcotest.test_case "builder rejects channel mismatches" `Quick (fun () ->
+        Alcotest.check_raises "ni mismatch"
+          (Invalid_argument "Graph_ir: layer consumes 5 channels but c1 produces 4")
+          (fun () ->
+            ignore
+              (G.empty ~name:"bad" ~batch:1
+              |> G.conv ~name:"c1" ~ni:2 ~no:4 ~out:8 ~k:3
+              |> G.conv ~name:"c2" ~ni:5 ~no:4 ~out:8 ~k:3)));
+    Alcotest.test_case "layout equivalence frees extent-1 axes" `Quick (fun () ->
+        let s1 = shape4 1 8 6 6 and s2 = shape4 2 8 6 6 in
+        Alcotest.(check bool) "CHWB = CBHW at batch 1" true (L.equivalent s1 L.CHWB L.CBHW);
+        Alcotest.(check bool) "CHWB <> CBHW at batch 2" false (L.equivalent s2 L.CHWB L.CBHW);
+        Alcotest.(check bool) "BCHW <> CHWB at batch 2" false (L.equivalent s2 L.BCHW L.CHWB));
+    Alcotest.test_case "relayout copy program matches its oracle" `Quick (fun () ->
+        let shape = shape4 2 4 6 5 in
+        List.iter
+          (fun (src, dst) ->
+            let spec =
+              L.create ~src_layout:src ~dst_layout:dst ~src_shape:shape ~dst_shape:shape
+                ~src_elems:(G.shape4_elems shape) ~dst_elems:(G.shape4_elems shape)
+            in
+            check_copy (L.describe spec) spec)
+          [ (L.BCHW, L.CHWB); (L.CHWB, L.BCHW); (L.CBHW, L.CHWB); (L.BCHW, L.CBHW) ]);
+    Alcotest.test_case "adapter copies bridge spatial seams" `Quick (fun () ->
+        (* halo embed: 8x8 into the center of a zeroed 10x10 *)
+        let embed =
+          L.create ~src_layout:L.BCHW ~dst_layout:L.CHWB ~src_shape:(shape4 2 4 8 8)
+            ~dst_shape:(shape4 2 4 10 10)
+            ~src_elems:(2 * 4 * 8 * 8)
+            ~dst_elems:((2 * 4 * 10 * 10) + 6)
+          (* + a DMA halo tail, as the implicit operator's input carries *)
+        in
+        Alcotest.(check bool) "embed is shape-adapting" true (L.shape_adapting embed);
+        check_copy "halo embed" embed;
+        (* crop: centered 4x4 window of an 8x8 *)
+        let crop =
+          L.create ~src_layout:L.CBHW ~dst_layout:L.BCHW ~src_shape:(shape4 2 4 8 8)
+            ~dst_shape:(shape4 2 4 4 4) ~src_elems:(2 * 4 * 8 * 8) ~dst_elems:(2 * 4 * 4 * 4)
+        in
+        Alcotest.(check bool) "crop is shape-adapting" true (L.shape_adapting crop);
+        check_copy "crop" crop);
+    Alcotest.test_case "identity copies are recognized and free" `Quick (fun () ->
+        let shape = shape4 1 8 6 6 in
+        let spec =
+          L.create ~src_layout:L.CBHW ~dst_layout:L.CHWB ~src_shape:shape ~dst_shape:shape
+            ~src_elems:(G.shape4_elems shape) ~dst_elems:(G.shape4_elems shape)
+        in
+        Alcotest.(check bool) "batch-1 permutation is the identity" true (L.identity spec));
+    Alcotest.test_case "compile covers every node and orders steps" `Quick (fun () ->
+        let g = G.smoke ~batch:2 in
+        let plan = compile g in
+        let layer_names =
+          List.filter_map
+            (function C.Layer { st_node; _ } -> Some st_node.G.node_name | C.Copy _ -> None)
+            plan.C.p_steps
+        in
+        Alcotest.(check (list string)) "every node, in order" [ "c1"; "c2"; "fc" ] layer_names;
+        Alcotest.(check bool) "relayout accounting is consistent" true
+          (plan.C.p_naive_relayouts >= 0 && plan.C.p_used_relayouts >= 0);
+        (* the DP never keeps more copies than a naive all-BCHW runtime *)
+        Alcotest.(check bool) "no worse than naive" true
+          (plan.C.p_used_relayouts <= max plan.C.p_naive_relayouts 0));
+    Alcotest.test_case "seam graph inserts adapters, not relayouts" `Quick (fun () ->
+        let plan = compile (seam_graph ~batch:2) in
+        Alcotest.(check bool) "has adapter copies" true (plan.C.p_adapters >= 2));
+    Alcotest.test_case "arena: disjoint under liveness, peak below naive" `Quick (fun () ->
+        List.iter
+          (fun plan ->
+            let arena = P.plan plan in
+            Alcotest.(check bool) "no live blocks overlap" true (P.check arena);
+            Alcotest.(check bool) "extent >= peak" true
+              (arena.P.ar_bytes >= arena.P.ar_peak_bytes);
+            Alcotest.(check bool) "beats one-buffer-per-value" true
+              (arena.P.ar_bytes < arena.P.ar_naive_bytes))
+          [ compile (G.smoke ~batch:2); compile (seam_graph ~batch:2) ]);
+    Alcotest.test_case "end-to-end numeric: smoke matches the references" `Quick (fun () ->
+        let report = E.run ~numeric:true (compile (G.smoke ~batch:2)) in
+        (match report.E.r_max_err with
+        | Some e -> Alcotest.(check bool) (Printf.sprintf "max err %.2e < 1e-4" e) true (e < 1e-4)
+        | None -> Alcotest.fail "numeric run reported no error bound");
+        Alcotest.(check bool) "simulated time accumulated" true (report.E.r_seconds > 0.0));
+    Alcotest.test_case "end-to-end numeric: seam graph (halo embed + crop)" `Quick (fun () ->
+        let report = E.run ~numeric:true (compile (seam_graph ~batch:2)) in
+        match report.E.r_max_err with
+        | Some e -> Alcotest.(check bool) (Printf.sprintf "max err %.2e < 1e-4" e) true (e < 1e-4)
+        | None -> Alcotest.fail "numeric run reported no error bound");
+  ]

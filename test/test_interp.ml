@@ -117,12 +117,20 @@ let numeric_suite =
            with Invalid_argument _ -> true));
     Alcotest.test_case "SPM out-of-bounds access rejected" `Quick (fun () ->
         let body = get ~rows:16 ~elems:256 () (* 4096 elems > 1024 SPM backing *) in
+        let p = prog body in
         Alcotest.(check bool) "raises" true
           (try
-             ignore
-               (Interp.run ~bindings:[ ("m", Array.make 4096 0.0) ] ~numeric:true (prog body));
+             ignore (Interp.run ~bindings:(Interp.alloc_bindings p) ~numeric:true p);
              false
            with Invalid_argument _ -> true));
+    Alcotest.test_case "alloc_bindings covers exactly the main buffers" `Quick (fun () ->
+        let p = prog (get ()) in
+        let bindings = Interp.alloc_bindings p in
+        Alcotest.(check (list string)) "names" [ "m" ] (List.map fst bindings);
+        Alcotest.(check int) "sized cg_elems" 4096 (Array.length (List.assoc "m" bindings));
+        Alcotest.(check bool) "zeroed" true (Array.for_all (fun v -> v = 0.0) (List.assoc "m" bindings));
+        (* the allocation satisfies a numeric run as-is *)
+        ignore (Interp.run ~bindings ~numeric:true p));
     Alcotest.test_case "get/put round trip preserves data" `Quick (fun () ->
         let put =
           Ir.Dma

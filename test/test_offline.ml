@@ -79,12 +79,11 @@ let suite =
               Alcotest.(check int) (l.Offline.cl_name ^ " compiles") 0 (Sys.command cmd))
             compiled
         end);
-    Alcotest.test_case "inapplicable problems are rejected" `Quick (fun () ->
+    Alcotest.test_case "strided+padded layers compile via the explicit fallback" `Quick (fun () ->
+        (* Explicit GEMM is the guaranteed fallback for any valid spec, so
+           even stride-2/padded layers (unreachable by implicit/Winograd)
+           compile to a kernel instead of raising. *)
         let spec = Swtensor.Conv_spec.create ~b:1 ~ni:4 ~no:4 ~ro:4 ~co:4 ~kr:3 ~kc:3 ~stride:2 ~pad:1 () in
-        Alcotest.(check bool) "raises" true
-          (try
-             ignore
-               (Offline.compile_layer ~gemm_model:(Lazy.force gemm_model) ~name:"x" spec);
-             false
-           with Invalid_argument _ -> true));
+        let l = Offline.compile_layer ~gemm_model:(Lazy.force gemm_model) ~name:"x" spec in
+        Alcotest.(check bool) "has source" true (String.length l.Offline.cl_source > 200));
   ]

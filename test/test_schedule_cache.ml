@@ -1,0 +1,114 @@
+(* Persistence robustness of the best-schedule cache: corrupted, truncated,
+   version-mismatched and stale-fingerprint files must degrade to a re-tune
+   (an empty or partial cache), never to an exception or a wrong schedule. *)
+
+open Swatop_ops
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let temp_path name =
+  let p = Filename.temp_file ("swatop_cache_" ^ name) ".cache" in
+  Sys.remove p;
+  p
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A populated cache saved through the real tuning path. *)
+let tune_small ?cache () =
+  let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+  Matmul.tune ?cache ~top_k:1 ~gemm_model:(Lazy.force gemm_model) t
+
+let saved_cache_file name =
+  let path = temp_path name in
+  let cache = Swatop.Schedule_cache.create () in
+  ignore (tune_small ~cache ());
+  Swatop.Schedule_cache.save path cache;
+  path
+
+let suite =
+  [
+    Alcotest.test_case "missing file loads as an empty cache" `Quick (fun () ->
+        let cache = Swatop.Schedule_cache.load (temp_path "missing") in
+        Alcotest.(check int) "empty" 0 (Swatop.Schedule_cache.size cache));
+    Alcotest.test_case "garbage file loads without raising and re-tunes" `Quick (fun () ->
+        let path = temp_path "garbage" in
+        write_file path "\x00\xffnot a cache\nrandom \x01 bytes\n1 2 3\n";
+        let cache = Swatop.Schedule_cache.load path in
+        Alcotest.(check int) "nothing salvaged" 0 (Swatop.Schedule_cache.size cache);
+        (* the poisoned cache still serves tuning: miss then remember *)
+        let o = tune_small ~cache () in
+        Alcotest.(check bool) "tuned, not served stale" false o.Swatop.Tuner.report.cache_hit;
+        Alcotest.(check int) "winner remembered" 1 (Swatop.Schedule_cache.size cache);
+        Sys.remove path);
+    Alcotest.test_case "truncated file salvages the intact prefix" `Quick (fun () ->
+        let path = temp_path "truncated" in
+        let cache = Swatop.Schedule_cache.create () in
+        ignore (tune_small ~cache ());
+        Swatop.Schedule_cache.remember cache
+          ~key:(Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 9; 9; 9 ])
+          { Swatop.Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
+        Swatop.Schedule_cache.save path cache;
+        let full = read_file path in
+        (* chop inside the last entry's field structure: everything from the
+           final tab on is lost, leaving a 4-field line *)
+        write_file path (String.sub full 0 (String.rindex full '\t'));
+        let cache = Swatop.Schedule_cache.load path in
+        Alcotest.(check int) "intact line kept, mangled line dropped" 1
+          (Swatop.Schedule_cache.size cache);
+        let o = tune_small ~cache () in
+        Alcotest.(check bool) "still serves tuning" true
+          (o.Swatop.Tuner.report.cache_hit || Swatop.Schedule_cache.size cache >= 1);
+        Sys.remove path);
+    Alcotest.test_case "version mismatch ignores the whole file" `Quick (fun () ->
+        let path = saved_cache_file "version" in
+        let full = read_file path in
+        let body =
+          match String.index_opt full '\n' with
+          | Some i -> String.sub full (i + 1) (String.length full - i - 1)
+          | None -> ""
+        in
+        write_file path ("swatop-schedule-cache v999\n" ^ body);
+        let cache = Swatop.Schedule_cache.load path in
+        Alcotest.(check int) "future version not parsed" 0 (Swatop.Schedule_cache.size cache);
+        Sys.remove path);
+    Alcotest.test_case "fingerprint mismatch is a miss, not a stale hit" `Quick (fun () ->
+        let cache = Swatop.Schedule_cache.create () in
+        let key = Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 64; 64; 64 ] in
+        Swatop.Schedule_cache.remember cache ~key
+          { Swatop.Schedule_cache.fingerprint = 12345; space_size = 7; index = 3; seconds = 1.0 };
+        (match
+           Swatop.Schedule_cache.find cache ~key ~fingerprint:54321 ~space_size:7
+         with
+        | Some _ -> Alcotest.fail "stale entry served despite fingerprint mismatch"
+        | None -> ());
+        Alcotest.(check int) "recorded as a miss" 1 (Swatop.Schedule_cache.misses cache);
+        (* the real tuning path re-tunes and overwrites the stale entry *)
+        let o = tune_small ~cache () in
+        Alcotest.(check bool) "re-tuned" false o.Swatop.Tuner.report.cache_hit;
+        let o2 = tune_small ~cache () in
+        Alcotest.(check bool) "fresh entry now hits" true o2.Swatop.Tuner.report.cache_hit);
+    Alcotest.test_case "save is atomic: no temp droppings, reload round-trips" `Quick (fun () ->
+        let path = saved_cache_file "atomic" in
+        let dir = Filename.dirname path and base = Filename.basename path in
+        Array.iter
+          (fun f ->
+            if f <> base && String.length f >= String.length base
+               && String.sub f 0 (String.length base) = base then
+              Alcotest.fail ("leftover temp file " ^ f))
+          (Sys.readdir dir);
+        let cache = Swatop.Schedule_cache.load path in
+        Alcotest.(check int) "round-trip" 1 (Swatop.Schedule_cache.size cache);
+        let o = tune_small ~cache () in
+        Alcotest.(check bool) "reloaded entry hits" true o.Swatop.Tuner.report.cache_hit;
+        Sys.remove path);
+  ]
