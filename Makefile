@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint check net-smoke bench-quick clean
+.PHONY: all build test lint check check-faults net-smoke bench-quick clean
 
 all: build
 
@@ -23,6 +23,16 @@ lint:
 # propagate layouts, plan the arena and execute end to end (cost-only).
 net-smoke:
 	dune exec bin/swatop_cli.exe -- net smoke
+
+# Resilience gate: the same pipelines under a fixed seeded fault plan.
+# The GEMM tune must survive randomly crashing candidates (crash isolation)
+# and the smoke net must stay numerically correct while its executor
+# degrades through fallback implementations (exit 0, not 2).
+check-faults:
+	SWATOP_JOBS=2 dune exec bin/swatop_cli.exe -- tune gemm -m 96 -n 80 -k 48 \
+	  --faults "seed=7;tuner.score:p=0.05"
+	SWATOP_JOBS=2 dune exec bin/swatop_cli.exe -- net smoke --numeric \
+	  --faults "seed=7;interp.dma.wait:n=3;graph.layer:first=1"
 
 # The tier-1 gate: everything compiles, every test passes, the example
 # schedule spaces lint clean, and the network runtime smoke-runs.

@@ -21,7 +21,7 @@ let experiments =
 let usage () =
   print_endline
     "usage: bench/main.exe [--quick|--full] [--tuner-report] [--jobs=N] [--schedule-cache=FILE] \
-     [experiment ...]";
+     [--faults=PLAN] [experiment ...]";
   print_endline "experiments:";
   List.iter (fun (name, doc, _) -> Printf.printf "  %-9s %s\n" name doc) experiments;
   print_endline "(no experiment argument = run everything)"
@@ -63,6 +63,14 @@ let () =
           Bench_common.schedule_cache := Some (Swatop.Schedule_cache.load path);
           cache_path := Some path;
           false
+        | a when Option.is_some (opt_value a "--faults=") -> (
+          match Prelude.Fault.parse (Option.get (opt_value a "--faults=")) with
+          | Ok plan ->
+            Prelude.Fault.set (Some plan);
+            false
+          | Error e ->
+            Printf.eprintf "invalid --faults plan: %s\n" e;
+            exit 1)
         | _ -> true)
       args
   in

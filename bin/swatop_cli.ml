@@ -52,10 +52,37 @@ let cache_arg =
     & info [ "schedule-cache" ]
         ~doc:"persistent best-schedule cache file; created on first use, reused on later runs")
 
-(* Applies the --jobs override, runs [f] with the loaded schedule cache (if
-   any), and persists the cache afterwards. *)
-let with_tuning_env jobs cache_path f =
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ]
+        ~doc:
+          "base path for interruption-safe tuning checkpoints; an interrupted tune resumes from \
+           its partial results on the next run and selects the same winner")
+
+let faults_arg =
+  let fault_conv =
+    let parse s =
+      match Prelude.Fault.parse s with Ok p -> Ok p | Error e -> Error (`Msg e)
+    in
+    let print ppf p = Format.pp_print_string ppf (Prelude.Fault.to_string p) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "faults" ]
+        ~doc:
+          "deterministic fault-injection plan, e.g. \
+           $(b,seed=42;tuner.score:p=0.05;interp.dma.wait:n=3). Overrides \\$(b,SWATOP_FAULTS). \
+           A fixed plan produces an identical fault schedule on every run.")
+
+(* Applies the --jobs override and the --faults plan, runs [f] with the
+   loaded schedule cache (if any), and persists the cache afterwards. *)
+let with_tuning_env ?faults jobs cache_path f =
   Prelude.Parallel.set_jobs jobs;
+  (match faults with None -> () | Some plan -> Prelude.Fault.set (Some plan));
   match cache_path with
   | None -> f None
   | Some path ->
@@ -76,6 +103,10 @@ let report_outcome ~flops describe (o : _ Swatop.Tuner.outcome) =
     Printf.printf "verifier rejects : %s\n"
       (String.concat ", "
          (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) r.verify_rejected));
+  if r.scored_failed <> [] then
+    Printf.printf "crashed, skipped : %s\n"
+      (String.concat ", "
+         (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) r.scored_failed));
   Printf.printf "tuning wall time : %.2f s host (%.1f s simulated machine)\n" r.wall_seconds
     r.hardware_seconds;
   if not r.cache_hit then
@@ -97,15 +128,15 @@ let conv_spec ni no out kern b =
 (* ------------------------------------------------------------------ *)
 (* tune *)
 
-let tune_gemm m n k top_k jobs cache_path =
-  with_tuning_env jobs cache_path (fun cache ->
+let tune_gemm m n k top_k jobs cache_path checkpoint faults =
+  with_tuning_env ?faults jobs cache_path (fun cache ->
       let t = Matmul.problem ~m ~n ~k in
-      let o = Matmul.tune ?cache ~top_k ~gemm_model:(Lazy.force gemm_model) t in
+      let o = Matmul.tune ?cache ?checkpoint ~top_k ~gemm_model:(Lazy.force gemm_model) t in
       Printf.printf "GEMM %d x %d x %d\n" m n k;
       report_outcome ~flops:(Matmul.flops t) Matmul.describe o)
 
-let tune_conv algo ni no out kern b top_k jobs cache_path =
-  with_tuning_env jobs cache_path (fun cache ->
+let tune_conv algo ni no out kern b top_k jobs cache_path checkpoint faults =
+  with_tuning_env ?faults jobs cache_path (fun cache ->
       let spec = conv_spec ni no out kern b in
       Printf.printf "CONV %s\n" (Swtensor.Conv_spec.to_string spec);
       let gm = Lazy.force gemm_model in
@@ -113,25 +144,27 @@ let tune_conv algo ni no out kern b top_k jobs cache_path =
       | `Implicit ->
         let t = Conv_implicit.problem spec in
         report_outcome ~flops:(Conv_implicit.flops t) Conv_implicit.describe
-          (Conv_implicit.tune ?cache ~top_k ~gemm_model:gm t)
+          (Conv_implicit.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t)
       | `Winograd ->
         let t = Conv_winograd.problem spec in
         report_outcome ~flops:(Conv_winograd.flops t) Conv_winograd.describe
-          (Conv_winograd.tune ?cache ~top_k ~gemm_model:gm t)
+          (Conv_winograd.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t)
       | `Explicit ->
         let t = Conv_explicit.problem spec in
         report_outcome ~flops:(Conv_explicit.flops t) Conv_explicit.describe
-          (Conv_explicit.tune ?cache ~top_k ~gemm_model:gm t))
+          (Conv_explicit.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t))
 
 let tune_gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"tune a matrix multiplication")
-    Term.(const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg $ jobs_arg $ cache_arg)
+    Term.(
+      const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg $ jobs_arg $ cache_arg $ checkpoint_arg
+      $ faults_arg)
 
 let tune_conv_cmd =
   Cmd.v (Cmd.info "conv" ~doc:"tune a convolution")
     Term.(
       const tune_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ topk_arg
-      $ jobs_arg $ cache_arg)
+      $ jobs_arg $ cache_arg $ checkpoint_arg $ faults_arg)
 
 let tune_cmd = Cmd.group (Cmd.info "tune" ~doc:"autotune an operator") [ tune_gemm_cmd; tune_conv_cmd ]
 
@@ -390,11 +423,12 @@ let find_graph net_name batch =
       Printf.eprintf "unknown network %S (expected vgg16, resnet18, yolov2 or smoke)\n" net_name;
       exit 1)
 
-let net_run net_name batch json numeric jobs cache_path =
-  with_tuning_env jobs cache_path (fun cache ->
+let net_run net_name batch json numeric jobs cache_path checkpoint faults =
+  with_tuning_env ?faults jobs cache_path (fun cache ->
       let g = find_graph net_name batch in
       let plan =
-        Swatop_graph.Graph_compile.compile ?cache ~gemm_model:(Lazy.force gemm_model) g
+        Swatop_graph.Graph_compile.compile ?cache ?checkpoint
+          ~gemm_model:(Lazy.force gemm_model) g
       in
       let report = Swatop_graph.Graph_exec.run ~numeric plan in
       print_endline
@@ -421,7 +455,9 @@ let net_cmd =
        ~doc:
          "compile a whole network (tune every layer, propagate layouts, plan the activation \
           arena) and execute it end to end on the simulator")
-    Term.(const net_run $ name_arg $ batch_arg $ json_arg $ numeric_arg $ jobs_arg $ cache_arg)
+    Term.(
+      const net_run $ name_arg $ batch_arg $ json_arg $ numeric_arg $ jobs_arg $ cache_arg
+      $ checkpoint_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fit *)
@@ -446,10 +482,24 @@ let fit_cmd = Cmd.v (Cmd.info "fit" ~doc:"print the fitted kernel cost model") T
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "swatop" ~version:"1.0.0" ~doc:"autotuned DL operators for the SW26010" in
+  let group =
+    Cmd.group ~default info
+      [
+        tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd;
+        net_cmd; fit_cmd;
+      ]
+  in
+  (* Operational failures exit 2 with a one-line structured diagnostic —
+     site, message, and context — so scripts can tell a crashed run (2)
+     from lint findings (1) and success (0). *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [
-            tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd;
-            net_cmd; fit_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+    | Prelude.Swatop_error.Error e ->
+      Printf.eprintf "swatop: error: %s\n" (Prelude.Swatop_error.to_string e);
+      2
+    | Prelude.Fault.Injected { site; hit } ->
+      Printf.eprintf "swatop: error: fault:%s: injected fault (hit %d)\n" site hit;
+      2
+    | Failure m | Invalid_argument m | Sys_error m ->
+      Printf.eprintf "swatop: error: %s\n" m;
+      2)

@@ -177,6 +177,10 @@ let compile ~fidelity (p : Ir.program) =
       and cv_txn = Array.make n_cpes 0
       and cv_payload = Array.make n_cpes 0 in
       fun st ->
+        (* Fault site: a DMA issue that raises models a failed/hung transfer
+           descriptor; counter triggers (n=/first=) hit the Nth dynamic
+           issue of the run. *)
+        Prelude.Fault.check "interp.dma.issue";
         (* Cost: worst transaction load among the (sampled) CPEs. *)
         let worst_txn = ref 0 and total_payload = ref 0 in
         Array.iteri
@@ -247,7 +251,10 @@ let compile ~fidelity (p : Ir.program) =
         end
     | Dma_wait { tag } ->
       let ftag = compile_expr slots tag in
-      fun st -> Sw26010.Core_group.wait_dma st.cg ~tag:(ftag st.env)
+      fun st ->
+        (* Fault site: a wait that raises models a reply-count timeout. *)
+        Prelude.Fault.check "interp.dma.wait";
+        Sw26010.Core_group.wait_dma st.cg ~tag:(ftag st.env)
     | Gemm { variant; m; n; k; a; b; c } ->
       let fm = compile_expr slots m and fn = compile_expr slots n and fk = compile_expr slots k in
       let fao = compile_expr slots a.g_offset and fal = compile_expr slots a.g_ld in

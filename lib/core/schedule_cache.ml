@@ -58,19 +58,49 @@ let remember t ~key:k entry =
 (* ------------------------------------------------------------------ *)
 (* Persistence: a versioned line-oriented text file, one entry per line.
    Unknown versions and malformed lines are ignored rather than fatal — a
-   cold cache is always a correct cache. *)
+   cold cache is always a correct cache. A file that turns out corrupt is
+   additionally quarantined (renamed to [path ^ ".corrupt"]) so the damaged
+   content survives for inspection instead of being silently overwritten by
+   the next save, and the warning is emitted once per path per process. *)
+
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+let warned_mutex = Mutex.create ()
+
+let warn_once path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Mutex.lock warned_mutex;
+      let fresh = not (Hashtbl.mem warned (path ^ "\x00" ^ msg)) in
+      if fresh then Hashtbl.replace warned (path ^ "\x00" ^ msg) ();
+      Mutex.unlock warned_mutex;
+      if fresh then Printf.eprintf "swatop: %s\n%!" msg)
+    fmt
+
+let quarantine path reason =
+  let dest = path ^ ".corrupt" in
+  (try Sys.rename path dest with Sys_error _ -> ());
+  warn_once path "schedule cache %s is corrupt (%s); quarantined to %s" path reason dest
 
 let load path =
   let t = create () in
-  (match open_in path with
+  (match
+     Prelude.Fault.check "cache.load";
+     open_in path
+   with
   | exception Sys_error _ -> ()
+  | exception e ->
+    (* An injected fault (or any unexpected read error) degrades to a cold
+       cache: tuning proceeds, just without reuse. *)
+    warn_once path "schedule cache load from %s failed (%s); starting cold" path
+      (Prelude.Swatop_error.label e)
   | ic ->
+    let bad = ref None in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         match input_line ic with
         | exception End_of_file -> ()
-        | header when String.trim header <> version_line -> ()
+        | header when String.trim header <> version_line -> bad := Some "unknown version header"
         | _ ->
           let rec loop () =
             match input_line ic with
@@ -87,35 +117,47 @@ let load path =
                 | Some fingerprint, Some space_size, Some index, Some seconds
                   when index >= 0 && index < space_size ->
                   Hashtbl.replace t.table k { fingerprint; space_size; index; seconds }
-                | _ -> ())
-              | _ -> ());
+                | _ -> if !bad = None then bad := Some "malformed entry line")
+              | _ -> if !bad = None then bad := Some "malformed entry line");
               loop ()
           in
-          loop ()));
+          loop ());
+    Option.iter (quarantine path) !bad);
   t
 
 let save path t =
   if t.dirty then begin
-    let tmp = path ^ ".tmp" in
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc version_line;
-        output_char oc '\n';
-        let lines =
-          Hashtbl.fold
-            (fun k e acc ->
-              Printf.sprintf "%s\t%d\t%d\t%d\t%.17g" k e.fingerprint e.space_size e.index
-                e.seconds
-              :: acc)
-            t.table []
-        in
-        List.iter
-          (fun l ->
-            output_string oc l;
-            output_char oc '\n')
-          (List.sort compare lines));
-    Sys.rename tmp path;
-    t.dirty <- false
+    (* PID-tagged temp name: two processes saving the same cache race only
+       on the final atomic rename, never on the bytes being written. *)
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+    let write () =
+      Prelude.Fault.check "cache.save";
+      let oc = open_out tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc version_line;
+          output_char oc '\n';
+          let lines =
+            Hashtbl.fold
+              (fun k e acc ->
+                Printf.sprintf "%s\t%d\t%d\t%d\t%.17g" k e.fingerprint e.space_size e.index
+                  e.seconds
+                :: acc)
+              t.table []
+          in
+          List.iter
+            (fun l ->
+              output_string oc l;
+              output_char oc '\n')
+            (List.sort compare lines));
+      Sys.rename tmp path;
+      t.dirty <- false
+    in
+    (* A failed save costs re-tuning next run, never this run's results. *)
+    try write () with
+    | e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      warn_once path "schedule cache save to %s failed (%s); results not persisted" path
+        (Prelude.Swatop_error.label e)
   end

@@ -12,8 +12,12 @@
 
     The on-disk format is a versioned line-oriented text file; unknown
     versions and malformed lines load as an empty/partial cache rather than
-    an error. Lookup statistics ({!hits}/{!misses}) feed the tuning
-    reports. *)
+    an error, and a corrupt file is quarantined to [path ^ ".corrupt"]
+    (warning once per path) so the damage survives for inspection. Load and
+    save degrade on I/O failure — and on the ["cache.load"] /
+    ["cache.save"] {!Prelude.Fault} sites — to a cold cache / a skipped
+    save, never an exception. Lookup statistics ({!hits}/{!misses}) feed
+    the tuning reports. *)
 
 type entry = {
   fingerprint : int;  (** {!fingerprint} of the space this entry was tuned on *)
@@ -27,11 +31,13 @@ type t
 val create : unit -> t
 
 val load : string -> t
-(** Missing, unreadable, or version-mismatched files yield an empty cache. *)
+(** Missing, unreadable, or version-mismatched files yield an empty cache;
+    version-mismatched or partially malformed files are also quarantined. *)
 
 val save : string -> t -> unit
-(** Writes atomically (temp file + rename), and only when entries changed
-    since [load]/the last [save]. *)
+(** Writes atomically (PID-tagged temp file + rename), and only when
+    entries changed since [load]/the last [save]. Failures warn and skip
+    the save. *)
 
 val key : op:string -> dims:int list -> string
 (** E.g. [key ~op:"matmul" ~dims:[512; 512; 512]] = ["matmul:512x512x512"].

@@ -1,0 +1,147 @@
+let version_line = "swatop-tune-checkpoint v1"
+
+type chunk = {
+  c_start : int;
+  c_len : int;
+  c_pruned : int;
+  c_entries : (int * float) list;
+  c_rejected : (string * int) list;
+  c_failed : (string * int) list;
+}
+
+type t = {
+  ck_key : string;
+  ck_fingerprint : int;
+  ck_space : int;
+  ck_top_k : int;
+  ck_chunks : chunk list;
+}
+
+type ctx = { cx_path : string; cx_key : string; cx_fingerprint : int }
+
+let fnv s =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h land max_int
+
+(* One checkpoint file per tuning key: concurrent tunes sharing a base path
+   (the graph compiler fanning out over distinct operators) never clobber
+   each other's partial state. *)
+let path_for ~base ~key = Printf.sprintf "%s.%08x.ckpt" base (fnv key land 0xffffffff)
+
+let matches t ~key ~fingerprint ~space ~top_k =
+  String.equal t.ck_key key && t.ck_fingerprint = fingerprint && t.ck_space = space
+  && t.ck_top_k = top_k
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: line-oriented, written whole via PID-tagged temp + rename so
+   a kill mid-write can never leave a half checkpoint under the real name.
+   A malformed file loads as [None] — losing a checkpoint only costs
+   re-scoring, never a wrong winner. *)
+
+let save path t =
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let write () =
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s\n" version_line;
+        Printf.fprintf oc "key %s\n" t.ck_key;
+        Printf.fprintf oc "space %d %d %d\n" t.ck_fingerprint t.ck_space t.ck_top_k;
+        List.iter
+          (fun c ->
+            Printf.fprintf oc "chunk %d %d %d\n" c.c_start c.c_len c.c_pruned;
+            List.iter (fun (i, s) -> Printf.fprintf oc "entry %d %.17g\n" i s) c.c_entries;
+            List.iter (fun (code, n) -> Printf.fprintf oc "rej %s %d\n" code n) c.c_rejected;
+            List.iter (fun (l, n) -> Printf.fprintf oc "fail %s %d\n" l n) c.c_failed;
+            Printf.fprintf oc "endchunk\n")
+          (List.sort (fun a b -> compare a.c_start b.c_start) t.ck_chunks));
+    Sys.rename tmp path
+  in
+  (* A checkpoint is pure insurance: failing to write one must not abort the
+     tune it protects. *)
+  try write () with Sys_error e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Printf.eprintf "swatop: checkpoint write to %s failed (%s); continuing without\n%!" path e
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let lines = ref [] in
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> ())
+     with Sys_error _ -> ());
+    let parse lines =
+      match lines with
+      | header :: rest when String.trim header = version_line -> (
+        match rest with
+        | key_line :: space_line :: body
+          when String.length key_line > 4 && String.sub key_line 0 4 = "key " -> (
+          let key = String.sub key_line 4 (String.length key_line - 4) in
+          match String.split_on_char ' ' space_line with
+          | [ "space"; fp; sz; tk ] -> (
+            match (int_of_string_opt fp, int_of_string_opt sz, int_of_string_opt tk) with
+            | Some fingerprint, Some space, Some top_k ->
+              (* Fold the body into complete chunks; any unparseable line
+                 invalidates the whole file (the scoring summaries must be
+                 trusted exactly or not at all). *)
+              let rec chunks acc cur = function
+                | [] -> if cur = None then Some (List.rev acc) else None
+                | line :: rest -> (
+                  match (String.split_on_char ' ' line, cur) with
+                  | [ "chunk"; a; b; c ], None -> (
+                    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+                    | Some c_start, Some c_len, Some c_pruned
+                      when c_start >= 0 && c_len >= 0 && c_pruned >= 0 ->
+                      chunks acc
+                        (Some
+                           {
+                             c_start;
+                             c_len;
+                             c_pruned;
+                             c_entries = [];
+                             c_rejected = [];
+                             c_failed = [];
+                           })
+                        rest
+                    | _ -> None)
+                  | [ "entry"; i; s ], Some c -> (
+                    match (int_of_string_opt i, float_of_string_opt s) with
+                    | Some i, Some s when i >= c.c_start && i < c.c_start + c.c_len ->
+                      chunks acc (Some { c with c_entries = c.c_entries @ [ (i, s) ] }) rest
+                    | _ -> None)
+                  | [ "rej"; code; n ], Some c -> (
+                    match int_of_string_opt n with
+                    | Some n when n > 0 ->
+                      chunks acc (Some { c with c_rejected = c.c_rejected @ [ (code, n) ] }) rest
+                    | _ -> None)
+                  | [ "fail"; l; n ], Some c -> (
+                    match int_of_string_opt n with
+                    | Some n when n > 0 ->
+                      chunks acc (Some { c with c_failed = c.c_failed @ [ (l, n) ] }) rest
+                    | _ -> None)
+                  | [ "endchunk" ], Some c -> chunks (c :: acc) None rest
+                  | _ -> None)
+              in
+              Option.map
+                (fun ck_chunks ->
+                  { ck_key = key; ck_fingerprint = fingerprint; ck_space = space;
+                    ck_top_k = top_k; ck_chunks })
+                (chunks [] None body)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None
+    in
+    parse (List.rev !lines)
+
+let clear path = try Sys.remove path with Sys_error _ -> ()

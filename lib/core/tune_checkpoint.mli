@@ -1,0 +1,53 @@
+(** Atomic partial-result checkpoints for long tuning runs.
+
+    {!Tuner.model_tune} scores a schedule space in contiguous chunks; with
+    a checkpoint context it persists every completed chunk's summary —
+    chunk-local top-k (candidate index + estimated seconds), pruned count,
+    verifier-rejection and failure histograms — after each chunk, via a
+    PID-tagged temp file and atomic rename. A tune killed mid-flight (or
+    aborted by an injected fault) resumes by reusing the summaries of
+    chunks whose (start, len) match the new run's chunking and re-scoring
+    only the rest; because per-chunk scoring is deterministic and the
+    merge is order-independent, the resumed run selects exactly the winner
+    an uninterrupted run would.
+
+    The file is guarded by the tuning key, the space fingerprint and size,
+    and the top-k width; any mismatch — or any unparseable content —
+    discards it (costing a fresh score, never a wrong winner). Completed
+    tunes delete their checkpoint. *)
+
+type chunk = {
+  c_start : int;
+  c_len : int;
+  c_pruned : int;
+  c_entries : (int * float) list;  (** chunk-local top-k: candidate index, estimated seconds *)
+  c_rejected : (string * int) list;  (** verifier rejections per diagnostic code *)
+  c_failed : (string * int) list;  (** captured crashes per exception label *)
+}
+
+type t = {
+  ck_key : string;
+  ck_fingerprint : int;
+  ck_space : int;
+  ck_top_k : int;
+  ck_chunks : chunk list;
+}
+
+(** What a caller hands {!Tuner.model_tune} to enable checkpointing. *)
+type ctx = { cx_path : string; cx_key : string; cx_fingerprint : int }
+
+val path_for : base:string -> key:string -> string
+(** Per-key checkpoint file next to a base path (e.g. the schedule cache):
+    concurrent tunes over distinct operators never share a file. *)
+
+val matches : t -> key:string -> fingerprint:int -> space:int -> top_k:int -> bool
+
+val save : string -> t -> unit
+(** Atomic (PID-tagged temp + rename); a failed write warns and returns —
+    checkpointing must never abort the tune it protects. *)
+
+val load : string -> t option
+(** [None] for missing, foreign-versioned, or malformed files. *)
+
+val clear : string -> unit
+(** Best-effort delete (a completed tune needs no checkpoint). *)

@@ -3,6 +3,7 @@ type report = {
   evaluated : int;
   pruned : int;
   verify_rejected : (string * int) list;
+  scored_failed : (string * int) list;
   cache_hit : bool;
   jobs : int;
   wall_seconds : float;
@@ -65,13 +66,13 @@ let rejections_summary l =
 
    Entries are kept ascending by (seconds, index); the lexicographic index
    tie-break makes the selected set independent of both evaluation order and
-   chunking, so parallel runs return exactly the sequential result. Only the
-   k best programs are ever retained — the rest of the space's IR is dropped
-   as soon as it has been scored, instead of materializing every prepared
-   program for one global sort. *)
+   chunking, so parallel runs return exactly the sequential result. Entries
+   carry only (index, candidate, estimated seconds) — never IR — so a chunk
+   summary round-trips through a checkpoint file unchanged; the few
+   finalists' programs are rebuilt deterministically after the merge. *)
 
 module Topk = struct
-  type 'a entry = { k_index : int; k_cand : 'a; k_program : Ir.program; k_seconds : float }
+  type 'a entry = { k_index : int; k_cand : 'a; k_seconds : float }
 
   type 'a t = { cap : int; mutable entries : 'a entry list; mutable count : int }
 
@@ -102,70 +103,175 @@ end
 (* ------------------------------------------------------------------ *)
 (* Model-based tuner (Sec. 4.6) with branch-and-bound pruning. *)
 
-let model_tune ?(top_k = 1) ?(prune = true) ?jobs ~gemm_model ~candidates ~build () =
+let model_tune ?(top_k = 1) ?(prune = true) ?jobs ?checkpoint ~gemm_model ~candidates ~build () =
   let candidates = require_nonempty candidates in
   if top_k < 1 then invalid_arg "Tuner.model_tune: top_k must be positive";
   let arr = Array.of_list candidates in
+  let space_size = Array.length arr in
   let wall0 = Prelude.Clock.wall () and cpu0 = Sys.time () in
+  (* Resume: chunk summaries from an interrupted run are reused verbatim when
+     their (start, len) matches this run's chunking — per-chunk scoring is
+     deterministic, so a reused summary equals what re-scoring would give. *)
+  let resumed : (int * int, Tune_checkpoint.chunk) Hashtbl.t = Hashtbl.create 8 in
+  (match checkpoint with
+  | None -> ()
+  | Some cx -> (
+    match Tune_checkpoint.load cx.Tune_checkpoint.cx_path with
+    | Some t
+      when Tune_checkpoint.matches t ~key:cx.cx_key ~fingerprint:cx.cx_fingerprint
+             ~space:space_size ~top_k ->
+      List.iter
+        (fun c -> Hashtbl.replace resumed (c.Tune_checkpoint.c_start, c.c_len) c)
+        t.Tune_checkpoint.ck_chunks
+    | _ -> ()));
+  let ck_mutex = Mutex.create () in
+  let ck_done : Tune_checkpoint.chunk list ref = ref [] in
+  let record_chunk c =
+    match checkpoint with
+    | None -> ()
+    | Some cx ->
+      Mutex.lock ck_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock ck_mutex)
+        (fun () ->
+          ck_done := c :: !ck_done;
+          Tune_checkpoint.save cx.Tune_checkpoint.cx_path
+            {
+              Tune_checkpoint.ck_key = cx.cx_key;
+              ck_fingerprint = cx.cx_fingerprint;
+              ck_space = space_size;
+              ck_top_k = top_k;
+              ck_chunks = !ck_done;
+            })
+  in
   (* Each chunk runs an ordered sequential scan with its own running top-k:
      the DMA-bytes-only bound is admissible, so a candidate is skipped only
      when its bound strictly exceeds the chunk's k-th best full estimate —
      such a candidate cannot enter the top-k, and the full estimate plus the
-     structural Ir_check are never paid for it. *)
+     structural Ir_check are never paid for it.
+
+     A candidate whose build/optimization/estimate raises is captured — not
+     propagated — and counted per exception label: one bad schedule must not
+     sink the whole space. The "tuner.score" fault site is keyed by candidate
+     index, so an injected probability plan fails the same candidate set
+     whatever the job count. *)
   let score base chunk =
-    let tk = Topk.create top_k in
-    let pruned = ref 0 in
-    let rejected = ref [] in
-    Array.iteri
-      (fun j c ->
-        let p = optimize (build c) in
-        if prune && Cost_model.dma_lower_bound p > Topk.threshold tk then incr pruned
-        else begin
-          let p = checked p in
-          match Ir_verify.errors (Ir_verify.verify p) with
-          | _ :: _ as errs -> rejected := add_rejections !rejected (rejection_codes errs)
-          | [] ->
-            let e = Cost_model.estimate ~gemm_model p in
-            Topk.insert tk
-              { Topk.k_index = base + j; k_cand = c; k_program = p; k_seconds = e.total_seconds }
-        end)
-      chunk;
-    (tk.Topk.entries, !pruned, !rejected)
+    match Hashtbl.find_opt resumed (base, Array.length chunk) with
+    | Some c ->
+      record_chunk c;
+      ( List.map (fun (i, s) -> { Topk.k_index = i; k_cand = arr.(i); k_seconds = s }) c.c_entries,
+        c.c_pruned,
+        c.c_rejected,
+        c.c_failed )
+    | None ->
+      let tk = Topk.create top_k in
+      let pruned = ref 0 in
+      let rejected = ref [] in
+      let failed = ref [] in
+      Array.iteri
+        (fun j c ->
+          let index = base + j in
+          match
+            Prelude.Fault.check ~key:index "tuner.score";
+            let p = optimize (build c) in
+            if prune && Cost_model.dma_lower_bound p > Topk.threshold tk then `Pruned
+            else begin
+              let p = checked p in
+              match Ir_verify.errors (Ir_verify.verify p) with
+              | _ :: _ as errs -> `Rejected (rejection_codes errs)
+              | [] -> `Scored (Cost_model.estimate ~gemm_model p).total_seconds
+            end
+          with
+          | `Pruned -> incr pruned
+          | `Rejected codes -> rejected := add_rejections !rejected codes
+          | `Scored s -> Topk.insert tk { Topk.k_index = index; k_cand = c; k_seconds = s }
+          | exception e ->
+            failed := merge_rejections !failed [ (Prelude.Swatop_error.label e, 1) ])
+        chunk;
+      let entries = tk.Topk.entries in
+      record_chunk
+        {
+          Tune_checkpoint.c_start = base;
+          c_len = Array.length chunk;
+          c_pruned = !pruned;
+          c_entries = List.map (fun (e : _ Topk.entry) -> (e.k_index, e.k_seconds)) entries;
+          c_rejected = sorted_rejections !rejected;
+          c_failed = sorted_rejections !failed;
+        };
+      (* The abort site sits at the chunk boundary, outside the per-candidate
+         capture: an injected "tuner.abort" kills the tune exactly as an
+         external SIGKILL between chunks would, leaving the checkpoint file
+         behind for the resume tests. *)
+      Prelude.Fault.check "tuner.abort";
+      (entries, !pruned, !rejected, !failed)
   in
   let chunk_results = Prelude.Parallel.map_chunks ?jobs ~f:score arr in
   let merged = Topk.create top_k in
-  List.iter (fun (entries, _, _) -> List.iter (Topk.insert merged) entries) chunk_results;
-  let pruned = List.fold_left (fun acc (_, p, _) -> acc + p) 0 chunk_results in
+  List.iter (fun (entries, _, _, _) -> List.iter (Topk.insert merged) entries) chunk_results;
+  let pruned = List.fold_left (fun acc (_, p, _, _) -> acc + p) 0 chunk_results in
   let verify_rejected =
-    sorted_rejections (List.fold_left (fun acc (_, _, rs) -> merge_rejections acc rs) [] chunk_results)
+    sorted_rejections
+      (List.fold_left (fun acc (_, _, rs, _) -> merge_rejections acc rs) [] chunk_results)
+  in
+  let score_failed =
+    List.fold_left (fun acc (_, _, _, fs) -> merge_rejections acc fs) [] chunk_results
   in
   if merged.Topk.entries = [] then
-    invalid_arg
-      (Printf.sprintf "Tuner.model_tune: every candidate rejected by the IR verifier (%s)"
-         (rejections_summary verify_rejected));
+    if score_failed = [] then
+      invalid_arg
+        (Printf.sprintf "Tuner.model_tune: every candidate rejected by the IR verifier (%s)"
+           (rejections_summary verify_rejected))
+    else
+      Prelude.Swatop_error.error ~site:"tuner.model_tune"
+        ~context:
+          (("failed", rejections_summary score_failed)
+          :: (if verify_rejected = [] then [] else [ ("rejected", rejections_summary verify_rejected) ]))
+        "every candidate failed or was rejected";
   let wall_scored = Prelude.Clock.wall () in
-  (* The finalists are compiled and timed on the machine; with top_k = 1
-     that is just the winner's validation run. *)
+  (* The finalists' programs are rebuilt (entries hold no IR so they can
+     round-trip through a checkpoint), then compiled and timed on the
+     machine; with top_k = 1 that is just the winner's validation run. A
+     finalist that fails measurement is skipped and counted, and the
+     next-best finalist wins instead. *)
+  let measure_failed = ref [] in
   let measured =
-    List.map
-      (fun (e : _ Topk.entry) -> (e, (Interp.run ~numeric:false e.k_program).seconds))
+    List.filter_map
+      (fun (e : _ Topk.entry) ->
+        match
+          let p = checked (optimize (build e.k_cand)) in
+          (p, (Interp.run ~numeric:false p).seconds)
+        with
+        | p, s -> Some (e, p, s)
+        | exception ex ->
+          measure_failed := merge_rejections !measure_failed [ (Prelude.Swatop_error.label ex, 1) ];
+          None)
       merged.Topk.entries
   in
-  let best_entry, best_seconds =
-    match measured with
-    | [] -> assert false
-    | first :: rest ->
-      List.fold_left (fun (be, bs) (e, s) -> if s < bs then (e, s) else (be, bs)) first rest
+  let scored_failed =
+    sorted_rejections (merge_rejections score_failed !measure_failed)
   in
+  let best_entry, best_program, best_seconds =
+    match measured with
+    | [] ->
+      Prelude.Swatop_error.error ~site:"tuner.model_tune"
+        ~context:[ ("failed", rejections_summary scored_failed) ]
+        "every finalist failed measurement"
+    | (e0, p0, s0) :: rest ->
+      List.fold_left
+        (fun (be, bp, bs) (e, p, s) -> if s < bs then (e, p, s) else (be, bp, bs))
+        (e0, p0, s0) rest
+  in
+  (match checkpoint with
+  | Some cx -> Tune_checkpoint.clear cx.Tune_checkpoint.cx_path
+  | None -> ());
   let wall1 = Prelude.Clock.wall () in
   let finalist_hw =
-    Prelude.Lists.sum_float (fun (_, s) -> per_candidate_compile_seconds +. s) measured
+    Prelude.Lists.sum_float (fun (_, _, s) -> per_candidate_compile_seconds +. s) measured
   in
-  let space_size = Array.length arr in
   {
     best = best_entry.Topk.k_cand;
     best_index = best_entry.Topk.k_index;
-    best_program = best_entry.Topk.k_program;
+    best_program;
     best_seconds;
     report =
       {
@@ -173,6 +279,7 @@ let model_tune ?(top_k = 1) ?(prune = true) ?jobs ~gemm_model ~candidates ~build
         evaluated = space_size - pruned;
         pruned;
         verify_rejected;
+        scored_failed;
         cache_hit = false;
         jobs = effective_jobs jobs;
         wall_seconds = wall1 -. wall0;
@@ -201,30 +308,43 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
   let measure base chunk =
     let best = ref None in
     let rejected = ref [] in
+    let failed = ref [] in
     Array.iteri
       (fun j c ->
-        let p = prepare (build c) in
-        match Ir_verify.errors (Ir_verify.verify p) with
-        | _ :: _ as errs ->
+        match
+          Prelude.Fault.check ~key:(base + j) "tuner.score";
+          let p = prepare (build c) in
+          match Ir_verify.errors (Ir_verify.verify p) with
+          | _ :: _ as errs -> `Rejected (rejection_codes errs)
+          | [] -> `Measured (p, (Interp.run ~numeric:false p).seconds)
+        with
+        | `Rejected codes ->
           skipped.(base + j) <- true;
-          rejected := add_rejections !rejected (rejection_codes errs)
-        | [] -> (
-          let s = (Interp.run ~numeric:false p).seconds in
+          rejected := add_rejections !rejected codes
+        | `Measured (p, s) -> (
           seconds.(base + j) <- s;
           match !best with
           | Some (_, _, bs) when bs <= s -> ()
-          | _ -> best := Some (base + j, p, s)))
+          | _ -> best := Some (base + j, p, s))
+        | exception e ->
+          skipped.(base + j) <- true;
+          failed := merge_rejections !failed [ (Prelude.Swatop_error.label e, 1) ])
       chunk;
-    (!best, !rejected)
+    (!best, !rejected, !failed)
   in
   let chunk_results = Prelude.Parallel.map_chunks ?jobs ~f:measure measured_candidates in
   let verify_rejected =
-    sorted_rejections (List.fold_left (fun acc (_, rs) -> merge_rejections acc rs) [] chunk_results)
+    sorted_rejections
+      (List.fold_left (fun acc (_, rs, _) -> merge_rejections acc rs) [] chunk_results)
+  in
+  let scored_failed =
+    sorted_rejections
+      (List.fold_left (fun acc (_, _, fs) -> merge_rejections acc fs) [] chunk_results)
   in
   let best_index, best_program, best_seconds =
     match
       List.fold_left
-        (fun acc (b, _) ->
+        (fun acc (b, _, _) ->
           match (acc, b) with
           | None, b -> b
           | acc, None -> acc
@@ -234,9 +354,17 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
     with
     | Some b -> b
     | None ->
-      invalid_arg
-        (Printf.sprintf "Tuner.blackbox_tune: every candidate rejected by the IR verifier (%s)"
-           (rejections_summary verify_rejected))
+      if scored_failed = [] then
+        invalid_arg
+          (Printf.sprintf "Tuner.blackbox_tune: every candidate rejected by the IR verifier (%s)"
+             (rejections_summary verify_rejected))
+      else
+        Prelude.Swatop_error.error ~site:"tuner.blackbox_tune"
+          ~context:
+            (("failed", rejections_summary scored_failed)
+            :: (if verify_rejected = [] then []
+                else [ ("rejected", rejections_summary verify_rejected) ]))
+          "every candidate failed or was rejected"
   in
   let wall1 = Prelude.Clock.wall () in
   let measured_hw = ref 0.0 in
@@ -259,6 +387,7 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
         evaluated = Array.length measured_candidates;
         pruned = 0;
         verify_rejected;
+        scored_failed;
         cache_hit = false;
         jobs = effective_jobs jobs;
         wall_seconds = wall1 -. wall0;

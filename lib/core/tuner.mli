@@ -37,6 +37,12 @@ type report = {
           codes counts once under each). Rejected candidates are part of
           [evaluated] — they were examined, just never selected. Empty on
           healthy schedule spaces. *)
+  scored_failed : (string * int) list;
+      (** candidates whose scoring or measurement raised, counted per
+          exception label ({!Prelude.Swatop_error.label}, sorted). Failed
+          candidates are captured and skipped — crash isolation — and can
+          never win; the tuner raises only when {e every} candidate failed
+          or was rejected. Empty on healthy runs. *)
   cache_hit : bool;  (** served from a {!Schedule_cache} instead of tuned *)
   jobs : int;  (** Domain-pool width the run was scored with *)
   wall_seconds : float;  (** host monotonic wall clock inside the tuner *)
@@ -74,6 +80,7 @@ val model_tune :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?checkpoint:Tune_checkpoint.ctx ->
   gemm_model:Gemm_cost.t ->
   candidates:'a list ->
   build:('a -> Ir.program) ->
@@ -87,8 +94,20 @@ val model_tune :
     as a switch only for A/B measurement. Every surviving candidate is
     passed through {!Ir_verify}; candidates with error diagnostics are
     rejected (counted in the report's [verify_rejected]) and can never win.
-    Raises [Invalid_argument] on an empty candidate list, or when the
-    verifier rejects the entire space. *)
+
+    Robustness: a candidate whose build, optimization, estimate, or finalist
+    measurement raises is captured, counted in [scored_failed], and skipped
+    — one crashing schedule never sinks the tune. With [checkpoint], every
+    completed chunk's summary is persisted atomically
+    ({!Tune_checkpoint.save}); an interrupted run resumes from matching
+    chunk summaries and provably selects the same winner as an
+    uninterrupted run, and a completed run deletes its checkpoint. Fault
+    sites (see {!Prelude.Fault}): ["tuner.score"] keyed by candidate index,
+    ["tuner.abort"] at chunk boundaries.
+
+    Raises [Invalid_argument] on an empty candidate list or a fully
+    verifier-rejected space, and {!Prelude.Swatop_error.Error} when every
+    candidate failed or every finalist failed measurement. *)
 
 val blackbox_tune :
   ?repetitions:int ->
@@ -103,4 +122,6 @@ val blackbox_tune :
     Table 3 reproductions tractable; the report's [evaluated] field records
     the actual count. [repetitions] (default 3) models repeated timing runs
     on real hardware. [best_index] refers to the original candidate list
-    even when sampling. *)
+    even when sampling. Per-candidate crashes are captured into
+    [scored_failed] exactly as in {!model_tune} (fault site ["tuner.score"]
+    keyed by measured-candidate index). *)

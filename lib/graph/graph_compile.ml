@@ -23,7 +23,7 @@ type impl = {
 type copy_step = { cs_spec : Graph_layout.t; cs_program : Swatop.Ir.program; cs_seconds : float }
 
 type step =
-  | Layer of { st_node : Graph_ir.node; st_impl : impl }
+  | Layer of { st_node : Graph_ir.node; st_impl : impl; st_fallbacks : impl list }
   | Copy of copy_step
 
 type plan = {
@@ -40,7 +40,10 @@ type plan = {
 let buf_elems (p : Swatop.Ir.program) name =
   match List.find_opt (fun (b : Swatop.Ir.buf) -> String.equal b.buf_name name) p.bufs with
   | Some b -> b.cg_elems
-  | None -> invalid_arg (Printf.sprintf "Graph_compile: program has no buffer %s" name)
+  | None ->
+    Prelude.Swatop_error.error ~site:"graph.compile"
+      ~context:[ ("program", p.prog_name); ("buffer", name) ]
+      "program has no such buffer"
 
 let zeros4 (s : Graph_ir.shape4) =
   Swtensor.Tensor.create (Swtensor.Shape.of_list [ s.sb; s.sc; s.sh; s.sw ])
@@ -51,8 +54,8 @@ let zeros4 (s : Graph_ir.shape4) =
    is what lets the DP trade a relayout against re-dispatching a layer
    under the neighbor's layout. *)
 
-let conv_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) spec =
-  Dispatch.all ?cache ?top_k ?prune ?jobs ~gemm_model spec
+let conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) spec =
+  Dispatch.all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec
   |> List.filter_map (fun (algo, choice) ->
          Option.map
            (fun (c : Dispatch.choice) ->
@@ -78,10 +81,11 @@ let conv_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) spec =
              })
            choice)
 
-let dense_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) ~d_in ~d_out =
+let dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) ~d_in
+    ~d_out =
   let b = n.Graph_ir.in_shape.Graph_ir.sb in
   let t = Matmul.problem ~m:b ~n:d_out ~k:d_in in
-  let o = Matmul.tune ?cache ?top_k ?prune ?jobs ~gemm_model t in
+  let o = Matmul.tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model t in
   let best = o.Swatop.Tuner.best in
   let program = o.best_program in
   let flatten_a input =
@@ -139,11 +143,11 @@ let op_key (n : Graph_ir.node) =
   | Graph_ir.Dense { d_in; d_out } ->
     Printf.sprintf "dense:%d:%d:%d" n.Graph_ir.in_shape.Graph_ir.sb d_in d_out
 
-let node_impls ?cache ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) =
+let node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) =
   match n.Graph_ir.op with
-  | Graph_ir.Conv spec -> conv_impls ?cache ?top_k ?prune ?jobs ~gemm_model n spec
+  | Graph_ir.Conv spec -> conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model n spec
   | Graph_ir.Dense { d_in; d_out } ->
-    dense_impls ?cache ?top_k ?prune ?jobs ~gemm_model n ~d_in ~d_out
+    dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model n ~d_in ~d_out
 
 (* ------------------------------------------------------------------ *)
 (* Edge costs: an inter-layer copy is built, optimized and costed through
@@ -172,7 +176,7 @@ let edge_seconds = function None -> 0.0 | Some cs -> cs.cs_seconds
 
 (* ------------------------------------------------------------------ *)
 
-let compile ?cache ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
+let compile ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
   let wall0 = Prelude.Clock.wall () in
   let nodes = Array.of_list g.Graph_ir.nodes in
   if Array.length nodes = 0 then invalid_arg "Graph_compile.compile: empty graph";
@@ -186,7 +190,7 @@ let compile ?cache ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
     |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
   in
   let tuned =
-    let tune_one (_, i) = node_impls ?cache ?top_k ?prune ?jobs ~gemm_model nodes.(i) in
+    let tune_one (_, i) = node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model nodes.(i) in
     match cache with
     | None -> Prelude.Parallel.parallel_map ?jobs tune_one distinct
     | Some _ -> List.map tune_one distinct
@@ -194,10 +198,13 @@ let compile ?cache ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
   let impls_by_key = Hashtbl.create 16 in
   List.iter2 (fun (k, _) impls -> Hashtbl.replace impls_by_key k impls) distinct tuned;
   let opts =
-    Array.map
-      (fun k ->
+    Array.mapi
+      (fun i k ->
         match Hashtbl.find impls_by_key k with
-        | [] -> invalid_arg "Graph_compile: no applicable implementation"
+        | [] ->
+          Prelude.Swatop_error.error ~site:"graph.compile"
+            ~context:[ ("node", nodes.(i).Graph_ir.node_name); ("op", k) ]
+            "no applicable implementation"
         | l -> Array.of_list l)
       keys
   in
@@ -247,12 +254,25 @@ let compile ?cache ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
   for i = n - 1 downto 1 do
     chosen.(i - 1) <- back.(i).(chosen.(i))
   done;
-  (* Materialize the step list with the copies the plan actually needs. *)
+  (* Materialize the step list with the copies the plan actually needs.
+     Every layer also carries its degradation chain: the node's remaining
+     implementations, fastest first, with the guaranteed-applicable
+     explicit GEMM pinned last as the terminal fallback. The executor walks
+     the chain when the chosen implementation fails at run time. *)
+  let fallbacks_for i =
+    let chosen_im = opts.(i).(chosen.(i)) in
+    let others =
+      Array.to_list opts.(i) |> List.filter (fun im -> not (im == chosen_im))
+    in
+    let sorted = List.stable_sort (fun a b -> compare a.im_seconds b.im_seconds) others in
+    let explicit, rest = List.partition (fun im -> String.equal im.im_algo "explicit") sorted in
+    rest @ explicit
+  in
   let steps = ref [] in
   let push s = steps := s :: !steps in
   (match in_edge chosen.(0) with None -> () | Some cs -> push (Copy cs));
   for i = 0 to n - 1 do
-    push (Layer { st_node = nodes.(i); st_impl = opts.(i).(chosen.(i)) });
+    push (Layer { st_node = nodes.(i); st_impl = opts.(i).(chosen.(i)); st_fallbacks = fallbacks_for i });
     if i < n - 1 then
       match edge i chosen.(i) chosen.(i + 1) with None -> () | Some cs -> push (Copy cs)
   done;

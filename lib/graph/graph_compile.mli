@@ -40,7 +40,14 @@ type copy_step = {
 }
 
 type step =
-  | Layer of { st_node : Graph_ir.node; st_impl : impl }
+  | Layer of {
+      st_node : Graph_ir.node;
+      st_impl : impl;
+      st_fallbacks : impl list;
+          (** degradation chain: the node's remaining implementations,
+              fastest first, explicit GEMM pinned last (terminal fallback).
+              Empty for dense nodes, which have a single implementation. *)
+    }
   | Copy of copy_step
 
 type plan = {
@@ -58,6 +65,7 @@ type plan = {
 
 val compile :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
@@ -66,4 +74,9 @@ val compile :
   plan
 (** Tune (distinct problems once; in parallel unless [?cache] is given —
     the cache's hashtable is not domain-safe), assign layouts, and emit the
-    step list. *)
+    step list. [?checkpoint] is the base path for interruption-safe partial
+    tuning results (see {!Swatop_ops.Op_common.cached_model_tune}); an
+    operator whose tuner crashed is dropped from dispatch with a warning
+    rather than failing the compile, as long as another algorithm for the
+    node survives. Raises {!Prelude.Swatop_error.Error} when a node ends up
+    with no implementation at all. *)

@@ -9,6 +9,14 @@ type layer_report = {
   lr_max_err : float option;  (** numeric mode only *)
 }
 
+type incident = {
+  i_site : string;  (** "graph.layer" | "graph.copy" *)
+  i_step : string;  (** layer name or copy descriptor *)
+  i_causes : string list;  (** one label per failed attempt, in attempt order *)
+  i_retries : int;  (** attempts that failed before one succeeded *)
+  i_final : string;  (** strategy that completed the step *)
+}
+
 type report = {
   r_graph_name : string;
   r_batch : int;
@@ -25,13 +33,19 @@ type report = {
   r_arena : Graph_plan.arena;
   r_tune_wall : float;
   r_max_err : float option;  (** worst layer-by-layer deviation (numeric mode) *)
+  r_incidents : incident list;  (** fallback activations, in execution order *)
 }
 
 let max_diff a b =
   let da = Swtensor.Tensor.data a and db = Swtensor.Tensor.data b in
-  if Array.length da <> Array.length db then invalid_arg "Graph_exec: shape mismatch vs reference";
+  if Array.length da <> Array.length db then
+    Prelude.Swatop_error.error ~site:"graph.exec"
+      ~context:[ ("got", string_of_int (Array.length da)); ("want", string_of_int (Array.length db)) ]
+      "shape mismatch vs reference";
   let m = ref 0.0 in
   Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. db.(i)))) da;
+  if Float.is_nan !m then
+    Prelude.Swatop_error.error ~site:"graph.exec" "non-finite deviation vs reference";
   !m
 
 let shape_of (s : Graph_ir.shape4) =
@@ -51,6 +65,13 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
        else [||])
   in
   let ref_t = ref input_t in
+  let incidents = ref [] in
+  (* Every step commits its state updates ([cur]/[ref_t]) only after an
+     attempt has fully succeeded — numeric execution, reference check, and
+     cost run alike — so a failed attempt leaves the live activation intact
+     for the next entry in the degradation chain. Failed attempts never
+     mutate [cur]: programs only Get from their input buffer, and each
+     attempt's other bindings are freshly allocated. *)
   let layers =
     List.map
       (fun (s : Graph_compile.step) ->
@@ -58,63 +79,172 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
         | Graph_compile.Copy cs ->
           let spec = cs.Graph_compile.cs_spec in
           let kind = if Graph_layout.shape_adapting spec then "adapter" else "relayout" in
-          let err =
-            if numeric then begin
-              let dst = Array.make spec.Graph_layout.cp_dst_elems 0.0 in
-              let bindings = [ ("src", !cur); ("dst", dst) ] in
-              ignore (Swatop.Interp.run ~numeric:true ~bindings cs.Graph_compile.cs_program);
-              cur := dst;
-              ref_t := Graph_layout.adapt_tensor spec !ref_t;
-              let got =
-                Graph_layout.unpack ~layout:spec.Graph_layout.cp_dst_layout
-                  ~shape:spec.Graph_layout.cp_dst_shape !cur
-              in
-              Some (max_diff got !ref_t)
-            end
-            else None
+          let name = Graph_layout.describe spec in
+          let device () =
+            (* Fault site: models the relayout program dying on the device. *)
+            Prelude.Fault.check "graph.copy";
+            let state =
+              if numeric then begin
+                let dst = Array.make spec.Graph_layout.cp_dst_elems 0.0 in
+                let bindings = [ ("src", !cur); ("dst", dst) ] in
+                ignore (Swatop.Interp.run ~numeric:true ~bindings cs.Graph_compile.cs_program);
+                let next_ref = Graph_layout.adapt_tensor spec !ref_t in
+                let got =
+                  Graph_layout.unpack ~layout:spec.Graph_layout.cp_dst_layout
+                    ~shape:spec.Graph_layout.cp_dst_shape dst
+                in
+                Some (dst, next_ref, max_diff got next_ref)
+              end
+              else None
+            in
+            let r = Swatop.Interp.run ~numeric:false cs.Graph_compile.cs_program in
+            ( kind,
+              "",
+              state,
+              r.Swatop.Interp.seconds,
+              r.Swatop.Interp.dma_busy_seconds,
+              r.Swatop.Interp.compute_busy_seconds )
           in
-          let r = Swatop.Interp.run ~numeric:false cs.Graph_compile.cs_program in
+          (* Terminal fallback: the host-side oracle performs the copy. It
+             is charged the planned device seconds (the step still has to
+             happen); DMA/compute occupancy is unknowable and reported 0. *)
+          let host () =
+            let state =
+              if numeric then begin
+                let dst = Graph_layout.apply_ref spec !cur in
+                let next_ref = Graph_layout.adapt_tensor spec !ref_t in
+                let got =
+                  Graph_layout.unpack ~layout:spec.Graph_layout.cp_dst_layout
+                    ~shape:spec.Graph_layout.cp_dst_shape dst
+                in
+                Some (dst, next_ref, max_diff got next_ref)
+              end
+              else None
+            in
+            ("host-copy", "host fallback", state, cs.Graph_compile.cs_seconds, 0.0, 0.0)
+          in
+          let kind, desc, state, secs, dma, compute =
+            match device () with
+            | result -> result
+            | exception e ->
+              let cause = Prelude.Swatop_error.label e in
+              let result = host () in
+              incidents :=
+                {
+                  i_site = "graph.copy";
+                  i_step = name;
+                  i_causes = [ cause ];
+                  i_retries = 1;
+                  i_final = "host-copy";
+                }
+                :: !incidents;
+              result
+          in
+          (match state with
+          | Some (next_cur, next_ref, _) ->
+            cur := next_cur;
+            ref_t := next_ref
+          | None -> ());
           {
-            lr_name = Graph_layout.describe spec;
+            lr_name = name;
             lr_kind = kind;
-            lr_desc = "";
-            lr_seconds = r.Swatop.Interp.seconds;
+            lr_desc = desc;
+            lr_seconds = secs;
             lr_flops = 0.0;
-            lr_dma_seconds = r.Swatop.Interp.dma_busy_seconds;
-            lr_compute_seconds = r.Swatop.Interp.compute_busy_seconds;
-            lr_max_err = err;
+            lr_dma_seconds = dma;
+            lr_compute_seconds = compute;
+            lr_max_err = Option.map (fun (_, _, e) -> e) state;
           }
-        | Graph_compile.Layer { st_node; st_impl } ->
-          let err =
-            if numeric then begin
-              let weight =
-                Swtensor.Tensor.random ~seed:(seed + 1000 + st_node.Graph_ir.id)
-                  st_impl.Graph_compile.im_weight_shape
-              in
-              let bindings = st_impl.Graph_compile.im_bindings ~weight in
-              let bindings =
-                (st_impl.Graph_compile.im_in_buf, !cur)
-                :: List.remove_assoc st_impl.Graph_compile.im_in_buf bindings
-              in
-              ignore
-                (Swatop.Interp.run ~numeric:true ~bindings st_impl.Graph_compile.im_program);
-              cur := List.assoc st_impl.Graph_compile.im_out_buf bindings;
-              let got = st_impl.Graph_compile.im_unpack bindings in
-              ref_t := st_impl.Graph_compile.im_reference ~input:!ref_t ~weight;
-              Some (max_diff got !ref_t)
-            end
-            else None
+        | Graph_compile.Layer { st_node; st_impl; st_fallbacks } ->
+          let weight_for (im : Graph_compile.impl) =
+            Swtensor.Tensor.random ~seed:(seed + 1000 + st_node.Graph_ir.id)
+              im.Graph_compile.im_weight_shape
           in
-          let r = Swatop.Interp.run ~numeric:false st_impl.Graph_compile.im_program in
+          let attempt (im : Graph_compile.impl) =
+            (* Fault site: models the layer's kernel dying mid-run. *)
+            Prelude.Fault.check "graph.layer";
+            let state =
+              if numeric then begin
+                let weight = weight_for im in
+                let input_arr =
+                  if im == st_impl then !cur
+                  else
+                    (* Bridge layouts host-side: the live activation is in
+                       the chosen implementation's input layout; the
+                       fallback may want another packing. *)
+                    Graph_layout.unpack ~layout:st_impl.Graph_compile.im_in_layout
+                      ~shape:st_node.Graph_ir.in_shape !cur
+                    |> Graph_layout.pack ~layout:im.Graph_compile.im_in_layout
+                         ~shape:st_node.Graph_ir.in_shape ~elems:im.Graph_compile.im_in_elems
+                in
+                let bindings = im.Graph_compile.im_bindings ~weight in
+                let bindings =
+                  (im.Graph_compile.im_in_buf, input_arr)
+                  :: List.remove_assoc im.Graph_compile.im_in_buf bindings
+                in
+                ignore (Swatop.Interp.run ~numeric:true ~bindings im.Graph_compile.im_program);
+                let got = im.Graph_compile.im_unpack bindings in
+                let next_ref = im.Graph_compile.im_reference ~input:!ref_t ~weight in
+                let err = max_diff got next_ref in
+                let next_cur =
+                  if im == st_impl then List.assoc im.Graph_compile.im_out_buf bindings
+                  else
+                    (* Convert the fallback's output back to the chosen
+                       layout: downstream steps are untouched by the swap. *)
+                    Graph_layout.pack ~layout:st_impl.Graph_compile.im_out_layout
+                      ~shape:st_node.Graph_ir.out_shape
+                      ~elems:st_impl.Graph_compile.im_out_elems got
+                in
+                Some (next_cur, next_ref, err)
+              end
+              else None
+            in
+            let r = Swatop.Interp.run ~numeric:false im.Graph_compile.im_program in
+            (im, state, r)
+          in
+          let causes = ref [] in
+          let rec walk = function
+            | [] ->
+              Prelude.Swatop_error.error ~site:"graph.layer"
+                ~context:
+                  [
+                    ("step", st_node.Graph_ir.node_name);
+                    ("causes", String.concat "," (List.rev !causes));
+                  ]
+                "every implementation failed"
+            | im :: rest -> (
+              match attempt im with
+              | result -> result
+              | exception e ->
+                causes := Prelude.Swatop_error.label e :: !causes;
+                walk rest)
+          in
+          let im, state, r = walk (st_impl :: st_fallbacks) in
+          (match state with
+          | Some (next_cur, next_ref, _) ->
+            cur := next_cur;
+            ref_t := next_ref
+          | None -> ());
+          let retries = List.length !causes in
+          if retries > 0 then
+            incidents :=
+              {
+                i_site = "graph.layer";
+                i_step = st_node.Graph_ir.node_name;
+                i_causes = List.rev !causes;
+                i_retries = retries;
+                i_final = im.Graph_compile.im_algo;
+              }
+              :: !incidents;
           {
             lr_name = st_node.Graph_ir.node_name;
-            lr_kind = st_impl.Graph_compile.im_algo;
-            lr_desc = st_impl.Graph_compile.im_desc;
+            lr_kind = im.Graph_compile.im_algo;
+            lr_desc = im.Graph_compile.im_desc;
             lr_seconds = r.Swatop.Interp.seconds;
             lr_flops = Graph_ir.node_flops st_node;
             lr_dma_seconds = r.Swatop.Interp.dma_busy_seconds;
             lr_compute_seconds = r.Swatop.Interp.compute_busy_seconds;
-            lr_max_err = err;
+            lr_max_err = Option.map (fun (_, _, e) -> e) state;
           })
       plan.Graph_compile.p_steps
   in
@@ -143,6 +273,7 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
     r_arena = arena;
     r_tune_wall = plan.Graph_compile.p_tune_wall;
     r_max_err = max_err;
+    r_incidents = List.rev !incidents;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -182,6 +313,16 @@ let to_text r =
   (match r.r_max_err with
   | Some e -> Buffer.add_string b (Printf.sprintf "  numeric: max layer error %.3e\n" e)
   | None -> ());
+  if r.r_incidents <> [] then begin
+    Buffer.add_string b (Printf.sprintf "  incidents: %d\n" (List.length r.r_incidents));
+    List.iter
+      (fun i ->
+        Buffer.add_string b
+          (Printf.sprintf "    %s %s: %d retr%s (%s) -> %s\n" i.i_site i.i_step i.i_retries
+             (if i.i_retries = 1 then "y" else "ies")
+             (String.concat ", " i.i_causes) i.i_final))
+      r.r_incidents
+  end;
   Buffer.add_string b (Printf.sprintf "  tuning wall: %.2f s\n" r.r_tune_wall);
   Buffer.contents b
 
@@ -235,6 +376,21 @@ let to_json r =
   (match r.r_max_err with
   | Some e -> Buffer.add_string b (Printf.sprintf "  \"max_err\": %.9e,\n" e)
   | None -> ());
+  Buffer.add_string b "  \"incidents\": [\n";
+  let ni = List.length r.r_incidents in
+  List.iteri
+    (fun idx i ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"site\": \"%s\", \"step\": \"%s\", \"causes\": [%s], \"retries\": %d, \
+            \"final\": \"%s\"}%s\n"
+           (json_escape i.i_site) (json_escape i.i_step)
+           (String.concat ", "
+              (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) i.i_causes))
+           i.i_retries (json_escape i.i_final)
+           (if idx < ni - 1 then "," else "")))
+    r.r_incidents;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b (Printf.sprintf "  \"tune_wall_seconds\": %.3f\n" r.r_tune_wall);
   Buffer.add_string b "}";
   Buffer.contents b

@@ -6,7 +6,19 @@
     splits. Numeric mode additionally threads a real activation through
     the chain — each layer (and each relayout/adapter copy) is checked
     against a host-side reference immediately, so a wrong answer is
-    pinned to the step that produced it. *)
+    pinned to the step that produced it.
+
+    Resilience: when a step's attempt raises — an injected fault (sites
+    ["graph.layer"], ["graph.copy"], and the interpreter's DMA sites), an
+    interpreter bounds check, or a non-finite reference deviation — the
+    executor retries down the step's degradation chain: a layer walks
+    {!Graph_compile.step.Layer}'s [st_fallbacks] (terminating at explicit
+    GEMM), a copy falls back to the host-side oracle. State commits only
+    after a fully successful attempt, fallback inputs/outputs are bridged
+    host-side to the chosen layouts so neighboring steps are untouched,
+    and every activation of a chain is recorded as an {!incident} in the
+    report (and its text/JSON renderings). Only a fully exhausted chain
+    raises ({!Prelude.Swatop_error.Error}). *)
 
 type layer_report = {
   lr_name : string;
@@ -17,6 +29,16 @@ type layer_report = {
   lr_dma_seconds : float;
   lr_compute_seconds : float;
   lr_max_err : float option;  (** vs the layer-by-layer reference; numeric mode only *)
+}
+
+(** One activated degradation chain: which step degraded, what each failed
+    attempt died of, and which strategy finally completed it. *)
+type incident = {
+  i_site : string;  (** ["graph.layer"] or ["graph.copy"] *)
+  i_step : string;  (** layer name or copy descriptor *)
+  i_causes : string list;  (** exception label per failed attempt, in order *)
+  i_retries : int;
+  i_final : string;  (** algorithm name, or ["host-copy"] for copies *)
 }
 
 type report = {
@@ -35,6 +57,7 @@ type report = {
   r_arena : Graph_plan.arena;
   r_tune_wall : float;
   r_max_err : float option;
+  r_incidents : incident list;  (** fallback activations, in execution order *)
 }
 
 val run : ?numeric:bool -> ?seed:int -> Graph_compile.plan -> report

@@ -36,7 +36,7 @@ let step_name (s : Graph_compile.step) =
 let scratch_allocs i (s : Graph_compile.step) =
   match s with
   | Graph_compile.Copy _ -> []
-  | Graph_compile.Layer { st_node; st_impl } ->
+  | Graph_compile.Layer { st_node; st_impl; _ } ->
     let keep = [ st_impl.im_in_buf; st_impl.im_out_buf; st_impl.im_weight_buf ] in
     List.filter_map
       (fun (b : Swatop.Ir.buf) ->

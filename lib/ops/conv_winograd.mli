@@ -64,6 +64,7 @@ val unpack_output : t -> (string * float array) list -> Swtensor.Tensor.t
 
 val tune :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->

@@ -22,7 +22,7 @@ let applicable algo spec =
 let input_buffer = function Implicit -> "input" | Winograd -> "input" | Explicit -> "input"
 let output_buffer = function Implicit -> "output" | Winograd -> "output" | Explicit -> "outmat"
 
-let tune ?cache ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
+let tune ?cache ?checkpoint ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
   if not (applicable algo spec) then None
   else
     let outcome_to_choice describe bindings_for unpack (o : _ Swatop.Tuner.outcome) =
@@ -43,35 +43,67 @@ let tune ?cache ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
         (outcome_to_choice Conv_implicit.describe
            (fun s ~input ~weight -> Conv_implicit.bindings_for t s ~input ~weight)
            (Conv_implicit.unpack_output t)
-           (Conv_implicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_implicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
     | Winograd ->
       let t = Conv_winograd.problem spec in
       Some
         (outcome_to_choice Conv_winograd.describe
            (fun s ~input ~weight -> Conv_winograd.bindings_for t s ~input ~weight)
            (Conv_winograd.unpack_output t)
-           (Conv_winograd.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_winograd.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
     | Explicit ->
       let t = Conv_explicit.problem spec in
       Some
         (outcome_to_choice Conv_explicit.describe
            (fun s ~input ~weight -> Conv_explicit.bindings_for t s ~input ~weight)
            (Conv_explicit.unpack_output t)
-           (Conv_explicit.tune ?cache ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_explicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
 
-let all ?cache ?top_k ?prune ?jobs ~gemm_model spec =
+(* Graceful degradation: one algorithm's tuner blowing up (a buggy space, an
+   injected fault) must not take down the dispatch — the algorithm is
+   dropped with a warning and the others still compete. Only when every
+   applicable algorithm is gone does the failure surface, as a structured
+   error naming the casualties. *)
+let all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
   List.map
-    (fun algo -> (algo, tune ?cache ?top_k ?prune ?jobs ~gemm_model algo spec))
+    (fun algo ->
+      ( algo,
+        match tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model algo spec with
+        | c -> c
+        | exception e ->
+          Printf.eprintf "swatop: conv algorithm %s failed to tune (%s); dropped from dispatch\n%!"
+            (algo_name algo)
+            (Prelude.Swatop_error.label e);
+          None ))
     [ Implicit; Winograd; Explicit ]
 
-let best_opt ?cache ?top_k ?prune ?jobs ~gemm_model spec =
-  let choices = List.filter_map snd (all ?cache ?top_k ?prune ?jobs ~gemm_model spec) in
+let ranked ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
+  let choices = List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec) in
+  if choices = [] && List.exists (fun a -> applicable a spec) [ Implicit; Winograd; Explicit ]
+  then
+    Prelude.Swatop_error.error ~site:"dispatch.ranked"
+      ~context:[ ("spec", Swtensor.Conv_spec.to_string spec) ]
+      "every applicable conv algorithm failed to tune";
+  (* Fastest first, but explicit GEMM — the only algorithm guaranteed to
+     apply — is pinned last: it is the terminal fallback of the chain, never
+     an intermediate step. *)
+  let sorted = List.stable_sort (fun a b -> compare a.c_seconds b.c_seconds) choices in
+  let explicit, others = List.partition (fun c -> c.c_algo = Explicit) sorted in
+  others @ explicit
+
+let best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
+  let choices =
+    List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec)
+  in
   match choices with
   | [] -> None
   | first :: rest ->
     Some (List.fold_left (fun acc c -> if c.c_seconds < acc.c_seconds then c else acc) first rest)
 
-let best ?cache ?top_k ?prune ?jobs ~gemm_model spec =
-  match best_opt ?cache ?top_k ?prune ?jobs ~gemm_model spec with
+let best ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
+  match best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec with
   | Some c -> c
-  | None -> invalid_arg "Dispatch.best: no tensorized algorithm applies"
+  | None ->
+    Prelude.Swatop_error.error ~site:"dispatch.best"
+      ~context:[ ("spec", Swtensor.Conv_spec.to_string spec) ]
+      "no tensorized algorithm produced an implementation"

@@ -39,6 +39,7 @@ val output_buffer : algo -> string
 
 val tune :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
@@ -47,11 +48,13 @@ val tune :
   Swtensor.Conv_spec.t ->
   choice option
 (** Tune one algorithm; [None] when it does not apply to the problem. With
-    [?cache], warm entries short-circuit re-tuning (see
+    [?cache], warm entries short-circuit re-tuning; [?checkpoint] is the
+    base path for interruption-safe partial results (see
     {!Op_common.cached_model_tune}). *)
 
 val best :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
@@ -60,10 +63,12 @@ val best :
   choice
 (** Tune all applicable algorithms and return the fastest. Since explicit
     GEMM applies everywhere, this succeeds for every valid [Conv_spec];
-    [Invalid_argument] is reserved for the (unreachable) empty case. *)
+    {!Prelude.Swatop_error.Error} surfaces only when every algorithm's
+    tuner crashed (see {!all}). *)
 
 val best_opt :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
@@ -72,12 +77,31 @@ val best_opt :
   choice option
 (** Like {!best} but [None] instead of raising when no algorithm applies. *)
 
+val ranked :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  Swtensor.Conv_spec.t ->
+  choice list
+(** The degradation chain: every applicable algorithm that tuned
+    successfully, fastest first, with explicit GEMM pinned last as the
+    terminal fallback. Execution-time recovery walks this list in order.
+    Raises {!Prelude.Swatop_error.Error} only when algorithms were
+    applicable but every one of them failed to tune. *)
+
 val all :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   (algo * choice option) list
-(** Every algorithm's outcome, in [Implicit; Winograd; Explicit] order. *)
+(** Every algorithm's outcome, in [Implicit; Winograd; Explicit] order. An
+    algorithm whose tuner {e raised} is reported as [None] exactly like an
+    inapplicable one, after a one-line warning on stderr — one crashing
+    algorithm never takes down the dispatch. *)

@@ -51,6 +51,7 @@ val reference : a:Swtensor.Tensor.t -> b:Swtensor.Tensor.t -> Swtensor.Tensor.t
 
 val tune :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->

@@ -309,6 +309,7 @@ let cache_outcome ~space_size ~jobs entry candidates build =
         evaluated = 0;
         pruned = 0;
         verify_rejected = [];
+        scored_failed = [];
         cache_hit = true;
         jobs;
         wall_seconds = wall1 -. wall0;
@@ -320,10 +321,26 @@ let cache_outcome ~space_size ~jobs entry candidates build =
       };
   }
 
-let cached_model_tune ?cache ?top_k ?prune ?jobs ~op ~dims ~gemm_model ~describe ~candidates
-    ~build () =
+let cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op ~dims ~gemm_model ~describe
+    ~candidates ~build () =
+  (* A checkpoint base path expands to a per-key context: the key routes
+     concurrent op tunes to distinct files, the fingerprint guards against
+     resuming onto a changed schedule space. *)
+  let ckpt () =
+    Option.map
+      (fun base ->
+        let key = Swatop.Schedule_cache.key ~op ~dims in
+        {
+          Swatop.Tune_checkpoint.cx_path = Swatop.Tune_checkpoint.path_for ~base ~key;
+          cx_key = key;
+          cx_fingerprint = Swatop.Schedule_cache.fingerprint (List.map describe candidates);
+        })
+      checkpoint
+  in
   match cache with
-  | None -> Swatop.Tuner.model_tune ?top_k ?prune ?jobs ~gemm_model ~candidates ~build ()
+  | None ->
+    Swatop.Tuner.model_tune ?top_k ?prune ?jobs ?checkpoint:(ckpt ()) ~gemm_model ~candidates
+      ~build ()
   | Some cache -> (
     let candidates = match candidates with [] -> invalid_arg "Tuner: empty schedule space" | l -> l in
     let key = Swatop.Schedule_cache.key ~op ~dims in
@@ -335,7 +352,10 @@ let cached_model_tune ?cache ?top_k ?prune ?jobs ~op ~dims ~gemm_model ~describe
         ~jobs:(match jobs with Some j -> max 1 j | None -> Prelude.Parallel.jobs ())
         entry candidates build
     | None ->
-      let o = Swatop.Tuner.model_tune ?top_k ?prune ?jobs ~gemm_model ~candidates ~build () in
+      let o =
+        Swatop.Tuner.model_tune ?top_k ?prune ?jobs ?checkpoint:(ckpt ()) ~gemm_model
+          ~candidates ~build ()
+      in
       Swatop.Schedule_cache.remember cache ~key
         {
           Swatop.Schedule_cache.fingerprint;

@@ -115,6 +115,7 @@ val cropped_copy :
 
 val cached_model_tune :
   ?cache:Swatop.Schedule_cache.t ->
+  ?checkpoint:string ->
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
@@ -131,4 +132,10 @@ val cached_model_tune :
     winner is rebuilt and prepared directly — no scoring, no measurement —
     and the report carries [cache_hit = true] with zero simulated hardware
     time. On a miss the tuner runs normally and its winner is remembered.
-    With [?cache] absent this is exactly [model_tune]. *)
+    With [?cache] absent this is exactly [model_tune].
+
+    [?checkpoint] is a {e base path} (conventionally the schedule-cache
+    path): each tune derives a per-key checkpoint file from it
+    ({!Swatop.Tune_checkpoint.path_for}) and passes the resulting context
+    to {!Swatop.Tuner.model_tune}, so an interrupted tune resumes instead
+    of restarting. *)

@@ -1,0 +1,211 @@
+(* Deterministic, process-wide fault injection.
+
+   A fault plan is a seed plus a list of site rules. Code under test calls
+   [check site] at named fault sites; when the active plan's rule for that
+   site fires, an [Injected] exception is raised there. Every trigger is a
+   pure function of (seed, site, hit number | caller key), so a fixed plan
+   produces the same fault schedule on every run — the property the
+   resilience tests lean on. Probability rules should be given a [~key]
+   wherever hits can race across domains (e.g. the candidate index in the
+   parallel tuner): the decision then depends on the key alone, never on
+   scheduling order. *)
+
+type trigger =
+  | Probability of float  (** p=F: each hit fails independently *)
+  | Nth of int  (** n=K: exactly the K-th hit fails (1-based) *)
+  | Every of int  (** every=K: hits K, 2K, 3K, ... fail *)
+  | First of int  (** first=K: hits 1..K fail *)
+  | Key of int  (** key=K: hits carrying caller key K fail (hit number when no key) *)
+
+type rule = { r_site : string; r_trigger : trigger }
+
+type plan = { seed : int; rules : rule list }
+
+exception Injected of { site : string; hit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; hit } ->
+      Some (Printf.sprintf "Fault.Injected(site %s, hit %d)" site hit)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Spec parsing: "seed=42;tuner.score:p=0.1;interp.dma.wait:n=3".
+   Separators ';' or ','; triggers p=F | n=K | every=K | first=K | key=K |
+   always. A trailing '*' in a site makes it a prefix wildcard. *)
+
+let trigger_to_string = function
+  | Probability p -> Printf.sprintf "p=%g" p
+  | Nth k -> Printf.sprintf "n=%d" k
+  | Every k -> Printf.sprintf "every=%d" k
+  | First k -> Printf.sprintf "first=%d" k
+  | Key k -> Printf.sprintf "key=%d" k
+
+let to_string plan =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" plan.seed
+    :: List.map (fun r -> Printf.sprintf "%s:%s" r.r_site (trigger_to_string r.r_trigger)) plan.rules)
+
+let parse_trigger s =
+  let int_arg name v k =
+    match int_of_string_opt v with
+    | Some i when i >= 1 -> Ok (k i)
+    | _ -> Error (Printf.sprintf "%s expects a positive integer, got %S" name v)
+  in
+  match String.index_opt s '=' with
+  | None -> if s = "always" then Ok (Probability 1.0) else Error (Printf.sprintf "unknown trigger %S" s)
+  | Some i -> (
+    let name = String.sub s 0 i and v = String.sub s (i + 1) (String.length s - i - 1) in
+    match name with
+    | "p" -> (
+      match float_of_string_opt v with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Probability p)
+      | _ -> Error (Printf.sprintf "p expects a probability in [0,1], got %S" v))
+    | "n" -> int_arg "n" v (fun k -> Nth k)
+    | "every" -> int_arg "every" v (fun k -> Every k)
+    | "first" -> int_arg "first" v (fun k -> First k)
+    | "key" -> (
+      match int_of_string_opt v with
+      | Some k when k >= 0 -> Ok (Key k)
+      | _ -> Error (Printf.sprintf "key expects a non-negative integer, got %S" v))
+    | _ -> Error (Printf.sprintf "unknown trigger %S" name))
+
+let parse spec =
+  let fields =
+    String.split_on_char ';' spec
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec loop seed rules = function
+    | [] ->
+      if rules = [] then Error "fault spec names no sites"
+      else Ok { seed; rules = List.rev rules }
+    | f :: rest -> (
+      match String.index_opt f ':' with
+      | None -> (
+        (* seed=N, or a bare site meaning "always". *)
+        match String.index_opt f '=' with
+        | Some i when String.sub f 0 i = "seed" -> (
+          let v = String.sub f (i + 1) (String.length f - i - 1) in
+          match int_of_string_opt v with
+          | Some s -> loop s rules rest
+          | None -> Error (Printf.sprintf "seed expects an integer, got %S" v))
+        | Some _ -> Error (Printf.sprintf "malformed field %S (expected site:trigger)" f)
+        | None -> loop seed ({ r_site = f; r_trigger = Probability 1.0 } :: rules) rest)
+      | Some i -> (
+        let site = String.sub f 0 i and t = String.sub f (i + 1) (String.length f - i - 1) in
+        if site = "" then Error (Printf.sprintf "empty site in %S" f)
+        else
+          match parse_trigger (String.trim t) with
+          | Ok trigger -> loop seed ({ r_site = site; r_trigger = trigger } :: rules) rest
+          | Error e -> Error e))
+  in
+  loop 0 [] fields
+
+(* ------------------------------------------------------------------ *)
+(* Active plan + per-site hit counters. The fast path (no plan installed)
+   is a single atomic load; counters are mutex-guarded because fault sites
+   run on worker domains. *)
+
+type state = {
+  st_plan : plan;
+  st_mutex : Mutex.t;
+  st_hits : (string, int) Hashtbl.t;  (** per-site check calls *)
+  st_injected : (string, int) Hashtbl.t;  (** per-site raised faults *)
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let set = function
+  | None -> Atomic.set current None
+  | Some plan ->
+    Atomic.set current
+      (Some
+         {
+           st_plan = plan;
+           st_mutex = Mutex.create ();
+           st_hits = Hashtbl.create 8;
+           st_injected = Hashtbl.create 8;
+         })
+
+let reset () =
+  match Atomic.get current with None -> () | Some st -> set (Some st.st_plan)
+
+let active () = Atomic.get current <> None
+
+let plan () = Option.map (fun st -> st.st_plan) (Atomic.get current)
+
+let sorted_counts tbl =
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let injected () =
+  match Atomic.get current with None -> [] | Some st ->
+    Mutex.lock st.st_mutex;
+    let l = sorted_counts st.st_injected in
+    Mutex.unlock st.st_mutex;
+    l
+
+(* SplitMix64-style integer mix over OCaml's native int; only internal
+   determinism matters, not bit-compatibility with any reference. *)
+let mix a b =
+  let h = ref (a lxor (b * 0x9e3779b97f4a7c1)) in
+  h := (!h lxor (!h lsr 30)) * 0xbf58476d1ce4e5b;
+  h := (!h lxor (!h lsr 27)) * 0x94d049bb133111e;
+  !h lxor (!h lsr 31)
+
+let fnv s =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h
+
+let uniform ~seed ~site ~k =
+  let h = mix (mix seed (fnv site)) k land max_int in
+  float_of_int h /. float_of_int max_int
+
+let matches rule site =
+  let r = rule.r_site in
+  let n = String.length r in
+  if n > 0 && r.[n - 1] = '*' then
+    let prefix = String.sub r 0 (n - 1) in
+    String.length site >= String.length prefix
+    && String.sub site 0 (String.length prefix) = prefix
+  else String.equal r site
+
+let fires ~seed rule ~site ~hit ~key =
+  match rule.r_trigger with
+  | Probability p ->
+    p >= 1.0 || uniform ~seed ~site ~k:(Option.value key ~default:hit) < p
+  | Nth k -> hit = k
+  | Every k -> hit mod k = 0
+  | First k -> hit <= k
+  | Key k -> Option.value key ~default:hit = k
+
+let check ?key site =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let rules = List.filter (fun r -> matches r site) st.st_plan.rules in
+    if rules <> [] then begin
+      Mutex.lock st.st_mutex;
+      let hit = 1 + Option.value ~default:0 (Hashtbl.find_opt st.st_hits site) in
+      Hashtbl.replace st.st_hits site hit;
+      let fired = List.exists (fun r -> fires ~seed:st.st_plan.seed r ~site ~hit ~key) rules in
+      if fired then
+        Hashtbl.replace st.st_injected site
+          (1 + Option.value ~default:0 (Hashtbl.find_opt st.st_injected site));
+      Mutex.unlock st.st_mutex;
+      if fired then raise (Injected { site; hit })
+    end
+
+(* The environment plan, installed at module initialization so library code
+   (tests, bench, CLI) picks it up without explicit wiring. A CLI [--faults]
+   simply calls [set] afterwards and overrides it. *)
+let () =
+  match Sys.getenv_opt "SWATOP_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match parse spec with
+    | Ok p -> set (Some p)
+    | Error e -> Printf.eprintf "swatop: ignoring SWATOP_FAULTS: %s\n%!" e)

@@ -1,0 +1,55 @@
+(** Deterministic, process-wide fault injection.
+
+    A fault plan is a seed plus per-site trigger rules. Resilience-critical
+    code calls {!check} at named fault sites ("tuner.score",
+    "interp.dma.wait", "cache.load", "graph.copy", ...); when the active
+    plan's rule for a site fires, {!Injected} is raised at that site. Every
+    trigger is a pure function of (seed, site, hit number or caller key),
+    so a fixed plan yields an identical fault schedule on every run.
+
+    Plans come from the [SWATOP_FAULTS] environment variable (installed at
+    module initialization) or a [--faults] CLI flag via {!parse} + {!set}.
+    Spec grammar, fields separated by [;] or [,]:
+
+    {v seed=42;tuner.score:p=0.1;interp.dma.wait:n=3;cache.*:always v}
+
+    Triggers: [p=F] (each hit fails with probability F — give {!check} a
+    [~key] where hits race across domains, the decision then depends only
+    on the key), [n=K] (exactly the K-th hit), [every=K], [first=K]
+    (hits 1..K), [key=K] (hits whose caller key is K), [always]. A
+    trailing [*] in a site is a prefix wildcard. *)
+
+type trigger =
+  | Probability of float
+  | Nth of int
+  | Every of int
+  | First of int
+  | Key of int
+
+type rule = { r_site : string; r_trigger : trigger }
+type plan = { seed : int; rules : rule list }
+
+exception Injected of { site : string; hit : int }
+(** The injected failure; [hit] is the 1-based per-site check count at
+    which it fired. Carries no resources — always safe to catch. *)
+
+val parse : string -> (plan, string) result
+val to_string : plan -> string
+
+val set : plan option -> unit
+(** Install (or clear) the process-wide plan; hit counters start fresh. *)
+
+val reset : unit -> unit
+(** Zero the hit counters of the active plan (same plan, fresh schedule). *)
+
+val active : unit -> bool
+val plan : unit -> plan option
+
+val check : ?key:int -> string -> unit
+(** [check site] raises {!Injected} when the active plan fires at [site];
+    a no-op (one atomic load) when no plan is installed or no rule matches.
+    [?key] replaces the hit number in [p=]/[key=] decisions, making them
+    independent of cross-domain scheduling order. *)
+
+val injected : unit -> (string * int) list
+(** Per-site counts of faults raised so far, sorted by site. *)

@@ -177,6 +177,13 @@ let parallel_map ?jobs f l =
   let arr = Array.of_list l in
   map_chunks ?jobs ~f:(fun _ chunk -> Array.to_list (Array.map f chunk)) arr |> List.concat
 
+(* Crash-isolated map: a raising element becomes [Error exn] in place while
+   the rest of its chunk — and the pool — carry on. [run_batch]'s
+   first-exception replay never triggers because the per-element closure
+   cannot raise. *)
+let try_parallel_map ?jobs f l =
+  parallel_map ?jobs (fun x -> match f x with v -> Ok v | exception e -> Error e) l
+
 let parallel_min_by ?jobs f l =
   if l = [] then invalid_arg "Parallel.parallel_min_by: empty list";
   let arr = Array.of_list l in

@@ -29,6 +29,11 @@ val map_chunks : ?jobs:int -> f:(int -> 'a array -> 'b) -> 'a array -> 'b list
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map]. *)
 
+val try_parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Crash-isolated {!parallel_map}: an element whose [f] raises yields
+    [Error exn] in place instead of killing the batch — the other elements
+    (and the worker pool) are unaffected. *)
+
 val parallel_min_by : ?jobs:int -> ('a -> float) -> 'a list -> 'a
 (** The element minimising [f], earliest occurrence winning ties — identical
     to [Prelude.Lists.min_float_by] run sequentially. Raises

@@ -141,3 +141,5 @@ module Linsolve = struct
 end
 
 module Parallel = Parallel
+module Fault = Fault
+module Swatop_error = Swatop_error

@@ -74,3 +74,9 @@ end
 
 (** Re-export of the Domain-pool combinators (see [parallel.mli]). *)
 module Parallel = Parallel
+
+(** Re-export of the deterministic fault-injection plan (see [fault.mli]). *)
+module Fault = Fault
+
+(** Re-export of the structured-error exception (see [swatop_error.mli]). *)
+module Swatop_error = Swatop_error

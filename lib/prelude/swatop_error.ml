@@ -1,0 +1,32 @@
+type t = { site : string; message : string; context : (string * string) list }
+
+exception Error of t
+
+let to_string e =
+  let ctx =
+    match e.context with
+    | [] -> ""
+    | l -> Printf.sprintf " [%s]" (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) l))
+  in
+  Printf.sprintf "%s: %s%s" e.site e.message ctx
+
+let () =
+  Printexc.register_printer (function Error e -> Some ("Swatop_error " ^ to_string e) | _ -> None)
+
+let error ~site ?(context = []) message = raise (Error { site; message; context })
+
+let errorf ~site ?context fmt = Printf.ksprintf (fun message -> error ~site ?context message) fmt
+
+let of_exn ~site = function
+  | Error e -> Error e
+  | e -> Error { site; message = Printexc.to_string e; context = [] }
+
+(* A short, stable histogram label for an exception — incident reports and
+   tuning-failure counts bucket by it. *)
+let label = function
+  | Fault.Injected { site; _ } -> "fault:" ^ site
+  | Error e -> e.site
+  | Invalid_argument m | Failure m -> (
+    (* Keep the conventional "Module.fn:" prefix, drop the free-form tail. *)
+    match String.index_opt m ':' with Some i -> String.sub m 0 i | None -> m)
+  | e -> Printexc.to_string e

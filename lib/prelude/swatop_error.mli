@@ -1,0 +1,37 @@
+(** Structured failure for hot-path diagnostics.
+
+    A bare [failwith]/[invalid_arg] in an operator or graph pass surfaces
+    as an uncaught backtrace with no idea of which layer, buffer, or
+    strategy was involved. [Swatop_error.Error] instead carries a stable
+    site name (e.g. ["Graph_exec.layer"]) plus key/value context, which the
+    incident reports and the CLI's exit-code-2 diagnostic render
+    directly. *)
+
+type t = {
+  site : string;  (** stable dotted location, e.g. ["Dispatch.best"] *)
+  message : string;
+  context : (string * string) list;  (** e.g. [("layer", "c1"); ("algo", "winograd")] *)
+}
+
+exception Error of t
+
+val error : site:string -> ?context:(string * string) list -> string -> 'a
+(** Raise {!Error}. *)
+
+val errorf :
+  site:string -> ?context:(string * string) list -> ('a, unit, string, 'b) format4 -> 'a
+(** [Printf]-style {!error}. *)
+
+val to_string : t -> string
+(** ["site: message [k=v; k=v]"]. Also registered as the [Printexc]
+    printer for {!Error}. *)
+
+val of_exn : site:string -> exn -> exn
+(** Wrap a foreign exception as an {!Error} at [site] (already-structured
+    errors pass through unchanged). *)
+
+val label : exn -> string
+(** A short, stable bucket label for failure histograms: fault injections
+    become ["fault:<site>"], structured errors their site, and
+    [Invalid_argument]/[Failure] keep their conventional ["Module.fn"]
+    prefix only. *)

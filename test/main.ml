@@ -23,5 +23,6 @@ let () =
       ("conv-winograd", Test_conv_winograd.suite);
       ("conv-explicit", Test_conv_explicit.suite);
       ("schedule-cache", Test_schedule_cache.suite);
+      ("faults", Test_faults.suite);
       ("graph", Test_graph.suite);
     ]

@@ -1,0 +1,325 @@
+(* The resilience layer: deterministic fault injection, crash-isolated
+   tuning, checkpoint/resume equivalence, cache degradation, and the graph
+   executor's fallback chains. Every test installs its fault plan inside
+   [Fun.protect] so a failure never leaks faults into later suites. *)
+
+open Swatop
+open Swatop_ops
+module G = Swatop_graph.Graph_ir
+module C = Swatop_graph.Graph_compile
+module E = Swatop_graph.Graph_exec
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let plan_of spec =
+  match Prelude.Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+let with_plan spec f =
+  Prelude.Fault.set (Some (plan_of spec));
+  Fun.protect ~finally:(fun () -> Prelude.Fault.set None) f
+
+let temp_path name =
+  let p = Filename.temp_file ("swatop_faults_" ^ name) ".tmp" in
+  Sys.remove p;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Plan grammar and deterministic schedules. *)
+
+let plan_suite =
+  [
+    Alcotest.test_case "parse/to_string round-trips" `Quick (fun () ->
+        let spec = "seed=42;tuner.score:p=0.1;interp.dma.wait:n=3;cache.*:always" in
+        let p = plan_of spec in
+        Alcotest.(check int) "seed" 42 p.Prelude.Fault.seed;
+        Alcotest.(check int) "rules" 3 (List.length p.Prelude.Fault.rules);
+        let reparsed = plan_of (Prelude.Fault.to_string p) in
+        Alcotest.(check bool) "round-trip" true (p = reparsed));
+    Alcotest.test_case "malformed specs are rejected, not half-applied" `Quick (fun () ->
+        List.iter
+          (fun spec ->
+            match Prelude.Fault.parse spec with
+            | Ok _ -> Alcotest.failf "accepted %S" spec
+            | Error _ -> ())
+          [ ""; "seed=42"; "site:p=1.5"; "site:n=0"; "site:frobnicate"; ":always"; "seed=x;s:always" ]);
+    Alcotest.test_case "same seed yields an identical fault schedule" `Quick (fun () ->
+        with_plan "seed=11;flaky.site:p=0.3" (fun () ->
+            let schedule () =
+              Prelude.Fault.reset ();
+              List.map
+                (fun i ->
+                  try
+                    Prelude.Fault.check ~key:i "flaky.site";
+                    false
+                  with Prelude.Fault.Injected _ -> true)
+                (Prelude.Lists.range 0 200)
+            in
+            let a = schedule () in
+            let b = schedule () in
+            Alcotest.(check (list bool)) "replayed identically" a b;
+            Alcotest.(check bool) "some hits fail" true (List.mem true a);
+            Alcotest.(check bool) "some hits pass" true (List.mem false a);
+            Alcotest.(check bool) "injected counts the site" true
+              (List.mem_assoc "flaky.site" (Prelude.Fault.injected ()))));
+    Alcotest.test_case "n= fires exactly the nth hit" `Quick (fun () ->
+        with_plan "third.site:n=3" (fun () ->
+            let fired =
+              List.map
+                (fun _ ->
+                  try
+                    Prelude.Fault.check "third.site";
+                    false
+                  with Prelude.Fault.Injected { site; hit } ->
+                    Alcotest.(check string) "site" "third.site" site;
+                    Alcotest.(check int) "hit" 3 hit;
+                    true)
+                (Prelude.Lists.range 0 8)
+            in
+            Alcotest.(check (list bool))
+              "only the third" [ false; false; true; false; false; false; false; false ] fired));
+    Alcotest.test_case "no active plan means check is free" `Quick (fun () ->
+        Prelude.Fault.set None;
+        Alcotest.(check bool) "inactive" false (Prelude.Fault.active ());
+        Prelude.Fault.check "anything.goes");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Result-capturing parallel map. *)
+
+let parallel_suite =
+  [
+    Alcotest.test_case "try_parallel_map captures per-element crashes in order" `Quick (fun () ->
+        let l = Prelude.Lists.range 0 23 in
+        let r =
+          Prelude.Parallel.try_parallel_map ~jobs:4
+            (fun x -> if x mod 5 = 0 then failwith "boom" else x * 2)
+            l
+        in
+        Alcotest.(check int) "length" 23 (List.length r);
+        List.iteri
+          (fun i outcome ->
+            match outcome with
+            | Ok v ->
+              Alcotest.(check bool) "ok slot" true (i mod 5 <> 0);
+              Alcotest.(check int) "value" (i * 2) v
+            | Error (Failure m) ->
+              Alcotest.(check bool) "error slot" true (i mod 5 = 0);
+              Alcotest.(check string) "message" "boom" m
+            | Error e -> raise e)
+          r);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tuner crash isolation and checkpoint/resume. *)
+
+let tune ?jobs ?checkpoint t =
+  Tuner.model_tune ?jobs ?checkpoint ~gemm_model:(Lazy.force gemm_model)
+    ~candidates:(Matmul.space t) ~build:(Matmul.build t) ()
+
+let tuner_suite =
+  [
+    Alcotest.test_case "a crashing candidate is skipped, not fatal" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+        let clean = tune ~jobs:1 t in
+        with_plan (Printf.sprintf "seed=5;tuner.score:key=%d" clean.best_index) (fun () ->
+            let faulted jobs =
+              Prelude.Fault.reset ();
+              tune ~jobs t
+            in
+            let s = faulted 1 in
+            let p = faulted 4 in
+            Alcotest.(check bool) "the clean winner was killed" true
+              (s.best_index <> clean.best_index);
+            Alcotest.(check int) "jobs=1 equals jobs=4" s.best_index p.best_index;
+            Alcotest.(check (float 0.0)) "same runner-up time" s.best_seconds p.best_seconds;
+            Alcotest.(check (list (pair string int)))
+              "failure histogram"
+              [ ("fault:tuner.score", 1) ]
+              s.report.scored_failed;
+            Alcotest.(check (list (pair string int)))
+              "parallel histogram identical" s.report.scored_failed p.report.scored_failed));
+    Alcotest.test_case "all candidates crashing raises a structured error" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+        with_plan "tuner.score:always" (fun () ->
+            match tune ~jobs:1 t with
+            | _ -> Alcotest.fail "tuned through a fully-failed space"
+            | exception Prelude.Swatop_error.Error e ->
+              Alcotest.(check string) "site" "tuner.model_tune" e.site));
+    Alcotest.test_case "interrupted tune resumes to the uninterrupted winner" `Quick (fun () ->
+        let t = Matmul.problem ~m:200 ~n:120 ~k:80 in
+        let base = temp_path "ckpt" in
+        let ctx =
+          {
+            Tune_checkpoint.cx_path = Tune_checkpoint.path_for ~base ~key:"matmul-ckpt";
+            cx_key = "matmul-ckpt";
+            cx_fingerprint = 0xBEEF;
+          }
+        in
+        (* jobs > 1, so the space splits into several chunks; single-job runs
+           collapse to one chunk and have no interior boundary to abort at *)
+        let uninterrupted = tune ~jobs:2 t in
+        (* chunk 2's boundary aborts: like a SIGKILL between chunks, the
+           checkpoint file survives with the completed chunks *)
+        with_plan "tuner.abort:n=2" (fun () ->
+            match tune ~jobs:2 ~checkpoint:ctx t with
+            | _ -> Alcotest.fail "abort fault did not fire"
+            | exception Prelude.Fault.Injected { site; _ } ->
+              Alcotest.(check string) "aborted at the chunk boundary" "tuner.abort" site);
+        Alcotest.(check bool) "partial checkpoint persisted" true
+          (Sys.file_exists ctx.Tune_checkpoint.cx_path);
+        let resumed = tune ~jobs:2 ~checkpoint:ctx t in
+        Alcotest.(check int) "same winner" uninterrupted.best_index resumed.best_index;
+        Alcotest.(check (float 0.0))
+          "same measured seconds" uninterrupted.best_seconds resumed.best_seconds;
+        Alcotest.(check int) "same pruned count" uninterrupted.report.pruned
+          resumed.report.pruned;
+        Alcotest.(check int) "same evaluated count" uninterrupted.report.evaluated
+          resumed.report.evaluated;
+        Alcotest.(check bool) "completed tune cleared its checkpoint" false
+          (Sys.file_exists ctx.Tune_checkpoint.cx_path));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedule-cache degradation under injected I/O faults. *)
+
+let cache_suite =
+  [
+    Alcotest.test_case "a failing load degrades to a cold cache" `Quick (fun () ->
+        let path = temp_path "load" in
+        let cache = Schedule_cache.create () in
+        Schedule_cache.remember cache
+          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ])
+          { Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
+        Schedule_cache.save path cache;
+        with_plan "cache.load:always" (fun () ->
+            let cold = Schedule_cache.load path in
+            Alcotest.(check int) "cold" 0 (Schedule_cache.size cold));
+        Alcotest.(check bool) "file not quarantined for an I/O fault" true
+          (Sys.file_exists path);
+        let warm = Schedule_cache.load path in
+        Alcotest.(check int) "recovers once the fault clears" 1 (Schedule_cache.size warm);
+        Sys.remove path);
+    Alcotest.test_case "a failing save skips persistence, then retries" `Quick (fun () ->
+        let path = temp_path "save" in
+        let cache = Schedule_cache.create () in
+        Schedule_cache.remember cache
+          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ])
+          { Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
+        with_plan "cache.save:always" (fun () -> Schedule_cache.save path cache);
+        Alcotest.(check bool) "nothing persisted under the fault" false (Sys.file_exists path);
+        Schedule_cache.save path cache;
+        Alcotest.(check bool) "still dirty, so the retry persists" true (Sys.file_exists path);
+        Alcotest.(check int) "round-trip" 1 (Schedule_cache.size (Schedule_cache.load path));
+        Sys.remove path);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter DMA fault sites. *)
+
+let interp_suite =
+  [
+    Alcotest.test_case "DMA issue/wait sites raise from inside a run" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:64 ~k:64 in
+        let p = Tuner.prepare (Matmul.build t (List.hd (Matmul.space t))) in
+        List.iter
+          (fun site ->
+            with_plan (site ^ ":n=1") (fun () ->
+                match Interp.run ~numeric:false p with
+                | _ -> Alcotest.failf "%s fault did not fire" site
+                | exception Prelude.Fault.Injected i ->
+                  Alcotest.(check string) "site" site i.site))
+          [ "interp.dma.issue"; "interp.dma.wait" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph executor fallback chains. *)
+
+let compile g = C.compile ~top_k:1 ~gemm_model:(Lazy.force gemm_model) g
+let smoke_plan = lazy (compile (G.smoke ~batch:2))
+
+(* Producers and consumers disagree spatially, so the plan carries copy
+   steps (same shape as test_graph's seam network). *)
+let seam_plan =
+  lazy
+    (compile
+       (G.empty ~name:"seam" ~batch:2
+       |> G.conv ~name:"c1" ~ni:2 ~no:4 ~out:8 ~k:3
+       |> G.conv ~name:"c2" ~ni:4 ~no:4 ~out:8 ~k:3
+       |> G.conv ~name:"c3" ~ni:4 ~no:4 ~out:4 ~k:1
+       |> G.finish))
+
+let graph_suite =
+  [
+    Alcotest.test_case "every fallback chain terminates at explicit GEMM" `Quick (fun () ->
+        let plan = Lazy.force smoke_plan in
+        let chains = ref 0 in
+        List.iter
+          (function
+            | C.Layer { st_impl; st_fallbacks = _ :: _ as fb; _ } ->
+              incr chains;
+              let chain = st_impl :: fb in
+              Alcotest.(check bool) "chain reaches explicit" true
+                (List.exists (fun im -> String.equal im.C.im_algo "explicit") chain);
+              (* explicit is pinned last — unless it is already the winner,
+                 in which case the chain starts with the terminal strategy *)
+              if st_impl.C.im_algo <> "explicit" then
+                let last = List.nth fb (List.length fb - 1) in
+                Alcotest.(check string) "terminal strategy" "explicit" last.C.im_algo
+            | _ -> ())
+          plan.C.p_steps;
+        Alcotest.(check bool) "at least one conv has a chain" true (!chains > 0));
+    Alcotest.test_case "a failing layer retries its next-best implementation" `Quick (fun () ->
+        let plan = Lazy.force smoke_plan in
+        with_plan "seed=3;graph.layer:first=1" (fun () ->
+            let r = E.run ~numeric:true plan in
+            (match r.E.r_incidents with
+            | [ i ] ->
+              Alcotest.(check string) "site" "graph.layer" i.E.i_site;
+              Alcotest.(check int) "one retry" 1 i.E.i_retries;
+              Alcotest.(check (list string)) "cause" [ "fault:graph.layer" ] i.E.i_causes
+            | l -> Alcotest.failf "expected one incident, got %d" (List.length l));
+            match r.E.r_max_err with
+            | Some e -> Alcotest.(check bool) "numeric within 1e-4" true (e <= 1e-4)
+            | None -> Alcotest.fail "numeric run reported no error bound"));
+    Alcotest.test_case "a failing copy falls back to the host oracle" `Quick (fun () ->
+        let plan = Lazy.force seam_plan in
+        Alcotest.(check bool) "plan carries a copy step" true
+          (List.exists (function C.Copy _ -> true | _ -> false) plan.C.p_steps);
+        with_plan "graph.copy:first=1" (fun () ->
+            let r = E.run ~numeric:true plan in
+            (match r.E.r_incidents with
+            | i :: _ ->
+              Alcotest.(check string) "site" "graph.copy" i.E.i_site;
+              Alcotest.(check string) "final strategy" "host-copy" i.E.i_final
+            | [] -> Alcotest.fail "no incident recorded");
+            match r.E.r_max_err with
+            | Some e -> Alcotest.(check bool) "numeric within 1e-4" true (e <= 1e-4)
+            | None -> Alcotest.fail "numeric run reported no error bound"));
+    Alcotest.test_case "smoke net stays numeric under a DMA fault" `Quick (fun () ->
+        let plan = Lazy.force smoke_plan in
+        with_plan "seed=9;interp.dma.wait:n=3" (fun () ->
+            let r = E.run ~numeric:true plan in
+            Alcotest.(check bool) "fallback engaged" true (r.E.r_incidents <> []);
+            match r.E.r_max_err with
+            | Some e -> Alcotest.(check bool) "numeric within 1e-4" true (e <= 1e-4)
+            | None -> Alcotest.fail "numeric run reported no error bound"));
+    Alcotest.test_case "incident reports render in text and JSON" `Quick (fun () ->
+        let plan = Lazy.force smoke_plan in
+        with_plan "seed=3;graph.layer:first=1" (fun () ->
+            let r = E.run ~numeric:false plan in
+            let contains hay needle =
+              let lh = String.length hay and ln = String.length needle in
+              let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+              go 0
+            in
+            let text = E.to_text r in
+            Alcotest.(check bool) "text names the site" true (contains text "graph.layer");
+            let json = E.to_json r in
+            Alcotest.(check bool) "json has incidents" true (contains json "\"incidents\"");
+            Alcotest.(check bool) "json names the cause" true
+              (contains json "fault:graph.layer")));
+  ]
+
+let suite = plan_suite @ parallel_suite @ tuner_suite @ cache_suite @ interp_suite @ graph_suite

@@ -45,11 +45,15 @@ let suite =
         write_file path "\x00\xffnot a cache\nrandom \x01 bytes\n1 2 3\n";
         let cache = Swatop.Schedule_cache.load path in
         Alcotest.(check int) "nothing salvaged" 0 (Swatop.Schedule_cache.size cache);
+        (* the corrupt file is quarantined out of the way, not left to poison
+           the next load *)
+        Alcotest.(check bool) "corrupt file moved aside" false (Sys.file_exists path);
+        Alcotest.(check bool) "quarantined copy kept" true (Sys.file_exists (path ^ ".corrupt"));
         (* the poisoned cache still serves tuning: miss then remember *)
         let o = tune_small ~cache () in
         Alcotest.(check bool) "tuned, not served stale" false o.Swatop.Tuner.report.cache_hit;
         Alcotest.(check int) "winner remembered" 1 (Swatop.Schedule_cache.size cache);
-        Sys.remove path);
+        Sys.remove (path ^ ".corrupt"));
     Alcotest.test_case "truncated file salvages the intact prefix" `Quick (fun () ->
         let path = temp_path "truncated" in
         let cache = Swatop.Schedule_cache.create () in
@@ -65,10 +69,12 @@ let suite =
         let cache = Swatop.Schedule_cache.load path in
         Alcotest.(check int) "intact line kept, mangled line dropped" 1
           (Swatop.Schedule_cache.size cache);
+        Alcotest.(check bool) "damaged original quarantined" true
+          (Sys.file_exists (path ^ ".corrupt"));
         let o = tune_small ~cache () in
         Alcotest.(check bool) "still serves tuning" true
           (o.Swatop.Tuner.report.cache_hit || Swatop.Schedule_cache.size cache >= 1);
-        Sys.remove path);
+        Sys.remove (path ^ ".corrupt"));
     Alcotest.test_case "version mismatch ignores the whole file" `Quick (fun () ->
         let path = saved_cache_file "version" in
         let full = read_file path in
@@ -80,7 +86,9 @@ let suite =
         write_file path ("swatop-schedule-cache v999\n" ^ body);
         let cache = Swatop.Schedule_cache.load path in
         Alcotest.(check int) "future version not parsed" 0 (Swatop.Schedule_cache.size cache);
-        Sys.remove path);
+        Alcotest.(check bool) "unreadable version quarantined" true
+          (Sys.file_exists (path ^ ".corrupt"));
+        Sys.remove (path ^ ".corrupt"));
     Alcotest.test_case "fingerprint mismatch is a miss, not a stale hit" `Quick (fun () ->
         let cache = Swatop.Schedule_cache.create () in
         let key = Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 64; 64; 64 ] in
