@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint check check-faults net-smoke bench-quick clean
+.PHONY: all build test lint check check-faults net-smoke bench-quick bench-json clean
 
 all: build
 
@@ -41,6 +41,16 @@ check:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Machine-readable benchmark gate: regenerate BENCH_tuner.json and
+# BENCH_network.json at quick effort into a scratch directory, then
+# re-parse and schema-check them. The harness itself exits non-zero if
+# the guided tuner's winner drops below 99% of the brute-force winner.
+bench-json:
+	mkdir -p _build/bench-json
+	dune exec bench/bench_json.exe -- --quick --samples=2 --warmup=0 \
+	  --out=_build/bench-json
+	dune exec bench/bench_json.exe -- --check --out=_build/bench-json
 
 clean:
 	dune clean

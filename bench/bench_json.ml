@@ -1,0 +1,609 @@
+(* Machine-readable benchmark harness: BENCH_tuner.json + BENCH_network.json.
+
+   Unlike the human-facing experiment harness (main.ml), this one exists to
+   be diffed and gated on: it writes two small JSON files at the repo root
+   recording (a) guided-vs-exhaustive tuning cost and quality and (b)
+   whole-network compile/execute figures, and exits non-zero when the
+   guided tuner's winner falls below 99% of the brute-force winner's
+   simulated performance — the acceptance bound CI enforces.
+
+   Statistical hygiene: host wall times are sampled [--samples] times after
+   [--warmup] discarded runs, accumulated through Welford's algorithm
+   (mean/stddev/min/max); every simulated result feeds an anti-DCE sink
+   that is printed and embedded in the JSON, so no tuning run can be
+   optimized away or silently skipped. Simulated quantities (GFLOP/s,
+   hardware seconds, arena bytes) are deterministic and reported from the
+   first sample. *)
+
+open Bench_common
+module N = Workloads.Networks
+module Stat = Running_stat
+
+let quality_bound = 0.99
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON: a writer and a strict-enough reader for --check. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec write_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.9g" f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_json buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_json buf (Str k);
+        Buffer.add_char buf ':';
+        write_json buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 4096 in
+  write_json buf j;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); loop ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); loop ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated escape";
+          (match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> Buffer.add_char buf '?'
+          | None -> fail "invalid unicode escape");
+          pos := !pos + 4;
+          loop ()
+        | _ -> fail "invalid escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num c = (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E' in
+    while (match peek () with Some c when is_num c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "invalid number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Schema validation, shared by generation (self-check) and --check. *)
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let require_num what j k =
+  match member k j with
+  | Some (Num f) -> f
+  | _ -> failwith (Printf.sprintf "%s: missing or non-numeric field %S" what k)
+
+let require_str what j k =
+  match member k j with
+  | Some (Str s) -> s
+  | _ -> failwith (Printf.sprintf "%s: missing or non-string field %S" what k)
+
+let require_list what j k =
+  match member k j with
+  | Some (List l) -> l
+  | _ -> failwith (Printf.sprintf "%s: missing or non-array field %S" what k)
+
+let require_obj what j k =
+  match member k j with
+  | Some (Obj _ as o) -> o
+  | _ -> failwith (Printf.sprintf "%s: missing or non-object field %S" what k)
+
+let check_stat what j k =
+  let s = require_obj what j k in
+  List.iter (fun f -> ignore (require_num (what ^ "." ^ k) s f)) [ "mean"; "stddev"; "min"; "max" ]
+
+(* Returns the worst guided-vs-exhaustive quality in the file. *)
+let validate_tuner j =
+  let what = "BENCH_tuner" in
+  if require_str what j "schema" <> "swatop-bench-tuner" then
+    failwith "BENCH_tuner: wrong schema tag";
+  ignore (require_num what j "schema_version");
+  ignore (require_num what j "seed");
+  ignore (require_num what j "samples");
+  ignore (require_num what j "sink");
+  let workloads = require_list what j "workloads" in
+  if workloads = [] then failwith "BENCH_tuner: empty workload list";
+  List.fold_left
+    (fun worst w ->
+      let name = require_str "workload" w "name" in
+      let what = "workload " ^ name in
+      ignore (require_num what w "space_size");
+      let quality = require_num what w "quality_vs_exhaustive" in
+      let fraction = require_num what w "measured_fraction" in
+      if fraction > 0.10001 then
+        failwith (Printf.sprintf "%s: guided measured %.1f%% of the space (bound 10%%)" what (100.0 *. fraction));
+      List.iter
+        (fun side ->
+          let s = require_obj what w side in
+          ignore (require_num (what ^ "." ^ side) s "candidates_measured");
+          ignore (require_num (what ^ "." ^ side) s "hardware_seconds");
+          ignore (require_num (what ^ "." ^ side) s "best_gflops");
+          check_stat (what ^ "." ^ side) s "wall_seconds")
+        [ "exhaustive"; "guided" ];
+      let g = require_obj what w "guided" in
+      ignore (require_num what g "batches");
+      ignore (require_num what g "model_rmse");
+      Float.min worst quality)
+    infinity workloads
+
+let validate_network j =
+  let what = "BENCH_network" in
+  if require_str what j "schema" <> "swatop-bench-network" then
+    failwith "BENCH_network: wrong schema tag";
+  ignore (require_num what j "schema_version");
+  ignore (require_num what j "sink");
+  let networks = require_list what j "networks" in
+  if networks = [] then failwith "BENCH_network: empty network list";
+  List.iter
+    (fun nw ->
+      let name = require_str "network" nw "name" in
+      let what = "network " ^ name in
+      ignore (require_num what nw "batch");
+      ignore (require_num what nw "layers");
+      ignore (require_num what nw "simulated_gflops");
+      ignore (require_num what nw "arena_bytes");
+      ignore (require_num what nw "tune_wall_cold_seconds");
+      ignore (require_num what nw "tune_wall_hot_seconds");
+      check_stat what nw "exec_wall_seconds")
+    networks
+
+(* ------------------------------------------------------------------ *)
+(* Generation. *)
+
+let sink = ref 0.0
+let absorb x = sink := !sink +. x
+
+let stat_json st =
+  Obj
+    [
+      ("mean", Num (Stat.mean st));
+      ("stddev", Num (Stat.stddev st));
+      ("min", Num (Stat.min st));
+      ("max", Num (Stat.max st));
+    ]
+
+(* Run [f] warmup+samples times; returns the wall-time stat and the last
+   result (every run's scalar digest feeds the sink). *)
+let sampled ~warmup ~samples ~digest f =
+  let st = Stat.create () in
+  let last = ref None in
+  for i = 1 to warmup + samples do
+    let w0 = Prelude.Clock.wall () in
+    let r = f () in
+    let w1 = Prelude.Clock.wall () in
+    absorb (digest r);
+    if i > warmup then Stat.add st (w1 -. w0);
+    last := Some r
+  done;
+  (st, Option.get !last)
+
+(* The matmul and conv strategy types differ, so workload thunks return
+   this monomorphic digest of the polymorphic outcome. *)
+type tune_result = {
+  tr_measured : int;
+  tr_hardware_seconds : float;
+  tr_best_seconds : float;
+  tr_batches : int;
+  tr_rmse : float;
+}
+
+let digest (o : 'a Swatop.Tuner.outcome) =
+  {
+    tr_measured = o.report.measured;
+    tr_hardware_seconds = o.report.hardware_seconds;
+    tr_best_seconds = o.best_seconds;
+    tr_batches = o.report.batches;
+    tr_rmse = o.report.model_rmse;
+  }
+
+type tuner_workload = {
+  tw_name : string;
+  tw_flops : float;
+  tw_candidates : int;
+  tw_blackbox : unit -> tune_result;
+  tw_guided : unit -> tune_result;
+}
+
+let bench_tuner ~seed ~warmup ~samples =
+  let workloads =
+    (* Effort scales problem size, not methodology: quick must fit a CI
+       job on one core (the brute-force baseline really measures the whole
+       space), full uses the actual ResNet-18 conv5_x layer. *)
+    let matmul_dims = effort_pick ~quick:(128, 128, 128) ~standard:(256, 256, 256) ~full:(512, 512, 512) in
+    let conv =
+      effort_pick
+        ~quick:("conv5_x-scaled", 32, 32, 7)
+        ~standard:("conv5_x-scaled", 64, 64, 7)
+        ~full:("resnet18 conv5_x b1", 512, 512, 7)
+    in
+    let m, n, k = matmul_dims in
+    let mm =
+      let t = Swatop_ops.Matmul.problem ~m ~n ~k in
+      let space = Swatop_ops.Matmul.space t in
+      {
+        tw_name = Printf.sprintf "matmul %dx%dx%d" m n k;
+        tw_flops = Swatop_ops.Matmul.flops t;
+        tw_candidates = List.length space;
+        tw_blackbox =
+          (fun () ->
+            digest
+              (Swatop.Tuner.blackbox_tune ~candidates:space ~build:(Swatop_ops.Matmul.build t) ()));
+        tw_guided =
+          (fun () ->
+            digest
+              (fst
+                 (Swatop.Tuner.guided_tune
+                    ~config:(Swatop.Tuner.guided_defaults ~seed)
+                    ~candidates:space ~build:(Swatop_ops.Matmul.build t) ())));
+      }
+    in
+    let cname, ni, no, out = conv in
+    let cv =
+      let spec = Swtensor.Conv_spec.create ~b:1 ~ni ~no ~ro:out ~co:out ~kr:3 ~kc:3 () in
+      let t = Swatop_ops.Conv_implicit.problem spec in
+      let space = Swatop_ops.Conv_implicit.space t in
+      {
+        tw_name = Printf.sprintf "conv_implicit %s %dx%d@%d" cname ni no out;
+        tw_flops = Swatop_ops.Conv_implicit.flops t;
+        tw_candidates = List.length space;
+        tw_blackbox =
+          (fun () ->
+            digest
+              (Swatop.Tuner.blackbox_tune ~candidates:space
+                 ~build:(Swatop_ops.Conv_implicit.build t) ()));
+        tw_guided =
+          (fun () ->
+            digest
+              (fst
+                 (Swatop.Tuner.guided_tune
+                    ~config:(Swatop.Tuner.guided_defaults ~seed)
+                    ~candidates:space ~build:(Swatop_ops.Conv_implicit.build t) ())));
+      }
+    in
+    [ mm; cv ]
+  in
+  let entries =
+    List.map
+      (fun w ->
+        Printf.printf "tuner workload: %s (%d candidates)\n%!" w.tw_name w.tw_candidates;
+        (* The brute-force baseline is deterministic and by far the most
+           expensive call in the harness: one sample, no warmup. The guided
+           side is what the wall-time claim is about, so it gets the full
+           warmup+samples treatment. *)
+        let bb_wall, bb = sampled ~warmup:0 ~samples:1 ~digest:(fun d -> d.tr_best_seconds) w.tw_blackbox in
+        let g_wall, g = sampled ~warmup ~samples ~digest:(fun d -> d.tr_best_seconds) w.tw_guided in
+        let quality = bb.tr_best_seconds /. g.tr_best_seconds in
+        let fraction = float_of_int g.tr_measured /. float_of_int w.tw_candidates in
+        Printf.printf
+          "  exhaustive: %d measured, %.2fs wall | guided: %d measured (%.1f%%), %.2fs wall | quality %.4f\n%!"
+          bb.tr_measured (Stat.mean bb_wall) g.tr_measured (100.0 *. fraction) (Stat.mean g_wall)
+          quality;
+        let side d wall =
+          Obj
+            [
+              ("candidates_measured", Num (float_of_int d.tr_measured));
+              ("hardware_seconds", Num d.tr_hardware_seconds);
+              ("best_gflops", Num (gflops w.tw_flops d.tr_best_seconds));
+              ("wall_seconds", stat_json wall);
+            ]
+        in
+        Obj
+          [
+            ("name", Str w.tw_name);
+            ("space_size", Num (float_of_int w.tw_candidates));
+            ("exhaustive", side bb bb_wall);
+            ( "guided",
+              match side g g_wall with
+              | Obj kvs ->
+                Obj
+                  (kvs
+                  @ [
+                      ("batches", Num (float_of_int g.tr_batches));
+                      ("model_rmse", Num g.tr_rmse);
+                    ])
+              | j -> j );
+            ("quality_vs_exhaustive", Num quality);
+            ("measured_fraction", Num fraction);
+          ])
+      workloads
+  in
+  Obj
+    [
+      ("schema", Str "swatop-bench-tuner");
+      ("schema_version", Num 1.0);
+      ("seed", Num (float_of_int seed));
+      ("samples", Num (float_of_int samples));
+      ("workloads", List entries);
+      ("sink", Num !sink);
+    ]
+
+let bench_network ~seed ~warmup ~samples =
+  let gm = Lazy.force gemm_model in
+  let networks =
+    effort_pick
+      ~quick:[ ("smoke", 1) ]
+      ~standard:[ ("smoke", 1); ("ResNet", 1) ]
+      ~full:[ ("smoke", 1); ("VGG16", 1); ("ResNet", 1); ("Yolo", 1) ]
+  in
+  ignore seed;
+  let entries =
+    List.map
+      (fun (name, batch) ->
+        Printf.printf "network: %s (batch %d)\n%!" name batch;
+        let graph () =
+          match name with
+          | "smoke" -> Swatop_graph.Graph_ir.smoke ~batch
+          | _ -> (
+            match List.find_opt (fun n -> n.N.net_name = name) N.all with
+            | Some n -> Swatop_graph.Graph_ir.of_network ~batch n
+            | None -> failwith ("unknown network " ^ name))
+        in
+        (* Cold: fresh cache. Hot: recompile against the now-warm cache. *)
+        let cache = Swatop.Schedule_cache.create () in
+        let g = graph () in
+        let cold = Swatop_graph.Graph_compile.compile ~cache ~gemm_model:gm g in
+        let cold_report = Swatop_graph.Graph_exec.run ~numeric:false cold in
+        let hot = Swatop_graph.Graph_compile.compile ~cache ~gemm_model:gm (graph ()) in
+        let exec_wall, report =
+          sampled ~warmup ~samples
+            ~digest:(fun r -> r.Swatop_graph.Graph_exec.r_seconds)
+            (fun () -> Swatop_graph.Graph_exec.run ~numeric:false hot)
+        in
+        absorb cold_report.Swatop_graph.Graph_exec.r_seconds;
+        Printf.printf
+          "  %.1f simulated GFLOP/s | arena %d bytes | tune cold %.2fs hot %.2fs | exec %.3fs host\n%!"
+          (report.Swatop_graph.Graph_exec.r_flops_per_second /. 1e9)
+          report.r_arena.Swatop_graph.Graph_plan.ar_bytes
+          cold.Swatop_graph.Graph_compile.p_tune_wall hot.p_tune_wall (Stat.mean exec_wall);
+        Obj
+          [
+            ("name", Str name);
+            ("batch", Num (float_of_int batch));
+            ("layers", Num (float_of_int (List.length report.r_layers)));
+            ("simulated_gflops", Num (report.r_flops_per_second /. 1e9));
+            ("arena_bytes", Num (float_of_int report.r_arena.Swatop_graph.Graph_plan.ar_bytes));
+            ("tune_wall_cold_seconds", Num cold.p_tune_wall);
+            ("tune_wall_hot_seconds", Num hot.p_tune_wall);
+            ("exec_wall_seconds", stat_json exec_wall);
+          ])
+      networks
+  in
+  Obj
+    [
+      ("schema", Str "swatop-bench-network");
+      ("schema_version", Num 1.0);
+      ("networks", List entries);
+      ("sink", Num !sink);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let check_files dir =
+  let ok = ref true in
+  let run name f =
+    let path = Filename.concat dir name in
+    match f (parse_json (read_file path)) with
+    | () -> Printf.printf "%s: ok\n" name
+    | exception e ->
+      Printf.printf "%s: FAILED (%s)\n" name
+        (match e with Failure m | Parse_error m -> m | e -> Printexc.to_string e);
+      ok := false
+  in
+  run "BENCH_tuner.json" (fun j ->
+      let worst = validate_tuner j in
+      if worst < quality_bound then
+        failwith
+          (Printf.sprintf "worst guided quality %.4f below the %.2f bound" worst quality_bound);
+      Printf.printf "BENCH_tuner.json: worst guided quality %.4f (bound %.2f)\n" worst
+        quality_bound);
+  run "BENCH_network.json" validate_network;
+  if not !ok then exit 1
+
+let () =
+  let samples = ref 3 and warmup = ref 1 and seed = ref 42 in
+  let out_dir = ref "." and check_only = ref false in
+  Array.iteri
+    (fun i a ->
+      if i > 0 then
+        let value prefix =
+          if String.length a > String.length prefix && String.sub a 0 (String.length prefix) = prefix
+          then Some (String.sub a (String.length prefix) (String.length a - String.length prefix))
+          else None
+        in
+        match a with
+        | "--quick" -> effort := Quick
+        | "--full" -> effort := Full
+        | "--check" -> check_only := true
+        | "--help" | "-h" ->
+          print_endline
+            "usage: bench_json.exe [--quick|--full] [--samples=N] [--warmup=N] [--seed=S] \
+             [--jobs=N] [--out=DIR] [--check]";
+          print_endline
+            "writes BENCH_tuner.json and BENCH_network.json to DIR (default .); exits non-zero \
+             if guided quality < 0.99 of brute force. --check validates existing files instead.";
+          exit 0
+        | _ -> (
+          match (value "--samples=", value "--warmup=", value "--seed=", value "--jobs=", value "--out=") with
+          | Some v, _, _, _, _ -> samples := max 1 (int_of_string v)
+          | _, Some v, _, _, _ -> warmup := max 0 (int_of_string v)
+          | _, _, Some v, _, _ -> seed := int_of_string v
+          | _, _, _, Some v, _ -> Prelude.Parallel.set_jobs (Some (max 1 (int_of_string v)))
+          | _, _, _, _, Some v -> out_dir := v
+          | _ ->
+            Printf.eprintf "unknown argument %s (try --help)\n" a;
+            exit 1))
+    Sys.argv;
+  if !check_only then check_files !out_dir
+  else begin
+    let seed = !seed and warmup = !warmup and samples = !samples in
+    Printf.printf "swATOP JSON bench — seed %d, %d samples after %d warmup\n%!" seed samples warmup;
+    let tuner = bench_tuner ~seed ~warmup ~samples in
+    let network = bench_network ~seed ~warmup ~samples in
+    (* Self-check before writing: the generator must never publish a file
+       its own --check would reject. *)
+    let worst = validate_tuner tuner in
+    validate_network network;
+    write_file (Filename.concat !out_dir "BENCH_tuner.json") (to_string tuner ^ "\n");
+    write_file (Filename.concat !out_dir "BENCH_network.json") (to_string network ^ "\n");
+    Printf.printf "sink %.9g\nwrote BENCH_tuner.json and BENCH_network.json (worst guided quality %.4f)\n"
+      !sink worst;
+    if worst < quality_bound then begin
+      Printf.eprintf "FAIL: guided quality %.4f below the %.2f bound\n" worst quality_bound;
+      exit 1
+    end
+  end

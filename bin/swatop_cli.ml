@@ -52,6 +52,37 @@ let cache_arg =
     & info [ "schedule-cache" ]
         ~doc:"persistent best-schedule cache file; created on first use, reused on later runs")
 
+let search_arg =
+  Arg.(
+    value
+    & opt (enum [ ("exhaustive", `Exhaustive); ("guided", `Guided) ]) `Exhaustive
+    & info [ "search" ]
+        ~doc:
+          "tuning search mode: $(b,exhaustive) scores the whole space with the static cost \
+           model; $(b,guided) trains a cost model online and measures only prediction-ranked \
+           batches")
+
+let budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "budget" ]
+        ~doc:
+          "guided search: maximum candidates sent to measurement (0 = automatic, about 10% of \
+           the space)")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ]
+        ~doc:
+          "guided search: root of all exploration randomness; the same seed replays the same \
+           tune whatever $(b,--jobs) is")
+
+let make_search mode budget seed =
+  match mode with
+  | `Exhaustive -> Swatop.Tuner.Exhaustive
+  | `Guided -> Swatop.Tuner.Guided { (Swatop.Tuner.guided_defaults ~seed) with gc_budget = budget }
+
 let checkpoint_arg =
   Arg.(
     value
@@ -99,6 +130,9 @@ let report_outcome ~flops describe (o : _ Swatop.Tuner.outcome) =
   else
     Printf.printf "search           : %d estimated | %d pruned by DMA bound | %d jobs\n"
       r.evaluated r.pruned r.jobs;
+  if r.batches > 0 then
+    Printf.printf "guided search    : %d measured in %d batches | model rmse %.3f log-s | predicted %.3f ms\n"
+      r.measured r.batches r.model_rmse (r.predicted_seconds *. 1e3);
   if r.verify_rejected <> [] then
     Printf.printf "verifier rejects : %s\n"
       (String.concat ", "
@@ -128,15 +162,20 @@ let conv_spec ni no out kern b =
 (* ------------------------------------------------------------------ *)
 (* tune *)
 
-let tune_gemm m n k top_k jobs cache_path checkpoint faults =
+let tune_gemm m n k top_k jobs cache_path checkpoint search_mode budget seed faults =
   with_tuning_env ?faults jobs cache_path (fun cache ->
+      let search = make_search search_mode budget seed in
       let t = Matmul.problem ~m ~n ~k in
-      let o = Matmul.tune ?cache ?checkpoint ~top_k ~gemm_model:(Lazy.force gemm_model) t in
+      let o =
+        Matmul.tune ?cache ?checkpoint ~top_k ~search ~gemm_model:(Lazy.force gemm_model) t
+      in
       Printf.printf "GEMM %d x %d x %d\n" m n k;
       report_outcome ~flops:(Matmul.flops t) Matmul.describe o)
 
-let tune_conv algo ni no out kern b top_k jobs cache_path checkpoint faults =
+let tune_conv algo ni no out kern b top_k jobs cache_path checkpoint search_mode budget seed
+    faults =
   with_tuning_env ?faults jobs cache_path (fun cache ->
+      let search = make_search search_mode budget seed in
       let spec = conv_spec ni no out kern b in
       Printf.printf "CONV %s\n" (Swtensor.Conv_spec.to_string spec);
       let gm = Lazy.force gemm_model in
@@ -144,27 +183,27 @@ let tune_conv algo ni no out kern b top_k jobs cache_path checkpoint faults =
       | `Implicit ->
         let t = Conv_implicit.problem spec in
         report_outcome ~flops:(Conv_implicit.flops t) Conv_implicit.describe
-          (Conv_implicit.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t)
+          (Conv_implicit.tune ?cache ?checkpoint ~top_k ~search ~gemm_model:gm t)
       | `Winograd ->
         let t = Conv_winograd.problem spec in
         report_outcome ~flops:(Conv_winograd.flops t) Conv_winograd.describe
-          (Conv_winograd.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t)
+          (Conv_winograd.tune ?cache ?checkpoint ~top_k ~search ~gemm_model:gm t)
       | `Explicit ->
         let t = Conv_explicit.problem spec in
         report_outcome ~flops:(Conv_explicit.flops t) Conv_explicit.describe
-          (Conv_explicit.tune ?cache ?checkpoint ~top_k ~gemm_model:gm t))
+          (Conv_explicit.tune ?cache ?checkpoint ~top_k ~search ~gemm_model:gm t))
 
 let tune_gemm_cmd =
   Cmd.v (Cmd.info "gemm" ~doc:"tune a matrix multiplication")
     Term.(
       const tune_gemm $ m_arg $ n_arg $ k_arg $ topk_arg $ jobs_arg $ cache_arg $ checkpoint_arg
-      $ faults_arg)
+      $ search_arg $ budget_arg $ seed_arg $ faults_arg)
 
 let tune_conv_cmd =
   Cmd.v (Cmd.info "conv" ~doc:"tune a convolution")
     Term.(
       const tune_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ topk_arg
-      $ jobs_arg $ cache_arg $ checkpoint_arg $ faults_arg)
+      $ jobs_arg $ cache_arg $ checkpoint_arg $ search_arg $ budget_arg $ seed_arg $ faults_arg)
 
 let tune_cmd = Cmd.group (Cmd.info "tune" ~doc:"autotune an operator") [ tune_gemm_cmd; tune_conv_cmd ]
 
@@ -423,11 +462,13 @@ let find_graph net_name batch =
       Printf.eprintf "unknown network %S (expected vgg16, resnet18, yolov2 or smoke)\n" net_name;
       exit 1)
 
-let net_run net_name batch json numeric jobs cache_path checkpoint faults =
+let net_run net_name batch json numeric jobs cache_path checkpoint search_mode budget seed
+    faults =
   with_tuning_env ?faults jobs cache_path (fun cache ->
       let g = find_graph net_name batch in
       let plan =
         Swatop_graph.Graph_compile.compile ?cache ?checkpoint
+          ~search:(make_search search_mode budget seed)
           ~gemm_model:(Lazy.force gemm_model) g
       in
       let report = Swatop_graph.Graph_exec.run ~numeric plan in
@@ -457,7 +498,7 @@ let net_cmd =
           arena) and execute it end to end on the simulator")
     Term.(
       const net_run $ name_arg $ batch_arg $ json_arg $ numeric_arg $ jobs_arg $ cache_arg
-      $ checkpoint_arg $ faults_arg)
+      $ checkpoint_arg $ search_arg $ budget_arg $ seed_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fit *)

@@ -1,0 +1,161 @@
+(* Online-fitted statistical cost model over schedule features.
+
+   Ridge regression on standardized features predicting log(seconds): the
+   log target turns the multiplicative structure of execution time (trip
+   counts x per-trip cost) into something a linear model represents well,
+   and makes the loss scale-free across layers whose absolute times differ
+   by orders of magnitude. The fit is closed-form (normal equations with
+   Tikhonov damping) over every sample observed so far — at feature width
+   ~24 and a few hundred measurements per tune, refitting after each batch
+   costs microseconds, so there is no incremental-update machinery to get
+   subtly wrong.
+
+   Everything is deterministic: same samples in the same order, same
+   weights. *)
+
+let format_version = 1
+
+type weights = { w_mean : float array; w_scale : float array; w_coef : float array }
+
+type t = {
+  dim : int;
+  mutable samples : (float array * float) list;  (* (features, log seconds), newest first *)
+  mutable fitted : weights option;  (* None until [fit] succeeds *)
+  warm : weights option;  (* transfer prior: used until the first fit *)
+}
+
+let create ?warm ~dim () =
+  if dim <= 0 then invalid_arg "Learned_model.create: non-positive dimension";
+  let warm =
+    match warm with
+    | Some w when Array.length w.w_mean = dim && Array.length w.w_scale = dim
+                  && Array.length w.w_coef = dim + 1 ->
+      Some w
+    | _ -> None
+  in
+  { dim; samples = []; fitted = None; warm }
+
+let dim t = t.dim
+let count t = List.length t.samples
+
+let observe t features seconds =
+  if Array.length features <> t.dim then
+    invalid_arg "Learned_model.observe: feature width mismatch";
+  if seconds > 0.0 && Float.is_finite seconds then
+    t.samples <- (Array.copy features, log seconds) :: t.samples
+
+let active t = match t.fitted with Some w -> Some w | None -> t.warm
+
+let predict_with w features =
+  let d = Array.length w.w_mean in
+  let acc = ref w.w_coef.(d) in
+  for i = 0 to d - 1 do
+    acc := !acc +. (w.w_coef.(i) *. ((features.(i) -. w.w_mean.(i)) /. w.w_scale.(i)))
+  done;
+  exp !acc
+
+let predict t features =
+  if Array.length features <> t.dim then
+    invalid_arg "Learned_model.predict: feature width mismatch";
+  match active t with None -> None | Some w -> Some (predict_with w features)
+
+let fitted t = active t <> None
+
+(* Minimum samples before fitting: below this the normal equations are
+   wildly underdetermined and the damped solution is pure noise. *)
+let min_samples = 4
+
+let fit ?(ridge = 1e-2) t =
+  let n = List.length t.samples in
+  if n >= min_samples then begin
+    let d = t.dim in
+    let xs = Array.of_list (List.rev_map fst t.samples) in
+    let ys = Array.of_list (List.rev_map snd t.samples) in
+    let mean = Array.make d 0.0 and scale = Array.make d 0.0 in
+    Array.iter (fun f -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) f) xs;
+    Array.iteri (fun i s -> mean.(i) <- s /. float_of_int n) mean;
+    ignore scale;
+    Array.iter
+      (fun f ->
+        Array.iteri (fun i v -> scale.(i) <- scale.(i) +. ((v -. mean.(i)) ** 2.0)) f)
+      xs;
+    Array.iteri
+      (fun i s ->
+        let sd = sqrt (s /. float_of_int n) in
+        scale.(i) <- (if sd > 1e-9 then sd else 1.0))
+      scale;
+    (* Normal equations over [z; 1] with ridge on every weight but the
+       intercept (the intercept absorbs the mean log-time and must not be
+       shrunk toward zero). *)
+    let cols = d + 1 in
+    let z r i = if i = d then 1.0 else (xs.(r).(i) -. mean.(i)) /. scale.(i) in
+    let xtx = Array.make_matrix cols cols 0.0 and xty = Array.make cols 0.0 in
+    for r = 0 to n - 1 do
+      for i = 0 to cols - 1 do
+        let zi = z r i in
+        xty.(i) <- xty.(i) +. (zi *. ys.(r));
+        for j = 0 to cols - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (zi *. z r j)
+        done
+      done
+    done;
+    for i = 0 to d - 1 do
+      xtx.(i).(i) <- xtx.(i).(i) +. (ridge *. float_of_int n)
+    done;
+    xtx.(d).(d) <- xtx.(d).(d) +. 1e-9;
+    match Prelude.Linsolve.solve xtx xty with
+    | coef -> t.fitted <- Some { w_mean = mean; w_scale = scale; w_coef = coef }
+    | exception Failure _ -> ()  (* singular despite damping: keep the previous weights *)
+  end
+
+let rmse_log t =
+  match (active t, t.samples) with
+  | None, _ | _, [] -> 0.0
+  | Some w, samples ->
+    let n = List.length samples in
+    let sse =
+      List.fold_left
+        (fun acc (f, ly) ->
+          let e = log (predict_with w f) -. ly in
+          acc +. (e *. e))
+        0.0 samples
+    in
+    sqrt (sse /. float_of_int n)
+
+let weights t = active t
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: a single line of space-separated tokens, so a weight
+   vector embeds directly in the line-oriented schedule-cache format. *)
+
+let weights_to_string w =
+  let d = Array.length w.w_mean in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "lm%d %d" format_version d);
+  let emit a = Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %.17g" v)) a in
+  emit w.w_mean;
+  emit w.w_scale;
+  emit w.w_coef;
+  Buffer.contents buf
+
+let weights_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | magic :: dim_s :: rest when magic = Printf.sprintf "lm%d" format_version -> (
+    match int_of_string_opt dim_s with
+    | Some d when d > 0 && List.length rest = (3 * d) + 1 -> (
+      let vals = List.map float_of_string_opt rest in
+      if List.exists Option.is_none vals then None
+      else
+        let arr = Array.of_list (List.map Option.get vals) in
+        let ok = Array.for_all Float.is_finite arr in
+        let scale = Array.sub arr d d in
+        if ok && Array.for_all (fun v -> v > 0.0) scale then
+          Some
+            {
+              w_mean = Array.sub arr 0 d;
+              w_scale = scale;
+              w_coef = Array.sub arr (2 * d) (d + 1);
+            }
+        else None)
+    | _ -> None)
+  | _ -> None

@@ -1,0 +1,67 @@
+(** Online-fitted cost model: ridge regression on standardized
+    {!Sched_features} vectors predicting log(simulated seconds).
+
+    The guided tuner observes every measurement, refits after each batch
+    (closed-form normal equations — microseconds at this feature width),
+    and ranks unmeasured candidates by {!predict}. Fitted weights
+    serialize to a single line for warm-start transfer through
+    {!Schedule_cache}. Fully deterministic: same samples in the same
+    order produce bit-identical weights. *)
+
+val format_version : int
+(** Bumped whenever {!weights_to_string}'s encoding or the semantics of
+    the feature vector change; cached weights from other versions are
+    ignored by readers. *)
+
+type weights = {
+  w_mean : float array;  (** per-feature standardization mean, length dim *)
+  w_scale : float array;  (** per-feature standardization stddev (>= 1e-9), length dim *)
+  w_coef : float array;  (** regression coefficients + trailing intercept, length dim+1 *)
+}
+
+type t
+
+val create : ?warm:weights -> dim:int -> unit -> t
+(** Fresh model over [dim]-wide features. [warm] supplies transfer
+    weights used by {!predict} until the first successful {!fit};
+    weights of a mismatched width are silently dropped. *)
+
+val dim : t -> int
+
+val count : t -> int
+(** Number of observations recorded so far. *)
+
+val observe : t -> float array -> float -> unit
+(** [observe t features seconds] records a measurement. Non-positive or
+    non-finite [seconds] are ignored (failed measurements carry no
+    signal). Raises [Invalid_argument] on feature-width mismatch. *)
+
+val fit : ?ridge:float -> t -> unit
+(** Refit from all observations. A no-op below a small minimum sample
+    count, and on a (damped) singular system the previous weights are
+    kept — [fit] never leaves the model worse than before the call. *)
+
+val fitted : t -> bool
+(** Whether {!predict} will return predictions (own fit or warm-start). *)
+
+val predict : t -> float array -> float option
+(** Predicted simulated seconds, or [None] when no weights are active
+    yet. Raises [Invalid_argument] on feature-width mismatch. *)
+
+val rmse_log : t -> float
+(** Root-mean-square error of the active weights over the recorded
+    observations, in log-seconds space ([0.1] means predictions are
+    typically within ~10% of measurements). [0.0] when unfitted or
+    empty. *)
+
+val weights : t -> weights option
+(** The active weights (own fit, else warm-start), for caching. *)
+
+val weights_to_string : weights -> string
+(** One-line, whitespace-separated, round-trips through
+    {!weights_of_string} exactly ([%.17g]). *)
+
+val weights_of_string : string -> weights option
+(** [None] on malformed input, a different {!format_version}, non-finite
+    values, or non-positive scales — corrupt cache entries degrade to a
+    cold start, never an exception. *)

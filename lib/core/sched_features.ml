@@ -1,0 +1,259 @@
+(* Fixed-width schedule features for the learned cost model.
+
+   The extractor walks an optimized program once, analytically: a loop's
+   body is visited a single time under its midpoint iterate, and every
+   accumulation is weighted by the loop's trip count, so the totals
+   approximate what a full execution would issue at a cost independent of
+   the trip counts. Conditionals whose guard evaluates under the midpoint
+   environment take that branch; undecidable guards contribute both branches
+   at half weight. The walk never raises: an expression it cannot resolve
+   simply contributes a neutral value — totality is load-bearing, because
+   the guided tuner calls this on every generated candidate, including the
+   ones a verifier would reject. *)
+
+type acc = {
+  mutable loops : int;  (* static loop nodes *)
+  mutable depth : int;  (* current nesting depth *)
+  mutable max_depth : int;
+  mutable iterations : float;  (* weighted innermost visits *)
+  mutable gets : float;
+  mutable puts : float;
+  mutable waits : float;
+  mutable get_bytes : float;
+  mutable put_bytes : float;
+  mutable get_rows : float;  (* weighted sum of Get descriptor rows *)
+  mutable get_row_elems : float;
+  mutable dma_sites : int;  (* static DMA statements *)
+  mutable gemm_calls : float;
+  mutable gemm_flops : float;
+  mutable fm : int;  (* first GEMM's tile extents (upper bounds) *)
+  mutable fn : int;
+  mutable fk : int;
+  mutable vec_m : float;  (* weighted kernel-variant mix *)
+  mutable vec_n : float;
+  mutable a_col_major : float;
+  mutable b_col_major : float;
+  mutable memset_elems : float;
+  mutable copy_elems : float;
+  mutable transform_units : float;
+}
+
+let rec eval env (e : Ir.expr) =
+  let bin f a b =
+    match (eval env a, eval env b) with Some x, Some y -> Some (f x y) | _ -> None
+  in
+  match e with
+  | Ir.Const i -> Some i
+  | Ir.Var v -> List.assoc_opt v env
+  | Ir.Add (a, b) -> bin ( + ) a b
+  | Ir.Sub (a, b) -> bin ( - ) a b
+  | Ir.Mul (a, b) -> bin ( * ) a b
+  | Ir.Div (a, b) -> (
+    match (eval env a, eval env b) with
+    | Some x, Some y when y <> 0 -> Some (if x >= 0 then x / y else -((-x + y - 1) / y))
+    | _ -> None)
+  | Ir.Mod (a, b) -> (
+    match (eval env a, eval env b) with
+    | Some x, Some y when y <> 0 -> Some (((x mod y) + y) mod y)
+    | _ -> None)
+  | Ir.Min (a, b) -> bin min a b
+  | Ir.Max (a, b) -> bin max a b
+
+let rec eval_cond env (c : Ir.cond) =
+  match c with
+  | Ir.Cmp (op, a, b) -> (
+    match (eval env a, eval env b) with
+    | Some x, Some y ->
+      Some (match op with Ir.Lt -> x < y | Ir.Le -> x <= y | Ir.Eq -> x = y | Ir.Ne -> x <> y)
+    | _ -> None)
+  | Ir.And (a, b) -> (
+    match (eval_cond env a, eval_cond env b) with
+    | Some x, Some y -> Some (x && y)
+    | Some false, None | None, Some false -> Some false
+    | _ -> None)
+  | Ir.Or (a, b) -> (
+    match (eval_cond env a, eval_cond env b) with
+    | Some x, Some y -> Some (x || y)
+    | Some true, None | None, Some true -> Some true
+    | _ -> None)
+  | Ir.Not a -> Option.map not (eval_cond env a)
+
+let fi = float_of_int
+
+let variant_frac (v : Primitives.Spm_gemm.variant) acc w =
+  (match v.vec with
+  | Primitives.Spm_gemm.Vec_m -> acc.vec_m <- acc.vec_m +. w
+  | Primitives.Spm_gemm.Vec_n -> acc.vec_n <- acc.vec_n +. w);
+  (match v.a_major with
+  | Primitives.Spm_gemm.Col_major -> acc.a_col_major <- acc.a_col_major +. w
+  | Primitives.Spm_gemm.Row_major -> ());
+  match v.b_major with
+  | Primitives.Spm_gemm.Col_major -> acc.b_col_major <- acc.b_col_major +. w
+  | Primitives.Spm_gemm.Row_major -> ()
+
+let rec walk acc env w (s : Ir.stmt) =
+  match s with
+  | Ir.Seq l -> List.iter (walk acc env w) l
+  | Ir.Comment _ -> ()
+  | Ir.For f -> (
+    acc.loops <- acc.loops + 1;
+    acc.depth <- acc.depth + 1;
+    if acc.depth > acc.max_depth then acc.max_depth <- acc.depth;
+    (match (eval env f.lo, eval env f.hi, eval env f.step) with
+    | Some lo, Some hi, Some step when step > 0 ->
+      let trips = if hi <= lo then 0 else (hi - lo + step - 1) / step in
+      if trips > 0 then begin
+        let mid = lo + (step * ((trips - 1) / 2)) in
+        walk acc ((f.iter, mid) :: env) (w *. fi trips) f.body
+      end
+    | _ ->
+      (* Symbolic bounds: visit the body once, unweighted — schedulers only
+         emit constant bounds, so this is a defensive path. *)
+      walk acc env w f.body);
+    acc.depth <- acc.depth - 1)
+  | Ir.If { cond; then_; else_ } -> (
+    match eval_cond env cond with
+    | Some true -> walk acc env w then_
+    | Some false -> walk acc env w else_
+    | None ->
+      walk acc env (w /. 2.0) then_;
+      walk acc env (w /. 2.0) else_)
+  | Ir.Dma d ->
+    acc.dma_sites <- acc.dma_sites + 1;
+    let rows = Option.value ~default:1 (eval env d.region.rows)
+    and row_elems = Option.value ~default:1 (eval env d.region.row_elems) in
+    let bytes = w *. fi (max 0 rows * max 0 row_elems * Sw26010.Config.elem_bytes) in
+    (match d.dir with
+    | Ir.Get ->
+      acc.gets <- acc.gets +. w;
+      acc.get_bytes <- acc.get_bytes +. bytes;
+      acc.get_rows <- acc.get_rows +. (w *. fi (max 0 rows));
+      acc.get_row_elems <- acc.get_row_elems +. (w *. fi (max 0 row_elems))
+    | Ir.Put ->
+      acc.puts <- acc.puts +. w;
+      acc.put_bytes <- acc.put_bytes +. bytes)
+  | Ir.Dma_wait _ -> acc.waits <- acc.waits +. w
+  | Ir.Gemm g ->
+    acc.iterations <- acc.iterations +. w;
+    acc.gemm_calls <- acc.gemm_calls +. w;
+    let m = Option.value ~default:0 (eval env g.m)
+    and n = Option.value ~default:0 (eval env g.n)
+    and k = Option.value ~default:0 (eval env g.k) in
+    acc.gemm_flops <- acc.gemm_flops +. (w *. 2.0 *. fi m *. fi n *. fi k);
+    if acc.fm = 0 then begin
+      acc.fm <- m;
+      acc.fn <- n;
+      acc.fk <- k
+    end;
+    variant_frac g.variant acc w
+  | Ir.Memset_spm { elems; _ } ->
+    acc.memset_elems <- acc.memset_elems +. (w *. fi (max 0 (Option.value ~default:0 (eval env elems))))
+  | Ir.Spm_copy c ->
+    let rows = Option.value ~default:0 (eval env c.cp_rows)
+    and elems = Option.value ~default:0 (eval env c.cp_row_elems) in
+    acc.copy_elems <- acc.copy_elems +. (w *. fi (max 0 rows * max 0 elems))
+  | Ir.Transform t ->
+    let tr = Option.value ~default:0 (eval env t.t_tiles_r)
+    and tc = Option.value ~default:0 (eval env t.t_tiles_c)
+    and ch = Option.value ~default:0 (eval env t.t_chans) in
+    acc.transform_units <- acc.transform_units +. (w *. fi (max 0 tr * max 0 tc * max 0 ch))
+
+let names =
+  [
+    "log_iterations";
+    "loops";
+    "max_depth";
+    "log_dma_gets";
+    "log_dma_puts";
+    "log_dma_waits";
+    "log_get_bytes";
+    "log_put_bytes";
+    "log_mean_get_rows";
+    "log_mean_get_row_elems";
+    "log_gemm_calls";
+    "log_gemm_flops";
+    "log_tile_m";
+    "log_tile_n";
+    "log_tile_k";
+    "vec_m_frac";
+    "a_col_major_frac";
+    "b_col_major_frac";
+    "overlapped";
+    "log_spm_bytes";
+    "log_memset_elems";
+    "log_repack_elems";
+    "arith_intensity";
+    "dma_sites";
+  ]
+
+let dim = List.length names
+
+let of_program (p : Ir.program) =
+  let acc =
+    {
+      loops = 0;
+      depth = 0;
+      max_depth = 0;
+      iterations = 0.0;
+      gets = 0.0;
+      puts = 0.0;
+      waits = 0.0;
+      get_bytes = 0.0;
+      put_bytes = 0.0;
+      get_rows = 0.0;
+      get_row_elems = 0.0;
+      dma_sites = 0;
+      gemm_calls = 0.0;
+      gemm_flops = 0.0;
+      fm = 0;
+      fn = 0;
+      fk = 0;
+      vec_m = 0.0;
+      vec_n = 0.0;
+      a_col_major = 0.0;
+      b_col_major = 0.0;
+      memset_elems = 0.0;
+      copy_elems = 0.0;
+      transform_units = 0.0;
+    }
+  in
+  walk acc [] 1.0 p.Ir.body;
+  let spm_bytes =
+    List.fold_left
+      (fun b (buf : Ir.buf) ->
+        match buf.space with
+        | Ir.Spm ->
+          b + (buf.cpe_elems * Sw26010.Config.elem_bytes * if buf.double_buffered then 2 else 1)
+        | Ir.Main -> b)
+      0 p.Ir.bufs
+  in
+  let l x = log1p (Float.max 0.0 x) in
+  let gemm_total = acc.vec_m +. acc.vec_n in
+  let frac x = if gemm_total > 0.0 then x /. gemm_total else 0.0 in
+  let bytes = acc.get_bytes +. acc.put_bytes in
+  [|
+    l acc.iterations;
+    fi acc.loops;
+    fi acc.max_depth;
+    l acc.gets;
+    l acc.puts;
+    l acc.waits;
+    l acc.get_bytes;
+    l acc.put_bytes;
+    l (if acc.gets > 0.0 then acc.get_rows /. acc.gets else 0.0);
+    l (if acc.gets > 0.0 then acc.get_row_elems /. acc.gets else 0.0);
+    l acc.gemm_calls;
+    l acc.gemm_flops;
+    l (fi acc.fm);
+    l (fi acc.fn);
+    l (fi acc.fk);
+    frac acc.vec_m;
+    frac acc.a_col_major;
+    frac acc.b_col_major;
+    (if p.Ir.overlapped then 1.0 else 0.0);
+    l (fi spm_bytes);
+    l acc.memset_elems;
+    l (acc.copy_elems +. acc.transform_units);
+    (if bytes > 0.0 then acc.gemm_flops /. bytes else 0.0);
+    fi acc.dma_sites;
+  |]

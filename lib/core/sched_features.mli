@@ -1,0 +1,26 @@
+(** Fixed-width numeric features of a candidate schedule's IR.
+
+    One analytic walk per program — loops visited once at their midpoint
+    iterate, accumulations weighted by trip counts — yields a {!dim}-wide
+    vector: loop structure, DMA descriptor geometry and byte volumes, GEMM
+    tile extents and kernel-variant mix, SPM footprint, repack/memset
+    volumes and arithmetic intensity. Magnitudes are [log1p]-compressed so
+    a linear model over them behaves like a power law over the raw counts.
+
+    Extraction is {e total}: it never raises on any program the candidate
+    generators emit (including ones {!Ir_verify} would reject) and always
+    returns exactly {!dim} finite values — the guided tuner featurizes every
+    generated candidate before any of them is verified or measured. *)
+
+val dim : int
+(** Width of every feature vector. *)
+
+val names : string list
+(** Human-readable feature names, index-aligned with {!of_program}'s
+    result; [List.length names = dim]. *)
+
+val of_program : Ir.program -> float array
+(** Extract the feature vector. Works on any structurally well-formed
+    program; DMA inference need not have run (per-CPE descriptors are not
+    consulted), but the usual pipeline featurizes the optimized program the
+    tuner would also measure. *)

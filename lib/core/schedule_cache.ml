@@ -1,4 +1,9 @@
-let version_line = "swatop-schedule-cache v1"
+(* v2: schedule entries gained an explicit search-mode key component, and
+   the file gained model lines (fitted learned-cost-model weights per op
+   family, for warm-starting guided tunes). v1 files present as an unknown
+   header and are quarantined — a guided-era reader must never serve a
+   winner whose key cannot say which search mode produced it. *)
+let version_line = "swatop-schedule-cache v2"
 
 type entry = {
   fingerprint : int;
@@ -9,20 +14,32 @@ type entry = {
 
 type t = {
   table : (string, entry) Hashtbl.t;
+  models : (string, int * string) Hashtbl.t;  (* family -> (model version, payload) *)
   mutable dirty : bool;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 64; dirty = false; hits = 0; misses = 0 }
+let create () =
+  { table = Hashtbl.create 64; models = Hashtbl.create 8; dirty = false; hits = 0; misses = 0 }
+
 let size t = Hashtbl.length t.table
+let model_count t = Hashtbl.length t.models
 let hits t = t.hits
 let misses t = t.misses
 
-let key ~op ~dims =
-  if String.contains op ' ' || String.contains op '\t' then
-    invalid_arg "Schedule_cache.key: operator name contains whitespace";
-  Printf.sprintf "%s:%s" op (String.concat "x" (List.map string_of_int dims))
+let no_whitespace what s =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then
+        invalid_arg (Printf.sprintf "Schedule_cache.key: %s contains whitespace" what))
+    s
+
+let key ?(search = "exhaustive") ~op ~dims () =
+  no_whitespace "operator name" op;
+  no_whitespace "search mode" search;
+  if search = "" then invalid_arg "Schedule_cache.key: empty search mode";
+  Printf.sprintf "%s:%s#%s" op (String.concat "x" (List.map string_of_int dims)) search
 
 (* FNV-1a over the candidate descriptions (offset basis truncated to OCaml's
    63-bit native int). [Hashtbl.hash] is unusable here: it truncates deep
@@ -54,6 +71,22 @@ let remember t ~key:k entry =
     Hashtbl.replace t.table k entry;
     t.dirty <- true);
   ()
+
+let find_model t ~family ~version =
+  match Hashtbl.find_opt t.models family with
+  | Some (v, payload) when v = version -> Some payload
+  | _ -> None
+
+let remember_model t ~family ~version payload =
+  if String.contains family '\t' || String.contains family '\n' then
+    invalid_arg "Schedule_cache.remember_model: family contains separator characters";
+  if String.contains payload '\t' || String.contains payload '\n' then
+    invalid_arg "Schedule_cache.remember_model: payload contains separator characters";
+  match Hashtbl.find_opt t.models family with
+  | Some old when old = (version, payload) -> ()
+  | _ ->
+    Hashtbl.replace t.models family (version, payload);
+    t.dirty <- true
 
 (* ------------------------------------------------------------------ *)
 (* Persistence: a versioned line-oriented text file, one entry per line.
@@ -107,7 +140,7 @@ let load path =
             | exception End_of_file -> ()
             | line ->
               (match String.split_on_char '\t' line with
-              | [ k; fp; sz; idx; secs ] -> (
+              | [ "S"; k; fp; sz; idx; secs ] -> (
                 match
                   ( int_of_string_opt fp,
                     int_of_string_opt sz,
@@ -117,7 +150,12 @@ let load path =
                 | Some fingerprint, Some space_size, Some index, Some seconds
                   when index >= 0 && index < space_size ->
                   Hashtbl.replace t.table k { fingerprint; space_size; index; seconds }
-                | _ -> if !bad = None then bad := Some "malformed entry line")
+                | _ -> if !bad = None then bad := Some "malformed schedule line")
+              | [ "M"; family; ver; payload ] -> (
+                match int_of_string_opt ver with
+                | Some version when family <> "" && payload <> "" ->
+                  Hashtbl.replace t.models family (version, payload)
+                | _ -> if !bad = None then bad := Some "malformed model line")
               | _ -> if !bad = None then bad := Some "malformed entry line");
               loop ()
           in
@@ -141,10 +179,14 @@ let save path t =
           let lines =
             Hashtbl.fold
               (fun k e acc ->
-                Printf.sprintf "%s\t%d\t%d\t%d\t%.17g" k e.fingerprint e.space_size e.index
+                Printf.sprintf "S\t%s\t%d\t%d\t%d\t%.17g" k e.fingerprint e.space_size e.index
                   e.seconds
                 :: acc)
-              t.table []
+              t.table
+              (Hashtbl.fold
+                 (fun family (version, payload) acc ->
+                   Printf.sprintf "M\t%s\t%d\t%s" family version payload :: acc)
+                 t.models [])
           in
           List.iter
             (fun l ->

@@ -17,7 +17,15 @@
     save degrade on I/O failure — and on the ["cache.load"] /
     ["cache.save"] {!Prelude.Fault} sites — to a cold cache / a skipped
     save, never an exception. Lookup statistics ({!hits}/{!misses}) feed
-    the tuning reports. *)
+    the tuning reports.
+
+    Since v2, keys carry the {e search mode} that produced the winner
+    (exhaustive and guided entries can never collide: a guided winner is
+    the best of a measured subset, not necessarily the space's optimum),
+    and the file additionally stores fitted learned-cost-model weights per
+    operator family ({!find_model}/{!remember_model}) so a guided tune of
+    a new workload warm-starts from its family's previous model. v1 files
+    present as an unknown version and quarantine to a cold cache. *)
 
 type entry = {
   fingerprint : int;  (** {!fingerprint} of the space this entry was tuned on *)
@@ -39,9 +47,12 @@ val save : string -> t -> unit
     entries changed since [load]/the last [save]. Failures warn and skip
     the save. *)
 
-val key : op:string -> dims:int list -> string
-(** E.g. [key ~op:"matmul" ~dims:[512; 512; 512]] = ["matmul:512x512x512"].
-    Raises [Invalid_argument] if [op] contains whitespace. *)
+val key : ?search:string -> op:string -> dims:int list -> unit -> string
+(** E.g. [key ~op:"matmul" ~dims:[512; 512; 512] ()] =
+    ["matmul:512x512x512#exhaustive"]; [search] defaults to
+    ["exhaustive"], the guided tuner passes ["guided"]. Raises
+    [Invalid_argument] if [op] or [search] contains whitespace or
+    [search] is empty. *)
 
 val fingerprint : string list -> int
 (** Order-sensitive FNV-1a hash of the candidates' [describe] strings;
@@ -53,6 +64,20 @@ val find : t -> key:string -> fingerprint:int -> space_size:int -> entry option
 
 val remember : t -> key:string -> entry -> unit
 
+val find_model : t -> family:string -> version:int -> string option
+(** Serialized learned-model weights for an operator family (e.g.
+    ["matmul"]), or [None] when absent or stored under a different
+    {!Learned_model.format_version} — a format bump degrades to a cold
+    start, never a misread. *)
+
+val remember_model : t -> family:string -> version:int -> string -> unit
+(** Stores (replacing) the family's warm-start weights. The payload must
+    be a single line without tabs — {!Learned_model.weights_to_string}
+    satisfies this. Raises [Invalid_argument] otherwise. *)
+
 val size : t -> int
+(** Number of schedule entries (model entries not included). *)
+
+val model_count : t -> int
 val hits : t -> int
 val misses : t -> int

@@ -11,6 +11,10 @@ type report = {
   score_seconds : float;
   measure_seconds : float;
   hardware_seconds : float;
+  measured : int;
+  batches : int;
+  model_rmse : float;
+  predicted_seconds : float;
 }
 
 type 'a outcome = {
@@ -287,6 +291,10 @@ let model_tune ?(top_k = 1) ?(prune = true) ?jobs ?checkpoint ~gemm_model ~candi
         score_seconds = wall_scored -. wall0;
         measure_seconds = wall1 -. wall_scored;
         hardware_seconds = finalist_hw;
+        measured = List.length measured;
+        batches = 0;
+        model_rmse = 0.0;
+        predicted_seconds = best_entry.Topk.k_seconds;
       };
   }
 
@@ -395,5 +403,303 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
         score_seconds = wall1 -. wall0;
         measure_seconds = 0.0;
         hardware_seconds = measured_hw *. float_of_int sample_every;
+        measured =
+          (let m = ref 0 in
+           Array.iter (fun s -> if not s then incr m) skipped;
+           !m);
+        batches = 0;
+        model_rmse = 0.0;
+        predicted_seconds = 0.0;
       };
   }
+
+(* ------------------------------------------------------------------ *)
+(* Guided tuner: learned cost model + batched search (ROADMAP item 2).
+
+   Replaces "measure everything" with an AutoTVM-style loop: featurize the
+   whole space once, then alternate proposing a small measurement batch
+   (prediction-ranked exploitation + epsilon-greedy exploration + a
+   simulated-annealing walk over the prediction surface) with refitting a
+   ridge model on the measurements so far. Only the batches ever touch the
+   simulated machine, so [hardware_seconds] shrinks with the measurement
+   count rather than the space size.
+
+   Determinism is structural, not incidental: batch composition is decided
+   on the coordinating thread between batches, all randomness flows through
+   [Prelude.Det_rng] keyed by (seed, site, decision index), and the
+   measurement fan-out reuses [Parallel.map_chunks] whose results are
+   independent of the job count — so a guided tune replays exactly for a
+   given seed, whatever [?jobs] is. *)
+
+type guided_config = {
+  gc_seed : int;
+  gc_batch : int;
+  gc_budget : int;
+  gc_epsilon : float;
+  gc_sa_steps : int;
+  gc_patience : int;
+  gc_min_batches : int;
+  gc_warm : Learned_model.weights option;
+}
+
+let guided_defaults ~seed =
+  {
+    gc_seed = seed;
+    gc_batch = 8;
+    gc_budget = 0;
+    gc_epsilon = 0.15;
+    gc_sa_steps = 32;
+    gc_patience = 2;
+    gc_min_batches = 3;
+    gc_warm = None;
+  }
+
+type search = Exhaustive | Guided of guided_config
+
+let guided_tune ?jobs ~config:cfg ~candidates ~build () =
+  let candidates = require_nonempty candidates in
+  if cfg.gc_batch < 1 then invalid_arg "Tuner.guided_tune: batch must be positive";
+  if cfg.gc_epsilon < 0.0 || cfg.gc_epsilon > 1.0 then
+    invalid_arg "Tuner.guided_tune: epsilon must be in [0, 1]";
+  let arr = Array.of_list candidates in
+  let n = Array.length arr in
+  let seed = cfg.gc_seed in
+  let wall0 = Prelude.Clock.wall () and cpu0 = Sys.time () in
+  (* Phase 1: featurize and verify the whole space in parallel. Verification
+     here is what keeps unsound schedules out of the search permanently: a
+     rejected candidate never becomes eligible for measurement, exactly as in
+     the exhaustive tuners. Per-candidate crashes are captured and counted,
+     never propagated. *)
+  let featurize _base chunk =
+    Array.map
+      (fun c ->
+        match
+          let p = optimize (build c) in
+          match Ir_verify.errors (Ir_verify.verify p) with
+          | _ :: _ as errs -> `Rejected (rejection_codes errs)
+          | [] -> `Feat (Sched_features.of_program (checked p))
+        with
+        | r -> r
+        | exception e -> `Failed (Prelude.Swatop_error.label e))
+      chunk
+  in
+  let chunked = Prelude.Parallel.map_chunks ?jobs ~f:featurize arr in
+  let features = Array.make n None in
+  let verify_rejected = ref [] and failed = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun res ->
+      Array.iter
+        (fun r ->
+          (match r with
+          | `Feat f -> features.(!pos) <- Some f
+          | `Rejected codes -> verify_rejected := add_rejections !verify_rejected codes
+          | `Failed l -> failed := merge_rejections !failed [ (l, 1) ]);
+          incr pos)
+        res)
+    chunked;
+  if Array.for_all Option.is_none features then
+    if !failed = [] then
+      invalid_arg
+        (Printf.sprintf "Tuner.guided_tune: every candidate rejected by the IR verifier (%s)"
+           (rejections_summary !verify_rejected))
+    else
+      Prelude.Swatop_error.error ~site:"tuner.guided_tune"
+        ~context:
+          (("failed", rejections_summary !failed)
+          :: (if !verify_rejected = [] then []
+              else [ ("rejected", rejections_summary !verify_rejected) ]))
+        "every candidate failed or was rejected";
+  let wall_featurized = Prelude.Clock.wall () in
+  (* Phase 2: the propose/measure/refit loop. *)
+  let model = Learned_model.create ?warm:cfg.gc_warm ~dim:Sched_features.dim () in
+  let alive = Array.map Option.is_some features in
+  let eligible = Array.fold_left (fun a b -> if b then a + 1 else a) 0 alive in
+  let budget =
+    let auto = max (cfg.gc_batch * cfg.gc_min_batches) (n / 10) in
+    min eligible (if cfg.gc_budget > 0 then cfg.gc_budget else auto)
+  in
+  let feat i = Option.get features.(i) in
+  let predict i =
+    match Learned_model.predict model (feat i) with Some p -> p | None -> infinity
+  in
+  let remaining () =
+    let l = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then l := i :: !l
+    done;
+    Array.of_list !l
+  in
+  (* One SA walk per batch over the prediction surface, restricted to
+     unmeasured candidates: start at the greedy front-runner, take bounded
+     index jumps, accept uphill moves with probability exp(-relative
+     regression / temperature), and return the best state visited. The
+     temperature decays per batch, so late batches refine locally while early
+     ones still tunnel out of a misleading prediction basin. *)
+  let sa_pick ~batch_no rem start_pos =
+    let len = Array.length rem in
+    let radius = max 1 (len / 16) in
+    let temp = 0.3 *. (0.7 ** float_of_int batch_no) in
+    let cur = ref start_pos and cur_cost = ref (predict rem.(start_pos)) in
+    let best = ref start_pos and best_cost = ref !cur_cost in
+    for s = 0 to cfg.gc_sa_steps - 1 do
+      let k = (batch_no * 8192) + s in
+      let jump = Prelude.Det_rng.int ~seed ~site:"tuner.guided.sa.step" ~k ((2 * radius) + 1) - radius in
+      let p = (((!cur + jump) mod len) + len) mod len in
+      let c = predict rem.(p) in
+      let accept =
+        c < !cur_cost
+        || !cur_cost > 0.0
+           && Prelude.Det_rng.uniform ~seed ~site:"tuner.guided.sa.accept" ~k
+              < exp (-.(c -. !cur_cost) /. (temp *. !cur_cost))
+      in
+      if accept then begin
+        cur := p;
+        cur_cost := c;
+        if c < !best_cost then begin
+          best := p;
+          best_cost := c
+        end
+      end
+    done;
+    rem.(!best)
+  in
+  let pick_batch ~batch_no ~left =
+    let rem = remaining () in
+    let len = Array.length rem in
+    let b = min (min cfg.gc_batch left) len in
+    if b <= 0 then []
+    else if not (Learned_model.fitted model) then
+      (* Cold start: an even spread over the (generation-ordered) space is
+         the best coverage a model-free batch can buy. *)
+      List.init b (fun j -> rem.(j * len / b))
+    else begin
+      let ranked = Array.copy rem in
+      Array.sort
+        (fun a b ->
+          let c = compare (predict a) (predict b) in
+          if c <> 0 then c else compare a b)
+        ranked;
+      let explore_n =
+        if b >= 2 then min (b - 1) (int_of_float (Float.round (cfg.gc_epsilon *. float_of_int b)))
+        else 0
+      in
+      let sa_n = if cfg.gc_sa_steps > 0 && b - explore_n >= 2 && len >= 2 then 1 else 0 in
+      let picks = ref [] in
+      let count = ref 0 in
+      let add i =
+        if !count < b && not (List.mem i !picks) then begin
+          picks := i :: !picks;
+          incr count
+        end
+      in
+      Array.iteri (fun r i -> if r < b - explore_n - sa_n then add i) ranked;
+      if sa_n > 0 then add (sa_pick ~batch_no rem (ranked.(0) |> fun top ->
+        (* SA starts at the greedy front-runner's position in [rem]. *)
+        let p = ref 0 in
+        Array.iteri (fun j i -> if i = top then p := j) rem;
+        !p));
+      for e = 0 to explore_n - 1 do
+        add rem.(Prelude.Det_rng.int ~seed ~site:"tuner.guided.explore" ~k:((batch_no * 4096) + e) len)
+      done;
+      (* Epsilon picks can collide with exploitation picks; top up from the
+         ranking so the batch stays full. *)
+      Array.iter (fun i -> if !count < b then add i) ranked;
+      List.rev !picks
+    end
+  in
+  let measure_batch picks =
+    let parr = Array.of_list (List.sort_uniq compare picks) in
+    let run _base chunk =
+      Array.map
+        (fun index ->
+          match
+            Prelude.Fault.check ~key:index "tuner.score";
+            let p = checked (optimize (build arr.(index))) in
+            (p, (Interp.run ~numeric:false p).seconds)
+          with
+          | p, s -> (index, Ok (p, s))
+          | exception e -> (index, Error (Prelude.Swatop_error.label e)))
+        chunk
+    in
+    List.concat_map Array.to_list (Prelude.Parallel.map_chunks ?jobs ~f:run parr)
+  in
+  let measured = ref 0 and attempts = ref 0 and batches = ref 0 in
+  let hw = ref 0.0 in
+  let best = ref None in
+  let stale = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let picks = pick_batch ~batch_no:!batches ~left:(budget - !attempts) in
+    if picks = [] then stop := true
+    else begin
+      let before = match !best with Some (_, _, s) -> s | None -> infinity in
+      List.iter
+        (fun (index, r) ->
+          alive.(index) <- false;
+          incr attempts;
+          match r with
+          | Ok (p, s) ->
+            incr measured;
+            hw := !hw +. per_candidate_compile_seconds +. s;
+            Learned_model.observe model (feat index) s;
+            (match !best with
+            | Some (_, _, bs) when bs <= s -> ()
+            | _ -> best := Some (index, p, s))
+          | Error l -> failed := merge_rejections !failed [ (l, 1) ])
+        (measure_batch picks);
+      Learned_model.fit model;
+      incr batches;
+      let after = match !best with Some (_, _, s) -> s | None -> infinity in
+      if Float.is_finite after && after > 0.0 && (before -. after) /. after < 0.005 then incr stale
+      else stale := 0;
+      if !attempts >= budget && !batches >= cfg.gc_min_batches then stop := true;
+      if !stale >= cfg.gc_patience && !batches >= cfg.gc_min_batches then stop := true
+    end
+  done;
+  let best_index, best_program, best_seconds =
+    match !best with
+    | Some b -> b
+    | None ->
+      Prelude.Swatop_error.error ~site:"tuner.guided_tune"
+        ~context:[ ("failed", rejections_summary (sorted_rejections !failed)) ]
+        "every measured candidate failed"
+  in
+  let wall1 = Prelude.Clock.wall () in
+  let predicted_seconds =
+    match Learned_model.predict model (feat best_index) with Some p -> p | None -> best_seconds
+  in
+  let outcome =
+    {
+      best = arr.(best_index);
+      best_index;
+      best_program;
+      best_seconds;
+      report =
+        {
+          space_size = n;
+          evaluated = n;
+          pruned = 0;
+          verify_rejected = sorted_rejections !verify_rejected;
+          scored_failed = sorted_rejections !failed;
+          cache_hit = false;
+          jobs = effective_jobs jobs;
+          wall_seconds = wall1 -. wall0;
+          cpu_seconds = Sys.time () -. cpu0;
+          score_seconds = wall_featurized -. wall0;
+          measure_seconds = wall1 -. wall_featurized;
+          hardware_seconds = !hw;
+          measured = !measured;
+          batches = !batches;
+          model_rmse = Learned_model.rmse_log model;
+          predicted_seconds;
+        };
+    }
+  in
+  (outcome, Learned_model.weights model)
+
+let tune ?top_k ?prune ?jobs ?checkpoint ?(search = Exhaustive) ~gemm_model ~candidates ~build () =
+  match search with
+  | Exhaustive ->
+    (model_tune ?top_k ?prune ?jobs ?checkpoint ~gemm_model ~candidates ~build (), None)
+  | Guided cfg -> guided_tune ?jobs ~config:cfg ~candidates ~build ()

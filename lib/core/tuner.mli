@@ -50,6 +50,18 @@ type report = {
   score_seconds : float;  (** wall seconds of the scoring/estimation phase *)
   measure_seconds : float;  (** wall seconds measuring the finalists *)
   hardware_seconds : float;  (** simulated SW26010 time the tuning would occupy *)
+  measured : int;
+      (** candidates actually run on the simulated machine: all sampled
+          candidates for {!blackbox_tune}, the finalists for
+          {!model_tune}, the measurement batches for {!guided_tune} *)
+  batches : int;  (** guided measure/refit rounds; [0] for the other tuners *)
+  model_rmse : float;
+      (** {!guided_tune} only: training RMSE of the learned model in
+          log-seconds space over the run's measurements; [0.0] elsewhere *)
+  predicted_seconds : float;
+      (** the active cost model's prediction for the winner: static-model
+          estimate for {!model_tune}, learned-model prediction for
+          {!guided_tune}; [0.0] for {!blackbox_tune} *)
 }
 
 type 'a outcome = {
@@ -125,3 +137,79 @@ val blackbox_tune :
     even when sampling. Per-candidate crashes are captured into
     [scored_failed] exactly as in {!model_tune} (fault site ["tuner.score"]
     keyed by measured-candidate index). *)
+
+(** Configuration of the guided (learned-cost-model) search. All
+    exploration randomness derives from [gc_seed] through
+    {!Prelude.Det_rng}, keyed per decision site — a guided tune replays
+    bit-identically for a given seed, independent of the job count. *)
+type guided_config = {
+  gc_seed : int;  (** root of every random decision the search makes *)
+  gc_batch : int;  (** candidates measured per propose/refit round *)
+  gc_budget : int;
+      (** max candidates sent to measurement; [<= 0] selects an automatic
+          budget of [max (batch * min_batches) (space_size / 10)] — i.e.
+          at most ~10% of a large space *)
+  gc_epsilon : float;  (** fraction of each batch picked uniformly at random *)
+  gc_sa_steps : int;
+      (** length of the per-batch simulated-annealing walk over the
+          prediction surface; [0] disables the SA slot *)
+  gc_patience : int;
+      (** stop after this many consecutive batches improving the best
+          measured time by less than 0.5% *)
+  gc_min_batches : int;  (** never stop before this many batches *)
+  gc_warm : Learned_model.weights option;
+      (** warm-start weights (e.g. from {!Schedule_cache}) used to rank
+          the very first batch before any measurement lands *)
+}
+
+val guided_defaults : seed:int -> guided_config
+(** Batch 8, automatic budget, epsilon 0.15, 32 SA steps, patience 2,
+    minimum 3 batches, no warm start. *)
+
+(** How a schedule space is searched: measure-everything-relevant
+    ({!Exhaustive}, the {!model_tune}/{!blackbox_tune} pair) or the
+    learned-cost-model loop ({!Guided}). *)
+type search = Exhaustive | Guided of guided_config
+
+val guided_tune :
+  ?jobs:int ->
+  config:guided_config ->
+  candidates:'a list ->
+  build:('a -> Ir.program) ->
+  unit ->
+  'a outcome * Learned_model.weights option
+(** The guided search (ROADMAP item 2): featurize and {!Ir_verify} the
+    whole space once in parallel (rejected candidates are permanently
+    ineligible — soundness is identical to the exhaustive tuners), then
+    loop: propose a batch (prediction-ranked top slice + one
+    simulated-annealing refinement pick + epsilon-greedy random picks;
+    the first cold batch is an even spread over the space), measure it
+    through the Domain pool with per-candidate crash isolation (fault
+    site ["tuner.score"] keyed by candidate index), record the
+    measurements into a {!Learned_model} and refit, until the budget is
+    exhausted, the space runs out, or [gc_patience] batches pass without
+    meaningful improvement. The winner is the best {e measured}
+    candidate — never an unverified prediction.
+
+    Returns the outcome plus the fitted model weights for warm-start
+    transfer to later tunes of the same operator family.
+    [hardware_seconds] accounts compile + run time for measured
+    candidates only. Raises like {!model_tune} when the space is empty,
+    fully rejected, or every measurement failed. *)
+
+val tune :
+  ?top_k:int ->
+  ?prune:bool ->
+  ?jobs:int ->
+  ?checkpoint:Tune_checkpoint.ctx ->
+  ?search:search ->
+  gemm_model:Gemm_cost.t ->
+  candidates:'a list ->
+  build:('a -> Ir.program) ->
+  unit ->
+  'a outcome * Learned_model.weights option
+(** Search-mode dispatcher: [Exhaustive] (default) runs {!model_tune}
+    (returning [None] for the weights), [Guided cfg] runs {!guided_tune}.
+    [top_k], [prune], [checkpoint], and [gemm_model] only apply to the
+    exhaustive path; the guided path estimates nothing statically and
+    uses batch-grained convergence instead of chunk-grained checkpoints. *)

@@ -54,8 +54,8 @@ let zeros4 (s : Graph_ir.shape4) =
    is what lets the DP trade a relayout against re-dispatching a layer
    under the neighbor's layout. *)
 
-let conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) spec =
-  Dispatch.all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec
+let conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (n : Graph_ir.node) spec =
+  Dispatch.all ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec
   |> List.filter_map (fun (algo, choice) ->
          Option.map
            (fun (c : Dispatch.choice) ->
@@ -81,11 +81,11 @@ let conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.
              })
            choice)
 
-let dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) ~d_in
+let dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (n : Graph_ir.node) ~d_in
     ~d_out =
   let b = n.Graph_ir.in_shape.Graph_ir.sb in
   let t = Matmul.problem ~m:b ~n:d_out ~k:d_in in
-  let o = Matmul.tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model t in
+  let o = Matmul.tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model t in
   let best = o.Swatop.Tuner.best in
   let program = o.best_program in
   let flatten_a input =
@@ -143,11 +143,11 @@ let op_key (n : Graph_ir.node) =
   | Graph_ir.Dense { d_in; d_out } ->
     Printf.sprintf "dense:%d:%d:%d" n.Graph_ir.in_shape.Graph_ir.sb d_in d_out
 
-let node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (n : Graph_ir.node) =
+let node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (n : Graph_ir.node) =
   match n.Graph_ir.op with
-  | Graph_ir.Conv spec -> conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model n spec
+  | Graph_ir.Conv spec -> conv_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model n spec
   | Graph_ir.Dense { d_in; d_out } ->
-    dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model n ~d_in ~d_out
+    dense_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model n ~d_in ~d_out
 
 (* ------------------------------------------------------------------ *)
 (* Edge costs: an inter-layer copy is built, optimized and costed through
@@ -176,7 +176,7 @@ let edge_seconds = function None -> 0.0 | Some cs -> cs.cs_seconds
 
 (* ------------------------------------------------------------------ *)
 
-let compile ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) =
+let compile ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (g : Graph_ir.t) =
   let wall0 = Prelude.Clock.wall () in
   let nodes = Array.of_list g.Graph_ir.nodes in
   if Array.length nodes = 0 then invalid_arg "Graph_compile.compile: empty graph";
@@ -190,7 +190,7 @@ let compile ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (g : Graph_ir.t) 
     |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
   in
   let tuned =
-    let tune_one (_, i) = node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model nodes.(i) in
+    let tune_one (_, i) = node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model nodes.(i) in
     match cache with
     | None -> Prelude.Parallel.parallel_map ?jobs tune_one distinct
     | Some _ -> List.map tune_one distinct

@@ -69,6 +69,7 @@ val compile :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   Graph_ir.t ->
   plan

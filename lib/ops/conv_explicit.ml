@@ -463,8 +463,8 @@ let build (t : t) s =
 (* ------------------------------------------------------------------ *)
 (* Tuning entry point. *)
 
-let tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model t =
+let tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model t =
   let s = t.spec in
-  Op_common.cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op:"conv_explicit"
+  Op_common.cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~op:"conv_explicit"
     ~dims:[ s.Spec.b; s.ni; s.no; s.ro; s.co; s.kr; s.kc; s.stride; s.pad ]
     ~gemm_model ~describe ~candidates:(space t) ~build:(build t) ()

@@ -22,7 +22,7 @@ let applicable algo spec =
 let input_buffer = function Implicit -> "input" | Winograd -> "input" | Explicit -> "input"
 let output_buffer = function Implicit -> "output" | Winograd -> "output" | Explicit -> "outmat"
 
-let tune ?cache ?checkpoint ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
+let tune ?cache ?checkpoint ?(top_k = 4) ?prune ?jobs ?search ~gemm_model algo spec =
   if not (applicable algo spec) then None
   else
     let outcome_to_choice describe bindings_for unpack (o : _ Swatop.Tuner.outcome) =
@@ -43,32 +43,32 @@ let tune ?cache ?checkpoint ?(top_k = 4) ?prune ?jobs ~gemm_model algo spec =
         (outcome_to_choice Conv_implicit.describe
            (fun s ~input ~weight -> Conv_implicit.bindings_for t s ~input ~weight)
            (Conv_implicit.unpack_output t)
-           (Conv_implicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_implicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ?search ~gemm_model t))
     | Winograd ->
       let t = Conv_winograd.problem spec in
       Some
         (outcome_to_choice Conv_winograd.describe
            (fun s ~input ~weight -> Conv_winograd.bindings_for t s ~input ~weight)
            (Conv_winograd.unpack_output t)
-           (Conv_winograd.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_winograd.tune ?cache ?checkpoint ~top_k ?prune ?jobs ?search ~gemm_model t))
     | Explicit ->
       let t = Conv_explicit.problem spec in
       Some
         (outcome_to_choice Conv_explicit.describe
            (fun s ~input ~weight -> Conv_explicit.bindings_for t s ~input ~weight)
            (Conv_explicit.unpack_output t)
-           (Conv_explicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ~gemm_model t))
+           (Conv_explicit.tune ?cache ?checkpoint ~top_k ?prune ?jobs ?search ~gemm_model t))
 
 (* Graceful degradation: one algorithm's tuner blowing up (a buggy space, an
    injected fault) must not take down the dispatch — the algorithm is
    dropped with a warning and the others still compete. Only when every
    applicable algorithm is gone does the failure surface, as a structured
    error naming the casualties. *)
-let all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
+let all ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec =
   List.map
     (fun algo ->
       ( algo,
-        match tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model algo spec with
+        match tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model algo spec with
         | c -> c
         | exception e ->
           Printf.eprintf "swatop: conv algorithm %s failed to tune (%s); dropped from dispatch\n%!"
@@ -77,8 +77,8 @@ let all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
           None ))
     [ Implicit; Winograd; Explicit ]
 
-let ranked ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
-  let choices = List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec) in
+let ranked ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec =
+  let choices = List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec) in
   if choices = [] && List.exists (fun a -> applicable a spec) [ Implicit; Winograd; Explicit ]
   then
     Prelude.Swatop_error.error ~site:"dispatch.ranked"
@@ -91,17 +91,17 @@ let ranked ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
   let explicit, others = List.partition (fun c -> c.c_algo = Explicit) sorted in
   others @ explicit
 
-let best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
+let best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec =
   let choices =
-    List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec)
+    List.filter_map snd (all ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec)
   in
   match choices with
   | [] -> None
   | first :: rest ->
     Some (List.fold_left (fun acc c -> if c.c_seconds < acc.c_seconds then c else acc) first rest)
 
-let best ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec =
-  match best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model spec with
+let best ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec =
+  match best_opt ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model spec with
   | Some c -> c
   | None ->
     Prelude.Swatop_error.error ~site:"dispatch.best"

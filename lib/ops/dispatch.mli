@@ -43,6 +43,7 @@ val tune :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   algo ->
   Swtensor.Conv_spec.t ->
@@ -58,6 +59,7 @@ val best :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   choice
@@ -72,6 +74,7 @@ val best_opt :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   choice option
@@ -83,6 +86,7 @@ val ranked :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   choice list
@@ -98,6 +102,7 @@ val all :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   Swtensor.Conv_spec.t ->
   (algo * choice option) list

@@ -210,6 +210,6 @@ let reference ~a ~b = Swtensor.Gemm_ref.matmul a b
 (* ------------------------------------------------------------------ *)
 (* Tuning entry point. *)
 
-let tune ?cache ?checkpoint ?top_k ?prune ?jobs ~gemm_model (t : t) =
-  Op_common.cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op:"matmul"
+let tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (t : t) =
+  Op_common.cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~op:"matmul"
     ~dims:[ t.m; t.n; t.k ] ~gemm_model ~describe ~candidates:(space t) ~build:(build t) ()

@@ -55,6 +55,7 @@ val tune :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   gemm_model:Swatop.Gemm_cost.t ->
   t ->
   strategy Swatop.Tuner.outcome

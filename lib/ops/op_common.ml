@@ -318,18 +318,28 @@ let cache_outcome ~space_size ~jobs entry candidates build =
         measure_seconds = 0.0;
         (* The winner is already known: no simulated-machine time at all. *)
         hardware_seconds = 0.0;
+        measured = 0;
+        batches = 0;
+        model_rmse = 0.0;
+        predicted_seconds = 0.0;
       };
   }
 
-let cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op ~dims ~gemm_model ~describe
-    ~candidates ~build () =
+let search_mode = function
+  | Swatop.Tuner.Exhaustive -> "exhaustive"
+  | Swatop.Tuner.Guided _ -> "guided"
+
+let cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs
+    ?(search = Swatop.Tuner.Exhaustive) ~op ~dims ~gemm_model ~describe ~candidates ~build () =
+  let mode = search_mode search in
   (* A checkpoint base path expands to a per-key context: the key routes
      concurrent op tunes to distinct files, the fingerprint guards against
-     resuming onto a changed schedule space. *)
+     resuming onto a changed schedule space. (The guided tuner ignores the
+     context — its convergence is batch-grained, not chunk-grained.) *)
   let ckpt () =
     Option.map
       (fun base ->
-        let key = Swatop.Schedule_cache.key ~op ~dims in
+        let key = Swatop.Schedule_cache.key ~search:mode ~op ~dims () in
         {
           Swatop.Tune_checkpoint.cx_path = Swatop.Tune_checkpoint.path_for ~base ~key;
           cx_key = key;
@@ -337,13 +347,42 @@ let cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op ~dims ~gemm_mod
         })
       checkpoint
   in
+  (* Warm-start transfer: a guided tune with no explicit warm weights picks
+     up its operator family's model from the cache — tuned on other
+     workload dims, but the feature space is shared, so the first batch is
+     already ranked instead of blind. *)
+  let search =
+    match (search, cache) with
+    | Swatop.Tuner.Guided cfg, Some cache when Option.is_none cfg.Swatop.Tuner.gc_warm -> (
+      match
+        Swatop.Schedule_cache.find_model cache ~family:op
+          ~version:Swatop.Learned_model.format_version
+      with
+      | Some payload -> (
+        match Swatop.Learned_model.weights_of_string payload with
+        | Some w -> Swatop.Tuner.Guided { cfg with gc_warm = Some w }
+        | None -> search)
+      | None -> search)
+    | _ -> search
+  in
+  let run () =
+    let o, weights =
+      Swatop.Tuner.tune ?top_k ?prune ?jobs ?checkpoint:(ckpt ()) ~search ~gemm_model
+        ~candidates ~build ()
+    in
+    (match (cache, weights) with
+    | Some cache, Some w ->
+      Swatop.Schedule_cache.remember_model cache ~family:op
+        ~version:Swatop.Learned_model.format_version
+        (Swatop.Learned_model.weights_to_string w)
+    | _ -> ());
+    o
+  in
   match cache with
-  | None ->
-    Swatop.Tuner.model_tune ?top_k ?prune ?jobs ?checkpoint:(ckpt ()) ~gemm_model ~candidates
-      ~build ()
+  | None -> run ()
   | Some cache -> (
     let candidates = match candidates with [] -> invalid_arg "Tuner: empty schedule space" | l -> l in
-    let key = Swatop.Schedule_cache.key ~op ~dims in
+    let key = Swatop.Schedule_cache.key ~search:mode ~op ~dims () in
     let fingerprint = Swatop.Schedule_cache.fingerprint (List.map describe candidates) in
     let space_size = List.length candidates in
     match Swatop.Schedule_cache.find cache ~key ~fingerprint ~space_size with
@@ -352,10 +391,7 @@ let cached_model_tune ?cache ?checkpoint ?top_k ?prune ?jobs ~op ~dims ~gemm_mod
         ~jobs:(match jobs with Some j -> max 1 j | None -> Prelude.Parallel.jobs ())
         entry candidates build
     | None ->
-      let o =
-        Swatop.Tuner.model_tune ?top_k ?prune ?jobs ?checkpoint:(ckpt ()) ~gemm_model
-          ~candidates ~build ()
-      in
+      let o = run () in
       Swatop.Schedule_cache.remember cache ~key
         {
           Swatop.Schedule_cache.fingerprint;

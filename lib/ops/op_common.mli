@@ -119,6 +119,7 @@ val cached_model_tune :
   ?top_k:int ->
   ?prune:bool ->
   ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
   op:string ->
   dims:int list ->
   gemm_model:Swatop.Gemm_cost.t ->
@@ -127,15 +128,23 @@ val cached_model_tune :
   build:('a -> Swatop.Ir.program) ->
   unit ->
   'a Swatop.Tuner.outcome
-(** {!Swatop.Tuner.model_tune} behind a {!Swatop.Schedule_cache}: on a warm
-    hit (same operator, workload dims, and space fingerprint) the stored
-    winner is rebuilt and prepared directly — no scoring, no measurement —
-    and the report carries [cache_hit = true] with zero simulated hardware
-    time. On a miss the tuner runs normally and its winner is remembered.
-    With [?cache] absent this is exactly [model_tune].
+(** {!Swatop.Tuner.tune} behind a {!Swatop.Schedule_cache}: on a warm
+    hit (same operator, workload dims, search mode, and space fingerprint)
+    the stored winner is rebuilt and prepared directly — no scoring, no
+    measurement — and the report carries [cache_hit = true] with zero
+    simulated hardware time. On a miss the tuner runs normally and its
+    winner is remembered under a mode-qualified key, so guided and
+    exhaustive winners for the same workload never collide. With
+    [?cache] absent this is exactly the underlying tuner.
+
+    [search] defaults to [Exhaustive]. A [Guided] tune additionally
+    warm-starts its cost model from the cache's per-operator-family
+    weights (when present, current-version, and no explicit [gc_warm] was
+    given) and stores its fitted weights back after tuning — transfer
+    across workload dims of the same family.
 
     [?checkpoint] is a {e base path} (conventionally the schedule-cache
     path): each tune derives a per-key checkpoint file from it
     ({!Swatop.Tune_checkpoint.path_for}) and passes the resulting context
-    to {!Swatop.Tuner.model_tune}, so an interrupted tune resumes instead
-    of restarting. *)
+    to {!Swatop.Tuner.model_tune}, so an interrupted exhaustive tune
+    resumes instead of restarting (guided tunes ignore it). *)

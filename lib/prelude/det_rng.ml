@@ -1,0 +1,29 @@
+(* Deterministic, stateless pseudo-randomness.
+
+   Every draw is a pure function of (seed, site, k): a SplitMix64-style
+   integer mix over a seed combined with an FNV-1a hash of a site string and
+   a caller-chosen integer key. There is no hidden stream state, so the
+   value a caller observes never depends on evaluation order, domain
+   scheduling, or how work was chunked across a parallel pool — the property
+   both the fault injector and the guided tuner's exploration lean on. *)
+
+(* SplitMix64-style integer mix over OCaml's native int; only internal
+   determinism matters, not bit-compatibility with any reference. *)
+let mix a b =
+  let h = ref (a lxor (b * 0x9e3779b97f4a7c1)) in
+  h := (!h lxor (!h lsr 30)) * 0xbf58476d1ce4e5b;
+  h := (!h lxor (!h lsr 27)) * 0x94d049bb133111e;
+  !h lxor (!h lsr 31)
+
+let fnv s =
+  let h = ref 0x4bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h
+
+let hash ~seed ~site ~k = mix (mix seed (fnv site)) k land max_int
+
+let uniform ~seed ~site ~k = float_of_int (hash ~seed ~site ~k) /. float_of_int max_int
+
+let int ~seed ~site ~k n =
+  if n <= 0 then invalid_arg "Det_rng.int: bound must be positive";
+  hash ~seed ~site ~k mod n

@@ -1,0 +1,24 @@
+(** Deterministic, stateless pseudo-randomness.
+
+    Every draw is a pure function of (seed, site, k) — no stream state — so
+    a value never depends on evaluation order, domain scheduling, or how
+    work was chunked across the parallel pool. {!Fault} derives its
+    probability triggers this way; the guided tuner derives its exploration
+    picks and annealing acceptances the same way, which is what makes a
+    tuning run replay identically at any job count. *)
+
+val mix : int -> int -> int
+(** SplitMix64-style avalanche of two native ints (may be negative). *)
+
+val fnv : string -> int
+(** FNV-1a over the bytes of a string (may be negative). *)
+
+val hash : seed:int -> site:string -> k:int -> int
+(** Non-negative pure hash of the triple. *)
+
+val uniform : seed:int -> site:string -> k:int -> float
+(** In [\[0, 1)]. *)
+
+val int : seed:int -> site:string -> k:int -> int -> int
+(** [int ~seed ~site ~k n] is in [\[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)

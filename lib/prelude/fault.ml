@@ -147,22 +147,7 @@ let injected () =
     Mutex.unlock st.st_mutex;
     l
 
-(* SplitMix64-style integer mix over OCaml's native int; only internal
-   determinism matters, not bit-compatibility with any reference. *)
-let mix a b =
-  let h = ref (a lxor (b * 0x9e3779b97f4a7c1)) in
-  h := (!h lxor (!h lsr 30)) * 0xbf58476d1ce4e5b;
-  h := (!h lxor (!h lsr 27)) * 0x94d049bb133111e;
-  !h lxor (!h lsr 31)
-
-let fnv s =
-  let h = ref 0x4bf29ce484222325 in
-  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
-  !h
-
-let uniform ~seed ~site ~k =
-  let h = mix (mix seed (fnv site)) k land max_int in
-  float_of_int h /. float_of_int max_int
+let uniform = Det_rng.uniform
 
 let matches rule site =
   let r = rule.r_site in

@@ -141,5 +141,6 @@ module Linsolve = struct
 end
 
 module Parallel = Parallel
+module Det_rng = Det_rng
 module Fault = Fault
 module Swatop_error = Swatop_error

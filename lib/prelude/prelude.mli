@@ -75,6 +75,9 @@ end
 (** Re-export of the Domain-pool combinators (see [parallel.mli]). *)
 module Parallel = Parallel
 
+(** Re-export of the stateless deterministic hashing RNG (see [det_rng.mli]). *)
+module Det_rng = Det_rng
+
 (** Re-export of the deterministic fault-injection plan (see [fault.mli]). *)
 module Fault = Fault
 

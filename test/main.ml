@@ -25,4 +25,5 @@ let () =
       ("schedule-cache", Test_schedule_cache.suite);
       ("faults", Test_faults.suite);
       ("graph", Test_graph.suite);
+      ("guided-tuner", Test_guided_tuner.suite);
     ]

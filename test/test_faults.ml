@@ -190,7 +190,7 @@ let cache_suite =
         let path = temp_path "load" in
         let cache = Schedule_cache.create () in
         Schedule_cache.remember cache
-          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ])
+          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ] ())
           { Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
         Schedule_cache.save path cache;
         with_plan "cache.load:always" (fun () ->
@@ -205,7 +205,7 @@ let cache_suite =
         let path = temp_path "save" in
         let cache = Schedule_cache.create () in
         Schedule_cache.remember cache
-          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ])
+          ~key:(Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ] ())
           { Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
         with_plan "cache.save:always" (fun () -> Schedule_cache.save path cache);
         Alcotest.(check bool) "nothing persisted under the fault" false (Sys.file_exists path);

@@ -1,0 +1,286 @@
+(* The guided (learned-cost-model) tuner: feature extraction totality,
+   ridge-model fit/predict/serialize, bit-identical replay across job
+   counts, the headline acceptance bound (>= 99% of the brute-force
+   winner's performance from <= 10% of the measurements), warm-start
+   transfer through the schedule cache, and soundness under injected
+   faults.
+
+   Every tuning problem here is deliberately small — the brute-force
+   baseline really measures its whole space, so these spaces are scaled
+   layers (channel-reduced ResNet-18 conv5_x shapes, 128^3 GEMM), chosen
+   to keep the suite in CI budget on a single core. The committed
+   BENCH_tuner.json covers the full-size layers with the same harness. *)
+
+module Tuner = Swatop.Tuner
+module Lm = Swatop.Learned_model
+module Cache = Swatop.Schedule_cache
+module Mm = Swatop_ops.Matmul
+module Ci = Swatop_ops.Conv_implicit
+
+let seed = 42
+
+(* ---------------------------------------------------------------- *)
+(* Problems: one GEMM and two channel-scaled conv5_x-shaped layers. *)
+
+let mm128 =
+  let t = Mm.problem ~m:128 ~n:128 ~k:128 in
+  ("matmul 128^3", Mm.space t, Mm.build t)
+
+let conv_scaled ~ni ~no ~out =
+  let spec = Swtensor.Conv_spec.create ~b:1 ~ni ~no ~ro:out ~co:out ~kr:3 ~kc:3 () in
+  let t = Ci.problem spec in
+  (Printf.sprintf "conv5_x/%d %dx%d@%d" (512 / ni) ni no out, Ci.space t, Ci.build t)
+
+let conv288 = lazy (conv_scaled ~ni:32 ~no:32 ~out:4)
+let conv528 = lazy (conv_scaled ~ni:32 ~no:32 ~out:7)
+
+let guided ?(cfg = Tuner.guided_defaults ~seed) ?jobs (_, space, build) =
+  Tuner.guided_tune ?jobs ~config:cfg ~candidates:space ~build ()
+
+let blackbox (_, space, build) = Tuner.blackbox_tune ~candidates:space ~build ()
+
+(* ---------------------------------------------------------------- *)
+
+let feature_suite =
+  [
+    Alcotest.test_case "fixed width, finite, named" `Quick (fun () ->
+        Alcotest.(check int) "one name per feature" Swatop.Sched_features.dim
+          (List.length Swatop.Sched_features.names);
+        let check_space (name, space, build) =
+          List.iteri
+            (fun i c ->
+              let f = Swatop.Sched_features.of_program (Tuner.optimize (build c)) in
+              Alcotest.(check int)
+                (Printf.sprintf "%s[%d] width" name i)
+                Swatop.Sched_features.dim (Array.length f);
+              Array.iteri
+                (fun j x ->
+                  if not (Float.is_finite x) then
+                    Alcotest.failf "%s[%d] feature %d (%s) = %f" name i j
+                      (List.nth Swatop.Sched_features.names j)
+                      x)
+                f)
+            space
+        in
+        check_space mm128;
+        check_space (Lazy.force conv288));
+  ]
+
+let model_suite =
+  [
+    Alcotest.test_case "fit recovers a planted log-linear law" `Quick (fun () ->
+        (* seconds = exp(0.8*x0 - 0.5*x1 + 0.1): exactly representable, so
+           the ridge fit must predict within a few percent. *)
+        let m = Lm.create ~dim:2 () in
+        let planted x0 x1 = exp ((0.8 *. x0) -. (0.5 *. x1) +. 0.1) in
+        for i = 0 to 19 do
+          let x0 = float_of_int (i mod 5) and x1 = float_of_int (i mod 4) in
+          Lm.observe m [| x0; x1 |] (planted x0 x1)
+        done;
+        Lm.fit ~ridge:1e-6 m;
+        Alcotest.(check bool) "fitted" true (Lm.fitted m);
+        List.iter
+          (fun (x0, x1) ->
+            match Lm.predict m [| x0; x1 |] with
+            | None -> Alcotest.fail "no prediction after fit"
+            | Some p ->
+              let expect = planted x0 x1 in
+              if Float.abs (p -. expect) /. expect > 0.05 then
+                Alcotest.failf "predict (%.1f,%.1f): %f vs %f" x0 x1 p expect)
+          [ (2.0, 1.0); (4.0, 3.0); (0.5, 2.5) ];
+        Alcotest.(check bool) "training rmse small" true (Lm.rmse_log m < 0.05));
+    Alcotest.test_case "non-positive and non-finite samples are ignored" `Quick (fun () ->
+        let m = Lm.create ~dim:2 () in
+        Lm.observe m [| 1.0; 2.0 |] 0.0;
+        Lm.observe m [| 1.0; 2.0 |] (-3.0);
+        Lm.observe m [| 1.0; 2.0 |] Float.nan;
+        Alcotest.(check int) "all rejected" 0 (Lm.count m));
+    Alcotest.test_case "weights serialization round-trips" `Quick (fun () ->
+        let m = Lm.create ~dim:3 () in
+        for i = 1 to 12 do
+          let x = float_of_int i in
+          Lm.observe m [| x; x *. x; 1.0 /. x |] (0.001 *. x)
+        done;
+        Lm.fit m;
+        let w = Option.get (Lm.weights m) in
+        let s = Lm.weights_to_string w in
+        Alcotest.(check bool) "single line" false (String.contains s '\n');
+        (match Lm.weights_of_string s with
+        | None -> Alcotest.fail "round-trip parse failed"
+        | Some w' ->
+          let probe = [| 5.0; 25.0; 0.2 |] in
+          let p = Option.get (Lm.predict m probe) in
+          let m' = Lm.create ~warm:w' ~dim:3 () in
+          let p' = Option.get (Lm.predict m' probe) in
+          Alcotest.(check (float 1e-12)) "same prediction" p p');
+        List.iter
+          (fun bad ->
+            if not (Option.is_none (Lm.weights_of_string bad)) then
+              Alcotest.failf "accepted corrupt weights %S" bad)
+          [
+            "";
+            "garbage";
+            "lm1 3";
+            "lm1 2 1 1 1 1 1 1";            (* six values, dim 2 needs seven *)
+            "lm1 3 1 1 1 0 1 1 1 1 1 1"     (* zero scale *) ^ "";
+            String.concat " " [ "lm1"; "3"; "1"; "1"; "1"; "1"; "1"; "1"; "1"; "1"; "nan"; "1" ];
+          ]);
+    Alcotest.test_case "warm weights of the wrong width are dropped" `Quick (fun () ->
+        let m = Lm.create ~dim:2 () in
+        for i = 1 to 8 do
+          Lm.observe m [| float_of_int i; 1.0 |] (0.01 *. float_of_int i)
+        done;
+        Lm.fit m;
+        let w = Option.get (Lm.weights m) in
+        let m' = Lm.create ~warm:w ~dim:5 () in
+        Alcotest.(check bool) "no prediction from mismatched warm" true
+          (Option.is_none (Lm.predict m' (Array.make 5 1.0))));
+  ]
+
+let replay_suite =
+  [
+    Alcotest.test_case "bit-identical across job counts" `Slow (fun () ->
+        let o1, w1 = guided ~jobs:1 mm128 in
+        let o4, w4 = guided ~jobs:4 mm128 in
+        Alcotest.(check int) "best index" o1.Tuner.best_index o4.Tuner.best_index;
+        Alcotest.(check (float 0.0)) "best seconds" o1.best_seconds o4.best_seconds;
+        Alcotest.(check int) "measured" o1.report.measured o4.report.measured;
+        Alcotest.(check int) "batches" o1.report.batches o4.report.batches;
+        Alcotest.(check (float 0.0)) "model rmse" o1.report.model_rmse o4.report.model_rmse;
+        match (w1, w4) with
+        | Some w1, Some w4 ->
+          Alcotest.(check string) "weights" (Lm.weights_to_string w1) (Lm.weights_to_string w4)
+        | _ -> Alcotest.fail "guided tune returned no model weights");
+  ]
+
+let acceptance_suite =
+  [
+    Alcotest.test_case "99% of brute force from <=10% of the space" `Slow (fun () ->
+        let check_one (name, space, build) =
+          let bb = blackbox (name, space, build) in
+          let g, _ = guided (name, space, build) in
+          let n = List.length space in
+          let quality = bb.Tuner.best_seconds /. g.Tuner.best_seconds in
+          if quality < 0.99 then
+            Alcotest.failf "%s: guided %.4f of brute force (bb %.3e s, guided %.3e s)" name
+              quality bb.best_seconds g.best_seconds;
+          if g.report.measured * 10 > n then
+            Alcotest.failf "%s: measured %d of %d (> 10%%)" name g.report.measured n;
+          Alcotest.(check bool)
+            (name ^ " hardware budget shrank") true
+            (g.report.hardware_seconds < bb.report.hardware_seconds /. 5.0)
+        in
+        check_one mm128;
+        check_one (Lazy.force conv288);
+        check_one (Lazy.force conv528));
+  ]
+
+let warm_start_suite =
+  [
+    Alcotest.test_case "warm start measures no more than cold" `Slow (fun () ->
+        let cold, w = guided (Lazy.force conv288) in
+        let w = Option.get w in
+        let cfg = { (Tuner.guided_defaults ~seed) with Tuner.gc_warm = Some w } in
+        let warm, _ = guided ~cfg (Lazy.force conv288) in
+        Alcotest.(check bool)
+          (Printf.sprintf "measured warm %d <= cold %d" warm.Tuner.report.measured
+             cold.Tuner.report.measured)
+          true
+          (warm.report.measured <= cold.report.measured);
+        (* The warm run must still land on a winner of the same quality. *)
+        Alcotest.(check bool) "same-quality winner" true
+          (warm.best_seconds <= cold.best_seconds *. 1.02));
+    Alcotest.test_case "weights transfer through the schedule cache" `Quick (fun () ->
+        let cache = Cache.create () in
+        let m = Lm.create ~dim:Swatop.Sched_features.dim () in
+        for i = 1 to 8 do
+          let f = Array.init Swatop.Sched_features.dim (fun j -> float_of_int ((i * j) mod 7)) in
+          Lm.observe m f (1e-3 *. float_of_int i)
+        done;
+        Lm.fit m;
+        let w = Option.get (Lm.weights m) in
+        Cache.remember_model cache ~family:"matmul" ~version:Lm.format_version
+          (Lm.weights_to_string w);
+        (match Cache.find_model cache ~family:"matmul" ~version:Lm.format_version with
+        | None -> Alcotest.fail "stored model not found"
+        | Some payload ->
+          Alcotest.(check bool) "payload parses" true
+            (Option.is_some (Lm.weights_of_string payload)));
+        Alcotest.(check bool) "format bump misses" true
+          (Option.is_none
+             (Cache.find_model cache ~family:"matmul" ~version:(Lm.format_version + 1))));
+  ]
+
+let fault_suite =
+  [
+    Alcotest.test_case "crashed winner cannot win a guided tune" `Slow (fun () ->
+        let clean, _ = guided (Lazy.force conv288) in
+        let spec = Printf.sprintf "seed=5;tuner.score:key=%d" clean.Tuner.best_index in
+        let plan =
+          match Prelude.Fault.parse spec with
+          | Ok p -> p
+          | Error e -> Alcotest.failf "bad fault spec: %s" e
+        in
+        Prelude.Fault.set (Some plan);
+        Fun.protect
+          ~finally:(fun () -> Prelude.Fault.set None)
+          (fun () ->
+            let faulted, _ = guided (Lazy.force conv288) in
+            Alcotest.(check bool) "winner changed" true
+              (faulted.Tuner.best_index <> clean.Tuner.best_index);
+            Alcotest.(check bool) "crash recorded" true
+              (faulted.report.scored_failed <> []);
+            (* Still a sound, measured winner close to the clean one. *)
+            Alcotest.(check bool) "winner still competitive" true
+              (faulted.best_seconds <= clean.best_seconds *. 1.10)));
+  ]
+
+let cache_v2_suite =
+  [
+    Alcotest.test_case "search modes never collide" `Quick (fun () ->
+        let k_ex = Cache.key ~op:"matmul" ~dims:[ 128; 128; 128 ] () in
+        let k_g = Cache.key ~search:"guided" ~op:"matmul" ~dims:[ 128; 128; 128 ] () in
+        Alcotest.(check bool) "distinct keys" true (k_ex <> k_g);
+        let cache = Cache.create () in
+        Cache.remember cache ~key:k_ex { fingerprint = 7; space_size = 500; index = 3; seconds = 1e-3 };
+        Alcotest.(check bool) "guided key misses exhaustive entry" true
+          (Option.is_none (Cache.find cache ~key:k_g ~fingerprint:7 ~space_size:500)));
+    Alcotest.test_case "model entries survive save/load" `Quick (fun () ->
+        let path = Filename.temp_file "swatop" ".cache" in
+        let cache = Cache.create () in
+        Cache.remember cache
+          ~key:(Cache.key ~search:"guided" ~op:"matmul" ~dims:[ 128; 128; 128 ] ())
+          { fingerprint = 11; space_size = 500; index = 41; seconds = 2e-3 };
+        Cache.remember_model cache ~family:"matmul" ~version:Lm.format_version "lm1 1 0 1 0 0";
+        Cache.save path cache;
+        let back = Cache.load path in
+        Alcotest.(check int) "entries" 1 (Cache.size back);
+        Alcotest.(check int) "models" 1 (Cache.model_count back);
+        Alcotest.(check (option string)) "payload" (Some "lm1 1 0 1 0 0")
+          (Cache.find_model back ~family:"matmul" ~version:Lm.format_version);
+        Sys.remove path);
+    Alcotest.test_case "v1 header and corrupt model lines load cold" `Quick (fun () ->
+        let write path lines =
+          let oc = open_out path in
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+          close_out oc
+        in
+        let check_cold label lines =
+          let path = Filename.temp_file "swatop" ".cache" in
+          write path lines;
+          let c = Cache.load path in
+          Alcotest.(check int) (label ^ ": no entries") 0 (Cache.size c);
+          Alcotest.(check int) (label ^ ": no models") 0 (Cache.model_count c);
+          List.iter (fun p -> if Sys.file_exists p then Sys.remove p)
+            [ path; path ^ ".corrupt" ]
+        in
+        check_cold "v1 header"
+          [ "swatop-schedule-cache v1"; "matmul:128x128x128\t7\t500\t3\t0.001" ];
+        check_cold "truncated model line" [ "swatop-schedule-cache v2"; "M\tmatmul" ];
+        check_cold "non-numeric model version"
+          [ "swatop-schedule-cache v2"; "M\tmatmul\tone\tlm1 1 0 1 0 0" ]);
+  ]
+
+let suite =
+  feature_suite @ model_suite @ replay_suite @ acceptance_suite @ warm_start_suite @ fault_suite
+  @ cache_v2_suite

@@ -147,7 +147,7 @@ let cache_suite =
               (Interp.run ~numeric:false warm.best_program).seconds));
     Alcotest.test_case "fingerprint mismatch forces a re-tune" `Quick (fun () ->
         let cache = Schedule_cache.create () in
-        let key = Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ] in
+        let key = Schedule_cache.key ~op:"matmul" ~dims:[ 8; 8; 8 ] () in
         Schedule_cache.remember cache ~key
           { Schedule_cache.fingerprint = 42; space_size = 10; index = 3; seconds = 1.0 };
         Alcotest.(check bool) "matching space found" true

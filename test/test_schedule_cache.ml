@@ -59,7 +59,7 @@ let suite =
         let cache = Swatop.Schedule_cache.create () in
         ignore (tune_small ~cache ());
         Swatop.Schedule_cache.remember cache
-          ~key:(Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 9; 9; 9 ])
+          ~key:(Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 9; 9; 9 ] ())
           { Swatop.Schedule_cache.fingerprint = 1; space_size = 4; index = 2; seconds = 0.5 };
         Swatop.Schedule_cache.save path cache;
         let full = read_file path in
@@ -91,7 +91,7 @@ let suite =
         Sys.remove (path ^ ".corrupt"));
     Alcotest.test_case "fingerprint mismatch is a miss, not a stale hit" `Quick (fun () ->
         let cache = Swatop.Schedule_cache.create () in
-        let key = Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 64; 64; 64 ] in
+        let key = Swatop.Schedule_cache.key ~op:"matmul" ~dims:[ 64; 64; 64 ] () in
         Swatop.Schedule_cache.remember cache ~key
           { Swatop.Schedule_cache.fingerprint = 12345; space_size = 7; index = 3; seconds = 1.0 };
         (match
