@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint check check-faults net-smoke bench-quick bench-json clean
+.PHONY: all build test lint fuzz check check-faults net-smoke bench-quick bench-json clean
 
 all: build
 
@@ -10,14 +10,26 @@ build:
 test:
 	dune runtest
 
-# Run the IR dataflow/bounds verifier over whole schedule spaces of small
-# example workloads (one per operator family). Exits non-zero if any
-# candidate schedule trips a diagnostic.
+# Run the IR dataflow/bounds verifier AND the cross-CPE race analysis
+# (--race, SWA03x) over whole schedule spaces of small example workloads
+# (one per operator family). Exits non-zero if any candidate schedule
+# trips a diagnostic.
 lint:
-	dune exec bin/swatop_cli.exe -- lint gemm -m 96 -n 80 -k 48
-	dune exec bin/swatop_cli.exe -- lint conv --algo implicit --ni 16 --no 16 --out 12 -b 4
-	dune exec bin/swatop_cli.exe -- lint conv --algo winograd --ni 16 --no 16 --out 12 -b 2
-	dune exec bin/swatop_cli.exe -- lint conv --algo explicit --ni 8 --no 8 --out 8 -b 2
+	dune exec bin/swatop_cli.exe -- lint gemm -m 96 -n 80 -k 48 --race
+	dune exec bin/swatop_cli.exe -- lint dense -b 16 --d-in 64 --d-out 48 --race
+	dune exec bin/swatop_cli.exe -- lint conv --algo implicit --ni 16 --no 16 --out 12 -b 4 --race
+	dune exec bin/swatop_cli.exe -- lint conv --algo winograd --ni 16 --no 16 --out 12 -b 2 --race
+	dune exec bin/swatop_cli.exe -- lint winograd --ni 16 --no 16 --out 12 -b 2 --race
+	dune exec bin/swatop_cli.exe -- lint conv --algo explicit --ni 8 --no 8 --out 8 -b 2 --race
+
+# Differential fuzzing of the race analysis: seeded structural mutations
+# of each family's optimized IR, asserting the static SWA03x verdict
+# agrees with the shadow-memory sanitizer on every mutant.
+# Override e.g. `make fuzz FUZZ_MUTANTS=25` to fit a CI timeout.
+FUZZ_MUTANTS ?= 100
+FUZZ_SEED ?= 7
+fuzz:
+	dune exec test/fuzz_race.exe -- --mutants $(FUZZ_MUTANTS) --seed $(FUZZ_SEED)
 
 # The whole graph pipeline on the tiny 3-layer network: tune every layer,
 # propagate layouts, plan the arena and execute end to end (cost-only).
@@ -35,22 +47,27 @@ check-faults:
 	  --faults "seed=7;interp.dma.wait:n=3;graph.layer:first=1"
 
 # The tier-1 gate: everything compiles, every test passes, the example
-# schedule spaces lint clean, and the network runtime smoke-runs.
+# schedule spaces lint clean (dataflow + race), the race fuzzer finds no
+# static/dynamic disagreement, and the network runtime smoke-runs.
 check:
-	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) net-smoke
+	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) fuzz && $(MAKE) net-smoke
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
 # Machine-readable benchmark gate: regenerate BENCH_tuner.json and
-# BENCH_network.json at quick effort into a scratch directory, then
-# re-parse and schema-check them. The harness itself exits non-zero if
-# the guided tuner's winner drops below 99% of the brute-force winner.
+# BENCH_network.json at quick effort into a scratch directory, re-parse
+# and schema-check them, then diff the fresh results against the
+# committed baselines (simulated quantities only, 2% noise bound; host
+# wall times are machine-dependent and excluded). The harness itself
+# exits non-zero if the guided tuner's winner drops below 99% of the
+# brute-force winner.
 bench-json:
 	mkdir -p _build/bench-json
 	dune exec bench/bench_json.exe -- --quick --samples=2 --warmup=0 \
 	  --out=_build/bench-json
 	dune exec bench/bench_json.exe -- --check --out=_build/bench-json
+	dune exec bench/bench_json.exe -- --out=_build/bench-json --diff=.
 
 clean:
 	dune clean

@@ -533,6 +533,99 @@ let write_file path contents =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc contents)
 
+(* ------------------------------------------------------------------ *)
+(* Baseline diff: compare freshly generated files against the committed
+   ones, entry-matched by name. Only simulated (deterministic) quantities
+   are gated, each with a small noise bound for intended float drift; host
+   wall times are machine-dependent and explicitly skipped. Entries present
+   on one side only are noted and skipped, but at least one pair must match
+   per file or the diff is vacuous and fails. *)
+
+let diff_tolerance = 0.02
+
+let entries_by_name what j key =
+  List.map (fun e -> (require_str what e "name", e)) (require_list what j key)
+
+let diff_files ~fresh_dir ~base_dir =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let load dir name = parse_json (read_file (Filename.concat dir name)) in
+  let pair name key what =
+    let fresh = entries_by_name what (load fresh_dir name) key in
+    let base = entries_by_name what (load base_dir name) key in
+    let matched =
+      List.filter_map
+        (fun (n, b) ->
+          match List.assoc_opt n fresh with
+          | Some f -> Some (n, b, f)
+          | None ->
+            Printf.printf "%s: %S only in baseline — skipped\n" name n;
+            None)
+        base
+    in
+    List.iter
+      (fun (n, _) ->
+        if not (List.mem_assoc n base) then
+          Printf.printf "%s: %S only in fresh run — skipped\n" name n)
+      fresh;
+    if matched = [] then fail "%s: no baseline entry matches a fresh entry" name;
+    matched
+  in
+  (* A lower-is-worse quantity: fresh must stay within the noise bound of
+     the baseline. *)
+  let floor_check ~name ~entry ~field base fresh =
+    if fresh < base *. (1.0 -. diff_tolerance) then
+      fail "%s %s: %s regressed %.6g -> %.6g (bound %.0f%%)" name entry field base fresh
+        (100.0 *. diff_tolerance)
+  in
+  let ceil_check ~name ~entry ~field ~slack base fresh =
+    if fresh > (base *. (1.0 +. diff_tolerance)) +. slack then
+      fail "%s %s: %s grew %.6g -> %.6g (bound %.0f%%)" name entry field base fresh
+        (100.0 *. diff_tolerance)
+  in
+  (match pair "BENCH_tuner.json" "workloads" "workload" with
+  | matched ->
+    List.iter
+      (fun (n, b, f) ->
+        let num side k = require_num ("workload " ^ n) side k in
+        if num b "space_size" <> num f "space_size" then
+          fail "workload %s: space_size changed %.0f -> %.0f" n (num b "space_size")
+            (num f "space_size");
+        List.iter
+          (fun side_name ->
+            let bs = require_obj n b side_name and fs = require_obj n f side_name in
+            floor_check ~name:n ~entry:side_name ~field:"best_gflops"
+              (require_num n bs "best_gflops") (require_num n fs "best_gflops");
+            ceil_check ~name:n ~entry:side_name ~field:"hardware_seconds" ~slack:0.0
+              (require_num n bs "hardware_seconds")
+              (require_num n fs "hardware_seconds"))
+          [ "exhaustive"; "guided" ];
+        let bg = require_obj n b "guided" and fg = require_obj n f "guided" in
+        ceil_check ~name:n ~entry:"guided" ~field:"candidates_measured" ~slack:1.0
+          (require_num n bg "candidates_measured")
+          (require_num n fg "candidates_measured"))
+      matched
+  | exception e -> fail "BENCH_tuner.json: %s" (Printexc.to_string e));
+  (match pair "BENCH_network.json" "networks" "network" with
+  | matched ->
+    List.iter
+      (fun (n, b, f) ->
+        let num side k = require_num ("network " ^ n) side k in
+        if num b "layers" <> num f "layers" then
+          fail "network %s: layer count changed %.0f -> %.0f" n (num b "layers") (num f "layers");
+        floor_check ~name:n ~entry:"network" ~field:"simulated_gflops" (num b "simulated_gflops")
+          (num f "simulated_gflops");
+        ceil_check ~name:n ~entry:"network" ~field:"arena_bytes" ~slack:0.0 (num b "arena_bytes")
+          (num f "arena_bytes"))
+      matched
+  | exception e -> fail "BENCH_network.json: %s" (Printexc.to_string e));
+  Printf.printf "host wall times: machine-dependent, not diffed\n";
+  match List.rev !failures with
+  | [] -> Printf.printf "diff: fresh results within %.0f%% of %s baselines\n" (100.0 *. diff_tolerance) base_dir
+  | fs ->
+    List.iter (fun m -> Printf.printf "diff FAIL: %s\n" m) fs;
+    exit 1
+
 let check_files dir =
   let ok = ref true in
   let run name f =
@@ -556,7 +649,7 @@ let check_files dir =
 
 let () =
   let samples = ref 3 and warmup = ref 1 and seed = ref 42 in
-  let out_dir = ref "." and check_only = ref false in
+  let out_dir = ref "." and check_only = ref false and diff_base = ref None in
   Array.iteri
     (fun i a ->
       if i > 0 then
@@ -572,22 +665,31 @@ let () =
         | "--help" | "-h" ->
           print_endline
             "usage: bench_json.exe [--quick|--full] [--samples=N] [--warmup=N] [--seed=S] \
-             [--jobs=N] [--out=DIR] [--check]";
+             [--jobs=N] [--out=DIR] [--check] [--diff=BASEDIR]";
           print_endline
             "writes BENCH_tuner.json and BENCH_network.json to DIR (default .); exits non-zero \
-             if guided quality < 0.99 of brute force. --check validates existing files instead.";
+             if guided quality < 0.99 of brute force. --check validates existing files instead; \
+             --diff compares the files in DIR against the baselines in BASEDIR (simulated \
+             quantities only, noise-bounded) without regenerating anything.";
           exit 0
         | _ -> (
-          match (value "--samples=", value "--warmup=", value "--seed=", value "--jobs=", value "--out=") with
-          | Some v, _, _, _, _ -> samples := max 1 (int_of_string v)
-          | _, Some v, _, _, _ -> warmup := max 0 (int_of_string v)
-          | _, _, Some v, _, _ -> seed := int_of_string v
-          | _, _, _, Some v, _ -> Prelude.Parallel.set_jobs (Some (max 1 (int_of_string v)))
-          | _, _, _, _, Some v -> out_dir := v
+          match
+            ( value "--samples=", value "--warmup=", value "--seed=", value "--jobs=",
+              value "--out=", value "--diff=" )
+          with
+          | Some v, _, _, _, _, _ -> samples := max 1 (int_of_string v)
+          | _, Some v, _, _, _, _ -> warmup := max 0 (int_of_string v)
+          | _, _, Some v, _, _, _ -> seed := int_of_string v
+          | _, _, _, Some v, _, _ -> Prelude.Parallel.set_jobs (Some (max 1 (int_of_string v)))
+          | _, _, _, _, Some v, _ -> out_dir := v
+          | _, _, _, _, _, Some v -> diff_base := Some v
           | _ ->
             Printf.eprintf "unknown argument %s (try --help)\n" a;
             exit 1))
     Sys.argv;
+  match !diff_base with
+  | Some base_dir -> diff_files ~fresh_dir:!out_dir ~base_dir
+  | None ->
   if !check_only then check_files !out_dir
   else begin
     let seed = !seed and warmup = !warmup and samples = !samples in

@@ -326,12 +326,37 @@ let analyze_cmd =
 
 (* Runs the whole optimizer pipeline (DMA inference + prefetch) on every
    candidate of a schedule space and reports structural-check errors and
-   Ir_verify diagnostics. Exit status 1 if any candidate fails. *)
-let lint_space what space build describe =
+   Ir_verify diagnostics — plus, with --race, the cross-CPE interference
+   analysis (SWA030-039). Exit status 1 if any candidate has errors, or,
+   with --strict, any diagnostic at all. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let race_arg =
+  Arg.(value & flag & info [ "race" ] ~doc:"also run the cross-CPE race analysis (SWA030-039)")
+
+let lint_json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"machine-readable report on stdout")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ] ~doc:"exit 1 on warnings too, not only errors")
+
+let lint_space ~race ~json ~strict what space build describe =
   let total = List.length space in
-  Printf.printf "linting %s: %d candidate schedules\n" what total;
+  if not json then Printf.printf "linting %s: %d candidate schedules%s\n" what total
+      (if race then " (with race analysis)" else "");
   let failed = ref 0 in
   let counts = ref [] in
+  let failures = ref [] in
   let add code =
     counts :=
       (code, 1 + Option.value ~default:0 (List.assoc_opt code !counts))
@@ -341,72 +366,141 @@ let lint_space what space build describe =
     (fun s ->
       let p = Swatop.Tuner.optimize (build s) in
       let structural = match Swatop.Ir_check.check p with Ok () -> [] | Error es -> es in
-      let diags = Swatop.Ir_verify.verify p in
+      let diags =
+        Swatop.Ir_verify.verify p @ (if race then Swatop.Ir_race.verify p else [])
+      in
       List.iter (fun (d : Swatop.Ir_verify.diagnostic) -> add d.code) diags;
-      let errs = Swatop.Ir_verify.errors diags in
-      if structural <> [] || errs <> [] then begin
+      let shown = if strict then diags else Swatop.Ir_verify.errors diags in
+      if structural <> [] || shown <> [] then begin
         incr failed;
-        Printf.printf "FAIL %s\n" (describe s);
-        List.iter
-          (fun e -> Printf.printf "  check: %s\n" (Swatop.Ir_check.error_to_string e))
-          structural;
-        List.iter (fun d -> Printf.printf "  %s\n" (Swatop.Ir_verify.to_string d)) errs
+        failures :=
+          ( describe s,
+            List.map Swatop.Ir_check.error_to_string structural,
+            List.map (fun (d : Swatop.Ir_verify.diagnostic) -> (d.code, Swatop.Ir_verify.to_string d)) shown )
+          :: !failures;
+        if not json then begin
+          Printf.printf "FAIL %s\n" (describe s);
+          List.iter
+            (fun e -> Printf.printf "  check: %s\n" (Swatop.Ir_check.error_to_string e))
+            structural;
+          List.iter (fun (d : Swatop.Ir_verify.diagnostic) ->
+              Printf.printf "  %s\n" (Swatop.Ir_verify.to_string d))
+            shown
+        end
       end)
     space;
-  (match List.sort (fun (a, _) (b, _) -> String.compare a b) !counts with
-  | [] -> ()
-  | hist ->
-    Printf.printf "diagnostics: %s\n"
-      (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) hist)));
-  if !failed = 0 then Printf.printf "OK: all %d candidates verified clean\n" total
-  else begin
-    Printf.printf "FAILED: %d of %d candidates have verifier errors\n" !failed total;
-    exit 1
+  let hist = List.sort (fun (a, _) (b, _) -> String.compare a b) !counts in
+  if json then begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b (Printf.sprintf "  \"what\": \"%s\",\n" (json_escape what));
+    Buffer.add_string b (Printf.sprintf "  \"race\": %b,\n" race);
+    Buffer.add_string b (Printf.sprintf "  \"strict\": %b,\n" strict);
+    Buffer.add_string b (Printf.sprintf "  \"candidates\": %d,\n" total);
+    Buffer.add_string b (Printf.sprintf "  \"failed\": %d,\n" !failed);
+    Buffer.add_string b "  \"diagnostics\": {";
+    Buffer.add_string b
+      (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "\"%s\": %d" c n) hist));
+    Buffer.add_string b "},\n";
+    Buffer.add_string b "  \"failures\": [\n";
+    List.iteri
+      (fun i (desc, checks, diags) ->
+        Buffer.add_string b
+          (Printf.sprintf "    {\"schedule\": \"%s\", \"checks\": [%s], \"codes\": [%s]}%s\n"
+             (json_escape desc)
+             (String.concat ", " (List.map (fun c -> "\"" ^ json_escape c ^ "\"") checks))
+             (String.concat ", " (List.map (fun (c, _) -> "\"" ^ json_escape c ^ "\"") diags))
+             (if i = !failed - 1 then "" else ",")))
+      (List.rev !failures);
+    Buffer.add_string b "  ]\n}";
+    print_endline (Buffer.contents b)
   end
+  else begin
+    (match hist with
+    | [] -> ()
+    | hist ->
+      Printf.printf "diagnostics: %s\n"
+        (String.concat ", " (List.map (fun (c, n) -> Printf.sprintf "%s x%d" c n) hist)));
+    if !failed = 0 then Printf.printf "OK: all %d candidates verified clean\n" total
+    else
+      Printf.printf "FAILED: %d of %d candidates have verifier %s\n" !failed total
+        (if strict then "diagnostics" else "errors")
+  end;
+  if !failed > 0 then exit 1
 
-let lint_gemm m n k =
+let lint_gemm m n k race json strict =
   let t = Matmul.problem ~m ~n ~k in
-  lint_space
+  lint_space ~race ~json ~strict
     (Printf.sprintf "gemm %dx%dx%d" m n k)
     (Matmul.space t) (Matmul.build t) Matmul.describe
 
-let lint_conv algo ni no out kern b =
+(* A dense (fully-connected) layer is the (batch, d_out, d_in) GEMM the graph
+   compiler lowers it to. *)
+let lint_dense b d_in d_out race json strict =
+  let t = Matmul.problem ~m:b ~n:d_out ~k:d_in in
+  lint_space ~race ~json ~strict
+    (Printf.sprintf "dense batch=%d d_in=%d d_out=%d" b d_in d_out)
+    (Matmul.space t) (Matmul.build t) Matmul.describe
+
+let require_applicable applicable name spec =
+  if not applicable then begin
+    Printf.eprintf "%s not applicable to %s\n" name (Swtensor.Conv_spec.to_string spec);
+    exit 1
+  end
+
+let lint_winograd ni no out b race json strict =
+  let spec = conv_spec ni no out 3 b in
+  require_applicable (Conv_winograd.applicable spec) "winograd" spec;
+  let t = Conv_winograd.problem spec in
+  lint_space ~race ~json ~strict
+    (Printf.sprintf "winograd conv %s" (Swtensor.Conv_spec.to_string spec))
+    (Conv_winograd.space t) (Conv_winograd.build t) Conv_winograd.describe
+
+let lint_conv algo ni no out kern b race json strict =
   let spec = conv_spec ni no out kern b in
   let what name = Printf.sprintf "%s conv %s" name (Swtensor.Conv_spec.to_string spec) in
-  let require applicable name =
-    if not applicable then begin
-      Printf.eprintf "%s not applicable to %s\n" name (Swtensor.Conv_spec.to_string spec);
-      exit 1
-    end
-  in
   match algo with
   | `Implicit ->
-    require (Conv_implicit.applicable spec) "implicit";
+    require_applicable (Conv_implicit.applicable spec) "implicit" spec;
     let t = Conv_implicit.problem spec in
-    lint_space (what "implicit") (Conv_implicit.space t) (Conv_implicit.build t)
+    lint_space ~race ~json ~strict (what "implicit") (Conv_implicit.space t) (Conv_implicit.build t)
       Conv_implicit.describe
   | `Winograd ->
-    require (Conv_winograd.applicable spec) "winograd";
+    require_applicable (Conv_winograd.applicable spec) "winograd" spec;
     let t = Conv_winograd.problem spec in
-    lint_space (what "winograd") (Conv_winograd.space t) (Conv_winograd.build t)
+    lint_space ~race ~json ~strict (what "winograd") (Conv_winograd.space t) (Conv_winograd.build t)
       Conv_winograd.describe
   | `Explicit ->
-    require (Conv_explicit.applicable spec) "explicit";
+    require_applicable (Conv_explicit.applicable spec) "explicit" spec;
     let t = Conv_explicit.problem spec in
-    lint_space (what "explicit") (Conv_explicit.space t) (Conv_explicit.build t)
+    lint_space ~race ~json ~strict (what "explicit") (Conv_explicit.space t) (Conv_explicit.build t)
       Conv_explicit.describe
 
 let lint_cmd =
+  let din_arg = dim "d-in" 512 "dense input features" in
+  let dout_arg = dim "d-out" 512 "dense output features" in
   Cmd.group
     (Cmd.info "lint"
-       ~doc:"verify every candidate of a schedule space with the IR dataflow/bounds analyses")
+       ~doc:
+         "verify every candidate of a schedule space with the IR dataflow/bounds analyses and, \
+          with $(b,--race), the cross-CPE interference analysis")
     [
       Cmd.v
         (Cmd.info "gemm" ~doc:"lint a GEMM schedule space")
-        Term.(const lint_gemm $ m_arg $ n_arg $ k_arg);
+        Term.(const lint_gemm $ m_arg $ n_arg $ k_arg $ race_arg $ lint_json_arg $ strict_arg);
+      Cmd.v
+        (Cmd.info "dense" ~doc:"lint a dense (fully-connected) layer's schedule space")
+        Term.(const lint_dense $ b_arg $ din_arg $ dout_arg $ race_arg $ lint_json_arg $ strict_arg);
       Cmd.v
         (Cmd.info "conv" ~doc:"lint a convolution schedule space")
-        Term.(const lint_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg);
+        Term.(
+          const lint_conv $ algo_arg $ ni_arg $ no_arg $ out_arg $ kern_arg $ b_arg $ race_arg
+          $ lint_json_arg $ strict_arg);
+      Cmd.v
+        (Cmd.info "winograd" ~doc:"lint the Winograd F(2x2,3x3) schedule space (kernel fixed at 3)")
+        Term.(
+          const lint_winograd $ ni_arg $ no_arg $ out_arg $ b_arg $ race_arg $ lint_json_arg
+          $ strict_arg);
     ]
 
 (* ------------------------------------------------------------------ *)

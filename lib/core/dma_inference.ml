@@ -3,10 +3,10 @@ open Ir
 (* Grid extent derived from the IR's own rid/cid range metadata, so the
    descriptors this pass emits and the bounds Ir_verify assumes about them
    share one source of truth. *)
-let grid_n = Stdlib.( + ) (snd Ir.cpe_id_range) 1
+let grid_n = Ir.grid_extent
 let cpes = Const (Stdlib.( * ) grid_n grid_n)
 let grid = Const grid_n
-let cpe_id = (rid * grid) + cid
+let cpe_id = Ir.cpe_linear
 
 (* ceil(a / b) for expressions with constant-friendly simplification *)
 let ceil_div_e a b = (a + (b - Const 1)) / b

@@ -499,3 +499,221 @@ let run ?(fidelity = Sampled_cpes) ?(bindings = []) ?trace ~numeric (p : Ir.prog
   }
 
 let flops_per_second (r : result) = if r.seconds <= 0.0 then 0.0 else r.gemm_flops /. r.seconds
+
+(* ------------------------------------------------------------------ *)
+(* Shadow-memory DMA sanitizer: the dynamic oracle behind Ir_race. Every
+   main-memory element carries the sequence number and CPE of its newest
+   unretired writer and reader; each per-CPE transfer element is checked
+   against those shadows under the same in-order retirement model the
+   static pass uses (a Dma_wait on tag t retires everything issued at or
+   before the newest transfer tagged t). Unlike the cost/numeric
+   interpreter above, the sanitizer walks every loop iteration, so it
+   confirms or refutes the static pass's sampled verdicts. *)
+
+type race_kind = Race_ww | Race_rw | Race_war | Race_undrained
+
+type race = {
+  race_kind : race_kind;
+  race_buf : string;
+  race_elem : int;  (** witness element; [-1] for [Race_undrained] *)
+  race_path : string;
+  race_other : string;  (** path of the conflicting earlier transfer *)
+}
+
+let race_kind_name = function
+  | Race_ww -> "write-write"
+  | Race_rw -> "read-under-write"
+  | Race_war -> "write-under-read"
+  | Race_undrained -> "undrained put"
+
+let race_to_string r =
+  match r.race_kind with
+  | Race_undrained ->
+    Printf.sprintf "%s: put into %s still in flight at program exit" r.race_path r.race_buf
+  | k ->
+    Printf.sprintf "%s: %s race with %s on %s[%d]" r.race_path (race_kind_name k) r.race_other
+      r.race_buf r.race_elem
+
+type shadow = {
+  sh_wseq : int array;
+  sh_wcpe : int array;
+  sh_rseq : int array;
+  sh_rcpe : int array;
+  sh_rmulti : bool array;
+      (** more than one CPE holds an unretired read of this element, so the
+          single (seq, cpe) reader slot under-reports and a same-CPE write
+          must still trap *)
+}
+
+type san = {
+  sn_env : int array;
+  sn_shadows : (string, shadow) Hashtbl.t;
+  sn_issuer : (int, string) Hashtbl.t;  (** seq -> issuing statement path *)
+  sn_tag_last : (int, int) Hashtbl.t;  (** tag -> newest issued seq *)
+  mutable sn_watermark : int;  (** seqs <= this have retired *)
+  mutable sn_seq : int;
+  mutable sn_puts : (int * string * string) list;  (** seq, path, buf *)
+  mutable sn_races : race list;  (** reversed *)
+  sn_dedup : (race_kind * string * string, unit) Hashtbl.t;
+}
+
+let san_report st kind ~buf ~elem ~path ~other =
+  let key = (kind, path, other) in
+  if not (Hashtbl.mem st.sn_dedup key) then begin
+    Hashtbl.replace st.sn_dedup key ();
+    st.sn_races <-
+      { race_kind = kind; race_buf = buf; race_elem = elem; race_path = path; race_other = other }
+      :: st.sn_races
+  end
+
+let san_issuer st seq = match Hashtbl.find_opt st.sn_issuer seq with Some p -> p | None -> "?"
+
+(* One element of one per-CPE transfer against the shadows. Same-CPE
+   accesses are ordered by that CPE's own engine and never conflict;
+   distinct-CPE accesses conflict whenever the shadow entry is unretired. *)
+let san_touch st sh ~(dir : Ir.dir) ~buf ~cpe ~seq ~path e =
+  let wm = st.sn_watermark in
+  match dir with
+  | Ir.Put ->
+    if sh.sh_wseq.(e) > wm && sh.sh_wcpe.(e) <> cpe then
+      san_report st Race_ww ~buf ~elem:e ~path ~other:(san_issuer st sh.sh_wseq.(e));
+    if sh.sh_rseq.(e) > wm && (sh.sh_rmulti.(e) || sh.sh_rcpe.(e) <> cpe) then
+      san_report st Race_war ~buf ~elem:e ~path ~other:(san_issuer st sh.sh_rseq.(e));
+    sh.sh_wseq.(e) <- seq;
+    sh.sh_wcpe.(e) <- cpe
+  | Ir.Get ->
+    if sh.sh_wseq.(e) > wm && sh.sh_wcpe.(e) <> cpe then
+      san_report st Race_rw ~buf ~elem:e ~path ~other:(san_issuer st sh.sh_wseq.(e));
+    if sh.sh_rseq.(e) > wm then begin
+      if sh.sh_rcpe.(e) <> cpe then sh.sh_rmulti.(e) <- true
+    end
+    else sh.sh_rmulti.(e) <- false;
+    sh.sh_rseq.(e) <- seq;
+    sh.sh_rcpe.(e) <- cpe
+
+let san_grid_last = snd Ir.cpe_id_range
+
+let sanitize (p : Ir.program) : race list =
+  let slots = slots_create () in
+  let rec compile_stmt path (s : Ir.stmt) : san -> unit =
+    match s with
+    | Ir.Comment _ | Ir.Memset_spm _ | Ir.Spm_copy _ | Ir.Transform _ | Ir.Gemm _ ->
+      (* SPM-local / register-mesh work: no main-memory footprint *)
+      fun _ -> ()
+    | Ir.Seq l ->
+      let fs = List.mapi (fun i s -> compile_stmt (Printf.sprintf "%s[%d]" path i) s) l in
+      fun st -> List.iter (fun f -> f st) fs
+    | Ir.For fl ->
+      let flo = compile_expr slots fl.lo
+      and fhi = compile_expr slots fl.hi
+      and fstep = compile_expr slots fl.step in
+      let slot = slot_of slots fl.iter in
+      let fbody = compile_stmt (path ^ "/for " ^ fl.iter) fl.body in
+      fun st ->
+        let hi = fhi st.sn_env and step = fstep st.sn_env in
+        if step <= 0 then
+          invalid_arg (Printf.sprintf "Interp.sanitize: loop %s has step %d" fl.iter step);
+        let i = ref (flo st.sn_env) in
+        while !i < hi do
+          st.sn_env.(slot) <- !i;
+          fbody st;
+          i := !i + step
+        done
+    | Ir.If { cond; then_; else_ } ->
+      let fc = compile_cond slots cond in
+      let ft = compile_stmt (path ^ "/if-then") then_
+      and fe = compile_stmt (path ^ "/if-else") else_ in
+      fun st -> if fc st.sn_env then ft st else fe st
+    | Ir.Dma_wait { tag } ->
+      let ftag = compile_expr slots tag in
+      fun st -> (
+        match Hashtbl.find_opt st.sn_tag_last (ftag st.sn_env) with
+        | Some s when s > st.sn_watermark -> st.sn_watermark <- s
+        | _ -> ())
+    | Ir.Dma d ->
+      let path =
+        Printf.sprintf "%s/dma(%s %s)" path
+          (match d.dir with Ir.Get -> "get" | Ir.Put -> "put")
+          (match d.dir with Ir.Get -> d.main ^ "->" ^ d.spm | Ir.Put -> d.spm ^ "->" ^ d.main)
+      in
+      let desc =
+        match d.per_cpe with Some c -> c | None -> Dma_inference.infer_desc d.region d.partition
+      in
+      let fdoff = compile_expr slots desc.Ir.d_offset
+      and fdblock = compile_expr slots desc.Ir.d_block
+      and fdstride = compile_expr slots desc.Ir.d_stride
+      and fdcount = compile_expr slots desc.Ir.d_count
+      and frows = compile_expr slots d.region.Ir.rows
+      and frelems = compile_expr slots d.region.Ir.row_elems
+      and ftag = compile_expr slots d.tag in
+      fun st ->
+        if frows st.sn_env > 0 && frelems st.sn_env > 0 then begin
+          let sh =
+            match Hashtbl.find_opt st.sn_shadows d.main with
+            | Some sh -> sh
+            | None ->
+              invalid_arg (Printf.sprintf "Interp.sanitize: %s is not a Main buffer" d.main)
+          in
+          let len = Array.length sh.sh_wseq in
+          let seq = st.sn_seq in
+          st.sn_seq <- seq + 1;
+          Hashtbl.replace st.sn_issuer seq path;
+          Hashtbl.replace st.sn_tag_last (ftag st.sn_env) seq;
+          if d.dir = Ir.Put then st.sn_puts <- (seq, path, d.main) :: st.sn_puts;
+          for r = 0 to san_grid_last do
+            for c = 0 to san_grid_last do
+              st.sn_env.(rid_slot) <- r;
+              st.sn_env.(cid_slot) <- c;
+              let o = fdoff st.sn_env
+              and b = fdblock st.sn_env
+              and s = fdstride st.sn_env
+              and cnt = fdcount st.sn_env in
+              if b > 0 && cnt > 0 then begin
+                let cpe = (r * (san_grid_last + 1)) + c in
+                for i = 0 to cnt - 1 do
+                  let base = o + (i * s) in
+                  for e = max 0 base to min (len - 1) (base + b - 1) do
+                    san_touch st sh ~dir:d.dir ~buf:d.main ~cpe ~seq ~path e
+                  done
+                done
+              end
+            done
+          done
+        end
+  in
+  let compiled = compile_stmt "body" p.body in
+  let shadows = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.buf) ->
+      match b.space with
+      | Ir.Main ->
+        Hashtbl.replace shadows b.buf_name
+          {
+            sh_wseq = Array.make b.cg_elems min_int;
+            sh_wcpe = Array.make b.cg_elems (-1);
+            sh_rseq = Array.make b.cg_elems min_int;
+            sh_rcpe = Array.make b.cg_elems (-1);
+            sh_rmulti = Array.make b.cg_elems false;
+          }
+      | Ir.Spm -> ())
+    p.bufs;
+  let st =
+    {
+      sn_env = Array.make (max 2 slots.next) 0;
+      sn_shadows = shadows;
+      sn_issuer = Hashtbl.create 64;
+      sn_tag_last = Hashtbl.create 8;
+      sn_watermark = -1;
+      sn_seq = 0;
+      sn_puts = [];
+      sn_races = [];
+      sn_dedup = Hashtbl.create 8;
+    }
+  in
+  compiled st;
+  List.iter
+    (fun (seq, path, buf) ->
+      if seq > st.sn_watermark then
+        san_report st Race_undrained ~buf ~elem:(-1) ~path ~other:"")
+    st.sn_puts;
+  List.rev st.sn_races

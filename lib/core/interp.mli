@@ -53,3 +53,39 @@ val run :
 
 val flops_per_second : result -> float
 (** Achieved FLOP rate of the run, [gemm_flops / seconds]. *)
+
+(** {2 Shadow-memory DMA sanitizer}
+
+    The dynamic oracle behind {!Ir_race}: every main-memory element is
+    tagged with the sequence number and CPE of its newest unretired writer
+    and reader, and each per-CPE transfer element is checked against those
+    shadows under the same in-order retirement model the static pass uses
+    (a [Dma_wait] on tag [t] retires everything issued at or before the
+    newest transfer tagged [t]). The sanitizer walks {e every} loop
+    iteration with concrete bounds — no sampling — so it confirms or
+    refutes the static pass's verdicts; the differential fuzzer asserts
+    the two agree on every mutant. *)
+
+type race_kind =
+  | Race_ww  (** two distinct CPEs wrote the element in one epoch (SWA030/SWA039) *)
+  | Race_rw  (** a CPE read an element another CPE's put had not retired (SWA031) *)
+  | Race_war  (** a CPE overwrote an element another CPE was still reading (SWA031) *)
+  | Race_undrained  (** a put was still in flight at program exit (SWA035) *)
+
+type race = {
+  race_kind : race_kind;
+  race_buf : string;
+  race_elem : int;  (** witness element index; [-1] for [Race_undrained] *)
+  race_path : string;  (** statement path of the access that trapped *)
+  race_other : string;  (** path of the conflicting earlier transfer; [""] if none *)
+}
+
+val race_to_string : race -> string
+
+val sanitize : Ir.program -> race list
+(** Execute the program's DMA statements (and only those — no numeric or
+    timing work) over shadow memory and return every race found, deduped
+    by (kind, path, conflicting path). Loop bounds and descriptors must
+    evaluate concretely; descriptors missing [per_cpe] are inferred via
+    {!Dma_inference.infer_desc}. Raises [Invalid_argument] on a
+    non-positive loop step or a DMA against a non-[Main] buffer. *)

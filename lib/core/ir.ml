@@ -112,6 +112,9 @@ let is_cpe_var v = String.equal v "rid" || String.equal v "cid"
 (* Inclusive range of both [rid] and [cid]; the CPE grid is square. *)
 let cpe_id_range = (0, Stdlib.( - ) Sw26010.Config.cpe_rows 1)
 
+let grid_extent = Stdlib.( + ) (snd cpe_id_range) 1
+let cpe_linear = Add (Mul (rid, Const grid_extent), cid)
+
 type mem_space = Main | Spm
 
 type buf = {

@@ -63,7 +63,14 @@ val is_cpe_var : string -> bool
 val cpe_id_range : int * int
 (** Inclusive value range of both {!rid} and {!cid} — [(0, 7)] on the
     SW26010's square 8x8 CPE grid. Range metadata for static analyses
-    ({!Ir_verify}) and for DMA inference, which must agree on it. *)
+    ({!Ir_verify}, {!Ir_race}) and for DMA inference, which must agree
+    on it. *)
+
+val grid_extent : int
+(** Number of CPEs along one edge of the grid, [snd cpe_id_range + 1]. *)
+
+val cpe_linear : expr
+(** The linearized CPE id [rid * grid_extent + cid], in [0, 63]. *)
 
 (** {1 Buffers} *)
 

@@ -1,0 +1,519 @@
+open! Stdlib
+
+type severity = Ir_verify.severity = Error | Warning
+
+type diagnostic = Ir_verify.diagnostic = {
+  code : string;
+  severity : severity;
+  path : string;
+  message : string;
+}
+
+let registry =
+  [
+    ("SWA030", Error, "per-CPE DMA put footprints overlap in main memory (write-write race)");
+    ("SWA031", Error, "DMA get overlaps a distinct CPE's in-flight put (read-write race)");
+    ("SWA032", Error, "regcomm exchange: a lane's send/receive counts are unbalanced");
+    ("SWA033", Error, "regcomm exchange: cyclic wait between a step's broadcasts");
+    ("SWA034", Error, "regcomm exchange: source lane outside the mesh");
+    ("SWA035", Warning, "DMA put still in flight at end of program");
+    ("SWA038", Warning, "symbolic disjointness proof inconclusive; fell back to enumeration");
+    ("SWA039", Error, "concrete enumeration found overlapping per-CPE DMA footprints");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Concrete per-CPE footprint: [c] blocks of [b] elements, block [i]
+   starting at element [o + i*s] of a Main buffer. All values concrete —
+   loop sampling keeps iterators exact; anything symbolic marks the walk
+   imprecise instead of widening. *)
+
+type fp = { o : int; b : int; s : int; c : int }
+
+let fp_empty f = f.b <= 0 || f.c <= 0
+let fp_end f = f.o + ((f.c - 1) * max 0 f.s) + f.b
+
+(* A footprint is a dense interval when its blocks tile or overlap each
+   other: a single block, or stride no larger than the block. *)
+let fp_dense f = f.c = 1 || f.s <= f.b
+
+(* Floor/ceil division for possibly-negative numerators (positive divisor). *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv a b = fdiv (a + b - 1) b
+
+(* Exact overlap witness by enumerating rows of the smaller footprint and
+   solving for the other's intersecting block range — O(min(c1, c2)). *)
+let enum_witness f1 f2 =
+  let f1, f2 = if f1.c <= f2.c then (f1, f2) else (f2, f1) in
+  let res = ref None in
+  let i = ref 0 in
+  while Option.is_none !res && !i < f1.c do
+    let x = f1.o + (!i * f1.s) in
+    (if f2.s <= 0 then begin
+       if f2.o < x + f1.b && x < f2.o + f2.b then res := Some (max x f2.o)
+     end
+     else
+       let jlo = max 0 (cdiv (x - f2.b + 1 - f2.o) f2.s) in
+       let jhi = min (f2.c - 1) (fdiv (x + f1.b - 1 - f2.o) f2.s) in
+       if jlo <= jhi then res := Some (max x (f2.o + (jlo * f2.s))));
+    incr i
+  done;
+  !res
+
+type verdict = Disjoint | Overlap of int  (** witness element *) | Inconclusive
+
+(* The symbolic ladder: envelope test, dense-interval test, and for equal
+   strides a modular phase proof plus an exact row/column rectangle test
+   when no block crosses a stride boundary. Only [Overlap] verdicts proven
+   exact are returned; anything else defers to enumeration. *)
+let symbolic f1 f2 =
+  if fp_empty f1 || fp_empty f2 then Disjoint
+  else if fp_end f1 <= f2.o || fp_end f2 <= f1.o then Disjoint
+  else if fp_dense f1 && fp_dense f2 then Overlap (max f1.o f2.o)
+  else if f1.s = f2.s && f1.s > 0 && f1.b <= f1.s && f2.b <= f1.s then begin
+    let s = f1.s in
+    let aligned f = (f.o mod s) + f.b <= s in
+    if aligned f1 && aligned f2 then begin
+      (* same stride grid: footprints are (row, column) rectangles *)
+      let q1 = fdiv f1.o s and q2 = fdiv f2.o s in
+      let p1 = f1.o - (q1 * s) and p2 = f2.o - (q2 * s) in
+      let rows_meet = q1 < q2 + f2.c && q2 < q1 + f1.c in
+      let cols_meet = p1 < p2 + f2.b && p2 < p1 + f1.b in
+      if rows_meet && cols_meet then
+        let q = max q1 q2 and p = max p1 p2 in
+        Overlap ((q * s) + p)
+      else Disjoint
+    end
+    else
+      let d = ((f2.o - f1.o) mod s + s) mod s in
+      if d >= f1.b && s - d >= f2.b then Disjoint else Inconclusive
+  end
+  else Inconclusive
+
+(* ------------------------------------------------------------------ *)
+
+(* One per-CPE member of a collective DMA statement execution. All 64
+   members share the execution's sequence number. *)
+type record = {
+  r_seq : int;
+  r_dir : Ir.dir;
+  r_buf : string;
+  r_rid : int;
+  r_cid : int;
+  r_fp : fp;
+  r_tag : int;
+  r_path : string;
+}
+
+type ctx = {
+  env : int array;  (** concrete variable values; [unk] when symbolic *)
+  mutable inflight : record list;  (** newest first *)
+  mutable next_seq : int;
+  mutable quiet : bool;
+  mutable imprecise : bool;
+  mutable diags : diagnostic list;  (** reversed *)
+  seen : (string * string, unit) Hashtbl.t;
+  intra_ok : (string * fp list, unit) Hashtbl.t;
+      (** put statements whose translated per-CPE footprint shape already
+          proved pairwise disjoint *)
+}
+
+let unk = min_int
+
+let report ctx ~code ~severity ~path message =
+  if not (Hashtbl.mem ctx.seen (code, path)) then begin
+    Hashtbl.add ctx.seen (code, path) ();
+    ctx.diags <- { code; severity; path; message } :: ctx.diags
+  end
+
+let hazard ctx ~code ~path message =
+  if not ctx.quiet then report ctx ~code ~severity:Error ~path message
+
+let warn ctx ~code ~path message =
+  if not ctx.quiet then report ctx ~code ~severity:Warning ~path message
+
+(* ------------------------------------------------------------------ *)
+
+type cenv = { slots : (string, int) Hashtbl.t; rid_slot : int; cid_slot : int }
+
+let slot_of ce v =
+  match Hashtbl.find_opt ce.slots v with
+  | Some i -> i
+  | None ->
+    let i = Hashtbl.length ce.slots in
+    Hashtbl.add ce.slots v i;
+    i
+
+let rec compile_expr ce (e : Ir.expr) : ctx -> int =
+  let bin op a b =
+    let fa = compile_expr ce a and fb = compile_expr ce b in
+    fun ctx ->
+      let x = fa ctx and y = fb ctx in
+      if x = unk || y = unk then unk else op x y
+  in
+  match e with
+  | Ir.Const i -> fun _ -> i
+  | Ir.Var v ->
+    let s = slot_of ce v in
+    fun ctx -> ctx.env.(s)
+  | Ir.Add (a, b) -> bin ( + ) a b
+  | Ir.Sub (a, b) -> bin ( - ) a b
+  | Ir.Mul (a, b) -> bin ( * ) a b
+  | Ir.Min (a, b) -> bin min a b
+  | Ir.Max (a, b) -> bin max a b
+  | Ir.Div (a, b) -> bin (fun x y -> if y = 0 then unk else x / y) a b
+  | Ir.Mod (a, b) -> bin (fun x y -> if y = 0 then unk else x mod y) a b
+
+type tri = True | False | Unknown
+
+let tri_not = function True -> False | False -> True | Unknown -> Unknown
+
+let rec compile_cond ce (c : Ir.cond) : ctx -> tri =
+  match c with
+  | Ir.Cmp (op, a, b) ->
+    let fa = compile_expr ce a and fb = compile_expr ce b in
+    let test : int -> int -> bool =
+      match op with
+      | Ir.Lt -> ( < )
+      | Ir.Le -> ( <= )
+      | Ir.Eq -> ( = )
+      | Ir.Ne -> ( <> )
+    in
+    fun ctx ->
+      let x = fa ctx and y = fb ctx in
+      if x = unk || y = unk then Unknown else if test x y then True else False
+  | Ir.And (a, b) ->
+    let fa = compile_cond ce a and fb = compile_cond ce b in
+    fun ctx -> (
+      match (fa ctx, fb ctx) with
+      | False, _ | _, False -> False
+      | True, True -> True
+      | _ -> Unknown)
+  | Ir.Or (a, b) ->
+    let fa = compile_cond ce a and fb = compile_cond ce b in
+    fun ctx -> (
+      match (fa ctx, fb ctx) with
+      | True, _ | _, True -> True
+      | False, False -> False
+      | _ -> Unknown)
+  | Ir.Not a ->
+    let fa = compile_cond ce a in
+    fun ctx -> tri_not (fa ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Conflict checks. [decide] runs the symbolic ladder and falls back to
+   enumeration, reporting SWA038 for the fallback and either the exact
+   code or SWA039 for a confirmed overlap. *)
+
+let cpe_name r c = Printf.sprintf "(rid %d, cid %d)" r c
+
+let decide ctx ~exact_code ~path ~what f1 f2 describe =
+  match symbolic f1 f2 with
+  | Disjoint -> ()
+  | Overlap w -> hazard ctx ~code:exact_code ~path (describe w)
+  | Inconclusive -> (
+    warn ctx ~code:"SWA038" ~path
+      (Printf.sprintf "%s: stride proof inconclusive (strides %d vs %d); enumerating" what f1.s
+         f2.s);
+    match enum_witness f1 f2 with
+    | Some w -> hazard ctx ~code:"SWA039" ~path (describe w)
+    | None -> ())
+
+(* Pairwise disjointness of the 64 members of one collective put. The
+   result only depends on the footprints' relative layout, so executions
+   differing by a pure translation (successive tiles) share one check. *)
+let check_intra ctx ~path ~buf (members : (int * int * fp) list) =
+  match members with
+  | [] | [ _ ] -> ()
+  | (_, _, f0) :: _ ->
+    let base = List.fold_left (fun m (_, _, f) -> min m f.o) f0.o members in
+    let key = (path, List.map (fun (_, _, f) -> { f with o = f.o - base }) members) in
+    if not (Hashtbl.mem ctx.intra_ok key) then begin
+      let arr = Array.of_list members in
+      let clean = ref true in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          let r1, c1, f1 = arr.(i) and r2, c2, f2 = arr.(j) in
+          let describe w =
+            Printf.sprintf "collective put: %s and %s footprints in %s both cover element %d"
+              (cpe_name r1 c1) (cpe_name r2 c2) buf w
+          in
+          let before = ctx.diags in
+          decide ctx ~exact_code:"SWA030" ~path ~what:"collective put" f1 f2 describe;
+          if ctx.diags != before then clean := false
+        done
+      done;
+      if !clean then Hashtbl.add ctx.intra_ok key ()
+    end
+
+(* A fresh member against the unretired transfers of other CPEs: put-vs-put
+   is SWA030, get-vs-put (either order) SWA031. Same-CPE pairs are ordered
+   by that CPE's own engine and never conflict. *)
+let check_cross ctx ~path ~dir ~buf ~rid ~cid fp =
+  List.iter
+    (fun tr ->
+      if
+        String.equal tr.r_buf buf
+        && (tr.r_rid <> rid || tr.r_cid <> cid)
+        && (dir = Ir.Put || tr.r_dir = Ir.Put)
+      then begin
+        let code, what =
+          if dir = Ir.Put && tr.r_dir = Ir.Put then ("SWA030", "put overlaps unretired put")
+          else if dir = Ir.Get then ("SWA031", "get overlaps unretired put")
+          else ("SWA031", "put overwrites a region still being read")
+        in
+        let describe w =
+          Printf.sprintf "%s: %s here and %s of %s (issued at %s) both cover %s[%d]" what
+            (cpe_name rid cid) (cpe_name tr.r_rid tr.r_cid)
+            (match tr.r_dir with Ir.Put -> "put" | Ir.Get -> "get")
+            tr.r_path buf w
+        in
+        decide ctx ~exact_code:code ~path ~what fp tr.r_fp describe
+      end)
+    ctx.inflight
+
+(* ------------------------------------------------------------------ *)
+
+(* Canonical in-flight state for loop-period detection: content in issue
+   order with sequence numbers normalized away (retirement only depends on
+   relative order). *)
+let canon_state l = List.rev_map (fun r -> { r with r_seq = 0 }) l
+
+let max_full_trips = 8
+let head_trips = 4
+
+let run_loop ctx ~slot ~lo ~step ~trips ~(body : ctx -> unit) =
+  let run i =
+    ctx.env.(slot) <- lo + (i * step);
+    body ctx
+  in
+  if trips <= max_full_trips then
+    for i = 0 to trips - 1 do
+      run i
+    done
+  else begin
+    let snaps = Array.make (head_trips + 1) [] in
+    for i = 0 to head_trips - 1 do
+      snaps.(i) <- canon_state ctx.inflight;
+      run i
+    done;
+    snaps.(head_trips) <- canon_state ctx.inflight;
+    let period =
+      if snaps.(head_trips) = snaps.(head_trips - 1) then Some 1
+      else if snaps.(head_trips) = snaps.(head_trips - 2) then Some 2
+      else None
+    in
+    let start, quiet_tail =
+      match period with
+      | Some p ->
+        let s = trips - 2 in
+        ((if (s - head_trips) mod p = 0 then s else s - 1), false)
+      | None ->
+        ctx.imprecise <- true;
+        (trips - 2, true)
+    in
+    let was = ctx.quiet in
+    if quiet_tail then ctx.quiet <- true;
+    for i = start to trips - 1 do
+      run i
+    done;
+    ctx.quiet <- was
+  end
+
+let grid_last = snd Ir.cpe_id_range
+
+type gemm_hook = { mutate : Sw26010.Regcomm.schedule -> Sw26010.Regcomm.schedule }
+
+let rec compile_stmt ce ~hook ~path (s : Ir.stmt) : ctx -> unit =
+  match s with
+  | Ir.Comment _ | Ir.Memset_spm _ | Ir.Spm_copy _ | Ir.Transform _ ->
+    (* SPM-local compute: no main-memory footprint; Ir_verify owns the
+       SPM-side hazards. *)
+    fun _ -> ()
+  | Ir.Seq l ->
+    let fs =
+      List.mapi (fun i s -> compile_stmt ce ~hook ~path:(Printf.sprintf "%s[%d]" path i) s) l
+    in
+    fun ctx -> List.iter (fun f -> f ctx) fs
+  | Ir.For fl ->
+    let flo = compile_expr ce fl.lo
+    and fhi = compile_expr ce fl.hi
+    and fstep = compile_expr ce fl.step in
+    let slot = slot_of ce fl.iter in
+    let fbody = compile_stmt ce ~hook ~path:(path ^ "/for " ^ fl.iter) fl.body in
+    fun ctx ->
+      let lo = flo ctx and hi = fhi ctx and step = fstep ctx in
+      if lo <> unk && hi <> unk && step <> unk && step > 0 then begin
+        let trips = if hi <= lo then 0 else (hi - lo + step - 1) / step in
+        if trips > 0 then run_loop ctx ~slot ~lo ~step ~trips ~body:fbody
+      end
+      else begin
+        (* symbolic bounds: walk once, quietly, with an unknown iterator *)
+        ctx.imprecise <- true;
+        ctx.env.(slot) <- unk;
+        let was = ctx.quiet in
+        ctx.quiet <- true;
+        fbody ctx;
+        ctx.quiet <- was
+      end
+  | Ir.If { cond; then_; else_ } ->
+    let fc = compile_cond ce cond in
+    let ft = compile_stmt ce ~hook ~path:(path ^ "/if-then") then_
+    and fe = compile_stmt ce ~hook ~path:(path ^ "/if-else") else_ in
+    fun ctx -> (
+      match fc ctx with
+      | True -> ft ctx
+      | False -> fe ctx
+      | Unknown ->
+        ctx.imprecise <- true;
+        let was = ctx.quiet in
+        ctx.quiet <- true;
+        let saved = ctx.inflight in
+        ft ctx;
+        let after_then = ctx.inflight in
+        ctx.inflight <- saved;
+        fe ctx;
+        ctx.inflight <- List.sort_uniq compare (after_then @ ctx.inflight);
+        ctx.quiet <- was)
+  | Ir.Dma d -> compile_dma ce ~path d
+  | Ir.Dma_wait { tag } ->
+    let ftag = compile_expr ce tag in
+    fun ctx -> (
+      let t = ftag ctx in
+      if t = unk then ctx.imprecise <- true
+      else
+        let watermark =
+          List.fold_left (fun w tr -> if tr.r_tag = t then max w tr.r_seq else w) (-1) ctx.inflight
+        in
+        if watermark >= 0 then
+          (* the engine retires in issue order: everything at or before the
+             newest matching transfer drains with it *)
+          ctx.inflight <- List.filter (fun tr -> tr.r_seq > watermark) ctx.inflight)
+  | Ir.Gemm g -> compile_gemm ce ~hook ~path g
+
+and compile_dma ce ~path (d : Ir.dma) =
+  let path =
+    Printf.sprintf "%s/dma(%s %s)" path
+      (match d.dir with Ir.Get -> "get" | Ir.Put -> "put")
+      (match d.dir with Ir.Get -> d.main ^ "->" ^ d.spm | Ir.Put -> d.spm ^ "->" ^ d.main)
+  in
+  let desc =
+    match d.per_cpe with Some c -> c | None -> Dma_inference.infer_desc d.region d.partition
+  in
+  let fdoff = compile_expr ce desc.Ir.d_offset
+  and fdblock = compile_expr ce desc.Ir.d_block
+  and fdstride = compile_expr ce desc.Ir.d_stride
+  and fdcount = compile_expr ce desc.Ir.d_count
+  and frows = compile_expr ce d.region.Ir.rows
+  and frelems = compile_expr ce d.region.Ir.row_elems
+  and ftag = compile_expr ce d.tag in
+  let rid_slot = ce.rid_slot and cid_slot = ce.cid_slot in
+  fun ctx ->
+    let rows = frows ctx and relems = frelems ctx in
+    if rows = unk || relems = unk then ctx.imprecise <- true
+    else if rows > 0 && relems > 0 then begin
+      let tag = ftag ctx in
+      let members = ref [] in
+      let ok = ref true in
+      for r = grid_last downto 0 do
+        for c = grid_last downto 0 do
+          ctx.env.(rid_slot) <- r;
+          ctx.env.(cid_slot) <- c;
+          let o = fdoff ctx and b = fdblock ctx and s = fdstride ctx and cnt = fdcount ctx in
+          if o = unk || b = unk || s = unk || cnt = unk then ok := false
+          else if b > 0 && cnt > 0 then members := (r, c, { o; b; s; c = cnt }) :: !members
+        done
+      done;
+      if (not !ok) || tag = unk then ctx.imprecise <- true
+      else begin
+        let members = !members in
+        if d.dir = Ir.Put then check_intra ctx ~path ~buf:d.main members;
+        List.iter
+          (fun (r, c, fp) -> check_cross ctx ~path ~dir:d.dir ~buf:d.main ~rid:r ~cid:c fp)
+          members;
+        let seq = ctx.next_seq in
+        ctx.next_seq <- seq + 1;
+        let fresh =
+          List.map
+            (fun (r, c, fp) ->
+              {
+                r_seq = seq;
+                r_dir = d.dir;
+                r_buf = d.main;
+                r_rid = r;
+                r_cid = c;
+                r_fp = fp;
+                r_tag = tag;
+                r_path = path;
+              })
+            members
+        in
+        (* set-replace: reissuing an identical member (same everything but
+           seq) supersedes its stale record, keeping sampled-loop state
+           finite for fire-and-forget puts *)
+        let stale tr =
+          List.exists
+            (fun nr ->
+              nr.r_dir = tr.r_dir && String.equal nr.r_buf tr.r_buf && nr.r_rid = tr.r_rid
+              && nr.r_cid = tr.r_cid && nr.r_fp = tr.r_fp && nr.r_tag = tr.r_tag)
+            fresh
+        in
+        ctx.inflight <- fresh @ List.filter (fun tr -> not (stale tr)) ctx.inflight
+      end
+    end
+
+and compile_gemm ce ~hook ~path (g : Ir.gemm) =
+  let path = path ^ "/gemm" in
+  let fk = compile_expr ce g.k in
+  fun ctx ->
+    let k = fk ctx in
+    if k = unk then ctx.imprecise <- true
+    else if k > 0 && not (Hashtbl.mem ctx.seen ("regcomm", path ^ "#" ^ string_of_int k)) then begin
+      Hashtbl.add ctx.seen ("regcomm", path ^ "#" ^ string_of_int k) ();
+      let schedule = hook.mutate (Sw26010.Regcomm.gemm_schedule ~k_steps:k) in
+      List.iter
+        (fun v ->
+          let code =
+            match v with
+            | Sw26010.Regcomm.Unbalanced _ -> "SWA032"
+            | Sw26010.Regcomm.Cyclic _ -> "SWA033"
+            | Sw26010.Regcomm.Bad_lane _ -> "SWA034"
+          in
+          hazard ctx ~code ~path
+            (Printf.sprintf "exchange schedule (%d reduction steps): %s" k
+               (Sw26010.Regcomm.describe_violation v)))
+        (Sw26010.Regcomm.validate schedule)
+    end
+
+(* ------------------------------------------------------------------ *)
+
+let verify ?mutate_regcomm (p : Ir.program) =
+  let ce = { slots = Hashtbl.create 16; rid_slot = 0; cid_slot = 0 } in
+  let ce = { ce with rid_slot = slot_of ce "rid"; cid_slot = slot_of ce "cid" } in
+  let hook = { mutate = Option.value mutate_regcomm ~default:(fun s -> s) } in
+  let compiled = compile_stmt ce ~hook ~path:"body" p.Ir.body in
+  let ctx =
+    {
+      env = Array.make (max 1 (Hashtbl.length ce.slots)) unk;
+      inflight = [];
+      next_seq = 0;
+      quiet = false;
+      imprecise = false;
+      diags = [];
+      seen = Hashtbl.create 16;
+      intra_ok = Hashtbl.create 16;
+    }
+  in
+  compiled ctx;
+  (* The imprecision flag dampens nothing below: leftover puts are reported
+     even on an imprecise walk, because waits execute during quiet sampling
+     too (only reports are muted) — a put in flight at exit was genuinely
+     issued on the walked path and never retired. Sampling can omit
+     transfers, never resurrect retired ones. *)
+  ignore ctx.imprecise;
+  List.iter
+    (fun tr ->
+      if tr.r_dir = Ir.Put then
+        report ctx ~code:"SWA035" ~severity:Warning ~path:tr.r_path
+          (Printf.sprintf "put tag %d into %s still in flight at end of program" tr.r_tag tr.r_buf))
+    ctx.inflight;
+  List.rev ctx.diags

@@ -1,0 +1,53 @@
+(** Cross-CPE interference analysis: the 64 CPEs of a core group must not
+    race each other through main memory or the register-communication mesh.
+
+    {!Ir_verify} proves each CPE's own dataflow sound; this pass proves the
+    CPEs sound {e against each other}. Every DMA statement execution is a
+    collective of 64 per-CPE transfers whose main-memory footprints are
+    evaluated concretely as [(offset, block, stride, count)] sets over the
+    full [rid]/[cid] grid ({!Ir.cpe_id_range}), with the same concrete loop
+    sampling as {!Ir_verify} (head window + detected period + phase-aligned
+    tail).
+
+    {2 Epoch model}
+
+    Transfers retire in issue order: a [Dma_wait] on tag [t] blocks until
+    the newest in-flight transfer tagged [t] completes, and since the
+    engine drains in order, everything issued before it completes too
+    (sequence-number watermark). Between waits, transfers from {e distinct}
+    CPEs are mutually unordered — those are the synchronization epochs
+    within which overlap is a race. Transfers from the same CPE are always
+    ordered by its own engine and never conflict with each other.
+
+    {2 Diagnostics}
+
+    - SWA030 (error): two distinct CPEs' put footprints overlap — within
+      one collective put or across unretired puts of an epoch.
+    - SWA031 (error): a get overlaps a distinct CPE's unretired put, or a
+      put overwrites a region a distinct CPE is still reading.
+    - SWA032–SWA034 (error): regcomm exchange-schedule violations
+      (unbalanced lane, cyclic wait, bad lane) — see {!Sw26010.Regcomm}.
+    - SWA035 (warning): a put is still in flight at program exit, so
+      generated code could truncate stores (the put sibling of SWA005).
+    - SWA038 (warning): the symbolic disjointness proof (dense-interval,
+      same-stride phase/rectangle) was inconclusive and the pass fell back
+      to concrete per-row enumeration.
+    - SWA039 (error): that enumeration found a real overlap.
+
+    Disjointness is decided symbolically first — exact interval tests for
+    dense footprints, and for same-stride footprints a modular phase proof
+    plus an exact row/column rectangle test — and only then by enumeration,
+    so errors are always definite (a witness element exists). *)
+
+val verify :
+  ?mutate_regcomm:(Sw26010.Regcomm.schedule -> Sw26010.Regcomm.schedule) ->
+  Ir.program ->
+  Ir_verify.diagnostic list
+(** Run the analysis over an optimized program. DMA statements without
+    inferred per-CPE descriptors get them from {!Dma_inference.infer_desc}
+    on the fly, so raw scheduler output can be checked too.
+    [mutate_regcomm] rewrites each GEMM's derived exchange schedule before
+    validation — a test hook for planting SWA032–SWA034. *)
+
+val registry : (string * Ir_verify.severity * string) list
+(** The SWA03x codes with severity and one-line summary. *)

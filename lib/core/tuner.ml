@@ -51,6 +51,11 @@ let effective_jobs jobs = match jobs with Some j -> max 1 j | None -> Prelude.Pa
 let rejection_codes diags =
   List.sort_uniq String.compare (List.map (fun d -> d.Ir_verify.code) diags)
 
+(* Per-CPE dataflow errors and cross-CPE race errors together gate
+   measurement: a candidate whose CPEs race each other through main memory
+   is as unusable as one that corrupts its own SPM. *)
+let verify_errors p = Ir_verify.errors (Ir_verify.verify p) @ Ir_verify.errors (Ir_race.verify p)
+
 let merge_rejections acc counts =
   List.fold_left
     (fun acc (c, n) ->
@@ -181,7 +186,7 @@ let model_tune ?(top_k = 1) ?(prune = true) ?jobs ?checkpoint ~gemm_model ~candi
             if prune && Cost_model.dma_lower_bound p > Topk.threshold tk then `Pruned
             else begin
               let p = checked p in
-              match Ir_verify.errors (Ir_verify.verify p) with
+              match verify_errors p with
               | _ :: _ as errs -> `Rejected (rejection_codes errs)
               | [] -> `Scored (Cost_model.estimate ~gemm_model p).total_seconds
             end
@@ -322,7 +327,7 @@ let blackbox_tune ?(repetitions = 3) ?(sample_every = 1) ?jobs ~candidates ~buil
         match
           Prelude.Fault.check ~key:(base + j) "tuner.score";
           let p = prepare (build c) in
-          match Ir_verify.errors (Ir_verify.verify p) with
+          match verify_errors p with
           | _ :: _ as errs -> `Rejected (rejection_codes errs)
           | [] -> `Measured (p, (Interp.run ~numeric:false p).seconds)
         with
@@ -475,7 +480,7 @@ let guided_tune ?jobs ~config:cfg ~candidates ~build () =
       (fun c ->
         match
           let p = optimize (build c) in
-          match Ir_verify.errors (Ir_verify.verify p) with
+          match verify_errors p with
           | _ :: _ as errs -> `Rejected (rejection_codes errs)
           | [] -> `Feat (Sched_features.of_program (checked p))
         with

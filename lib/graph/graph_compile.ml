@@ -167,6 +167,14 @@ let edge_step spec =
     | Some s -> s
     | None ->
       let program = Swatop.Tuner.prepare (Graph_layout.build spec) in
+      (* Node programs pass through the tuners' race gate; the layout copies
+         are built here directly, so they get the same gate by hand. *)
+      (match Swatop.Ir_verify.errors (Swatop.Ir_race.verify program) with
+      | [] -> ()
+      | errs ->
+        invalid_arg
+          (Printf.sprintf "Graph_compile.edge_step: copy %s races: %s" (Graph_layout.describe spec)
+             (String.concat "; " (List.map Swatop.Ir_verify.to_string errs))));
       let r = Swatop.Interp.run ~numeric:false program in
       let s = Some { cs_spec = spec; cs_program = program; cs_seconds = r.Swatop.Interp.seconds } in
       Hashtbl.replace edge_cache key s;

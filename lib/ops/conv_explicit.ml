@@ -371,11 +371,22 @@ let build (t : t) s =
           per_cpe = None;
         }
     in
+    (* Drain the last column put before the GEMM phase reads "col": the gets
+       of the first GEMM tile issue ahead of any wait, and in-order
+       retirement makes the one wait drain the whole phase. *)
+    let drain =
+      let last =
+        And
+          ( And (Cmp (Le, int b, vb + int 1), Cmp (Le, int ni, vni + int 1)),
+            And (Cmp (Le, int kr, vkr + int 1), Cmp (Le, int kc, vkc + int 1)) )
+      in
+      If { cond = last; then_ = Dma_wait { tag = int tag_col }; else_ = Seq [] }
+    in
     for_ ~prefetch:s.prefetch ~iter:"xb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
       (for_ ~iter:"xni" ~lo:(int 0) ~hi:(int ni) ~step:(int 1)
          (for_ ~iter:"xkr" ~lo:(int 0) ~hi:(int kr) ~step:(int 1)
             (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1)
-               (seq [ get_window; Dma_wait { tag = int tag_win }; put ]))))
+               (seq [ get_window; Dma_wait { tag = int tag_win }; put; drain ]))))
   in
   (* Phase 1, slab form (swATOP): fetch a [pi]-channel image slab once,
      repack each of the kr*kc shifted windows in SPM with vector copies,
@@ -442,9 +453,19 @@ let build (t : t) s =
           per_cpe = None;
         }
     in
+    (* Same terminal drain as the naive form: the GEMM phase's first gets
+       race the trailing column puts without it. *)
+    let drain =
+      let last =
+        And
+          ( And (Cmp (Le, int b, vb + int 1), Cmp (Le, int ni, vnib + int pi)),
+            And (Cmp (Le, int kr, vkr + int 1), Cmp (Le, int kc, vkc + int 1)) )
+      in
+      If { cond = last; then_ = Dma_wait { tag = int tag_col }; else_ = Seq [] }
+    in
     let taps =
       for_ ~iter:"xkr" ~lo:(int 0) ~hi:(int kr) ~step:(int 1)
-        (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1) (seq [ repack; put ]))
+        (for_ ~iter:"xkc" ~lo:(int 0) ~hi:(int kc) ~step:(int 1) (seq [ repack; put; drain ]))
     in
     for_ ~prefetch:s.prefetch ~iter:"xb" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
       (for_ ~iter:"xnib" ~lo:(int 0) ~hi:(int ni) ~step:(int pi)

@@ -416,7 +416,19 @@ let build (t : t) s =
         elems = (if pad_light then int (imul s.fo nb_full) else tfo * tn);
       }
   in
-  let tile_body = seq ([ memset_do; reduction ] @ puts_do do_ld) in
+  (* Drain the fire-and-forget output puts on the last tile, inside the nest
+     so prefetch retags the wait in step with them (in-order retirement makes
+     the final wait drain every earlier put too). *)
+  let drain_do =
+    let last_of v extent step = Cmp (Le, int extent, v + int step) in
+    let last =
+      match s.tile with
+      | Col_tile fc -> And (And (last_of vro ro 1, last_of vcob co fc), last_of vnob no s.fo)
+      | Row_slab fr -> And (And (last_of vro ro fr, last_of vcob co co), last_of vnob no s.fo)
+    in
+    If { cond = last; then_ = Dma_wait { tag = int tag_do }; else_ = Seq [] }
+  in
+  let tile_body = seq ([ memset_do; reduction ] @ puts_do do_ld @ [ drain_do ]) in
   let outer_levels =
     let lno = Swatop.Scheduler.level ~iter:"nob" ~extent:no ~step:s.fo in
     match s.tile with

@@ -434,10 +434,20 @@ let build (t : t) s =
           per_cpe = None;
         }
     in
+    (* Drain the fire-and-forget output put on the last tile (in-order
+       retirement drains every earlier one with it). *)
+    let drain =
+      let last =
+        And
+          ( And (Cmp (Le, int b, vb + int 1), Cmp (Le, int no, vno + int s.t_o)),
+            Cmp (Le, int trimg, vtr + int s.tr) )
+      in
+      If { cond = last; then_ = Dma_wait { tag = int tag_out }; else_ = Seq [] }
+    in
     for_ ~prefetch:s.prefetch ~iter:"wo_b" ~lo:(int 0) ~hi:(int b) ~step:(int 1)
       (for_ ~iter:"wo_no" ~lo:(int 0) ~hi:(int no) ~step:(int s.t_o)
          (for_ ~iter:"wo_tr" ~lo:(int 0) ~hi:(int trimg) ~step:(int s.tr)
-            (seq [ gets; Dma_wait { tag = int tag_mo }; transform; put ])))
+            (seq [ gets; Dma_wait { tag = int tag_mo }; transform; put; drain ])))
   in
   program ~name:"conv_winograd" ~bufs
     (seq

@@ -191,7 +191,15 @@ let gemm_nest ?a_row_stride ?b_row_stride ?c_row_stride g ~a_main ~b_main ~c_mai
         per_cpe = None;
       }
   in
-  let tile_body = seq [ memset_c; ik_loop; put_c ] in
+  (* Drain the fire-and-forget C put on the last tile only, inside the nest
+     so the prefetch pass retags the wait in step with put_c. The engine
+     retires in issue order, so waiting on the final put retires every
+     earlier one too — codegen can never truncate stores (SWA035). *)
+  let drain_c =
+    let last = And (Cmp (Le, int m, im + int fm), Cmp (Le, int n, in_ + int fn)) in
+    If { cond = last; then_ = Dma_wait { tag = int tag_c }; else_ = Seq [] }
+  in
+  let tile_body = seq [ memset_c; ik_loop; put_c; drain_c ] in
   let levels =
     let lm = Swatop.Scheduler.level ~iter:(name "im") ~extent:m ~step:fm
     and ln = Swatop.Scheduler.level ~iter:(name "in") ~extent:n ~step:fn in

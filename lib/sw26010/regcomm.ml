@@ -10,3 +10,99 @@ let switch_cycles = Config.regcomm_switch_cycles
 
 let phase_cycles ~switches ~bytes_per_cpe =
   broadcast_cycles ~bytes:bytes_per_cpe +. float_of_int (switches * switch_cycles)
+
+(* --- Exchange-schedule introspection ------------------------------------ *)
+
+type xchg = { x_pattern : pattern; x_src : int; x_deps : int list }
+type step = xchg list
+type schedule = step list
+
+type violation =
+  | Bad_lane of { step : int; xchg : int; lane : int }
+  | Unbalanced of { step : int; pattern : pattern; lane : int; sends : int }
+  | Cyclic of { step : int; cycle : int list }
+
+let pattern_name = function Row_broadcast -> "row" | Col_broadcast -> "col"
+
+let describe_violation = function
+  | Bad_lane { step; xchg; lane } ->
+    Printf.sprintf "step %d exchange %d: source lane %d outside the mesh (0..%d)" step xchg lane
+      (Config.cpe_rows - 1)
+  | Unbalanced { step; pattern; lane; sends } ->
+    Printf.sprintf
+      "step %d: lane %d drives its %s port %d times; receivers post one receive per lane per step"
+      step lane (pattern_name pattern) sends
+  | Cyclic { step; cycle } ->
+    Printf.sprintf "step %d: exchanges {%s} wait on each other cyclically" step
+      (String.concat " -> " (List.map string_of_int cycle))
+
+(* Within a step all exchanges run concurrently; an exchange's x_deps are the
+   indices of same-step exchanges whose broadcast its source consumes before
+   it can drive its own port (forwarding chains). The step deadlocks iff that
+   wait-for relation has a cycle. *)
+let find_cycle (xs : step) =
+  let n = List.length xs in
+  let deps = Array.of_list (List.map (fun x -> List.filter (fun d -> d >= 0 && d < n) x.x_deps) xs) in
+  let state = Array.make n 0 (* 0 unvisited, 1 on stack, 2 done *) in
+  let cycle = ref None in
+  let rec visit path i =
+    match state.(i) with
+    | 2 -> ()
+    | 1 ->
+      if Option.is_none !cycle then begin
+        let rec cut = function
+          | j :: rest -> if j = i then [ j ] else j :: cut rest
+          | [] -> []
+        in
+        cycle := Some (List.rev (i :: cut path))
+      end
+    | _ ->
+      state.(i) <- 1;
+      List.iter (visit (i :: path)) deps.(i);
+      state.(i) <- 2
+  in
+  for i = 0 to n - 1 do
+    if Option.is_none !cycle then visit [] i
+  done;
+  !cycle
+
+let validate (s : schedule) =
+  let grid = Config.cpe_rows in
+  let out = ref [] in
+  List.iteri
+    (fun si step ->
+      List.iteri
+        (fun xi x ->
+          if x.x_src < 0 || x.x_src >= grid then
+            out := Bad_lane { step = si; xchg = xi; lane = x.x_src } :: !out)
+        step;
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun x ->
+          if x.x_src >= 0 && x.x_src < grid then begin
+            let key = (x.x_pattern, x.x_src) in
+            Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          end)
+        step;
+      Hashtbl.iter
+        (fun (pattern, lane) sends ->
+          if sends > 1 then out := Unbalanced { step = si; pattern; lane; sends } :: !out)
+        counts;
+      match find_cycle step with
+      | Some cycle -> out := Cyclic { step = si; cycle } :: !out
+      | None -> ())
+    s;
+  List.rev !out
+
+(* The cluster-wide GEMM exchange: at reduction step s, the lane holding the
+   s-th panel broadcasts its A slice along rows and its B slice along columns.
+   The two broadcasts of a step are independent (no forwarding), so the
+   schedule is trivially acyclic and single-sender per port. *)
+let gemm_schedule ~k_steps =
+  let grid = Config.cpe_rows in
+  List.init (max 0 k_steps) (fun s ->
+      let lane = s mod grid in
+      [
+        { x_pattern = Row_broadcast; x_src = lane; x_deps = [] };
+        { x_pattern = Col_broadcast; x_src = lane; x_deps = [] };
+      ])

@@ -19,3 +19,46 @@ val switch_cycles : int
 val phase_cycles : switches:int -> bytes_per_cpe:int -> float
 (** Total communication cycles of a kernel phase that broadcasts
     [bytes_per_cpe] from every CPE and switches patterns [switches] times. *)
+
+(** {1 Exchange-schedule introspection}
+
+    A symbolic description of the row/column broadcasts a kernel performs,
+    precise enough for a static well-formedness check ({!Ir_race} codes
+    SWA032–SWA034) without simulating the mesh. *)
+
+type xchg = {
+  x_pattern : pattern;
+  x_src : int;  (** source lane within each row/column, [0..7] *)
+  x_deps : int list;
+      (** indices of same-step exchanges whose broadcast this exchange's
+          source consumes before driving its own port (forwarding chains) *)
+}
+
+type step = xchg list
+(** Exchanges of one mesh phase; all run concurrently, separated from the
+    next step by a full-mesh synchronization. *)
+
+type schedule = step list
+
+type violation =
+  | Bad_lane of { step : int; xchg : int; lane : int }
+      (** source lane outside the 8-wide mesh *)
+  | Unbalanced of { step : int; pattern : pattern; lane : int; sends : int }
+      (** a lane drives the same port more than once in a step, so per-lane
+          send/receive counts cannot match *)
+  | Cyclic of { step : int; cycle : int list }
+      (** the wait-for relation between a step's exchanges has a cycle: the
+          sources block on each other's broadcasts forever *)
+
+val validate : schedule -> violation list
+(** All well-formedness violations of a schedule, in step order. An empty
+    list means every step has in-range single-sender lanes and an acyclic
+    forwarding relation. *)
+
+val describe_violation : violation -> string
+
+val gemm_schedule : k_steps:int -> schedule
+(** The exchange schedule of the cluster-wide GEMM micro-kernel over
+    [k_steps] reduction steps: at step [s], lane [s mod 8] broadcasts its A
+    panel along rows and its B panel along columns, independently. Always
+    validates clean. *)

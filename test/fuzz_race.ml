@@ -1,0 +1,181 @@
+(* Differential fuzzer for the cross-CPE race analysis.
+
+   Takes each operator family's optimized IR, applies seeded structural
+   mutations (descriptor collisions, tag swaps, dropped drains, neighbour
+   snoops, grid collapses), and checks on every mutant that the static
+   verdict of {!Swatop.Ir_race.verify} agrees with the dynamic verdict of
+   the shadow-memory sanitizer {!Swatop.Interp.sanitize}:
+
+     static says unusable (any error, or an SWA035 undrained-put warning)
+       <=>  the sanitizer observes at least one race.
+
+   All randomness is {!Prelude.Det_rng} keyed by (seed, family, mutant), so
+   a failing mutant reproduces from its printed coordinates alone.
+
+   Usage: fuzz_race [--mutants=N] [--seed=S]   (defaults 100 and 7) *)
+
+open Swatop
+open Swatop_ops
+
+let mutants = ref 100
+let seed = ref 7
+
+(* ------------------------------------------------------------------ *)
+(* Families: one representative optimized program each. *)
+
+let conv ~b ~ni ~no ~out = Swtensor.Conv_spec.create ~b ~ni ~no ~ro:out ~co:out ~kr:3 ~kc:3 ()
+
+let families () =
+  [
+    ( "matmul",
+      let t = Matmul.problem ~m:96 ~n:80 ~k:48 in
+      Tuner.prepare (Matmul.build t (List.hd (Matmul.space t))) );
+    ( "conv_implicit",
+      let t = Conv_implicit.problem (conv ~b:4 ~ni:16 ~no:16 ~out:12) in
+      Tuner.prepare (Conv_implicit.build t (List.hd (Conv_implicit.space t))) );
+    ( "conv_winograd",
+      let t = Conv_winograd.problem (conv ~b:2 ~ni:16 ~no:16 ~out:12) in
+      Tuner.prepare (Conv_winograd.build t (List.hd (Conv_winograd.space t))) );
+    ( "conv_explicit",
+      let t = Conv_explicit.problem (conv ~b:2 ~ni:8 ~no:8 ~out:8) in
+      Tuner.prepare (Conv_explicit.build t (List.hd (Conv_explicit.space t))) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutation operators.
+
+   Each operator targets the [n]-th statement matching its site predicate
+   (counted in [map_stmt]'s bottom-up order — stable for a fixed program).
+   All rewrites keep descriptor offsets non-negative and overlap witnesses
+   inside the target buffer, so the sanitizer's bounds truncation never
+   hides an overlap the static analysis can see. *)
+
+let mutate_nth n pred f (p : Ir.program) =
+  let i = ref (-1) in
+  let body =
+    Ir.map_stmt
+      (fun s ->
+        if pred s then begin
+          incr i;
+          if !i = n then f s else s
+        end
+        else s)
+      p.Ir.body
+  in
+  { p with Ir.body }
+
+let count pred (p : Ir.program) =
+  let n = ref 0 in
+  ignore (Ir.map_stmt (fun s -> if pred s then incr n; s) p.Ir.body);
+  !n
+
+let is_put = function Ir.Dma { dir = Ir.Put; per_cpe = Some _; _ } -> true | _ -> false
+let is_dma = function Ir.Dma { per_cpe = Some _; _ } -> true | _ -> false
+let is_wait = function Ir.Dma_wait _ -> true | _ -> false
+
+let is_drain = function
+  | Ir.If { then_ = Ir.Dma_wait _; else_ = Ir.Seq []; _ } -> true
+  | _ -> false
+
+(* (name, site predicate, rewrite of the selected site) *)
+let operators =
+  [
+    ( "identity",
+      (fun _ -> false),
+      fun s -> s );
+    ( "collide",
+      is_put,
+      function
+      | Ir.Dma ({ dir = Ir.Put; per_cpe = Some d; _ } as dd) ->
+        Ir.Dma { dd with per_cpe = Some { d with d_offset = dd.region.offset } }
+      | s -> s );
+    ( "halve-offset",
+      is_put,
+      function
+      | Ir.Dma ({ dir = Ir.Put; per_cpe = Some d; _ } as dd) ->
+        Ir.Dma { dd with per_cpe = Some { d with d_offset = Ir.(d.d_offset / int 2) } }
+      | s -> s );
+    ( "snoop",
+      is_put,
+      function
+      | Ir.Dma ({ dir = Ir.Put; per_cpe = Some d; _ } as dd) ->
+        let snoop =
+          Ir.Dma
+            {
+              dd with
+              dir = Ir.Get;
+              per_cpe = Some { d with d_offset = Ir.(d.d_offset + d.d_block) };
+            }
+        in
+        Ir.Seq [ Ir.Dma dd; snoop ]
+      | s -> s );
+    ( "tag-swap",
+      is_wait,
+      function
+      | Ir.Dma_wait { tag } -> Ir.Dma_wait { tag = Ir.(tag + int 1) }
+      | s -> s );
+    ( "drop-drain",
+      is_drain,
+      fun _ -> Ir.Seq [] );
+    ( "grid-collapse",
+      is_dma,
+      function
+      | Ir.Dma _ as s -> Ir_rewrite.subst_stmt [ ("cid", Ir.Var "rid") ] s
+      | s -> s );
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let static_bad diags =
+  List.exists
+    (fun (d : Ir_verify.diagnostic) -> d.severity = Ir_verify.Error || d.code = "SWA035")
+    diags
+
+let run_family (fam, program) =
+  let disagreements = ref 0 in
+  let racy = ref 0 in
+  for m = 0 to !mutants - 1 do
+    let site suffix = Printf.sprintf "fuzz_race/%s/%d/%s" fam m suffix in
+    let op = Prelude.Det_rng.int ~seed:!seed ~site:(site "op") ~k:0 (List.length operators) in
+    let name, pred, rewrite = List.nth operators op in
+    let sites = count pred program in
+    let name, p =
+      if sites = 0 then ("identity", program)
+      else
+        let n = Prelude.Det_rng.int ~seed:!seed ~site:(site "site") ~k:0 sites in
+        (name, mutate_nth n pred rewrite program)
+    in
+    let diags = Ir_race.verify p in
+    let races = Interp.sanitize p in
+    let sbad = static_bad diags and dbad = races <> [] in
+    if sbad then incr racy;
+    if sbad <> dbad then begin
+      incr disagreements;
+      Printf.printf "DISAGREE %s mutant=%d seed=%d op=%s: static=%s sanitizer=%s\n" fam m !seed
+        name
+        (if diags = [] then "(clean)"
+         else String.concat "; " (List.map Ir_verify.to_string diags))
+        (if races = [] then "(clean)"
+         else String.concat "; " (List.map Interp.race_to_string races))
+    end
+  done;
+  Printf.printf "fuzz %-14s %d mutants: %d race-positive, %d clean, %d disagreements\n" fam
+    !mutants !racy
+    (!mutants - !racy)
+    !disagreements;
+  !disagreements
+
+let () =
+  Arg.parse
+    [
+      ("--mutants", Arg.Set_int mutants, "N  mutants per operator family (default 100)");
+      ("--seed", Arg.Set_int seed, "S  root seed for all mutation draws (default 7)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz_race [--mutants N] [--seed S]";
+  let bad = List.fold_left (fun acc f -> acc + run_family f) 0 (families ()) in
+  if bad > 0 then begin
+    Printf.printf "fuzz_race: %d static/dynamic disagreements\n" bad;
+    exit 1
+  end;
+  print_endline "fuzz_race: static analysis and sanitizer agree on every mutant"

@@ -6,6 +6,7 @@ let () =
       ("tensor", Test_tensor.suite);
       ("ir", Test_ir.suite);
       ("ir-verify", Test_ir_verify.suite);
+      ("ir-race", Test_ir_race.suite);
       ("dsl-scheduler", Test_dsl.suite);
       ("interp", Test_interp.suite);
       ("primitives", Test_primitives.suite);

@@ -1,0 +1,246 @@
+(* The cross-CPE race analysis (Ir_race) and its dynamic oracle, the
+   shadow-memory sanitizer (Interp.sanitize): every real schedule must be
+   race-free under both, and a mutation harness seeds one defect per SWA03x
+   code into a real tuned program and checks the exact diagnostic — with
+   the sanitizer agreeing wherever the defect is reachable by execution. *)
+
+open Swatop
+open Swatop_ops
+
+let gemm_model = lazy (Gemm_cost.fit ())
+
+let show_diags ds = String.concat "\n" (List.map Ir_verify.to_string ds)
+
+let assert_race_free what p =
+  match Ir_race.verify p with
+  | [] -> ()
+  | ds -> Alcotest.failf "%s: unexpected race diagnostics:\n%s" what (show_diags ds)
+
+let has_code code severity ds =
+  List.exists (fun (d : Ir_verify.diagnostic) -> d.code = code && d.severity = severity) ds
+
+let assert_flags what code p =
+  let ds = Ir_race.verify p in
+  if not (has_code code Ir_verify.Error ds) then
+    Alcotest.failf "%s: expected error %s, got:\n%s" what code
+      (if ds = [] then "(no diagnostics)" else show_diags ds)
+
+let san_kinds p =
+  List.sort_uniq compare (List.map (fun (r : Interp.race) -> r.race_kind) (Interp.sanitize p))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let matmul_problem = lazy (Matmul.problem ~m:96 ~n:80 ~k:48)
+
+let prepared_matmul =
+  lazy
+    (let t = Lazy.force matmul_problem in
+     Tuner.prepare (Matmul.build t (List.hd (Matmul.space t))))
+
+let check_space what space build =
+  List.iter (fun s -> assert_race_free what (Tuner.prepare (build s))) space
+
+let mutate f (p : Ir.program) = { p with Ir.body = Ir.map_stmt f p.Ir.body }
+
+(* Collapse every put's per-CPE offset onto the region base: all 64 CPEs
+   write the same place. *)
+let collide_puts =
+  mutate (function
+    | Ir.Dma ({ dir = Ir.Put; per_cpe = Some d; _ } as dd) ->
+      Ir.Dma { dd with per_cpe = Some { d with d_offset = dd.region.offset } }
+    | s -> s)
+
+(* After every put, read the neighbouring CPE's just-written region. *)
+let snoop_puts =
+  mutate (function
+    | Ir.Dma ({ dir = Ir.Put; per_cpe = Some d; _ } as dd) ->
+      let snoop =
+        Ir.Dma
+          { dd with dir = Ir.Get; per_cpe = Some { d with d_offset = Ir.(d.d_offset + d.d_block) } }
+      in
+      Ir.Seq [ Ir.Dma dd; snoop ]
+    | s -> s)
+
+(* Remove the last-iteration drain waits the op builders emit. *)
+let drop_drains =
+  mutate (function
+    | Ir.If { then_ = Ir.Dma_wait _; else_ = Ir.Seq []; _ } -> Ir.Seq []
+    | s -> s)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built two-put programs exercising the enumeration fallback: put A is
+   CPE (0,0) only, put B CPE (0,1) only, with unequal strides so the
+   symbolic ladder is inconclusive (SWA038) and enumeration must settle it. *)
+
+let only_cpe n e =
+  (* 1 on the CPE with linear id [n], <= 0 elsewhere *)
+  Ir.(Max (int 0, int 1 - ((cpe_linear - int n) * (cpe_linear - int n))) * e)
+
+let two_put_program ~o2 =
+  let open Ir in
+  let put desc =
+    Dma
+      {
+        dir = Put;
+        main = "M";
+        spm = "s";
+        tag = int 0;
+        region = { offset = int 0; rows = int 1; row_elems = int 33; row_stride = int 33 };
+        spm_offset = int 0;
+        spm_ld = int 33;
+        partition = P_rows;
+        per_cpe = Some desc;
+      }
+  in
+  let put_a =
+    put { d_offset = int 0; d_block = only_cpe 0 (int 2); d_stride = int 8; d_count = int 4 }
+  in
+  let put_b =
+    put { d_offset = int o2; d_block = only_cpe 1 (int 2); d_stride = int 12; d_count = int 2 }
+  in
+  program ~name:"two_put" ~bufs:[ main_buf ~name:"M" ~elems:64; spm_buf ~name:"s" ~cg_elems:64 ~cpe_elems:1 ]
+    (seq [ put_a; put_b; Dma_wait { tag = int 0 } ])
+
+(* A covers {0,1, 8,9, 16,17, 24,25}; o2=2 gives B {2,3, 14,15} (disjoint,
+   provable only by enumeration), o2=1 gives B {1,2, 13,14} (1 collides). *)
+let enum_disjoint = lazy (two_put_program ~o2:2)
+let enum_overlap = lazy (two_put_program ~o2:1)
+
+(* ------------------------------------------------------------------ *)
+
+let clean_suite =
+  [
+    Alcotest.test_case "whole matmul space 96x80x48 race-free" `Quick (fun () ->
+        let t = Lazy.force matmul_problem in
+        check_space "matmul" (Matmul.space t) (Matmul.build t));
+    Alcotest.test_case "whole implicit-conv space race-free" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:4 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let t = Conv_implicit.problem spec in
+        check_space "implicit" (Conv_implicit.space t) (Conv_implicit.build t));
+    Alcotest.test_case "whole winograd space race-free" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let t = Conv_winograd.problem spec in
+        check_space "winograd" (Conv_winograd.space t) (Conv_winograd.build t));
+    Alcotest.test_case "whole explicit-conv space race-free" `Quick (fun () ->
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:8 ~no:8 ~ro:8 ~co:8 ~kr:3 ~kc:3 () in
+        let t = Conv_explicit.problem spec in
+        check_space "explicit" (Conv_explicit.space t) (Conv_explicit.build t));
+    Alcotest.test_case "sanitizer agrees: clean winners have no races" `Quick (fun () ->
+        Alcotest.(check (list pass)) "matmul" [] (Interp.sanitize (Lazy.force prepared_matmul));
+        let spec = Swtensor.Conv_spec.create ~b:2 ~ni:16 ~no:16 ~ro:12 ~co:12 ~kr:3 ~kc:3 () in
+        let t = Conv_winograd.problem spec in
+        let p = Tuner.prepare (Conv_winograd.build t (List.hd (Conv_winograd.space t))) in
+        Alcotest.(check (list pass)) "winograd" [] (Interp.sanitize p));
+    Alcotest.test_case "registry covers SWA030-039" `Quick (fun () ->
+        let codes = List.map (fun (c, _, _) -> c) Ir_race.registry in
+        List.iter
+          (fun c ->
+            if not (List.mem c codes) then Alcotest.failf "registry is missing %s" c)
+          [ "SWA030"; "SWA031"; "SWA032"; "SWA033"; "SWA034"; "SWA035"; "SWA038"; "SWA039" ]);
+    Alcotest.test_case "derived regcomm schedules validate clean" `Quick (fun () ->
+        for k = 1 to 16 do
+          match Sw26010.Regcomm.validate (Sw26010.Regcomm.gemm_schedule ~k_steps:k) with
+          | [] -> ()
+          | v :: _ ->
+            Alcotest.failf "k=%d: %s" k (Sw26010.Regcomm.describe_violation v)
+        done);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* One seeded mutation per diagnostic code. *)
+
+let mutation_suite =
+  [
+    Alcotest.test_case "SWA030: collapsed put offsets (write-write)" `Quick (fun () ->
+        let p = collide_puts (Lazy.force prepared_matmul) in
+        assert_flags "collapsed puts" "SWA030" p;
+        Alcotest.(check bool) "sanitizer sees ww" true (List.mem Interp.Race_ww (san_kinds p)));
+    Alcotest.test_case "SWA031: get snoops a neighbour's in-flight put" `Quick (fun () ->
+        let p = snoop_puts (Lazy.force prepared_matmul) in
+        assert_flags "snooped puts" "SWA031" p;
+        Alcotest.(check bool) "sanitizer sees rw" true (List.mem Interp.Race_rw (san_kinds p)));
+    Alcotest.test_case "SWA032: duplicated exchange unbalances a lane" `Quick (fun () ->
+        let dup (s : Sw26010.Regcomm.schedule) =
+          List.map (function [] -> [] | x :: rest -> x :: x :: rest) s
+        in
+        let ds = Ir_race.verify ~mutate_regcomm:dup (Lazy.force prepared_matmul) in
+        Alcotest.(check bool) "SWA032" true (has_code "SWA032" Ir_verify.Error ds));
+    Alcotest.test_case "SWA033: cyclic wait between broadcasts" `Quick (fun () ->
+        let cyc (_ : Sw26010.Regcomm.schedule) =
+          [
+            [
+              { Sw26010.Regcomm.x_pattern = Sw26010.Regcomm.Row_broadcast; x_src = 0; x_deps = [ 1 ] };
+              { Sw26010.Regcomm.x_pattern = Sw26010.Regcomm.Col_broadcast; x_src = 1; x_deps = [ 0 ] };
+            ];
+          ]
+        in
+        let ds = Ir_race.verify ~mutate_regcomm:cyc (Lazy.force prepared_matmul) in
+        Alcotest.(check bool) "SWA033" true (has_code "SWA033" Ir_verify.Error ds));
+    Alcotest.test_case "SWA034: broadcast source outside the mesh" `Quick (fun () ->
+        let bad (s : Sw26010.Regcomm.schedule) =
+          List.map (List.map (fun x -> { x with Sw26010.Regcomm.x_src = 9 })) s
+        in
+        let ds = Ir_race.verify ~mutate_regcomm:bad (Lazy.force prepared_matmul) in
+        Alcotest.(check bool) "SWA034" true (has_code "SWA034" Ir_verify.Error ds));
+    Alcotest.test_case "SWA035: dropped drain leaves puts in flight" `Quick (fun () ->
+        let p = drop_drains (Lazy.force prepared_matmul) in
+        let ds = Ir_race.verify p in
+        Alcotest.(check bool) "SWA035 warning" true (has_code "SWA035" Ir_verify.Warning ds);
+        Alcotest.(check bool) "sanitizer sees undrained" true
+          (List.mem Interp.Race_undrained (san_kinds p)));
+    Alcotest.test_case "SWA038: inconclusive strides fall back to enumeration" `Quick (fun () ->
+        let ds = Ir_race.verify (Lazy.force enum_disjoint) in
+        Alcotest.(check bool) "SWA038 warning" true (has_code "SWA038" Ir_verify.Warning ds);
+        Alcotest.(check bool) "no errors (footprints are disjoint)" true
+          (Ir_verify.errors ds = []);
+        Alcotest.(check (list pass)) "sanitizer agrees: clean" []
+          (Interp.sanitize (Lazy.force enum_disjoint)));
+    Alcotest.test_case "SWA039: enumeration finds the overlap" `Quick (fun () ->
+        let p = Lazy.force enum_overlap in
+        assert_flags "enum overlap" "SWA039" p;
+        Alcotest.(check bool) "sanitizer sees ww" true (List.mem Interp.Race_ww (san_kinds p)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The tuners reject race-positive candidates, with per-code counts. *)
+
+let integration_suite =
+  [
+    Alcotest.test_case "model_tune rejects racing candidates (SWA030 counted)" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+        (* no prefetch marker, so Tuner.optimize is a no-op on this program
+           and the planted descriptors survive to the verifier *)
+        let base =
+          Dma_inference.apply (Matmul.build t (List.hd (Matmul.space ~prefetch:false t)))
+        in
+        let racy = collide_puts base in
+        let o =
+          Tuner.model_tune
+            ~gemm_model:(Lazy.force gemm_model)
+            ~prune:false
+            ~candidates:[ `Clean; `Racy; `Racy ]
+            ~build:(function `Clean -> base | `Racy -> racy)
+            ()
+        in
+        Alcotest.(check (option int)) "two candidates rejected as SWA030" (Some 2)
+          (List.assoc_opt "SWA030" o.report.verify_rejected);
+        Alcotest.(check bool) "the clean candidate wins" true (o.best = `Clean));
+    Alcotest.test_case "blackbox_tune rejects racing candidates" `Quick (fun () ->
+        let t = Matmul.problem ~m:64 ~n:48 ~k:32 in
+        let base =
+          Dma_inference.apply (Matmul.build t (List.hd (Matmul.space ~prefetch:false t)))
+        in
+        let racy = snoop_puts base in
+        let o =
+          Tuner.blackbox_tune
+            ~candidates:[ `Racy; `Clean ]
+            ~build:(function `Clean -> base | `Racy -> racy)
+            ()
+        in
+        Alcotest.(check (option int)) "one candidate rejected as SWA031" (Some 1)
+          (List.assoc_opt "SWA031" o.report.verify_rejected);
+        Alcotest.(check bool) "the clean candidate wins" true (o.best = `Clean));
+  ]
+
+let suite = clean_suite @ mutation_suite @ integration_suite
