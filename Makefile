@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint fuzz check check-faults net-smoke bench-quick bench-json clean
+.PHONY: all build test lint fuzz check check-faults net-smoke serve-smoke bench-quick bench-json clean
 
 all: build
 
@@ -36,6 +36,14 @@ fuzz:
 net-smoke:
 	dune exec bin/swatop_cli.exe -- net smoke
 
+# The serving subsystem end to end: a short seeded Poisson run of the
+# smoke network through dynamic batching, SLO admission and 4-CG
+# dispatch. --smoke-check makes the CLI exit non-zero unless the run
+# shed nothing, dropped nothing and actually coalesced batches.
+serve-smoke:
+	dune exec bin/swatop_cli.exe -- serve smoke --rate 200 --duration 2 \
+	  --cgs 4 --slo-ms 50 --seed 7 --max-batch 4 --smoke-check
+
 # Resilience gate: the same pipelines under a fixed seeded fault plan.
 # The GEMM tune must survive randomly crashing candidates (crash isolation)
 # and the smoke net must stay numerically correct while its executor
@@ -48,15 +56,17 @@ check-faults:
 
 # The tier-1 gate: everything compiles, every test passes, the example
 # schedule spaces lint clean (dataflow + race), the race fuzzer finds no
-# static/dynamic disagreement, and the network runtime smoke-runs.
+# static/dynamic disagreement, and the network and serving runtimes
+# smoke-run.
 check:
-	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) fuzz && $(MAKE) net-smoke
+	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) fuzz && $(MAKE) net-smoke && $(MAKE) serve-smoke
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
 
-# Machine-readable benchmark gate: regenerate BENCH_tuner.json and
-# BENCH_network.json at quick effort into a scratch directory, re-parse
+# Machine-readable benchmark gate: regenerate BENCH_tuner.json,
+# BENCH_network.json and BENCH_serving.json at quick effort into a
+# scratch directory, re-parse
 # and schema-check them, then diff the fresh results against the
 # committed baselines (simulated quantities only, 2% noise bound; host
 # wall times are machine-dependent and excluded). The harness itself

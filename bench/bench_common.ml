@@ -147,31 +147,6 @@ let hms seconds =
 let mean = Prelude.Floats.mean
 let geomean = Prelude.Floats.geomean
 
-(* Welford's online mean/variance: numerically stable at any sample count,
-   so the JSON harness can report stddev over a handful of wall-time samples
-   without catastrophic cancellation. *)
-module Running_stat = struct
-  type t = {
-    mutable n : int;
-    mutable mean : float;
-    mutable m2 : float;
-    mutable min : float;
-    mutable max : float;
-  }
-
-  let create () = { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
-
-  let add t x =
-    t.n <- t.n + 1;
-    let d = x -. t.mean in
-    t.mean <- t.mean +. (d /. float_of_int t.n);
-    t.m2 <- t.m2 +. (d *. (x -. t.mean));
-    if x < t.min then t.min <- x;
-    if x > t.max then t.max <- x
-
-  let count t = t.n
-  let mean t = if t.n = 0 then 0.0 else t.mean
-  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
-  let min t = if t.n = 0 then 0.0 else t.min
-  let max t = if t.n = 0 then 0.0 else t.max
-end
+(* Welford's online mean/variance with quantiles, promoted to the prelude
+   (the serving layer uses the same accumulator for p50/p99 latency). *)
+module Running_stat = Prelude.Running_stat

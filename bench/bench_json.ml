@@ -1,4 +1,5 @@
-(* Machine-readable benchmark harness: BENCH_tuner.json + BENCH_network.json.
+(* Machine-readable benchmark harness: BENCH_tuner.json + BENCH_network.json
+   + BENCH_serving.json.
 
    Unlike the human-facing experiment harness (main.ml), this one exists to
    be diffed and gated on: it writes two small JSON files at the repo root
@@ -290,6 +291,35 @@ let validate_network j =
       check_stat what nw "exec_wall_seconds")
     networks
 
+let validate_serving j =
+  let what = "BENCH_serving" in
+  if require_str what j "schema" <> "swatop-bench-serving" then
+    failwith "BENCH_serving: wrong schema tag";
+  ignore (require_num what j "schema_version");
+  let scenarios = require_list what j "scenarios" in
+  if scenarios = [] then failwith "BENCH_serving: empty scenario list";
+  List.iter
+    (fun sc ->
+      let name = require_str "scenario" sc "name" in
+      let what = "scenario " ^ name in
+      ignore (require_str what sc "trace");
+      List.iter
+        (fun k -> ignore (require_num what sc k))
+        [
+          "rate"; "duration_seconds"; "cgs"; "slo_ms"; "seed"; "max_batch"; "arrivals";
+          "completed"; "shed"; "dropped"; "throughput_rps"; "latency_p50_ms"; "latency_p99_ms";
+          "batches"; "makespan_seconds";
+        ];
+      if require_num what sc "dropped" <> 0.0 then
+        failwith (Printf.sprintf "%s: dropped requests (conservation violated)" what);
+      let arrivals = require_num what sc "arrivals" in
+      let accounted = require_num what sc "completed" +. require_num what sc "shed" in
+      if arrivals <> accounted then
+        failwith
+          (Printf.sprintf "%s: %.0f arrivals but %.0f completed+shed" what arrivals accounted);
+      check_stat what sc "serve_wall_seconds")
+    scenarios
+
 (* ------------------------------------------------------------------ *)
 (* Generation. *)
 
@@ -519,6 +549,79 @@ let bench_network ~seed ~warmup ~samples =
       ("sink", Num !sink);
     ]
 
+let bench_serving ~seed ~warmup ~samples =
+  let module S = Swatop_serve in
+  let duration = effort_pick ~quick:1.0 ~standard:5.0 ~full:10.0 in
+  let max_batch = effort_pick ~quick:4 ~standard:8 ~full:8 in
+  Printf.printf "serving: compiling smoke at batch sizes %s\n%!"
+    (String.concat ", " (List.map string_of_int (S.Serve_net.plan_sizes ~max_batch)));
+  (* One compiled ladder serves every scenario: the executor is stateless
+     across runs, and sharing it keeps the harness wall time dominated by
+     the serving loops being measured. *)
+  let net =
+    S.Serve_net.compile
+      ~gemm_model:(Lazy.force gemm_model)
+      ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+      ~max_batch "smoke"
+  in
+  let executor = S.Serve_net.executor net in
+  let base =
+    {
+      S.Serve_engine.default with
+      cf_duration = duration;
+      cf_max_batch = max_batch;
+      cf_seed = seed;
+    }
+  in
+  let scenarios =
+    [
+      ("smoke-poisson", base);
+      ("smoke-bursty", { base with cf_trace = S.Serve_trace.Bursty });
+    ]
+  in
+  let entries =
+    List.map
+      (fun (name, cf) ->
+        let wall, r =
+          sampled ~warmup ~samples
+            ~digest:(fun (r : S.Serve_engine.report) -> r.sr_throughput)
+            (fun () -> S.Serve_engine.run ~executor cf)
+        in
+        Printf.printf
+          "  %s: %d arrivals, %d completed, %d shed | %.1f req/s | p99 %.3f ms | %d batches\n%!"
+          name r.sr_arrivals r.sr_completed r.sr_shed r.sr_throughput
+          (r.sr_latency_p99 *. 1e3) r.sr_batches;
+        Obj
+          [
+            ("name", Str name);
+            ("trace", Str (S.Serve_trace.kind_to_string cf.cf_trace));
+            ("rate", Num cf.cf_rate);
+            ("duration_seconds", Num cf.cf_duration);
+            ("cgs", Num (float_of_int cf.cf_cgs));
+            ("slo_ms", Num (cf.cf_slo *. 1e3));
+            ("seed", Num (float_of_int cf.cf_seed));
+            ("max_batch", Num (float_of_int cf.cf_max_batch));
+            ("arrivals", Num (float_of_int r.sr_arrivals));
+            ("completed", Num (float_of_int r.sr_completed));
+            ("shed", Num (float_of_int r.sr_shed));
+            ("dropped", Num (float_of_int r.sr_dropped));
+            ("throughput_rps", Num r.sr_throughput);
+            ("latency_p50_ms", Num (r.sr_latency_p50 *. 1e3));
+            ("latency_p99_ms", Num (r.sr_latency_p99 *. 1e3));
+            ("batches", Num (float_of_int r.sr_batches));
+            ("makespan_seconds", Num r.sr_makespan);
+            ("tune_wall_seconds", Num net.S.Serve_net.nt_tune_wall);
+            ("serve_wall_seconds", stat_json wall);
+          ])
+      scenarios
+  in
+  Obj
+    [
+      ("schema", Str "swatop-bench-serving");
+      ("schema_version", Num 1.0);
+      ("scenarios", List entries);
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let read_file path =
@@ -619,6 +722,27 @@ let diff_files ~fresh_dir ~base_dir =
           (num f "arena_bytes"))
       matched
   | exception e -> fail "BENCH_network.json: %s" (Printexc.to_string e));
+  (match pair "BENCH_serving.json" "scenarios" "scenario" with
+  | matched ->
+    List.iter
+      (fun (n, b, f) ->
+        let num side k = require_num ("scenario " ^ n) side k in
+        (* The arrival trace is a pure function of (kind, rate, duration,
+           seed): a changed count means the workload itself changed, which
+           no noise bound should absorb. *)
+        if num b "arrivals" <> num f "arrivals" then
+          fail "scenario %s: arrival trace changed %.0f -> %.0f" n (num b "arrivals")
+            (num f "arrivals");
+        floor_check ~name:n ~entry:"serving" ~field:"throughput_rps" (num b "throughput_rps")
+          (num f "throughput_rps");
+        ceil_check ~name:n ~entry:"serving" ~field:"latency_p50_ms" ~slack:0.0
+          (num b "latency_p50_ms") (num f "latency_p50_ms");
+        ceil_check ~name:n ~entry:"serving" ~field:"latency_p99_ms" ~slack:0.0
+          (num b "latency_p99_ms") (num f "latency_p99_ms");
+        ceil_check ~name:n ~entry:"serving" ~field:"shed" ~slack:0.0 (num b "shed")
+          (num f "shed"))
+      matched
+  | exception e -> fail "BENCH_serving.json: %s" (Printexc.to_string e));
   Printf.printf "host wall times: machine-dependent, not diffed\n";
   match List.rev !failures with
   | [] -> Printf.printf "diff: fresh results within %.0f%% of %s baselines\n" (100.0 *. diff_tolerance) base_dir
@@ -645,6 +769,7 @@ let check_files dir =
       Printf.printf "BENCH_tuner.json: worst guided quality %.4f (bound %.2f)\n" worst
         quality_bound);
   run "BENCH_network.json" validate_network;
+  run "BENCH_serving.json" validate_serving;
   if not !ok then exit 1
 
 let () =
@@ -667,7 +792,8 @@ let () =
             "usage: bench_json.exe [--quick|--full] [--samples=N] [--warmup=N] [--seed=S] \
              [--jobs=N] [--out=DIR] [--check] [--diff=BASEDIR]";
           print_endline
-            "writes BENCH_tuner.json and BENCH_network.json to DIR (default .); exits non-zero \
+            "writes BENCH_tuner.json, BENCH_network.json and BENCH_serving.json to DIR (default \
+             .); exits non-zero \
              if guided quality < 0.99 of brute force. --check validates existing files instead; \
              --diff compares the files in DIR against the baselines in BASEDIR (simulated \
              quantities only, noise-bounded) without regenerating anything.";
@@ -696,13 +822,18 @@ let () =
     Printf.printf "swATOP JSON bench — seed %d, %d samples after %d warmup\n%!" seed samples warmup;
     let tuner = bench_tuner ~seed ~warmup ~samples in
     let network = bench_network ~seed ~warmup ~samples in
+    let serving = bench_serving ~seed:7 ~warmup ~samples in
     (* Self-check before writing: the generator must never publish a file
        its own --check would reject. *)
     let worst = validate_tuner tuner in
     validate_network network;
+    validate_serving serving;
     write_file (Filename.concat !out_dir "BENCH_tuner.json") (to_string tuner ^ "\n");
     write_file (Filename.concat !out_dir "BENCH_network.json") (to_string network ^ "\n");
-    Printf.printf "sink %.9g\nwrote BENCH_tuner.json and BENCH_network.json (worst guided quality %.4f)\n"
+    write_file (Filename.concat !out_dir "BENCH_serving.json") (to_string serving ^ "\n");
+    Printf.printf
+      "sink %.9g\nwrote BENCH_tuner.json, BENCH_network.json and BENCH_serving.json (worst guided \
+       quality %.4f)\n"
       !sink worst;
     if worst < quality_bound then begin
       Printf.eprintf "FAIL: guided quality %.4f below the %.2f bound\n" worst quality_bound;

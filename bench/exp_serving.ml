@@ -1,0 +1,38 @@
+(* Inference serving on the simulated node: seeded synthetic traffic through
+   dynamic batching, SLO-aware admission and least-loaded multi-CG dispatch.
+
+   Three scenarios over the smoke network: steady Poisson, the bursty on/off
+   trace (same mean rate, very different queueing), and a deliberately
+   hopeless SLO that exercises provable-miss deadline shedding. All figures
+   are virtual-clock quantities, bit-identical for a fixed seed; only the
+   tuning-wall line is host time. *)
+
+open Bench_common
+module S = Swatop_serve
+
+let run () =
+  section "Serving runtime: dynamic batching + SLO admission + multi-CG dispatch";
+  let duration = effort_pick ~quick:1.0 ~standard:5.0 ~full:10.0 in
+  let max_batch = effort_pick ~quick:4 ~standard:8 ~full:8 in
+  let net =
+    S.Serve_net.compile ?cache:!schedule_cache
+      ~gemm_model:(Lazy.force gemm_model)
+      ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+      ~max_batch "smoke"
+  in
+  let executor = S.Serve_net.executor net in
+  let base =
+    { S.Serve_engine.default with cf_duration = duration; cf_max_batch = max_batch }
+  in
+  List.iter
+    (fun (label, cf) ->
+      subsection label;
+      print_string
+        (S.Serve_engine.to_text
+           (S.Serve_engine.run ~tune_wall:net.S.Serve_net.nt_tune_wall ~executor cf)))
+    [
+      ("poisson @ 200 req/s", base);
+      ("bursty @ 200 req/s (same mean rate)", { base with cf_trace = S.Serve_trace.Bursty });
+      ( "hopeless SLO (30 us): provable-miss deadline shedding",
+        { base with cf_slo = 30e-6 } );
+    ]

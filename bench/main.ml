@@ -15,6 +15,7 @@ let experiments =
     ("fig11", "Lightweight vs traditional padding", Exp_optimizer.fig11);
     ("ablation", "Schedule-dimension ablations", Exp_ablation.run);
     ("network", "Whole-network compile + end-to-end execution", Exp_network.run);
+    ("serving", "Inference serving: batching + admission + multi-CG", Exp_serving.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -595,6 +595,132 @@ let net_cmd =
       $ checkpoint_arg $ search_arg $ budget_arg $ seed_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_run net_name rate duration cgs slo_ms seed max_batch timeout_ms queue_depth trace json
+    smoke_check jobs cache_path search_mode budget faults =
+  with_tuning_env ?faults jobs cache_path (fun cache ->
+      let open Swatop_serve in
+      let net =
+        Serve_net.compile ?cache ?jobs
+          ~search:(make_search search_mode budget seed)
+          ~gemm_model:(Lazy.force gemm_model)
+          ~graph:(fun ~batch -> find_graph net_name batch)
+          ~max_batch net_name
+      in
+      let config =
+        {
+          Serve_engine.cf_trace = trace;
+          cf_rate = rate;
+          cf_duration = duration;
+          cf_cgs = cgs;
+          cf_slo = slo_ms /. 1e3;
+          cf_seed = seed;
+          cf_max_batch = max_batch;
+          cf_timeout = timeout_ms /. 1e3;
+          cf_queue_depth = queue_depth;
+        }
+      in
+      let report =
+        Serve_engine.run ~tune_wall:net.Serve_net.nt_tune_wall ~executor:(Serve_net.executor net)
+          config
+      in
+      print_endline (if json then Serve_engine.to_json report else Serve_engine.to_text report);
+      if smoke_check then begin
+        let batched =
+          List.exists (fun (n, _) -> n >= 2) report.Serve_engine.sr_batch_hist
+        in
+        let problems =
+          (if report.Serve_engine.sr_shed > 0 then
+             [ Printf.sprintf "%d requests shed" report.Serve_engine.sr_shed ]
+           else [])
+          @ (if report.Serve_engine.sr_dropped <> 0 then
+               [ Printf.sprintf "%d requests dropped" report.Serve_engine.sr_dropped ]
+             else [])
+          @ if not batched then [ "no batch of size >= 2 formed" ] else []
+        in
+        match problems with
+        | [] -> ()
+        | ps ->
+          Printf.eprintf "serve smoke check failed: %s\n" (String.concat "; " ps);
+          exit 1
+      end)
+
+let serve_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NETWORK" ~doc:"vgg16, resnet18, yolov2 or smoke")
+  in
+  let rate_arg =
+    Arg.(value & opt float 200.0 & info [ "rate" ] ~doc:"mean arrival rate, requests/s")
+  in
+  let duration_arg =
+    Arg.(value & opt float 5.0 & info [ "duration" ] ~doc:"arrival window, seconds (simulated)")
+  in
+  let cgs_arg =
+    Arg.(
+      value
+      & opt int Sw26010.Config.num_cgs
+      & info [ "cgs" ] ~doc:"core groups serving (the SW26010 node has 4)")
+  in
+  let slo_arg =
+    Arg.(value & opt float 50.0 & info [ "slo-ms" ] ~doc:"per-request latency objective, ms")
+  in
+  let serve_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ]
+          ~doc:
+            "root of the traffic randomness (and of guided-search exploration); the same seed \
+             replays the same run bit-identically")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"dynamic batching: maximum batch size")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "batch-timeout-ms" ]
+          ~doc:"dynamic batching: flush an incomplete batch after this long, ms")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-depth" ] ~doc:"admission: bounded batching-queue depth")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("poisson", Swatop_serve.Serve_trace.Poisson);
+               ("bursty", Swatop_serve.Serve_trace.Bursty);
+             ])
+          Swatop_serve.Serve_trace.Poisson
+      & info [ "trace" ] ~doc:"traffic shape: $(b,poisson) or $(b,bursty) (on/off modulated)")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable report") in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke-check" ]
+          ~doc:"exit 1 unless the run shed nothing, dropped nothing and formed real batches")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "serve an inference network: seeded synthetic traffic through dynamic batching, \
+          SLO-aware admission and multi-CG dispatch, reporting sustained throughput and p50/p99 \
+          latency on the simulator's clock")
+    Term.(
+      const serve_run $ name_arg $ rate_arg $ duration_arg $ cgs_arg $ slo_arg $ serve_seed_arg
+      $ max_batch_arg $ timeout_arg $ depth_arg $ trace_arg $ json_arg $ smoke_arg $ jobs_arg
+      $ cache_arg $ search_arg $ budget_arg $ faults_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fit *)
 
 let fit () =
@@ -621,7 +747,7 @@ let () =
     Cmd.group ~default info
       [
         tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd;
-        net_cmd; fit_cmd;
+        net_cmd; serve_cmd; fit_cmd;
       ]
   in
   (* Operational failures exit 2 with a one-line structured diagnostic —

@@ -12,7 +12,13 @@ type entry = {
   seconds : float;
 }
 
+(* Every access to [table]/[models]/the counters goes through [lock]: the
+   serving layer shares one warm cache across concurrently-tuning workers,
+   so the in-memory side must be domain-safe, not just the file. The
+   critical sections are a hash lookup or insert — no tuning, no I/O — so
+   one mutex is contention-free in practice. *)
 type t = {
+  lock : Mutex.t;
   table : (string, entry) Hashtbl.t;
   models : (string, int * string) Hashtbl.t;  (* family -> (model version, payload) *)
   mutable dirty : bool;
@@ -21,12 +27,23 @@ type t = {
 }
 
 let create () =
-  { table = Hashtbl.create 64; models = Hashtbl.create 8; dirty = false; hits = 0; misses = 0 }
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    models = Hashtbl.create 8;
+    dirty = false;
+    hits = 0;
+    misses = 0;
+  }
 
-let size t = Hashtbl.length t.table
-let model_count t = Hashtbl.length t.models
-let hits t = t.hits
-let misses t = t.misses
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let model_count t = locked t (fun () -> Hashtbl.length t.models)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
 
 let no_whitespace what s =
   String.iter
@@ -56,37 +73,40 @@ let fingerprint descriptions =
   !h land max_int
 
 let find t ~key:k ~fingerprint:fp ~space_size =
-  match Hashtbl.find_opt t.table k with
-  | Some e when e.fingerprint = fp && e.space_size = space_size ->
-    t.hits <- t.hits + 1;
-    Some e
-  | _ ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e when e.fingerprint = fp && e.space_size = space_size ->
+        t.hits <- t.hits + 1;
+        Some e
+      | _ ->
+        t.misses <- t.misses + 1;
+        None)
 
 let remember t ~key:k entry =
-  (match Hashtbl.find_opt t.table k with
-  | Some old when old = entry -> ()
-  | _ ->
-    Hashtbl.replace t.table k entry;
-    t.dirty <- true);
-  ()
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some old when old = entry -> ()
+      | _ ->
+        Hashtbl.replace t.table k entry;
+        t.dirty <- true)
 
 let find_model t ~family ~version =
-  match Hashtbl.find_opt t.models family with
-  | Some (v, payload) when v = version -> Some payload
-  | _ -> None
+  locked t (fun () ->
+      match Hashtbl.find_opt t.models family with
+      | Some (v, payload) when v = version -> Some payload
+      | _ -> None)
 
 let remember_model t ~family ~version payload =
   if String.contains family '\t' || String.contains family '\n' then
     invalid_arg "Schedule_cache.remember_model: family contains separator characters";
   if String.contains payload '\t' || String.contains payload '\n' then
     invalid_arg "Schedule_cache.remember_model: payload contains separator characters";
-  match Hashtbl.find_opt t.models family with
-  | Some old when old = (version, payload) -> ()
-  | _ ->
-    Hashtbl.replace t.models family (version, payload);
-    t.dirty <- true
+  locked t (fun () ->
+      match Hashtbl.find_opt t.models family with
+      | Some old when old = (version, payload) -> ()
+      | _ ->
+        Hashtbl.replace t.models family (version, payload);
+        t.dirty <- true)
 
 (* ------------------------------------------------------------------ *)
 (* Persistence: a versioned line-oriented text file, one entry per line.
@@ -163,7 +183,13 @@ let load path =
     Option.iter (quarantine path) !bad);
   t
 
+(* The whole save runs under the cache lock: the entry tables must not
+   mutate while being serialized, and saves are rare (end of a run). On-disk
+   atomicity is separate — the PID temp + rename below means a concurrent
+   [load] in another process sees the old complete file or the new complete
+   file, never a partial write. *)
 let save path t =
+  locked t (fun () ->
   if t.dirty then begin
     (* PID-tagged temp name: two processes saving the same cache race only
        on the final atomic rename, never on the bytes being written. *)
@@ -202,4 +228,4 @@ let save path t =
       (try Sys.remove tmp with Sys_error _ -> ());
       warn_once path "schedule cache save to %s failed (%s); results not persisted" path
         (Prelude.Swatop_error.label e)
-  end
+  end)

@@ -25,7 +25,18 @@
     and the file additionally stores fitted learned-cost-model weights per
     operator family ({!find_model}/{!remember_model}) so a guided tune of
     a new workload warm-starts from its family's previous model. v1 files
-    present as an unknown version and quarantine to a cold cache. *)
+    present as an unknown version and quarantine to a cold cache.
+
+    {b Concurrency.} A cache value is domain-safe: every in-memory access
+    ({!find}, {!remember}, {!find_model}, {!remember_model}, the counters,
+    and the whole of {!save}) runs under an internal mutex, so the serving
+    layer's per-CG workers share one warm cache — an entry remembered by
+    one worker is immediately visible to the others without re-tuning.
+    Cross-process safety comes from the file protocol: {!save} writes a
+    complete file to a PID-tagged temp name and publishes it with a single
+    atomic [rename], and {!load} opens the path once, so a concurrent
+    reader observes the old complete file or the new complete file — never
+    a partially written one. *)
 
 type entry = {
   fingerprint : int;  (** {!fingerprint} of the space this entry was tuned on *)

@@ -152,14 +152,15 @@ let node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (n : G
 (* ------------------------------------------------------------------ *)
 (* Edge costs: an inter-layer copy is built, optimized and costed through
    the same simulator as the operators; results are memoized by the copy
-   descriptor (networks repeat shapes heavily). *)
-
-let edge_cache : (string, copy_step option) Hashtbl.t = Hashtbl.create 64
+   descriptor (networks repeat shapes heavily). The memo table is local to
+   one [compile] call — a module-level table would be hidden mutable state
+   shared by every compile in the process, which the serving layer's
+   concurrent per-CG compilations must not race on. *)
 
 let edge_key (spec : Graph_layout.t) =
   Printf.sprintf "%s|%d|%d" (Graph_layout.describe spec) spec.cp_src_elems spec.cp_dst_elems
 
-let edge_step spec =
+let edge_step edge_cache spec =
   if Graph_layout.identity spec then None
   else
     let key = edge_key spec in
@@ -188,10 +189,12 @@ let compile ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (g : Grap
   let wall0 = Prelude.Clock.wall () in
   let nodes = Array.of_list g.Graph_ir.nodes in
   if Array.length nodes = 0 then invalid_arg "Graph_compile.compile: empty graph";
-  (* Tune each distinct operator once. Without a schedule cache the
-     distinct problems tune in parallel (the cache's hashtable is not
-     domain-safe, so cached runs tune sequentially and rely on warm
-     entries instead). *)
+  (* Tune each distinct operator once, in parallel — the schedule cache is
+     domain-safe, so cached compiles parallelize too. The one exception is
+     a guided search over a cache: its warm-start weights flow from one
+     tune into the next through the cache's per-family model entries, and
+     that hand-off must happen in a deterministic order to keep replay
+     independent of the job count. *)
   let keys = Array.map op_key nodes in
   let distinct =
     Array.to_list (Array.mapi (fun i k -> (k, i)) keys)
@@ -199,9 +202,10 @@ let compile ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (g : Grap
   in
   let tuned =
     let tune_one (_, i) = node_impls ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model nodes.(i) in
+    let guided = match search with Some (Swatop.Tuner.Guided _) -> true | _ -> false in
     match cache with
-    | None -> Prelude.Parallel.parallel_map ?jobs tune_one distinct
-    | Some _ -> List.map tune_one distinct
+    | Some _ when guided -> List.map tune_one distinct
+    | _ -> Prelude.Parallel.parallel_map ?jobs tune_one distinct
   in
   let impls_by_key = Hashtbl.create 16 in
   List.iter2 (fun (k, _) impls -> Hashtbl.replace impls_by_key k impls) distinct tuned;
@@ -221,9 +225,10 @@ let compile ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (g : Grap
      option j, including every inter-layer copy on the way. *)
   let n = Array.length nodes in
   let input_elems = Graph_ir.shape4_elems nodes.(0).Graph_ir.in_shape in
+  let edge_cache : (string, copy_step option) Hashtbl.t = Hashtbl.create 64 in
   let in_edge j =
     let im = opts.(0).(j) in
-    edge_step
+    edge_step edge_cache
       (Graph_layout.create ~src_layout:Graph_layout.BCHW ~dst_layout:im.im_in_layout
          ~src_shape:nodes.(0).Graph_ir.in_shape ~dst_shape:nodes.(0).Graph_ir.in_shape
          ~src_elems:input_elems ~dst_elems:im.im_in_elems)
@@ -231,7 +236,7 @@ let compile ?cache ?checkpoint ?top_k ?prune ?jobs ?search ~gemm_model (g : Grap
   let edge i k j =
     (* copy between node i (option k) and node i+1 (option j) *)
     let a = opts.(i).(k) and b = opts.(i + 1).(j) in
-    edge_step
+    edge_step edge_cache
       (Graph_layout.create ~src_layout:a.im_out_layout ~dst_layout:b.im_in_layout
          ~src_shape:nodes.(i).Graph_ir.out_shape ~dst_shape:nodes.(i + 1).Graph_ir.in_shape
          ~src_elems:a.im_out_elems ~dst_elems:b.im_in_elems)

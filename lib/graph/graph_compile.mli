@@ -73,9 +73,13 @@ val compile :
   gemm_model:Swatop.Gemm_cost.t ->
   Graph_ir.t ->
   plan
-(** Tune (distinct problems once; in parallel unless [?cache] is given —
-    the cache's hashtable is not domain-safe), assign layouts, and emit the
-    step list. [?checkpoint] is the base path for interruption-safe partial
+(** Tune (distinct problems once, in parallel — {!Swatop.Schedule_cache}
+    is domain-safe; only a {e guided} search with a cache tunes
+    sequentially, because warm-start model weights flow from one tune to
+    the next through the cache and their order must not depend on [jobs]),
+    assign layouts, and emit the step list. Compilation keeps no hidden
+    module state: concurrent [compile] calls, and concurrent
+    {!Graph_exec.run}s of the resulting plans, are safe. [?checkpoint] is the base path for interruption-safe partial
     tuning results (see {!Swatop_ops.Op_common.cached_model_tune}); an
     operator whose tuner crashed is dropped from dispatch with a warning
     rather than failing the compile, as long as another algorithm for the

@@ -144,3 +144,4 @@ module Parallel = Parallel
 module Det_rng = Det_rng
 module Fault = Fault
 module Swatop_error = Swatop_error
+module Running_stat = Running_stat

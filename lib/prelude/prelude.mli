@@ -83,3 +83,7 @@ module Fault = Fault
 
 (** Re-export of the structured-error exception (see [swatop_error.mli]). *)
 module Swatop_error = Swatop_error
+
+(** Re-export of the quantile-keeping Welford accumulator (see
+    [running_stat.mli]). *)
+module Running_stat = Running_stat

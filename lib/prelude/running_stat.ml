@@ -1,0 +1,54 @@
+(* Welford's online mean/variance plus retained samples for quantiles.
+
+   The accumulator part is numerically stable at any sample count (the
+   bench harness reports stddev over a handful of wall-time samples
+   without catastrophic cancellation). Samples are additionally retained
+   in a growable array so the serving layer can report p50/p99 latency
+   per request class; a serving run observes thousands of latencies, so
+   whole-population retention is cheap and the percentiles are exact
+   rather than sketched. *)
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable samples : float array;  (* first [n] slots are live *)
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; samples = [||] }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let grown = Array.make (Stdlib.max 16 (2 * t.n)) 0.0 in
+    Array.blit t.samples 0 grown 0 t.n;
+    t.samples <- grown
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+let min t = if t.n = 0 then 0.0 else t.min
+let max t = if t.n = 0 then 0.0 else t.max
+
+(* Nearest-rank on the sorted retained samples: percentile p maps to the
+   ceil(p/100 * n)-th smallest value. p50 of [1;2;3;4] is 2, p99 is 4. *)
+let percentile t p =
+  if t.n = 0 then 0.0
+  else if p <= 0.0 then min t
+  else if p >= 100.0 then max t
+  else begin
+    let sorted = Array.sub t.samples 0 t.n in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)))
+  end

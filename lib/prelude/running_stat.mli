@@ -1,0 +1,30 @@
+(** Online mean/variance (Welford) with retained samples for exact
+    quantiles.
+
+    The mean/stddev accumulators are numerically stable at any sample
+    count; every observation is also retained, so {!percentile} is exact
+    (nearest-rank over the sorted population) rather than a sketch. One
+    accumulator is meant for one metric series — per request class, per
+    phase — with counts up to the low millions; retention is O(n) floats.
+
+    Not domain-safe: confine an accumulator to one domain (the serving
+    simulator's event loop is sequential by construction). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val stddev : t -> float
+(** Sample standard deviation; [0.0] below two observations. *)
+
+val min : t -> float
+val max : t -> float
+(** [0.0] when empty (matching {!mean}). *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [0..100], nearest-rank convention:
+    the smallest retained value whose rank is [>= ceil (p/100 * n)].
+    [0.0] when empty. *)

@@ -1,0 +1,88 @@
+type shed_reason = Queue_full | Hopeless
+
+let shed_reason_to_string = function Queue_full -> "queue-full" | Hopeless -> "hopeless"
+
+type t = {
+  queue_depth : int;
+  slo : float;
+  floor : float;
+  mutable completed : int;
+  mutable shed_queue_full : int;
+  mutable shed_hopeless : int;
+  mutable slo_violations : int;
+  latency : Prelude.Running_stat.t;
+  by_class : (string, Prelude.Running_stat.t) Hashtbl.t;
+}
+
+let create ~queue_depth ~slo ~floor () =
+  if queue_depth < 1 then
+    invalid_arg (Printf.sprintf "Serve_admit.create: queue_depth must be >= 1, got %d" queue_depth);
+  if slo <= 0.0 || not (Float.is_finite slo) then
+    invalid_arg (Printf.sprintf "Serve_admit.create: slo must be positive, got %g" slo);
+  if floor < 0.0 || not (Float.is_finite floor) then
+    invalid_arg (Printf.sprintf "Serve_admit.create: floor must be >= 0, got %g" floor);
+  {
+    queue_depth;
+    slo;
+    floor;
+    completed = 0;
+    shed_queue_full = 0;
+    shed_hopeless = 0;
+    slo_violations = 0;
+    latency = Prelude.Running_stat.create ();
+    by_class = Hashtbl.create 4;
+  }
+
+let floor t = t.floor
+
+(* The epsilon keeps a deadline that is *exactly* reachable on the admit
+   side: shedding must only fire on a provable miss, and float round-off
+   is not proof. *)
+let hopeless t ~now ~deadline = now +. t.floor > deadline +. 1e-12
+
+let admit t ~now ~queued =
+  if queued >= t.queue_depth then begin
+    t.shed_queue_full <- t.shed_queue_full + 1;
+    Error Queue_full
+  end
+  else
+    let deadline = now +. t.slo in
+    if hopeless t ~now ~deadline then begin
+      (* Static config problem: the service floor alone exceeds the SLO, so
+         every request is hopeless on arrival. *)
+      t.shed_hopeless <- t.shed_hopeless + 1;
+      Error Hopeless
+    end
+    else Ok deadline
+
+let viable t ~now ~deadline =
+  if hopeless t ~now ~deadline then begin
+    t.shed_hopeless <- t.shed_hopeless + 1;
+    false
+  end
+  else true
+
+let complete t ~cls ~latency =
+  t.completed <- t.completed + 1;
+  if latency > t.slo +. 1e-12 then t.slo_violations <- t.slo_violations + 1;
+  Prelude.Running_stat.add t.latency latency;
+  let stat =
+    match Hashtbl.find_opt t.by_class cls with
+    | Some s -> s
+    | None ->
+      let s = Prelude.Running_stat.create () in
+      Hashtbl.replace t.by_class cls s;
+      s
+  in
+  Prelude.Running_stat.add stat latency
+
+let completed t = t.completed
+let shed t = t.shed_queue_full + t.shed_hopeless
+let shed_queue_full t = t.shed_queue_full
+let shed_hopeless t = t.shed_hopeless
+let slo_violations t = t.slo_violations
+let latency t = t.latency
+
+let classes t =
+  Hashtbl.fold (fun cls stat acc -> (cls, stat) :: acc) t.by_class []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,62 @@
+(** SLO-aware admission control and latency accounting.
+
+    Two gates, both {e provable} — a request is never turned away on a
+    heuristic:
+
+    - {b bounded queue}: an arrival finding [queue_depth] requests already
+      waiting in the batching stage is shed ([Queue_full]) — the queue can
+      not grow without bound under overload;
+    - {b deadline shedding}: a request is shed ([Hopeless]) only when its
+      deadline is {e provably} missed — [now + floor > deadline], where
+      [floor] is a static lower bound on service time (the sum over the
+      plan's steps of the fastest implementation in each step's fallback
+      chain, see {!Serve_net.floor_seconds}). If even the fastest
+      conceivable execution started this instant would finish late, doing
+      the work wastes capacity that punctual requests need; otherwise the
+      request runs, even if it will {e probably} be late (recorded as an
+      SLO violation on completion, never dropped).
+
+    The accountant side tallies sheds by reason, completions, SLO
+    violations, and per-class + overall latency through
+    {!Prelude.Running_stat} (exact p50/p99, not sketches). Every request
+    ends in exactly one bucket — completed or shed — so
+    [arrivals = completed + shed] is an invariant the engine checks;
+    "dropped" is not an outcome this module can express. *)
+
+type shed_reason = Queue_full | Hopeless
+
+val shed_reason_to_string : shed_reason -> string
+
+type t
+
+val create : queue_depth:int -> slo:float -> floor:float -> unit -> t
+(** [slo] and [floor] in seconds. Raises [Invalid_argument] when
+    [queue_depth < 1], [slo <= 0] or [floor < 0]. *)
+
+val floor : t -> float
+
+val admit : t -> now:float -> queued:int -> (float, shed_reason) result
+(** Admission decision for a request arriving at [now] with [queued]
+    requests already in the batching stage. [Ok deadline] admits with
+    [deadline = now + slo]; [Error reason] records the shed. *)
+
+val viable : t -> now:float -> deadline:float -> bool
+(** Dispatch-time recheck: [false] means the deadline is now provably
+    missed ([now + floor > deadline]) and {e records a [Hopeless] shed} —
+    call it once per request, at the moment it would start. *)
+
+val complete : t -> cls:string -> latency:float -> unit
+(** Record a completion (latency in seconds; counts an SLO violation when
+    it exceeds the SLO). *)
+
+val completed : t -> int
+val shed : t -> int
+val shed_queue_full : t -> int
+val shed_hopeless : t -> int
+val slo_violations : t -> int
+
+val latency : t -> Prelude.Running_stat.t
+(** All completions, one accumulator. *)
+
+val classes : t -> (string * Prelude.Running_stat.t) list
+(** Per-class completion latency, sorted by class name. *)

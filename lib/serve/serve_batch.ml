@@ -1,0 +1,88 @@
+type request = {
+  rq_id : int;
+  rq_class : string;
+  rq_bucket : string;
+  rq_arrival : float;
+  rq_deadline : float;
+}
+
+type bucket = {
+  queue : request Queue.t;
+  mutable timer_armed : bool;
+}
+
+type t = {
+  max_batch : int;
+  timeout : float;
+  buckets : (string, bucket) Hashtbl.t;
+  mutable queued : int;
+}
+
+let create ~max_batch ~timeout () =
+  if max_batch < 1 then
+    invalid_arg (Printf.sprintf "Serve_batch.create: max_batch must be >= 1, got %d" max_batch);
+  if timeout <= 0.0 || not (Float.is_finite timeout) then
+    invalid_arg (Printf.sprintf "Serve_batch.create: timeout must be positive, got %g" timeout);
+  { max_batch; timeout; buckets = Hashtbl.create 8; queued = 0 }
+
+let queued t = t.queued
+
+let bucket t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+    let b = { queue = Queue.create (); timer_armed = false } in
+    Hashtbl.replace t.buckets key b;
+    b
+
+(* Cut one batch of at most [n] from the front of the queue. *)
+let take t b n =
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      match Queue.take_opt b.queue with
+      | None -> List.rev acc
+      | Some r ->
+        t.queued <- t.queued - 1;
+        go (k - 1) (r :: acc)
+  in
+  go n []
+
+(* The flush deadline tracks the *oldest remaining* request; Queue.peek is
+   that request because buckets are strictly FIFO. *)
+let arm t b =
+  if (not b.timer_armed) && not (Queue.is_empty b.queue) then begin
+    b.timer_armed <- true;
+    Some ((Queue.peek b.queue).rq_arrival +. t.timeout)
+  end
+  else None
+
+let add t r =
+  let b = bucket t r.rq_bucket in
+  Queue.add r b.queue;
+  t.queued <- t.queued + 1;
+  let ready = ref [] in
+  while Queue.length b.queue >= t.max_batch do
+    ready := take t b t.max_batch :: !ready
+  done;
+  (List.rev !ready, arm t b)
+
+let on_timer t ~now ~bucket:key =
+  match Hashtbl.find_opt t.buckets key with
+  | None -> ([], None)
+  | Some b ->
+    b.timer_armed <- false;
+    if Queue.is_empty b.queue then ([], None)
+    else if (Queue.peek b.queue).rq_arrival +. t.timeout <= now +. 1e-12 then begin
+      (* Everything present has been waiting at least as long as the timer:
+         drain the whole bucket in FIFO chunks. *)
+      let ready = ref [] in
+      while not (Queue.is_empty b.queue) do
+        ready := take t b t.max_batch :: !ready
+      done;
+      (List.rev !ready, None)
+    end
+    else
+      (* The head arrived after this timer was armed (a size trigger
+         emptied the bucket in between): its own timeout is still running. *)
+      ([], arm t b)

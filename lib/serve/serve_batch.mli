@@ -1,0 +1,50 @@
+(** Shape-bucketed dynamic batching.
+
+    Requests for the same network and input shape land in the same bucket
+    (keyed by {!request.rq_bucket}) and coalesce into one batched
+    execution — the graph runtime already treats batch as a leading
+    dimension ({!Swatop_graph.Graph_ir.t.batch}), so a batch of [n]
+    same-shape requests is simply the [n]-batch compiled plan.
+
+    Policy per bucket, the classic two-trigger rule:
+    - {b size}: the moment a bucket holds [max_batch] requests, a full
+      batch is released immediately;
+    - {b time}: otherwise a flush timer armed at the {e oldest} queued
+      request's arrival [+ timeout] releases whatever the bucket holds, so
+      a lone request never waits more than [timeout] for company.
+
+    Within a bucket the order is strictly FIFO: batches are cut from the
+    front of the queue in arrival order. The module is pure bookkeeping —
+    it never touches the clock; callers pass [now] in and arm returned
+    timers on their own {!Serve_sim} loop. *)
+
+type request = {
+  rq_id : int;  (** arrival index, unique per run *)
+  rq_class : string;  (** traffic class, for per-class latency stats *)
+  rq_bucket : string;  (** batching key: network + input shape *)
+  rq_arrival : float;
+  rq_deadline : float;  (** arrival + SLO *)
+}
+
+type t
+
+val create : max_batch:int -> timeout:float -> unit -> t
+(** Raises [Invalid_argument] when [max_batch < 1] or [timeout <= 0]. *)
+
+val queued : t -> int
+(** Requests currently waiting across all buckets. *)
+
+val add : t -> request -> request list list * float option
+(** Enqueue a request in its bucket. Returns [(ready, timer)]: [ready] is
+    the full batches released by the size trigger (each exactly
+    [max_batch] long, FIFO), and [timer] is [Some time] when the caller
+    must arm a flush timer for this bucket at [time] (no timer is
+    currently armed and requests remain queued). Fire it by calling
+    {!on_timer} with the request's bucket. *)
+
+val on_timer : t -> now:float -> bucket:string -> request list list * float option
+(** The bucket's flush timer fired. If the oldest queued request has
+    waited [timeout], releases {e everything} the bucket holds, cut into
+    FIFO batches of at most [max_batch]. If the bucket is empty (a size
+    trigger beat the timer) or the head arrived after the timer was armed,
+    releases nothing; the second case returns [Some time] to re-arm. *)

@@ -1,0 +1,327 @@
+type config = {
+  cf_trace : Serve_trace.kind;
+  cf_rate : float;
+  cf_duration : float;
+  cf_cgs : int;
+  cf_slo : float;
+  cf_seed : int;
+  cf_max_batch : int;
+  cf_timeout : float;
+  cf_queue_depth : int;
+}
+
+let default =
+  {
+    cf_trace = Serve_trace.Poisson;
+    cf_rate = 200.0;
+    cf_duration = 5.0;
+    cf_cgs = Sw26010.Config.num_cgs;
+    cf_slo = 0.050;
+    cf_seed = 7;
+    cf_max_batch = 8;
+    cf_timeout = 0.005;
+    cf_queue_depth = 256;
+  }
+
+type cg_report = {
+  cr_id : int;
+  cr_alive : bool;
+  cr_batches : int;
+  cr_requests : int;
+  cr_fallbacks : int;
+  cr_busy : float;
+  cr_utilization : float;
+}
+
+type class_report = {
+  cl_class : string;
+  cl_count : int;
+  cl_mean : float;
+  cl_p50 : float;
+  cl_p99 : float;
+  cl_max : float;
+}
+
+type report = {
+  sr_name : string;
+  sr_config : config;
+  sr_floor : float;
+  sr_arrivals : int;
+  sr_completed : int;
+  sr_shed : int;
+  sr_shed_queue_full : int;
+  sr_shed_hopeless : int;
+  sr_dropped : int;
+  sr_slo_violations : int;
+  sr_throughput : float;
+  sr_latency_mean : float;
+  sr_latency_p50 : float;
+  sr_latency_p99 : float;
+  sr_latency_max : float;
+  sr_classes : class_report list;
+  sr_batches : int;
+  sr_batch_hist : (int * int) list;
+  sr_cgs : cg_report list;
+  sr_kills : Serve_shard.kill list;
+  sr_drained : int;
+  sr_makespan : float;
+  sr_tune_wall : float;
+}
+
+let run ?(tune_wall = 0.0) ~executor cf =
+  let arrivals =
+    Serve_trace.generate cf.cf_trace ~rate:cf.cf_rate ~duration:cf.cf_duration ~seed:cf.cf_seed
+  in
+  let sim = Serve_sim.create () in
+  let batcher = Serve_batch.create ~max_batch:cf.cf_max_batch ~timeout:cf.cf_timeout () in
+  let admit =
+    Serve_admit.create ~queue_depth:cf.cf_queue_depth ~slo:cf.cf_slo
+      ~floor:executor.Serve_shard.ex_floor ()
+  in
+  let last_completion = ref 0.0 in
+  let shard =
+    Serve_shard.create ~sim ~executor ~cgs:cf.cf_cgs ~on_complete:(fun reqs ~finished ~cg:_ ->
+        last_completion := Float.max !last_completion finished;
+        List.iter
+          (fun (r : Serve_batch.request) ->
+            Serve_admit.complete admit ~cls:r.rq_class ~latency:(finished -. r.rq_arrival))
+          reqs)
+  in
+  let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let batches = ref 0 in
+  (* Dispatch-time recheck: requests whose deadline is already provably
+     missed are shed here; the rest go to a CG as one (possibly shrunken)
+     batch. *)
+  let dispatch reqs =
+    let viable =
+      List.filter
+        (fun (r : Serve_batch.request) ->
+          Serve_admit.viable admit ~now:(Serve_sim.now sim) ~deadline:r.rq_deadline)
+        reqs
+    in
+    match viable with
+    | [] -> ()
+    | reqs ->
+      let n = List.length reqs in
+      Hashtbl.replace hist n (1 + Option.value ~default:0 (Hashtbl.find_opt hist n));
+      incr batches;
+      Serve_shard.submit shard reqs
+  in
+  (* Flush timers re-arm themselves while their bucket has a fresher head. *)
+  let rec on_timer bucket () =
+    let ready, rearm = Serve_batch.on_timer batcher ~now:(Serve_sim.now sim) ~bucket in
+    List.iter dispatch ready;
+    Option.iter (fun tfire -> Serve_sim.at sim tfire (on_timer bucket)) rearm
+  in
+  (* One bucket per served network: the engine serves a single executor, so
+     every request shares its shape. (Serve_batch itself is multi-bucket;
+     a multi-model engine would derive the key from the request.) *)
+  let bucket = executor.Serve_shard.ex_name in
+  let arrive id (a : Serve_trace.arrival) () =
+    let now = Serve_sim.now sim in
+    match Serve_admit.admit admit ~now ~queued:(Serve_batch.queued batcher) with
+    | Error _ -> ()
+    | Ok deadline ->
+      let r =
+        {
+          Serve_batch.rq_id = id;
+          rq_class = a.ar_class;
+          rq_bucket = bucket;
+          rq_arrival = now;
+          rq_deadline = deadline;
+        }
+      in
+      let ready, timer = Serve_batch.add batcher r in
+      List.iter dispatch ready;
+      Option.iter (fun tfire -> Serve_sim.at sim tfire (on_timer bucket)) timer
+  in
+  List.iteri (fun id a -> Serve_sim.at sim a.Serve_trace.ar_time (arrive id a)) arrivals;
+  Serve_sim.run sim;
+  let arrivals_n = List.length arrivals in
+  let completed = Serve_admit.completed admit in
+  let shed = Serve_admit.shed admit in
+  let dropped = arrivals_n - completed - shed in
+  if dropped <> 0 then
+    Prelude.Swatop_error.error ~site:"Serve_engine.run"
+      ~context:
+        [
+          ("arrivals", string_of_int arrivals_n);
+          ("completed", string_of_int completed);
+          ("shed", string_of_int shed);
+        ]
+      "request conservation violated: some requests neither completed nor shed";
+  let makespan = Float.max cf.cf_duration !last_completion in
+  let lat = Serve_admit.latency admit in
+  let classes =
+    List.map
+      (fun (cls, s) ->
+        {
+          cl_class = cls;
+          cl_count = Prelude.Running_stat.count s;
+          cl_mean = Prelude.Running_stat.mean s;
+          cl_p50 = Prelude.Running_stat.percentile s 50.0;
+          cl_p99 = Prelude.Running_stat.percentile s 99.0;
+          cl_max = Prelude.Running_stat.max s;
+        })
+      (Serve_admit.classes admit)
+  in
+  let kills = Serve_shard.kills shard in
+  {
+    sr_name = executor.Serve_shard.ex_name;
+    sr_config = cf;
+    sr_floor = executor.Serve_shard.ex_floor;
+    sr_arrivals = arrivals_n;
+    sr_completed = completed;
+    sr_shed = shed;
+    sr_shed_queue_full = Serve_admit.shed_queue_full admit;
+    sr_shed_hopeless = Serve_admit.shed_hopeless admit;
+    sr_dropped = dropped;
+    sr_slo_violations = Serve_admit.slo_violations admit;
+    sr_throughput = (if completed = 0 then 0.0 else float_of_int completed /. makespan);
+    sr_latency_mean = Prelude.Running_stat.mean lat;
+    sr_latency_p50 = Prelude.Running_stat.percentile lat 50.0;
+    sr_latency_p99 = Prelude.Running_stat.percentile lat 99.0;
+    sr_latency_max = Prelude.Running_stat.max lat;
+    sr_classes = classes;
+    sr_batches = !batches;
+    sr_batch_hist =
+      Hashtbl.fold (fun n c acc -> (n, c) :: acc) hist []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    sr_cgs =
+      List.map
+        (fun (s : Serve_shard.cg_stat) ->
+          {
+            cr_id = s.g_id;
+            cr_alive = s.g_alive;
+            cr_batches = s.g_batches;
+            cr_requests = s.g_requests;
+            cr_fallbacks = s.g_fallbacks;
+            cr_busy = s.g_busy;
+            cr_utilization = s.g_busy /. makespan;
+          })
+        (Serve_shard.stats shard);
+    sr_kills = kills;
+    sr_drained = List.fold_left (fun acc (k : Serve_shard.kill) -> acc + k.k_drained) 0 kills;
+    sr_makespan = makespan;
+    sr_tune_wall = tune_wall;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let ms s = s *. 1e3
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  let cf = r.sr_config in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "serving %s: %s %.0f req/s for %.1f s | %d CGs | SLO %.1f ms | seed %d\n" r.sr_name
+    (Serve_trace.kind_to_string cf.cf_trace)
+    cf.cf_rate cf.cf_duration cf.cf_cgs (ms cf.cf_slo) cf.cf_seed;
+  add "  batching: max %d, timeout %.1f ms | queue depth %d | service floor %.3f ms\n"
+    cf.cf_max_batch (ms cf.cf_timeout) cf.cf_queue_depth (ms r.sr_floor);
+  add "  requests: %d arrived, %d completed, %d shed (%d queue-full, %d hopeless), %d dropped\n"
+    r.sr_arrivals r.sr_completed r.sr_shed r.sr_shed_queue_full r.sr_shed_hopeless r.sr_dropped;
+  add "  throughput: %.1f req/s sustained over %.3f s makespan\n" r.sr_throughput r.sr_makespan;
+  add "  latency: mean %.3f ms | p50 %.3f ms | p99 %.3f ms | max %.3f ms | %d SLO violations\n"
+    (ms r.sr_latency_mean) (ms r.sr_latency_p50) (ms r.sr_latency_p99) (ms r.sr_latency_max)
+    r.sr_slo_violations;
+  List.iter
+    (fun c ->
+      add "    class %-8s: %6d done | p50 %.3f ms | p99 %.3f ms\n" c.cl_class c.cl_count
+        (ms c.cl_p50) (ms c.cl_p99))
+    r.sr_classes;
+  add "  batches: %d dispatched | sizes %s\n" r.sr_batches
+    (String.concat ", "
+       (List.map (fun (n, c) -> Printf.sprintf "%dx%d" n c) r.sr_batch_hist));
+  List.iter
+    (fun c ->
+      add "    cg%d: %s | %5d batches | %6d requests | util %5.1f%%%s\n" c.cr_id
+        (if c.cr_alive then "alive" else "DEAD ")
+        c.cr_batches c.cr_requests
+        (100.0 *. c.cr_utilization)
+        (if c.cr_fallbacks > 0 then Printf.sprintf " | %d fallbacks" c.cr_fallbacks else ""))
+    r.sr_cgs;
+  List.iter
+    (fun (k : Serve_shard.kill) ->
+      add "  incident: cg%d died at %.3f s (%s); %d batches drained to survivors\n" k.k_cg k.k_time
+        k.k_cause k.k_drained)
+    r.sr_kills;
+  if r.sr_tune_wall > 0.0 then add "  tuning wall: %.2f s\n" r.sr_tune_wall;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Only deterministic fields: no host wall time, so two runs of the same
+   seed/config/fault-plan produce byte-identical JSON. *)
+let to_json r =
+  let b = Buffer.create 2048 in
+  let cf = r.sr_config in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"network\": \"%s\",\n" (json_escape r.sr_name);
+  add "  \"trace\": \"%s\",\n" (Serve_trace.kind_to_string cf.cf_trace);
+  add "  \"rate\": %.9g,\n" cf.cf_rate;
+  add "  \"duration_seconds\": %.9g,\n" cf.cf_duration;
+  add "  \"cgs\": %d,\n" cf.cf_cgs;
+  add "  \"slo_ms\": %.9g,\n" (ms cf.cf_slo);
+  add "  \"seed\": %d,\n" cf.cf_seed;
+  add "  \"max_batch\": %d,\n" cf.cf_max_batch;
+  add "  \"batch_timeout_ms\": %.9g,\n" (ms cf.cf_timeout);
+  add "  \"queue_depth\": %d,\n" cf.cf_queue_depth;
+  add "  \"floor_ms\": %.9g,\n" (ms r.sr_floor);
+  add "  \"arrivals\": %d,\n" r.sr_arrivals;
+  add "  \"completed\": %d,\n" r.sr_completed;
+  add "  \"shed\": %d,\n" r.sr_shed;
+  add "  \"shed_queue_full\": %d,\n" r.sr_shed_queue_full;
+  add "  \"shed_hopeless\": %d,\n" r.sr_shed_hopeless;
+  add "  \"dropped\": %d,\n" r.sr_dropped;
+  add "  \"slo_violations\": %d,\n" r.sr_slo_violations;
+  add "  \"throughput_rps\": %.9g,\n" r.sr_throughput;
+  add "  \"latency_ms\": {\"mean\": %.9g, \"p50\": %.9g, \"p99\": %.9g, \"max\": %.9g},\n"
+    (ms r.sr_latency_mean) (ms r.sr_latency_p50) (ms r.sr_latency_p99) (ms r.sr_latency_max);
+  add "  \"classes\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun c ->
+            Printf.sprintf
+              "{\"class\": \"%s\", \"count\": %d, \"p50_ms\": %.9g, \"p99_ms\": %.9g}"
+              (json_escape c.cl_class) c.cl_count (ms c.cl_p50) (ms c.cl_p99))
+          r.sr_classes));
+  add "  \"batches\": %d,\n" r.sr_batches;
+  add "  \"batch_histogram\": [%s],\n"
+    (String.concat ", "
+       (List.map (fun (n, c) -> Printf.sprintf "{\"size\": %d, \"count\": %d}" n c) r.sr_batch_hist));
+  add "  \"cgs_detail\": [\n";
+  let ncg = List.length r.sr_cgs in
+  List.iteri
+    (fun i c ->
+      add
+        "    {\"cg\": %d, \"alive\": %b, \"batches\": %d, \"requests\": %d, \"fallbacks\": %d, \
+         \"busy_seconds\": %.9g, \"utilization\": %.9g}%s\n"
+        c.cr_id c.cr_alive c.cr_batches c.cr_requests c.cr_fallbacks c.cr_busy c.cr_utilization
+        (if i < ncg - 1 then "," else ""))
+    r.sr_cgs;
+  add "  ],\n";
+  add "  \"kills\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (k : Serve_shard.kill) ->
+            Printf.sprintf
+              "{\"cg\": %d, \"time_seconds\": %.9g, \"cause\": \"%s\", \"drained_batches\": %d}"
+              k.k_cg k.k_time (json_escape k.k_cause) k.k_drained)
+          r.sr_kills));
+  add "  \"drained_batches\": %d,\n" r.sr_drained;
+  add "  \"makespan_seconds\": %.9g\n" r.sr_makespan;
+  add "}";
+  Buffer.contents b

@@ -1,0 +1,91 @@
+(** The serving engine: traffic in, a replayable report out.
+
+    Wires the subsystem together inside one {!Serve_sim} event loop:
+    {!Serve_trace} arrivals -> {!Serve_admit} admission (bounded queue,
+    provable-miss shedding) -> {!Serve_batch} dynamic batching ->
+    {!Serve_shard} least-loaded multi-CG dispatch -> completion
+    accounting. The executor is abstract ({!Serve_shard.executor}), so the
+    same engine drives both real compiled networks ({!Serve_net.executor})
+    and the synthetic executors the unit tests use.
+
+    {b Determinism.} Everything in the {!report} except [sr_tune_wall]
+    (host wall seconds, reported for humans) is a pure function of the
+    executor, the config, and the fault plan: same seed, same config ->
+    the same report, whatever the host job count or repetition.
+    {!to_json} renders only the deterministic fields, so serialized
+    reports diff bit-identically; {!to_text} additionally prints the
+    wall-clock line.
+
+    {b Conservation.} Every arrival ends as exactly one of completed or
+    shed; [sr_dropped] is the difference and the engine raises
+    ({!Prelude.Swatop_error.Error}) if it is ever nonzero — a CG failure
+    mid-run drains work to survivors ({!Serve_shard}) rather than losing
+    it. *)
+
+type config = {
+  cf_trace : Serve_trace.kind;
+  cf_rate : float;  (** mean arrival rate, requests/s *)
+  cf_duration : float;  (** arrival window, seconds (the run drains past it) *)
+  cf_cgs : int;  (** core groups serving, 1 .. *)
+  cf_slo : float;  (** per-request latency objective, seconds *)
+  cf_seed : int;  (** trace randomness root *)
+  cf_max_batch : int;
+  cf_timeout : float;  (** batching flush timeout, seconds *)
+  cf_queue_depth : int;  (** bounded batching-stage queue *)
+}
+
+val default : config
+(** Poisson, 200 req/s for 5 s, {!Sw26010.Config.num_cgs} CGs, 50 ms SLO,
+    seed 7, max batch 8, 5 ms batching timeout, depth 256. *)
+
+type cg_report = {
+  cr_id : int;
+  cr_alive : bool;
+  cr_batches : int;
+  cr_requests : int;
+  cr_fallbacks : int;
+  cr_busy : float;  (** simulated seconds executing *)
+  cr_utilization : float;  (** busy / makespan *)
+}
+
+type class_report = {
+  cl_class : string;
+  cl_count : int;
+  cl_mean : float;
+  cl_p50 : float;
+  cl_p99 : float;
+  cl_max : float;  (** latencies in seconds *)
+}
+
+type report = {
+  sr_name : string;  (** network / executor name *)
+  sr_config : config;
+  sr_floor : float;  (** provable service-time lower bound used for shedding *)
+  sr_arrivals : int;
+  sr_completed : int;
+  sr_shed : int;
+  sr_shed_queue_full : int;
+  sr_shed_hopeless : int;
+  sr_dropped : int;  (** always 0; see conservation above *)
+  sr_slo_violations : int;  (** completed, but later than the SLO *)
+  sr_throughput : float;  (** completed / makespan, requests/s *)
+  sr_latency_mean : float;
+  sr_latency_p50 : float;
+  sr_latency_p99 : float;
+  sr_latency_max : float;
+  sr_classes : class_report list;  (** by class name *)
+  sr_batches : int;  (** batches dispatched *)
+  sr_batch_hist : (int * int) list;  (** (batch size, count), ascending *)
+  sr_cgs : cg_report list;  (** by CG id *)
+  sr_kills : Serve_shard.kill list;
+  sr_drained : int;  (** batches re-dispatched off dead CGs *)
+  sr_makespan : float;  (** last completion (>= duration when work drains late) *)
+  sr_tune_wall : float;  (** host seconds spent compiling (not in JSON) *)
+}
+
+val run : ?tune_wall:float -> executor:Serve_shard.executor -> config -> report
+(** Raises [Invalid_argument] on a nonsensical config (validation is
+    delegated to the component constructors). *)
+
+val to_text : report -> string
+val to_json : report -> string

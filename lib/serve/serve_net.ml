@@ -1,0 +1,67 @@
+open Swatop_graph
+
+let plan_sizes ~max_batch =
+  if max_batch < 1 then
+    invalid_arg (Printf.sprintf "Serve_net.plan_sizes: max_batch must be >= 1, got %d" max_batch);
+  let rec ladder b acc = if b >= max_batch then List.rev (max_batch :: acc) else ladder (2 * b) (b :: acc) in
+  ladder 1 []
+
+let round_up ~sizes n =
+  match List.find_opt (fun s -> s >= n) sizes with
+  | Some s -> s
+  | None -> (
+    match List.rev sizes with
+    | largest :: _ -> largest
+    | [] -> invalid_arg "Serve_net.round_up: empty size list")
+
+(* Fastest member of a step's degradation chain. The terminal host copy is
+   charged the planned copy's own cost: the oracle bridges at main-memory
+   speed, never faster than the tuned program it replaces. *)
+let step_floor (step : Graph_compile.step) =
+  match step with
+  | Copy c -> c.cs_seconds
+  | Layer { st_impl; st_fallbacks; _ } ->
+    List.fold_left
+      (fun acc (i : Graph_compile.impl) -> Float.min acc i.im_seconds)
+      st_impl.im_seconds st_fallbacks
+
+let floor_seconds (plan : Graph_compile.plan) =
+  List.fold_left (fun acc s -> acc +. step_floor s) 0.0 plan.p_steps
+
+(* The plan's own cost estimate: the chosen implementation of every step.
+   Matches Graph_exec's fault-free simulated seconds. *)
+let nominal_seconds (plan : Graph_compile.plan) =
+  List.fold_left
+    (fun acc (s : Graph_compile.step) ->
+      acc
+      +. match s with Copy c -> c.cs_seconds | Layer { st_impl; _ } -> st_impl.im_seconds)
+    0.0 plan.p_steps
+
+type t = {
+  nt_name : string;
+  nt_plans : (int * Graph_compile.plan) list;
+  nt_tune_wall : float;
+}
+
+let compile ?cache ?jobs ?search ~gemm_model ~graph ~max_batch name =
+  let t0 = Unix.gettimeofday () in
+  let plans =
+    List.map
+      (fun b -> (b, Graph_compile.compile ?cache ?jobs ?search ~gemm_model (graph ~batch:b)))
+      (plan_sizes ~max_batch)
+  in
+  { nt_name = name; nt_plans = plans; nt_tune_wall = Unix.gettimeofday () -. t0 }
+
+let executor t =
+  let sizes = List.map fst t.nt_plans in
+  let plan_for n = List.assoc (round_up ~sizes n) t.nt_plans in
+  {
+    Serve_shard.ex_name = t.nt_name;
+    ex_floor =
+      List.fold_left (fun acc (_, p) -> Float.min acc (floor_seconds p)) infinity t.nt_plans;
+    ex_nominal = (fun n -> nominal_seconds (plan_for n));
+    ex_run =
+      (fun ~cg:_ ~n ->
+        let report = Graph_exec.run (plan_for n) in
+        (report.r_seconds, List.length report.r_incidents));
+  }

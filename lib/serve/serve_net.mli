@@ -1,0 +1,50 @@
+(** The real executor: compiled network plans behind the
+    {!Serve_shard.executor} interface.
+
+    A batch of [n] same-shape requests executes as the network compiled at
+    batch [b], where [b] is [n] rounded up to the nearest {e plan size} —
+    the geometric ladder [1, 2, 4, ..., max_batch] — so a handful of plans
+    covers every batch the batcher can form, at a padding overhead of at
+    most 2x on the odd sizes. All plan sizes tune through one (shared,
+    domain-safe) {!Swatop.Schedule_cache}, so serving workers and repeated
+    runs reuse each other's tuning work.
+
+    [floor_seconds] is the admission controller's provable service-time
+    lower bound: for each plan, every step contributes the {e fastest}
+    member of its degradation chain (a layer's best implementation or any
+    of its fallbacks; a copy's cost), and the bound is the minimum over
+    plan sizes — no execution, fallback walk included, can finish a batch
+    faster. *)
+
+val plan_sizes : max_batch:int -> int list
+(** [1; 2; 4; ...; max_batch] (max_batch included even off the ladder).
+    Raises [Invalid_argument] when [max_batch < 1]. *)
+
+val round_up : sizes:int list -> int -> int
+(** Smallest plan size [>= n] (the largest size when [n] overshoots). *)
+
+val floor_seconds : Swatop_graph.Graph_compile.plan -> float
+
+type t = {
+  nt_name : string;
+  nt_plans : (int * Swatop_graph.Graph_compile.plan) list;  (** by batch size, ascending *)
+  nt_tune_wall : float;  (** host seconds spent compiling all sizes *)
+}
+
+val compile :
+  ?cache:Swatop.Schedule_cache.t ->
+  ?jobs:int ->
+  ?search:Swatop.Tuner.search ->
+  gemm_model:Swatop.Gemm_cost.t ->
+  graph:(batch:int -> Swatop_graph.Graph_ir.t) ->
+  max_batch:int ->
+  string ->
+  t
+(** [compile ~graph ~max_batch name] tunes the network at every plan
+    size. *)
+
+val executor : t -> Serve_shard.executor
+(** [ex_run] replays the rounded-up plan through {!Swatop_graph.Graph_exec}
+    in cost mode, returning its simulated seconds and the number of
+    fallback incidents; [ex_nominal] is the chosen-implementation sum of
+    the same plan. *)

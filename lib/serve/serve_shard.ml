@@ -1,0 +1,135 @@
+type executor = {
+  ex_name : string;
+  ex_floor : float;
+  ex_nominal : int -> float;
+  ex_run : cg:int -> n:int -> float * int;
+}
+
+type cg_stat = {
+  g_id : int;
+  g_alive : bool;
+  g_batches : int;
+  g_requests : int;
+  g_fallbacks : int;
+  g_busy : float;
+}
+
+type kill = { k_cg : int; k_time : float; k_cause : string; k_drained : int }
+
+type cg = {
+  id : int;
+  mutable alive : bool;
+  mutable batches : int;
+  mutable requests : int;
+  mutable fallbacks : int;
+  mutable busy : float;
+  mutable free_at : float;  (* estimated completion of the backlog *)
+  mutable running : bool;
+  backlog : Serve_batch.request list Queue.t;
+}
+
+type t = {
+  sim : Serve_sim.t;
+  executor : executor;
+  cgs : cg array;
+  on_complete : Serve_batch.request list -> finished:float -> cg:int -> unit;
+  mutable killed : kill list;  (* reverse order of death *)
+}
+
+let create ~sim ~executor ~cgs ~on_complete =
+  if cgs < 1 then invalid_arg (Printf.sprintf "Serve_shard.create: cgs must be >= 1, got %d" cgs);
+  {
+    sim;
+    executor;
+    cgs =
+      Array.init cgs (fun id ->
+          {
+            id;
+            alive = true;
+            batches = 0;
+            requests = 0;
+            fallbacks = 0;
+            busy = 0.0;
+            free_at = 0.0;
+            running = false;
+            backlog = Queue.create ();
+          });
+    on_complete;
+    killed = [];
+  }
+
+let fault_site = "serve.cg"
+
+let least_loaded t =
+  Array.fold_left
+    (fun best cg ->
+      if not cg.alive then best
+      else
+        match best with
+        | Some b when b.free_at <= cg.free_at -> best
+        | _ -> Some cg)
+    None t.cgs
+
+(* Kill [cg] and re-dispatch its entire backlog (head batch included) to
+   the survivors. Runs inside the event loop, so the drain is atomic in
+   virtual time: every re-dispatched batch restarts queueing at [now]. *)
+let rec kill t cg head cause =
+  cg.alive <- false;
+  cg.running <- false;
+  let stranded = head :: List.of_seq (Queue.to_seq cg.backlog) in
+  Queue.clear cg.backlog;
+  t.killed <-
+    { k_cg = cg.id; k_time = Serve_sim.now t.sim; k_cause = cause; k_drained = List.length stranded }
+    :: t.killed;
+  List.iter (submit t) stranded
+
+and start_next t cg =
+  if cg.alive && (not cg.running) && not (Queue.is_empty cg.backlog) then begin
+    let batch = Queue.take cg.backlog in
+    let n = List.length batch in
+    match
+      Prelude.Fault.check ~key:cg.id fault_site;
+      t.executor.ex_run ~cg:cg.id ~n
+    with
+    | exception e -> kill t cg batch (Prelude.Swatop_error.label e)
+    | seconds, fallbacks ->
+      cg.running <- true;
+      cg.batches <- cg.batches + 1;
+      cg.requests <- cg.requests + n;
+      cg.fallbacks <- cg.fallbacks + fallbacks;
+      cg.busy <- cg.busy +. seconds;
+      let finished = Serve_sim.now t.sim +. seconds in
+      Serve_sim.at t.sim finished (fun () ->
+          cg.running <- false;
+          t.on_complete batch ~finished ~cg:cg.id;
+          start_next t cg)
+  end
+
+and submit t batch =
+  match least_loaded t with
+  | None ->
+    Prelude.Swatop_error.error ~site:"Serve_shard.submit"
+      ~context:[ ("cgs", string_of_int (Array.length t.cgs)) ]
+      "all core groups dead; cannot dispatch"
+  | Some cg ->
+    Queue.add batch cg.backlog;
+    cg.free_at <-
+      Float.max cg.free_at (Serve_sim.now t.sim) +. t.executor.ex_nominal (List.length batch);
+    start_next t cg
+
+let stats t =
+  Array.to_list
+    (Array.map
+       (fun cg ->
+         {
+           g_id = cg.id;
+           g_alive = cg.alive;
+           g_batches = cg.batches;
+           g_requests = cg.requests;
+           g_fallbacks = cg.fallbacks;
+           g_busy = cg.busy;
+         })
+       t.cgs)
+
+let kills t = List.rev t.killed
+let alive t = Array.fold_left (fun n cg -> if cg.alive then n + 1 else n) 0 t.cgs

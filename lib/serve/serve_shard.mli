@@ -1,0 +1,81 @@
+(** Multi-CG sharding: one worker per SW26010 core group over a shared
+    executor.
+
+    The SW26010 node has {!Sw26010.Config.num_cgs} independent core
+    groups; the serving layer models each as a worker that executes one
+    batch at a time, with its own FIFO backlog. Dispatch is least-loaded:
+    a batch goes to the live CG whose estimated free time (backlog nominal
+    seconds) is earliest, ties to the lowest CG id — deterministic given
+    the event order.
+
+    Workers are {e simulated} inside the {!Serve_sim} loop: executing a
+    batch calls the executor synchronously for its simulated service
+    seconds, then schedules the completion event at [now + seconds]. The
+    executor is an abstract record so tests can drive the scheduler with
+    synthetic service times, and the engine plugs in real compiled plans
+    ({!Serve_net}).
+
+    {b Resilience} (the PR 4 integration): each batch start probes the
+    ["serve.cg"] fault site keyed by the CG id. An injected fault — or any
+    exception escaping the executor, e.g. an exhausted
+    {!Swatop_graph.Graph_exec} fallback chain — kills the worker: the CG
+    is marked dead and its whole backlog, including the batch it was about
+    to run, {e drains} to the surviving CGs through the normal least-loaded
+    dispatch. Requests are therefore never dropped by a CG failure; they
+    complete elsewhere (or, below the fatal level, complete {e on} the CG
+    via the executor's internal fallback chains, reported through
+    [fallbacks]). Only the death of the last CG raises
+    ({!Prelude.Swatop_error.Error}). *)
+
+type executor = {
+  ex_name : string;
+  ex_floor : float;
+      (** static lower bound (seconds) on the service time of any batch *)
+  ex_nominal : int -> float;
+      (** estimated service seconds for an [n]-request batch; used only
+          for least-loaded dispatch *)
+  ex_run : cg:int -> n:int -> float * int;
+      (** execute an [n]-request batch on CG [cg]; returns (simulated
+          service seconds, fallback-chain activations). May raise — the
+          shard treats any exception as fatal to the CG. *)
+}
+
+(** Per-CG counters, readable at any time. *)
+type cg_stat = {
+  g_id : int;
+  g_alive : bool;
+  g_batches : int;  (** batches completed or in flight *)
+  g_requests : int;
+  g_fallbacks : int;  (** executor-internal fallback activations *)
+  g_busy : float;  (** simulated seconds spent executing *)
+}
+
+type kill = {
+  k_cg : int;
+  k_time : float;  (** virtual time of death *)
+  k_cause : string;  (** exception label *)
+  k_drained : int;  (** batches re-dispatched to survivors *)
+}
+
+type t
+
+val create :
+  sim:Serve_sim.t ->
+  executor:executor ->
+  cgs:int ->
+  on_complete:(Serve_batch.request list -> finished:float -> cg:int -> unit) ->
+  t
+(** Raises [Invalid_argument] when [cgs < 1]. [on_complete] fires inside
+    the event loop at each batch's completion instant. *)
+
+val submit : t -> Serve_batch.request list -> unit
+(** Dispatch a batch (FIFO per CG). Raises {!Prelude.Swatop_error.Error}
+    when no CG is alive. *)
+
+val stats : t -> cg_stat list
+(** In CG-id order. *)
+
+val kills : t -> kill list
+(** In order of death. *)
+
+val alive : t -> int

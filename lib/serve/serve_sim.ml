@@ -1,0 +1,40 @@
+(* Events keyed by (time, insertion sequence): the map's total order gives
+   both the time ordering and the same-instant FIFO guarantee. *)
+module Key = struct
+  type t = float * int
+
+  let compare (ta, sa) (tb, sb) =
+    match Float.compare ta tb with 0 -> Int.compare sa sb | c -> c
+end
+
+module Events = Map.Make (Key)
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  mutable events : (unit -> unit) Events.t;
+}
+
+let create () = { now = 0.0; seq = 0; events = Events.empty }
+let now t = t.now
+
+let at t time fn =
+  if not (Float.is_finite time) then
+    invalid_arg (Printf.sprintf "Serve_sim.at: non-finite time %g" time);
+  let time = Float.max time t.now in
+  t.events <- Events.add (time, t.seq) fn t.events;
+  t.seq <- t.seq + 1
+
+let pending t = Events.cardinal t.events
+
+let run t =
+  let rec loop () =
+    match Events.min_binding_opt t.events with
+    | None -> ()
+    | Some (((time, _) as key), fn) ->
+      t.events <- Events.remove key t.events;
+      t.now <- time;
+      fn ();
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,35 @@
+(** Discrete-event simulator core: a virtual clock and an event queue.
+
+    The serving subsystem is measured in {e simulated} time — the same
+    currency as the SW26010 interpreter's per-kernel seconds — so a run is
+    a pure computation: schedule thunks at virtual times, then {!run}
+    drains them in order while advancing {!now}. Determinism rules:
+
+    - events fire in (time, insertion order) — two events at the same
+      instant fire in the order they were scheduled, never by float
+      tie-breaking luck;
+    - the loop is sequential (one domain), so handler side effects are
+      ordered; host parallelism lives only {e below} a handler (e.g.
+      compile-time tuning), never across handlers.
+
+    Consequently a serving run is bit-identical across repetitions and
+    across [--jobs] settings, which is what makes latency regressions
+    diffable at a tight noise bound. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Virtual seconds since {!create}; [0.0] before the first event. *)
+
+val at : t -> float -> (unit -> unit) -> unit
+(** [at t time fn] schedules [fn] to fire at [time]. A [time] in the past
+    (scheduled from inside a handler) is clamped to {!now}: it fires after
+    the events already queued at {!now}. *)
+
+val pending : t -> int
+
+val run : t -> unit
+(** Drain the queue to exhaustion, advancing {!now} to each event's time.
+    Handlers may schedule further events. *)

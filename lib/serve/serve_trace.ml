@@ -1,0 +1,70 @@
+type kind = Poisson | Bursty
+
+let kind_to_string = function Poisson -> "poisson" | Bursty -> "bursty"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "poisson" -> Ok Poisson
+  | "bursty" -> Ok Bursty
+  | s -> Error (Printf.sprintf "unknown trace kind %S (expected poisson or bursty)" s)
+
+type arrival = { ar_time : float; ar_class : string }
+
+let site = "serve.trace"
+
+(* One exponential gap at [rate], using draw index [k]. 1 - u keeps the
+   argument of log strictly positive (u is in [0, 1)). *)
+let gap ~seed ~k rate =
+  let u = Prelude.Det_rng.uniform ~seed ~site ~k in
+  -.log (1.0 -. u) /. rate
+
+(* The bursty trace is a piecewise-constant-rate Poisson process. Thanks to
+   the exponential's memorylessness, re-drawing a fresh gap at each phase
+   boundary samples exactly the non-homogeneous process — no thinning
+   needed, and the draw counter stays a simple monotone [k]. *)
+let phases = [ (0.25, 3.0, "burst"); (0.75, 1.0 /. 3.0, "steady") ]
+let cycle = List.fold_left (fun acc (len, _, _) -> acc +. len) 0.0 phases
+
+let phase_at time =
+  let pos = Float.rem time cycle in
+  let rec find start = function
+    | [ (len, mult, cls) ] -> (mult, cls, start +. len -. pos)
+    | (len, mult, cls) :: rest ->
+      if pos < start +. len then (mult, cls, start +. len -. pos) else find (start +. len) rest
+    | [] -> assert false
+  in
+  find 0.0 phases
+
+let generate kind ~rate ~duration ~seed =
+  if rate <= 0.0 || not (Float.is_finite rate) then
+    invalid_arg (Printf.sprintf "Serve_trace.generate: rate must be positive, got %g" rate);
+  if duration <= 0.0 || not (Float.is_finite duration) then
+    invalid_arg (Printf.sprintf "Serve_trace.generate: duration must be positive, got %g" duration);
+  let acc = ref [] in
+  let k = ref 0 in
+  let draw rate =
+    let g = gap ~seed ~k:!k rate in
+    incr k;
+    g
+  in
+  (match kind with
+  | Poisson ->
+    let t = ref (draw rate) in
+    while !t < duration do
+      acc := { ar_time = !t; ar_class = "steady" } :: !acc;
+      t := !t +. draw rate
+    done
+  | Bursty ->
+    (* Walk time phase by phase; a gap that overruns the current phase is
+       discarded and re-drawn from the boundary at the new rate. *)
+    let t = ref 0.0 in
+    while !t < duration do
+      let mult, cls, remaining = phase_at !t in
+      let g = draw (rate *. mult) in
+      if g < remaining then begin
+        t := !t +. g;
+        if !t < duration then acc := { ar_time = !t; ar_class = cls } :: !acc
+      end
+      else t := !t +. remaining
+    done);
+  List.rev !acc

@@ -1,0 +1,31 @@
+(** Seeded synthetic traffic: open-loop arrival traces.
+
+    Open-loop means arrivals do not react to the system — the trace is a
+    pure function of (kind, rate, duration, seed) via {!Prelude.Det_rng},
+    so the {e same requests arrive at the same instants} whatever the CG
+    count, batch policy, or fault plan. That independence is what lets a
+    serving experiment vary one knob and diff the rest.
+
+    Two generators:
+    - {!Poisson}: homogeneous Poisson process at [rate] requests/s
+      (i.i.d. exponential gaps), every request in class ["steady"];
+    - {!Bursty}: an on/off modulated Poisson process with a 1-second
+      cycle — 0.25 s ON at [3 x rate] (class ["burst"]) then 0.75 s OFF
+      at [rate / 3] (class ["steady"]) — the time-averaged rate is still
+      [rate], but queues see sustained bursts instead of white noise. *)
+
+type kind = Poisson | Bursty
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> (kind, string) result
+(** Accepts ["poisson"] and ["bursty"] (case-insensitive). *)
+
+type arrival = {
+  ar_time : float;  (** seconds from the start of the run, nondecreasing *)
+  ar_class : string;
+}
+
+val generate : kind -> rate:float -> duration:float -> seed:int -> arrival list
+(** Arrivals in [[0, duration)], in time order. Raises [Invalid_argument]
+    when [rate <= 0] or [duration <= 0]. *)

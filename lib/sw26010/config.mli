@@ -13,6 +13,12 @@ val cpe_cols : int
 val cpes_per_cg : int
 (** [cpe_rows * cpe_cols = 64]. *)
 
+val num_cgs : int
+(** Core groups per SW26010 node: 4. Each CG is an independent 8x8 CPE
+    cluster with its own memory controller, so the serving layer models a
+    node as [num_cgs] schedulable shards executing compiled networks
+    concurrently. *)
+
 val freq_hz : float
 (** CPE clock frequency: 1.45 GHz. *)
 
@@ -27,6 +33,9 @@ val peak_flops_cpe : float
 val peak_flops_cg : float
 (** Aggregate peak of the CPE cluster; ~742 GFLOPS, i.e. one quarter of the
     chip's 3.06 TFLOPS headline minus the MPE contribution. *)
+
+val peak_flops_node : float
+(** Aggregate CPE peak of all {!num_cgs} core groups of one node. *)
 
 val spm_bytes : int
 (** Per-CPE scratch-pad capacity: 64 KB. *)

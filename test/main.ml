@@ -27,4 +27,5 @@ let () =
       ("faults", Test_faults.suite);
       ("graph", Test_graph.suite);
       ("guided-tuner", Test_guided_tuner.suite);
+      ("serve", Test_serve.suite);
     ]

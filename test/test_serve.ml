@@ -1,0 +1,503 @@
+(* The serving subsystem: virtual-clock determinism, bucket-FIFO batching,
+   provable-miss-only shedding, least-loaded multi-CG dispatch, fault-kill
+   drain, and the end-to-end engine invariants (request conservation,
+   seed-fixed bit-identical replay at any host job count). Synthetic
+   executors drive the scheduler tests; one compiled smoke ladder (shared,
+   lazy) backs the real-runtime tests. *)
+
+open Swatop_serve
+module Batch = Serve_batch
+module Shard = Serve_shard
+module Engine = Serve_engine
+
+let plan_of spec =
+  match Prelude.Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+let with_plan spec f =
+  Prelude.Fault.set (Some (plan_of spec));
+  Fun.protect ~finally:(fun () -> Prelude.Fault.set None) f
+
+let request ?(cls = "steady") ?(bucket = "net") ~id ~arrival ~deadline () =
+  { Batch.rq_id = id; rq_class = cls; rq_bucket = bucket; rq_arrival = arrival; rq_deadline = deadline }
+
+(* A synthetic executor: fixed seconds per batch, no internal fallbacks. *)
+let synth ?(floor = 0.5e-3) ?(per_batch = 1e-3) () =
+  {
+    Shard.ex_name = "synthetic";
+    ex_floor = floor;
+    ex_nominal = (fun _ -> per_batch);
+    ex_run = (fun ~cg:_ ~n:_ -> (per_batch, 0));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serve_sim: the event loop's ordering contract. *)
+
+let sim_suite =
+  [
+    Alcotest.test_case "events fire in time order; ties in insertion order" `Quick (fun () ->
+        let sim = Serve_sim.create () in
+        let log = ref [] in
+        let mark tag () = log := tag :: !log in
+        Serve_sim.at sim 2.0 (mark "c");
+        Serve_sim.at sim 1.0 (mark "a1");
+        Serve_sim.at sim 1.0 (mark "a2");
+        Serve_sim.at sim 1.5 (mark "b");
+        Serve_sim.run sim;
+        Alcotest.(check (list string)) "order" [ "a1"; "a2"; "b"; "c" ] (List.rev !log);
+        Alcotest.(check (float 0.0)) "clock at last event" 2.0 (Serve_sim.now sim));
+    Alcotest.test_case "past times clamp to now, after already-queued events" `Quick (fun () ->
+        let sim = Serve_sim.create () in
+        let log = ref [] in
+        Serve_sim.at sim 1.0 (fun () ->
+            Serve_sim.at sim 1.0 (fun () -> log := "same-time-later" :: !log);
+            Serve_sim.at sim 0.2 (fun () -> log := "past-clamped" :: !log);
+            log := "first" :: !log);
+        Serve_sim.run sim;
+        Alcotest.(check (list string))
+          "order" [ "first"; "same-time-later"; "past-clamped" ] (List.rev !log));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_trace: seeded, open-loop, the right shape. *)
+
+let trace_suite =
+  [
+    Alcotest.test_case "same seed replays the identical trace" `Quick (fun () ->
+        let g () = Serve_trace.generate Poisson ~rate:500.0 ~duration:2.0 ~seed:11 in
+        Alcotest.(check bool) "identical" true (g () = g ());
+        let other = Serve_trace.generate Poisson ~rate:500.0 ~duration:2.0 ~seed:12 in
+        Alcotest.(check bool) "seed matters" false (g () = other));
+    Alcotest.test_case "arrivals are ordered and inside [0, duration)" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let tr = Serve_trace.generate kind ~rate:300.0 ~duration:3.0 ~seed:5 in
+            let rec ordered = function
+              | a :: (b :: _ as rest) ->
+                a.Serve_trace.ar_time <= b.Serve_trace.ar_time && ordered rest
+              | _ -> true
+            in
+            Alcotest.(check bool) "ordered" true (ordered tr);
+            List.iter
+              (fun a ->
+                if a.Serve_trace.ar_time < 0.0 || a.Serve_trace.ar_time >= 3.0 then
+                  Alcotest.failf "arrival at %g outside [0, 3)" a.Serve_trace.ar_time)
+              tr)
+          [ Serve_trace.Poisson; Serve_trace.Bursty ]);
+    Alcotest.test_case "both traces hit the mean rate within sampling noise" `Quick (fun () ->
+        List.iter
+          (fun kind ->
+            let tr = Serve_trace.generate kind ~rate:200.0 ~duration:10.0 ~seed:7 in
+            let n = List.length tr in
+            (* 2000 expected; 4-sigma of a Poisson count is ~180. *)
+            if n < 1700 || n > 2300 then
+              Alcotest.failf "%s: %d arrivals for 2000 expected" (Serve_trace.kind_to_string kind) n)
+          [ Serve_trace.Poisson; Serve_trace.Bursty ]);
+    Alcotest.test_case "bursty tags both traffic classes" `Quick (fun () ->
+        let tr = Serve_trace.generate Bursty ~rate:200.0 ~duration:5.0 ~seed:7 in
+        let has cls = List.exists (fun a -> a.Serve_trace.ar_class = cls) tr in
+        Alcotest.(check bool) "burst class" true (has "burst");
+        Alcotest.(check bool) "steady class" true (has "steady"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_batch: FIFO buckets, size and timeout triggers. *)
+
+let batch_suite =
+  [
+    Alcotest.test_case "size trigger releases a full FIFO batch" `Quick (fun () ->
+        let b = Batch.create ~max_batch:3 ~timeout:0.005 () in
+        let add id = Batch.add b (request ~id ~arrival:(float_of_int id *. 1e-4) ~deadline:1.0 ()) in
+        (match add 0 with
+        | [], Some _ -> ()
+        | _ -> Alcotest.fail "first request should only arm a timer");
+        ignore (add 1);
+        match add 2 with
+        | [ batch ], _ ->
+          Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2 ]
+            (List.map (fun r -> r.Batch.rq_id) batch);
+          Alcotest.(check int) "bucket drained" 0 (Batch.queued b)
+        | _ -> Alcotest.fail "third request should release one full batch");
+    Alcotest.test_case "timeout flushes a partial batch, FIFO" `Quick (fun () ->
+        let b = Batch.create ~max_batch:8 ~timeout:0.005 () in
+        let timer =
+          match Batch.add b (request ~id:0 ~arrival:0.0 ~deadline:1.0 ()) with
+          | [], Some t -> t
+          | _ -> Alcotest.fail "expected a timer"
+        in
+        Alcotest.(check (float 1e-9)) "timer at arrival+timeout" 0.005 timer;
+        ignore (Batch.add b (request ~id:1 ~arrival:0.001 ~deadline:1.0 ()));
+        (match Batch.on_timer b ~now:timer ~bucket:"net" with
+        | [ batch ], None ->
+          Alcotest.(check (list int)) "both flushed, FIFO" [ 0; 1 ]
+            (List.map (fun r -> r.Batch.rq_id) batch)
+        | _ -> Alcotest.fail "timer should flush the partial batch");
+        Alcotest.(check int) "empty" 0 (Batch.queued b));
+    Alcotest.test_case "stale timer re-arms for a fresher head" `Quick (fun () ->
+        let b = Batch.create ~max_batch:2 ~timeout:0.005 () in
+        ignore (Batch.add b (request ~id:0 ~arrival:0.0 ~deadline:1.0 ()));
+        (* Size trigger empties the bucket before the 0.005 timer fires... *)
+        ignore (Batch.add b (request ~id:1 ~arrival:0.001 ~deadline:1.0 ()));
+        (* ...and a fresh request arrives just before it does. *)
+        ignore (Batch.add b (request ~id:2 ~arrival:0.004 ~deadline:1.0 ()));
+        match Batch.on_timer b ~now:0.005 ~bucket:"net" with
+        | [], Some t ->
+          Alcotest.(check (float 1e-9)) "re-armed for the new head" 0.009 t;
+          Alcotest.(check int) "still queued" 1 (Batch.queued b)
+        | _ -> Alcotest.fail "stale timer must not flush a fresh request early");
+    Alcotest.test_case "buckets are independent" `Quick (fun () ->
+        let b = Batch.create ~max_batch:2 ~timeout:0.005 () in
+        ignore (Batch.add b (request ~bucket:"a" ~id:0 ~arrival:0.0 ~deadline:1.0 ()));
+        ignore (Batch.add b (request ~bucket:"b" ~id:1 ~arrival:0.0 ~deadline:1.0 ()));
+        match Batch.add b (request ~bucket:"a" ~id:2 ~arrival:0.001 ~deadline:1.0 ()) with
+        | [ batch ], _ ->
+          Alcotest.(check (list int)) "only bucket a flushes" [ 0; 2 ]
+            (List.map (fun r -> r.Batch.rq_id) batch);
+          Alcotest.(check int) "bucket b untouched" 1 (Batch.queued b)
+        | _ -> Alcotest.fail "bucket a should flush on its size trigger");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_admit: shedding fires only on a provable miss. *)
+
+let admit_suite =
+  [
+    Alcotest.test_case "viable exactly until now + floor > deadline" `Quick (fun () ->
+        let a = Serve_admit.create ~queue_depth:8 ~slo:0.010 ~floor:0.002 () in
+        let deadline = 0.010 in
+        Alcotest.(check bool) "early" true (Serve_admit.viable a ~now:0.0 ~deadline);
+        Alcotest.(check bool) "boundary (= deadline) still viable" true
+          (Serve_admit.viable a ~now:0.008 ~deadline);
+        Alcotest.(check bool) "past boundary" false (Serve_admit.viable a ~now:0.0081 ~deadline);
+        Alcotest.(check int) "exactly the provable miss was recorded" 1
+          (Serve_admit.shed_hopeless a));
+    Alcotest.test_case "queue-full sheds at the bound, not before" `Quick (fun () ->
+        let a = Serve_admit.create ~queue_depth:2 ~slo:0.010 ~floor:0.0 () in
+        (match Serve_admit.admit a ~now:0.0 ~queued:1 with
+        | Ok d -> Alcotest.(check (float 1e-9)) "deadline = now + slo" 0.010 d
+        | Error _ -> Alcotest.fail "below the bound must admit");
+        (match Serve_admit.admit a ~now:0.0 ~queued:2 with
+        | Error Serve_admit.Queue_full -> ()
+        | _ -> Alcotest.fail "at the bound must shed");
+        Alcotest.(check int) "recorded" 1 (Serve_admit.shed_queue_full a));
+    Alcotest.test_case "floor above the SLO is hopeless on arrival" `Quick (fun () ->
+        let a = Serve_admit.create ~queue_depth:8 ~slo:0.001 ~floor:0.002 () in
+        (match Serve_admit.admit a ~now:0.0 ~queued:0 with
+        | Error Serve_admit.Hopeless -> ()
+        | _ -> Alcotest.fail "no execution can meet this SLO");
+        Alcotest.(check int) "recorded" 1 (Serve_admit.shed_hopeless a));
+    Alcotest.test_case "per-class latency accounting is exact" `Quick (fun () ->
+        let a = Serve_admit.create ~queue_depth:8 ~slo:0.010 ~floor:0.0 () in
+        List.iter
+          (fun (cls, l) -> Serve_admit.complete a ~cls ~latency:l)
+          [ ("x", 0.001); ("y", 0.002); ("x", 0.003); ("x", 0.020) ];
+        Alcotest.(check int) "completed" 4 (Serve_admit.completed a);
+        Alcotest.(check int) "one violation" 1 (Serve_admit.slo_violations a);
+        match Serve_admit.classes a with
+        | [ ("x", sx); ("y", sy) ] ->
+          Alcotest.(check int) "x count" 3 (Prelude.Running_stat.count sx);
+          Alcotest.(check int) "y count" 1 (Prelude.Running_stat.count sy)
+        | cs -> Alcotest.failf "unexpected classes: %d" (List.length cs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_shard: dispatch, completion order, fault-kill drain. *)
+
+let shard_suite =
+  [
+    Alcotest.test_case "one CG completes batches in submission order (FIFO)" `Quick (fun () ->
+        let sim = Serve_sim.create () in
+        let order = ref [] in
+        let shard =
+          Shard.create ~sim ~executor:(synth ()) ~cgs:1
+            ~on_complete:(fun reqs ~finished:_ ~cg:_ ->
+              order := List.map (fun r -> r.Batch.rq_id) reqs @ !order)
+        in
+        List.iter
+          (fun id -> Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ])
+          [ 0; 1; 2; 3 ];
+        Serve_sim.run sim;
+        Alcotest.(check (list int)) "completion order" [ 0; 1; 2; 3 ] (List.rev !order));
+    Alcotest.test_case "least-loaded dispatch spreads batches over CGs" `Quick (fun () ->
+        let sim = Serve_sim.create () in
+        let shard =
+          Shard.create ~sim ~executor:(synth ()) ~cgs:4 ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+        in
+        for id = 0 to 7 do
+          Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ]
+        done;
+        Serve_sim.run sim;
+        List.iter
+          (fun (s : Shard.cg_stat) ->
+            Alcotest.(check int) (Printf.sprintf "cg%d batches" s.g_id) 2 s.g_batches)
+          (Shard.stats shard));
+    Alcotest.test_case "a killed CG drains its backlog; nothing is lost" `Quick (fun () ->
+        with_plan "seed=3;serve.cg:key=1" (fun () ->
+            let sim = Serve_sim.create () in
+            let completed = ref 0 in
+            let shard =
+              Shard.create ~sim ~executor:(synth ()) ~cgs:2
+                ~on_complete:(fun reqs ~finished:_ ~cg ->
+                  Alcotest.(check int) "survivor executes everything" 0 cg;
+                  completed := !completed + List.length reqs)
+            in
+            for id = 0 to 9 do
+              Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ]
+            done;
+            Serve_sim.run sim;
+            Alcotest.(check int) "all requests completed" 10 !completed;
+            Alcotest.(check int) "one survivor" 1 (Shard.alive shard);
+            match Shard.kills shard with
+            | [ k ] ->
+              Alcotest.(check int) "cg1 died" 1 k.Shard.k_cg;
+              Alcotest.(check bool) "its backlog drained" true (k.Shard.k_drained >= 1)
+            | ks -> Alcotest.failf "expected one kill, got %d" (List.length ks)));
+    Alcotest.test_case "killing every CG is a structured error" `Quick (fun () ->
+        with_plan "seed=3;serve.cg:always" (fun () ->
+            let sim = Serve_sim.create () in
+            let shard =
+              Shard.create ~sim ~executor:(synth ()) ~cgs:2
+                ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+            in
+            match Shard.submit shard [ request ~id:0 ~arrival:0.0 ~deadline:1.0 () ] with
+            | () -> Alcotest.fail "dispatch with no live CG should raise"
+            | exception Prelude.Swatop_error.Error e ->
+              Alcotest.(check string) "site" "Serve_shard.submit" e.site));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine invariants with a synthetic executor. *)
+
+let engine_cfg =
+  {
+    Engine.default with
+    cf_rate = 400.0;
+    cf_duration = 1.0;
+    cf_seed = 13;
+    cf_max_batch = 4;
+    cf_timeout = 0.004;
+  }
+
+let engine_suite =
+  [
+    Alcotest.test_case "generous SLO: every arrival completes, none shed" `Quick (fun () ->
+        let r = Engine.run ~executor:(synth ()) engine_cfg in
+        Alcotest.(check int) "shed" 0 r.Engine.sr_shed;
+        Alcotest.(check int) "dropped" 0 r.Engine.sr_dropped;
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed;
+        Alcotest.(check bool) "real batching happened" true
+          (List.exists (fun (n, _) -> n >= 2) r.Engine.sr_batch_hist);
+        Alcotest.(check bool) "p99 covers batching wait + service" true
+          (r.Engine.sr_latency_p99 <= engine_cfg.Engine.cf_timeout +. 2e-3 +. 1e-6));
+    Alcotest.test_case "SLO below the batching wait: sheds, but only provable misses" `Quick
+      (fun () ->
+        (* floor 0.5 ms < slo 1 ms, so arrivals are admitted; the 4 ms flush
+           timeout then puts most dispatches provably past their deadline. *)
+        let r = Engine.run ~executor:(synth ()) { engine_cfg with cf_slo = 0.001 } in
+        Alcotest.(check bool) "hopeless sheds happened" true (r.Engine.sr_shed_hopeless > 0);
+        Alcotest.(check int) "never at admission (floor < slo, queue bounded)" 0
+          r.Engine.sr_shed_queue_full;
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals
+          (r.Engine.sr_completed + r.Engine.sr_shed);
+        Alcotest.(check int) "dropped" 0 r.Engine.sr_dropped);
+    Alcotest.test_case "tiny queue under slow service: queue-full sheds, none lost" `Quick
+      (fun () ->
+        (* Depth below max_batch: the size trigger can never relieve the
+           queue, so arrivals between timeout flushes hit the bound. *)
+        let slow = synth ~per_batch:0.050 () in
+        let r =
+          Engine.run ~executor:slow
+            { engine_cfg with cf_queue_depth = 2; cf_slo = 60.0 (* no deadline pressure *) }
+        in
+        Alcotest.(check bool) "queue-full sheds happened" true (r.Engine.sr_shed_queue_full > 0);
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals
+          (r.Engine.sr_completed + r.Engine.sr_shed);
+        Alcotest.(check int) "dropped" 0 r.Engine.sr_dropped);
+    Alcotest.test_case "the arrival trace does not depend on the CG count" `Quick (fun () ->
+        let at cgs = Engine.run ~executor:(synth ()) { engine_cfg with cf_cgs = cgs } in
+        let r1 = at 1 and r4 = at 4 in
+        Alcotest.(check int) "same arrivals" r1.Engine.sr_arrivals r4.Engine.sr_arrivals;
+        Alcotest.(check int) "1 CG completes them all" r1.Engine.sr_arrivals
+          r1.Engine.sr_completed;
+        Alcotest.(check int) "4 CGs complete them all" r4.Engine.sr_arrivals
+          r4.Engine.sr_completed);
+    Alcotest.test_case "CG kill mid-run: zero dropped, >= 3/4 fault-free throughput" `Quick
+      (fun () ->
+        let fault_free = Engine.run ~executor:(synth ()) engine_cfg in
+        let faulted =
+          with_plan "seed=13;serve.cg:key=1" (fun () ->
+              Engine.run ~executor:(synth ()) engine_cfg)
+        in
+        Alcotest.(check int) "zero dropped" 0 faulted.Engine.sr_dropped;
+        Alcotest.(check int) "zero shed" 0 faulted.Engine.sr_shed;
+        Alcotest.(check int) "all requests completed despite the kill"
+          faulted.Engine.sr_arrivals faulted.Engine.sr_completed;
+        (match faulted.Engine.sr_kills with
+        | [ k ] -> Alcotest.(check int) "cg1 died" 1 k.Serve_shard.k_cg
+        | ks -> Alcotest.failf "expected one kill, got %d" (List.length ks));
+        Alcotest.(check bool) "drained batches recorded" true (faulted.Engine.sr_drained >= 1);
+        Alcotest.(check bool) "throughput ratio" true
+          (faulted.Engine.sr_throughput >= 0.75 *. fault_free.Engine.sr_throughput));
+    Alcotest.test_case "same seed, same config: byte-identical JSON report" `Quick (fun () ->
+        let j () = Engine.to_json (Engine.run ~executor:(synth ()) engine_cfg) in
+        Alcotest.(check string) "replay" (j ()) (j ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The real runtime behind the executor interface: one shared compiled
+   ladder (batch sizes 1, 2) of the smoke network. *)
+
+let gemm_model = lazy (Swatop.Gemm_cost.fit ())
+
+let smoke_net =
+  lazy
+    (Serve_net.compile
+       ~gemm_model:(Lazy.force gemm_model)
+       ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+       ~max_batch:2 "smoke")
+
+let real_cfg =
+  {
+    Engine.default with
+    cf_rate = 300.0;
+    cf_duration = 0.5;
+    cf_seed = 7;
+    cf_max_batch = 2;
+    cf_timeout = 0.004;
+  }
+
+let real_suite =
+  [
+    Alcotest.test_case "plan-size ladder and round-up" `Quick (fun () ->
+        Alcotest.(check (list int)) "geometric" [ 1; 2; 4; 8 ] (Serve_net.plan_sizes ~max_batch:8);
+        Alcotest.(check (list int)) "off-ladder max included" [ 1; 2; 4; 6 ]
+          (Serve_net.plan_sizes ~max_batch:6);
+        let sizes = [ 1; 2; 4; 8 ] in
+        Alcotest.(check int) "exact" 4 (Serve_net.round_up ~sizes 4);
+        Alcotest.(check int) "round up" 4 (Serve_net.round_up ~sizes 3);
+        Alcotest.(check int) "clamp" 8 (Serve_net.round_up ~sizes 99));
+    Alcotest.test_case "floor is a lower bound on every plan's execution" `Quick (fun () ->
+        let net = Lazy.force smoke_net in
+        let ex = Serve_net.executor net in
+        Alcotest.(check bool) "floor positive" true (ex.Shard.ex_floor > 0.0);
+        List.iter
+          (fun (b, plan) ->
+            let report = Swatop_graph.Graph_exec.run plan in
+            if report.r_seconds +. 1e-12 < ex.Shard.ex_floor then
+              Alcotest.failf "batch-%d plan ran below the floor" b)
+          net.Serve_net.nt_plans);
+    Alcotest.test_case "serving the compiled smoke net: no sheds, real batches" `Quick (fun () ->
+        let ex = Serve_net.executor (Lazy.force smoke_net) in
+        let r = Engine.run ~executor:ex real_cfg in
+        Alcotest.(check int) "shed" 0 r.Engine.sr_shed;
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed;
+        Alcotest.(check bool) "batched" true
+          (List.exists (fun (n, _) -> n >= 2) r.Engine.sr_batch_hist));
+    Alcotest.test_case "a layer fault degrades to fallback chains, not drops" `Quick (fun () ->
+        let ex = Serve_net.executor (Lazy.force smoke_net) in
+        let r =
+          with_plan "seed=7;graph.layer:n=1" (fun () -> Engine.run ~executor:ex real_cfg)
+        in
+        let fallbacks =
+          List.fold_left (fun acc c -> acc + c.Engine.cr_fallbacks) 0 r.Engine.sr_cgs
+        in
+        Alcotest.(check int) "one fallback incident" 1 fallbacks;
+        Alcotest.(check (list int)) "no CG died" []
+          (List.map (fun k -> k.Serve_shard.k_cg) r.Engine.sr_kills);
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed);
+    Alcotest.test_case "replay is bit-identical across host job counts" `Quick (fun () ->
+        let report jobs =
+          Prelude.Parallel.set_jobs (Some jobs);
+          Fun.protect
+            ~finally:(fun () -> Prelude.Parallel.set_jobs None)
+            (fun () ->
+              let net =
+                Serve_net.compile ~jobs
+                  ~gemm_model:(Lazy.force gemm_model)
+                  ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+                  ~max_batch:2 "smoke"
+              in
+              Engine.to_json (Engine.run ~executor:(Serve_net.executor net) real_cfg))
+        in
+        Alcotest.(check string) "jobs 1 = jobs 4" (report 1) (report 4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The re-entrancy satellites: concurrent compile/exec and the shared
+   warm cache. *)
+
+let concurrency_suite =
+  [
+    Alcotest.test_case "concurrent Graph_exec runs of one plan match sequential" `Quick (fun () ->
+        let net = Lazy.force smoke_net in
+        let plan = List.assoc 1 net.Serve_net.nt_plans in
+        let sequential = (Swatop_graph.Graph_exec.run plan).r_seconds in
+        let domains =
+          List.init 2 (fun _ ->
+              Domain.spawn (fun () -> (Swatop_graph.Graph_exec.run plan).r_seconds))
+        in
+        List.iter
+          (fun d -> Alcotest.(check (float 0.0)) "same seconds" sequential (Domain.join d))
+          domains);
+    Alcotest.test_case "a warm shared cache serves the whole ladder without re-tuning" `Quick
+      (fun () ->
+        let cache = Swatop.Schedule_cache.create () in
+        let compile () =
+          ignore
+            (Serve_net.compile ~cache
+               ~gemm_model:(Lazy.force gemm_model)
+               ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+               ~max_batch:2 "smoke")
+        in
+        compile ();
+        let misses_cold = Swatop.Schedule_cache.misses cache in
+        let hits_cold = Swatop.Schedule_cache.hits cache in
+        compile ();
+        Alcotest.(check int) "no new misses on the warm pass" misses_cold
+          (Swatop.Schedule_cache.misses cache);
+        Alcotest.(check bool) "warm pass hit the cache" true
+          (Swatop.Schedule_cache.hits cache > hits_cold));
+    Alcotest.test_case "atomic rename: concurrent readers never see a partial file" `Quick
+      (fun () ->
+        let path = Filename.temp_file "swatop_serve_cache" ".tmp" in
+        Sys.remove path;
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ path; path ^ ".corrupt" ])
+          (fun () ->
+            let cache = Swatop.Schedule_cache.create () in
+            for i = 0 to 63 do
+              Swatop.Schedule_cache.remember cache
+                ~key:(Printf.sprintf "op%d:1x1#exhaustive" i)
+                { Swatop.Schedule_cache.fingerprint = i; space_size = 4; index = 1; seconds = 1.0 }
+            done;
+            Swatop.Schedule_cache.save path cache;
+            let writer =
+              Domain.spawn (fun () ->
+                  for i = 0 to 199 do
+                    Swatop.Schedule_cache.remember cache
+                      ~key:(Printf.sprintf "op%d:1x1#exhaustive" (64 + i))
+                      {
+                        Swatop.Schedule_cache.fingerprint = i;
+                        space_size = 4;
+                        index = 1;
+                        seconds = 1.0;
+                      };
+                    Swatop.Schedule_cache.save path cache
+                  done)
+            in
+            for _ = 0 to 199 do
+              let seen = Swatop.Schedule_cache.load path in
+              let n = Swatop.Schedule_cache.size seen in
+              if n < 64 then Alcotest.failf "reader saw a partial cache (%d entries)" n
+            done;
+            Domain.join writer;
+            Alcotest.(check bool) "no quarantine file" false (Sys.file_exists (path ^ ".corrupt"))));
+  ]
+
+let suite =
+  sim_suite @ trace_suite @ batch_suite @ admit_suite @ shard_suite @ engine_suite @ real_suite
+  @ concurrency_suite
