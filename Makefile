@@ -1,6 +1,6 @@
 # Convenience targets for CI and local development.
 
-.PHONY: all build test lint fuzz check check-faults net-smoke serve-smoke bench-quick bench-json clean
+.PHONY: all build test lint fuzz check check-faults net-smoke serve-smoke chaos-smoke bench-quick bench-json clean
 
 all: build
 
@@ -44,6 +44,14 @@ serve-smoke:
 	dune exec bin/swatop_cli.exe -- serve smoke --rate 200 --duration 2 \
 	  --cgs 4 --slo-ms 50 --seed 7 --max-batch 4 --smoke-check
 
+# Self-healing gate: a small fixed-seed chaos soak (CG kills, probe-driven
+# recoveries, transient faults, hangs) over the smoke network. --check makes
+# the CLI exit non-zero unless every scenario conserved requests, dropped
+# nothing, kept recovered throughput >= 95% of fault-free and bounded p99.
+chaos-smoke:
+	dune exec bin/swatop_cli.exe -- chaos smoke --plans 6 --rate 150 \
+	  --duration 0.3 --seed 7 --max-batch 4 --check
+
 # Resilience gate: the same pipelines under a fixed seeded fault plan.
 # The GEMM tune must survive randomly crashing candidates (crash isolation)
 # and the smoke net must stay numerically correct while its executor
@@ -56,10 +64,10 @@ check-faults:
 
 # The tier-1 gate: everything compiles, every test passes, the example
 # schedule spaces lint clean (dataflow + race), the race fuzzer finds no
-# static/dynamic disagreement, and the network and serving runtimes
-# smoke-run.
+# static/dynamic disagreement, and the network, serving and self-healing
+# runtimes smoke-run.
 check:
-	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) fuzz && $(MAKE) net-smoke && $(MAKE) serve-smoke
+	dune build @all && dune runtest && $(MAKE) lint && $(MAKE) fuzz && $(MAKE) net-smoke && $(MAKE) serve-smoke && $(MAKE) chaos-smoke
 
 bench-quick:
 	dune exec bench/main.exe -- --quick

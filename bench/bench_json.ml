@@ -1,5 +1,5 @@
 (* Machine-readable benchmark harness: BENCH_tuner.json + BENCH_network.json
-   + BENCH_serving.json.
+   + BENCH_serving.json + BENCH_chaos.json.
 
    Unlike the human-facing experiment harness (main.ml), this one exists to
    be diffed and gated on: it writes two small JSON files at the repo root
@@ -320,6 +320,55 @@ let validate_serving j =
       check_stat what sc "serve_wall_seconds")
     scenarios
 
+let require_bool what j k =
+  match member k j with
+  | Some (Bool b) -> b
+  | _ -> failwith (Printf.sprintf "%s: missing or non-boolean field %S" what k)
+
+(* The chaos file embeds its own acceptance bounds: every scenario must
+   conserve requests outright, and the soak-level recovery/tail aggregates
+   must hold the same thresholds Serve_chaos.check enforces in-process. *)
+let validate_chaos j =
+  let what = "BENCH_chaos" in
+  if require_str what j "schema" <> "swatop-bench-chaos" then
+    failwith "BENCH_chaos: wrong schema tag";
+  ignore (require_num what j "schema_version");
+  let scenarios = require_list what j "scenarios" in
+  if scenarios = [] then failwith "BENCH_chaos: empty scenario list";
+  List.iter
+    (fun sc ->
+      let name = require_str "scenario" sc "name" in
+      let what = "scenario " ^ name in
+      ignore (require_str what sc "kind");
+      ignore (require_str what sc "plan");
+      List.iter
+        (fun k -> ignore (require_num what sc k))
+        [
+          "arrivals"; "completed"; "shed"; "dropped"; "kills"; "recoveries"; "retried";
+          "fallbacks"; "requeues"; "probes"; "throughput_rps"; "p99_ms"; "throughput_ratio";
+          "p99_ratio";
+        ];
+      if not (require_bool what sc "conserved") then
+        failwith (Printf.sprintf "%s: marked not conserved" what);
+      if require_num what sc "dropped" <> 0.0 then
+        failwith (Printf.sprintf "%s: dropped requests (conservation violated)" what);
+      let arrivals = require_num what sc "arrivals" in
+      let accounted = require_num what sc "completed" +. require_num what sc "shed" in
+      if arrivals <> accounted then
+        failwith
+          (Printf.sprintf "%s: %.0f arrivals but %.0f completed+shed" what arrivals accounted))
+    scenarios;
+  if not (require_bool what j "all_conserved") then
+    failwith "BENCH_chaos: soak not fully conserved";
+  let min_rec = require_num what j "min_recovered_throughput_ratio" in
+  if min_rec < 0.95 then
+    failwith
+      (Printf.sprintf "BENCH_chaos: recovered throughput ratio %.3f below the 0.95 bound" min_rec);
+  let max_p99 = require_num what j "max_p99_ratio" in
+  if max_p99 > 10.0 then
+    failwith (Printf.sprintf "BENCH_chaos: p99 inflation %.2fx above the 10x bound" max_p99);
+  check_stat what j "chaos_wall_seconds"
+
 (* ------------------------------------------------------------------ *)
 (* Generation. *)
 
@@ -622,6 +671,86 @@ let bench_serving ~seed ~warmup ~samples =
       ("scenarios", List entries);
     ]
 
+let bench_chaos ~seed ~warmup ~samples =
+  let module S = Swatop_serve in
+  let plans = effort_pick ~quick:20 ~standard:20 ~full:30 in
+  let duration = effort_pick ~quick:0.3 ~standard:1.0 ~full:2.0 in
+  let max_batch = effort_pick ~quick:4 ~standard:8 ~full:8 in
+  Printf.printf "chaos: compiling smoke, then soaking %d seeded fault plans\n%!" plans;
+  let net =
+    S.Serve_net.compile
+      ~gemm_model:(Lazy.force gemm_model)
+      ~graph:(fun ~batch -> Swatop_graph.Graph_ir.smoke ~batch)
+      ~max_batch "smoke"
+  in
+  let cf =
+    {
+      S.Serve_engine.default with
+      cf_rate = 150.0;
+      cf_duration = duration;
+      cf_max_batch = max_batch;
+      cf_seed = seed;
+    }
+  in
+  let wall, r =
+    sampled ~warmup ~samples
+      ~digest:(fun (r : S.Serve_chaos.report) -> r.ch_baseline_throughput)
+      (fun () -> S.Serve_chaos.run ~plans ~seed ~executor:(S.Serve_net.executor net) cf)
+  in
+  Printf.printf
+    "  %d scenarios: %d kills, %d recoveries, %d retried | conserved %b | min recovered tp \
+     %.3fx | max p99 %.2fx\n%!"
+    (List.length r.ch_scenarios) r.ch_total_kills r.ch_total_recoveries r.ch_total_retried
+    r.ch_all_conserved r.ch_min_recovered_throughput_ratio r.ch_max_p99_ratio;
+  let entries =
+    List.map
+      (fun (sc : S.Serve_chaos.scenario) ->
+        Obj
+          [
+            ("name", Str (Printf.sprintf "%02d-%s" sc.sc_index sc.sc_kind));
+            ("kind", Str sc.sc_kind);
+            ("plan", Str sc.sc_plan);
+            ("arrivals", Num (float_of_int sc.sc_arrivals));
+            ("completed", Num (float_of_int sc.sc_completed));
+            ("shed", Num (float_of_int sc.sc_shed));
+            ("dropped", Num (float_of_int sc.sc_dropped));
+            ("kills", Num (float_of_int sc.sc_kills));
+            ("recoveries", Num (float_of_int sc.sc_recoveries));
+            ("retried", Num (float_of_int sc.sc_retried));
+            ("fallbacks", Num (float_of_int sc.sc_fallbacks));
+            ("requeues", Num (float_of_int sc.sc_requeues));
+            ("probes", Num (float_of_int sc.sc_probes));
+            ("throughput_rps", Num sc.sc_throughput);
+            ("p99_ms", Num (sc.sc_p99 *. 1e3));
+            ("conserved", Bool sc.sc_conserved);
+            ("throughput_ratio", Num sc.sc_throughput_ratio);
+            ("p99_ratio", Num sc.sc_p99_ratio);
+          ])
+      r.ch_scenarios
+  in
+  Obj
+    [
+      ("schema", Str "swatop-bench-chaos");
+      ("schema_version", Num 1.0);
+      ("network", Str r.ch_name);
+      ("plans", Num (float_of_int r.ch_plans));
+      ("seed", Num (float_of_int r.ch_seed));
+      ("rate", Num cf.S.Serve_engine.cf_rate);
+      ("duration_seconds", Num cf.S.Serve_engine.cf_duration);
+      ("baseline_throughput_rps", Num r.ch_baseline_throughput);
+      ("baseline_p99_ms", Num (r.ch_baseline_p99 *. 1e3));
+      ("scenarios", List entries);
+      ("all_conserved", Bool r.ch_all_conserved);
+      ("total_kills", Num (float_of_int r.ch_total_kills));
+      ("total_recoveries", Num (float_of_int r.ch_total_recoveries));
+      ("total_retried", Num (float_of_int r.ch_total_retried));
+      ("total_requeues", Num (float_of_int r.ch_total_requeues));
+      ("max_p99_ratio", Num r.ch_max_p99_ratio);
+      ("min_recovered_throughput_ratio", Num r.ch_min_recovered_throughput_ratio);
+      ("tune_wall_seconds", Num net.S.Serve_net.nt_tune_wall);
+      ("chaos_wall_seconds", stat_json wall);
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let read_file path =
@@ -743,6 +872,25 @@ let diff_files ~fresh_dir ~base_dir =
           (num f "shed"))
       matched
   | exception e -> fail "BENCH_serving.json: %s" (Printexc.to_string e));
+  (match pair "BENCH_chaos.json" "scenarios" "scenario" with
+  | matched ->
+    List.iter
+      (fun (n, b, f) ->
+        let num side k = require_num ("chaos scenario " ^ n) side k in
+        (* The fault schedule and the trace are both pure functions of the
+           seed: a changed injected-event count means the scenario itself
+           changed, which no noise bound should absorb. *)
+        List.iter
+          (fun field ->
+            if num b field <> num f field then
+              fail "chaos %s: %s changed %.0f -> %.0f" n field (num b field) (num f field))
+          [ "arrivals"; "dropped"; "kills"; "recoveries" ];
+        floor_check ~name:n ~entry:"chaos" ~field:"throughput_rps" (num b "throughput_rps")
+          (num f "throughput_rps");
+        ceil_check ~name:n ~entry:"chaos" ~field:"p99_ms" ~slack:0.0 (num b "p99_ms")
+          (num f "p99_ms"))
+      matched
+  | exception e -> fail "BENCH_chaos.json: %s" (Printexc.to_string e));
   Printf.printf "host wall times: machine-dependent, not diffed\n";
   match List.rev !failures with
   | [] -> Printf.printf "diff: fresh results within %.0f%% of %s baselines\n" (100.0 *. diff_tolerance) base_dir
@@ -770,6 +918,7 @@ let check_files dir =
         quality_bound);
   run "BENCH_network.json" validate_network;
   run "BENCH_serving.json" validate_serving;
+  run "BENCH_chaos.json" validate_chaos;
   if not !ok then exit 1
 
 let () =
@@ -792,8 +941,8 @@ let () =
             "usage: bench_json.exe [--quick|--full] [--samples=N] [--warmup=N] [--seed=S] \
              [--jobs=N] [--out=DIR] [--check] [--diff=BASEDIR]";
           print_endline
-            "writes BENCH_tuner.json, BENCH_network.json and BENCH_serving.json to DIR (default \
-             .); exits non-zero \
+            "writes BENCH_tuner.json, BENCH_network.json, BENCH_serving.json and \
+             BENCH_chaos.json to DIR (default .); exits non-zero \
              if guided quality < 0.99 of brute force. --check validates existing files instead; \
              --diff compares the files in DIR against the baselines in BASEDIR (simulated \
              quantities only, noise-bounded) without regenerating anything.";
@@ -823,17 +972,20 @@ let () =
     let tuner = bench_tuner ~seed ~warmup ~samples in
     let network = bench_network ~seed ~warmup ~samples in
     let serving = bench_serving ~seed:7 ~warmup ~samples in
+    let chaos = bench_chaos ~seed:7 ~warmup ~samples in
     (* Self-check before writing: the generator must never publish a file
        its own --check would reject. *)
     let worst = validate_tuner tuner in
     validate_network network;
     validate_serving serving;
+    validate_chaos chaos;
     write_file (Filename.concat !out_dir "BENCH_tuner.json") (to_string tuner ^ "\n");
     write_file (Filename.concat !out_dir "BENCH_network.json") (to_string network ^ "\n");
     write_file (Filename.concat !out_dir "BENCH_serving.json") (to_string serving ^ "\n");
+    write_file (Filename.concat !out_dir "BENCH_chaos.json") (to_string chaos ^ "\n");
     Printf.printf
-      "sink %.9g\nwrote BENCH_tuner.json, BENCH_network.json and BENCH_serving.json (worst guided \
-       quality %.4f)\n"
+      "sink %.9g\nwrote BENCH_tuner.json, BENCH_network.json, BENCH_serving.json and \
+       BENCH_chaos.json (worst guided quality %.4f)\n"
       !sink worst;
     if worst < quality_bound then begin
       Printf.eprintf "FAIL: guided quality %.4f below the %.2f bound\n" worst quality_bound;

@@ -16,6 +16,7 @@ let experiments =
     ("ablation", "Schedule-dimension ablations", Exp_ablation.run);
     ("network", "Whole-network compile + end-to-end execution", Exp_network.run);
     ("serving", "Inference serving: batching + admission + multi-CG", Exp_serving.run);
+    ("chaos", "Chaos soak: fault plans vs the self-healing serving stack", Exp_chaos.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -619,6 +619,8 @@ let serve_run net_name rate duration cgs slo_ms seed max_batch timeout_ms queue_
           cf_max_batch = max_batch;
           cf_timeout = timeout_ms /. 1e3;
           cf_queue_depth = queue_depth;
+          cf_health = Serve_health.default;
+          cf_latency_cap = Serve_engine.default.Serve_engine.cf_latency_cap;
         }
       in
       let report =
@@ -721,6 +723,125 @@ let serve_cmd =
       $ cache_arg $ search_arg $ budget_arg $ faults_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos *)
+
+let chaos_run net_name plans rate duration cgs slo_ms seed max_batch timeout_ms queue_depth
+    trace json check jobs cache_path search_mode budget =
+  with_tuning_env jobs cache_path (fun cache ->
+      let open Swatop_serve in
+      let net =
+        Serve_net.compile ?cache ?jobs
+          ~search:(make_search search_mode budget seed)
+          ~gemm_model:(Lazy.force gemm_model)
+          ~graph:(fun ~batch -> find_graph net_name batch)
+          ~max_batch net_name
+      in
+      let config =
+        {
+          Serve_engine.cf_trace = trace;
+          cf_rate = rate;
+          cf_duration = duration;
+          cf_cgs = cgs;
+          cf_slo = slo_ms /. 1e3;
+          cf_seed = seed;
+          cf_max_batch = max_batch;
+          cf_timeout = timeout_ms /. 1e3;
+          cf_queue_depth = queue_depth;
+          cf_health = Serve_health.default;
+          cf_latency_cap = Serve_engine.default.Serve_engine.cf_latency_cap;
+        }
+      in
+      let report = Serve_chaos.run ~plans ~seed ~executor:(Serve_net.executor net) config in
+      print_endline (if json then Serve_chaos.to_json report else Serve_chaos.to_text report);
+      if check then
+        match Serve_chaos.check report with
+        | [] -> ()
+        | failures ->
+          List.iter (fun f -> Printf.eprintf "chaos check failed: %s\n" f) failures;
+          exit 1)
+
+let chaos_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NETWORK" ~doc:"vgg16, resnet18, yolov2 or smoke")
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "plans" ] ~doc:"seeded fault scenarios to soak (kinds cycle every 6)")
+  in
+  let rate_arg =
+    Arg.(value & opt float 200.0 & info [ "rate" ] ~doc:"mean arrival rate, requests/s")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"arrival window, seconds (simulated)")
+  in
+  let cgs_arg =
+    Arg.(
+      value
+      & opt int Sw26010.Config.num_cgs
+      & info [ "cgs" ] ~doc:"core groups serving (the SW26010 node has 4)")
+  in
+  let slo_arg =
+    Arg.(value & opt float 50.0 & info [ "slo-ms" ] ~doc:"per-request latency objective, ms")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ]
+          ~doc:
+            "root of the traffic and of every generated fault plan; the same seed replays the \
+             same soak bit-identically")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"dynamic batching: maximum batch size")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "batch-timeout-ms" ]
+          ~doc:"dynamic batching: flush an incomplete batch after this long, ms")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-depth" ] ~doc:"admission: bounded batching-queue depth")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("poisson", Swatop_serve.Serve_trace.Poisson);
+               ("bursty", Swatop_serve.Serve_trace.Bursty);
+             ])
+          Swatop_serve.Serve_trace.Poisson
+      & info [ "trace" ] ~doc:"traffic shape: $(b,poisson) or $(b,bursty) (on/off modulated)")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable report") in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "exit 1 unless every scenario conserved requests, dropped nothing, kept recovered \
+             throughput >= 95% of fault-free and p99 inflation bounded")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "chaos-soak a served network: run N seeded fault plans (CG kills, probe-driven \
+          recoveries, transient DMA/layer faults, hangs) against the full \
+          trace/batch/admit/shard/exec stack and score each against the fault-free baseline")
+    Term.(
+      const chaos_run $ name_arg $ plans_arg $ rate_arg $ duration_arg $ cgs_arg $ slo_arg
+      $ seed_arg $ max_batch_arg $ timeout_arg $ depth_arg $ trace_arg $ json_arg $ check_arg
+      $ jobs_arg $ cache_arg $ search_arg $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fit *)
 
 let fit () =
@@ -747,7 +868,7 @@ let () =
     Cmd.group ~default info
       [
         tune_cmd; codegen_cmd; space_cmd; trace_cmd; analyze_cmd; lint_cmd; offline_cmd;
-        net_cmd; serve_cmd; fit_cmd;
+        net_cmd; serve_cmd; chaos_cmd; fit_cmd;
       ]
   in
   (* Operational failures exit 2 with a one-line structured diagnostic —

@@ -39,6 +39,37 @@ let matches t ~key ~fingerprint ~space ~top_k =
    A malformed file loads as [None] — losing a checkpoint only costs
    re-scoring, never a wrong winner. *)
 
+(* Temp files from writers that died between open and rename ("<path>.<pid>.tmp"
+   for some other PID) accumulate forever otherwise; the next successful save
+   owns the checkpoint and sweeps them. Racing a live concurrent writer is
+   benign: its rename just fails as a Sys_error, which save already degrades
+   to a warning. *)
+let sweep_stale_tmp path =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  let mine = Printf.sprintf "%s.%d.tmp" base (Unix.getpid ()) in
+  let is_stale name =
+    String.length name > String.length base + 5
+    && String.sub name 0 (String.length base + 1) = base ^ "."
+    && Filename.check_suffix name ".tmp"
+    && (not (String.equal name mine))
+    &&
+    let middle =
+      String.sub name
+        (String.length base + 1)
+        (String.length name - String.length base - 5)
+    in
+    middle <> "" && String.for_all (fun c -> c >= '0' && c <= '9') middle
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if is_stale name then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+
 let save path t =
   let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   let write () =
@@ -57,7 +88,8 @@ let save path t =
             List.iter (fun (l, n) -> Printf.fprintf oc "fail %s %d\n" l n) c.c_failed;
             Printf.fprintf oc "endchunk\n")
           (List.sort (fun a b -> compare a.c_start b.c_start) t.ck_chunks));
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    sweep_stale_tmp path
   in
   (* A checkpoint is pure insurance: failing to write one must not abort the
      tune it protects. *)

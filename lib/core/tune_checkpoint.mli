@@ -44,7 +44,9 @@ val matches : t -> key:string -> fingerprint:int -> space:int -> top_k:int -> bo
 
 val save : string -> t -> unit
 (** Atomic (PID-tagged temp + rename); a failed write warns and returns —
-    checkpointing must never abort the tune it protects. *)
+    checkpointing must never abort the tune it protects. A successful
+    save also sweeps stale ["<path>.<pid>.tmp"] leftovers from writers
+    that died mid-save (its own fresh temp excepted). *)
 
 val load : string -> t option
 (** [None] for missing, foreign-versioned, or malformed files. *)

@@ -15,6 +15,7 @@ type incident = {
   i_causes : string list;  (** one label per failed attempt, in attempt order *)
   i_retries : int;  (** attempts that failed before one succeeded *)
   i_final : string;  (** strategy that completed the step *)
+  i_recovery : string;  (** "retried" (same strategy) | "fell_back" (different strategy) *)
 }
 
 type report = {
@@ -51,9 +52,36 @@ let max_diff a b =
 let shape_of (s : Graph_ir.shape4) =
   Swtensor.Shape.of_list [ s.Graph_ir.sb; s.Graph_ir.sc; s.Graph_ir.sh; s.Graph_ir.sw ]
 
-let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
+let run ?(numeric = false) ?(seed = 42) ?retry (plan : Graph_compile.plan) =
   let g = plan.Graph_compile.p_graph in
   let arena = Graph_plan.plan plan in
+  (* Fast-path retry (the serving layer passes a {!Prelude.Retry} policy):
+     a transient fault re-runs the {e same} strategy — with deterministic
+     capped-exponential backoff charged into the step's seconds — before
+     the step's degradation chain is consulted at all. The budget bounds
+     total retries across the whole run. Attempts never mutate the live
+     activation, so re-running one is safe by construction. *)
+  let retry_budget =
+    match retry with Some p -> ref p.Prelude.Retry.r_budget | None -> ref 0
+  in
+  let with_retry ~site ~key ~absorbed ~backoff f =
+    match retry with
+    | None -> f ()
+    | Some p ->
+      let rec go attempt =
+        match f () with
+        | v -> v
+        | exception e ->
+          if attempt < p.Prelude.Retry.r_attempts && !retry_budget > 0 then begin
+            decr retry_budget;
+            backoff := !backoff +. Prelude.Retry.delay p ~site ~key ~attempt;
+            absorbed := Prelude.Swatop_error.label e :: !absorbed;
+            go (attempt + 1)
+          end
+          else raise e
+      in
+      go 1
+  in
   let input_t = Swtensor.Tensor.random ~seed (shape_of (Graph_ir.input_shape g)) in
   (* [cur] is the live activation in the producer's physical layout; [ref_t]
      is its logical (b,c,h,w) value computed by the host-side oracles. *)
@@ -123,9 +151,22 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
             in
             ("host-copy", "host fallback", state, cs.Graph_compile.cs_seconds, 0.0, 0.0)
           in
+          let absorbed = ref [] and backoff = ref 0.0 in
           let kind, desc, state, secs, dma, compute =
-            match device () with
-            | result -> result
+            match with_retry ~site:"graph.copy" ~key:0 ~absorbed ~backoff device with
+            | (ok_kind, _, _, _, _, _) as result ->
+              if !absorbed <> [] then
+                incidents :=
+                  {
+                    i_site = "graph.copy";
+                    i_step = name;
+                    i_causes = List.rev !absorbed;
+                    i_retries = List.length !absorbed;
+                    i_final = ok_kind;
+                    i_recovery = "retried";
+                  }
+                  :: !incidents;
+              result
             | exception e ->
               let cause = Prelude.Swatop_error.label e in
               let result = host () in
@@ -133,9 +174,10 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
                 {
                   i_site = "graph.copy";
                   i_step = name;
-                  i_causes = [ cause ];
-                  i_retries = 1;
+                  i_causes = List.rev (cause :: !absorbed);
+                  i_retries = 1 + List.length !absorbed;
                   i_final = "host-copy";
+                  i_recovery = "fell_back";
                 }
                 :: !incidents;
               result
@@ -149,7 +191,7 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
             lr_name = name;
             lr_kind = kind;
             lr_desc = desc;
-            lr_seconds = secs;
+            lr_seconds = secs +. !backoff;
             lr_flops = 0.0;
             lr_dma_seconds = dma;
             lr_compute_seconds = compute;
@@ -203,6 +245,7 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
             (im, state, r)
           in
           let causes = ref [] in
+          let absorbed = ref [] and backoff = ref 0.0 in
           let rec walk = function
             | [] ->
               Prelude.Swatop_error.error ~site:"graph.layer"
@@ -213,7 +256,10 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
                   ]
                 "every implementation failed"
             | im :: rest -> (
-              match attempt im with
+              match
+                with_retry ~site:"graph.layer" ~key:st_node.Graph_ir.id ~absorbed ~backoff
+                  (fun () -> attempt im)
+              with
               | result -> result
               | exception e ->
                 causes := Prelude.Swatop_error.label e :: !causes;
@@ -234,13 +280,25 @@ let run ?(numeric = false) ?(seed = 42) (plan : Graph_compile.plan) =
                 i_causes = List.rev !causes;
                 i_retries = retries;
                 i_final = im.Graph_compile.im_algo;
+                i_recovery = "fell_back";
+              }
+              :: !incidents
+          else if !absorbed <> [] then
+            incidents :=
+              {
+                i_site = "graph.layer";
+                i_step = st_node.Graph_ir.node_name;
+                i_causes = List.rev !absorbed;
+                i_retries = List.length !absorbed;
+                i_final = im.Graph_compile.im_algo;
+                i_recovery = "retried";
               }
               :: !incidents;
           {
             lr_name = st_node.Graph_ir.node_name;
             lr_kind = im.Graph_compile.im_algo;
             lr_desc = im.Graph_compile.im_desc;
-            lr_seconds = r.Swatop.Interp.seconds;
+            lr_seconds = r.Swatop.Interp.seconds +. !backoff;
             lr_flops = Graph_ir.node_flops st_node;
             lr_dma_seconds = r.Swatop.Interp.dma_busy_seconds;
             lr_compute_seconds = r.Swatop.Interp.compute_busy_seconds;
@@ -318,9 +376,9 @@ let to_text r =
     List.iter
       (fun i ->
         Buffer.add_string b
-          (Printf.sprintf "    %s %s: %d retr%s (%s) -> %s\n" i.i_site i.i_step i.i_retries
+          (Printf.sprintf "    %s %s: %d retr%s (%s) -> %s [%s]\n" i.i_site i.i_step i.i_retries
              (if i.i_retries = 1 then "y" else "ies")
-             (String.concat ", " i.i_causes) i.i_final))
+             (String.concat ", " i.i_causes) i.i_final i.i_recovery))
       r.r_incidents
   end;
   Buffer.add_string b (Printf.sprintf "  tuning wall: %.2f s\n" r.r_tune_wall);
@@ -383,11 +441,11 @@ let to_json r =
       Buffer.add_string b
         (Printf.sprintf
            "    {\"site\": \"%s\", \"step\": \"%s\", \"causes\": [%s], \"retries\": %d, \
-            \"final\": \"%s\"}%s\n"
+            \"final\": \"%s\", \"recovery\": \"%s\"}%s\n"
            (json_escape i.i_site) (json_escape i.i_step)
            (String.concat ", "
               (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c)) i.i_causes))
-           i.i_retries (json_escape i.i_final)
+           i.i_retries (json_escape i.i_final) (json_escape i.i_recovery)
            (if idx < ni - 1 then "," else "")))
     r.r_incidents;
   Buffer.add_string b "  ],\n";

@@ -11,14 +11,19 @@
     Resilience: when a step's attempt raises — an injected fault (sites
     ["graph.layer"], ["graph.copy"], and the interpreter's DMA sites), an
     interpreter bounds check, or a non-finite reference deviation — the
-    executor retries down the step's degradation chain: a layer walks
+    executor first, when a [?retry] policy is supplied, re-runs the
+    {e same} strategy with deterministic capped-exponential backoff
+    (charged into the step's seconds; bounded per attempt and by a
+    per-run budget). Only when retry is exhausted — or absent, the
+    default — does it degrade down the step's chain: a layer walks
     {!Graph_compile.step.Layer}'s [st_fallbacks] (terminating at explicit
     GEMM), a copy falls back to the host-side oracle. State commits only
     after a fully successful attempt, fallback inputs/outputs are bridged
     host-side to the chosen layouts so neighboring steps are untouched,
-    and every activation of a chain is recorded as an {!incident} in the
-    report (and its text/JSON renderings). Only a fully exhausted chain
-    raises ({!Prelude.Swatop_error.Error}). *)
+    and every retry absorption or chain activation is recorded as an
+    {!incident} in the report (and its text/JSON renderings) with
+    [i_recovery] distinguishing ["retried"] from ["fell_back"]. Only a
+    fully exhausted chain raises ({!Prelude.Swatop_error.Error}). *)
 
 type layer_report = {
   lr_name : string;
@@ -31,14 +36,17 @@ type layer_report = {
   lr_max_err : float option;  (** vs the layer-by-layer reference; numeric mode only *)
 }
 
-(** One activated degradation chain: which step degraded, what each failed
-    attempt died of, and which strategy finally completed it. *)
+(** One recovered step: which step faulted, what each failed attempt died
+    of, and how it came back — ["retried"] means the {e same} strategy
+    succeeded after fast-path retry, ["fell_back"] means a different
+    strategy from the degradation chain completed it. *)
 type incident = {
   i_site : string;  (** ["graph.layer"] or ["graph.copy"] *)
   i_step : string;  (** layer name or copy descriptor *)
   i_causes : string list;  (** exception label per failed attempt, in order *)
   i_retries : int;
   i_final : string;  (** algorithm name, or ["host-copy"] for copies *)
+  i_recovery : string;  (** ["retried"] or ["fell_back"] *)
 }
 
 type report = {
@@ -60,8 +68,10 @@ type report = {
   r_incidents : incident list;  (** fallback activations, in execution order *)
 }
 
-val run : ?numeric:bool -> ?seed:int -> Graph_compile.plan -> report
-(** Execute the plan ([numeric] defaults to [false]: cost-only). *)
+val run : ?numeric:bool -> ?seed:int -> ?retry:Prelude.Retry.policy -> Graph_compile.plan -> report
+(** Execute the plan ([numeric] defaults to [false]: cost-only; [retry]
+    defaults to no fast-path retry, preserving pure fallback-chain
+    behavior). *)
 
 val to_text : report -> string
 val to_json : report -> string

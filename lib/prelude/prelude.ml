@@ -145,3 +145,4 @@ module Det_rng = Det_rng
 module Fault = Fault
 module Swatop_error = Swatop_error
 module Running_stat = Running_stat
+module Retry = Retry

@@ -87,3 +87,6 @@ module Swatop_error = Swatop_error
 (** Re-export of the quantile-keeping Welford accumulator (see
     [running_stat.mli]). *)
 module Running_stat = Running_stat
+
+(** Re-export of the deterministic retry/backoff policy (see [retry.mli]). *)
+module Retry = Retry

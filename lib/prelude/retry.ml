@@ -1,0 +1,36 @@
+type policy = {
+  r_attempts : int;
+  r_base : float;
+  r_cap : float;
+  r_jitter : float;
+  r_seed : int;
+  r_budget : int;
+}
+
+let default =
+  { r_attempts = 3; r_base = 1e-4; r_cap = 2e-3; r_jitter = 0.5; r_seed = 7; r_budget = 16 }
+
+let validate p =
+  if p.r_attempts < 1 then
+    invalid_arg (Printf.sprintf "Retry: attempts must be >= 1, got %d" p.r_attempts);
+  if p.r_base < 0.0 || not (Float.is_finite p.r_base) then
+    invalid_arg (Printf.sprintf "Retry: base must be >= 0, got %g" p.r_base);
+  if p.r_cap < p.r_base then
+    invalid_arg (Printf.sprintf "Retry: cap %g below base %g" p.r_cap p.r_base);
+  if p.r_jitter < 0.0 || p.r_jitter > 1.0 then
+    invalid_arg (Printf.sprintf "Retry: jitter must be in [0, 1], got %g" p.r_jitter);
+  if p.r_budget < 0 then
+    invalid_arg (Printf.sprintf "Retry: budget must be >= 0, got %d" p.r_budget)
+
+(* Exponential growth capped per delay; the jitter draw is keyed on
+   (site, key, attempt) so two sites retrying at the same moment never
+   share a backoff and thundering herds de-synchronize — yet the whole
+   schedule is replayable from the seed. *)
+let delay p ~site ~key ~attempt =
+  if attempt < 1 then invalid_arg (Printf.sprintf "Retry.delay: attempt must be >= 1, got %d" attempt);
+  let raw = p.r_base *. Float.pow 2.0 (float_of_int (attempt - 1)) in
+  let capped = Float.min p.r_cap raw in
+  let u = Det_rng.uniform ~seed:p.r_seed ~site ~k:(Det_rng.mix key attempt) in
+  capped *. (1.0 +. (p.r_jitter *. (u -. 0.5)))
+
+let budget p = ref p.r_budget

@@ -1,0 +1,41 @@
+(** Deterministic retry policy: capped exponential backoff with seeded
+    jitter.
+
+    A transient fault — an injected DMA glitch, a flaky kernel launch —
+    is usually cheaper to retry in place than to abandon for a slower
+    fallback implementation. This module only computes {e how long} to
+    back off; the retry loops themselves live at the call sites
+    ({!Swatop_graph.Graph_exec} retries a failing implementation before
+    walking its degradation chain, {!Serve_shard} re-dispatches failed
+    batches), because what "retry" means differs per site.
+
+    Every delay is a pure function of (policy, site, key, attempt) via
+    {!Det_rng} — no stream state — so a retried run replays bit-identically
+    at any host job count, and backoff seconds are virtual-clock currency
+    that the serving simulator can charge honestly. *)
+
+type policy = {
+  r_attempts : int;  (** max attempts per call site, including the first, >= 1 *)
+  r_base : float;  (** backoff before the 2nd attempt, seconds *)
+  r_cap : float;  (** upper bound on any single backoff, seconds *)
+  r_jitter : float;  (** relative jitter amplitude in [0, 1]: delay scales by [1 +- jitter/2] *)
+  r_seed : int;  (** jitter randomness root *)
+  r_budget : int;  (** total retries allowed per scope (e.g. one graph execution), >= 0 *)
+}
+
+val default : policy
+(** 3 attempts, 0.1 ms base doubling to a 2 ms cap, 50% jitter, seed 7,
+    16 retries per scope. The base is commensurate with one smoke-network
+    inference so retried requests feel the delay in their latency. *)
+
+val validate : policy -> unit
+(** Raises [Invalid_argument] when a field is out of range. *)
+
+val delay : policy -> site:string -> key:int -> attempt:int -> float
+(** Backoff (seconds) to charge before attempt [attempt + 1], given that
+    attempt [attempt >= 1] just failed: [min cap (base * 2^(attempt-1))]
+    scaled by the jitter draw for (site, key, attempt). Deterministic. *)
+
+val budget : policy -> int ref
+(** A fresh per-scope retry allowance: [r_budget] retries, to be
+    decremented by the call site's loop. *)

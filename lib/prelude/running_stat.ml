@@ -4,29 +4,57 @@
    bench harness reports stddev over a handful of wall-time samples
    without catastrophic cancellation). Samples are additionally retained
    in a growable array so the serving layer can report p50/p99 latency
-   per request class; a serving run observes thousands of latencies, so
-   whole-population retention is cheap and the percentiles are exact
-   rather than sketched. *)
+   per request class.
+
+   Retention is whole-population by default — a serving run observes
+   thousands of latencies, so the percentiles are exact rather than
+   sketched. For long soaks that would grow memory without bound, a
+   [~cap] turns retention into reservoir sampling (Vitter's Algorithm R,
+   seeded through {!Det_rng} so the kept subset is a pure function of
+   (seed, arrival index) and replays identically): mean/stddev/min/max
+   stay exact, percentiles become a uniform-sample estimate once the
+   population exceeds the cap. *)
 
 type t = {
+  cap : int;  (* retention bound; max_int = retain everything *)
+  seed : int;
   mutable n : int;
   mutable mean : float;
   mutable m2 : float;
   mutable min : float;
   mutable max : float;
-  mutable samples : float array;  (* first [n] slots are live *)
+  mutable samples : float array;  (* first [retained] slots are live *)
 }
 
-let create () =
-  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; samples = [||] }
+let site = "running_stat.reservoir"
+
+let create ?(cap = max_int) ?(seed = 7) () =
+  if cap < 1 then invalid_arg (Printf.sprintf "Running_stat.create: cap must be >= 1, got %d" cap);
+  { cap; seed; n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity; samples = [||] }
+
+let retained t = Stdlib.min t.n t.cap
 
 let add t x =
-  if t.n = Array.length t.samples then begin
-    let grown = Array.make (Stdlib.max 16 (2 * t.n)) 0.0 in
-    Array.blit t.samples 0 grown 0 t.n;
-    t.samples <- grown
+  let kept = retained t in
+  if kept < t.cap then begin
+    (* Still filling: grow geometrically, but never past the cap. *)
+    if kept = Array.length t.samples then begin
+      let grown =
+        Array.make (Stdlib.min t.cap (Stdlib.max 16 (2 * kept))) 0.0
+      in
+      Array.blit t.samples 0 grown 0 kept;
+      t.samples <- grown
+    end;
+    t.samples.(kept) <- x
+  end
+  else begin
+    (* Algorithm R: the (n+1)-th observation replaces a random retained
+       slot with probability cap/(n+1); the kept set is a uniform sample
+       of everything seen. The draw is keyed on the arrival index, so the
+       reservoir's contents are deterministic. *)
+    let j = Det_rng.int ~seed:t.seed ~site ~k:t.n (t.n + 1) in
+    if j < t.cap then t.samples.(j) <- x
   end;
-  t.samples.(t.n) <- x;
   t.n <- t.n + 1;
   let d = x -. t.mean in
   t.mean <- t.mean +. (d /. float_of_int t.n);
@@ -47,8 +75,9 @@ let percentile t p =
   else if p <= 0.0 then min t
   else if p >= 100.0 then max t
   else begin
-    let sorted = Array.sub t.samples 0 t.n in
+    let live = retained t in
+    let sorted = Array.sub t.samples 0 live in
     Array.sort compare sorted;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
-    sorted.(Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)))
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int live)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (live - 1) (rank - 1)))
   end

@@ -1,20 +1,33 @@
-(** Online mean/variance (Welford) with retained samples for exact
-    quantiles.
+(** Online mean/variance (Welford) with retained samples for quantiles.
 
     The mean/stddev accumulators are numerically stable at any sample
-    count; every observation is also retained, so {!percentile} is exact
-    (nearest-rank over the sorted population) rather than a sketch. One
-    accumulator is meant for one metric series — per request class, per
-    phase — with counts up to the low millions; retention is O(n) floats.
+    count. By default every observation is also retained, so {!percentile}
+    is exact (nearest-rank over the sorted population) rather than a
+    sketch; one accumulator is meant for one metric series — per request
+    class, per phase — with counts up to the low millions.
+
+    With [~cap], retention is bounded: once the population exceeds the
+    cap, the kept set becomes a seeded uniform reservoir (Vitter's
+    Algorithm R through {!Det_rng} — deterministic, replayable) and
+    {!percentile} is a uniform-sample estimate. {!mean}, {!stddev},
+    {!min}, {!max} and {!count} remain exact over the full population
+    either way. Long-running serving soaks use a cap so their memory does
+    not grow linearly with completed requests.
 
     Not domain-safe: confine an accumulator to one domain (the serving
     simulator's event loop is sequential by construction). *)
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> ?seed:int -> unit -> t
+(** [cap] bounds sample retention (default: unbounded); [seed] roots the
+    reservoir's replacement draws (default 7, only meaningful with a
+    cap). Raises [Invalid_argument] when [cap < 1]. *)
+
 val add : t -> float -> unit
 val count : t -> int
+(** Observations seen, not retained: unaffected by the cap. *)
+
 val mean : t -> float
 
 val stddev : t -> float
@@ -24,7 +37,11 @@ val min : t -> float
 val max : t -> float
 (** [0.0] when empty (matching {!mean}). *)
 
+val retained : t -> int
+(** Samples currently held: [min count cap]. *)
+
 val percentile : t -> float -> float
-(** [percentile t p] for [p] in [0..100], nearest-rank convention:
-    the smallest retained value whose rank is [>= ceil (p/100 * n)].
-    [0.0] when empty. *)
+(** [percentile t p] for [p] in [0..100], nearest-rank convention over
+    the retained samples: the smallest retained value whose rank is
+    [>= ceil (p/100 * retained)]. Exact below the cap, a seeded
+    uniform-sample estimate above it. [0.0] when empty. *)

@@ -6,6 +6,8 @@ type t = {
   queue_depth : int;
   slo : float;
   floor : float;
+  cap : int option;  (* latency-sample retention bound, per accumulator *)
+  seed : int;
   mutable completed : int;
   mutable shed_queue_full : int;
   mutable shed_hopeless : int;
@@ -14,7 +16,9 @@ type t = {
   by_class : (string, Prelude.Running_stat.t) Hashtbl.t;
 }
 
-let create ~queue_depth ~slo ~floor () =
+let make_stat ?cap ~seed () = Prelude.Running_stat.create ?cap ~seed ()
+
+let create ?cap ?(seed = 7) ~queue_depth ~slo ~floor () =
   if queue_depth < 1 then
     invalid_arg (Printf.sprintf "Serve_admit.create: queue_depth must be >= 1, got %d" queue_depth);
   if slo <= 0.0 || not (Float.is_finite slo) then
@@ -25,11 +29,13 @@ let create ~queue_depth ~slo ~floor () =
     queue_depth;
     slo;
     floor;
+    cap;
+    seed;
     completed = 0;
     shed_queue_full = 0;
     shed_hopeless = 0;
     slo_violations = 0;
-    latency = Prelude.Running_stat.create ();
+    latency = make_stat ?cap ~seed ();
     by_class = Hashtbl.create 4;
   }
 
@@ -70,7 +76,7 @@ let complete t ~cls ~latency =
     match Hashtbl.find_opt t.by_class cls with
     | Some s -> s
     | None ->
-      let s = Prelude.Running_stat.create () in
+      let s = make_stat ?cap:t.cap ~seed:t.seed () in
       Hashtbl.replace t.by_class cls s;
       s
   in

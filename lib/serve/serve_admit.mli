@@ -18,8 +18,11 @@
 
     The accountant side tallies sheds by reason, completions, SLO
     violations, and per-class + overall latency through
-    {!Prelude.Running_stat} (exact p50/p99, not sketches). Every request
-    ends in exactly one bucket — completed or shed — so
+    {!Prelude.Running_stat}. By default every latency is retained and the
+    percentiles are exact; with [?cap] each accumulator becomes a seeded
+    bounded reservoir (deterministic, replayable) so a long soak's memory
+    stays constant — mean/min/max/counts remain exact either way. Every
+    request ends in exactly one bucket — completed or shed — so
     [arrivals = completed + shed] is an invariant the engine checks;
     "dropped" is not an outcome this module can express. *)
 
@@ -29,9 +32,12 @@ val shed_reason_to_string : shed_reason -> string
 
 type t
 
-val create : queue_depth:int -> slo:float -> floor:float -> unit -> t
-(** [slo] and [floor] in seconds. Raises [Invalid_argument] when
-    [queue_depth < 1], [slo <= 0] or [floor < 0]. *)
+val create : ?cap:int -> ?seed:int -> queue_depth:int -> slo:float -> floor:float -> unit -> t
+(** [slo] and [floor] in seconds. [cap] bounds latency-sample retention
+    per accumulator (default: retain everything, exact percentiles);
+    [seed] (default 7) roots the reservoir's replacement draws. Raises
+    [Invalid_argument] when [queue_depth < 1], [slo <= 0], [floor < 0]
+    or [cap < 1]. *)
 
 val floor : t -> float
 

@@ -1,0 +1,238 @@
+let site = "chaos.plan"
+
+(* Scenario kinds cycle so even a small soak covers every fault family;
+   the parameters inside each plan are seeded draws. Triggers stick to
+   [n=] / [every=] — exact hit counts — so a plan's schedule is a pure
+   function of (seed, index) regardless of how hits interleave.
+   [every] periods stay >= 5: a transient's retry attempt is the next
+   hit at the same site, which must not fault again or the transient
+   stops being transient. *)
+let plan_for ~seed i =
+  let pick tag n = Prelude.Det_rng.int ~seed ~site ~k:(Prelude.Det_rng.mix i tag) n in
+  let kill_batch = 1 + pick 1 4 in
+  let recover_probe = 1 + pick 2 3 in
+  let dma_hit = 1 + pick 3 40 in
+  let layer_period = 5 + pick 4 20 in
+  let hang_batch = 1 + pick 5 4 in
+  match i mod 6 with
+  | 0 -> ("kill", Printf.sprintf "seed=%d;serve.cg:n=%d" seed kill_batch)
+  | 1 ->
+    ( "kill-recover",
+      Printf.sprintf "seed=%d;serve.cg:n=%d;serve.cg.recover:n=%d" seed kill_batch recover_probe
+    )
+  | 2 -> ("dma-transient", Printf.sprintf "seed=%d;interp.dma.issue:n=%d" seed dma_hit)
+  | 3 -> ("layer-transient", Printf.sprintf "seed=%d;graph.layer:every=%d" seed layer_period)
+  | 4 -> ("hang", Printf.sprintf "seed=%d;serve.cg.hang:n=%d" seed hang_batch)
+  | _ ->
+    ( "mixed",
+      Printf.sprintf "seed=%d;serve.cg:n=%d;serve.cg.recover:n=%d;graph.layer:every=%d" seed
+        kill_batch recover_probe layer_period )
+
+type scenario = {
+  sc_index : int;
+  sc_kind : string;
+  sc_plan : string;
+  sc_arrivals : int;
+  sc_completed : int;
+  sc_shed : int;
+  sc_dropped : int;
+  sc_kills : int;
+  sc_recoveries : int;
+  sc_retried : int;
+  sc_fallbacks : int;
+  sc_requeues : int;
+  sc_probes : int;
+  sc_throughput : float;
+  sc_p99 : float;
+  sc_conserved : bool;
+  sc_throughput_ratio : float;
+  sc_p99_ratio : float;
+}
+
+type report = {
+  ch_name : string;
+  ch_plans : int;
+  ch_seed : int;
+  ch_baseline_throughput : float;
+  ch_baseline_p99 : float;
+  ch_scenarios : scenario list;
+  ch_all_conserved : bool;
+  ch_total_kills : int;
+  ch_total_recoveries : int;
+  ch_total_retried : int;
+  ch_total_requeues : int;
+  ch_max_p99_ratio : float;
+  ch_min_recovered_throughput_ratio : float;
+}
+
+let ratio ~base x = if base > 0.0 then x /. base else 1.0
+
+let run ?(plans = 20) ?seed ~executor (cf : Serve_engine.config) =
+  if plans < 1 then
+    invalid_arg (Printf.sprintf "Serve_chaos.run: plans must be >= 1, got %d" plans);
+  let seed = Option.value seed ~default:cf.Serve_engine.cf_seed in
+  let saved = Prelude.Fault.plan () in
+  Fun.protect
+    ~finally:(fun () -> Prelude.Fault.set saved)
+    (fun () ->
+      Prelude.Fault.set None;
+      let baseline = Serve_engine.run ~executor cf in
+      let base_tp = baseline.Serve_engine.sr_throughput in
+      let base_p99 = baseline.Serve_engine.sr_latency_p99 in
+      let scenarios =
+        List.init plans (fun i ->
+            let kind, spec = plan_for ~seed i in
+            let plan =
+              match Prelude.Fault.parse spec with
+              | Ok p -> p
+              | Error e ->
+                invalid_arg (Printf.sprintf "Serve_chaos: generated bad plan %S: %s" spec e)
+            in
+            Prelude.Fault.set (Some plan);
+            (* Every scenario replays the baseline trace (same seed): the
+               throughput/p99 ratios then measure the fault's effect alone,
+               not Poisson sampling noise across different traces. *)
+            let r = Serve_engine.run ~executor cf in
+            Prelude.Fault.set None;
+            let fallbacks =
+              List.fold_left
+                (fun acc (c : Serve_engine.cg_report) -> acc + c.cr_fallbacks)
+                0 r.Serve_engine.sr_cgs
+            in
+            {
+              sc_index = i;
+              sc_kind = kind;
+              sc_plan = spec;
+              sc_arrivals = r.sr_arrivals;
+              sc_completed = r.sr_completed;
+              sc_shed = r.sr_shed;
+              sc_dropped = r.sr_dropped;
+              sc_kills = List.length r.sr_kills;
+              sc_recoveries = List.length r.sr_recoveries;
+              sc_retried = r.sr_retried;
+              sc_fallbacks = fallbacks;
+              sc_requeues = r.sr_requeues;
+              sc_probes = r.sr_probes;
+              sc_throughput = r.sr_throughput;
+              sc_p99 = r.sr_latency_p99;
+              sc_conserved =
+                r.sr_dropped = 0 && r.sr_arrivals = r.sr_completed + r.sr_shed;
+              sc_throughput_ratio = ratio ~base:base_tp r.sr_throughput;
+              sc_p99_ratio = ratio ~base:base_p99 r.sr_latency_p99;
+            })
+      in
+      let recovered = List.filter (fun s -> s.sc_recoveries > 0) scenarios in
+      {
+        ch_name = executor.Serve_shard.ex_name;
+        ch_plans = plans;
+        ch_seed = seed;
+        ch_baseline_throughput = base_tp;
+        ch_baseline_p99 = base_p99;
+        ch_scenarios = scenarios;
+        ch_all_conserved = List.for_all (fun s -> s.sc_conserved) scenarios;
+        ch_total_kills = List.fold_left (fun a s -> a + s.sc_kills) 0 scenarios;
+        ch_total_recoveries = List.fold_left (fun a s -> a + s.sc_recoveries) 0 scenarios;
+        ch_total_retried = List.fold_left (fun a s -> a + s.sc_retried) 0 scenarios;
+        ch_total_requeues = List.fold_left (fun a s -> a + s.sc_requeues) 0 scenarios;
+        ch_max_p99_ratio =
+          List.fold_left (fun a s -> Float.max a s.sc_p99_ratio) 0.0 scenarios;
+        ch_min_recovered_throughput_ratio =
+          (match recovered with
+          | [] -> 1.0
+          | _ ->
+            List.fold_left (fun a s -> Float.min a s.sc_throughput_ratio) infinity recovered);
+      })
+
+let check ?(min_recovered_ratio = 0.95) ?(max_p99_ratio = 10.0) r =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  List.iter
+    (fun s ->
+      if not s.sc_conserved then
+        fail "scenario %d (%s): conservation violated: %d arrived, %d completed, %d shed"
+          s.sc_index s.sc_kind s.sc_arrivals s.sc_completed s.sc_shed;
+      if s.sc_dropped <> 0 then
+        fail "scenario %d (%s): %d requests dropped" s.sc_index s.sc_kind s.sc_dropped;
+      if s.sc_recoveries > 0 && s.sc_throughput_ratio < min_recovered_ratio then
+        fail "scenario %d (%s): recovered throughput %.3f < %.3f of baseline" s.sc_index
+          s.sc_kind s.sc_throughput_ratio min_recovered_ratio;
+      if s.sc_p99_ratio > max_p99_ratio then
+        fail "scenario %d (%s): p99 inflated %.2fx > %.2fx bound" s.sc_index s.sc_kind
+          s.sc_p99_ratio max_p99_ratio)
+    r.ch_scenarios;
+  List.rev !failures
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. *)
+
+let to_text r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "chaos soak %s: %d plans, seed %d\n" r.ch_name r.ch_plans r.ch_seed;
+  add "  baseline: %.1f req/s | p99 %.3f ms\n" r.ch_baseline_throughput
+    (r.ch_baseline_p99 *. 1e3);
+  List.iter
+    (fun s ->
+      add
+        "  #%02d %-15s %-45s | %4d/%4d/%3d a/c/s | %dk %dr %dre %df %drq | tp %.2fx p99 %.2fx%s\n"
+        s.sc_index s.sc_kind s.sc_plan s.sc_arrivals s.sc_completed s.sc_shed s.sc_kills
+        s.sc_recoveries s.sc_retried s.sc_fallbacks s.sc_requeues s.sc_throughput_ratio
+        s.sc_p99_ratio
+        (if s.sc_conserved then "" else " | NOT CONSERVED"))
+    r.ch_scenarios;
+  add "  totals: %d kills, %d recoveries, %d retried, %d requeued\n" r.ch_total_kills
+    r.ch_total_recoveries r.ch_total_retried r.ch_total_requeues;
+  add "  conserved: %s | max p99 inflation %.2fx | min recovered throughput %.3fx\n"
+    (if r.ch_all_conserved then "all" else "VIOLATED")
+    r.ch_max_p99_ratio r.ch_min_recovered_throughput_ratio;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Deterministic: no wall-clock fields, so a soak's JSON replays
+   byte-identically at any job count. *)
+let to_json r =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"network\": \"%s\",\n" (json_escape r.ch_name);
+  add "  \"plans\": %d,\n" r.ch_plans;
+  add "  \"seed\": %d,\n" r.ch_seed;
+  add "  \"baseline_throughput_rps\": %.9g,\n" r.ch_baseline_throughput;
+  add "  \"baseline_p99_ms\": %.9g,\n" (r.ch_baseline_p99 *. 1e3);
+  add "  \"scenarios\": [\n";
+  let n = List.length r.ch_scenarios in
+  List.iteri
+    (fun idx s ->
+      add
+        "    {\"index\": %d, \"kind\": \"%s\", \"plan\": \"%s\", \"arrivals\": %d, \
+         \"completed\": %d, \"shed\": %d, \"dropped\": %d, \"kills\": %d, \"recoveries\": %d, \
+         \"retried\": %d, \"fallbacks\": %d, \"requeues\": %d, \"probes\": %d, \
+         \"throughput_rps\": %.9g, \"p99_ms\": %.9g, \"conserved\": %b, \
+         \"throughput_ratio\": %.9g, \"p99_ratio\": %.9g}%s\n"
+        s.sc_index (json_escape s.sc_kind) (json_escape s.sc_plan) s.sc_arrivals s.sc_completed
+        s.sc_shed s.sc_dropped s.sc_kills s.sc_recoveries s.sc_retried s.sc_fallbacks
+        s.sc_requeues s.sc_probes s.sc_throughput (s.sc_p99 *. 1e3) s.sc_conserved
+        s.sc_throughput_ratio s.sc_p99_ratio
+        (if idx < n - 1 then "," else ""))
+    r.ch_scenarios;
+  add "  ],\n";
+  add "  \"all_conserved\": %b,\n" r.ch_all_conserved;
+  add "  \"total_kills\": %d,\n" r.ch_total_kills;
+  add "  \"total_recoveries\": %d,\n" r.ch_total_recoveries;
+  add "  \"total_retried\": %d,\n" r.ch_total_retried;
+  add "  \"total_requeues\": %d,\n" r.ch_total_requeues;
+  add "  \"max_p99_ratio\": %.9g,\n" r.ch_max_p99_ratio;
+  add "  \"min_recovered_throughput_ratio\": %.9g\n" r.ch_min_recovered_throughput_ratio;
+  add "}";
+  Buffer.contents b

@@ -1,0 +1,85 @@
+(** Chaos-soak harness: N seeded fault plans against the full serving
+    stack, with conservation and recovery assertions.
+
+    Each scenario generates a deterministic fault plan — kind cycles
+    through kill / kill-then-recover / DMA transient / layer transient /
+    hang / mixed, parameters drawn through {!Prelude.Det_rng} from the
+    soak seed — installs it as the process-wide {!Prelude.Fault} plan,
+    runs the whole trace -> admit -> batch -> shard -> exec stack under
+    it, and restores the previous plan. A fault-free baseline runs first;
+    every scenario is scored against it.
+
+    The invariants the soak checks are the serving layer's contract:
+
+    - {b conservation}: [arrivals = completed + shed] and zero drops, in
+      every scenario (the engine itself raises on violation);
+    - {b recovery}: scenarios whose killed CG was re-admitted through
+      probes sustain at least a configurable fraction (default 95%) of
+      fault-free throughput;
+    - {b bounded tail}: p99 latency inflates by at most a configurable
+      factor over baseline.
+
+    Everything — plans, traces, executions, probes — lives on virtual
+    time and seeded draws, so a soak replays bit-identically at any host
+    job count; {!to_json} contains no wall-clock fields. *)
+
+type scenario = {
+  sc_index : int;
+  sc_kind : string;
+      (** "kill" | "kill-recover" | "dma-transient" | "layer-transient"
+          | "hang" | "mixed" *)
+  sc_plan : string;  (** the installed fault-plan spec *)
+  sc_arrivals : int;
+  sc_completed : int;
+  sc_shed : int;
+  sc_dropped : int;
+  sc_kills : int;
+  sc_recoveries : int;
+  sc_retried : int;
+  sc_fallbacks : int;
+  sc_requeues : int;
+  sc_probes : int;
+  sc_throughput : float;
+  sc_p99 : float;
+  sc_conserved : bool;
+  sc_throughput_ratio : float;  (** vs fault-free baseline *)
+  sc_p99_ratio : float;  (** vs fault-free baseline (1.0 when baseline is 0) *)
+}
+
+type report = {
+  ch_name : string;
+  ch_plans : int;
+  ch_seed : int;
+  ch_baseline_throughput : float;
+  ch_baseline_p99 : float;
+  ch_scenarios : scenario list;  (** by index *)
+  ch_all_conserved : bool;
+  ch_total_kills : int;
+  ch_total_recoveries : int;
+  ch_total_retried : int;
+  ch_total_requeues : int;
+  ch_max_p99_ratio : float;
+  ch_min_recovered_throughput_ratio : float;
+      (** min throughput ratio among scenarios that recovered a CG; [1.0]
+          when none did *)
+}
+
+val plan_for : seed:int -> int -> string * string
+(** [plan_for ~seed i] is scenario [i]'s [(kind, fault-plan spec)] — a
+    pure function, exposed so tests can pin the schedule. *)
+
+val run :
+  ?plans:int -> ?seed:int -> executor:Serve_shard.executor -> Serve_engine.config -> report
+(** [plans] scenarios (default 20) rooted at [seed] (default the
+    config's [cf_seed]). Installs and restores the process-wide fault
+    plan around each scenario; not safe to race with other fault-plan
+    users. Every scenario replays the baseline's trace (the config's own
+    seed), so its throughput/p99 ratios measure the fault's effect alone
+    rather than sampling noise across different traces. *)
+
+val check : ?min_recovered_ratio:float -> ?max_p99_ratio:float -> report -> string list
+(** Invariant failures, empty when the soak passes. Defaults: recovered
+    scenarios keep >= 0.95 of baseline throughput; p99 inflates <= 10x. *)
+
+val to_text : report -> string
+val to_json : report -> string

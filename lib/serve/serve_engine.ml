@@ -8,6 +8,8 @@ type config = {
   cf_max_batch : int;
   cf_timeout : float;
   cf_queue_depth : int;
+  cf_health : Serve_health.config;
+  cf_latency_cap : int;
 }
 
 let default =
@@ -21,14 +23,18 @@ let default =
     cf_max_batch = 8;
     cf_timeout = 0.005;
     cf_queue_depth = 256;
+    cf_health = Serve_health.default;
+    cf_latency_cap = 8192;
   }
 
 type cg_report = {
   cr_id : int;
   cr_alive : bool;
+  cr_state : string;
   cr_batches : int;
   cr_requests : int;
   cr_fallbacks : int;
+  cr_retried : int;
   cr_busy : float;
   cr_utilization : float;
 }
@@ -63,7 +69,11 @@ type report = {
   sr_batch_hist : (int * int) list;
   sr_cgs : cg_report list;
   sr_kills : Serve_shard.kill list;
+  sr_recoveries : Serve_shard.recovery list;
   sr_drained : int;
+  sr_retried : int;
+  sr_requeues : int;
+  sr_probes : int;
   sr_makespan : float;
   sr_tune_wall : float;
 }
@@ -75,17 +85,19 @@ let run ?(tune_wall = 0.0) ~executor cf =
   let sim = Serve_sim.create () in
   let batcher = Serve_batch.create ~max_batch:cf.cf_max_batch ~timeout:cf.cf_timeout () in
   let admit =
-    Serve_admit.create ~queue_depth:cf.cf_queue_depth ~slo:cf.cf_slo
-      ~floor:executor.Serve_shard.ex_floor ()
+    Serve_admit.create ~cap:cf.cf_latency_cap ~seed:cf.cf_seed ~queue_depth:cf.cf_queue_depth
+      ~slo:cf.cf_slo ~floor:executor.Serve_shard.ex_floor ()
   in
   let last_completion = ref 0.0 in
   let shard =
-    Serve_shard.create ~sim ~executor ~cgs:cf.cf_cgs ~on_complete:(fun reqs ~finished ~cg:_ ->
+    Serve_shard.create ~health:cf.cf_health ~horizon:cf.cf_duration ~sim ~executor ~cgs:cf.cf_cgs
+      ~on_complete:(fun reqs ~finished ~cg:_ ->
         last_completion := Float.max !last_completion finished;
         List.iter
           (fun (r : Serve_batch.request) ->
             Serve_admit.complete admit ~cls:r.rq_class ~latency:(finished -. r.rq_arrival))
           reqs)
+      ()
   in
   let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let batches = ref 0 in
@@ -193,15 +205,23 @@ let run ?(tune_wall = 0.0) ~executor cf =
           {
             cr_id = s.g_id;
             cr_alive = s.g_alive;
+            cr_state = s.g_state;
             cr_batches = s.g_batches;
             cr_requests = s.g_requests;
             cr_fallbacks = s.g_fallbacks;
+            cr_retried = s.g_retried;
             cr_busy = s.g_busy;
             cr_utilization = s.g_busy /. makespan;
           })
         (Serve_shard.stats shard);
     sr_kills = kills;
+    sr_recoveries = Serve_shard.recoveries shard;
     sr_drained = List.fold_left (fun acc (k : Serve_shard.kill) -> acc + k.k_drained) 0 kills;
+    sr_retried =
+      List.fold_left (fun acc (s : Serve_shard.cg_stat) -> acc + s.g_retried) 0
+        (Serve_shard.stats shard);
+    sr_requeues = Serve_shard.requeues shard;
+    sr_probes = Serve_shard.probes shard;
     sr_makespan = makespan;
     sr_tune_wall = tune_wall;
   }
@@ -236,10 +256,11 @@ let to_text r =
        (List.map (fun (n, c) -> Printf.sprintf "%dx%d" n c) r.sr_batch_hist));
   List.iter
     (fun c ->
-      add "    cg%d: %s | %5d batches | %6d requests | util %5.1f%%%s\n" c.cr_id
+      add "    cg%d: %s (%s) | %5d batches | %6d requests | util %5.1f%%%s%s\n" c.cr_id
         (if c.cr_alive then "alive" else "DEAD ")
-        c.cr_batches c.cr_requests
+        c.cr_state c.cr_batches c.cr_requests
         (100.0 *. c.cr_utilization)
+        (if c.cr_retried > 0 then Printf.sprintf " | %d retried" c.cr_retried else "")
         (if c.cr_fallbacks > 0 then Printf.sprintf " | %d fallbacks" c.cr_fallbacks else ""))
     r.sr_cgs;
   List.iter
@@ -247,6 +268,14 @@ let to_text r =
       add "  incident: cg%d died at %.3f s (%s); %d batches drained to survivors\n" k.k_cg k.k_time
         k.k_cause k.k_drained)
     r.sr_kills;
+  List.iter
+    (fun (rv : Serve_shard.recovery) ->
+      add "  recovery: cg%d re-admitted at %.3f s after %d probes\n" rv.rv_cg rv.rv_time
+        rv.rv_probes)
+    r.sr_recoveries;
+  if r.sr_probes > 0 || r.sr_requeues > 0 || r.sr_retried > 0 then
+    add "  resilience: %d retried | %d requeued | %d probes sent\n" r.sr_retried r.sr_requeues
+      r.sr_probes;
   if r.sr_tune_wall > 0.0 then add "  tuning wall: %.2f s\n" r.sr_tune_wall;
   Buffer.contents b
 
@@ -307,9 +336,10 @@ let to_json r =
   List.iteri
     (fun i c ->
       add
-        "    {\"cg\": %d, \"alive\": %b, \"batches\": %d, \"requests\": %d, \"fallbacks\": %d, \
-         \"busy_seconds\": %.9g, \"utilization\": %.9g}%s\n"
-        c.cr_id c.cr_alive c.cr_batches c.cr_requests c.cr_fallbacks c.cr_busy c.cr_utilization
+        "    {\"cg\": %d, \"alive\": %b, \"state\": \"%s\", \"batches\": %d, \"requests\": %d, \
+         \"fallbacks\": %d, \"retried\": %d, \"busy_seconds\": %.9g, \"utilization\": %.9g}%s\n"
+        c.cr_id c.cr_alive (json_escape c.cr_state) c.cr_batches c.cr_requests c.cr_fallbacks
+        c.cr_retried c.cr_busy c.cr_utilization
         (if i < ncg - 1 then "," else ""))
     r.sr_cgs;
   add "  ],\n";
@@ -321,7 +351,17 @@ let to_json r =
               "{\"cg\": %d, \"time_seconds\": %.9g, \"cause\": \"%s\", \"drained_batches\": %d}"
               k.k_cg k.k_time (json_escape k.k_cause) k.k_drained)
           r.sr_kills));
+  add "  \"recoveries\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (rv : Serve_shard.recovery) ->
+            Printf.sprintf "{\"cg\": %d, \"time_seconds\": %.9g, \"probes\": %d}" rv.rv_cg
+              rv.rv_time rv.rv_probes)
+          r.sr_recoveries));
   add "  \"drained_batches\": %d,\n" r.sr_drained;
+  add "  \"retried\": %d,\n" r.sr_retried;
+  add "  \"requeues\": %d,\n" r.sr_requeues;
+  add "  \"probes\": %d,\n" r.sr_probes;
   add "  \"makespan_seconds\": %.9g\n" r.sr_makespan;
   add "}";
   Buffer.contents b

@@ -20,7 +20,14 @@
     shed; [sr_dropped] is the difference and the engine raises
     ({!Prelude.Swatop_error.Error}) if it is ever nonzero — a CG failure
     mid-run drains work to survivors ({!Serve_shard}) rather than losing
-    it. *)
+    it.
+
+    {b Self-healing.} Per-CG circuit breakers ({!Serve_health}), retry
+    absorption of transient executor faults (threaded down to
+    {!Swatop_graph.Graph_exec} by {!Serve_net.executor}), per-batch
+    watchdogs, and probe-driven re-admission of killed CGs (the
+    ["serve.cg.recover"] fault site, bounded by [cf_duration]) all run on
+    the same virtual clock, so a chaos scenario replays bit-identically. *)
 
 type config = {
   cf_trace : Serve_trace.kind;
@@ -32,18 +39,23 @@ type config = {
   cf_max_batch : int;
   cf_timeout : float;  (** batching flush timeout, seconds *)
   cf_queue_depth : int;  (** bounded batching-stage queue *)
+  cf_health : Serve_health.config;  (** breaker / probe / ramp / watchdog knobs *)
+  cf_latency_cap : int;  (** latency-sample retention bound per accumulator *)
 }
 
 val default : config
 (** Poisson, 200 req/s for 5 s, {!Sw26010.Config.num_cgs} CGs, 50 ms SLO,
-    seed 7, max batch 8, 5 ms batching timeout, depth 256. *)
+    seed 7, max batch 8, 5 ms batching timeout, depth 256,
+    {!Serve_health.default}, latency reservoir capped at 8192. *)
 
 type cg_report = {
   cr_id : int;
   cr_alive : bool;
+  cr_state : string;  (** breaker state: healthy/suspect/open/probing *)
   cr_batches : int;
   cr_requests : int;
   cr_fallbacks : int;
+  cr_retried : int;  (** executor steps absorbed by fast-path retry *)
   cr_busy : float;  (** simulated seconds executing *)
   cr_utilization : float;  (** busy / makespan *)
 }
@@ -78,7 +90,11 @@ type report = {
   sr_batch_hist : (int * int) list;  (** (batch size, count), ascending *)
   sr_cgs : cg_report list;  (** by CG id *)
   sr_kills : Serve_shard.kill list;
+  sr_recoveries : Serve_shard.recovery list;  (** probe-driven re-admissions *)
   sr_drained : int;  (** batches re-dispatched off dead CGs *)
+  sr_retried : int;  (** executor steps absorbed by fast-path retry *)
+  sr_requeues : int;  (** batches requeued after a non-fatal executor failure *)
+  sr_probes : int;  (** synthetic recovery probes sent *)
   sr_makespan : float;  (** last completion (>= duration when work drains late) *)
   sr_tune_wall : float;  (** host seconds spent compiling (not in JSON) *)
 }

@@ -1,0 +1,141 @@
+type state = Healthy | Suspect | Open | Probing
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Open -> "open"
+  | Probing -> "probing"
+
+type config = {
+  hc_window : int;
+  hc_trip : int;
+  hc_probe_interval : float;
+  hc_ramp : int;
+  hc_watchdog : float;
+}
+
+let default =
+  { hc_window = 8; hc_trip = 3; hc_probe_interval = 0.050; hc_ramp = 4; hc_watchdog = 4.0 }
+
+let validate c =
+  if c.hc_window < 1 then
+    invalid_arg (Printf.sprintf "Serve_health: window must be >= 1, got %d" c.hc_window);
+  if c.hc_trip < 1 then
+    invalid_arg (Printf.sprintf "Serve_health: trip must be >= 1, got %d" c.hc_trip);
+  if c.hc_probe_interval <= 0.0 || not (Float.is_finite c.hc_probe_interval) then
+    invalid_arg
+      (Printf.sprintf "Serve_health: probe interval must be positive, got %g" c.hc_probe_interval);
+  if c.hc_ramp < 1 then
+    invalid_arg (Printf.sprintf "Serve_health: ramp must be >= 1, got %d" c.hc_ramp);
+  if c.hc_watchdog <= 1.0 || not (Float.is_finite c.hc_watchdog) then
+    invalid_arg
+      (Printf.sprintf "Serve_health: watchdog factor must be > 1, got %g" c.hc_watchdog)
+
+(* Per-CG sliding outcome window as a ring of booleans (true = failure);
+   [filled] saturates at the window size. *)
+type cg = {
+  mutable st : state;
+  window : bool array;
+  mutable pos : int;
+  mutable filled : int;
+  mutable ramp_left : int;
+  mutable successes : int;
+  mutable failures : int;
+}
+
+type t = { cfg : config; cgs : cg array }
+
+let create ?(config = default) ~cgs () =
+  validate config;
+  if cgs < 1 then invalid_arg (Printf.sprintf "Serve_health.create: cgs must be >= 1, got %d" cgs);
+  {
+    cfg = config;
+    cgs =
+      Array.init cgs (fun _ ->
+          {
+            st = Healthy;
+            window = Array.make config.hc_window false;
+            pos = 0;
+            filled = 0;
+            ramp_left = 0;
+            successes = 0;
+            failures = 0;
+          });
+  }
+
+let config t = t.cfg
+
+let cg t id =
+  if id < 0 || id >= Array.length t.cgs then
+    invalid_arg (Printf.sprintf "Serve_health: no such CG %d" id);
+  t.cgs.(id)
+
+let state t id = (cg t id).st
+
+let push c outcome window_len =
+  c.window.(c.pos) <- outcome;
+  c.pos <- (c.pos + 1) mod window_len;
+  if c.filled < window_len then c.filled <- c.filled + 1
+
+let failures_in_window t id =
+  let c = cg t id in
+  let n = ref 0 in
+  for i = 0 to c.filled - 1 do
+    if c.window.(i) then incr n
+  done;
+  !n
+
+let clear_window c =
+  Array.fill c.window 0 (Array.length c.window) false;
+  c.pos <- 0;
+  c.filled <- 0
+
+let on_success t id =
+  let c = cg t id in
+  c.successes <- c.successes + 1;
+  push c false t.cfg.hc_window;
+  match c.st with
+  | Suspect -> if failures_in_window t id = 0 then c.st <- Healthy
+  | Probing ->
+    c.ramp_left <- c.ramp_left - 1;
+    if c.ramp_left <= 0 then begin
+      c.st <- Healthy;
+      c.ramp_left <- 0
+    end
+  | Healthy | Open -> ()
+
+let on_failure t id =
+  let c = cg t id in
+  c.failures <- c.failures + 1;
+  push c true t.cfg.hc_window;
+  match c.st with
+  | Healthy -> c.st <- Suspect
+  | Probing -> c.ramp_left <- t.cfg.hc_ramp (* a wobble during re-admission restarts the ramp *)
+  | Suspect | Open -> ()
+
+let tripped t id = failures_in_window t id >= t.cfg.hc_trip
+
+let on_kill t id =
+  let c = cg t id in
+  c.st <- Open;
+  c.ramp_left <- 0;
+  clear_window c
+
+let on_recover t id =
+  let c = cg t id in
+  c.st <- Probing;
+  c.ramp_left <- t.cfg.hc_ramp;
+  clear_window c
+
+let load_factor t id =
+  let c = cg t id in
+  match c.st with
+  | Probing -> 1.0 +. (float_of_int c.ramp_left /. float_of_int t.cfg.hc_ramp)
+  | Healthy | Suspect | Open -> 1.0
+
+let counters t ~successes ~failures =
+  Array.iter
+    (fun c ->
+      successes := !successes + c.successes;
+      failures := !failures + c.failures)
+    t.cgs

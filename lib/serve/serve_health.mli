@@ -1,0 +1,80 @@
+(** Per-CG health tracking: failure-windowed circuit breakers and ramped
+    re-admission.
+
+    Each core group owns a small state machine driven by the shard's
+    batch outcomes:
+
+    {v
+      Healthy --failure--> Suspect --window trips--> Open
+      Healthy/Suspect/Probing --hard kill--> Open
+      Open --probe recovers--> Probing --ramp successes--> Healthy
+    v}
+
+    - {b Healthy}: serving normally.
+    - {b Suspect}: recent failures in the sliding outcome window, still
+      serving; a clean window decays back to Healthy.
+    - {b Open}: the breaker tripped (>= [hc_trip] failures among the last
+      [hc_window] outcomes) or the CG was hard-killed; the CG takes no
+      work and {!Serve_shard} probes it on the virtual clock.
+    - {b Probing}: a probe succeeded; the CG is re-admitted under a load
+      ramp — {!load_factor} inflates its estimated cost so least-loaded
+      dispatch routes it a growing share — and graduates to Healthy
+      after [hc_ramp] consecutive successes.
+
+    The module is pure bookkeeping: it never raises faults, schedules
+    events or touches the executor. {!Serve_shard} consults it at batch
+    boundaries, which keeps every transition deterministic in virtual
+    time. *)
+
+type state = Healthy | Suspect | Open | Probing
+
+val state_to_string : state -> string
+
+type config = {
+  hc_window : int;  (** sliding outcome window per CG, >= 1 *)
+  hc_trip : int;  (** failures within the window that trip the breaker, >= 1 *)
+  hc_probe_interval : float;  (** virtual seconds between recovery probes, > 0 *)
+  hc_ramp : int;  (** successes to graduate Probing -> Healthy, >= 1 *)
+  hc_watchdog : float;  (** per-batch deadline as a multiple of expected service time, > 1 *)
+}
+
+val default : config
+(** Window 8, trip 3, probe every 50 ms, ramp 4, watchdog at 4x. *)
+
+type t
+
+val create : ?config:config -> cgs:int -> unit -> t
+(** All CGs start Healthy. Raises [Invalid_argument] on a bad config or
+    [cgs < 1]. *)
+
+val config : t -> config
+val state : t -> int -> state
+
+val on_success : t -> int -> unit
+(** A batch completed: pushes a clean outcome; Suspect with a clean
+    window decays to Healthy; Probing counts ramp progress and graduates
+    after [hc_ramp] successes. *)
+
+val on_failure : t -> int -> unit
+(** A batch failed (executor exception): pushes a failed outcome;
+    Healthy becomes Suspect; Probing restarts its ramp. Check {!tripped}
+    afterwards — tripping is the caller's (kill) decision. *)
+
+val tripped : t -> int -> bool
+(** [>= hc_trip] failures among the last [hc_window] outcomes. *)
+
+val on_kill : t -> int -> unit
+(** Hard kill (fault injection, watchdog, breaker): force Open and clear
+    the window. *)
+
+val on_recover : t -> int -> unit
+(** A probe came back: Open -> Probing with a full ramp ahead. *)
+
+val load_factor : t -> int -> float
+(** Dispatch-cost multiplier: [1.0] normally; while Probing, decays
+    linearly from [2.0] to [1.0] as the ramp completes, so a rejoining CG
+    takes an increasing share of load instead of an instant full one. *)
+
+val failures_in_window : t -> int -> int
+val counters : t -> successes:int ref -> failures:int ref -> unit
+(** Totals across all CGs, added into the caller's refs. *)

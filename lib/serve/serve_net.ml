@@ -52,7 +52,7 @@ let compile ?cache ?jobs ?search ~gemm_model ~graph ~max_batch name =
   in
   { nt_name = name; nt_plans = plans; nt_tune_wall = Unix.gettimeofday () -. t0 }
 
-let executor t =
+let executor ?(retry = Some Prelude.Retry.default) t =
   let sizes = List.map fst t.nt_plans in
   let plan_for n = List.assoc (round_up ~sizes n) t.nt_plans in
   {
@@ -62,6 +62,12 @@ let executor t =
     ex_nominal = (fun n -> nominal_seconds (plan_for n));
     ex_run =
       (fun ~cg:_ ~n ->
-        let report = Graph_exec.run (plan_for n) in
-        (report.r_seconds, List.length report.r_incidents));
+        let report = Graph_exec.run ?retry (plan_for n) in
+        let retried, fell =
+          List.fold_left
+            (fun (r, f) (i : Graph_exec.incident) ->
+              if i.i_recovery = "retried" then (r + 1, f) else (r, f + 1))
+            (0, 0) report.r_incidents
+        in
+        { Serve_shard.ru_seconds = report.r_seconds; ru_fallbacks = fell; ru_retried = retried });
   }

@@ -43,8 +43,11 @@ val compile :
 (** [compile ~graph ~max_batch name] tunes the network at every plan
     size. *)
 
-val executor : t -> Serve_shard.executor
+val executor : ?retry:Prelude.Retry.policy option -> t -> Serve_shard.executor
 (** [ex_run] replays the rounded-up plan through {!Swatop_graph.Graph_exec}
-    in cost mode, returning its simulated seconds and the number of
-    fallback incidents; [ex_nominal] is the chosen-implementation sum of
-    the same plan. *)
+    in cost mode, returning its simulated seconds and its incident counts
+    split by recovery kind (retried vs fell back); [ex_nominal] is the
+    chosen-implementation sum of the same plan. [retry] defaults to
+    [Some Prelude.Retry.default]: transient faults retry on the fast
+    path before any fallback chain; pass [None] for pure chain
+    degradation. *)

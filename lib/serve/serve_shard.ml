@@ -1,20 +1,25 @@
+type run_result = { ru_seconds : float; ru_fallbacks : int; ru_retried : int }
+
 type executor = {
   ex_name : string;
   ex_floor : float;
   ex_nominal : int -> float;
-  ex_run : cg:int -> n:int -> float * int;
+  ex_run : cg:int -> n:int -> run_result;
 }
 
 type cg_stat = {
   g_id : int;
   g_alive : bool;
+  g_state : string;
   g_batches : int;
   g_requests : int;
   g_fallbacks : int;
+  g_retried : int;
   g_busy : float;
 }
 
 type kill = { k_cg : int; k_time : float; k_cause : string; k_drained : int }
+type recovery = { rv_cg : int; rv_time : float; rv_probes : int }
 
 type cg = {
   id : int;
@@ -22,9 +27,12 @@ type cg = {
   mutable batches : int;
   mutable requests : int;
   mutable fallbacks : int;
+  mutable retried : int;
   mutable busy : float;
   mutable free_at : float;  (* estimated completion of the backlog *)
   mutable running : bool;
+  mutable serial : int;  (* current-batch marker checked by the watchdog *)
+  mutable probes_since_kill : int;
   backlog : Serve_batch.request list Queue.t;
 }
 
@@ -32,11 +40,16 @@ type t = {
   sim : Serve_sim.t;
   executor : executor;
   cgs : cg array;
+  health : Serve_health.t;
+  horizon : float;  (* probes stop past this virtual time, bounding the sim *)
   on_complete : Serve_batch.request list -> finished:float -> cg:int -> unit;
   mutable killed : kill list;  (* reverse order of death *)
+  mutable recovered : recovery list;  (* reverse order of recovery *)
+  mutable probes_sent : int;
+  mutable requeued : int;
 }
 
-let create ~sim ~executor ~cgs ~on_complete =
+let create ?health ?(horizon = infinity) ~sim ~executor ~cgs ~on_complete () =
   if cgs < 1 then invalid_arg (Printf.sprintf "Serve_shard.create: cgs must be >= 1, got %d" cgs);
   {
     sim;
@@ -49,16 +62,26 @@ let create ~sim ~executor ~cgs ~on_complete =
             batches = 0;
             requests = 0;
             fallbacks = 0;
+            retried = 0;
             busy = 0.0;
             free_at = 0.0;
             running = false;
+            serial = 0;
+            probes_since_kill = 0;
             backlog = Queue.create ();
           });
+    health = Serve_health.create ?config:health ~cgs ();
+    horizon;
     on_complete;
     killed = [];
+    recovered = [];
+    probes_sent = 0;
+    requeued = 0;
   }
 
 let fault_site = "serve.cg"
+let hang_site = "serve.cg.hang"
+let recover_site = "serve.cg.recover"
 
 let least_loaded t =
   Array.fold_left
@@ -72,37 +95,111 @@ let least_loaded t =
 
 (* Kill [cg] and re-dispatch its entire backlog (head batch included) to
    the survivors. Runs inside the event loop, so the drain is atomic in
-   virtual time: every re-dispatched batch restarts queueing at [now]. *)
+   virtual time: every re-dispatched batch restarts queueing at [now].
+   The breaker opens and — while the horizon lasts — periodic probes
+   start asking the ["serve.cg.recover"] site whether the CG is back. *)
 let rec kill t cg head cause =
   cg.alive <- false;
   cg.running <- false;
+  cg.probes_since_kill <- 0;
+  Serve_health.on_kill t.health cg.id;
   let stranded = head :: List.of_seq (Queue.to_seq cg.backlog) in
   Queue.clear cg.backlog;
   t.killed <-
     { k_cg = cg.id; k_time = Serve_sim.now t.sim; k_cause = cause; k_drained = List.length stranded }
     :: t.killed;
+  schedule_probe t cg;
   List.iter (submit t) stranded
+
+(* Synthetic recovery probe on the virtual clock. The probe "succeeds" —
+   the CG answers — exactly when the deterministic fault plan fires the
+   ["serve.cg.recover"] site (keyed by the CG id), which makes recovery as
+   injectable and replayable as the faults themselves. Probing stops past
+   the horizon so the event loop always drains. *)
+and schedule_probe t cg =
+  (* An infinite horizon means no probing at all — rescheduling forever
+     would keep the event loop from draining. *)
+  if Float.is_finite t.horizon then
+    let tnext = Serve_sim.now t.sim +. (Serve_health.config t.health).hc_probe_interval in
+    if tnext <= t.horizon then Serve_sim.at t.sim tnext (fun () -> probe t cg)
+
+and probe t cg =
+  if not cg.alive then begin
+    t.probes_sent <- t.probes_sent + 1;
+    cg.probes_since_kill <- cg.probes_since_kill + 1;
+    match Prelude.Fault.check ~key:cg.id recover_site with
+    | () -> schedule_probe t cg
+    | exception Prelude.Fault.Injected _ -> recover t cg
+  end
+
+and recover t cg =
+  cg.alive <- true;
+  cg.running <- false;
+  cg.free_at <- Serve_sim.now t.sim;
+  Serve_health.on_recover t.health cg.id;
+  t.recovered <-
+    { rv_cg = cg.id; rv_time = Serve_sim.now t.sim; rv_probes = cg.probes_since_kill }
+    :: t.recovered
+
+(* Per-batch watchdog: if the same batch is still "running" on this CG
+   when the deadline fires — the completion event never came, i.e. the CG
+   hung — the CG is killed and the batch requeues with the backlog. For
+   batches that complete normally the marker has moved on and the event
+   is a no-op. *)
+and arm_watchdog t cg ~serial ~batch ~expect =
+  let factor = (Serve_health.config t.health).hc_watchdog in
+  let deadline = Serve_sim.now t.sim +. (factor *. Float.max expect 1e-9) in
+  Serve_sim.at t.sim deadline (fun () ->
+      if cg.alive && cg.running && cg.serial = serial then kill t cg batch "watchdog")
 
 and start_next t cg =
   if cg.alive && (not cg.running) && not (Queue.is_empty cg.backlog) then begin
     let batch = Queue.take cg.backlog in
     let n = List.length batch in
-    match
-      Prelude.Fault.check ~key:cg.id fault_site;
-      t.executor.ex_run ~cg:cg.id ~n
-    with
-    | exception e -> kill t cg batch (Prelude.Swatop_error.label e)
-    | seconds, fallbacks ->
-      cg.running <- true;
-      cg.batches <- cg.batches + 1;
-      cg.requests <- cg.requests + n;
-      cg.fallbacks <- cg.fallbacks + fallbacks;
-      cg.busy <- cg.busy +. seconds;
-      let finished = Serve_sim.now t.sim +. seconds in
-      Serve_sim.at t.sim finished (fun () ->
-          cg.running <- false;
-          t.on_complete batch ~finished ~cg:cg.id;
-          start_next t cg)
+    match Prelude.Fault.check ~key:cg.id fault_site with
+    | exception e ->
+      (* Hard fault at batch start: the CG dies on the spot. *)
+      kill t cg batch (Prelude.Swatop_error.label e)
+    | () -> (
+      match Prelude.Fault.check ~key:cg.id hang_site with
+      | exception _ ->
+        (* The batch starts but its completion never arrives; only the
+           watchdog can reclaim the work. *)
+        cg.running <- true;
+        cg.serial <- cg.serial + 1;
+        arm_watchdog t cg ~serial:cg.serial ~batch ~expect:(t.executor.ex_nominal n)
+      | () -> (
+        match t.executor.ex_run ~cg:cg.id ~n with
+        | exception e ->
+          (* The executor failed past its own retry/fallback chains. One
+             failure is not a death sentence: the batch requeues through
+             least-loaded dispatch and the failure counts against this
+             CG's breaker window — enough of them trip it to Open. *)
+          let cause = Prelude.Swatop_error.label e in
+          Serve_health.on_failure t.health cg.id;
+          if Serve_health.tripped t.health cg.id then kill t cg batch cause
+          else begin
+            t.requeued <- t.requeued + 1;
+            submit t batch;
+            start_next t cg
+          end
+        | ru ->
+          cg.running <- true;
+          cg.batches <- cg.batches + 1;
+          cg.requests <- cg.requests + n;
+          cg.fallbacks <- cg.fallbacks + ru.ru_fallbacks;
+          cg.retried <- cg.retried + ru.ru_retried;
+          cg.busy <- cg.busy +. ru.ru_seconds;
+          cg.serial <- cg.serial + 1;
+          let serial = cg.serial in
+          let finished = Serve_sim.now t.sim +. ru.ru_seconds in
+          Serve_sim.at t.sim finished (fun () ->
+              cg.running <- false;
+              Serve_health.on_success t.health cg.id;
+              t.on_complete batch ~finished ~cg:cg.id;
+              start_next t cg);
+          arm_watchdog t cg ~serial ~batch
+            ~expect:(Float.max ru.ru_seconds (t.executor.ex_nominal n))))
   end
 
 and submit t batch =
@@ -113,8 +210,11 @@ and submit t batch =
       "all core groups dead; cannot dispatch"
   | Some cg ->
     Queue.add batch cg.backlog;
+    (* While a recovered CG ramps, its estimated cost is inflated so
+       least-loaded dispatch routes it a growing — not instant — share. *)
     cg.free_at <-
-      Float.max cg.free_at (Serve_sim.now t.sim) +. t.executor.ex_nominal (List.length batch);
+      Float.max cg.free_at (Serve_sim.now t.sim)
+      +. (t.executor.ex_nominal (List.length batch) *. Serve_health.load_factor t.health cg.id);
     start_next t cg
 
 let stats t =
@@ -124,12 +224,18 @@ let stats t =
          {
            g_id = cg.id;
            g_alive = cg.alive;
+           g_state = Serve_health.state_to_string (Serve_health.state t.health cg.id);
            g_batches = cg.batches;
            g_requests = cg.requests;
            g_fallbacks = cg.fallbacks;
+           g_retried = cg.retried;
            g_busy = cg.busy;
          })
        t.cgs)
 
 let kills t = List.rev t.killed
+let recoveries t = List.rev t.recovered
+let probes t = t.probes_sent
+let requeues t = t.requeued
+let health t = t.health
 let alive t = Array.fold_left (fun n cg -> if cg.alive then n + 1 else n) 0 t.cgs

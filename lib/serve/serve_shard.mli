@@ -15,17 +15,33 @@
     synthetic service times, and the engine plugs in real compiled plans
     ({!Serve_net}).
 
-    {b Resilience} (the PR 4 integration): each batch start probes the
-    ["serve.cg"] fault site keyed by the CG id. An injected fault — or any
-    exception escaping the executor, e.g. an exhausted
-    {!Swatop_graph.Graph_exec} fallback chain — kills the worker: the CG
-    is marked dead and its whole backlog, including the batch it was about
-    to run, {e drains} to the surviving CGs through the normal least-loaded
-    dispatch. Requests are therefore never dropped by a CG failure; they
-    complete elsewhere (or, below the fatal level, complete {e on} the CG
-    via the executor's internal fallback chains, reported through
-    [fallbacks]). Only the death of the last CG raises
-    ({!Prelude.Swatop_error.Error}). *)
+    {b Resilience.} Each batch start probes the ["serve.cg"] fault site
+    keyed by the CG id; an injected fault kills the worker outright. An
+    exception {e escaping the executor} (e.g. an exhausted
+    {!Swatop_graph.Graph_exec} retry + fallback chain) is softer: the
+    batch requeues through least-loaded dispatch and the failure counts
+    against the CG's {!Serve_health} breaker window — the CG only dies
+    when the breaker trips. A per-batch watchdog kills a CG whose batch
+    started but whose completion never arrived (the ["serve.cg.hang"]
+    site injects exactly that). Killing a CG {e drains} its whole
+    backlog, including the batch it was about to run, to the surviving
+    CGs; requests are never dropped by a CG failure. Only the death of
+    the last CG raises ({!Prelude.Swatop_error.Error}).
+
+    {b Recovery.} A dead CG is probed periodically on the virtual clock
+    (bounded by [horizon] so the event loop drains); the probe succeeds
+    when the ["serve.cg.recover"] fault site — keyed by the CG id —
+    fires, making recovery exactly as injectable and deterministic as
+    the kill. A recovered CG re-enters Probing state and takes a ramped,
+    increasing share of load (see {!Serve_health.load_factor}) until it
+    graduates back to Healthy. *)
+
+(** Outcome of executing one batch. *)
+type run_result = {
+  ru_seconds : float;  (** simulated service seconds *)
+  ru_fallbacks : int;  (** steps that fell back to a different strategy *)
+  ru_retried : int;  (** steps absorbed by same-strategy retry *)
+}
 
 type executor = {
   ex_name : string;
@@ -34,39 +50,53 @@ type executor = {
   ex_nominal : int -> float;
       (** estimated service seconds for an [n]-request batch; used only
           for least-loaded dispatch *)
-  ex_run : cg:int -> n:int -> float * int;
-      (** execute an [n]-request batch on CG [cg]; returns (simulated
-          service seconds, fallback-chain activations). May raise — the
-          shard treats any exception as fatal to the CG. *)
+  ex_run : cg:int -> n:int -> run_result;
+      (** execute an [n]-request batch on CG [cg]. May raise — the shard
+          requeues the batch and charges the CG's breaker window. *)
 }
 
 (** Per-CG counters, readable at any time. *)
 type cg_stat = {
   g_id : int;
   g_alive : bool;
+  g_state : string;  (** {!Serve_health.state_to_string} of the breaker *)
   g_batches : int;  (** batches completed or in flight *)
   g_requests : int;
   g_fallbacks : int;  (** executor-internal fallback activations *)
+  g_retried : int;  (** executor-internal retry absorptions *)
   g_busy : float;  (** simulated seconds spent executing *)
 }
 
 type kill = {
   k_cg : int;
   k_time : float;  (** virtual time of death *)
-  k_cause : string;  (** exception label *)
+  k_cause : string;  (** exception label, or ["watchdog"] *)
   k_drained : int;  (** batches re-dispatched to survivors *)
+}
+
+type recovery = {
+  rv_cg : int;
+  rv_time : float;  (** virtual time of re-admission *)
+  rv_probes : int;  (** probes sent to this CG since it died *)
 }
 
 type t
 
 val create :
+  ?health:Serve_health.config ->
+  ?horizon:float ->
   sim:Serve_sim.t ->
   executor:executor ->
   cgs:int ->
   on_complete:(Serve_batch.request list -> finished:float -> cg:int -> unit) ->
+  unit ->
   t
-(** Raises [Invalid_argument] when [cgs < 1]. [on_complete] fires inside
-    the event loop at each batch's completion instant. *)
+(** [health] defaults to {!Serve_health.default}. [horizon] (default
+    [infinity]) bounds recovery probing in virtual time: with the
+    default no probes are ever scheduled and dead CGs stay dead, which
+    is the pre-recovery behavior. Raises [Invalid_argument] when
+    [cgs < 1]. [on_complete] fires inside the event loop at each batch's
+    completion instant. *)
 
 val submit : t -> Serve_batch.request list -> unit
 (** Dispatch a batch (FIFO per CG). Raises {!Prelude.Swatop_error.Error}
@@ -78,4 +108,14 @@ val stats : t -> cg_stat list
 val kills : t -> kill list
 (** In order of death. *)
 
+val recoveries : t -> recovery list
+(** In order of re-admission. *)
+
+val probes : t -> int
+(** Synthetic recovery probes sent across all CGs. *)
+
+val requeues : t -> int
+(** Batches requeued after a non-fatal executor failure. *)
+
+val health : t -> Serve_health.t
 val alive : t -> int

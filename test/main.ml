@@ -28,4 +28,5 @@ let () =
       ("graph", Test_graph.suite);
       ("guided-tuner", Test_guided_tuner.suite);
       ("serve", Test_serve.suite);
+      ("health", Test_health.suite);
     ]

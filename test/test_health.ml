@@ -1,0 +1,464 @@
+(* The self-healing layer: deterministic retry backoff, the per-CG
+   circuit-breaker state machine, bounded-reservoir statistics, shard-level
+   kill/probe/recover and watchdog behavior with synthetic executors, the
+   chaos-soak harness, and checkpoint temp-file hygiene. Fault plans are
+   installed inside [Fun.protect] so a failure never leaks into later
+   suites. *)
+
+open Swatop
+open Swatop_serve
+module Shard = Serve_shard
+module Engine = Serve_engine
+
+let plan_of spec =
+  match Prelude.Fault.parse spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e
+
+let with_plan spec f =
+  Prelude.Fault.set (Some (plan_of spec));
+  Fun.protect ~finally:(fun () -> Prelude.Fault.set None) f
+
+let request ~id ~arrival =
+  {
+    Serve_batch.rq_id = id;
+    rq_class = "steady";
+    rq_bucket = "net";
+    rq_arrival = arrival;
+    rq_deadline = arrival +. 1.0;
+  }
+
+let synth ?(per_batch = 1e-3) () =
+  {
+    Shard.ex_name = "synthetic";
+    ex_floor = 0.5e-3;
+    ex_nominal = (fun _ -> per_batch);
+    ex_run =
+      (fun ~cg:_ ~n:_ -> { Shard.ru_seconds = per_batch; ru_fallbacks = 0; ru_retried = 0 });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Prelude.Retry: pure, bounded, deterministic backoff. *)
+
+let retry_suite =
+  [
+    Alcotest.test_case "delay is exponential with bounded jitter, capped" `Quick (fun () ->
+        let p = Prelude.Retry.default in
+        for attempt = 1 to 10 do
+          let d = Prelude.Retry.delay p ~site:"t" ~key:3 ~attempt in
+          let nominal = Float.min p.r_cap (p.r_base *. (2.0 ** float_of_int (attempt - 1))) in
+          let lo = nominal *. (1.0 -. (p.r_jitter /. 2.0))
+          and hi = nominal *. (1.0 +. (p.r_jitter /. 2.0)) in
+          if d < lo || d > hi then
+            Alcotest.failf "attempt %d: delay %g outside [%g, %g]" attempt d lo hi
+        done);
+    Alcotest.test_case "delay is a pure function of (site, key, attempt)" `Quick (fun () ->
+        let p = Prelude.Retry.default in
+        let d () = Prelude.Retry.delay p ~site:"graph.layer" ~key:5 ~attempt:2 in
+        Alcotest.(check (float 0.0)) "replayed" (d ()) (d ());
+        let other = Prelude.Retry.delay p ~site:"graph.layer" ~key:6 ~attempt:2 in
+        Alcotest.(check bool) "key feeds the jitter draw" false (d () = other));
+    Alcotest.test_case "zero jitter collapses to the deterministic schedule" `Quick (fun () ->
+        let p = { Prelude.Retry.default with r_jitter = 0.0 } in
+        Alcotest.(check (float 1e-12)) "attempt 1" p.r_base
+          (Prelude.Retry.delay p ~site:"s" ~key:0 ~attempt:1);
+        Alcotest.(check (float 1e-12)) "attempt 2 doubles" (2.0 *. p.r_base)
+          (Prelude.Retry.delay p ~site:"s" ~key:0 ~attempt:2);
+        Alcotest.(check (float 1e-12)) "deep attempts hit the cap" p.r_cap
+          (Prelude.Retry.delay p ~site:"s" ~key:0 ~attempt:30));
+    Alcotest.test_case "validate rejects out-of-range fields" `Quick (fun () ->
+        let bad f = Alcotest.check_raises "rejected" (Invalid_argument "") (fun () ->
+            try Prelude.Retry.validate f
+            with Invalid_argument _ -> raise (Invalid_argument ""))
+        in
+        bad { Prelude.Retry.default with r_attempts = 0 };
+        bad { Prelude.Retry.default with r_jitter = 1.5 };
+        bad { Prelude.Retry.default with r_base = -1.0 };
+        bad { Prelude.Retry.default with r_cap = 0.0 };
+        bad { Prelude.Retry.default with r_budget = -1 });
+    Alcotest.test_case "budget mints a fresh per-scope allowance" `Quick (fun () ->
+        let p = Prelude.Retry.default in
+        let b1 = Prelude.Retry.budget p and b2 = Prelude.Retry.budget p in
+        Alcotest.(check int) "full allowance" p.r_budget !b1;
+        decr b1;
+        Alcotest.(check int) "scopes are independent" p.r_budget !b2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_health: the breaker state machine. *)
+
+let health_suite =
+  [
+    Alcotest.test_case "healthy -> suspect -> trip threshold" `Quick (fun () ->
+        let h = Serve_health.create ~cgs:2 () in
+        Alcotest.(check string) "starts healthy" "healthy"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Serve_health.on_failure h 0;
+        Alcotest.(check string) "one failure: suspect" "suspect"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Alcotest.(check bool) "not yet tripped" false (Serve_health.tripped h 0);
+        Serve_health.on_failure h 0;
+        Serve_health.on_failure h 0;
+        Alcotest.(check bool) "three failures in the window trip" true
+          (Serve_health.tripped h 0);
+        Alcotest.(check string) "the neighbor is untouched" "healthy"
+          (Serve_health.state_to_string (Serve_health.state h 1)));
+    Alcotest.test_case "a clean window decays suspect back to healthy" `Quick (fun () ->
+        let h = Serve_health.create ~cgs:1 () in
+        Serve_health.on_failure h 0;
+        for _ = 1 to (Serve_health.config h).hc_window - 1 do
+          Serve_health.on_success h 0
+        done;
+        Alcotest.(check string) "failure still in window" "suspect"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Serve_health.on_success h 0;
+        Alcotest.(check string) "window clean: healthy again" "healthy"
+          (Serve_health.state_to_string (Serve_health.state h 0)));
+    Alcotest.test_case "kill opens; recover ramps; load factor decays to 1" `Quick (fun () ->
+        let h = Serve_health.create ~cgs:1 () in
+        Serve_health.on_failure h 0;
+        Serve_health.on_kill h 0;
+        Alcotest.(check string) "open" "open"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Alcotest.(check int) "kill clears the window" 0 (Serve_health.failures_in_window h 0);
+        Serve_health.on_recover h 0;
+        Alcotest.(check string) "probing" "probing"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Alcotest.(check (float 1e-9)) "full ramp doubles dispatch cost" 2.0
+          (Serve_health.load_factor h 0);
+        let ramp = (Serve_health.config h).hc_ramp in
+        let prev = ref (Serve_health.load_factor h 0) in
+        for i = 1 to ramp - 1 do
+          Serve_health.on_success h 0;
+          let f = Serve_health.load_factor h 0 in
+          if f >= !prev then Alcotest.failf "ramp step %d: factor %g did not decay" i f;
+          prev := f
+        done;
+        Serve_health.on_success h 0;
+        Alcotest.(check string) "graduated" "healthy"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Alcotest.(check (float 1e-9)) "full share" 1.0 (Serve_health.load_factor h 0));
+    Alcotest.test_case "a wobble during re-admission restarts the ramp" `Quick (fun () ->
+        let h = Serve_health.create ~cgs:1 () in
+        Serve_health.on_kill h 0;
+        Serve_health.on_recover h 0;
+        Serve_health.on_success h 0;
+        Alcotest.(check bool) "ramp progressed" true (Serve_health.load_factor h 0 < 2.0);
+        Serve_health.on_failure h 0;
+        Alcotest.(check string) "still probing" "probing"
+          (Serve_health.state_to_string (Serve_health.state h 0));
+        Alcotest.(check (float 1e-9)) "ramp restarted" 2.0 (Serve_health.load_factor h 0));
+    Alcotest.test_case "counters total outcomes across CGs" `Quick (fun () ->
+        let h = Serve_health.create ~cgs:3 () in
+        Serve_health.on_success h 0;
+        Serve_health.on_success h 1;
+        Serve_health.on_failure h 2;
+        let s = ref 0 and f = ref 0 in
+        Serve_health.counters h ~successes:s ~failures:f;
+        Alcotest.(check int) "successes" 2 !s;
+        Alcotest.(check int) "failures" 1 !f);
+    Alcotest.test_case "bad configs are rejected" `Quick (fun () ->
+        List.iter
+          (fun cfg ->
+            match Serve_health.create ~config:cfg ~cgs:1 () with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "config accepted")
+          [
+            { Serve_health.default with hc_window = 0 };
+            { Serve_health.default with hc_trip = 0 };
+            { Serve_health.default with hc_probe_interval = 0.0 };
+            { Serve_health.default with hc_ramp = 0 };
+            { Serve_health.default with hc_watchdog = 1.0 };
+          ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Prelude.Running_stat with a cap: the seeded reservoir. *)
+
+let stat_suite =
+  [
+    Alcotest.test_case "below the cap percentiles stay exact" `Quick (fun () ->
+        let s = Prelude.Running_stat.create ~cap:256 () in
+        for i = 1 to 100 do
+          Prelude.Running_stat.add s (float_of_int i)
+        done;
+        Alcotest.(check int) "all retained" 100 (Prelude.Running_stat.retained s);
+        Alcotest.(check (float 0.0)) "p50 nearest-rank" 50.0
+          (Prelude.Running_stat.percentile s 50.0);
+        Alcotest.(check (float 0.0)) "p100" 100.0 (Prelude.Running_stat.percentile s 100.0));
+    Alcotest.test_case "past the cap: retention bounded, moments exact" `Quick (fun () ->
+        let s = Prelude.Running_stat.create ~cap:64 () in
+        for i = 1 to 1000 do
+          Prelude.Running_stat.add s (float_of_int i)
+        done;
+        Alcotest.(check int) "count sees everything" 1000 (Prelude.Running_stat.count s);
+        Alcotest.(check int) "retention capped" 64 (Prelude.Running_stat.retained s);
+        Alcotest.(check (float 0.0)) "min exact" 1.0 (Prelude.Running_stat.min s);
+        Alcotest.(check (float 0.0)) "max exact" 1000.0 (Prelude.Running_stat.max s);
+        Alcotest.(check (float 1e-9)) "mean exact" 500.5 (Prelude.Running_stat.mean s);
+        let p50 = Prelude.Running_stat.percentile s 50.0 in
+        if p50 < 300.0 || p50 > 700.0 then
+          Alcotest.failf "reservoir p50 %g wildly off the true 500" p50);
+    Alcotest.test_case "the reservoir is a seeded, replayable draw" `Quick (fun () ->
+        let fill seed =
+          let s = Prelude.Running_stat.create ~cap:32 ~seed () in
+          for i = 1 to 500 do
+            Prelude.Running_stat.add s (float_of_int (i * 7 mod 501))
+          done;
+          List.map (Prelude.Running_stat.percentile s) [ 25.0; 50.0; 75.0; 99.0 ]
+        in
+        Alcotest.(check (list (float 0.0))) "same seed, same estimate" (fill 7) (fill 7);
+        Alcotest.(check bool) "seed matters" false (fill 7 = fill 8));
+    Alcotest.test_case "cap below 1 is rejected" `Quick (fun () ->
+        match Prelude.Running_stat.create ~cap:0 () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "cap 0 accepted");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_shard resilience: kill -> probe -> recover, watchdog, requeue. *)
+
+let resilience_suite =
+  [
+    Alcotest.test_case "killed CG is probed and re-admitted on schedule" `Quick (fun () ->
+        with_plan "seed=3;serve.cg:n=1;serve.cg.recover:n=1" (fun () ->
+            let sim = Serve_sim.create () in
+            let completed = ref 0 in
+            let sh =
+              Shard.create ~horizon:1.0 ~sim ~executor:(synth ()) ~cgs:2
+                ~on_complete:(fun batch ~finished:_ ~cg:_ ->
+                  completed := !completed + List.length batch)
+                ()
+            in
+            for i = 0 to 9 do
+              let t = 0.002 *. float_of_int i in
+              Serve_sim.at sim t (fun () -> Shard.submit sh [ request ~id:i ~arrival:t ])
+            done;
+            Serve_sim.run sim;
+            (match (Shard.kills sh, Shard.recoveries sh) with
+            | [ k ], [ rv ] ->
+              Alcotest.(check int) "the killed CG came back" k.Shard.k_cg rv.Shard.rv_cg;
+              Alcotest.(check int) "first probe answered" 1 rv.Shard.rv_probes;
+              Alcotest.(check (float 1e-9)) "probe interval after death"
+                (k.Shard.k_time +. (Serve_health.config (Shard.health sh)).hc_probe_interval)
+                rv.Shard.rv_time
+            | ks, rs ->
+              Alcotest.failf "expected 1 kill + 1 recovery, got %d/%d" (List.length ks)
+                (List.length rs));
+            Alcotest.(check int) "both CGs alive at the end" 2 (Shard.alive sh);
+            Alcotest.(check int) "every request completed" 10 !completed;
+            Alcotest.(check bool) "probe counter advanced" true (Shard.probes sh >= 1)));
+    Alcotest.test_case "default horizon: dead CGs stay dead, the loop drains" `Quick
+      (fun () ->
+        with_plan "seed=3;serve.cg:n=1;serve.cg.recover:always" (fun () ->
+            let sim = Serve_sim.create () in
+            let sh =
+              Shard.create ~sim ~executor:(synth ()) ~cgs:2
+                ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+                ()
+            in
+            Shard.submit sh [ request ~id:0 ~arrival:0.0 ];
+            Shard.submit sh [ request ~id:1 ~arrival:0.0 ];
+            Serve_sim.run sim;
+            Alcotest.(check int) "no probes without a horizon" 0 (Shard.probes sh);
+            Alcotest.(check (list int)) "no recovery" []
+              (List.map (fun r -> r.Shard.rv_cg) (Shard.recoveries sh));
+            Alcotest.(check int) "one CG down" 1 (Shard.alive sh)));
+    Alcotest.test_case "a hung batch is reclaimed by the watchdog" `Quick (fun () ->
+        with_plan "seed=3;serve.cg.hang:n=1" (fun () ->
+            let sim = Serve_sim.create () in
+            let completed = ref 0 in
+            let sh =
+              Shard.create ~sim ~executor:(synth ()) ~cgs:2
+                ~on_complete:(fun batch ~finished:_ ~cg:_ ->
+                  completed := !completed + List.length batch)
+                ()
+            in
+            for i = 0 to 5 do
+              Serve_sim.at sim 0.0 (fun () -> Shard.submit sh [ request ~id:i ~arrival:0.0 ])
+            done;
+            Serve_sim.run sim;
+            (match Shard.kills sh with
+            | [ k ] ->
+              Alcotest.(check string) "the watchdog pulled the trigger" "watchdog"
+                k.Shard.k_cause;
+              Alcotest.(check bool) "deadline respected the 4x factor" true
+                (k.Shard.k_time > 0.0)
+            | ks -> Alcotest.failf "expected exactly one kill, got %d" (List.length ks));
+            Alcotest.(check int) "the hung batch finished elsewhere" 6 !completed;
+            Alcotest.(check int) "survivor carries on" 1 (Shard.alive sh)));
+    Alcotest.test_case "executor failures requeue until the breaker trips" `Quick (fun () ->
+        let base = synth () in
+        let flaky =
+          {
+            base with
+            Shard.ex_run =
+              (fun ~cg ~n ->
+                if cg = 0 then failwith "flaky-cg0" else base.Shard.ex_run ~cg ~n);
+          }
+        in
+        let sim = Serve_sim.create () in
+        let completed = ref 0 in
+        let sh =
+          Shard.create ~sim ~executor:flaky ~cgs:2
+            ~on_complete:(fun batch ~finished:_ ~cg:_ ->
+              completed := !completed + List.length batch)
+            ()
+        in
+        for i = 0 to 7 do
+          Serve_sim.at sim 0.0 (fun () -> Shard.submit sh [ request ~id:i ~arrival:0.0 ])
+        done;
+        Serve_sim.run sim;
+        (match Shard.kills sh with
+        | [ k ] -> Alcotest.(check int) "the flaky CG died" 0 k.Shard.k_cg
+        | ks -> Alcotest.failf "expected exactly one kill, got %d" (List.length ks));
+        Alcotest.(check int) "two soft failures before the trip" 2 (Shard.requeues sh);
+        Alcotest.(check int) "every request completed on the healthy CG" 8 !completed;
+        (match Shard.stats sh with
+        | s0 :: _ -> Alcotest.(check string) "breaker open" "open" s0.Shard.g_state
+        | [] -> Alcotest.fail "no stats"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Serve_chaos over a synthetic executor: fast, exhaustive, replayable. *)
+
+let chaos_cfg =
+  {
+    Engine.default with
+    cf_rate = 400.0;
+    cf_duration = 0.25;
+    cf_cgs = 4;
+    cf_seed = 11;
+    cf_max_batch = 4;
+    cf_timeout = 0.004;
+  }
+
+let chaos_suite =
+  [
+    Alcotest.test_case "plan_for is pure and cycles every fault family" `Quick (fun () ->
+        let kinds = List.init 12 (fun i -> fst (Serve_chaos.plan_for ~seed:5 i)) in
+        Alcotest.(check (list string)) "two full cycles"
+          [
+            "kill"; "kill-recover"; "dma-transient"; "layer-transient"; "hang"; "mixed";
+            "kill"; "kill-recover"; "dma-transient"; "layer-transient"; "hang"; "mixed";
+          ]
+          kinds;
+        let again i = snd (Serve_chaos.plan_for ~seed:5 i) in
+        List.iteri
+          (fun i spec ->
+            Alcotest.(check string) "replayed spec" spec (again i);
+            match Prelude.Fault.parse spec with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "plan %d unparseable (%s): %s" i spec e)
+          (List.init 12 (fun i -> snd (Serve_chaos.plan_for ~seed:5 i))));
+    Alcotest.test_case "a 12-plan soak conserves, recovers, and passes check" `Quick
+      (fun () ->
+        let r = Serve_chaos.run ~plans:12 ~seed:5 ~executor:(synth ()) chaos_cfg in
+        Alcotest.(check bool) "all conserved" true r.Serve_chaos.ch_all_conserved;
+        Alcotest.(check (list string)) "invariants hold" [] (Serve_chaos.check r);
+        Alcotest.(check int) "all scenarios ran" 12 (List.length r.Serve_chaos.ch_scenarios);
+        Alcotest.(check bool) "kills were injected" true (r.Serve_chaos.ch_total_kills > 0);
+        Alcotest.(check bool) "recoveries happened" true
+          (r.Serve_chaos.ch_total_recoveries > 0);
+        Alcotest.(check bool) "no fault plan leaked" true (Prelude.Fault.plan () = None));
+    Alcotest.test_case "a soak replays byte-identically" `Quick (fun () ->
+        let j () =
+          Serve_chaos.to_json (Serve_chaos.run ~plans:6 ~seed:9 ~executor:(synth ()) chaos_cfg)
+        in
+        Alcotest.(check string) "identical JSON" (j ()) (j ()));
+    Alcotest.test_case "check flags a conservation violation" `Quick (fun () ->
+        let r = Serve_chaos.run ~plans:1 ~seed:5 ~executor:(synth ()) chaos_cfg in
+        let broken =
+          {
+            r with
+            Serve_chaos.ch_scenarios =
+              List.map
+                (fun s -> { s with Serve_chaos.sc_conserved = false })
+                r.Serve_chaos.ch_scenarios;
+          }
+        in
+        Alcotest.(check bool) "violations reported" true (Serve_chaos.check broken <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tune_checkpoint: a successful save sweeps dead writers' temp files. *)
+
+let checkpoint_suite =
+  [
+    Alcotest.test_case "save sweeps stale PID temp files, not foreign ones" `Quick (fun () ->
+        let path = Filename.temp_file "swatop_ckpt_sweep" ".ckpt" in
+        Sys.remove path;
+        let stale = path ^ ".12345.tmp" in
+        let foreign = path ^ ".abc.tmp" in
+        let touch p =
+          let oc = open_out p in
+          output_string oc "leftover";
+          close_out oc
+        in
+        touch stale;
+        touch foreign;
+        let ck =
+          {
+            Tune_checkpoint.ck_key = "sweep-test";
+            ck_fingerprint = 42;
+            ck_space = 8;
+            ck_top_k = 2;
+            ck_chunks =
+              [
+                {
+                  Tune_checkpoint.c_start = 0;
+                  c_len = 4;
+                  c_pruned = 1;
+                  c_entries = [ (0, 1.5); (2, 2.5) ];
+                  c_rejected = [];
+                  c_failed = [];
+                };
+              ];
+          }
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ path; stale; foreign ])
+          (fun () ->
+            Tune_checkpoint.save path ck;
+            Alcotest.(check bool) "checkpoint landed" true (Sys.file_exists path);
+            Alcotest.(check bool) "stale PID temp swept" false (Sys.file_exists stale);
+            Alcotest.(check bool) "non-PID temp untouched" true (Sys.file_exists foreign);
+            let own = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+            Alcotest.(check bool) "own temp renamed away" false (Sys.file_exists own);
+            match Tune_checkpoint.load path with
+            | Some loaded ->
+              Alcotest.(check bool) "round-trips" true
+                (Tune_checkpoint.matches loaded ~key:"sweep-test" ~fingerprint:42 ~space:8
+                   ~top_k:2)
+            | None -> Alcotest.fail "saved checkpoint did not load"));
+    Alcotest.test_case "a second save sweeps temps left by the first writer's peers" `Quick
+      (fun () ->
+        let path = Filename.temp_file "swatop_ckpt_sweep2" ".ckpt" in
+        Sys.remove path;
+        let ck =
+          {
+            Tune_checkpoint.ck_key = "k";
+            ck_fingerprint = 1;
+            ck_space = 1;
+            ck_top_k = 1;
+            ck_chunks = [];
+          }
+        in
+        let stale = path ^ ".99999.tmp" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ path; stale ])
+          (fun () ->
+            Tune_checkpoint.save path ck;
+            let oc = open_out stale in
+            close_out oc;
+            Tune_checkpoint.save path ck;
+            Alcotest.(check bool) "late straggler swept on the next save" false
+              (Sys.file_exists stale)));
+  ]
+
+let suite =
+  retry_suite @ health_suite @ stat_suite @ resilience_suite @ chaos_suite @ checkpoint_suite

@@ -28,7 +28,8 @@ let synth ?(floor = 0.5e-3) ?(per_batch = 1e-3) () =
     Shard.ex_name = "synthetic";
     ex_floor = floor;
     ex_nominal = (fun _ -> per_batch);
-    ex_run = (fun ~cg:_ ~n:_ -> (per_batch, 0));
+    ex_run =
+      (fun ~cg:_ ~n:_ -> { Shard.ru_seconds = per_batch; ru_fallbacks = 0; ru_retried = 0 });
   }
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +100,36 @@ let trace_suite =
         let has cls = List.exists (fun a -> a.Serve_trace.ar_class = cls) tr in
         Alcotest.(check bool) "burst class" true (has "burst");
         Alcotest.(check bool) "steady class" true (has "steady"));
+    Alcotest.test_case "bursty per-class rates match the phase profile" `Quick (fun () ->
+        (* 25% of each 1 s cycle runs at 3x rate, 75% at 1/3x: over 10 s at
+           rate 200 that is ~1500 burst and ~500 steady arrivals. Bounds sit
+           at roughly 4 sigma of the per-class Poisson counts. *)
+        let tr = Serve_trace.generate Bursty ~rate:200.0 ~duration:10.0 ~seed:7 in
+        let count cls =
+          List.length (List.filter (fun a -> a.Serve_trace.ar_class = cls) tr)
+        in
+        let burst = count "burst" and steady = count "steady" in
+        if burst < 1300 || burst > 1700 then
+          Alcotest.failf "burst class: %d arrivals for ~1500 expected" burst;
+        if steady < 400 || steady > 600 then
+          Alcotest.failf "steady class: %d arrivals for ~500 expected" steady);
+    Alcotest.test_case "bursty class tags are a pure function of arrival time" `Quick
+      (fun () ->
+        (* Whatever the seed, an arrival's class must agree with the phase
+           its timestamp lands in — tags never drift from the profile. *)
+        List.iter
+          (fun seed ->
+            let tr = Serve_trace.generate Bursty ~rate:200.0 ~duration:4.0 ~seed in
+            List.iter
+              (fun a ->
+                let expect =
+                  if Float.rem a.Serve_trace.ar_time 1.0 < 0.25 then "burst" else "steady"
+                in
+                if a.Serve_trace.ar_class <> expect then
+                  Alcotest.failf "seed %d: arrival at %.6f tagged %s, phase says %s" seed
+                    a.Serve_trace.ar_time a.Serve_trace.ar_class expect)
+              tr)
+          [ 1; 5; 9 ]);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -213,6 +244,7 @@ let shard_suite =
           Shard.create ~sim ~executor:(synth ()) ~cgs:1
             ~on_complete:(fun reqs ~finished:_ ~cg:_ ->
               order := List.map (fun r -> r.Batch.rq_id) reqs @ !order)
+            ()
         in
         List.iter
           (fun id -> Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ])
@@ -222,7 +254,9 @@ let shard_suite =
     Alcotest.test_case "least-loaded dispatch spreads batches over CGs" `Quick (fun () ->
         let sim = Serve_sim.create () in
         let shard =
-          Shard.create ~sim ~executor:(synth ()) ~cgs:4 ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+          Shard.create ~sim ~executor:(synth ()) ~cgs:4
+            ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+            ()
         in
         for id = 0 to 7 do
           Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ]
@@ -241,6 +275,7 @@ let shard_suite =
                 ~on_complete:(fun reqs ~finished:_ ~cg ->
                   Alcotest.(check int) "survivor executes everything" 0 cg;
                   completed := !completed + List.length reqs)
+                ()
             in
             for id = 0 to 9 do
               Shard.submit shard [ request ~id ~arrival:0.0 ~deadline:1.0 () ]
@@ -259,6 +294,7 @@ let shard_suite =
             let shard =
               Shard.create ~sim ~executor:(synth ()) ~cgs:2
                 ~on_complete:(fun _ ~finished:_ ~cg:_ -> ())
+                ()
             in
             match Shard.submit shard [ request ~id:0 ~arrival:0.0 ~deadline:1.0 () ] with
             | () -> Alcotest.fail "dispatch with no live CG should raise"
@@ -394,7 +430,8 @@ let real_suite =
         Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed;
         Alcotest.(check bool) "batched" true
           (List.exists (fun (n, _) -> n >= 2) r.Engine.sr_batch_hist));
-    Alcotest.test_case "a layer fault degrades to fallback chains, not drops" `Quick (fun () ->
+    Alcotest.test_case "a transient layer fault is absorbed by retry, not fallback" `Quick
+      (fun () ->
         let ex = Serve_net.executor (Lazy.force smoke_net) in
         let r =
           with_plan "seed=7;graph.layer:n=1" (fun () -> Engine.run ~executor:ex real_cfg)
@@ -402,10 +439,62 @@ let real_suite =
         let fallbacks =
           List.fold_left (fun acc c -> acc + c.Engine.cr_fallbacks) 0 r.Engine.sr_cgs
         in
-        Alcotest.(check int) "one fallback incident" 1 fallbacks;
+        Alcotest.(check int) "retry absorbed the fault" 1 r.Engine.sr_retried;
+        Alcotest.(check int) "no fallback chain activated" 0 fallbacks;
         Alcotest.(check (list int)) "no CG died" []
           (List.map (fun k -> k.Serve_shard.k_cg) r.Engine.sr_kills);
         Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed);
+    Alcotest.test_case "a persistent layer fault exhausts retry and falls back" `Quick
+      (fun () ->
+        (* first=3 faults attempts 1..3 of the first layer: retry (3
+           attempts) exhausts, the degradation chain completes the step. *)
+        let ex = Serve_net.executor (Lazy.force smoke_net) in
+        let r =
+          with_plan "seed=7;graph.layer:first=3" (fun () -> Engine.run ~executor:ex real_cfg)
+        in
+        let fallbacks =
+          List.fold_left (fun acc c -> acc + c.Engine.cr_fallbacks) 0 r.Engine.sr_cgs
+        in
+        Alcotest.(check int) "one fallback incident" 1 fallbacks;
+        Alcotest.(check int) "no retry absorption reported" 0 r.Engine.sr_retried;
+        Alcotest.(check (list int)) "no CG died" []
+          (List.map (fun k -> k.Serve_shard.k_cg) r.Engine.sr_kills);
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals r.Engine.sr_completed);
+    Alcotest.test_case "kill then probe-recover: re-admitted, ramped, >= 95% throughput" `Quick
+      (fun () ->
+        let ex = Serve_net.executor (Lazy.force smoke_net) in
+        let fault_free = Engine.run ~executor:ex real_cfg in
+        let r =
+          with_plan "seed=7;serve.cg:n=1;serve.cg.recover:n=1" (fun () ->
+              Engine.run ~executor:ex real_cfg)
+        in
+        (match (r.Engine.sr_kills, r.Engine.sr_recoveries) with
+        | [ k ], [ rv ] ->
+          Alcotest.(check int) "same CG back" k.Serve_shard.k_cg rv.Serve_shard.rv_cg;
+          Alcotest.(check bool) "recovered after death" true
+            (rv.Serve_shard.rv_time > k.Serve_shard.k_time);
+          Alcotest.(check int) "first probe answered" 1 rv.Serve_shard.rv_probes
+        | ks, rs ->
+          Alcotest.failf "expected one kill and one recovery, got %d/%d" (List.length ks)
+            (List.length rs));
+        Alcotest.(check bool) "probes were sent" true (r.Engine.sr_probes >= 1);
+        Alcotest.(check int) "zero dropped" 0 r.Engine.sr_dropped;
+        Alcotest.(check int) "conservation" r.Engine.sr_arrivals
+          (r.Engine.sr_completed + r.Engine.sr_shed);
+        Alcotest.(check bool) "post-recovery throughput >= 95% of fault-free" true
+          (r.Engine.sr_throughput >= 0.95 *. fault_free.Engine.sr_throughput));
+    Alcotest.test_case "chaos soak over the compiled net: conserving and replayable" `Quick
+      (fun () ->
+        let ex = Serve_net.executor (Lazy.force smoke_net) in
+        let cfg = { real_cfg with Engine.cf_rate = 150.0; cf_duration = 0.3 } in
+        let r = Serve_chaos.run ~plans:6 ~seed:21 ~executor:ex cfg in
+        Alcotest.(check bool) "all scenarios conserve" true r.Serve_chaos.ch_all_conserved;
+        Alcotest.(check (list string)) "invariants hold" [] (Serve_chaos.check r);
+        Alcotest.(check int) "every fault family ran" 6 (List.length r.Serve_chaos.ch_scenarios);
+        let j () =
+          Serve_chaos.to_json (Serve_chaos.run ~plans:6 ~seed:21 ~executor:ex cfg)
+        in
+        Alcotest.(check string) "soak replays byte-identically" (j ()) (j ()));
     Alcotest.test_case "replay is bit-identical across host job counts" `Quick (fun () ->
         let report jobs =
           Prelude.Parallel.set_jobs (Some jobs);
